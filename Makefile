@@ -1,0 +1,37 @@
+.PHONY: all build test bench reports timings examples doc clean loc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+reports:
+	dune exec bench/main.exe -- reports
+
+timings:
+	dune exec bench/main.exe -- timings
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/university.exe
+	dune exec examples/bibliography.exe
+	dune exec examples/design_advisor.exe
+	dune exec examples/prerequisites.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
+
+loc:
+	@find lib bin examples test bench -name '*.ml' -o -name '*.mli' | xargs wc -l | tail -1
