@@ -1,0 +1,513 @@
+(* nfr_cli — command-line front end for the NF² library.
+
+   Subcommands:
+     nest        nest a CSV relation on one attribute
+     canonical   compute a canonical form for a permutation
+     forms       survey all canonical forms (and small irreducible ones)
+     classify    Def. 6 / Def. 7 report for a canonical form
+     update      apply inserts/deletes incrementally, with counters
+     normalize   dependency analysis: keys, 3NF/BCNF/4NF, NFR alternative
+     sql         run an NFQL script against loaded CSV tables
+*)
+
+open Relational
+open Nfr_core
+open Cmdliner
+
+let attr = Attribute.make
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers and arguments                                        *)
+(* ------------------------------------------------------------------ *)
+
+let load_relation path =
+  try Ok (Csv.load path) with
+  | Sys_error msg -> Error msg
+  | Failure msg -> Error msg
+  | Schema.Schema_error msg -> Error msg
+
+let parse_order schema = function
+  | None -> Ok (Schema.attributes schema)
+  | Some spec ->
+    let names = String.split_on_char ',' spec |> List.map String.trim in
+    let order = List.map attr names in
+    (match Nest.check_permutation schema order with
+    | () -> Ok order
+    | exception Invalid_argument msg -> Error msg)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CSV input file")
+
+let order_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "order" ] ~docv:"A,B,C"
+        ~doc:
+          "Nest application order (first attribute nested first). Defaults to \
+           the schema order.")
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+
+let print_nfr nfr = Format.printf "%a@." Nfr.pp_table nfr
+
+(* ------------------------------------------------------------------ *)
+(* nest                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let nest_cmd =
+  let attribute_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "attr"; "a" ] ~docv:"ATTR" ~doc:"Attribute to nest on")
+  in
+  let run path attribute_name =
+    let flat = or_die (load_relation path) in
+    let attribute = attr attribute_name in
+    if not (Schema.mem (Relation.schema flat) attribute) then
+      or_die (Error (Printf.sprintf "no attribute %s in %s" attribute_name path));
+    let nested = Nest.nest (Nfr.of_relation flat) attribute in
+    Format.printf "%d flat tuples -> %d NFR tuples@." (Relation.cardinality flat)
+      (Nfr.cardinality nested);
+    print_nfr nested
+  in
+  Cmd.v
+    (Cmd.info "nest" ~doc:"Nest a CSV relation on one attribute")
+    Term.(const run $ file_arg $ attribute_arg)
+
+(* ------------------------------------------------------------------ *)
+(* canonical                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let canonical_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also write the result as nested CSV (components joined with |)")
+  in
+  let run path order_spec out =
+    let flat = or_die (load_relation path) in
+    let order = or_die (parse_order (Relation.schema flat) order_spec) in
+    let canonical = Nest.canonical flat order in
+    Format.printf "canonical form for order %s (%d tuples, from %d flat):@."
+      (String.concat ", " (List.map Attribute.name order))
+      (Nfr.cardinality canonical) (Relation.cardinality flat);
+    print_nfr canonical;
+    match out with
+    | None -> ()
+    | Some out_path ->
+      Nfr_csv.save out_path canonical;
+      Format.printf "written to %s@." out_path
+  in
+  Cmd.v
+    (Cmd.info "canonical" ~doc:"Canonical form V_P of a CSV relation")
+    Term.(const run $ file_arg $ order_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* forms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let forms_cmd =
+  let irreducible_arg =
+    Arg.(
+      value & flag
+      & info [ "irreducible" ]
+          ~doc:"Also enumerate irreducible forms (exponential; small inputs only)")
+  in
+  let run path enumerate_irreducible =
+    let flat = or_die (load_relation path) in
+    Format.printf "%-30s %s@." "application order" "tuples";
+    List.iter
+      (fun (order, form) ->
+        Format.printf "%-30s %6d@."
+          (String.concat ", " (List.map Attribute.name order))
+          (Nfr.cardinality form))
+      (Nest.all_canonical_forms flat);
+    let best_order, best = Nest.smallest_canonical flat in
+    Format.printf "smallest canonical: %s (%d tuples)@."
+      (String.concat ", " (List.map Attribute.name best_order))
+      (Nfr.cardinality best);
+    if enumerate_irreducible then begin
+      match Irreducible.enumerate (Nfr.of_relation flat) with
+      | forms ->
+        let sizes = List.map Nfr.cardinality forms in
+        Format.printf "irreducible forms reachable: %d (sizes %s)@."
+          (List.length forms)
+          (String.concat ", "
+             (List.map string_of_int (List.sort_uniq compare sizes)))
+      | exception Irreducible.Budget_exceeded msg ->
+        Format.printf "irreducible enumeration aborted: %s@." msg
+    end
+  in
+  Cmd.v
+    (Cmd.info "forms" ~doc:"Survey canonical (and irreducible) forms")
+    Term.(const run $ file_arg $ irreducible_arg)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let run path order_spec =
+    let flat = or_die (load_relation path) in
+    let order = or_die (parse_order (Relation.schema flat) order_spec) in
+    let canonical = Nest.canonical flat order in
+    Format.printf "Def. 6 cardinality classes:@.";
+    List.iter
+      (fun (attribute, cls) ->
+        Format.printf "  %-16s %s@." (Attribute.name attribute)
+          (Classify.cardinality_name cls))
+      (Classify.classify_all canonical);
+    (match Classify.fixed_sets canonical with
+    | [] -> Format.printf "fixed on: (nothing)@."
+    | sets ->
+      Format.printf "minimal fixed sets: %s@."
+        (String.concat "; "
+           (List.map (fun s -> Format.asprintf "%a" Attribute.pp_set s) sets)));
+    let region = Classify.region canonical in
+    Format.printf "irreducible: %b  canonical (some permutation): %b@."
+      region.Classify.irreducible region.Classify.canonical
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Cardinality classes and fixedness (Defs. 6-7)")
+    Term.(const run $ file_arg $ order_arg)
+
+(* ------------------------------------------------------------------ *)
+(* update                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let update_cmd =
+  let insert_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "insert"; "i" ] ~docv:"v1,v2,..."
+          ~doc:"Tuple to insert (repeatable; values in schema order)")
+  in
+  let delete_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "delete"; "d" ] ~docv:"v1,v2,..."
+          ~doc:"Tuple to delete (repeatable)")
+  in
+  let run path order_spec inserts deletes =
+    let flat = or_die (load_relation path) in
+    let schema = Relation.schema flat in
+    let order = or_die (parse_order schema order_spec) in
+    let parse_tuple spec =
+      let cells = String.split_on_char ',' spec |> List.map String.trim in
+      if List.length cells <> Schema.degree schema then
+        or_die (Error (Printf.sprintf "tuple %s has wrong arity" spec))
+      else
+        Tuple.make schema
+          (List.mapi
+             (fun i cell ->
+               match Value.parse (Schema.type_at schema i) cell with
+               | Ok value -> value
+               | Error msg -> or_die (Error msg))
+             cells)
+    in
+    let stats = Update.fresh_stats () in
+    let canonical = Nest.canonical flat order in
+    Format.printf "loaded %d flat tuples; canonical form has %d@."
+      (Relation.cardinality flat) (Nfr.cardinality canonical);
+    let after_inserts =
+      List.fold_left
+        (fun nfr spec -> Update.insert ~stats ~order nfr (parse_tuple spec))
+        canonical inserts
+    in
+    let final =
+      List.fold_left
+        (fun nfr spec ->
+          match Update.delete ~stats ~order nfr (parse_tuple spec) with
+          | updated -> updated
+          | exception Update.Not_in_relation ->
+            or_die (Error (Printf.sprintf "tuple %s is not in the relation" spec)))
+        after_inserts deletes
+    in
+    Format.printf
+      "after %d insert(s), %d delete(s): %d NFR tuples@.\
+       compositions=%d decompositions=%d recons-calls=%d@."
+      (List.length inserts) (List.length deletes) (Nfr.cardinality final)
+      stats.Update.compositions stats.Update.decompositions
+      stats.Update.recons_calls;
+    print_nfr final
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Incremental insert/delete with operation counters")
+    Term.(const run $ file_arg $ order_arg $ insert_arg $ delete_arg)
+
+(* ------------------------------------------------------------------ *)
+(* normalize                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Dependency specs: "A,B->C,D" for FDs, "A->>B" for MVDs. *)
+let parse_side spec = String.split_on_char ',' spec |> List.map String.trim
+
+let split_once spec separator =
+  let sep_len = String.length separator in
+  let rec find i =
+    if i + sep_len > String.length spec then None
+    else if String.sub spec i sep_len = separator then
+      Some
+        ( String.trim (String.sub spec 0 i),
+          String.trim (String.sub spec (i + sep_len) (String.length spec - i - sep_len))
+        )
+    else find (i + 1)
+  in
+  find 0
+
+let parse_fd spec =
+  match split_once spec "->" with
+  | Some (lhs, rhs) when not (String.length rhs > 0 && rhs.[0] = '>') ->
+    Dependency.Fd.of_names (parse_side lhs) (parse_side rhs)
+  | Some _ | None -> or_die (Error (Printf.sprintf "bad FD %S (want A,B->C)" spec))
+
+let parse_mvd spec =
+  match split_once spec "->>" with
+  | Some (lhs, rhs) -> Dependency.Mvd.of_names (parse_side lhs) (parse_side rhs)
+  | None -> or_die (Error (Printf.sprintf "bad MVD %S (want A->>B)" spec))
+
+let normalize_cmd =
+  let fd_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "fd" ] ~docv:"A,B->C" ~doc:"Functional dependency (repeatable)")
+  in
+  let mvd_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "mvd" ] ~docv:"A->>B" ~doc:"Multivalued dependency (repeatable)")
+  in
+  let run path fd_specs mvd_specs =
+    let open Dependency in
+    let flat = or_die (load_relation path) in
+    let schema = Relation.schema flat in
+    let fds = List.map parse_fd fd_specs in
+    let mvds = List.map parse_mvd mvd_specs in
+    (* Instance checks first: refuse dependencies the data violates. *)
+    List.iter
+      (fun fd ->
+        if not (Fd.satisfied_by flat fd) then
+          or_die (Error (Format.asprintf "FD %a does not hold in the data" Fd.pp fd)))
+      fds;
+    List.iter
+      (fun mvd ->
+        if not (Mvd.satisfied_by flat mvd) then
+          or_die
+            (Error (Format.asprintf "MVD %a does not hold in the data" Mvd.pp mvd)))
+      mvds;
+    Format.printf "schema: %s, %d tuples@." (Schema.to_string schema)
+      (Relation.cardinality flat);
+    if fds <> [] then begin
+      let keys = Fd.candidate_keys schema fds in
+      Format.printf "candidate keys: %s@."
+        (String.concat "; "
+           (List.map (fun k -> Format.asprintf "%a" Attribute.pp_set k) keys));
+      Format.printf "BCNF: %b  3NF: %b@." (Normalize.is_bcnf schema fds)
+        (Normalize.is_3nf schema fds);
+      Format.printf "3NF synthesis: %s@."
+        (String.concat " | "
+           (List.map Schema.to_string (Normalize.synthesize_3nf schema fds)))
+    end;
+    Format.printf "4NF: %b@." (Normalize.is_4nf schema fds mvds);
+    let components = Normalize.fourth_nf_decompose schema fds mvds in
+    Format.printf "4NF decomposition: %s@."
+      (String.concat " | " (List.map Schema.to_string components));
+    (* The paper's alternative: one NFR nested on the dependencies. *)
+    let order = Nfr_core.Theory.fixed_canonical_order schema fds mvds in
+    let nested = Nfr_core.Nest.canonical flat order in
+    Format.printf
+      "NFR alternative: one table, nest order %s, %d tuples (vs %d flat)@."
+      (String.concat "," (List.map Attribute.name order))
+      (Nfr_core.Nfr.cardinality nested)
+      (Relation.cardinality flat)
+  in
+  Cmd.v
+    (Cmd.info "normalize"
+       ~doc:"Dependency analysis: keys, 3NF/BCNF/4NF, and the NFR alternative")
+    Term.(const run $ file_arg $ fd_arg $ mvd_arg)
+
+(* ------------------------------------------------------------------ *)
+(* design                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let design_cmd =
+  let fd_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "fd" ] ~docv:"A,B->C" ~doc:"Functional dependency (repeatable)")
+  in
+  let mvd_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "mvd" ] ~docv:"A->>B" ~doc:"Multivalued dependency (repeatable)")
+  in
+  let run path fd_specs mvd_specs =
+    let open Dependency in
+    let flat = or_die (load_relation path) in
+    let schema = Relation.schema flat in
+    let fds = List.map parse_fd fd_specs in
+    let mvds = List.map parse_mvd mvd_specs in
+    List.iter
+      (fun fd ->
+        if not (Fd.satisfied_by flat fd) then
+          or_die (Error (Format.asprintf "FD %a does not hold in the data" Fd.pp fd)))
+      fds;
+    List.iter
+      (fun mvd ->
+        if not (Mvd.satisfied_by flat mvd) then
+          or_die
+            (Error (Format.asprintf "MVD %a does not hold in the data" Mvd.pp mvd)))
+      mvds;
+    let nfr_route = Design.nfr_first schema fds mvds in
+    let fourth_route = Design.fourth_nf schema fds mvds in
+    Format.printf "%a@.%a@.@." Design.pp nfr_route Design.pp fourth_route;
+    Format.printf "evaluated on %s (%d tuples):@." path (Relation.cardinality flat);
+    List.iter
+      (fun c ->
+        Format.printf "  %-10s %d table(s), %d total NFR tuples, %d join(s)@."
+          c.Design.name c.Design.table_count c.Design.total_tuples c.Design.joins)
+      [ Design.evaluate flat nfr_route; Design.evaluate flat fourth_route ]
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:"Compare the NFR-first and 4NF design strategies on an instance")
+    Term.(const run $ file_arg $ fd_arg $ mvd_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let load_spec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "load" ] ~docv:"NAME=FILE"
+        ~doc:"Load a CSV file as table NAME before running the script \
+              (repeatable)")
+
+let split_load_spec spec =
+  match String.index_opt spec '=' with
+  | None -> or_die (Error (Printf.sprintf "bad --load %s (want NAME=FILE)" spec))
+  | Some i ->
+    (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+
+(* A database front end the sql/repl commands can drive uniformly:
+   the in-memory evaluator or the storage-engine executor. *)
+type sql_backend = {
+  load_table : string -> Relation.t -> unit;
+  run : string -> (unit, string) result;
+}
+
+let guard_nfql run source =
+  match run source with
+  | () -> Ok ()
+  | exception Nfql.Eval.Eval_error msg -> Error msg
+  | exception Nfql.Parser.Parse_error (msg, offset) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" offset msg)
+  | exception Nfql.Lexer.Lex_error (msg, offset) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" offset msg)
+
+let logical_backend () =
+  let db = Nfql.Eval.create () in
+  {
+    load_table =
+      (fun name flat ->
+        let order = Schema.attributes (Relation.schema flat) in
+        Nfql.Eval.define db name ~order (Nest.canonical flat order));
+    run =
+      guard_nfql (fun source ->
+          List.iter
+            (fun result -> Format.printf "%a@." Nfql.Eval.pp_result result)
+            (Nfql.Eval.exec_string db source));
+  }
+
+let physical_backend () =
+  let db = Nfql.Physical.create () in
+  {
+    load_table =
+      (fun name flat ->
+        let order = Schema.attributes (Relation.schema flat) in
+        Nfql.Physical.add_table db name (Storage.Table.load ~order flat));
+    run =
+      guard_nfql (fun source ->
+          List.iter
+            (fun (result, stats) ->
+              Format.printf "%a@.-- cost: %a@." Nfql.Eval.pp_result result
+                Storage.Stats.pp stats)
+            (Nfql.Physical.exec_string db source));
+  }
+
+let physical_arg =
+  Arg.(
+    value & flag
+    & info [ "physical" ]
+        ~doc:"Run against the storage engine (heap/index/B+-tree) and print \
+              per-statement access costs")
+
+let make_backend physical loads =
+  let backend = if physical then physical_backend () else logical_backend () in
+  List.iter
+    (fun spec ->
+      let name, path = split_load_spec spec in
+      backend.load_table name (or_die (load_relation path)))
+    loads;
+  backend
+
+let sql_cmd =
+  let exec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e" ] ~docv:"SCRIPT" ~doc:"NFQL script to run (otherwise stdin)")
+  in
+  let run loads script physical =
+    let backend = make_backend physical loads in
+    let source =
+      match script with
+      | Some text -> text
+      | None -> In_channel.input_all In_channel.stdin
+    in
+    match backend.run source with Ok () -> () | Error msg -> or_die (Error msg)
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run an NFQL script against loaded CSV tables")
+    Term.(const run $ load_spec_arg $ exec_arg $ physical_arg)
+
+let repl_cmd =
+  let run loads physical =
+    let backend = make_backend physical loads in
+    Format.printf "nfr_cli repl — NFQL statements; ctrl-d to quit@.";
+    let rec loop () =
+      Format.printf "nfql> @?";
+      match In_channel.input_line In_channel.stdin with
+      | None -> Format.printf "bye@."
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
+        (match backend.run line with
+        | Ok () -> ()
+        | Error msg -> Format.printf "error: %s@." msg);
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive NFQL shell")
+    Term.(const run $ load_spec_arg $ physical_arg)
+
+let () =
+  let info =
+    Cmd.info "nfr_cli" ~version:"1.0.0"
+      ~doc:"Non-first-normal-form relations: nest, canonicalize, classify, update, query"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ nest_cmd; canonical_cmd; forms_cmd; classify_cmd; update_cmd;
+            normalize_cmd; design_cmd; sql_cmd; repl_cmd ]))

@@ -1,0 +1,113 @@
+(* A schema-design session: given a universal relation with an MVD,
+   compare the classical route (4NF decomposition into several flat
+   tables, queries re-join) with the paper's route (one NFR, nest on
+   the dependency's left side, no joins), and let the canonical-form
+   search pick the best permutation.
+
+     dune exec examples/design_advisor.exe
+*)
+
+open Relational
+open Dependency
+open Nfr_core
+
+let () =
+  let flat = Workload.Scenarios.university_entity ~students:25 () in
+  let schema = Relation.schema flat in
+  let mvd = Mvd.of_names [ "Student" ] [ "Course" ] in
+  Format.printf "Universal relation: %d tuples over %s@." (Relation.cardinality flat)
+    (Schema.to_string schema);
+  Format.printf "Declared dependency: %a (and its complement)@.@." Mvd.pp mvd;
+
+  (* Route 1: classical 4NF decomposition. *)
+  let components = Normalize.fourth_nf_decompose schema [] [ mvd ] in
+  Format.printf "Route 1 — 4NF decomposition produces %d tables:@."
+    (List.length components);
+  List.iter
+    (fun component ->
+      let projected = Algebra.project (Schema.attributes component) flat in
+      Format.printf "  %s: %d tuples@." (Schema.to_string component)
+        (Relation.cardinality projected))
+    components;
+  let lossless =
+    Chase.lossless_join schema [] [ mvd ]
+      (List.map Schema.attribute_set components)
+  in
+  Format.printf "  join is lossless: %b — but every query re-joins.@.@." lossless;
+
+  (* Route 2: one NFR, nest guided by the dependency. *)
+  let order = Theory.fixed_canonical_order schema [] [ mvd ] in
+  let nested = Nest.canonical flat order in
+  Format.printf "Route 2 — single NFR, nest order %s:@."
+    (String.concat ", " (List.map Attribute.name order));
+  Format.printf "  %d NFR tuples (vs %d flat), fixed on Student: %b@.@."
+    (Nfr.cardinality nested) (Relation.cardinality flat)
+    (Classify.fixed_on nested (Attribute.Set.singleton (Attribute.make "Student")));
+
+  (* How much does the permutation matter? Try all of them. *)
+  Format.printf "Tuple count per canonical permutation (application order):@.";
+  List.iter
+    (fun (order, form) ->
+      Format.printf "  %-28s %4d tuples@."
+        (String.concat ", " (List.map Attribute.name order))
+        (Nfr.cardinality form))
+    (Nest.all_canonical_forms flat);
+  let best_order = Theory.best_permutation_by_size flat in
+  Format.printf "Smallest canonical form: order %s@.@."
+    (String.concat ", " (List.map Attribute.name best_order));
+
+  (* The two routes as first-class designs. *)
+  let nfr_design = Design.nfr_first schema [] [ mvd ] in
+  let fourth_design = Design.fourth_nf schema [] [ mvd ] in
+  Format.printf "As Design values:@.%a@.%a@.@." Design.pp nfr_design Design.pp
+    fourth_design;
+  let measure design = Design.evaluate flat design in
+  List.iter
+    (fun c ->
+      Format.printf "  %-10s %d table(s), %d total NFR tuples, %d join(s)@."
+        c.Design.name c.Design.table_count c.Design.total_tuples c.Design.joins)
+    [ measure nfr_design; measure fourth_design ];
+  Format.printf "@.";
+
+  (* If the designer also declares FDs, implications come with
+     auditable Armstrong derivations. *)
+  let fds =
+    [ Fd.of_names [ "Student" ] [ "Advisor" ]; Fd.of_names [ "Advisor" ] [ "Dept" ] ]
+  in
+  let goal = Fd.of_names [ "Student" ] [ "Dept" ] in
+  (match Armstrong.derive fds goal with
+  | Some proof ->
+    Format.printf
+      "Armstrong derivation of %a from {%a; %a} (%d steps):@.%a@.@." Fd.pp goal
+      Fd.pp (List.nth fds 0) Fd.pp (List.nth fds 1) (Armstrong.size proof)
+      Armstrong.pp proof;
+    assert (Armstrong.verify fds proof)
+  | None -> assert false);
+
+  (* Classification report for the chosen form. *)
+  Format.printf "Def. 6 classification of the chosen NFR:@.";
+  List.iter
+    (fun (attribute, cls) ->
+      Format.printf "  %-10s %s@." (Attribute.name attribute)
+        (Classify.cardinality_name cls))
+    (Classify.classify_all nested);
+  Format.printf "Minimal fixed attribute sets: %s@.@."
+    (String.concat "; "
+       (List.map
+          (fun s -> Format.asprintf "%a" Attribute.pp_set s)
+          (Classify.fixed_sets nested)));
+
+  (* The paper's update-anomaly point: dropping one enrollment is one
+     value removal in the NFR, three coordinated deletes in 4NF. *)
+  (match Relation.tuples flat with
+  | victim :: _ ->
+    let stats = Update.fresh_stats () in
+    let updated = Update.delete ~stats ~order nested victim in
+    Format.printf
+      "Deleting one enrollment from the NFR: %d composition(s), %d NFR tuples after.@."
+      stats.Update.compositions (Nfr.cardinality updated);
+    Format.printf
+      "The same logical delete under Route 1 touches every decomposed table that\n\
+       mentions the student-course pair, and must re-check the join. NFRs keep\n\
+       it local — the paper's Sec. 4 claim.@."
+  | [] -> ())

@@ -1,0 +1,128 @@
+(* Sec. 2's two kinds of compoundness, side by side:
+
+   - SC(Student, Course): a set of courses abbreviates flat tuples —
+     NFR components, freely splittable.
+   - CP(Course, Prerequisite): a set of courses IS one prerequisite
+     condition — a powerset-domain atom that must never be split, and
+     conditions can themselves be collected into sets (the paper's
+     (c0, {{c1,c2},{c1,c3}})).
+
+   Then the same catalog modeled as a hierarchical nested relation
+   (relation-valued domains, the paper's third compoundness pattern).
+
+     dune exec examples/prerequisites.exe
+*)
+
+open Relational
+open Nfr_core
+
+let attr = Attribute.make
+
+let () =
+  (* --- SC: NFR reading. ------------------------------------------- *)
+  let sc_schema = Schema.strings [ "Student"; "Course" ] in
+  let sc =
+    Nfr.of_ntuples sc_schema
+      [ Ntuple.of_strings sc_schema [ [ "a" ]; [ "c1"; "c2" ] ] ]
+  in
+  Format.printf "SC — (a, {c1, c2}) as an NFR tuple:@.%a@.@." Nfr.pp_table sc;
+  Format.printf "...means exactly these flat tuples:@.%a@.@." Relation.pp
+    (Nfr.flatten sc);
+
+  (* --- CP: powerset reading. --------------------------------------- *)
+  let cp_schema = Schema.strings [ "Course"; "Prerequisite" ] in
+  let cond12 = Powerset.atom_of_strings [ "c1"; "c2" ] in
+  let cond13 = Powerset.atom_of_strings [ "c1"; "c3" ] in
+  let cp =
+    Relation.of_rows cp_schema
+      [ [ Value.of_string "c0"; cond12 ];
+        [ Value.of_string "c0"; cond13 ];
+        [ Value.of_string "c9"; cond12 ] ]
+  in
+  Format.printf
+    "CP — each prerequisite condition is ONE value (two alternatives for c0):@.%a@.@."
+    Relation.pp cp;
+
+  (* Nesting can group courses by shared condition, but a condition
+     never splits. *)
+  let nested = Nest.nest (Nfr.of_relation cp) (attr "Course") in
+  Format.printf "V_Course(CP) — courses sharing a condition group up:@.%a@.@."
+    Nfr.pp_table nested;
+
+  (* Sets of sets: both of c0's alternatives as one value. *)
+  let alternatives = Powerset.atom_of_set (Vset.of_list [ cond12; cond13 ]) in
+  Format.printf "c0's alternatives as a single set-of-sets value:@.  %a@.@."
+    Value.pp alternatives;
+  (match Powerset.set_of_atom alternatives with
+  | Some outer ->
+    Format.printf "decoded: %d alternatives, each itself a set: %b@.@."
+      (Vset.cardinal outer)
+      (Vset.for_all Powerset.is_set_atom outer)
+  | None -> assert false);
+
+  (* --- The same catalog as a hierarchical nested relation. --------- *)
+  let open Hnfr in
+  let catalog_schema =
+    Hschema.make
+      [
+        ("Course", Hschema.string_node);
+        ( "Conditions",
+          Hschema.nested
+            [ ("Alternative",
+               Hschema.nested [ ("Prereq", Hschema.string_node) ]) ] );
+      ]
+  in
+  let prereq_schema =
+    Hschema.make [ ("Prereq", Hschema.string_node) ]
+  in
+  let alternative_schema =
+    match Hschema.node_of catalog_schema (attr "Conditions") with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ -> assert false
+  in
+  let alternative names =
+    Hrel.tuple alternative_schema
+      [
+        Hrel.Rel
+          (Hrel.of_tuples prereq_schema
+             (List.map
+                (fun name ->
+                  Hrel.tuple prereq_schema [ Hrel.Atom (Value.of_string name) ])
+                names));
+      ]
+  in
+  let catalog =
+    Hrel.of_tuples catalog_schema
+      [
+        Hrel.tuple catalog_schema
+          [
+            Hrel.Atom (Value.of_string "c0");
+            Hrel.Rel
+              (Hrel.of_tuples alternative_schema
+                 [ alternative [ "c1"; "c2" ]; alternative [ "c1"; "c3" ] ]);
+          ];
+        Hrel.tuple catalog_schema
+          [
+            Hrel.Atom (Value.of_string "c9");
+            Hrel.Rel (Hrel.of_tuples alternative_schema [ alternative [ "c1"; "c2" ] ]);
+          ];
+      ]
+  in
+  Format.printf "The catalog as a depth-%d hierarchical relation:@.%a@.@."
+    (Hschema.depth catalog_schema) Hrel.pp catalog;
+
+  (* Which courses have an alternative mentioning c3? *)
+  let mentions_c3 alternative_tuple =
+    match Hrel.tuple_values alternative_tuple with
+    | [ Hrel.Rel prereqs ] ->
+      List.exists
+        (fun t ->
+          match Hrel.tuple_values t with
+          | [ Hrel.Atom value ] -> Value.equal value (Value.of_string "c3")
+          | _ -> false)
+        (Hrel.tuples prereqs)
+    | _ -> false
+  in
+  let with_c3 = Hrel.select_member (attr "Conditions") mentions_c3 catalog in
+  Format.printf "Courses with an alternative mentioning c3 (%d):@.%a@."
+    (Hrel.cardinality with_c3) Hrel.pp with_c3

@@ -1,0 +1,63 @@
+(* Quickstart: build a flat relation, nest it into an NFR, inspect
+   canonical forms, and run the paper's incremental updates.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Relational
+open Nfr_core
+
+let () =
+  (* A flat (1NF) relation: who takes which course. *)
+  let schema = Schema.strings [ "Student"; "Course" ] in
+  let flat =
+    Relation.of_strings schema
+      [
+        [ "ann"; "db" ]; [ "ann"; "os" ]; [ "bob"; "db" ];
+        [ "bob"; "os" ]; [ "cat"; "ml" ];
+      ]
+  in
+  Format.printf "The 1NF relation (%d tuples):@.%a@.@." (Relation.cardinality flat)
+    Relation.pp flat;
+
+  (* Nest on Student: one tuple per course group. *)
+  let student = Attribute.make "Student" in
+  let course = Attribute.make "Course" in
+  let nested = Nest.nest (Nfr.of_relation flat) student in
+  Format.printf "V_Student — students grouped per course (%d tuples):@.%a@.@."
+    (Nfr.cardinality nested) Nfr.pp_table nested;
+
+  (* The canonical form for application order Student, Course. *)
+  let order = [ student; course ] in
+  let canonical = Nest.canonical flat order in
+  Format.printf "Canonical form V_P (order Student then Course, %d tuples):@.%a@.@."
+    (Nfr.cardinality canonical) Nfr.pp_table canonical;
+
+  (* Theorem 1: the NFR means exactly its flattening. *)
+  assert (Relation.equal flat (Nfr.flatten canonical));
+
+  (* Incremental updates keep the canonical form (Sec. 4). *)
+  let stats = Update.fresh_stats () in
+  let added =
+    Update.insert ~stats ~order canonical
+      (Tuple.make schema [ Value.of_string "cat"; Value.of_string "db" ])
+  in
+  Format.printf "After inserting (cat, db) — %d composition(s):@.%a@.@."
+    stats.Update.compositions Nfr.pp_table added;
+
+  let removed =
+    Update.delete ~order added
+      (Tuple.make schema [ Value.of_string "ann"; Value.of_string "os" ])
+  in
+  Format.printf "After deleting (ann, os):@.%a@.@." Nfr.pp_table removed;
+
+  (* The maintained form always equals the recomputed canonical one. *)
+  let recomputed =
+    Nest.canonical
+      (Relation.remove
+         (Relation.add flat (Tuple.make schema [ Value.of_string "cat"; Value.of_string "db" ]))
+         (Tuple.make schema [ Value.of_string "ann"; Value.of_string "os" ]))
+      order
+  in
+  assert (Nfr.equal removed recomputed);
+  Format.printf "Incremental result matches the recomputed canonical form. Done.@."

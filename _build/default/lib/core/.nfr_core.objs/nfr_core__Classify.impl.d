@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Attribute Hashtbl Int Irreducible List Nest Nfr Ntuple Option Relational Schema Value Vset

@@ -1,0 +1,1 @@
+lib/core/design.ml: Algebra Attribute Dependency Fd Format Hashtbl List Mvd Nest Nfr Normalize Option Relation Relational Schema String Theory

@@ -1,0 +1,1 @@
+lib/core/design.mli: Attribute Dependency Fd Format Mvd Relation Relational Schema

@@ -1,0 +1,1 @@
+lib/core/irreducible.ml: Array List Nfr Ntuple Printf Set

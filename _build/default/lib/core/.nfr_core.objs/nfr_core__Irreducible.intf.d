@@ -1,0 +1,1 @@
+lib/core/irreducible.mli: Nfr Ntuple

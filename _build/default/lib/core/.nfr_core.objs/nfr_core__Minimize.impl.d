@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Fun Irreducible List Nfr Ntuple Printf Relation Relational Schema Set Vset

@@ -1,0 +1,1 @@
+lib/core/nalgebra.ml: Algebra Array Attribute Hashtbl List Nest Nfr Ntuple Option Predicate Relational Schema Tuple Value Vset

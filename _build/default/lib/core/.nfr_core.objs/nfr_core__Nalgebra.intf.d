@@ -1,0 +1,1 @@
+lib/core/nalgebra.mli: Attribute Nfr Predicate Relational Value

@@ -1,0 +1,1 @@
+lib/core/nest.ml: Array Attribute Format List Map Nfr Ntuple Relation Relational Schema Vset

@@ -1,0 +1,1 @@
+lib/core/nest.mli: Attribute Nfr Relation Relational Schema

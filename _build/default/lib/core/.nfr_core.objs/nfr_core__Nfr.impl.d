@@ -1,0 +1,1 @@
+lib/core/nfr.ml: Attribute Format List Ntuple Printf Relation Relational Schema Set String Value Vset

@@ -1,0 +1,1 @@
+lib/core/nfr.mli: Format Ntuple Relation Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/nfr_csv.ml: Array Buffer Csv Fun List Nfr Ntuple Option Printf Relational Result Schema String Value Vset

@@ -1,0 +1,1 @@
+lib/core/nfr_csv.mli: Nfr Relational Value Vset

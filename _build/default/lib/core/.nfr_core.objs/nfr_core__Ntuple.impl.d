@@ -1,0 +1,1 @@
+lib/core/ntuple.ml: Array Attribute Format Fun List Printf Relational Schema Tuple Value Vset

@@ -1,0 +1,1 @@
+lib/core/ntuple.mli: Attribute Format Relational Schema Tuple Value Vset

@@ -1,0 +1,1 @@
+lib/core/postings.ml: Hashtbl Int List Ntuple Option Relational Set Value Vset

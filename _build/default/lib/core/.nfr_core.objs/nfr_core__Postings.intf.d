@@ -1,0 +1,1 @@
+lib/core/postings.mli: Ntuple Relational Set Value

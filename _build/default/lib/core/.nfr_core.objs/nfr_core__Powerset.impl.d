@@ -1,0 +1,1 @@
+lib/core/powerset.ml: Buffer Float List Option Printf Relational String Value Vset

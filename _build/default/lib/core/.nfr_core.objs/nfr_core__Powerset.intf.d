@@ -1,0 +1,1 @@
+lib/core/powerset.mli: Relational Value Vset

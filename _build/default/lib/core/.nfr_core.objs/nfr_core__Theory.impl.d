@@ -1,0 +1,1 @@
+lib/core/theory.ml: Attribute Classify Dependency Fd Irreducible List Mvd Nest Nfr Relation Relational Schema

@@ -1,0 +1,1 @@
+lib/core/theory.mli: Attribute Dependency Fd Mvd Relation Relational Schema

@@ -1,0 +1,1 @@
+lib/core/update.ml: Array Attribute List Nest Nfr Ntuple Option Postings Printf Relation Relational Schema Tuple Vset

@@ -1,0 +1,1 @@
+lib/core/update.mli: Attribute Nfr Ntuple Relation Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/vset.ml: Format List Relational Set Value

@@ -1,0 +1,117 @@
+open Relational
+
+type cardinality =
+  | One_to_one
+  | N_to_one
+  | One_to_n
+  | M_to_n
+
+let cardinality_name = function
+  | One_to_one -> "1:1"
+  | N_to_one -> "n:1"
+  | One_to_n -> "1:n"
+  | M_to_n -> "m:n"
+
+let classify r attribute =
+  let position = Schema.position (Nfr.schema r) attribute in
+  (* Count, per value, the number of tuples containing it, and whether
+     it ever occurs inside a compound component. *)
+  let occurrences : (Value.t, int) Hashtbl.t = Hashtbl.create 32 in
+  let compound = ref false in
+  Nfr.iter
+    (fun nt ->
+      let component = Ntuple.component nt position in
+      if not (Vset.is_singleton component) then compound := true;
+      Vset.fold
+        (fun value () ->
+          let count = Option.value ~default:0 (Hashtbl.find_opt occurrences value) in
+          Hashtbl.replace occurrences value (count + 1))
+        component ())
+    r;
+  let recurring = Hashtbl.fold (fun _ count acc -> acc || count > 1) occurrences false in
+  match !compound, recurring with
+  | false, false -> One_to_one
+  | true, false -> N_to_one
+  | false, true -> One_to_n
+  | true, true -> M_to_n
+
+let classify_all r =
+  List.map (fun attribute -> (attribute, classify r attribute)) (Schema.attributes (Nfr.schema r))
+
+let fixed_on r attrs =
+  if Attribute.Set.is_empty attrs then
+    invalid_arg "Classify.fixed_on: empty attribute set";
+  let schema = Nfr.schema r in
+  let positions = List.map (Schema.position schema) (Attribute.Set.elements attrs) in
+  let tuples = Array.of_list (Nfr.ntuples r) in
+  let n = Array.length tuples in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let shares_combination =
+        List.for_all
+          (fun position ->
+            not
+              (Vset.disjoint
+                 (Ntuple.component tuples.(i) position)
+                 (Ntuple.component tuples.(j) position)))
+          positions
+      in
+      if shares_combination then ok := false
+    done
+  done;
+  !ok
+
+let fixed_sets r =
+  let schema = Nfr.schema r in
+  if Schema.degree schema > 12 then
+    invalid_arg "Classify.fixed_sets: schema degree > 12";
+  let attrs = Schema.attributes schema in
+  let rec subsets = function
+    | [] -> [ Attribute.Set.empty ]
+    | x :: rest ->
+      let smaller = subsets rest in
+      smaller @ List.map (Attribute.Set.add x) smaller
+  in
+  let candidates =
+    List.filter (fun set -> not (Attribute.Set.is_empty set)) (subsets attrs)
+    |> List.sort (fun a b ->
+           let c = Int.compare (Attribute.Set.cardinal a) (Attribute.Set.cardinal b) in
+           if c <> 0 then c else Attribute.Set.compare a b)
+  in
+  List.fold_left
+    (fun minimal set ->
+      if List.exists (fun smaller -> Attribute.Set.subset smaller set) minimal then
+        minimal
+      else if fixed_on r set then minimal @ [ set ]
+      else minimal)
+    [] candidates
+
+let is_fixed_on_some r =
+  let schema = Nfr.schema r in
+  List.exists
+    (fun attribute -> fixed_on r (Attribute.Set.singleton attribute))
+    (Schema.attributes schema)
+  ||
+  (* A relation can be fixed on a combination without being fixed on
+     any single attribute; fall back to the full search when small. *)
+  if Schema.degree schema <= 12 then fixed_sets r <> [] else false
+
+type region = {
+  irreducible : bool;
+  canonical : bool;
+  fixed : bool;
+}
+
+let region r =
+  let flat = Nfr.flatten r in
+  let canonical =
+    List.exists
+      (fun (_, form) -> Nfr.equal form r)
+      (Nest.all_canonical_forms flat)
+  in
+  {
+    irreducible = Irreducible.is_irreducible r;
+    canonical;
+    fixed = is_fixed_on_some r;
+  }

@@ -1,0 +1,52 @@
+(** Cardinality classes and fixedness (Defs. 6–7, Fig. 3).
+
+    Definition 6 relates each attribute's values to the tuples holding
+    them: does any value recur across tuples (the [:n] side), and does
+    any value sit inside a compound component (the [m:]/[n:] side)?
+    Definition 7's {e fixedness} is the paper's key notion: [R] is
+    fixed on [F1..Fk] when no combination of [F]-values is contained
+    in two distinct tuples. *)
+
+open Relational
+
+(** Definition 6's four classes for one attribute. *)
+type cardinality =
+  | One_to_one  (** every value: one tuple, singleton component *)
+  | N_to_one  (** compound components, but no value in two tuples *)
+  | One_to_n  (** values recur across tuples, always as singletons *)
+  | M_to_n  (** compound components and recurring values *)
+
+val cardinality_name : cardinality -> string
+(** ["1:1"], ["n:1"], ["1:n"], ["m:n"]. *)
+
+val classify : Nfr.t -> Attribute.t -> cardinality
+(** [classify r a] is Definition 6's [a : R]. *)
+
+val classify_all : Nfr.t -> (Attribute.t * cardinality) list
+
+val fixed_on : Nfr.t -> Attribute.Set.t -> bool
+(** Definition 7: at most one tuple contains any given combination of
+    values on the listed attributes — i.e. every pair of distinct
+    tuples has disjoint components on some listed attribute.
+    @raise Invalid_argument on the empty set. *)
+
+val fixed_sets : Nfr.t -> Attribute.Set.t list
+(** All minimal attribute sets on which [r] is fixed (antichain),
+    smallest first. Exponential in the degree; guarded at degree 12. *)
+
+val is_fixed_on_some : Nfr.t -> bool
+(** Fixed on at least one single attribute set (cheap summary used by
+    Fig. 3's classification report). *)
+
+(** Fig. 3 region of one NFR with respect to a permutation universe:
+    every canonical form is irreducible; fixed forms cut across. *)
+type region = {
+  irreducible : bool;
+  canonical : bool;  (** canonical under {e some} permutation *)
+  fixed : bool;  (** fixed on some non-empty attribute set *)
+}
+
+val region : Nfr.t -> region
+(** Computes the Fig. 3 region. The [canonical] test compares against
+    all [n!] canonical forms of the flattening (guarded by
+    {!Relational.Schema.permutations}). *)

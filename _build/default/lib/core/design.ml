@@ -1,0 +1,155 @@
+open Relational
+open Dependency
+
+type table_design = {
+  table_schema : Schema.t;
+  nest_order : Attribute.t list;
+  fixed_on : Attribute.Set.t;
+}
+
+type t = {
+  tables : table_design list;
+  joins_needed : int;
+  strategy : string;
+}
+
+(* Connected components of the attribute graph in which every FD and
+   MVD links the attributes it mentions: unrelated clusters can live
+   in separate tables without ever joining. *)
+let attribute_clusters schema fds mvds =
+  let attrs = Schema.attributes schema in
+  let parent : (Attribute.t, Attribute.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec find a =
+    match Hashtbl.find_opt parent a with
+    | Some p when not (Attribute.equal p a) ->
+      let root = find p in
+      Hashtbl.replace parent a root;
+      root
+    | _ -> a
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (Attribute.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun a -> Hashtbl.replace parent a a) attrs;
+  let link set =
+    match Attribute.Set.elements set with
+    | [] -> ()
+    | first :: rest -> List.iter (union first) rest
+  in
+  List.iter
+    (fun (fd : Fd.t) -> link (Attribute.Set.union fd.Fd.lhs fd.Fd.rhs))
+    fds;
+  List.iter
+    (fun (mvd : Mvd.t) ->
+      (* An MVD relates lhs, rhs AND the complement — its whole point
+         is a constraint across the full schema. *)
+      ignore mvd;
+      link (Schema.attribute_set schema))
+    mvds;
+  let clusters : (Attribute.t, Attribute.t list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let root = find a in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt clusters root) in
+      Hashtbl.replace clusters root (a :: existing))
+    attrs;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) clusters []
+  |> List.sort (List.compare Attribute.compare)
+
+let restrict_deps cluster fds mvds =
+  let cluster_set = Attribute.Set.of_list cluster in
+  ( List.filter
+      (fun (fd : Fd.t) ->
+        Attribute.Set.subset (Attribute.Set.union fd.Fd.lhs fd.Fd.rhs) cluster_set)
+      fds,
+    List.filter
+      (fun (mvd : Mvd.t) ->
+        Attribute.Set.subset
+          (Attribute.Set.union mvd.Mvd.lhs mvd.Mvd.rhs)
+          cluster_set)
+      mvds )
+
+let lhs_union fds mvds =
+  List.fold_left
+    (fun acc (fd : Fd.t) -> Attribute.Set.union acc fd.Fd.lhs)
+    (List.fold_left
+       (fun acc (mvd : Mvd.t) -> Attribute.Set.union acc mvd.Mvd.lhs)
+       Attribute.Set.empty mvds)
+    fds
+
+let nfr_first schema fds mvds =
+  let clusters = attribute_clusters schema fds mvds in
+  let tables =
+    List.map
+      (fun cluster ->
+        let table_schema = Schema.restrict schema (Attribute.Set.of_list cluster) in
+        let cluster_fds, cluster_mvds = restrict_deps cluster fds mvds in
+        let nest_order =
+          Theory.fixed_canonical_order table_schema cluster_fds cluster_mvds
+        in
+        let fixed =
+          Attribute.Set.inter (lhs_union cluster_fds cluster_mvds)
+            (Schema.attribute_set table_schema)
+        in
+        { table_schema; nest_order; fixed_on = fixed })
+      clusters
+  in
+  { tables; joins_needed = 0; strategy = "nfr-first" }
+
+let fourth_nf schema fds mvds =
+  let components = Normalize.fourth_nf_decompose schema fds mvds in
+  let tables =
+    List.map
+      (fun component ->
+        {
+          table_schema = component;
+          nest_order = Schema.attributes component;
+          fixed_on = Attribute.Set.empty;
+        })
+      components
+  in
+  {
+    tables;
+    joins_needed = max 0 (List.length components - 1);
+    strategy = "4nf";
+  }
+
+type comparison = {
+  name : string;
+  table_count : int;
+  total_tuples : int;
+  joins : int;
+}
+
+let evaluate instance design =
+  let universe = Schema.attribute_set (Relation.schema instance) in
+  let total =
+    List.fold_left
+      (fun acc table ->
+        if not (Attribute.Set.subset (Schema.attribute_set table.table_schema) universe)
+        then invalid_arg "Design.evaluate: design schema not in the instance";
+        let projected =
+          Algebra.project (Schema.attributes table.table_schema) instance
+        in
+        acc + Nfr.cardinality (Nest.canonical projected table.nest_order))
+      0 design.tables
+  in
+  {
+    name = design.strategy;
+    table_count = List.length design.tables;
+    total_tuples = total;
+    joins = design.joins_needed;
+  }
+
+let pp ppf design =
+  Format.fprintf ppf "@[<v>strategy %s (%d table(s), %d join(s)):@," design.strategy
+    (List.length design.tables) design.joins_needed;
+  List.iter
+    (fun table ->
+      Format.fprintf ppf "  %a  nest %s%s@," Schema.pp table.table_schema
+        (String.concat "," (List.map Attribute.name table.nest_order))
+        (if Attribute.Set.is_empty table.fixed_on then ""
+         else Format.asprintf "  fixed on %a" Attribute.pp_set table.fixed_on))
+    design.tables;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+(** Schema design: 4NF decomposition vs. the paper's NFR route.
+
+    The paper's closing argument (Secs. 2 and 5): MVDs force classical
+    design into 4NF decompositions whose queries re-join, while an NFR
+    keeps the universal relation whole, nested on the dependency
+    structure, with no joins and local updates. This module turns that
+    argument into two executable design strategies plus a comparator,
+    so the trade-off can be measured instance by instance (the
+    design_advisor example and the E6/E8 benches drive it). *)
+
+open Relational
+open Dependency
+
+(** One designed table. *)
+type table_design = {
+  table_schema : Schema.t;
+  nest_order : Attribute.t list;  (** application order for V_P *)
+  fixed_on : Attribute.Set.t;  (** fixedness the order guarantees *)
+}
+
+(** A whole design: tables plus how to reconstruct the universal
+    relation. *)
+type t = {
+  tables : table_design list;
+  joins_needed : int;  (** joins to reassemble the universal relation *)
+  strategy : string;
+}
+
+val nfr_first : Schema.t -> Fd.t list -> Mvd.t list -> t
+(** The paper's route: one table per {e independent} component, MVDs
+    absorbed by nesting (dependents first, determinants last); only
+    genuinely unrelated attribute clusters are separated. For a
+    connected schema this is a single table with zero joins. *)
+
+val fourth_nf : Schema.t -> Fd.t list -> Mvd.t list -> t
+(** The classical route: {!Normalize.fourth_nf_decompose}, each
+    component kept flat (nest order = schema order, no guaranteed
+    fixedness beyond keys). *)
+
+(** Measured comparison of two designs on one instance. *)
+type comparison = {
+  name : string;
+  table_count : int;
+  total_tuples : int;  (** sum of per-table (NFR) tuple counts *)
+  joins : int;
+}
+
+val evaluate : Relation.t -> t -> comparison
+(** Materialize each designed table (project + canonicalize) over an
+    instance of the universal relation and tally the footprint.
+    @raise Invalid_argument if the design's schemas are not subsets of
+    the instance's. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+exception Budget_exceeded of string
+
+let composable_pairs r =
+  let tuples = Array.of_list (Nfr.ntuples r) in
+  let n = Array.length tuples in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match Ntuple.composable tuples.(i) tuples.(j) with
+      | Some c -> pairs := (tuples.(i), tuples.(j), c) :: !pairs
+      | None -> ()
+    done
+  done;
+  List.rev !pairs
+
+let is_irreducible r = composable_pairs r = []
+
+let apply_pair r (a, b, c) =
+  Nfr.add (Nfr.remove (Nfr.remove r a) b) (Ntuple.compose a b c)
+
+let lcg_next state = (state * 25214903917) + 11
+
+let reduce_greedy ?(seed = 0) r =
+  let rec loop r state =
+    match composable_pairs r with
+    | [] -> r
+    | pairs ->
+      let state = lcg_next state in
+      let pick = abs state mod List.length pairs in
+      loop (apply_pair r (List.nth pairs pick)) state
+  in
+  loop r seed
+
+module Nfr_set = Set.Make (Nfr)
+
+let enumerate_internal ~max_states r =
+  let visited = ref Nfr_set.empty in
+  let results = ref Nfr_set.empty in
+  let states = ref 0 in
+  let rec explore r =
+    if not (Nfr_set.mem r !visited) then begin
+      incr states;
+      if !states > max_states then
+        raise
+          (Budget_exceeded
+             (Printf.sprintf "irreducible-form search visited > %d states"
+                max_states));
+      visited := Nfr_set.add r !visited;
+      match composable_pairs r with
+      | [] -> results := Nfr_set.add r !results
+      | pairs -> List.iter (fun pair -> explore (apply_pair r pair)) pairs
+    end
+  in
+  explore r;
+  Nfr_set.elements !results
+
+let enumerate ?(max_states = 100_000) r = enumerate_internal ~max_states r
+
+let minimum_size ?(max_states = 100_000) r =
+  match enumerate_internal ~max_states r with
+  | [] -> (Nfr.cardinality r, r) (* r itself is irreducible only if empty *)
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best candidate ->
+          if Nfr.cardinality candidate < Nfr.cardinality best then candidate
+          else best)
+        first rest
+    in
+    (Nfr.cardinality best, best)
+
+let count_distinct ?(max_states = 100_000) r =
+  List.length (enumerate_internal ~max_states r)

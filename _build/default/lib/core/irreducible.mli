@@ -1,0 +1,36 @@
+(** Irreducible forms (Def. 3) and their enumeration.
+
+    An NFR is irreducible when no two tuples are composable on any
+    attribute. Canonical forms are irreducible, but not conversely:
+    Example 2 exhibits an irreducible form strictly smaller than every
+    canonical one. The enumeration and minimum search here are
+    exponential by nature; they exist to reproduce Examples 1–2 and
+    Fig. 3 on small instances and are guarded by explicit budgets. *)
+
+
+val composable_pairs : Nfr.t -> (Ntuple.t * Ntuple.t * int) list
+(** All pairs composable on some position (the position included). *)
+
+val is_irreducible : Nfr.t -> bool
+
+val reduce_greedy : ?seed:int -> Nfr.t -> Nfr.t
+(** Apply compositions until irreducible, choosing the next pair
+    pseudo-randomly from [seed]. Different seeds may land on different
+    irreducible forms — that is Example 1's point. *)
+
+exception Budget_exceeded of string
+
+val enumerate : ?max_states:int -> Nfr.t -> Nfr.t list
+(** All distinct irreducible forms reachable from [r] by compositions
+    (no decompose-recompose, per Def. 3). Depth-first with
+    memoization; visits at most [max_states] (default [100_000])
+    intermediate NFRs. @raise Budget_exceeded beyond that. *)
+
+val minimum_size : ?max_states:int -> Nfr.t -> int * Nfr.t
+(** The paper notes irreducible forms are minimal "in a sense though
+    [the tuple count] may not be minimum"; this finds a reachable
+    irreducible form with the fewest tuples, by exhaustive search
+    (same budget as {!enumerate}). *)
+
+val count_distinct : ?max_states:int -> Nfr.t -> int
+(** [List.length (enumerate r)] without keeping the forms. *)

@@ -1,0 +1,110 @@
+open Relational
+
+let is_box flat nt =
+  List.for_all (Relation.mem flat) (Ntuple.expand nt)
+
+(* Values that appear at [position] among tuples of [flat]. *)
+let values_at flat position =
+  Relation.column_values flat (Schema.attribute_at (Relation.schema flat) position)
+
+let grow_box flat seed =
+  if not (Relation.mem flat seed) then
+    invalid_arg "Minimize.grow_box: seed not in relation";
+  let degree = Schema.degree (Relation.schema flat) in
+  let box = ref (Ntuple.of_tuple seed) in
+  (* Round-robin over positions, trying every candidate value; stop
+     when a full sweep adds nothing. *)
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    for position = 0 to degree - 1 do
+      List.iter
+        (fun value ->
+          if not (Vset.mem value (Ntuple.component !box position)) then begin
+            let candidate =
+              Ntuple.with_component !box position
+                (Vset.add value (Ntuple.component !box position))
+            in
+            if is_box flat candidate then begin
+              box := candidate;
+              grew := true
+            end
+          end)
+        (values_at flat position)
+    done
+  done;
+  !box
+
+let remove_expansion flat nt =
+  List.fold_left Relation.remove flat (Ntuple.expand nt)
+
+let greedy flat =
+  let rec loop remaining acc =
+    match Relation.choose_opt remaining with
+    | None -> acc
+    | Some seed ->
+      let box = grow_box remaining seed in
+      loop (remove_expansion remaining box) (Nfr.add acc box)
+  in
+  loop flat (Nfr.empty (Relation.schema flat))
+
+(* All maximal boxes of [flat] containing [seed]: DFS over single-value
+   extensions, keeping boxes no other extension can grow. [tick] is
+   charged per visited box so the caller's budget covers this DFS. *)
+let maximal_boxes ~tick flat seed =
+  let degree = Schema.degree (Relation.schema flat) in
+  let extensions box =
+    List.concat_map
+      (fun position ->
+        List.filter_map
+          (fun value ->
+            if Vset.mem value (Ntuple.component box position) then None
+            else begin
+              let candidate =
+                Ntuple.with_component box position
+                  (Vset.add value (Ntuple.component box position))
+              in
+              if is_box flat candidate then Some candidate else None
+            end)
+          (values_at flat position))
+      (List.init degree Fun.id)
+  in
+  let module Seen = Set.Make (Ntuple) in
+  let seen = ref Seen.empty in
+  let maximal = ref Seen.empty in
+  let rec explore box =
+    if not (Seen.mem box !seen) then begin
+      tick ();
+      seen := Seen.add box !seen;
+      match extensions box with
+      | [] -> maximal := Seen.add box !maximal
+      | grown -> List.iter explore grown
+    end
+  in
+  explore (Ntuple.of_tuple seed);
+  Seen.elements !maximal
+
+let exact ?(max_nodes = 200_000) flat =
+  let nodes = ref 0 in
+  let tick () =
+    incr nodes;
+    if !nodes > max_nodes then
+      raise
+        (Irreducible.Budget_exceeded
+           (Printf.sprintf "minimum-NFR search visited > %d nodes" max_nodes))
+  in
+  let best = ref (greedy flat) in
+  let rec search remaining acc depth =
+    tick ();
+    if depth >= Nfr.cardinality !best then () (* pruned *)
+    else
+      match Relation.choose_opt remaining with
+      | None -> best := acc
+      | Some seed ->
+        List.iter
+          (fun box ->
+            search (remove_expansion remaining box) (Nfr.add acc box) (depth + 1))
+          (maximal_boxes ~tick remaining seed)
+  in
+  search flat (Nfr.empty (Relation.schema flat)) 0;
+  !best

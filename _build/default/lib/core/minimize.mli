@@ -1,0 +1,34 @@
+(** Searching for minimum NFRs.
+
+    Sec. 4 observes: "there might be more than one NFR to represent
+    the amount of information ... Also it's hard to find the 'minimum'
+    NFR." A minimum NFR for a flat relation is a smallest set of
+    pairwise-disjoint {e boxes} (Cartesian sub-products) covering it —
+    strictly more general than composition-reachable irreducible forms,
+    since decompose-and-recompose moves are allowed (Example 2's R4 is
+    reachable; in general minima need not be).
+
+    {!greedy} is a practical heuristic; {!exact} is a branch-and-bound
+    for small instances, used by the X2 ablation bench to measure how
+    far canonical forms sit from the optimum. *)
+
+open Relational
+
+val is_box : Relation.t -> Ntuple.t -> bool
+(** Is the tuple's whole expansion inside the relation? *)
+
+val grow_box : Relation.t -> Tuple.t -> Ntuple.t
+(** A maximal box inside the relation containing the seed tuple, grown
+    one value at a time in a deterministic order.
+    @raise Invalid_argument if the seed is not in the relation. *)
+
+val greedy : Relation.t -> Nfr.t
+(** Repeatedly carve a maximal box around the first uncovered tuple.
+    Always a well-formed NFR with the relation as its flattening. *)
+
+val exact : ?max_nodes:int -> Relation.t -> Nfr.t
+(** A minimum-cardinality NFR by exhaustive box cover with
+    best-so-far pruning. Visits at most [max_nodes] (default
+    [200_000]) search nodes; @raise Irreducible.Budget_exceeded
+    beyond that. Intended for instances of at most a few dozen
+    tuples. *)

@@ -1,0 +1,241 @@
+open Relational
+
+let select_contains attribute value r =
+  let position = Schema.position (Nfr.schema r) attribute in
+  Nfr.filter (fun nt -> Vset.mem value (Ntuple.component nt position)) r
+
+(* Split a predicate into conjuncts; each conjunct usable for
+   componentwise filtering iff it mentions at most one attribute. *)
+let rec conjuncts = function
+  | Predicate.And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let single_attribute p =
+  match Attribute.Set.elements (Predicate.attributes p) with
+  | [] -> Some None
+  | [ attribute ] -> Some (Some attribute)
+  | _ :: _ :: _ -> None
+
+let componentwise_selectable predicate =
+  List.for_all (fun p -> single_attribute p <> None) (conjuncts predicate)
+
+(* Evaluate a single-attribute predicate on one candidate value by
+   building a row holding that value at the attribute's position (the
+   other positions are never read). *)
+let eval_on_value schema p position value =
+  let row = Array.make (Schema.degree schema) value in
+  row.(position) <- value;
+  Predicate.eval schema p (Tuple.of_array_unchecked row)
+
+let filter_componentwise schema parts nt =
+  let filter_one nt part =
+    match part with
+    | None, p ->
+      (* Attribute-free conjunct: constant truth value. *)
+      if Predicate.eval schema p (Tuple.of_array_unchecked (Array.make (Schema.degree schema) (Value.of_int 0)))
+      then Some nt
+      else None
+    | Some attribute, p ->
+      let position = Schema.position schema attribute in
+      let kept =
+        List.filter
+          (fun value -> eval_on_value schema p position value)
+          (Vset.elements (Ntuple.component nt position))
+      in
+      if kept = [] then None
+      else Some (Ntuple.with_component nt position (Vset.of_list kept))
+  in
+  List.fold_left
+    (fun acc part ->
+      match acc with None -> None | Some nt -> filter_one nt part)
+    (Some nt) parts
+
+let select predicate ~order r =
+  let schema = Nfr.schema r in
+  (match Predicate.validate schema predicate with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Nalgebra.select: " ^ msg));
+  let parts =
+    let classified =
+      List.map (fun p -> (single_attribute p, p)) (conjuncts predicate)
+    in
+    if List.for_all (fun (single, _) -> single <> None) classified then
+      Some
+        (List.map
+           (fun (single, p) ->
+             match single with
+             | Some binding -> (binding, p)
+             | None -> assert false)
+           classified)
+    else None
+  in
+  let filtered =
+    match parts with
+    | Some parts ->
+      Nfr.fold
+        (fun nt acc ->
+          match filter_componentwise schema parts nt with
+          | Some kept -> Nfr.add acc kept
+          | None -> acc)
+        r (Nfr.empty schema)
+    | None ->
+      (* Correlated predicate: expand per tuple. *)
+      Nfr.fold
+        (fun nt acc ->
+          List.fold_left
+            (fun acc tuple ->
+              if Predicate.eval schema predicate tuple then
+                Nfr.add acc (Ntuple.of_tuple tuple)
+              else acc)
+            acc (Ntuple.expand nt))
+        r (Nfr.empty schema)
+  in
+  Nest.canonicalize filtered order
+
+let project attrs ~order r =
+  let schema = Nfr.schema r in
+  let target = Schema.project schema attrs in
+  let positions = List.map (Schema.position schema) attrs in
+  let projected =
+    Nfr.fold
+      (fun nt acc ->
+        let components =
+          List.map (fun position -> Ntuple.component nt position) positions
+        in
+        Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components)))
+      r (Nfr.empty target)
+  in
+  (* Componentwise projection may create overlapping expansions; going
+     through the flattening restores the invariant before re-nesting. *)
+  Nest.canonical (Nfr.flatten projected) order
+
+let natural_join a b =
+  let schema_a = Nfr.schema a and schema_b = Nfr.schema b in
+  let shared = Schema.common schema_a schema_b in
+  let target = Schema.union schema_a schema_b in
+  let extra =
+    List.filter
+      (fun attribute -> not (Schema.mem schema_a attribute))
+      (Schema.attributes schema_b)
+  in
+  Nfr.fold
+    (fun nt_a acc ->
+      Nfr.fold
+        (fun nt_b acc ->
+          let intersections =
+            List.map
+              (fun attribute ->
+                Vset.inter
+                  (Ntuple.field schema_a nt_a attribute)
+                  (Ntuple.field schema_b nt_b attribute))
+              shared
+          in
+          if List.exists Option.is_none intersections then acc
+          else begin
+            let replace nt =
+              List.fold_left2
+                (fun nt attribute intersection ->
+                  match intersection with
+                  | Some set ->
+                    Ntuple.with_component nt
+                      (Schema.position schema_a attribute)
+                      set
+                  | None -> assert false)
+                nt shared intersections
+            in
+            let left = replace nt_a in
+            let right_extra =
+              List.map (fun attribute -> Ntuple.field schema_b nt_b attribute) extra
+            in
+            let components = Ntuple.components left @ right_extra in
+            Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components))
+          end)
+        b acc)
+    a (Nfr.empty target)
+
+let product a b =
+  let schema_a = Nfr.schema a and schema_b = Nfr.schema b in
+  if not (Schema.disjoint schema_a schema_b) then
+    invalid_arg "Nalgebra.product: schemas must be disjoint";
+  let target = Schema.union schema_a schema_b in
+  Nfr.fold
+    (fun nt_a acc ->
+      Nfr.fold
+        (fun nt_b acc ->
+          Nfr.add acc
+            (Ntuple.of_sets_unchecked
+               (Array.of_list (Ntuple.components nt_a @ Ntuple.components nt_b))))
+        b acc)
+    a (Nfr.empty target)
+
+let union ~order a b =
+  let flat_a = Nfr.flatten a and flat_b = Nfr.flatten b in
+  Nest.canonical (Algebra.union flat_a flat_b) order
+
+let diff ~order a b =
+  let flat_a = Nfr.flatten a and flat_b = Nfr.flatten b in
+  Nest.canonical (Algebra.diff flat_a flat_b) order
+
+let rename pairs r =
+  let target = Schema.rename (Nfr.schema r) pairs in
+  Nfr.fold (fun nt acc -> Nfr.add acc nt) r (Nfr.empty target)
+
+(* Tuple-level join test: every shared component intersects. *)
+let joins_with schema_a schema_b shared nt_a nt_b =
+  List.for_all
+    (fun attribute ->
+      not
+        (Vset.disjoint
+           (Ntuple.field schema_a nt_a attribute)
+           (Ntuple.field schema_b nt_b attribute)))
+    shared
+
+let semijoin a b =
+  let schema_a = Nfr.schema a and schema_b = Nfr.schema b in
+  let shared = Schema.common schema_a schema_b in
+  if shared = [] then if Nfr.is_empty b then Nfr.empty schema_a else a
+  else
+    Nfr.filter
+      (fun nt_a -> Nfr.exists (joins_with schema_a schema_b shared nt_a) b)
+      a
+
+let antijoin a b =
+  let schema_a = Nfr.schema a and schema_b = Nfr.schema b in
+  let shared = Schema.common schema_a schema_b in
+  if shared = [] then if Nfr.is_empty b then a else Nfr.empty schema_a
+  else
+    Nfr.filter
+      (fun nt_a ->
+        not (Nfr.exists (joins_with schema_a schema_b shared nt_a) b))
+      a
+
+let divide ~order a b =
+  let quotient = Algebra.divide (Nfr.flatten a) (Nfr.flatten b) in
+  Nest.canonical quotient order
+
+let group_sizes r attribute =
+  let position = Schema.position (Nfr.schema r) attribute in
+  let counts : (Value.t, int) Hashtbl.t = Hashtbl.create 32 in
+  Nfr.iter
+    (fun nt ->
+      (* Facts carrying value v at [position]: the product of the
+         other components' sizes. *)
+      let others =
+        List.fold_left
+          (fun acc (i, component) ->
+            if i = position then acc else acc * Vset.cardinal component)
+          1
+          (List.mapi (fun i c -> (i, c)) (Ntuple.components nt))
+      in
+      Vset.fold
+        (fun value () ->
+          let current = Option.value ~default:0 (Hashtbl.find_opt counts value) in
+          Hashtbl.replace counts value (current + others))
+        (Ntuple.component nt position)
+        ())
+    r;
+  Hashtbl.fold (fun value count acc -> (value, count) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+let nest = Nest.nest
+let unnest = Nest.unnest

@@ -1,0 +1,80 @@
+(** An algebra on NFRs (Jaeschke–Schek style, extended).
+
+    The paper defers its data-manipulation language but argues NFRs
+    shrink the search space for exactly these operations. Every
+    operation here is specified against the expansion semantics:
+    [flatten (op r) = op_flat (flatten r)]. Operations marked
+    {e direct} work on NFR tuples without expanding; the rest go
+    through a controlled re-nest and take an explicit application
+    [order] for the result. *)
+
+open Relational
+
+val select_contains : Attribute.t -> Value.t -> Nfr.t -> Nfr.t
+(** {e Direct.} NFR tuples whose component at the attribute contains
+    the value — the paper's realization-view lookup. Note this is
+    {e tuple selection}, not expansion selection: components keep
+    their other values. *)
+
+val select : Predicate.t -> order:Attribute.t list -> Nfr.t -> Nfr.t
+(** Expansion-semantics selection, re-nested canonically with [order].
+    Conjunctions of single-attribute comparisons are filtered
+    componentwise (never expanding); correlated predicates fall back
+    to per-tuple expansion. *)
+
+val componentwise_selectable : Predicate.t -> bool
+(** Would {!select} take the componentwise path (every top-level
+    conjunct mentions at most one attribute)? Exposed for NFQL's
+    EXPLAIN. *)
+
+val project : Attribute.t list -> order:Attribute.t list -> Nfr.t -> Nfr.t
+(** Expansion-semantics projection. Componentwise projection can make
+    expansions overlap, so the result is re-nested canonically with
+    [order] (a permutation of the {e projected} attributes). *)
+
+val natural_join : Nfr.t -> Nfr.t -> Nfr.t
+(** {e Direct.} Pairwise join: two NFR tuples join when their shared
+    components intersect; the result tuple takes the intersection on
+    shared attributes and the original components elsewhere. Preserves
+    well-formedness and the expansion semantics
+    [flatten (join a b) = join (flatten a) (flatten b)]. The result is
+    not necessarily canonical. *)
+
+val product : Nfr.t -> Nfr.t -> Nfr.t
+(** {e Direct.} Cartesian product (disjoint schemas): component
+    juxtaposition. *)
+
+val union : order:Attribute.t list -> Nfr.t -> Nfr.t -> Nfr.t
+(** Canonical form of [R* ∪ S*]. *)
+
+val diff : order:Attribute.t list -> Nfr.t -> Nfr.t -> Nfr.t
+(** Canonical form of [R* - S*]. *)
+
+val rename : (Attribute.t * Attribute.t) list -> Nfr.t -> Nfr.t
+(** {e Direct.} Schema rename, components untouched. *)
+
+val semijoin : Nfr.t -> Nfr.t -> Nfr.t
+(** {e Direct.} NFR tuples of the first argument whose shared
+    components intersect some tuple of the second — tuple-level, like
+    {!select_contains}. Expansion-exact when the shared attributes
+    functionally cover the match (always a sound over-approximation of
+    the flat semijoin; the flat-exact version is
+    [diff ~order a (antijoin a b)] composed via {!union}). *)
+
+val antijoin : Nfr.t -> Nfr.t -> Nfr.t
+(** {e Direct.} Complement of {!semijoin} at tuple level. *)
+
+val divide : order:Attribute.t list -> Nfr.t -> Nfr.t -> Nfr.t
+(** Expansion-semantics relational division (via the flat algebra,
+    re-nested canonically with [order] over the quotient schema). *)
+
+val group_sizes : Nfr.t -> Attribute.t -> (Value.t * int) list
+(** {e Direct.} For each value of the attribute, the number of flat
+    facts whose expansion carries it — per-value cardinalities without
+    materializing [R*]. Sorted by value. *)
+
+val nest : Nfr.t -> Attribute.t -> Nfr.t
+(** Re-export of {!Nest.nest} so NFQL sees one algebra module. *)
+
+val unnest : Nfr.t -> Attribute.t -> Nfr.t
+(** Re-export of {!Nest.unnest}. *)

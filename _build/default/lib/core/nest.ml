@@ -1,0 +1,127 @@
+open Relational
+
+let check_permutation schema order =
+  let attrs = Schema.attributes schema in
+  let sorted_order = List.sort Attribute.compare order in
+  let sorted_attrs = List.sort Attribute.compare attrs in
+  if not (List.equal Attribute.equal sorted_order sorted_attrs) then
+    invalid_arg
+      (Format.asprintf "not a permutation of %a: [%a]" Schema.pp schema
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+            Attribute.pp)
+         order)
+
+(* Grouping key: all components except one position. *)
+module Key = struct
+  type t = Vset.t list
+
+  let compare = List.compare Vset.compare
+end
+
+module Key_map = Map.Make (Key)
+
+let key_of position nt =
+  List.filteri (fun i _ -> i <> position) (Ntuple.components nt)
+
+let nest r attribute =
+  let schema = Nfr.schema r in
+  let position = Schema.position schema attribute in
+  let groups =
+    Nfr.fold
+      (fun nt groups ->
+        let key = key_of position nt in
+        let merged =
+          match Key_map.find_opt key groups with
+          | None -> Ntuple.component nt position
+          | Some set -> Vset.union set (Ntuple.component nt position)
+        in
+        Key_map.add key merged groups)
+      r Key_map.empty
+  in
+  Key_map.fold
+    (fun key set acc ->
+      let components =
+        (* Reinsert the nested component at its position. *)
+        let rec weave i = function
+          | rest when i = position -> set :: weave (i + 1) rest
+          | [] -> []
+          | hd :: tl -> hd :: weave (i + 1) tl
+        in
+        weave 0 key
+      in
+      Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components)))
+    groups
+    (Nfr.empty schema)
+
+(* A tiny deterministic LCG for pair-order shuffling in the literal
+   Definition 4 implementation. *)
+let lcg_next state = (state * 25214903917) + 11
+
+let nest_by_composition ?(seed = 0) r attribute =
+  let schema = Nfr.schema r in
+  let position = Schema.position schema attribute in
+  let rec loop r state =
+    let tuples = Array.of_list (Nfr.ntuples r) in
+    let n = Array.length tuples in
+    let pairs = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match Ntuple.composable tuples.(i) tuples.(j) with
+        | Some c when c = position -> pairs := (i, j) :: !pairs
+        | Some _ | None -> ()
+      done
+    done;
+    match !pairs with
+    | [] -> r
+    | candidates ->
+      let state = lcg_next state in
+      let pick = abs state mod List.length candidates in
+      let i, j = List.nth candidates pick in
+      let composed = Ntuple.compose tuples.(i) tuples.(j) position in
+      let r' =
+        Nfr.add (Nfr.remove (Nfr.remove r tuples.(i)) tuples.(j)) composed
+      in
+      loop r' state
+  in
+  loop r seed
+
+let nest_sequence r order = List.fold_left nest r order
+
+let unnest r attribute =
+  let schema = Nfr.schema r in
+  let position = Schema.position schema attribute in
+  Nfr.fold
+    (fun nt acc ->
+      Vset.fold
+        (fun value acc ->
+          Nfr.add acc
+            (Ntuple.with_component nt position (Vset.singleton value)))
+        (Ntuple.component nt position)
+        acc)
+    r
+    (Nfr.empty schema)
+
+let unnest_all r =
+  List.fold_left unnest r (Schema.attributes (Nfr.schema r))
+
+let canonical flat order =
+  check_permutation (Relation.schema flat) order;
+  nest_sequence (Nfr.of_relation flat) order
+
+let canonicalize r order = canonical (Nfr.flatten r) order
+let is_canonical r order = Nfr.equal r (canonicalize r order)
+
+let all_canonical_forms flat =
+  List.map
+    (fun order -> (order, canonical flat order))
+    (Schema.permutations (Relation.schema flat))
+
+let smallest_canonical flat =
+  match all_canonical_forms flat with
+  | [] -> invalid_arg "smallest_canonical: impossible (no permutations)"
+  | first :: rest ->
+    List.fold_left
+      (fun ((_, best) as acc) ((_, candidate) as entry) ->
+        if Nfr.cardinality candidate < Nfr.cardinality best then entry else acc)
+      first rest

@@ -1,0 +1,58 @@
+(** Nest, unnest, and canonical forms (Defs. 4–5, Theorem 2).
+
+    {b A note on permutation notation.} The paper writes
+    [V_{P(E1) ... P(En)}(R) = V_{P(E1)}(V_{P(E2)}(... V_{P(En)}(R)))] —
+    the {e rightmost} attribute of the written sequence is nested
+    first. To avoid that trap, this API takes an [order] list meaning
+    {e application order}: [nest_sequence r [a; b]] nests on [a] first,
+    then [b]. The paper's insertion permutation [P = En En-1 ... E1]
+    is therefore the application order [[E1; ...; En]]. *)
+
+open Relational
+
+val nest : Nfr.t -> Attribute.t -> Nfr.t
+(** [nest r a] is the paper's [V_a(R)]: compositions over [a] applied
+    as long as possible. Computed in one grouping pass on the
+    remaining components; Theorem 2's order-independence makes this
+    the fixpoint. *)
+
+val nest_by_composition : ?seed:int -> Nfr.t -> Attribute.t -> Nfr.t
+(** The literal Definition 4: repeatedly pick a composable pair over
+    [a] (pair choice driven by [seed]) and compose, until none is
+    left. Exists to test Theorem 2 against {!nest}. *)
+
+val nest_sequence : Nfr.t -> Attribute.t list -> Nfr.t
+(** Successive nests, first element applied first. *)
+
+val unnest : Nfr.t -> Attribute.t -> Nfr.t
+(** [unnest r a] splits every tuple into one tuple per value of the
+    [a]-component (exhaustive Def. 2 on [a]). Inverse of [nest] on
+    nested relations: [unnest (nest r a) a] has singleton [a]
+    components. *)
+
+val unnest_all : Nfr.t -> Nfr.t
+(** Unnest on every attribute — lands on the embedded [R*]. *)
+
+val canonical : Relation.t -> Attribute.t list -> Nfr.t
+(** [canonical flat order] is the canonical form [V_P(flat)] where
+    [order] is the application order (see note above).
+    @raise Invalid_argument unless [order] is a permutation of the
+    schema's attributes. *)
+
+val canonicalize : Nfr.t -> Attribute.t list -> Nfr.t
+(** [canonicalize r order] is [canonical (flatten r) order]. *)
+
+val is_canonical : Nfr.t -> Attribute.t list -> bool
+(** Does [r] equal the canonical form of its own flattening? *)
+
+val all_canonical_forms : Relation.t -> (Attribute.t list * Nfr.t) list
+(** One canonical form per permutation ([n!] of them — guarded by
+    {!Relational.Schema.permutations}). *)
+
+val smallest_canonical : Relation.t -> Attribute.t list * Nfr.t
+(** A canonical form of minimal cardinality (ties broken by
+    permutation order). *)
+
+val check_permutation : Schema.t -> Attribute.t list -> unit
+(** @raise Invalid_argument unless the list is a permutation of the
+    schema's attributes. *)

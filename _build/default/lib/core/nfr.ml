@@ -1,0 +1,116 @@
+open Relational
+module Ntuple_set = Set.Make (Ntuple)
+
+type t = {
+  schema : Schema.t;
+  body : Ntuple_set.t;
+}
+
+let empty schema = { schema; body = Ntuple_set.empty }
+let schema r = r.schema
+
+let check r nt =
+  if Ntuple.arity nt <> Schema.degree r.schema then
+    raise
+      (Schema.Schema_error
+         (Printf.sprintf "ntuple arity %d does not match schema degree %d"
+            (Ntuple.arity nt)
+            (Schema.degree r.schema)))
+
+let add r nt =
+  check r nt;
+  { r with body = Ntuple_set.add nt r.body }
+
+let add_strict r nt =
+  check r nt;
+  if
+    Ntuple_set.exists
+      (fun existing -> not (Ntuple.expansion_disjoint existing nt))
+      r.body
+  then invalid_arg "Nfr.add_strict: expansion overlaps an existing tuple";
+  { r with body = Ntuple_set.add nt r.body }
+
+let remove r nt = { r with body = Ntuple_set.remove nt r.body }
+let mem r nt = Ntuple_set.mem nt r.body
+let cardinality r = Ntuple_set.cardinal r.body
+let is_empty r = Ntuple_set.is_empty r.body
+let of_ntuples schema nts = List.fold_left add (empty schema) nts
+
+let of_relation flat =
+  Relation.fold
+    (fun tuple acc -> add acc (Ntuple.of_tuple tuple))
+    flat
+    (empty (Relation.schema flat))
+
+let ntuples r = Ntuple_set.elements r.body
+let fold f r init = Ntuple_set.fold f r.body init
+let iter f r = Ntuple_set.iter f r.body
+let filter p r = { r with body = Ntuple_set.filter p r.body }
+let exists p r = Ntuple_set.exists p r.body
+let for_all p r = Ntuple_set.for_all p r.body
+
+let flatten r =
+  fold
+    (fun nt acc -> List.fold_left Relation.add acc (Ntuple.expand nt))
+    r
+    (Relation.empty r.schema)
+
+let expansion_size r = fold (fun nt acc -> acc + Ntuple.expansion_size nt) r 0
+
+let equal a b =
+  Schema.equal a.schema b.schema && Ntuple_set.equal a.body b.body
+
+let equivalent a b = Relation.equal (flatten a) (flatten b)
+
+let compare a b =
+  let c = Schema.compare a.schema b.schema in
+  if c <> 0 then c else Ntuple_set.compare a.body b.body
+
+let well_formed r =
+  let tuples = ntuples r in
+  let rec pairwise = function
+    | [] -> true
+    | nt :: rest ->
+      List.for_all (Ntuple.expansion_disjoint nt) rest && pairwise rest
+  in
+  pairwise tuples
+
+let member_tuple r tuple = exists (fun nt -> Ntuple.contains_tuple nt tuple) r
+
+let find_containing r tuple =
+  Ntuple_set.fold
+    (fun nt found ->
+      match found with
+      | Some _ -> found
+      | None -> if Ntuple.contains_tuple nt tuple then Some nt else None)
+    r.body None
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (Ntuple.pp r.schema))
+    (ntuples r)
+
+let pp_table ppf r =
+  let headers = List.map Attribute.name (Schema.attributes r.schema) in
+  let cell set = String.concat ", " (List.map Value.to_string (Vset.elements set)) in
+  let rows = List.map (fun nt -> List.map cell (Ntuple.components nt)) (ntuples r) in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w c -> max w (String.length c)) widths row)
+      (List.map String.length headers)
+      rows
+  in
+  let pad width s = s ^ String.make (width - String.length s) ' ' in
+  let print_row row =
+    Format.fprintf ppf "| %s |@," (String.concat " | " (List.map2 pad widths row))
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  Format.fprintf ppf "@[<v>%s@," rule;
+  print_row headers;
+  Format.fprintf ppf "%s@," rule;
+  List.iter print_row rows;
+  Format.fprintf ppf "%s@]" rule
+
+let to_string r = Format.asprintf "%a" pp_table r

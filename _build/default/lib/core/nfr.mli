@@ -1,0 +1,80 @@
+(** Non-first-normal-form relations.
+
+    An NFR is a duplicate-free set of {!Ntuple.t} over one schema. The
+    class of NFRs this library manipulates is the paper's: those
+    derivable from a 1NF relation by compositions and decompositions,
+    equivalently those whose tuple expansions are pairwise disjoint
+    (that invariant is checked by {!well_formed} and preserved by every
+    exported operation). Theorem 1's unique flat counterpart [R*] is
+    {!flatten}. *)
+
+open Relational
+
+type t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+val add : t -> Ntuple.t -> t
+(** [add r nt] inserts the tuple as-is (set semantics on identical
+    ntuples). Does {e not} check expansion-disjointness — use
+    {!add_strict} when the source is untrusted.
+    @raise Schema.Schema_error on arity mismatch. *)
+
+val add_strict : t -> Ntuple.t -> t
+(** Like {!add} but @raise Invalid_argument if the new tuple's
+    expansion overlaps an existing tuple's. *)
+
+val remove : t -> Ntuple.t -> t
+val mem : t -> Ntuple.t -> bool
+val cardinality : t -> int
+(** Number of NFR tuples (the quantity the paper minimizes). *)
+
+val is_empty : t -> bool
+val of_ntuples : Schema.t -> Ntuple.t list -> t
+val of_relation : Relation.t -> t
+(** Embed a 1NF relation: one simple ntuple per flat tuple. *)
+
+val ntuples : t -> Ntuple.t list
+(** Sorted by {!Ntuple.compare}. *)
+
+val fold : (Ntuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Ntuple.t -> unit) -> t -> unit
+val filter : (Ntuple.t -> bool) -> t -> t
+val exists : (Ntuple.t -> bool) -> t -> bool
+val for_all : (Ntuple.t -> bool) -> t -> bool
+
+val flatten : t -> Relation.t
+(** Theorem 1's [R*]: the union of all expansions. *)
+
+val expansion_size : t -> int
+(** [cardinality (flatten r)] without materializing, valid under the
+    disjointness invariant. *)
+
+val equal : t -> t -> bool
+(** Syntactic: same schema, same ntuple set. *)
+
+val equivalent : t -> t -> bool
+(** Semantic: same [R*] (the paper's notion of "same information"). *)
+
+val compare : t -> t -> int
+
+val well_formed : t -> bool
+(** Pairwise expansion-disjointness — O(tuples²) check. *)
+
+val member_tuple : t -> Tuple.t -> bool
+(** Is the flat tuple in [R*]? (Linear scan; the storage engine
+    provides the indexed version.) *)
+
+val find_containing : t -> Tuple.t -> Ntuple.t option
+(** The paper's [searcht]: the unique ntuple whose expansion contains
+    the flat tuple, under the disjointness invariant. *)
+
+val pp : Format.formatter -> t -> unit
+(** One ntuple per line in the paper's bracket notation. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Aligned table with comma-separated cells, like the paper's
+    Fig. 1/Fig. 2 rendering. *)
+
+val to_string : t -> string

@@ -1,0 +1,113 @@
+open Relational
+
+let escape value_text =
+  let buffer = Buffer.create (String.length value_text + 4) in
+  String.iter
+    (fun c ->
+      if c = '|' || c = '\\' then Buffer.add_char buffer '\\';
+      Buffer.add_char buffer c)
+    value_text;
+  Buffer.contents buffer
+
+(* Split on unescaped '|' and unescape the pieces. *)
+let split_component cell =
+  let pieces = ref [] in
+  let buffer = Buffer.create 16 in
+  let push () =
+    pieces := Buffer.contents buffer :: !pieces;
+    Buffer.clear buffer
+  in
+  let rec loop i =
+    if i >= String.length cell then push ()
+    else if cell.[i] = '\\' && i + 1 < String.length cell then begin
+      Buffer.add_char buffer cell.[i + 1];
+      loop (i + 2)
+    end
+    else if cell.[i] = '|' then begin
+      push ();
+      loop (i + 1)
+    end
+    else begin
+      Buffer.add_char buffer cell.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  List.rev !pieces
+
+let value_text = function
+  | Value.Vstring s -> s
+  | (Value.Vint _ | Value.Vfloat _ | Value.Vbool _) as value ->
+    Value.to_string value
+
+let render_component component =
+  String.concat "|"
+    (List.map (fun value -> escape (value_text value)) (Vset.elements component))
+
+let parse_component ty cell =
+  let pieces = split_component cell in
+  if pieces = [] || List.exists (fun p -> p = "") pieces then
+    Error (Printf.sprintf "empty value in component %S" cell)
+  else
+    let parsed = List.map (Value.parse ty) pieces in
+    match
+      List.find_opt (fun r -> match r with Error _ -> true | Ok _ -> false) parsed
+    with
+    | Some (Error msg) -> Error msg
+    | Some (Ok _) | None ->
+      Ok (Vset.of_list (List.map (fun r -> Option.get (Result.to_option r)) parsed))
+
+let to_string r =
+  let schema = Nfr.schema r in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Csv.render_line (Csv.header_of_schema schema));
+  Buffer.add_char buffer '\n';
+  Nfr.iter
+    (fun nt ->
+      let cells = List.map render_component (Ntuple.components nt) in
+      Buffer.add_string buffer (Csv.render_line cells);
+      Buffer.add_char buffer '\n')
+    r;
+  Buffer.contents buffer
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           let n = String.length line in
+           if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+    |> List.filter (fun line -> line <> "")
+  in
+  match lines with
+  | [] -> failwith "nfr-csv: empty document"
+  | header :: rows ->
+    let schema = Csv.schema_of_header (Csv.parse_line header) in
+    List.fold_left
+      (fun acc row ->
+        let cells = Csv.parse_line row in
+        if List.length cells <> Schema.degree schema then
+          failwith
+            (Printf.sprintf "nfr-csv: row has %d cells, schema has %d columns"
+               (List.length cells) (Schema.degree schema));
+        let components =
+          List.mapi
+            (fun i cell ->
+              match parse_component (Schema.type_at schema i) cell with
+              | Ok component -> component
+              | Error msg -> failwith ("nfr-csv: " ^ msg))
+            cells
+        in
+        Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components)))
+      (Nfr.empty schema) rows
+
+let load path =
+  let channel = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr channel)
+    (fun () -> of_string (really_input_string channel (in_channel_length channel)))
+
+let save path r =
+  let channel = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr channel)
+    (fun () -> output_string channel (to_string r))

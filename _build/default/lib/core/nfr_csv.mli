@@ -1,0 +1,25 @@
+(** Text serialization of NFRs (nested CSV).
+
+    The flat {!Relational.Csv} format extended with one convention:
+    a cell holds a component's values joined by [|], with [\ ] escaping
+    [|] and [\\] inside values. The header is the usual
+    [name:type] row. Gives canonical forms a human-diffable on-disk
+    representation next to the binary {!Storage.Codec} one; the CLI's
+    [canonical --out] writes it. *)
+
+open Relational
+
+val render_component : Vset.t -> string
+(** Values joined by [|], each escaped. *)
+
+val parse_component : Value.ty -> string -> (Vset.t, string) result
+(** Inverse of {!render_component} for one typed cell. *)
+
+val to_string : Nfr.t -> string
+val of_string : string -> Nfr.t
+(** @raise Failure or [Relational.Schema.Schema_error] on malformed
+    input. Does not check expansion-disjointness; run
+    {!Nfr.well_formed} on untrusted data. *)
+
+val save : string -> Nfr.t -> unit
+val load : string -> Nfr.t

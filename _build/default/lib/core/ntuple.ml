@@ -1,0 +1,148 @@
+open Relational
+
+type t = Vset.t array
+
+let make schema components =
+  if List.length components <> Schema.degree schema then
+    raise
+      (Schema.Schema_error
+         (Printf.sprintf "ntuple arity %d does not match schema degree %d"
+            (List.length components) (Schema.degree schema)));
+  let check_component i values =
+    if values = [] then
+      raise
+        (Schema.Schema_error
+           (Format.asprintf "empty component for attribute %a" Attribute.pp
+              (Schema.attribute_at schema i)));
+    List.iter
+      (fun value ->
+        let expected = Schema.type_at schema i in
+        if Value.type_of value <> expected then
+          raise
+            (Schema.Schema_error
+               (Format.asprintf "attribute %a expects %s but got %a"
+                  Attribute.pp
+                  (Schema.attribute_at schema i)
+                  (Value.ty_name expected) Value.pp value)))
+      values;
+    Vset.of_list values
+  in
+  Array.of_list (List.mapi check_component components)
+
+let of_strings schema components =
+  make schema (List.map (List.map Value.of_string) components)
+
+let of_sets_unchecked sets = sets
+let of_tuple tuple = Array.map Vset.singleton (Array.of_list (Tuple.values tuple))
+let arity = Array.length
+let component t i = t.(i)
+let components t = Array.to_list t
+let field schema t attribute = t.(Schema.position schema attribute)
+
+let with_component t i set =
+  let copy = Array.copy t in
+  copy.(i) <- set;
+  copy
+
+let is_simple t = Array.for_all Vset.is_singleton t
+
+let to_tuple t =
+  if is_simple t then
+    Some (Tuple.of_array_unchecked (Array.map Vset.choose t))
+  else None
+
+let expansion_size t =
+  Array.fold_left (fun acc set -> acc * Vset.cardinal set) 1 t
+
+let expand t =
+  let rec cartesian i =
+    if i >= Array.length t then [ [] ]
+    else
+      let rest = cartesian (i + 1) in
+      List.concat_map
+        (fun value -> List.map (fun suffix -> value :: suffix) rest)
+        (Vset.elements t.(i))
+  in
+  List.map
+    (fun values -> Tuple.of_array_unchecked (Array.of_list values))
+    (cartesian 0)
+  |> List.sort Tuple.compare
+
+let contains_tuple t tuple =
+  Tuple.arity tuple = Array.length t
+  && Array.for_all
+       (fun i -> Vset.mem (Tuple.get tuple i) t.(i))
+       (Array.init (Array.length t) Fun.id)
+
+let expansion_disjoint a b =
+  let n = Array.length a in
+  let rec loop i = i < n && (Vset.disjoint a.(i) b.(i) || loop (i + 1)) in
+  loop 0
+
+let expansion_subsumes a b =
+  Array.length a = Array.length b
+  && Array.for_all
+       (fun i -> Vset.subset b.(i) a.(i))
+       (Array.init (Array.length a) Fun.id)
+
+let compare a b =
+  let rec loop i =
+    if i >= Array.length a && i >= Array.length b then 0
+    else if i >= Array.length a then -1
+    else if i >= Array.length b then 1
+    else
+      let c = Vset.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+let hash t = Array.fold_left (fun acc set -> (acc * 31) + Vset.hash set) 19 t
+
+let composable r s =
+  if Array.length r <> Array.length s then None
+  else begin
+    (* Find the unique differing position, if any. *)
+    let differing = ref [] in
+    Array.iteri
+      (fun i set -> if not (Vset.equal set s.(i)) then differing := i :: !differing)
+      r;
+    match !differing with
+    | [ c ] -> Some c
+    | [] | _ :: _ :: _ -> None
+  end
+
+let compose r s c =
+  (match composable r s with
+  | Some c' when c' = c -> ()
+  | Some _ | None ->
+    invalid_arg "Ntuple.compose: tuples do not satisfy Definition 1");
+  with_component r c (Vset.union r.(c) s.(c))
+
+let decompose_set t c extracted =
+  if not (Vset.subset extracted t.(c)) then
+    invalid_arg "Ntuple.decompose_set: subset not contained in component";
+  match Vset.diff t.(c) extracted with
+  | None -> (t, None)
+  | Some rest -> (with_component t c extracted, Some (with_component t c rest))
+
+let decompose t c value =
+  if not (Vset.mem value t.(c)) then
+    invalid_arg "Ntuple.decompose: value not in component";
+  decompose_set t c (Vset.singleton value)
+
+let pp schema ppf t =
+  let pp_field ppf i =
+    Format.fprintf ppf "%a(%a)" Attribute.pp
+      (Schema.attribute_at schema i)
+      Vset.pp t.(i)
+  in
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_field)
+    (List.init (Array.length t) Fun.id)
+
+let pp_anon ppf t =
+  let pp_field ppf i = Format.fprintf ppf "{%a}" Vset.pp t.(i) in
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_field)
+    (List.init (Array.length t) Fun.id)

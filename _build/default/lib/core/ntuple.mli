@@ -1,0 +1,94 @@
+(** NFR tuples and the paper's two syntactic rules.
+
+    An NFR tuple [[E1(e11,...,e1m1) ... En(en1,...,enmn)]] (Sec. 3.1)
+    assigns a non-empty set of atomic values to each attribute. It
+    {e means} the set of flat tuples obtained by picking one value per
+    component — the expansion. Definition 1 (composition [ν]) and
+    Definition 2 (decomposition [μ]) live here, plus a generalized
+    decomposition that extracts a value {e set} (a sequence of Def. 2
+    steps), which Sec. 4's update algorithms need. *)
+
+open Relational
+
+type t
+
+val make : Schema.t -> Value.t list list -> t
+(** [make schema components] checks arity, types and non-emptiness.
+    @raise Schema.Schema_error on mismatch. *)
+
+val of_strings : Schema.t -> string list list -> t
+(** All-string convenience used heavily in tests: each inner list is
+    one component. *)
+
+val of_sets_unchecked : Vset.t array -> t
+(** Trusted constructor for inner loops. *)
+
+val of_tuple : Tuple.t -> t
+(** The simple tuple: every component a singleton. *)
+
+val arity : t -> int
+val component : t -> int -> Vset.t
+val components : t -> Vset.t list
+val field : Schema.t -> t -> Attribute.t -> Vset.t
+(** The paper's [Π(r, Ek)]. *)
+
+val with_component : t -> int -> Vset.t -> t
+(** Functional update of one component. *)
+
+val is_simple : t -> bool
+(** All components singletons — a 1NF tuple in NFR clothing. *)
+
+val to_tuple : t -> Tuple.t option
+(** [Some] iff {!is_simple}. *)
+
+val expansion_size : t -> int
+(** Product of component cardinalities. *)
+
+val expand : t -> Tuple.t list
+(** The represented set of flat tuples, in sorted order. Size is
+    {!expansion_size}; callers cap it. *)
+
+val contains_tuple : t -> Tuple.t -> bool
+(** Membership in the expansion, without materializing it. *)
+
+val expansion_disjoint : t -> t -> bool
+(** Do the expansions share no flat tuple? (Some component pair is
+    disjoint.) *)
+
+val expansion_subsumes : t -> t -> bool
+(** [expansion_subsumes a b] — is [b]'s expansion a subset of [a]'s?
+    (Componentwise [⊇].) *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val composable : t -> t -> int option
+(** [composable r s] is [Some c] when [r] and [s] agree (set-equal) on
+    every position except exactly [c] — Definition 1's precondition
+    (with the paper's implicit requirement that [r <> s]). [None]
+    otherwise. *)
+
+val compose : t -> t -> int -> t
+(** [compose r s c] is [ν_Ec(r, s)]: union the [c] components.
+    @raise Invalid_argument unless [composable r s = Some c]. *)
+
+val decompose : t -> int -> Value.t -> t * t option
+(** [decompose t c v] is Definition 2's [μ_Ec(v)(t)]: the pair
+    [(te, tr)] where [te] carries the singleton [v] at [c] and [tr]
+    the rest; [tr] is [None] when [v] was the whole component.
+    @raise Invalid_argument if [v] is not in the component. *)
+
+val decompose_set : t -> int -> Vset.t -> t * t option
+(** Generalized decomposition: extract a whole subset at position [c]
+    (a sequence of Def. 2 steps followed by compositions of the
+    extracted parts; equivalently one split). [tr] is [None] when the
+    subset is the full component.
+    @raise Invalid_argument unless the subset is contained in the
+    component. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit
+(** The paper's notation: [[A(a1, a2) B(b1)]]. *)
+
+val pp_anon : Format.formatter -> t -> unit
+(** Without attribute names: [[{a1, a2} {b1}]]. *)

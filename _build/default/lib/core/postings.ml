@@ -1,0 +1,59 @@
+open Relational
+module Ntuple_set = Set.Make (Ntuple)
+
+module Key = struct
+  type t = int * Value.t
+
+  let equal (pa, va) (pb, vb) = pa = pb && Value.equal va vb
+  let hash (position, value) = (position * 31) + Value.hash value
+end
+
+module Table = Hashtbl.Make (Key)
+
+type t = {
+  table : Ntuple_set.t Table.t;
+  mutable members : Ntuple_set.t;
+}
+
+let create () = { table = Table.create 256; members = Ntuple_set.empty }
+
+let update_key t key f =
+  let current = Option.value ~default:Ntuple_set.empty (Table.find_opt t.table key) in
+  let next = f current in
+  if Ntuple_set.is_empty next then Table.remove t.table key
+  else Table.replace t.table key next
+
+let iter_keys nt f =
+  List.iteri
+    (fun position component ->
+      Vset.fold (fun value () -> f (position, value)) component ())
+    (Ntuple.components nt)
+
+let add t nt =
+  t.members <- Ntuple_set.add nt t.members;
+  iter_keys nt (fun key -> update_key t key (Ntuple_set.add nt))
+
+let remove t nt =
+  t.members <- Ntuple_set.remove nt t.members;
+  iter_keys nt (fun key -> update_key t key (Ntuple_set.remove nt))
+
+let posting t ~position value =
+  Option.value ~default:Ntuple_set.empty (Table.find_opt t.table (position, value))
+
+let containing_all t constraints =
+  match constraints with
+  | [] -> invalid_arg "Postings.containing_all: no constraints"
+  | _ ->
+    let postings =
+      List.map (fun (position, value) -> posting t ~position value) constraints
+    in
+    let sorted =
+      List.sort
+        (fun a b -> Int.compare (Ntuple_set.cardinal a) (Ntuple_set.cardinal b))
+        postings
+    in
+    (match sorted with
+    | [] -> Ntuple_set.empty
+    | smallest :: rest -> List.fold_left Ntuple_set.inter smallest rest)
+
+let cardinality t = Ntuple_set.cardinal t.members

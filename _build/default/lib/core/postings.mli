@@ -1,0 +1,35 @@
+(** Inverted postings over NFR tuples.
+
+    Maps [(position, value)] to the set of NFR tuples whose component
+    at that position contains the value. This is the access structure
+    that makes the Sec. 4 primitives sub-linear: [candt]'s candidate
+    must componentwise contain the probe tuple everywhere except one
+    position, and [searcht]'s containing tuple must contain it
+    everywhere — both are posting-list intersections. The paper scopes
+    time complexity out as "depend[ing] heavily on physical
+    representation"; this module is that physical representation. *)
+
+open Relational
+
+module Ntuple_set : Set.S with type elt = Ntuple.t
+
+type t
+
+val create : unit -> t
+
+val add : t -> Ntuple.t -> unit
+(** Index every (position, value) of the tuple. *)
+
+val remove : t -> Ntuple.t -> unit
+
+val posting : t -> position:int -> Value.t -> Ntuple_set.t
+(** Tuples whose component at [position] contains the value (empty set
+    when none). *)
+
+val containing_all : t -> (int * Value.t) list -> Ntuple_set.t
+(** Intersection of postings for every constraint; the empty
+    constraint list is rejected. Intersects smallest-first.
+    @raise Invalid_argument on []. *)
+
+val cardinality : t -> int
+(** Number of indexed tuples. *)

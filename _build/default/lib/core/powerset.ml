@@ -1,0 +1,116 @@
+open Relational
+
+(* Encoding: "{" elem ("," elem)* "}" with elements sorted by
+   Value.compare. Each element is a type tag, a colon, and a payload
+   in which '\\', ',', '{' and '}' are backslash-escaped — so encoded
+   set atoms can themselves be members (sets of sets). *)
+
+let escape payload =
+  let buffer = Buffer.create (String.length payload + 4) in
+  String.iter
+    (fun c ->
+      if c = '\\' || c = ',' || c = '{' || c = '}' then Buffer.add_char buffer '\\';
+      Buffer.add_char buffer c)
+    payload;
+  Buffer.contents buffer
+
+let unescape payload =
+  let buffer = Buffer.create (String.length payload) in
+  let rec loop i =
+    if i < String.length payload then
+      if payload.[i] = '\\' && i + 1 < String.length payload then begin
+        Buffer.add_char buffer payload.[i + 1];
+        loop (i + 2)
+      end
+      else begin
+        Buffer.add_char buffer payload.[i];
+        loop (i + 1)
+      end
+  in
+  loop 0;
+  Buffer.contents buffer
+
+let encode_element = function
+  | Value.Vint i -> "i:" ^ string_of_int i
+  | Value.Vfloat f -> "f:" ^ Printf.sprintf "%h" f
+  | Value.Vbool b -> "b:" ^ string_of_bool b
+  | Value.Vstring s -> "s:" ^ escape s
+
+let decode_element text =
+  if String.length text < 2 || text.[1] <> ':' then None
+  else
+    let payload = String.sub text 2 (String.length text - 2) in
+    match text.[0] with
+    | 'i' -> Option.map Value.of_int (int_of_string_opt payload)
+    | 'f' -> (
+      match float_of_string_opt payload with
+      | Some f when not (Float.is_nan f) -> Some (Value.of_float f)
+      | Some _ | None -> None)
+    | 'b' -> Option.map Value.of_bool (bool_of_string_opt payload)
+    | 's' -> Some (Value.of_string (unescape payload))
+    | _ -> None
+
+let atom_of_set set =
+  let rendered = List.map encode_element (Vset.elements set) in
+  Value.of_string ("{" ^ String.concat "," rendered ^ "}")
+
+(* Split the body at unescaped commas. *)
+let split_members body =
+  let members = ref [] in
+  let buffer = Buffer.create 16 in
+  let push () =
+    members := Buffer.contents buffer :: !members;
+    Buffer.clear buffer
+  in
+  let rec loop i =
+    if i >= String.length body then push ()
+    else if body.[i] = '\\' && i + 1 < String.length body then begin
+      Buffer.add_char buffer body.[i];
+      Buffer.add_char buffer body.[i + 1];
+      loop (i + 2)
+    end
+    else if body.[i] = ',' then begin
+      push ();
+      loop (i + 1)
+    end
+    else begin
+      Buffer.add_char buffer body.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  List.rev !members
+
+let set_of_atom = function
+  | Value.Vstring s
+    when String.length s >= 2 && s.[0] = '{' && s.[String.length s - 1] = '}' ->
+    let body = String.sub s 1 (String.length s - 2) in
+    if body = "" then None
+    else
+      let decoded = List.map decode_element (split_members body) in
+      if List.for_all Option.is_some decoded then
+        Some (Vset.of_list (List.map Option.get decoded))
+      else None
+  | Value.Vstring _ | Value.Vint _ | Value.Vfloat _ | Value.Vbool _ -> None
+
+let is_set_atom v = set_of_atom v <> None
+
+let atom_of_values values = atom_of_set (Vset.of_list values)
+let atom_of_strings names = atom_of_values (List.map Value.of_string names)
+
+let member element set_atom =
+  match set_of_atom set_atom with
+  | Some set -> Vset.mem element set
+  | None -> false
+
+let subset_atom a b =
+  match set_of_atom a, set_of_atom b with
+  | Some sa, Some sb -> Vset.subset sa sb
+  | _, _ -> false
+
+let union_atom a b =
+  match set_of_atom a, set_of_atom b with
+  | Some sa, Some sb -> Some (atom_of_set (Vset.union sa sb))
+  | _, _ -> None
+
+let cardinal v = Option.map Vset.cardinal (set_of_atom v)

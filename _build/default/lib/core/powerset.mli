@@ -1,0 +1,54 @@
+(** Powerset domains: set values that are semantically atomic.
+
+    Sec. 2 of the paper contrasts two kinds of compoundness. In
+    [SC(Student, Course)], the tuple [(a, {c1, c2})] just abbreviates
+    two flat tuples — that is the NFR reading, and splitting is always
+    allowed. In [CP(Course, Prerequisite)], the tuple [(c0, {c1, c2})]
+    means "c1 {e and} c2 together form one prerequisite condition":
+    Prerequisite ranges over the {e powerset} of Course, the set is one
+    indivisible value, and [(c0, {c1, c3})] may coexist as a different
+    alternative. The paper even allows sets of sets.
+
+    This module realizes powerset domains {e within} the atomic value
+    universe: a set of values is encoded injectively as one
+    [Value.Vstring] atom. Encoded atoms are ordinary values — they can
+    be fields of flat relations, live inside NFR components, and nest
+    (a set of encoded sets encodes sets-of-sets, the paper's
+    [(c0, {{c1,c2},{c1,c3}})]). Because the atom is opaque to
+    composition/decomposition, the NFR machinery can never split a
+    prerequisite condition — exactly the semantics Sec. 2 asks for. *)
+
+open Relational
+
+val atom_of_set : Vset.t -> Value.t
+(** [atom_of_set s] is the canonical encoding of [s]: a string atom
+    [{v1,v2,...}] with elements in sorted order, each element
+    rendered with a type tag and escaped so that decoding is exact.
+    Injective: equal sets and only equal sets share an encoding. *)
+
+val set_of_atom : Value.t -> Vset.t option
+(** [set_of_atom v] decodes an encoding produced by {!atom_of_set};
+    [None] for any other value. *)
+
+val is_set_atom : Value.t -> bool
+
+val atom_of_values : Value.t list -> Value.t
+(** [atom_of_set (Vset.of_list values)]. @raise Invalid_argument on
+    the empty list. *)
+
+val atom_of_strings : string list -> Value.t
+(** Convenience: string members. *)
+
+val member : Value.t -> Value.t -> bool
+(** [member element set_atom] — is [element] in the encoded set?
+    [false] when the second argument is not a set atom. *)
+
+val subset_atom : Value.t -> Value.t -> bool
+(** Subset test between two encoded sets ([false] unless both
+    decode). *)
+
+val union_atom : Value.t -> Value.t -> Value.t option
+(** Union of two encoded sets, re-encoded. *)
+
+val cardinal : Value.t -> int option
+(** Number of members of an encoded set. *)

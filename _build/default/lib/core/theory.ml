@@ -1,0 +1,83 @@
+open Relational
+open Dependency
+
+let check_theorem2 ?(seeds = [ 1; 2; 3; 4; 5 ]) flat order =
+  let reference = Nest.canonical flat order in
+  List.for_all
+    (fun seed ->
+      let by_composition =
+        List.fold_left
+          (fun r attribute -> Nest.nest_by_composition ~seed r attribute)
+          (Nfr.of_relation flat) order
+      in
+      Nfr.equal reference by_composition)
+    seeds
+
+let check_theorem3 ?max_states flat (fd : Fd.t) =
+  if not (Fd.satisfied_by flat fd) then
+    invalid_arg "check_theorem3: the FD does not hold in the instance";
+  (* The theorem's proof needs "R* is fixed on F1..Fk", i.e. the FD
+     covers the whole schema: its left side is a key. *)
+  let universe = Schema.attribute_set (Relation.schema flat) in
+  if not (Attribute.Set.equal (Attribute.Set.union fd.Fd.lhs fd.Fd.rhs) universe)
+  then invalid_arg "check_theorem3: the FD must cover the whole schema";
+  let forms = Irreducible.enumerate ?max_states (Nfr.of_relation flat) in
+  let rhs_ok form =
+    Attribute.Set.for_all
+      (fun attribute ->
+        match Classify.classify form attribute with
+        | Classify.One_to_one | Classify.One_to_n -> true
+        | Classify.N_to_one | Classify.M_to_n -> false)
+      (Attribute.Set.diff fd.Fd.rhs fd.Fd.lhs)
+  in
+  List.for_all
+    (fun form -> Classify.fixed_on form fd.Fd.lhs && rhs_ok form)
+    forms
+
+let check_theorem4 ?max_states flat (mvd : Mvd.t) =
+  if not (Mvd.satisfied_by flat mvd) then
+    invalid_arg "check_theorem4: the MVD does not hold in the instance";
+  let forms = Irreducible.enumerate ?max_states (Nfr.of_relation flat) in
+  List.exists (fun form -> Classify.fixed_on form mvd.Mvd.lhs) forms
+
+let check_theorem5 flat order =
+  match order with
+  | [] -> invalid_arg "check_theorem5: empty order"
+  | first :: _ ->
+    let canonical = Nest.canonical flat order in
+    let rest =
+      Attribute.Set.remove first (Schema.attribute_set (Relation.schema flat))
+    in
+    if Attribute.Set.is_empty rest then true
+    else Classify.fixed_on canonical rest
+
+let fixed_canonical_order schema fds mvds =
+  let universe = Schema.attributes schema in
+  let lhs_union =
+    List.fold_left
+      (fun acc (fd : Fd.t) -> Attribute.Set.union acc fd.Fd.lhs)
+      (List.fold_left
+         (fun acc (mvd : Mvd.t) -> Attribute.Set.union acc mvd.Mvd.lhs)
+         Attribute.Set.empty mvds)
+      fds
+  in
+  (* Dependent attributes nested first (innermost), determining
+     attributes last: the canonical form stays fixed on the left
+     sides (Theorem 5's preservation argument). *)
+  let dependents =
+    List.filter (fun a -> not (Attribute.Set.mem a lhs_union)) universe
+  in
+  let determinants = List.filter (fun a -> Attribute.Set.mem a lhs_union) universe in
+  dependents @ determinants
+
+let best_permutation_by_size flat =
+  match Nest.all_canonical_forms flat with
+  | [] -> invalid_arg "best_permutation_by_size: impossible"
+  | first :: rest ->
+    let order, _ =
+      List.fold_left
+        (fun ((_, best) as acc) ((_, candidate) as entry) ->
+          if Nfr.cardinality candidate < Nfr.cardinality best then entry else acc)
+        first rest
+    in
+    order

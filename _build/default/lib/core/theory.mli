@@ -1,0 +1,45 @@
+(** Executable checks for the paper's theorems (Sec. 3.3–3.4).
+
+    These functions turn Theorems 2–5 into decidable checks on concrete
+    instances, used by the test suite and the bench reports. They are
+    exhaustive (enumerate permutations / irreducible forms), so they
+    carry the same small-instance guards as {!Irreducible}. *)
+
+open Relational
+open Dependency
+
+val check_theorem2 : ?seeds:int list -> Relation.t -> Attribute.t list -> bool
+(** Theorem 2 (canonical-form uniqueness): nest-by-grouping and the
+    literal composition sequence under several pair orders ([seeds])
+    all land on the same NFR for the given application order. *)
+
+val check_theorem3 : ?max_states:int -> Relation.t -> Fd.t -> bool
+(** Theorem 3: for an FD whose sides cover the whole schema (the
+    proof's "R* is fixed on F1..Fk" forces [lhs] to be a key), {e
+    every} reachable irreducible form is fixed on [lhs], and each
+    [rhs] attribute classifies as [1:n] (or the degenerate [1:1] when
+    no value recurs) — its components never turn compound.
+    @raise Invalid_argument if the FD does not hold in the instance or
+    does not cover the schema. *)
+
+val check_theorem4 : ?max_states:int -> Relation.t -> Mvd.t -> bool
+(** Theorem 4: if the MVD holds, {e some} reachable irreducible form
+    is fixed on [lhs].
+    @raise Invalid_argument if the MVD does not hold in the instance. *)
+
+val check_theorem5 : Relation.t -> Attribute.t list -> bool
+(** Theorem 5: the canonical form for the given application order is
+    fixed on the [n-1] attributes other than the first-nested one. *)
+
+val fixed_canonical_order :
+  Schema.t -> Fd.t list -> Mvd.t list -> Attribute.t list
+(** Sec. 3.4's strategy: an application order that nests the
+    dependent (right-hand) attributes first and the determining
+    (left-hand) attributes last, so the canonical form is fixed on the
+    dependency left sides (the paper's "best" permutations). Returns a
+    full application order. *)
+
+val best_permutation_by_size :
+  Relation.t -> Attribute.t list
+(** The application order whose canonical form has the fewest tuples
+    (exhaustive over [n!]; guarded). Ties broken deterministically. *)

@@ -1,0 +1,275 @@
+open Relational
+
+type stats = {
+  mutable compositions : int;
+  mutable decompositions : int;
+  mutable candidate_scans : int;
+  mutable recons_calls : int;
+}
+
+let fresh_stats () =
+  { compositions = 0; decompositions = 0; candidate_scans = 0; recons_calls = 0 }
+
+let add_stats acc s =
+  acc.compositions <- acc.compositions + s.compositions;
+  acc.decompositions <- acc.decompositions + s.decompositions;
+  acc.candidate_scans <- acc.candidate_scans + s.candidate_scans;
+  acc.recons_calls <- acc.recons_calls + s.recons_calls
+
+exception Update_diverged of string
+exception Not_in_relation
+
+(* Fuel: Theorem A-4 bounds recons work by a function of the degree
+   only; 100_000 calls per update is far beyond any legal run. *)
+let fuel_limit = 100_000
+
+(* Physical layers need to know which NFR tuples an update touched;
+   the journal records them in order. *)
+type journal_entry =
+  | Added of Ntuple.t
+  | Removed of Ntuple.t
+
+type context = {
+  positions : int array;  (* positions.(j) = schema position of order.(j) *)
+  n : int;
+  stats : stats;
+  mutable body : Nfr.t;
+  index : Postings.t option;  (* kept in sync with [body] when present *)
+  mutable journal : journal_entry list;  (* newest first *)
+  mutable fuel : int;
+}
+
+let ctx_add ctx nt =
+  ctx.body <- Nfr.add ctx.body nt;
+  ctx.journal <- Added nt :: ctx.journal;
+  Option.iter (fun index -> Postings.add index nt) ctx.index
+
+let ctx_remove ctx nt =
+  ctx.body <- Nfr.remove ctx.body nt;
+  ctx.journal <- Removed nt :: ctx.journal;
+  Option.iter (fun index -> Postings.remove index nt) ctx.index
+
+let component_at ctx nt j = Ntuple.component nt ctx.positions.(j)
+
+(* Candidate conditions at position [m] for probe [t] (Sec. 4's
+   "candidate tuple" generalized to set components):
+   equality before m, componentwise containment after m, disjointness
+   at m. *)
+let candidate_at ctx t m s =
+  let rec before j =
+    j >= m
+    || (Vset.equal (component_at ctx s j) (component_at ctx t j) && before (j + 1))
+  in
+  let rec after j =
+    j >= ctx.n
+    || (Vset.subset (component_at ctx t j) (component_at ctx s j) && after (j + 1))
+  in
+  Vset.disjoint (component_at ctx s m) (component_at ctx t m)
+  && before 0
+  && after (m + 1)
+
+(* Scan-based candidate search: examine every tuple per m. *)
+let candidates_by_scan ctx t m =
+  Nfr.fold
+    (fun s acc ->
+      ctx.stats.candidate_scans <- ctx.stats.candidate_scans + 1;
+      if candidate_at ctx t m s then s :: acc else acc)
+    ctx.body []
+
+(* Index-based candidate search: a candidate must contain every value
+   of [t] at every position except m; intersect those postings, then
+   verify the exact conditions. *)
+let candidates_by_index ctx index t m =
+  let constraints = ref [] in
+  for j = 0 to ctx.n - 1 do
+    if j <> m then
+      Vset.fold
+        (fun value () ->
+          constraints := (ctx.positions.(j), value) :: !constraints)
+        (component_at ctx t j)
+        ()
+  done;
+  match !constraints with
+  | [] -> candidates_by_scan ctx t m (* degree-1 relation: no filter *)
+  | constraints ->
+    Postings.Ntuple_set.fold
+      (fun s acc ->
+        ctx.stats.candidate_scans <- ctx.stats.candidate_scans + 1;
+        if candidate_at ctx t m s then s :: acc else acc)
+      (Postings.containing_all index constraints)
+      []
+
+(* candt: the candidate tuple of [t] and the minimal index [m]
+   (0-based here; the paper counts from 1). *)
+let candt ctx t =
+  let rec try_m m =
+    if m >= ctx.n then None
+    else begin
+      let matches =
+        match ctx.index with
+        | Some index -> candidates_by_index ctx index t m
+        | None -> candidates_by_scan ctx t m
+      in
+      match matches with
+      | [] -> try_m (m + 1)
+      | [ s ] -> Some (s, m)
+      | _ :: _ :: _ ->
+        (* Lemma A-1 says this cannot happen on a canonical NFR. *)
+        raise
+          (Update_diverged
+             (Printf.sprintf "Lemma A-1 violated: %d candidates at position %d"
+                (List.length matches) m))
+    end
+  in
+  try_m 0
+
+let rec recons ctx t =
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel <= 0 then
+    raise (Update_diverged "recons exceeded its fuel (Theorem A-4 violated?)");
+  ctx.stats.recons_calls <- ctx.stats.recons_calls + 1;
+  match candt ctx t with
+  | None -> ctx_add ctx t
+  | Some (p, m) ->
+    ctx_remove ctx p;
+    (* Unnest p on positions n-1 .. m+1 down to t's values, recursing
+       on each remainder, then compose at m. *)
+    let rec peel p j =
+      if j <= m then p
+      else begin
+        let extracted, remainder =
+          Ntuple.decompose_set p ctx.positions.(j) (component_at ctx t j)
+        in
+        (match remainder with
+        | Some rest ->
+          ctx.stats.decompositions <- ctx.stats.decompositions + 1;
+          recons ctx rest
+        | None -> ());
+        peel extracted (j - 1)
+      end
+    in
+    let peeled = peel p (ctx.n - 1) in
+    let composed = Ntuple.compose peeled t ctx.positions.(m) in
+    ctx.stats.compositions <- ctx.stats.compositions + 1;
+    recons ctx composed
+
+let make_context ?stats ?index ~order r =
+  Nest.check_permutation (Nfr.schema r) order;
+  let schema = Nfr.schema r in
+  {
+    positions = Array.of_list (List.map (Schema.position schema) order);
+    n = List.length order;
+    stats = (match stats with Some s -> s | None -> fresh_stats ());
+    body = r;
+    index;
+    journal = [];
+    fuel = fuel_limit;
+  }
+
+(* Peel the simple tuple [simple] out of its containing tuple [q],
+   outermost nest position first, reconstructing each remainder; the
+   caller has already removed [q] from the store. *)
+let peel_out ctx q simple =
+  let rec peel q j =
+    if j < 0 then q
+    else begin
+      let extracted, remainder =
+        Ntuple.decompose_set q ctx.positions.(j) (component_at ctx simple j)
+      in
+      (match remainder with
+      | Some rest ->
+        ctx.stats.decompositions <- ctx.stats.decompositions + 1;
+        recons ctx rest
+      | None -> ());
+      peel extracted (j - 1)
+    end
+  in
+  let peeled = peel q (ctx.n - 1) in
+  (* peeled is now exactly the simple tuple; drop it (deletet). *)
+  assert (Ntuple.equal peeled simple)
+
+let lemma_a1_candidates ~order r probe ~position =
+  let ctx = make_context ~order r in
+  List.rev (candidates_by_scan ctx probe position)
+
+let insert ?stats ~order r tuple =
+  if Nfr.member_tuple r tuple then r
+  else begin
+    let ctx = make_context ?stats ~order r in
+    recons ctx (Ntuple.of_tuple tuple);
+    ctx.body
+  end
+
+let delete ?stats ~order r tuple =
+  match Nfr.find_containing r tuple with
+  | None -> raise Not_in_relation
+  | Some q ->
+    let ctx = make_context ?stats ~order r in
+    ctx_remove ctx q;
+    peel_out ctx q (Ntuple.of_tuple tuple);
+    ctx.body
+
+let insert_all ?stats ~order r tuples =
+  List.fold_left (fun r tuple -> insert ?stats ~order r tuple) r tuples
+
+let delete_all ?stats ~order r tuples =
+  List.fold_left (fun r tuple -> delete ?stats ~order r tuple) r tuples
+
+let build ?stats ~order flat =
+  insert_all ?stats ~order (Nfr.empty (Relation.schema flat)) (Relation.tuples flat)
+
+module Store = struct
+  type t = {
+    order : Attribute.t list;
+    index : Postings.t;
+    mutable nfr : Nfr.t;
+  }
+
+  let of_nfr ~order nfr =
+    Nest.check_permutation (Nfr.schema nfr) order;
+    let index = Postings.create () in
+    Nfr.iter (Postings.add index) nfr;
+    { order; index; nfr }
+
+  let create ~order schema = of_nfr ~order (Nfr.empty schema)
+  let snapshot store = store.nfr
+  let cardinality store = Nfr.cardinality store.nfr
+  let order store = store.order
+
+  (* Indexed membership: the containing tuple must contain every value
+     of the probe. *)
+  let find_containing store tuple =
+    let constraints =
+      List.mapi (fun position value -> (position, value)) (Tuple.values tuple)
+    in
+    let hits = Postings.containing_all store.index constraints in
+    Postings.Ntuple_set.choose_opt hits
+
+  let member store tuple = find_containing store tuple <> None
+
+  let context ?stats store =
+    make_context ?stats ~index:store.index ~order:store.order store.nfr
+
+  let insert_journaled ?stats store tuple =
+    if member store tuple then []
+    else begin
+      let ctx = context ?stats store in
+      recons ctx (Ntuple.of_tuple tuple);
+      store.nfr <- ctx.body;
+      List.rev ctx.journal
+    end
+
+  let insert ?stats store tuple = insert_journaled ?stats store tuple <> []
+
+  let delete_journaled ?stats store tuple =
+    match find_containing store tuple with
+    | None -> raise Not_in_relation
+    | Some q ->
+      let ctx = context ?stats store in
+      ctx_remove ctx q;
+      peel_out ctx q (Ntuple.of_tuple tuple);
+      store.nfr <- ctx.body;
+      List.rev ctx.journal
+
+  let delete ?stats store tuple = ignore (delete_journaled ?stats store tuple)
+end

@@ -1,0 +1,121 @@
+(** Insertion and deletion on canonical NFRs (Sec. 4 + Appendix).
+
+    The update problem: maintain [R = V_P(R* ± t)] by operating on the
+    NFR [R] directly, never on [R*], with a composition count that
+    depends only on the degree [n] — not on the number of tuples
+    (Theorem A-4). The procedures are the paper's:
+
+    - [candt] finds the {e candidate tuple} [(s, m)] of [t]: [s] agrees
+      with [t] (set-equality) on every attribute before position [m] of
+      the nest order, componentwise contains [t] after [m], and is
+      disjoint from [t] at [m]; [m] minimal. Lemma A-1 (uniqueness per
+      [m]) is asserted.
+    - [recons t] removes the candidate, unnests it down to [t]'s values
+      on positions after [m] (recursing on each remainder), composes at
+      [m], and recurses on the composed tuple. No candidate means [t]
+      joins [R] as a new tuple.
+    - [deletion] finds the containing tuple ([searcht]), peels [t] out
+      position by position ([unnest] + [recons] on remainders), then
+      drops the now-simple tuple ([deletet]).
+
+    Orders here are {e application orders} (first attribute nested
+    first) — see the note in {!Nest}. The paper fixes
+    [P = En En-1 ... E1], i.e. application order [[E1; ...; En]]. *)
+
+open Relational
+
+(** Operation counters, so experiments can report the quantities
+    Theorem A-4 is stated in. *)
+type stats = {
+  mutable compositions : int;  (** [ν] applications (the paper's measure) *)
+  mutable decompositions : int;  (** targeted [μ] splits that produced a remainder *)
+  mutable candidate_scans : int;  (** tuples examined across [candt] calls *)
+  mutable recons_calls : int;
+}
+
+val fresh_stats : unit -> stats
+val add_stats : stats -> stats -> unit
+(** [add_stats acc s] accumulates [s] into [acc]. *)
+
+exception Update_diverged of string
+(** Raised when a single update exceeds its internal fuel — Theorem
+    A-4 says this cannot happen; the exception keeps bugs loud. *)
+
+exception Not_in_relation
+(** Raised by {!delete} when the tuple is not in [R*]. *)
+
+val insert : ?stats:stats -> order:Attribute.t list -> Nfr.t -> Tuple.t -> Nfr.t
+(** [insert ~order r t] is the canonical form (w.r.t. [order]) of
+    [R* ∪ {t}], computed incrementally. Returns [r] unchanged when [t]
+    is already present.
+    @raise Invalid_argument unless [order] is a permutation of the
+    schema and [r] is canonical w.r.t. [order] is {e assumed} (not
+    checked — property tests cover it). *)
+
+val delete : ?stats:stats -> order:Attribute.t list -> Nfr.t -> Tuple.t -> Nfr.t
+(** [delete ~order r t] is the canonical form of [R* - {t}].
+    @raise Not_in_relation when [t] is absent. *)
+
+val insert_all :
+  ?stats:stats -> order:Attribute.t list -> Nfr.t -> Tuple.t list -> Nfr.t
+
+val delete_all :
+  ?stats:stats -> order:Attribute.t list -> Nfr.t -> Tuple.t list -> Nfr.t
+
+val build : ?stats:stats -> order:Attribute.t list -> Relation.t -> Nfr.t
+(** [build ~order flat] inserts every tuple of [flat] into the empty
+    NFR — an all-incremental canonicalization, used to cross-check
+    {!Nest.canonical}. *)
+
+(** One physical effect of an update: an NFR tuple entered or left the
+    relation. Journals list effects in application order. *)
+type journal_entry =
+  | Added of Ntuple.t
+  | Removed of Ntuple.t
+
+val lemma_a1_candidates :
+  order:Attribute.t list -> Nfr.t -> Ntuple.t -> position:int -> Ntuple.t list
+(** The tuples of [r] satisfying the candidate conditions for the probe
+    at one nest position (0-based in application order). Lemma A-1
+    asserts at most one exists on a canonical NFR for the {e minimal}
+    such position; [candt] enforces that at runtime, and the test
+    suite checks it directly through this function. *)
+
+(** A mutable canonical store with an inverted {!Postings} index, so
+    [candt] and [searcht] intersect posting lists instead of scanning
+    the relation. Same algorithms, different physical representation —
+    the "optimization strategy" the paper leaves open. The E10 ablation
+    bench compares this against the scan-based functions above. *)
+module Store : sig
+  type t
+
+  val create : order:Attribute.t list -> Schema.t -> t
+  val of_nfr : order:Attribute.t list -> Nfr.t -> t
+  (** @raise Invalid_argument unless [order] permutes the schema. The
+      NFR is assumed canonical for [order]. *)
+
+  val snapshot : t -> Nfr.t
+  (** The current canonical NFR (persistent value; cheap). *)
+
+  val cardinality : t -> int
+  val order : t -> Attribute.t list
+
+  val member : t -> Tuple.t -> bool
+  (** Indexed membership in [R*]. *)
+
+  val find_containing : t -> Tuple.t -> Ntuple.t option
+  (** Indexed [searcht]. *)
+
+  val insert : ?stats:stats -> t -> Tuple.t -> bool
+  (** [insert store t] — [false] when [t] was already present. *)
+
+  val delete : ?stats:stats -> t -> Tuple.t -> unit
+  (** @raise Not_in_relation when absent. *)
+
+  val insert_journaled : ?stats:stats -> t -> Tuple.t -> journal_entry list
+  (** Like {!insert} but returns, in application order, the NFR tuples
+      the update removed and added — what a physical layer must do to
+      mirror the change. Empty on duplicates. *)
+
+  val delete_journaled : ?stats:stats -> t -> Tuple.t -> journal_entry list
+end

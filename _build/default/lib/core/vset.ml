@@ -1,0 +1,40 @@
+open Relational
+module S = Set.Make (Value)
+
+type t = S.t
+
+let singleton = S.singleton
+
+let of_list values =
+  if values = [] then invalid_arg "Vset.of_list: empty component";
+  S.of_list values
+
+let of_strings names = of_list (List.map Value.of_string names)
+let elements = S.elements
+let cardinal = S.cardinal
+let mem = S.mem
+let choose = S.choose
+let equal = S.equal
+let compare = S.compare
+let subset = S.subset
+let disjoint = S.disjoint
+let union = S.union
+
+let nonempty s = if S.is_empty s then None else Some s
+let inter a b = nonempty (S.inter a b)
+let diff a b = nonempty (S.diff a b)
+let remove value s = nonempty (S.remove value s)
+let add = S.add
+let is_singleton s = S.cardinal s = 1
+let fold = S.fold
+let for_all = S.for_all
+let exists = S.exists
+
+let hash s = S.fold (fun value acc -> (acc * 31) + Value.hash value) s 17
+
+(* Literal ", " separator: components are short, and a break hint
+   would turn into a newline when printed outside an enclosing box. *)
+let pp ppf s =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Value.pp ppf (elements s)

@@ -1,0 +1,44 @@
+(** Non-empty sets of atomic values — the components of NFR tuples.
+
+    A thin layer over [Set.Make (Value)] that enforces non-emptiness at
+    construction (an NFR field always holds at least one value) and
+    prints in the paper's style: [a1, a2, a3]. *)
+
+open Relational
+
+type t
+
+val singleton : Value.t -> t
+
+val of_list : Value.t list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val of_strings : string list -> t
+(** Each element becomes a [Value.Vstring]. *)
+
+val elements : t -> Value.t list
+(** Sorted ascending. *)
+
+val cardinal : t -> int
+val mem : Value.t -> t -> bool
+val choose : t -> Value.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val union : t -> t -> t
+
+val inter : t -> t -> t option
+(** [None] when the intersection is empty. *)
+
+val diff : t -> t -> t option
+(** [None] when the difference is empty. *)
+
+val remove : Value.t -> t -> t option
+val add : Value.t -> t -> t
+val is_singleton : t -> bool
+val fold : (Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (Value.t -> bool) -> t -> bool
+val exists : (Value.t -> bool) -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dependency/armstrong.ml: Attribute Fd Format Hashtbl List Option Relational

@@ -1,0 +1,1 @@
+lib/dependency/armstrong.mli: Attribute Fd Format Relational

@@ -1,0 +1,1 @@
+lib/dependency/chase.ml: Array Attribute Fd Format Int List Mvd Relational Schema Set Stdlib

@@ -1,0 +1,1 @@
+lib/dependency/chase.mli: Attribute Fd Format Mvd Relational Schema

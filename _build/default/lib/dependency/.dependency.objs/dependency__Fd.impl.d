@@ -1,0 +1,1 @@
+lib/dependency/fd.ml: Attribute Format Hashtbl List Relation Relational Schema Tuple Value

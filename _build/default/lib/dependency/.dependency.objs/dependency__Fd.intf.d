@@ -1,0 +1,1 @@
+lib/dependency/fd.mli: Attribute Format Relation Relational Schema

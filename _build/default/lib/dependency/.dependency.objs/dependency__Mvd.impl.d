@@ -1,0 +1,1 @@
+lib/dependency/mvd.ml: Attribute Fd Format Hashtbl List Option Relation Relational Schema Tuple Value

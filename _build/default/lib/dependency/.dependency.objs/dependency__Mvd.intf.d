@@ -1,0 +1,1 @@
+lib/dependency/mvd.mli: Attribute Fd Format Relation Relational Schema Tuple

@@ -1,0 +1,1 @@
+lib/dependency/normalize.ml: Attribute Fd List Mvd Relational Schema

@@ -1,0 +1,1 @@
+lib/dependency/normalize.mli: Attribute Fd Mvd Relational Schema

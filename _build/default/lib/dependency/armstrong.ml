@@ -1,0 +1,135 @@
+open Relational
+
+type proof =
+  | Given of Fd.t
+  | Reflexivity of Fd.t
+  | Augmentation of proof * Attribute.Set.t * Fd.t
+  | Transitivity of proof * proof * Fd.t
+
+let conclusion = function
+  | Given fd -> fd
+  | Reflexivity fd -> fd
+  | Augmentation (_, _, fd) -> fd
+  | Transitivity (_, _, fd) -> fd
+
+let rec verify fds proof =
+  match proof with
+  | Given fd -> List.exists (Fd.equal fd) fds
+  | Reflexivity fd -> Attribute.Set.subset fd.Fd.rhs fd.Fd.lhs
+  | Augmentation (premise, extra, fd) ->
+    verify fds premise
+    &&
+    let p = conclusion premise in
+    Attribute.Set.equal fd.Fd.lhs (Attribute.Set.union p.Fd.lhs extra)
+    && Attribute.Set.equal fd.Fd.rhs (Attribute.Set.union p.Fd.rhs extra)
+  | Transitivity (first, second, fd) ->
+    verify fds first && verify fds second
+    &&
+    let p1 = conclusion first and p2 = conclusion second in
+    Attribute.Set.equal p1.Fd.rhs p2.Fd.lhs
+    && Attribute.Set.equal fd.Fd.lhs p1.Fd.lhs
+    && Attribute.Set.equal fd.Fd.rhs p2.Fd.rhs
+
+(* Derived rule: from X -> A and X -> B conclude X -> A ∪ B, using
+   augmentation twice and transitivity once:
+     X -> A        (p1)
+     X -> XA       augment p1 by X? (careful: augmenting X -> A by X
+                    gives X -> XA since XX = X and AX = XA)
+     XA -> AB      augment p2 (X -> B) by A
+     X -> AB       transitivity *)
+let union_rule p1 p2 =
+  let c1 = conclusion p1 and c2 = conclusion p2 in
+  assert (Attribute.Set.equal c1.Fd.lhs c2.Fd.lhs);
+  let x = c1.Fd.lhs and a = c1.Fd.rhs and b = c2.Fd.rhs in
+  if Attribute.Set.subset b a then p1
+  else if Attribute.Set.subset a b then p2
+  else begin
+    (* step1 : X -> X ∪ A (augment X -> A by X). *)
+    let step1 = Augmentation (p1, x, Fd.make x (Attribute.Set.union x a)) in
+    (* step2 : X ∪ A -> B ∪ A (augment X -> B by A). *)
+    let step2 =
+      Augmentation
+        (p2, a, Fd.make (Attribute.Set.union x a) (Attribute.Set.union b a))
+    in
+    Transitivity (step1, step2, Fd.make x (Attribute.Set.union a b))
+  end
+
+let derive fds goal =
+  let x = goal.Fd.lhs in
+  (* proofs : attribute -> proof of X -> {attribute}, grown like the
+     closure computation. *)
+  let proofs : (Attribute.t, proof) Hashtbl.t = Hashtbl.create 16 in
+  Attribute.Set.iter
+    (fun attribute ->
+      Hashtbl.replace proofs attribute
+        (Reflexivity (Fd.make x (Attribute.Set.singleton attribute))))
+    x;
+  let proof_of_set target =
+    (* Combine per-attribute proofs into X -> target via union_rule. *)
+    match Attribute.Set.elements target with
+    | [] -> None
+    | first :: rest ->
+      Option.bind (Hashtbl.find_opt proofs first) (fun p0 ->
+          List.fold_left
+            (fun acc attribute ->
+              Option.bind acc (fun p ->
+                  Option.map (fun q -> union_rule p q)
+                    (Hashtbl.find_opt proofs attribute)))
+            (Some p0) rest)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fd : Fd.t) ->
+        let lhs_proved =
+          Attribute.Set.for_all (Hashtbl.mem proofs) fd.Fd.lhs
+        in
+        let adds_something =
+          Attribute.Set.exists
+            (fun attribute -> not (Hashtbl.mem proofs attribute))
+            fd.Fd.rhs
+        in
+        if lhs_proved && adds_something then begin
+          match proof_of_set fd.Fd.lhs with
+          | None -> ()
+          | Some to_lhs ->
+            (* X -> lhs(fd), fd : lhs -> rhs, so X -> rhs. *)
+            let to_rhs =
+              Transitivity (to_lhs, Given fd, Fd.make x fd.Fd.rhs)
+            in
+            Attribute.Set.iter
+              (fun attribute ->
+                if not (Hashtbl.mem proofs attribute) then begin
+                  (* Project: X -> rhs, rhs -> {attribute} refl. *)
+                  let projected =
+                    Transitivity
+                      ( to_rhs,
+                        Reflexivity
+                          (Fd.make fd.Fd.rhs (Attribute.Set.singleton attribute)),
+                        Fd.make x (Attribute.Set.singleton attribute) )
+                  in
+                  Hashtbl.replace proofs attribute projected;
+                  changed := true
+                end)
+              fd.Fd.rhs
+        end)
+      fds
+  done;
+  if Attribute.Set.for_all (Hashtbl.mem proofs) goal.Fd.rhs then
+    proof_of_set goal.Fd.rhs
+  else None
+
+let rec size = function
+  | Given _ | Reflexivity _ -> 1
+  | Augmentation (p, _, _) -> 1 + size p
+  | Transitivity (p1, p2, _) -> 1 + size p1 + size p2
+
+let rec pp ppf = function
+  | Given fd -> Format.fprintf ppf "@[given %a@]" Fd.pp fd
+  | Reflexivity fd -> Format.fprintf ppf "@[refl %a@]" Fd.pp fd
+  | Augmentation (p, extra, fd) ->
+    Format.fprintf ppf "@[<v 2>aug(+%a) %a@,%a@]" Attribute.pp_set extra Fd.pp fd
+      pp p
+  | Transitivity (p1, p2, fd) ->
+    Format.fprintf ppf "@[<v 2>trans %a@,%a@,%a@]" Fd.pp fd pp p1 pp p2

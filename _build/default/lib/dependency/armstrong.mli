@@ -1,0 +1,36 @@
+(** Armstrong's axioms as a proof system.
+
+    {!Fd.implies} decides implication by attribute closure;
+    this module makes the same fact {e auditable}: {!derive} produces
+    an explicit derivation using only reflexivity, augmentation and
+    transitivity, and {!verify} checks a derivation independently. The
+    two together are executable soundness + completeness for the
+    axioms (property-tested against closure on random instances). *)
+
+open Relational
+
+type proof =
+  | Given of Fd.t  (** an FD from the hypothesis set *)
+  | Reflexivity of Fd.t  (** [X -> Y] with [Y ⊆ X] *)
+  | Augmentation of proof * Attribute.Set.t * Fd.t
+      (** from [X -> Y] conclude [XW -> YW] *)
+  | Transitivity of proof * proof * Fd.t
+      (** from [X -> Y] and [Y -> Z] conclude [X -> Z] *)
+
+val conclusion : proof -> Fd.t
+
+val verify : Fd.t list -> proof -> bool
+(** Check every inference step's side condition and that each [Given]
+    leaf is in the hypothesis set. *)
+
+val derive : Fd.t list -> Fd.t -> proof option
+(** [derive fds goal] is a verified derivation of [goal] from [fds],
+    or [None] when [goal] is not implied. Completeness mirrors the
+    closure computation, so [derive fds goal <> None] iff
+    [Fd.implies fds goal]. *)
+
+val size : proof -> int
+(** Number of inference nodes. *)
+
+val pp : Format.formatter -> proof -> unit
+(** Indented natural-deduction rendering. *)

@@ -1,0 +1,216 @@
+open Relational
+
+type symbol =
+  | Distinguished
+  | Var of int
+
+type row = symbol array
+
+module Row = struct
+  type t = row
+
+  let compare = Stdlib.compare
+end
+
+module Row_set = Set.Make (Row)
+
+type tableau = {
+  schema : Schema.t;
+  body : Row_set.t;
+}
+
+let symbol_compare a b =
+  match a, b with
+  | Distinguished, Distinguished -> 0
+  | Distinguished, Var _ -> -1
+  | Var _, Distinguished -> 1
+  | Var i, Var j -> Int.compare i j
+
+let initial_for_decomposition schema components =
+  if components = [] then invalid_arg "Chase: empty decomposition";
+  let universe = Schema.attribute_set schema in
+  List.iter
+    (fun component ->
+      if not (Attribute.Set.subset component universe) then
+        invalid_arg "Chase: decomposition mentions foreign attributes")
+    components;
+  let degree = Schema.degree schema in
+  let fresh = ref 0 in
+  let make_row component =
+    Array.init degree (fun i ->
+        if Attribute.Set.mem (Schema.attribute_at schema i) component then
+          Distinguished
+        else begin
+          (* A fresh variable per (row, column) not covered. *)
+          incr fresh;
+          Var !fresh
+        end)
+  in
+  let body =
+    List.fold_left
+      (fun acc component -> Row_set.add (make_row component) acc)
+      Row_set.empty components
+  in
+  { schema; body }
+
+let rows t = Row_set.elements t.body
+
+let apply_subst (from_sym, to_sym) row =
+  Array.map (fun s -> if s = from_sym then to_sym else s) row
+
+let substitute body pair = Row_set.map (apply_subst pair) body
+
+let positions schema side =
+  List.map (Schema.position schema) (Attribute.Set.elements side)
+
+let agree_on positions (a : row) (b : row) =
+  List.for_all (fun i -> a.(i) = b.(i)) positions
+
+(* One FD step: two rows agreeing on lhs but differing on some rhs
+   column force their symbols there to unify (the smaller symbol
+   wins). Returns the substitution applied, if any. *)
+let fd_step schema body (fd : Fd.t) =
+  let lhs = positions schema fd.Fd.lhs in
+  let rhs = positions schema fd.Fd.rhs in
+  let row_list = Row_set.elements body in
+  let rec scan = function
+    | [] -> None
+    | a :: rest -> (
+      let conflicting =
+        List.find_opt (fun b -> agree_on lhs a b && not (agree_on rhs a b)) rest
+      in
+      match conflicting with
+      | None -> scan rest
+      | Some b ->
+        let column = List.find (fun i -> a.(i) <> b.(i)) rhs in
+        let low, high =
+          if symbol_compare a.(column) b.(column) < 0 then
+            (a.(column), b.(column))
+          else (b.(column), a.(column))
+        in
+        Some (high, low))
+  in
+  scan row_list
+
+(* One MVD step: rows a, b agreeing on lhs generate the swap row
+   (rhs-part from a, the rest from b). Returns rows not yet present. *)
+let mvd_step schema body (mvd : Mvd.t) =
+  let lhs = positions schema mvd.Mvd.lhs in
+  let rhs = positions schema mvd.Mvd.rhs in
+  let in_rhs = Array.make (Schema.degree schema) false in
+  List.iter (fun i -> in_rhs.(i) <- true) rhs;
+  let swap (a : row) (b : row) : row =
+    Array.init (Schema.degree schema) (fun i ->
+        if in_rhs.(i) then a.(i) else b.(i))
+  in
+  let row_list = Row_set.elements body in
+  let fresh =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if a != b && agree_on lhs a b then
+              let candidate = swap a b in
+              if Row_set.mem candidate body then None else Some candidate
+            else None)
+          row_list)
+      row_list
+  in
+  match fresh with
+  | [] -> None
+  | _ -> Some (List.fold_left (fun acc row -> Row_set.add row acc) body fresh)
+
+(* The full chase, threading an accumulator that observes every FD
+   substitution (used by [implies_mvd] to track designated rows). *)
+let chase_with ?(max_steps = 10_000) fds mvds t ~init ~on_subst =
+  let rec loop body acc steps =
+    if steps > max_steps then failwith "Chase.chase: step budget exceeded";
+    let fd_change =
+      List.fold_left
+        (fun found fd ->
+          match found with Some _ -> found | None -> fd_step t.schema body fd)
+        None fds
+    in
+    match fd_change with
+    | Some pair -> loop (substitute body pair) (on_subst acc pair) (steps + 1)
+    | None -> (
+      let mvd_change =
+        List.fold_left
+          (fun found mvd ->
+            match found with Some _ -> found | None -> mvd_step t.schema body mvd)
+          None mvds
+      in
+      match mvd_change with
+      | Some body' -> loop body' acc (steps + 1)
+      | None -> ({ t with body }, acc))
+  in
+  loop t.body init 0
+
+let chase ?max_steps fds mvds t =
+  fst (chase_with ?max_steps fds mvds t ~init:() ~on_subst:(fun () _ -> ()))
+
+let has_distinguished_row t =
+  Row_set.exists (fun row -> Array.for_all (fun s -> s = Distinguished) row) t.body
+
+let lossless_join schema fds mvds components =
+  let t = initial_for_decomposition schema components in
+  has_distinguished_row (chase fds mvds t)
+
+(* Implication tableaux start from two rows that agree exactly on the
+   dependency's left-hand side. *)
+let implication_rows schema lhs =
+  let degree = Schema.degree schema in
+  let lhs_positions = positions schema lhs in
+  let is_lhs = Array.make degree false in
+  List.iter (fun i -> is_lhs.(i) <- true) lhs_positions;
+  let row_a =
+    Array.init degree (fun i -> if is_lhs.(i) then Distinguished else Var (i + 1))
+  in
+  let row_b =
+    Array.init degree (fun i ->
+        if is_lhs.(i) then Distinguished else Var (i + 1 + degree))
+  in
+  (row_a, row_b)
+
+let implies_fd schema fds mvds (goal : Fd.t) =
+  let row_a, row_b = implication_rows schema goal.Fd.lhs in
+  let t = { schema; body = Row_set.of_list [ row_a; row_b ] } in
+  let chased, (a, b) =
+    chase_with fds mvds t
+      ~init:(row_a, row_b)
+      ~on_subst:(fun (a, b) pair -> (apply_subst pair a, apply_subst pair b))
+  in
+  ignore chased;
+  let rhs = positions schema goal.Fd.rhs in
+  agree_on rhs a b
+
+let implies_mvd schema fds mvds (goal : Mvd.t) =
+  let row_a, row_b = implication_rows schema goal.Mvd.lhs in
+  let t = { schema; body = Row_set.of_list [ row_a; row_b ] } in
+  let chased, (a, b) =
+    chase_with fds mvds t
+      ~init:(row_a, row_b)
+      ~on_subst:(fun (a, b) pair -> (apply_subst pair a, apply_subst pair b))
+  in
+  let rhs = positions schema goal.Mvd.rhs in
+  let in_rhs = Array.make (Schema.degree schema) false in
+  List.iter (fun i -> in_rhs.(i) <- true) rhs;
+  let witness =
+    Array.init (Schema.degree schema) (fun i ->
+        if in_rhs.(i) then a.(i) else b.(i))
+  in
+  Row_set.mem witness chased.body
+
+let pp schema ppf t =
+  let pp_symbol ppf = function
+    | Distinguished -> Format.pp_print_string ppf "a"
+    | Var i -> Format.fprintf ppf "b%d" i
+  in
+  let pp_row ppf row =
+    Format.fprintf ppf "[@[%a@]]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (i, s) ->
+           Format.fprintf ppf "%a:%a" Attribute.pp (Schema.attribute_at schema i)
+             pp_symbol s))
+      (Array.to_list (Array.mapi (fun i s -> (i, s)) row))
+  in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_row) (rows t)

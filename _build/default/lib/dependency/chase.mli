@@ -1,0 +1,47 @@
+(** The chase over tableaux.
+
+    Standard tool for reasoning about FDs and MVDs together: lossless
+    join tests for decompositions (used when validating 3NF/4NF
+    output) and implication of a dependency from a mixed set. The
+    tableau alphabet is {e distinguished} symbols plus numbered
+    variables; FDs equate symbols, MVDs add swap rows. *)
+
+open Relational
+
+type symbol =
+  | Distinguished
+  | Var of int
+
+type row = symbol array
+(** One tableau row, positionally aligned with the schema. *)
+
+type tableau
+
+val initial_for_decomposition : Schema.t -> Attribute.Set.t list -> tableau
+(** Row [i] is distinguished exactly on the [i]-th component of the
+    decomposition. @raise Invalid_argument if a component mentions an
+    attribute outside the schema or the list is empty. *)
+
+val rows : tableau -> row list
+
+val chase : ?max_steps:int -> Fd.t list -> Mvd.t list -> tableau -> tableau
+(** Run FD and MVD rules to fixpoint. [max_steps] (default [10_000])
+    bounds rule applications; @raise Failure if exceeded (MVD chases
+    are finite here because the symbol universe is fixed, but the
+    guard keeps bugs loud). *)
+
+val has_distinguished_row : tableau -> bool
+
+val lossless_join :
+  Schema.t -> Fd.t list -> Mvd.t list -> Attribute.Set.t list -> bool
+(** [lossless_join schema fds mvds components] — does the decomposition
+    into [components] have a lossless natural join under the given
+    dependencies? *)
+
+val implies_fd : Schema.t -> Fd.t list -> Mvd.t list -> Fd.t -> bool
+(** Chase-based implication of an FD from a mixed dependency set. *)
+
+val implies_mvd : Schema.t -> Fd.t list -> Mvd.t list -> Mvd.t -> bool
+(** Chase-based implication of an MVD from a mixed dependency set. *)
+
+val pp : Schema.t -> Format.formatter -> tableau -> unit

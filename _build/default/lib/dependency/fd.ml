@@ -1,0 +1,168 @@
+open Relational
+
+type t = {
+  lhs : Attribute.Set.t;
+  rhs : Attribute.Set.t;
+}
+
+let make lhs rhs =
+  if Attribute.Set.is_empty lhs then invalid_arg "Fd.make: empty left-hand side";
+  if Attribute.Set.is_empty rhs then invalid_arg "Fd.make: empty right-hand side";
+  { lhs; rhs }
+
+let of_names lhs rhs =
+  make (Attribute.set_of_list lhs) (Attribute.set_of_list rhs)
+
+let compare a b =
+  let c = Attribute.Set.compare a.lhs b.lhs in
+  if c <> 0 then c else Attribute.Set.compare a.rhs b.rhs
+
+let equal a b = compare a b = 0
+
+let pp_side ppf side =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space Attribute.pp ppf
+    (Attribute.Set.elements side)
+
+let pp ppf fd = Format.fprintf ppf "@[%a -> %a@]" pp_side fd.lhs pp_side fd.rhs
+let trivial fd = Attribute.Set.subset fd.rhs fd.lhs
+
+let closure fds xs =
+  let step acc =
+    List.fold_left
+      (fun acc fd ->
+        if Attribute.Set.subset fd.lhs acc then Attribute.Set.union acc fd.rhs
+        else acc)
+      acc fds
+  in
+  let rec fixpoint acc =
+    let next = step acc in
+    if Attribute.Set.equal next acc then acc else fixpoint next
+  in
+  fixpoint xs
+
+let implies fds fd = Attribute.Set.subset fd.rhs (closure fds fd.lhs)
+
+let equivalent cover_a cover_b =
+  List.for_all (implies cover_a) cover_b && List.for_all (implies cover_b) cover_a
+
+let satisfied_by r fd =
+  let schema = Relation.schema r in
+  let lhs = Attribute.Set.elements fd.lhs in
+  let rhs = Attribute.Set.elements fd.rhs in
+  let witness : (Value.t list, Value.t list) Hashtbl.t = Hashtbl.create 64 in
+  let ok = ref true in
+  Relation.iter
+    (fun tuple ->
+      let key = List.map (Tuple.field schema tuple) lhs in
+      let image = List.map (Tuple.field schema tuple) rhs in
+      match Hashtbl.find_opt witness key with
+      | None -> Hashtbl.add witness key image
+      | Some seen ->
+        if not (List.equal Value.equal seen image) then ok := false)
+    r;
+  !ok
+
+let all_satisfied r fds = List.for_all (satisfied_by r) fds
+
+let minimal_cover fds =
+  (* Step 1: singleton right-hand sides. *)
+  let singletons =
+    List.concat_map
+      (fun fd ->
+        List.map
+          (fun attribute -> make fd.lhs (Attribute.Set.singleton attribute))
+          (Attribute.Set.elements fd.rhs))
+      fds
+    |> List.filter (fun fd -> not (trivial fd))
+    |> List.sort_uniq compare
+  in
+  (* Step 2: drop extraneous left-hand attributes. *)
+  let shrink_lhs all fd =
+    let rec try_drop lhs =
+      let droppable =
+        List.find_opt
+          (fun attribute ->
+            let smaller = Attribute.Set.remove attribute lhs in
+            (not (Attribute.Set.is_empty smaller))
+            && implies all (make smaller fd.rhs))
+          (Attribute.Set.elements lhs)
+      in
+      match droppable with
+      | Some attribute -> try_drop (Attribute.Set.remove attribute lhs)
+      | None -> lhs
+    in
+    make (try_drop fd.lhs) fd.rhs
+  in
+  let shrunk = List.sort_uniq compare (List.map (shrink_lhs singletons) singletons) in
+  (* Step 3: drop redundant FDs, one at a time. *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+      if implies (List.rev_append kept rest) fd then prune kept rest
+      else prune (fd :: kept) rest
+  in
+  prune [] shrunk
+
+let is_key xs schema fds =
+  Attribute.Set.subset (Schema.attribute_set schema) (closure fds xs)
+
+let candidate_keys schema fds =
+  if Schema.degree schema > 20 then
+    invalid_arg "Fd.candidate_keys: schema degree > 20";
+  let universe = Schema.attribute_set schema in
+  let fds = List.filter (fun fd -> not (trivial fd)) fds in
+  (* Attributes never derived by any FD must be in every key. *)
+  let derived =
+    List.fold_left
+      (fun acc fd -> Attribute.Set.union acc (Attribute.Set.diff fd.rhs fd.lhs))
+      Attribute.Set.empty fds
+  in
+  let core = Attribute.Set.diff universe derived in
+  let optional = Attribute.Set.elements (Attribute.Set.diff universe core) in
+  if is_key core schema fds then [ core ]
+  else begin
+    (* Breadth-first over supersets of [core], smallest first, keeping
+       only minimal keys. *)
+    let keys = ref [] in
+    let minimal_so_far xs =
+      not (List.exists (fun key -> Attribute.Set.subset key xs) !keys)
+    in
+    let rec subsets_of_size k = function
+      | [] -> if k = 0 then [ [] ] else []
+      | x :: rest ->
+        if k = 0 then [ [] ]
+        else
+          List.map (fun subset -> x :: subset) (subsets_of_size (k - 1) rest)
+          @ subsets_of_size k rest
+    in
+    for size = 1 to List.length optional do
+      List.iter
+        (fun extra ->
+          let xs = Attribute.Set.union core (Attribute.Set.of_list extra) in
+          if minimal_so_far xs && is_key xs schema fds then keys := xs :: !keys)
+        (subsets_of_size size optional)
+    done;
+    List.sort Attribute.Set.compare !keys
+  end
+
+let project fds xs =
+  if Attribute.Set.cardinal xs > 16 then
+    invalid_arg "Fd.project: attribute set larger than 16";
+  let elements = Attribute.Set.elements xs in
+  let rec subsets = function
+    | [] -> [ Attribute.Set.empty ]
+    | x :: rest ->
+      let smaller = subsets rest in
+      smaller @ List.map (Attribute.Set.add x) smaller
+  in
+  let projected =
+    List.filter_map
+      (fun lhs ->
+        if Attribute.Set.is_empty lhs then None
+        else
+          let image = Attribute.Set.inter (closure fds lhs) xs in
+          let rhs = Attribute.Set.diff image lhs in
+          if Attribute.Set.is_empty rhs then None else Some (make lhs rhs))
+      (subsets elements)
+  in
+  minimal_cover projected

@@ -1,0 +1,64 @@
+(** Functional dependencies and their inference.
+
+    Implements the classical FD toolkit the paper leans on in Sec. 3.4:
+    attribute-set closure under Armstrong's axioms, implication,
+    minimal covers (Bernstein's prerequisite [13]), candidate keys, and
+    instance satisfaction. Attribute sets are {!Relational.Attribute.Set}. *)
+
+open Relational
+
+type t = {
+  lhs : Attribute.Set.t;
+  rhs : Attribute.Set.t;
+}
+(** The FD [lhs -> rhs]. Both sides non-empty by {!make}. *)
+
+val make : Attribute.Set.t -> Attribute.Set.t -> t
+(** @raise Invalid_argument if either side is empty. *)
+
+val of_names : string list -> string list -> t
+(** [of_names ["A"; "B"] ["C"]] is the FD [A B -> C]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as [A B -> C]. *)
+
+val trivial : t -> bool
+(** [trivial fd] — is [rhs ⊆ lhs]? *)
+
+val closure : t list -> Attribute.Set.t -> Attribute.Set.t
+(** [closure fds xs] is the attribute closure [xs⁺] under [fds]
+    (fixpoint of one-step application; linear passes). *)
+
+val implies : t list -> t -> bool
+(** [implies fds fd] — does [fds ⊨ fd]? (via closure). *)
+
+val equivalent : t list -> t list -> bool
+(** Mutual implication of two covers. *)
+
+val satisfied_by : Relation.t -> t -> bool
+(** [satisfied_by r fd] checks the instance [r] against [fd]: no two
+    tuples agree on [lhs] yet differ on [rhs].
+    @raise Schema.Schema_error if [fd] mentions foreign attributes. *)
+
+val all_satisfied : Relation.t -> t list -> bool
+
+val minimal_cover : t list -> t list
+(** A canonical cover: singleton right-hand sides, no extraneous
+    left-hand attributes, no redundant FDs. Result order is
+    deterministic. *)
+
+val is_key : Attribute.Set.t -> Schema.t -> t list -> bool
+(** [is_key xs schema fds] — does [xs⁺] cover all of [schema]? *)
+
+val candidate_keys : Schema.t -> t list -> Attribute.Set.t list
+(** All minimal keys, by breadth-first search over attribute subsets
+    seeded with the attributes that never appear on a right-hand side.
+    Exponential in the worst case; fine for schema degrees used here
+    (guarded at degree 20). *)
+
+val project : t list -> Attribute.Set.t -> t list
+(** [project fds xs] computes a cover of the FDs that hold on the
+    subschema [xs] (closure of every subset of [xs]; exponential,
+    guarded at |xs| = 16). Returned as a minimal cover. *)

@@ -1,0 +1,88 @@
+open Relational
+
+type t = {
+  lhs : Attribute.Set.t;
+  rhs : Attribute.Set.t;
+}
+
+let make lhs rhs =
+  if Attribute.Set.is_empty lhs then invalid_arg "Mvd.make: empty left-hand side";
+  if not (Attribute.Set.is_empty (Attribute.Set.inter lhs rhs)) then
+    invalid_arg "Mvd.make: sides overlap";
+  { lhs; rhs }
+
+let of_names lhs rhs =
+  make (Attribute.set_of_list lhs) (Attribute.set_of_list rhs)
+
+let compare a b =
+  let c = Attribute.Set.compare a.lhs b.lhs in
+  if c <> 0 then c else Attribute.Set.compare a.rhs b.rhs
+
+let equal a b = compare a b = 0
+
+let pp_side ppf side =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space Attribute.pp ppf
+    (Attribute.Set.elements side)
+
+let pp ppf mvd = Format.fprintf ppf "@[%a ->-> %a@]" pp_side mvd.lhs pp_side mvd.rhs
+
+let complement schema mvd =
+  let universe = Schema.attribute_set schema in
+  let other = Attribute.Set.diff universe (Attribute.Set.union mvd.lhs mvd.rhs) in
+  if Attribute.Set.is_empty other then
+    invalid_arg "Mvd.complement: complement side is empty";
+  make mvd.lhs other
+
+let trivial schema mvd =
+  let universe = Schema.attribute_set schema in
+  Attribute.Set.subset mvd.rhs mvd.lhs
+  || Attribute.Set.equal (Attribute.Set.union mvd.lhs mvd.rhs) universe
+
+let of_fd (fd : Fd.t) =
+  make fd.Fd.lhs (Attribute.Set.diff fd.Fd.rhs fd.Fd.lhs)
+
+(* Swap test: group by X; within a group, collect the distinct Y-parts
+   and Z-parts; the MVD holds iff the group equals the full cross
+   product of its Y-parts and Z-parts. *)
+let group_parts r mvd =
+  let schema = Relation.schema r in
+  let universe = Schema.attribute_set schema in
+  let xs = Attribute.Set.elements mvd.lhs in
+  let ys = Attribute.Set.elements (Attribute.Set.inter mvd.rhs universe) in
+  let zs =
+    Attribute.Set.elements
+      (Attribute.Set.diff universe (Attribute.Set.union mvd.lhs mvd.rhs))
+  in
+  let groups : (Value.t list, Tuple.t list) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter
+    (fun tuple ->
+      let key = List.map (Tuple.field schema tuple) xs in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (tuple :: existing))
+    r;
+  (schema, ys, zs, groups)
+
+let violations r mvd =
+  let schema, ys, zs, groups = group_parts r mvd in
+  let part attrs tuple = List.map (Tuple.field schema tuple) attrs in
+  let member group y_part z_part =
+    List.exists
+      (fun tuple ->
+        List.equal Value.equal (part ys tuple) y_part
+        && List.equal Value.equal (part zs tuple) z_part)
+      group
+  in
+  Hashtbl.fold
+    (fun _key group acc ->
+      List.fold_left
+        (fun acc t1 ->
+          List.fold_left
+            (fun acc t2 ->
+              if member group (part ys t1) (part zs t2) then acc
+              else (t1, t2) :: acc)
+            acc group)
+        acc group)
+    groups []
+
+let satisfied_by r mvd = violations r mvd = []
+let all_satisfied r mvds = List.for_all (satisfied_by r) mvds

@@ -1,0 +1,45 @@
+(** Multivalued dependencies (Fagin [2]).
+
+    An MVD [X ->-> Y | Z] over a universe [U] (with [Z = U - X - Y])
+    says: the set of [Y]-values associated with an [X]-value is
+    independent of the [Z]-values. MVDs are exactly what make the
+    paper's entity relation [R1] updatable field-wise (Sec. 2, Figs.
+    1–2) and drive Theorem 4 / Example 3. *)
+
+open Relational
+
+type t = {
+  lhs : Attribute.Set.t;  (** the determining side [X] *)
+  rhs : Attribute.Set.t;  (** one group [Y]; the other is implicit *)
+}
+
+val make : Attribute.Set.t -> Attribute.Set.t -> t
+(** @raise Invalid_argument if [lhs] is empty or the sides overlap. *)
+
+val of_names : string list -> string list -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as [A ->-> B] (the complement side is implied by context). *)
+
+val complement : Schema.t -> t -> t
+(** [complement schema mvd] is [X ->-> Z] where
+    [Z = U - X - Y] — Fagin's complementation rule.
+    @raise Invalid_argument if [Z] would be empty. *)
+
+val trivial : Schema.t -> t -> bool
+(** [Y ⊆ X] or [X ∪ Y = U]. *)
+
+val of_fd : Fd.t -> t
+(** Every FD is an MVD. *)
+
+val satisfied_by : Relation.t -> t -> bool
+(** Instance check: for tuples [t1], [t2] agreeing on [X] there is a
+    tuple taking its [Y]-part from [t1] and its [Z]-part from [t2].
+    Implemented by the swap test on each [X]-group. *)
+
+val all_satisfied : Relation.t -> t list -> bool
+
+val violations : Relation.t -> t -> (Tuple.t * Tuple.t) list
+(** Pairs whose required swap tuple is missing (empty iff satisfied).
+    Useful in tests and the CLI's explain output. *)

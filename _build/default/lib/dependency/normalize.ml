@@ -1,0 +1,159 @@
+open Relational
+
+let is_superkey schema fds xs = Fd.is_key xs schema fds
+
+let is_prime schema fds attribute =
+  List.exists
+    (fun key -> Attribute.Set.mem attribute key)
+    (Fd.candidate_keys schema fds)
+
+(* FDs relevant to a schema: the projection of the cover. *)
+let local_fds schema fds =
+  Fd.project fds (Schema.attribute_set schema)
+
+let is_bcnf schema fds =
+  let local = local_fds schema fds in
+  List.for_all
+    (fun (fd : Fd.t) -> Fd.trivial fd || is_superkey schema local fd.Fd.lhs)
+    local
+
+let is_3nf schema fds =
+  let local = local_fds schema fds in
+  List.for_all
+    (fun (fd : Fd.t) ->
+      Fd.trivial fd
+      || is_superkey schema local fd.Fd.lhs
+      || Attribute.Set.for_all
+           (fun attribute -> is_prime schema local attribute)
+           (Attribute.Set.diff fd.Fd.rhs fd.Fd.lhs))
+    local
+
+(* The MVDs we examine for 4NF: the given ones, their complements, and
+   the given FDs read as MVDs — restricted to the schema at hand. *)
+let relevant_mvds schema fds mvds =
+  let universe = Schema.attribute_set schema in
+  let fits (mvd : Mvd.t) =
+    Attribute.Set.subset mvd.Mvd.lhs universe
+    && Attribute.Set.subset mvd.Mvd.rhs universe
+  in
+  let given = List.filter fits mvds in
+  let complements =
+    List.filter_map
+      (fun mvd ->
+        match Mvd.complement schema mvd with
+        | complement -> Some complement
+        | exception Invalid_argument _ -> None)
+      given
+  in
+  let from_fds =
+    List.filter_map
+      (fun (fd : Fd.t) ->
+        match Mvd.of_fd fd with
+        | mvd when fits mvd -> Some mvd
+        | _ -> None
+        | exception Invalid_argument _ -> None)
+      fds
+  in
+  List.sort_uniq Mvd.compare (given @ complements @ from_fds)
+
+let mvd_violation schema fds mvds =
+  let local = local_fds schema fds in
+  List.find_opt
+    (fun (mvd : Mvd.t) ->
+      (not (Mvd.trivial schema mvd)) && not (is_superkey schema local mvd.Mvd.lhs))
+    (relevant_mvds schema fds mvds)
+
+let is_4nf schema fds mvds = mvd_violation schema fds mvds = None
+
+let synthesize_3nf schema fds =
+  let cover = Fd.minimal_cover fds in
+  (* Group FDs by left-hand side. *)
+  let groups =
+    List.fold_left
+      (fun groups (fd : Fd.t) ->
+        let existing =
+          match
+            List.find_opt
+              (fun (lhs, _) -> Attribute.Set.equal lhs fd.Fd.lhs)
+              groups
+          with
+          | Some (_, rhs) -> rhs
+          | None -> Attribute.Set.empty
+        in
+        (fd.Fd.lhs, Attribute.Set.union existing fd.Fd.rhs)
+        :: List.filter (fun (lhs, _) -> not (Attribute.Set.equal lhs fd.Fd.lhs)) groups)
+      [] cover
+  in
+  let components =
+    List.map (fun (lhs, rhs) -> Attribute.Set.union lhs rhs) groups
+  in
+  (* Attributes mentioned by no FD must still be stored somewhere:
+     they are part of every key, so the key component covers them. *)
+  let keys = Fd.candidate_keys schema cover in
+  let has_key =
+    List.exists
+      (fun component -> List.exists (fun key -> Attribute.Set.subset key component) keys)
+      components
+  in
+  let components =
+    if has_key then components
+    else
+      match keys with
+      | key :: _ -> key :: components
+      | [] -> components
+  in
+  (* Drop components subsumed by another. *)
+  let components =
+    List.filter
+      (fun component ->
+        not
+          (List.exists
+             (fun other ->
+               (not (Attribute.Set.equal component other))
+               && Attribute.Set.subset component other)
+             components))
+      components
+  in
+  List.map (Schema.restrict schema) (List.sort_uniq Attribute.Set.compare components)
+
+let bcnf_decompose schema fds =
+  let rec split schema =
+    let local = local_fds schema fds in
+    let violation =
+      List.find_opt
+        (fun (fd : Fd.t) ->
+          (not (Fd.trivial fd)) && not (is_superkey schema local fd.Fd.lhs))
+        local
+    in
+    match violation with
+    | None -> [ schema ]
+    | Some fd ->
+      let closure_in_schema =
+        Attribute.Set.inter
+          (Fd.closure local fd.Fd.lhs)
+          (Schema.attribute_set schema)
+      in
+      let left = Schema.restrict schema closure_in_schema in
+      let right =
+        Schema.restrict schema
+          (Attribute.Set.union fd.Fd.lhs
+             (Attribute.Set.diff (Schema.attribute_set schema) closure_in_schema))
+      in
+      split left @ split right
+  in
+  split schema
+
+let fourth_nf_decompose schema fds mvds =
+  let rec split schema =
+    if Schema.degree schema <= 2 then [ schema ]
+    else
+      match mvd_violation schema fds mvds with
+      | Some mvd ->
+        let universe = Schema.attribute_set schema in
+        let rhs = Attribute.Set.inter mvd.Mvd.rhs universe in
+        let left = Schema.restrict schema (Attribute.Set.union mvd.Mvd.lhs rhs) in
+        let right = Schema.restrict schema (Attribute.Set.diff universe rhs) in
+        split left @ split right
+      | None -> bcnf_decompose schema fds
+  in
+  split schema

@@ -1,0 +1,1 @@
+lib/hnfr/hcodec.ml: Attribute Buffer Bytes Hrel Hschema List Printf Relational Storage String Value

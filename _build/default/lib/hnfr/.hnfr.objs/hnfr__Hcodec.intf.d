@@ -1,0 +1,1 @@
+lib/hnfr/hcodec.mli: Buffer Hrel Hschema

@@ -1,0 +1,1 @@
+lib/hnfr/hrel.ml: Array Attribute Format Fun Hschema List Map Nfr Nfr_core Ntuple Option Relation Relational Schema Tuple Value Vset

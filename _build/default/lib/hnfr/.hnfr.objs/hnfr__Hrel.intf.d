@@ -1,0 +1,1 @@
+lib/hnfr/hrel.mli: Attribute Format Hschema Nfr Nfr_core Relation Relational Schema Value

@@ -1,0 +1,1 @@
+lib/hnfr/hschema.ml: Array Attribute Format List Relational Schema Stdlib Value

@@ -1,0 +1,1 @@
+lib/hnfr/hschema.mli: Attribute Format Relational Schema Value

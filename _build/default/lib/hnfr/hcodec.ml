@@ -1,0 +1,117 @@
+open Relational
+
+let encode_string buffer s =
+  Storage.Codec.encode_varint buffer (String.length s);
+  Buffer.add_string buffer s
+
+let decode_string bytes offset =
+  let length, offset = Storage.Codec.decode_varint bytes offset in
+  if offset + length > Bytes.length bytes then failwith "Hcodec: truncated string";
+  (Bytes.sub_string bytes offset length, offset + length)
+
+let ty_tag = function
+  | Value.Tint -> 0
+  | Value.Tfloat -> 1
+  | Value.Tstring -> 2
+  | Value.Tbool -> 3
+
+let ty_of_tag = function
+  | 0 -> Value.Tint
+  | 1 -> Value.Tfloat
+  | 2 -> Value.Tstring
+  | 3 -> Value.Tbool
+  | tag -> failwith (Printf.sprintf "Hcodec: unknown type tag %d" tag)
+
+let rec encode_node buffer = function
+  | Hschema.Atomic ty ->
+    Storage.Codec.encode_varint buffer 0;
+    Storage.Codec.encode_varint buffer (ty_tag ty)
+  | Hschema.Nested inner ->
+    Storage.Codec.encode_varint buffer 1;
+    encode_schema buffer inner
+
+and encode_schema buffer hschema =
+  let columns = Hschema.columns hschema in
+  Storage.Codec.encode_varint buffer (List.length columns);
+  List.iter
+    (fun (attribute, node) ->
+      encode_string buffer (Attribute.name attribute);
+      encode_node buffer node)
+    columns
+
+let rec decode_node bytes offset =
+  let kind, offset = Storage.Codec.decode_varint bytes offset in
+  if kind = 0 then begin
+    let tag, offset = Storage.Codec.decode_varint bytes offset in
+    (Hschema.Atomic (ty_of_tag tag), offset)
+  end
+  else if kind = 1 then begin
+    let inner, offset = decode_schema bytes offset in
+    (Hschema.Nested inner, offset)
+  end
+  else failwith (Printf.sprintf "Hcodec: unknown node kind %d" kind)
+
+and decode_schema bytes offset =
+  let degree, offset = Storage.Codec.decode_varint bytes offset in
+  if degree = 0 then failwith "Hcodec: empty schema";
+  let columns = ref [] in
+  let offset = ref offset in
+  for _ = 1 to degree do
+    let name, next = decode_string bytes !offset in
+    let node, next = decode_node bytes next in
+    columns := (name, node) :: !columns;
+    offset := next
+  done;
+  (Hschema.make (List.rev !columns), !offset)
+
+let rec encode_body buffer hschema r =
+  Storage.Codec.encode_varint buffer (Hrel.cardinality r);
+  List.iter
+    (fun t ->
+      List.iteri
+        (fun i value ->
+          match Hschema.node_at hschema i, value with
+          | Hschema.Atomic _, Hrel.Atom atom ->
+            Storage.Codec.encode_value buffer atom
+          | Hschema.Nested inner, Hrel.Rel nested ->
+            encode_body buffer inner nested
+          | Hschema.Atomic _, Hrel.Rel _ | Hschema.Nested _, Hrel.Atom _ ->
+            invalid_arg "Hcodec.encode: value does not match schema")
+        (Hrel.tuple_values t))
+    (Hrel.tuples r)
+
+let rec decode_body bytes offset hschema =
+  let count, offset = Storage.Codec.decode_varint bytes offset in
+  let offset = ref offset in
+  let relation = ref (Hrel.empty hschema) in
+  for _ = 1 to count do
+    let fields =
+      List.map
+        (fun (_, node) ->
+          match node with
+          | Hschema.Atomic _ ->
+            let value, next = Storage.Codec.decode_value bytes !offset in
+            offset := next;
+            Hrel.Atom value
+          | Hschema.Nested inner ->
+            let nested, next = decode_body bytes !offset inner in
+            offset := next;
+            Hrel.Rel nested)
+        (Hschema.columns hschema)
+    in
+    relation := Hrel.add !relation (Hrel.tuple hschema fields)
+  done;
+  (!relation, !offset)
+
+let encode buffer r =
+  encode_schema buffer (Hrel.schema r);
+  encode_body buffer (Hrel.schema r) r
+
+let decode bytes offset =
+  let hschema, offset = decode_schema bytes offset in
+  decode_body bytes offset hschema
+
+let size r =
+  let buffer = Buffer.create 256 in
+  encode buffer r;
+  Buffer.length buffer

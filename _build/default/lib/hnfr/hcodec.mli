@@ -1,0 +1,20 @@
+(** Self-describing binary encoding of hierarchical relations.
+
+    Extends the storage codec to relation-valued domains: the schema
+    is serialized first (recursively), then the body; nested relations
+    inherit their schema from the column, so only counts and values
+    are written. Gives hierarchical data the same persistence story
+    flat relations and NFRs have in {!Storage.Codec}. *)
+
+val encode_schema : Buffer.t -> Hschema.t -> unit
+val decode_schema : bytes -> int -> Hschema.t * int
+(** @raise Failure on malformed input. *)
+
+val encode : Buffer.t -> Hrel.t -> unit
+(** Schema followed by body. *)
+
+val decode : bytes -> int -> Hrel.t * int
+(** @raise Failure or [Hrel.Hnfr_error] on malformed input. *)
+
+val size : Hrel.t -> int
+(** Encoded size in bytes. *)

@@ -1,0 +1,400 @@
+open Relational
+open Nfr_core
+
+exception Hnfr_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Hnfr_error msg)) fmt
+
+type value =
+  | Atom of Value.t
+  | Rel of t
+
+and tuple = value array
+
+and t = {
+  hschema : Hschema.t;
+  body : tuple list;  (* sorted, duplicate-free *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recursive comparison                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec compare_value a b =
+  match a, b with
+  | Atom va, Atom vb -> Value.compare va vb
+  | Atom _, Rel _ -> -1
+  | Rel _, Atom _ -> 1
+  | Rel ra, Rel rb -> compare ra rb
+
+and compare_tuple a b =
+  let rec loop i =
+    if i >= Array.length a && i >= Array.length b then 0
+    else if i >= Array.length a then -1
+    else if i >= Array.length b then 1
+    else
+      let c = compare_value a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+and compare ra rb =
+  let c = Hschema.compare ra.hschema rb.hschema in
+  if c <> 0 then c else List.compare compare_tuple ra.body rb.body
+
+let equal_tuple a b = compare_tuple a b = 0
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let empty hschema = { hschema; body = [] }
+let schema r = r.hschema
+
+let rec check_value node value =
+  match node, value with
+  | Hschema.Atomic ty, Atom atom ->
+    if Value.type_of atom <> ty then
+      error "atom %a is not a %s" Value.pp atom (Value.ty_name ty)
+  | Hschema.Nested inner, Rel nested ->
+    if not (Hschema.equal inner nested.hschema) then
+      error "nested relation has schema %a, expected %a" Hschema.pp
+        nested.hschema Hschema.pp inner;
+    if nested.body = [] then error "empty nested relation"
+  | Hschema.Atomic _, Rel _ -> error "expected an atom, got a relation"
+  | Hschema.Nested _, Atom atom -> error "expected a relation, got atom %a" Value.pp atom
+
+and check_tuple hschema fields =
+  if Array.length fields <> Hschema.degree hschema then
+    error "tuple arity %d does not match schema degree %d" (Array.length fields)
+      (Hschema.degree hschema);
+  Array.iteri (fun i value -> check_value (Hschema.node_at hschema i) value) fields
+
+let tuple hschema values =
+  let fields = Array.of_list values in
+  check_tuple hschema fields;
+  fields
+
+let tuple_values t = Array.to_list t
+
+let insert_sorted body t =
+  let rec go = function
+    | [] -> [ t ]
+    | head :: tail as all ->
+      let c = compare_tuple t head in
+      if c < 0 then t :: all else if c = 0 then all else head :: go tail
+  in
+  go body
+
+let add r t =
+  check_tuple r.hschema t;
+  { r with body = insert_sorted r.body t }
+
+let of_tuples hschema ts = List.fold_left add (empty hschema) ts
+let cardinality r = List.length r.body
+let is_empty r = r.body = []
+let mem r t = List.exists (equal_tuple t) r.body
+let tuples r = r.body
+let fold f r init = List.fold_left (fun acc t -> f t acc) init r.body
+let field r t attribute = t.(Hschema.position r.hschema attribute)
+
+let rec total_atoms r =
+  List.fold_left
+    (fun acc t ->
+      Array.fold_left
+        (fun acc value ->
+          match value with
+          | Atom _ -> acc + 1
+          | Rel nested -> acc + total_atoms nested)
+        acc t)
+    0 r.body
+
+(* ------------------------------------------------------------------ *)
+(* Embeddings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let of_relation flat =
+  let hschema = Hschema.of_flat (Relation.schema flat) in
+  Relation.fold
+    (fun t acc ->
+      add acc (Array.of_list (List.map (fun v -> Atom v) (Tuple.values t))))
+    flat (empty hschema)
+
+let to_relation r =
+  match Hschema.to_flat r.hschema with
+  | None -> None
+  | Some flat_schema ->
+    Some
+      (List.fold_left
+         (fun acc t ->
+           let values =
+             List.map
+               (fun value ->
+                 match value with Atom v -> v | Rel _ -> assert false)
+               (tuple_values t)
+           in
+           Relation.add acc (Tuple.make flat_schema values))
+         (Relation.empty flat_schema)
+         r.body)
+
+(* NFR embedding: schema (A, B) becomes (A(A:ty), B(B:ty)); each
+   component set becomes a unary nested relation. *)
+let nfr_hschema flat_schema =
+  Hschema.make
+    (List.map
+       (fun (attribute, ty) ->
+         ( Attribute.name attribute,
+           Hschema.nested [ (Attribute.name attribute, Hschema.atomic ty) ] ))
+       (Schema.columns flat_schema))
+
+let of_nfr nfr =
+  let flat_schema = Nfr.schema nfr in
+  let hschema = nfr_hschema flat_schema in
+  let unary_schema i =
+    match Hschema.node_at hschema i with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ -> assert false
+  in
+  Nfr.fold
+    (fun nt acc ->
+      let fields =
+        List.mapi
+          (fun i component ->
+            let inner = unary_schema i in
+            Rel
+              (of_tuples inner
+                 (List.map (fun v -> [| Atom v |]) (Vset.elements component))))
+          (Ntuple.components nt)
+      in
+      add acc (Array.of_list fields))
+    nfr (empty hschema)
+
+let to_nfr flat_schema r =
+  if not (Hschema.equal r.hschema (nfr_hschema flat_schema)) then None
+  else
+    Some
+      (List.fold_left
+         (fun acc t ->
+           let components =
+             List.map
+               (fun value ->
+                 match value with
+                 | Rel unary ->
+                   Vset.of_list
+                     (List.map
+                        (fun inner ->
+                          match inner.(0) with
+                          | Atom v -> v
+                          | Rel _ -> assert false)
+                        unary.body)
+                 | Atom _ -> assert false)
+               (tuple_values t)
+           in
+           Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components)))
+         (Nfr.empty flat_schema) r.body)
+
+(* ------------------------------------------------------------------ *)
+(* Nest / unnest                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Tuple_map = Map.Make (struct
+  type t = tuple
+
+  let compare = compare_tuple
+end)
+
+let nest r attrs ~into =
+  let target = Hschema.nest r.hschema attrs ~into in
+  let grouped_positions = List.map (Hschema.position r.hschema) attrs in
+  let kept_positions =
+    List.filter
+      (fun i -> not (List.mem i grouped_positions))
+      (List.init (Hschema.degree r.hschema) Fun.id)
+  in
+  let inner_schema =
+    match Hschema.node_of target (Attribute.make into) with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ -> assert false
+  in
+  let groups =
+    List.fold_left
+      (fun groups t ->
+        let key = Array.of_list (List.map (fun i -> t.(i)) kept_positions) in
+        let part = Array.of_list (List.map (fun i -> t.(i)) grouped_positions) in
+        let existing = Option.value ~default:[] (Tuple_map.find_opt key groups) in
+        Tuple_map.add key (part :: existing) groups)
+      Tuple_map.empty r.body
+  in
+  Tuple_map.fold
+    (fun key parts acc ->
+      let inner = of_tuples inner_schema parts in
+      add acc (Array.append key [| Rel inner |]))
+    groups (empty target)
+
+let unnest r attribute =
+  let target = Hschema.unnest r.hschema attribute in
+  let position = Hschema.position r.hschema attribute in
+  List.fold_left
+    (fun acc t ->
+      match t.(position) with
+      | Atom _ -> error "unnest: %s is atomic" (Attribute.name attribute)
+      | Rel inner ->
+        List.fold_left
+          (fun acc inner_tuple ->
+            let before = Array.sub t 0 position in
+            let after =
+              Array.sub t (position + 1) (Array.length t - position - 1)
+            in
+            add acc (Array.concat [ before; inner_tuple; after ]))
+          acc inner.body)
+    (empty target) r.body
+
+let rec unnest_all r =
+  let nested_attribute =
+    List.find_opt
+      (fun attribute ->
+        match Hschema.node_of r.hschema attribute with
+        | Hschema.Nested _ -> true
+        | Hschema.Atomic _ -> false)
+      (Hschema.attributes r.hschema)
+  in
+  match nested_attribute with
+  | None -> (
+    match to_relation r with
+    | Some flat -> flat
+    | None -> assert false)
+  | Some attribute -> unnest_all (unnest r attribute)
+
+(* ------------------------------------------------------------------ *)
+(* Selection, projection, depth application                            *)
+(* ------------------------------------------------------------------ *)
+
+let select_atom attribute target r =
+  let position = Hschema.position r.hschema attribute in
+  (match Hschema.node_at r.hschema position with
+  | Hschema.Atomic _ -> ()
+  | Hschema.Nested _ ->
+    error "select_atom: %s is relation-valued" (Attribute.name attribute));
+  {
+    r with
+    body =
+      List.filter
+        (fun t ->
+          match t.(position) with
+          | Atom v -> Value.equal v target
+          | Rel _ -> false)
+        r.body;
+  }
+
+let select_member attribute predicate r =
+  let position = Hschema.position r.hschema attribute in
+  {
+    r with
+    body =
+      List.filter
+        (fun t ->
+          match t.(position) with
+          | Rel inner -> List.exists predicate inner.body
+          | Atom _ -> error "select_member: %s is atomic" (Attribute.name attribute))
+        r.body;
+  }
+
+let project r attrs =
+  let positions = List.map (Hschema.position r.hschema) attrs in
+  let target =
+    Hschema.make
+      (List.map
+         (fun attribute ->
+           (Attribute.name attribute, Hschema.node_of r.hschema attribute))
+         attrs)
+  in
+  List.fold_left
+    (fun acc t ->
+      add acc (Array.of_list (List.map (fun i -> t.(i)) positions)))
+    (empty target) r.body
+
+let rec is_pnf r =
+  let atomic_positions =
+    List.filter
+      (fun i ->
+        match Hschema.node_at r.hschema i with
+        | Hschema.Atomic _ -> true
+        | Hschema.Nested _ -> false)
+      (List.init (Hschema.degree r.hschema) Fun.id)
+  in
+  let atomic_part t = List.map (fun i -> t.(i)) atomic_positions in
+  let rec no_duplicate_keys = function
+    | [] -> true
+    | t :: rest ->
+      (not
+         (List.exists
+            (fun other ->
+              List.equal
+                (fun a b -> compare_value a b = 0)
+                (atomic_part t) (atomic_part other))
+            rest))
+      && no_duplicate_keys rest
+  in
+  let nested_parts_pnf t =
+    Array.for_all
+      (fun value ->
+        match value with Atom _ -> true | Rel nested -> is_pnf nested)
+      t
+  in
+  (* A level with no atomic attribute can hold at most one tuple. *)
+  (if atomic_positions = [] then cardinality r <= 1 else no_duplicate_keys r.body)
+  && List.for_all nested_parts_pnf r.body
+
+let map_nested r attribute f =
+  let position = Hschema.position r.hschema attribute in
+  let inner_schema =
+    match Hschema.node_at r.hschema position with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ ->
+      error "map_nested: %s is atomic" (Attribute.name attribute)
+  in
+  List.fold_left
+    (fun acc t ->
+      match t.(position) with
+      | Atom _ -> assert false
+      | Rel inner ->
+        let image = f inner in
+        if not (Hschema.equal image.hschema inner_schema) then
+          error "map_nested: the function changed the nested schema";
+        if is_empty image then acc
+        else begin
+          let copy = Array.copy t in
+          copy.(position) <- Rel image;
+          add acc copy
+        end)
+    (empty r.hschema) r.body
+
+let rec map_path r path f =
+  match path with
+  | [] -> f r
+  | attribute :: rest ->
+    map_nested r attribute (fun inner -> map_path inner rest f)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_value ppf = function
+  | Atom v -> Value.pp ppf v
+  | Rel r -> pp ppf r
+
+and pp_tuple hschema ppf t =
+  let pp_field ppf i =
+    Format.fprintf ppf "%a=%a" Attribute.pp
+      (List.nth (Hschema.attributes hschema) i)
+      pp_value t.(i)
+  in
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_field)
+    (List.init (Array.length t) Fun.id)
+
+and pp ppf r =
+  Format.fprintf ppf "[@[<v>%a@]]"
+    (Format.pp_print_list (pp_tuple r.hschema))
+    r.body

@@ -1,0 +1,124 @@
+(** Hierarchical nested relations and the Jaeschke–Schek algebra.
+
+    Values are atoms or whole relations; relations are duplicate-free
+    sets of positional tuples over an {!Hschema.t}. [nest] groups a
+    column set into a relation-valued attribute, [unnest] splices one
+    back; the algebra laws
+
+    - [unnest (nest r attrs ~into) into = r] (always), and
+    - [nest (unnest r a) (columns a) ~into:a = r] when [r] came from a
+      nest on the same attributes (PNF-like shapes),
+
+    are property-tested in test/test_hnfr.ml. *)
+
+open Relational
+open Nfr_core
+
+type value =
+  | Atom of Value.t
+  | Rel of t
+
+and tuple
+
+and t
+(** A hierarchical relation: schema plus tuple set. *)
+
+exception Hnfr_error of string
+
+val empty : Hschema.t -> t
+val schema : t -> Hschema.t
+
+val tuple : Hschema.t -> value list -> tuple
+(** Schema-checked tuple constructor: arity, atom types, and nested
+    schemas (recursively). Nested relations must be non-empty — the
+    algebra's invertibility needs it. @raise Hnfr_error otherwise. *)
+
+val tuple_values : tuple -> value list
+val add : t -> tuple -> t
+(** @raise Hnfr_error on schema mismatch. *)
+
+val of_tuples : Hschema.t -> tuple list -> t
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> tuple -> bool
+val tuples : t -> tuple list
+val fold : (tuple -> 'a -> 'a) -> t -> 'a -> 'a
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val compare_tuple : tuple -> tuple -> int
+val equal_tuple : tuple -> tuple -> bool
+
+val field : t -> tuple -> Attribute.t -> value
+(** @raise Invalid_argument when the attribute is absent. *)
+
+val total_atoms : t -> int
+(** Number of atom occurrences, recursively (size measure used by the
+    compression reports). *)
+
+val of_relation : Relation.t -> t
+(** Embed a 1NF relation (depth 1, all atomic). *)
+
+val to_relation : t -> Relation.t option
+(** [Some] iff the schema is flat. *)
+
+val of_nfr : Nfr.t -> t
+(** Embed a set-valued NFR: each compound component becomes a unary
+    nested relation named after its attribute. Atomic-looking
+    components still become unary relations, so the embedding is
+    uniform: schema [(A, B)] maps to [(A(A), B(B))] with each inner
+    relation holding the component's values. *)
+
+val to_nfr : Schema.t -> t -> Nfr.t option
+(** Inverse of {!of_nfr} for relations of exactly that shape: every
+    attribute a unary nested relation of atoms over the given flat
+    schema. [None] when the shape does not match. *)
+
+val nest : t -> Attribute.t list -> into:string -> t
+(** Jaeschke–Schek [ν]: group tuples by the remaining attributes; the
+    listed columns of each group become one nested relation stored
+    under [into]. @raise Hnfr_error via {!Hschema.nest} on bad
+    arguments. *)
+
+val unnest : t -> Attribute.t -> t
+(** Jaeschke–Schek [μ]: splice a relation-valued attribute back in,
+    one output tuple per inner tuple. *)
+
+val unnest_all : t -> Relation.t
+(** Apply {!unnest} until the schema is flat (total: nested relations
+    are non-empty). The attribute names must stay distinct along the
+    way; @raise Hnfr_error otherwise. *)
+
+val select_atom : Attribute.t -> Value.t -> t -> t
+(** Top-level selection on an atomic attribute (equality). *)
+
+val select_member : Attribute.t -> (tuple -> bool) -> t -> t
+(** Tuples whose relation-valued attribute contains an inner tuple
+    satisfying the predicate — the hierarchical CONTAINS. *)
+
+val project : t -> Attribute.t list -> t
+(** Top-level projection (deduplicates). *)
+
+val is_pnf : t -> bool
+(** Partitioned Normal Form: at every level, the atomic attributes
+    functionally determine the tuple (no two tuples agree on all
+    atomic attributes), recursively inside every relation-valued
+    component. Relations produced by repeated [nest] from a flat
+    relation are always in PNF; hand-built ones need not be (the
+    [nest_not_always_invertible] test's counterexample is exactly a
+    non-PNF relation). On PNF relations, [nest (unnest r a) ... = r]
+    holds. *)
+
+val map_nested : t -> Attribute.t -> (t -> t) -> t
+(** [map_nested r a f] applies [f] to the nested relation at [a] of
+    every tuple — the algebra's "apply at depth" operator. Tuples
+    whose image under [f] is empty are dropped. @raise Hnfr_error if
+    [f] changes the nested schema. *)
+
+val map_path : t -> Attribute.t list -> (t -> t) -> t
+(** [map_path r [a1; ...; ak] f] applies [f] at the end of a chain of
+    relation-valued attributes — [map_nested] iterated along the path.
+    The empty path applies [f] to [r] itself. Tuples whose nested
+    image empties are dropped at every level on the way back up. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering. *)

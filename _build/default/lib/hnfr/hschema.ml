@@ -1,0 +1,143 @@
+open Relational
+
+type node =
+  | Atomic of Value.ty
+  | Nested of t
+
+and t = {
+  cols : (Attribute.t * node) array;
+  index : int Attribute.Map.t;
+}
+
+let make columns =
+  if columns = [] then invalid_arg "Hschema.make: empty schema";
+  let named = List.map (fun (name, node) -> (Attribute.make name, node)) columns in
+  let index, _ =
+    List.fold_left
+      (fun (index, position) (attribute, _) ->
+        if Attribute.Map.mem attribute index then
+          invalid_arg
+            (Format.asprintf "Hschema.make: duplicate attribute %a" Attribute.pp
+               attribute);
+        (Attribute.Map.add attribute position index, position + 1))
+      (Attribute.Map.empty, 0) named
+  in
+  { cols = Array.of_list named; index }
+
+let of_columns columns =
+  (* Internal: columns already carry interned attributes. *)
+  make (List.map (fun (attribute, node) -> (Attribute.name attribute, node)) columns)
+
+let atomic ty = Atomic ty
+let string_node = Atomic Value.Tstring
+let nested columns = Nested (make columns)
+let columns s = Array.to_list s.cols
+let degree s = Array.length s.cols
+let attributes s = List.map fst (columns s)
+
+let position s attribute =
+  match Attribute.Map.find_opt attribute s.index with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Format.asprintf "Hschema: attribute %a not in schema" Attribute.pp attribute)
+
+let node_at s i = snd s.cols.(i)
+let node_of s attribute = node_at s (position s attribute)
+let mem s attribute = Attribute.Map.mem attribute s.index
+
+let rec compare_node a b =
+  match a, b with
+  | Atomic ta, Atomic tb -> Stdlib.compare ta tb
+  | Atomic _, Nested _ -> -1
+  | Nested _, Atomic _ -> 1
+  | Nested sa, Nested sb -> compare sa sb
+
+and compare a b =
+  let column_compare (attr_a, node_a) (attr_b, node_b) =
+    let c = Attribute.compare attr_a attr_b in
+    if c <> 0 then c else compare_node node_a node_b
+  in
+  List.compare column_compare (columns a) (columns b)
+
+let equal a b = compare a b = 0
+
+let rec depth s =
+  Array.fold_left
+    (fun acc (_, node) ->
+      match node with
+      | Atomic _ -> max acc 1
+      | Nested inner -> max acc (1 + depth inner))
+    1 s.cols
+
+let is_flat s =
+  Array.for_all
+    (fun (_, node) -> match node with Atomic _ -> true | Nested _ -> false)
+    s.cols
+
+let of_flat flat =
+  make
+    (List.map
+       (fun (attribute, ty) -> (Attribute.name attribute, Atomic ty))
+       (Schema.columns flat))
+
+let to_flat s =
+  if is_flat s then
+    Some
+      (Schema.make
+         (List.map
+            (fun (attribute, node) ->
+              match node with
+              | Atomic ty -> (attribute, ty)
+              | Nested _ -> assert false)
+            (columns s)))
+  else None
+
+let nest s attrs ~into =
+  if attrs = [] then invalid_arg "Hschema.nest: no attributes to nest";
+  List.iter
+    (fun attribute ->
+      if not (mem s attribute) then
+        invalid_arg
+          (Format.asprintf "Hschema.nest: absent attribute %a" Attribute.pp attribute))
+    attrs;
+  if List.length attrs >= degree s then
+    invalid_arg "Hschema.nest: cannot nest every attribute";
+  let into_attribute = Attribute.make into in
+  let grouped =
+    List.filter (fun (attribute, _) -> List.exists (Attribute.equal attribute) attrs)
+      (columns s)
+  in
+  let kept =
+    List.filter
+      (fun (attribute, _) -> not (List.exists (Attribute.equal attribute) attrs))
+      (columns s)
+  in
+  if List.exists (fun (attribute, _) -> Attribute.equal attribute into_attribute) kept
+  then invalid_arg "Hschema.nest: the new attribute name clashes";
+  of_columns (kept @ [ (into_attribute, Nested (of_columns grouped)) ])
+
+let unnest s attribute =
+  match node_of s attribute with
+  | Atomic _ ->
+    invalid_arg
+      (Format.asprintf "Hschema.unnest: %a is atomic" Attribute.pp attribute)
+  | Nested inner ->
+    let spliced =
+      List.concat_map
+        (fun (name, node) ->
+          if Attribute.equal name attribute then columns inner
+          else [ (name, node) ])
+        (columns s)
+    in
+    of_columns spliced
+
+let rec pp ppf s =
+  let pp_column ppf (attribute, node) =
+    match node with
+    | Atomic ty -> Format.fprintf ppf "%a:%s" Attribute.pp attribute (Value.ty_name ty)
+    | Nested inner -> Format.fprintf ppf "%a%a" Attribute.pp attribute pp inner
+  in
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_column)
+    (columns s)

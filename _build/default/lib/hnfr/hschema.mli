@@ -1,0 +1,66 @@
+(** Schemas for hierarchical (relation-valued) nested relations.
+
+    The paper's Sec. 2 lists "even relation-valued domains" among the
+    compoundness patterns, citing Schek–Pistor [8]; Jaeschke–Schek [7]
+    give the algebra. This library implements that generalization: an
+    attribute is either atomic or holds a whole relation with its own
+    (recursive) schema. The core library's set-valued NFRs embed as
+    depth-1 trees whose nested schemas are unary. *)
+
+open Relational
+
+type node =
+  | Atomic of Value.ty
+  | Nested of t  (** a relation-valued attribute *)
+
+and t
+(** An ordered sequence of distinct named nodes. *)
+
+val make : (string * node) list -> t
+(** @raise Invalid_argument on duplicate names or an empty list. *)
+
+val atomic : Value.ty -> node
+val string_node : node
+(** [Atomic Tstring]. *)
+
+val nested : (string * node) list -> node
+(** [nested columns] is [Nested (make columns)]. *)
+
+val columns : t -> (Attribute.t * node) list
+val degree : t -> int
+val attributes : t -> Attribute.t list
+val position : t -> Attribute.t -> int
+(** @raise Invalid_argument when absent. *)
+
+val node_at : t -> int -> node
+val node_of : t -> Attribute.t -> node
+val mem : t -> Attribute.t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val depth : t -> int
+(** 1 for all-atomic schemas; 1 + max nested depth otherwise. *)
+
+val is_flat : t -> bool
+(** All attributes atomic. *)
+
+val of_flat : Schema.t -> t
+(** Embed a 1NF schema. *)
+
+val to_flat : t -> Schema.t option
+(** [Some] iff {!is_flat}. *)
+
+val nest : t -> Attribute.t list -> into:string -> t
+(** [nest s attrs ~into] — the Jaeschke–Schek nest schema: the listed
+    attributes are removed and a new relation-valued attribute [into]
+    over exactly those columns is appended.
+    @raise Invalid_argument if [attrs] is empty, not all present,
+    equal to the whole schema, or [into] clashes. *)
+
+val unnest : t -> Attribute.t -> t
+(** [unnest s a] — [a] must be relation-valued; its columns are
+    spliced in at [a]'s position. @raise Invalid_argument otherwise
+    (including on name clashes). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(A, B, X(C, D))]. *)

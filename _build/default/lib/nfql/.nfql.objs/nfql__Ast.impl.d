@@ -1,0 +1,1 @@
+lib/nfql/ast.ml: Format

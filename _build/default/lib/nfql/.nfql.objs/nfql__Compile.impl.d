@@ -1,0 +1,1 @@
+lib/nfql/compile.ml: Ast Attribute Format List Nalgebra Nfr Nfr_core Predicate Relational Schema Value

@@ -1,0 +1,1 @@
+lib/nfql/compile.mli: Ast Attribute Format Nfr Nfr_core Predicate Relational Schema Value

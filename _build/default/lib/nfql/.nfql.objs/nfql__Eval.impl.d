@@ -1,0 +1,1 @@
+lib/nfql/eval.ml: Algebra Ast Attribute Buffer Compile Format List Map Nalgebra Nest Nfr Nfr_core Option Parser Predicate Printf Relation Relational Schema String Tuple Update Value

@@ -1,0 +1,1 @@
+lib/nfql/eval.mli: Ast Attribute Format Nfr Nfr_core Relational

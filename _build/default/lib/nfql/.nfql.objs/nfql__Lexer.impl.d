@@ -1,0 +1,1 @@
+lib/nfql/lexer.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/nfql/lexer.mli: Token

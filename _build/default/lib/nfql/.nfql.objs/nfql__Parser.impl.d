@@ -1,0 +1,1 @@
+lib/nfql/parser.ml: Ast Lexer List Printf String Token

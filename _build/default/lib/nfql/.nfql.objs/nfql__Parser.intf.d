@@ -1,0 +1,1 @@
+lib/nfql/parser.mli: Ast

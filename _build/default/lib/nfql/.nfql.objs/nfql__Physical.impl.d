@@ -1,0 +1,1 @@
+lib/nfql/physical.ml: Ast Attribute Buffer Compile Eval Format Int List Map Nalgebra Nest Nfr Nfr_core Ntuple Parser Predicate Printf Relation Relational Schema Storage String Tuple Update Value Vset

@@ -1,0 +1,1 @@
+lib/nfql/physical.mli: Ast Attribute Eval Relational Storage Value

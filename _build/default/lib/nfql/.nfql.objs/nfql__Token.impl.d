@@ -1,0 +1,1 @@
+lib/nfql/token.ml: Format Printf String

@@ -1,0 +1,151 @@
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+
+type comparison =
+  | C_eq
+  | C_neq
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+
+type operand =
+  | O_column of string
+  | O_literal of literal
+
+type condition =
+  | Compare of comparison * operand * operand
+  | Contains of string * literal
+  | And of condition * condition
+  | Or of condition * condition
+  | Not of condition
+
+type source =
+  | From_table of string
+  | From_join of string * string
+
+type select = {
+  columns : string list option;
+  source : source;
+  where : condition option;
+  nests : string list;
+  unnests : string list;
+}
+
+type statement =
+  | Create of string * (string * string) list * string list option
+  | Drop of string
+  | Insert of string * literal list list
+  | Delete_values of string * literal list
+  | Delete_where of string * condition
+  | Update_set of string * (string * literal) list * condition
+  | Select of select
+  | Select_count of source * condition option
+  | Explain of select
+  | Show of string
+
+let pp_literal ppf = function
+  | L_int i -> Format.pp_print_int ppf i
+  | L_float f -> Format.fprintf ppf "%g" f
+  | L_string s -> Format.fprintf ppf "'%s'" s
+  | L_bool b -> Format.pp_print_bool ppf b
+
+let comparison_name = function
+  | C_eq -> "="
+  | C_neq -> "<>"
+  | C_lt -> "<"
+  | C_le -> "<="
+  | C_gt -> ">"
+  | C_ge -> ">="
+
+let pp_operand ppf = function
+  | O_column c -> Format.pp_print_string ppf c
+  | O_literal l -> pp_literal ppf l
+
+let rec pp_condition ppf = function
+  | Compare (c, lhs, rhs) ->
+    Format.fprintf ppf "%a %s %a" pp_operand lhs (comparison_name c) pp_operand rhs
+  | Contains (column, literal) ->
+    Format.fprintf ppf "%s CONTAINS %a" column pp_literal literal
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_condition a pp_condition b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_condition a pp_condition b
+  | Not c -> Format.fprintf ppf "(NOT %a)" pp_condition c
+
+let pp_names ppf names =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    Format.pp_print_string ppf names
+
+let pp_source ppf = function
+  | From_table table -> Format.pp_print_string ppf table
+  | From_join (left, right) -> Format.fprintf ppf "%s JOIN %s" left right
+
+let pp_select ppf s =
+  Format.fprintf ppf "SELECT %a FROM %a%a%a%a"
+    (fun ppf -> function
+      | None -> Format.pp_print_string ppf "*"
+      | Some columns -> pp_names ppf columns)
+    s.columns pp_source s.source
+    (fun ppf -> function
+      | None -> ()
+      | Some condition -> Format.fprintf ppf " WHERE %a" pp_condition condition)
+    s.where
+    (fun ppf -> function
+      | [] -> ()
+      | nests -> Format.fprintf ppf " NEST %a" pp_names nests)
+    s.nests
+    (fun ppf -> function
+      | [] -> ()
+      | unnests -> Format.fprintf ppf " UNNEST %a" pp_names unnests)
+    s.unnests
+
+let pp_statement ppf = function
+  | Create (table, columns, order) ->
+    Format.fprintf ppf "CREATE TABLE %s (%a)%a" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (name, ty) -> Format.fprintf ppf "%s %s" name ty))
+      columns
+      (fun ppf -> function
+        | None -> ()
+        | Some order -> Format.fprintf ppf " ORDER %a" pp_names order)
+      order
+  | Drop table -> Format.fprintf ppf "DROP TABLE %s" table
+  | Insert (table, rows) ->
+    Format.fprintf ppf "INSERT INTO %s VALUES %a" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf row ->
+           Format.fprintf ppf "(%a)"
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                pp_literal)
+             row))
+      rows
+  | Delete_values (table, row) ->
+    Format.fprintf ppf "DELETE FROM %s VALUES (%a)" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_literal)
+      row
+  | Delete_where (table, condition) ->
+    Format.fprintf ppf "DELETE FROM %s WHERE %a" table pp_condition condition
+  | Update_set (table, assignments, condition) ->
+    Format.fprintf ppf "UPDATE %s SET %a WHERE %a" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (column, literal) ->
+           Format.fprintf ppf "%s = %a" column pp_literal literal))
+      assignments pp_condition condition
+  | Select s -> pp_select ppf s
+  | Select_count (source, condition) ->
+    Format.fprintf ppf "SELECT COUNT FROM %a%a" pp_source source
+      (fun ppf -> function
+        | None -> ()
+        | Some c -> Format.fprintf ppf " WHERE %a" pp_condition c)
+      condition
+  | Explain s -> Format.fprintf ppf "EXPLAIN %a" pp_select s
+  | Show table -> Format.fprintf ppf "SHOW %s" table

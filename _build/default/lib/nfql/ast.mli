@@ -1,0 +1,73 @@
+(** NFQL abstract syntax.
+
+    Statement grammar (keywords case-insensitive):
+
+    {v
+    CREATE TABLE t (col type, ...) [ORDER col, ...]
+    DROP TABLE t
+    INSERT INTO t VALUES (lit, ...) [, (lit, ...) ...]
+    DELETE FROM t VALUES (lit, ...)
+    DELETE FROM t WHERE cond
+    UPDATE t SET col = lit [, col = lit ...] WHERE cond
+    SELECT *|col,... FROM t [JOIN t2] [WHERE cond]
+        [NEST col,...] [UNNEST col,...]
+    SELECT COUNT FROM t [WHERE cond]
+    EXPLAIN <select>
+    SHOW t
+    v}
+
+    Conditions: comparisons over columns and literals, [CONTAINS]
+    (component membership), AND/OR/NOT, parentheses. *)
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+
+type comparison =
+  | C_eq
+  | C_neq
+  | C_lt
+  | C_le
+  | C_gt
+  | C_ge
+
+type operand =
+  | O_column of string
+  | O_literal of literal
+
+type condition =
+  | Compare of comparison * operand * operand
+  | Contains of string * literal  (** [col CONTAINS lit] *)
+  | And of condition * condition
+  | Or of condition * condition
+  | Not of condition
+
+type source =
+  | From_table of string
+  | From_join of string * string  (** natural join of two tables *)
+
+type select = {
+  columns : string list option;  (** [None] is [*] *)
+  source : source;
+  where : condition option;
+  nests : string list;
+  unnests : string list;
+}
+
+type statement =
+  | Create of string * (string * string) list * string list option
+  | Drop of string
+  | Insert of string * literal list list
+  | Delete_values of string * literal list
+  | Delete_where of string * condition
+  | Update_set of string * (string * literal) list * condition
+  | Select of select
+  | Select_count of source * condition option
+  | Explain of select
+  | Show of string
+
+val pp_literal : Format.formatter -> literal -> unit
+val pp_condition : Format.formatter -> condition -> unit
+val pp_statement : Format.formatter -> statement -> unit

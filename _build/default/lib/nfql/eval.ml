@@ -1,0 +1,267 @@
+open Relational
+open Nfr_core
+
+exception Eval_error = Compile.Error
+
+let error fmt = Compile.error fmt
+
+module String_map = Map.Make (String)
+
+type table_state = {
+  nfr : Nfr.t;
+  order : Attribute.t list;
+}
+
+type db = { mutable tables : table_state String_map.t }
+
+type result =
+  | Done of string
+  | Rows of Nfr.t
+
+let create () = { tables = String_map.empty }
+
+let find_table db name =
+  match String_map.find_opt name db.tables with
+  | Some state -> state
+  | None -> error "unknown table %s" name
+
+let value_of_literal = Compile.value_of_literal
+let attribute_of = Compile.attribute_of
+
+
+let split_condition = Compile.split_condition
+
+let type_of_name name =
+  match Value.ty_of_name (String.lowercase_ascii name) with
+  | Some ty -> ty
+  | None -> error "unknown type %s" name
+
+let tuple_of_row schema row =
+  if List.length row <> Schema.degree schema then
+    error "expected %d values, got %d" (Schema.degree schema) (List.length row);
+  match Tuple.make schema (List.map value_of_literal row) with
+  | tuple -> tuple
+  | exception Schema.Schema_error msg -> error "%s" msg
+
+let exec_create db table columns order =
+  if String_map.mem table db.tables then error "table %s already exists" table;
+  let schema =
+    match Schema.of_names (List.map (fun (name, ty) -> (name, type_of_name ty)) columns) with
+    | schema -> schema
+    | exception Schema.Schema_error msg -> error "%s" msg
+  in
+  let order_attrs =
+    match order with
+    | None -> Schema.attributes schema
+    | Some names ->
+      let attrs = List.map (attribute_of schema) names in
+      (match Nest.check_permutation schema attrs with
+      | () -> attrs
+      | exception Invalid_argument msg -> error "%s" msg)
+  in
+  db.tables <-
+    String_map.add table { nfr = Nfr.empty schema; order = order_attrs } db.tables;
+  Done (Printf.sprintf "table %s created" table)
+
+let exec_insert db table rows =
+  let state = find_table db table in
+  let schema = Nfr.schema state.nfr in
+  let inserted, skipped =
+    List.fold_left
+      (fun (nfr, skipped) row ->
+        let tuple = tuple_of_row schema row in
+        if Nfr.member_tuple nfr tuple then (nfr, skipped + 1)
+        else (Update.insert ~order:state.order nfr tuple, skipped))
+      (state.nfr, 0) rows
+  in
+  db.tables <- String_map.add table { state with nfr = inserted } db.tables;
+  Done
+    (Printf.sprintf "%d row(s) inserted%s" (List.length rows - skipped)
+       (if skipped > 0 then Printf.sprintf ", %d duplicate(s) skipped" skipped
+        else ""))
+
+let exec_delete_values db table row =
+  let state = find_table db table in
+  let schema = Nfr.schema state.nfr in
+  let tuple = tuple_of_row schema row in
+  match Update.delete ~order:state.order state.nfr tuple with
+  | nfr ->
+    db.tables <- String_map.add table { state with nfr } db.tables;
+    Done "1 row deleted"
+  | exception Update.Not_in_relation ->
+    error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) table
+
+let matching_tuples schema nfr condition =
+  let predicates, contains = split_condition schema condition in
+  let restricted =
+    List.fold_left
+      (fun nfr (attribute, value) -> Nalgebra.select_contains attribute value nfr)
+      nfr contains
+  in
+  let flat = Nfr.flatten restricted in
+  List.fold_left
+    (fun flat predicate ->
+      match Algebra.select predicate flat with
+      | selected -> selected
+      | exception Algebra.Algebra_error msg -> error "%s" msg)
+    flat predicates
+
+let exec_delete_where db table condition =
+  let state = find_table db table in
+  let schema = Nfr.schema state.nfr in
+  let victims = Relation.tuples (matching_tuples schema state.nfr condition) in
+  let nfr =
+    List.fold_left
+      (fun nfr tuple -> Update.delete ~order:state.order nfr tuple)
+      state.nfr victims
+  in
+  db.tables <- String_map.add table { state with nfr } db.tables;
+  Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
+
+(* Resolve a FROM clause to an NFR plus a canonical order for it. A
+   join is computed directly on the NFRs (pairwise component
+   intersection) and re-canonicalized so the WHERE machinery's
+   canonicity assumption holds. *)
+let resolve_source db = function
+  | Ast.From_table name ->
+    let state = find_table db name in
+    (state.nfr, state.order)
+  | Ast.From_join (left_name, right_name) ->
+    let left = find_table db left_name in
+    let right = find_table db right_name in
+    let joined =
+      match Nalgebra.natural_join left.nfr right.nfr with
+      | joined -> joined
+      | exception Schema.Schema_error msg -> error "%s" msg
+    in
+    let order = Schema.attributes (Nfr.schema joined) in
+    (Nest.canonicalize joined order, order)
+
+let apply_where = Compile.apply_where
+
+let exec_select db (s : Ast.select) =
+  let source, order = resolve_source db s.source in
+  let schema = Nfr.schema source in
+  let filtered = apply_where schema order source s.where in
+  Rows (Compile.shape_select filtered ~order s)
+
+let exec_select_count db source condition =
+  let nfr, order = resolve_source db source in
+  let filtered = apply_where (Nfr.schema nfr) order nfr condition in
+  Done
+    (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+       (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
+
+let exec_update_set db table assignments condition =
+  let state = find_table db table in
+  let schema = Nfr.schema state.nfr in
+  let resolved =
+    List.map
+      (fun (name, literal) ->
+        let attribute = attribute_of schema name in
+        let value = value_of_literal literal in
+        let expected = Schema.type_of_attribute schema attribute in
+        if Value.type_of value <> expected then
+          error "column %s expects %s" name (Value.ty_name expected);
+        (attribute, value))
+      assignments
+  in
+  let victims = Relation.tuples (matching_tuples schema state.nfr condition) in
+  let updated_tuples =
+    List.map
+      (fun tuple ->
+        List.fold_left
+          (fun tuple (attribute, value) ->
+            Tuple.set_field schema tuple attribute value)
+          tuple resolved)
+      victims
+  in
+  (* Delete every victim first, then insert the images (set semantics
+     deduplicates images that collide with surviving tuples). *)
+  let without =
+    List.fold_left
+      (fun nfr tuple -> Update.delete ~order:state.order nfr tuple)
+      state.nfr victims
+  in
+  let final =
+    List.fold_left
+      (fun nfr tuple -> Update.insert ~order:state.order nfr tuple)
+      without updated_tuples
+  in
+  db.tables <- String_map.add table { state with nfr = final } db.tables;
+  Done (Printf.sprintf "%d row(s) updated" (List.length victims))
+
+let exec_explain db (s : Ast.select) =
+  let source, order = resolve_source db s.source in
+  let schema = Nfr.schema source in
+  let buffer = Buffer.create 128 in
+  let line fmt = Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt in
+  line "plan:";
+  (match s.source with
+  | Ast.From_table name ->
+    line "  scan %s (canonical, order %s, %d NFR tuples)" name
+      (String.concat "," (List.map Attribute.name order))
+      (Nfr.cardinality source)
+  | Ast.From_join (l, r) ->
+    line "  join %s %s (pairwise component intersection, re-canonicalized)" l r);
+  (match s.where with
+  | None -> ()
+  | Some condition ->
+    let predicates, contains = split_condition schema condition in
+    List.iter
+      (fun (attribute, value) ->
+        line "  contains-filter %s ∋ %s (tuple-level, no expansion)"
+          (Attribute.name attribute) (Value.to_string value))
+      contains;
+    List.iter
+      (fun predicate ->
+        if Nalgebra.componentwise_selectable predicate then
+          line "  select %s (componentwise, no expansion)"
+            (Format.asprintf "%a" Predicate.pp predicate)
+        else
+          line "  select %s (correlated: per-tuple expansion)"
+            (Format.asprintf "%a" Predicate.pp predicate))
+      predicates);
+  (match s.columns with
+  | None -> ()
+  | Some names -> line "  project %s (re-canonicalized)" (String.concat "," names));
+  List.iter (fun name -> line "  nest %s" name) s.nests;
+  List.iter (fun name -> line "  unnest %s" name) s.unnests;
+  Done (String.trim (Buffer.contents buffer))
+
+let exec db statement =
+  match statement with
+  | Ast.Create (table, columns, order) -> exec_create db table columns order
+  | Ast.Drop table ->
+    if String_map.mem table db.tables then begin
+      db.tables <- String_map.remove table db.tables;
+      Done (Printf.sprintf "table %s dropped" table)
+    end
+    else error "unknown table %s" table
+  | Ast.Insert (table, rows) -> exec_insert db table rows
+  | Ast.Delete_values (table, row) -> exec_delete_values db table row
+  | Ast.Delete_where (table, condition) -> exec_delete_where db table condition
+  | Ast.Update_set (table, assignments, condition) ->
+    exec_update_set db table assignments condition
+  | Ast.Select s -> exec_select db s
+  | Ast.Select_count (source, condition) -> exec_select_count db source condition
+  | Ast.Explain s -> exec_explain db s
+  | Ast.Show table -> Rows (find_table db table).nfr
+
+let exec_string db input =
+  List.map (exec db) (Parser.parse_script input)
+
+let table db name =
+  Option.map (fun state -> state.nfr) (String_map.find_opt name db.tables)
+
+let table_order db name =
+  Option.map (fun state -> state.order) (String_map.find_opt name db.tables)
+
+let define db name ~order nfr =
+  if not (Nest.is_canonical nfr order) then
+    error "NFR for %s is not canonical for the given order" name;
+  db.tables <- String_map.add name { nfr; order } db.tables
+
+let pp_result ppf = function
+  | Done msg -> Format.pp_print_string ppf msg
+  | Rows nfr -> Nfr.pp_table ppf nfr

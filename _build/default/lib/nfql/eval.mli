@@ -1,0 +1,44 @@
+(** NFQL evaluation against an in-memory database of canonical NFRs.
+
+    Each table carries a nest application order fixed at CREATE time
+    (default: schema order); INSERT and DELETE maintain the canonical
+    form through {!Nfr_core.Update}, so every statement leaves every
+    table canonical — the paper's realization discipline.
+
+    WHERE semantics: plain comparisons select over the {e expansion}
+    ([R*]); [CONTAINS] selects whole NFR tuples by component
+    membership. The two may be mixed as top-level conjuncts; a
+    [CONTAINS] under OR/NOT is rejected (its tuple-level meaning does
+    not distribute over expansion selection). *)
+
+open Relational
+open Nfr_core
+
+type db
+
+exception Eval_error of string
+
+type result =
+  | Done of string  (** DDL/DML acknowledgement *)
+  | Rows of Nfr.t  (** SELECT/SHOW result *)
+
+val create : unit -> db
+
+val exec : db -> Ast.statement -> result
+(** @raise Eval_error on unknown tables/columns, type mismatches,
+    deleting absent tuples, or unsupported CONTAINS placement. *)
+
+val exec_string : db -> string -> result list
+(** Parse and run a whole script.
+    @raise Eval_error, [Parser.Parse_error] or [Lexer.Lex_error]. *)
+
+val table : db -> string -> Nfr.t option
+(** Direct table access for tests and the CLI. *)
+
+val table_order : db -> string -> Attribute.t list option
+
+val define : db -> string -> order:Attribute.t list -> Nfr.t -> unit
+(** Install an externally built NFR as a table (CLI loading path).
+    @raise Eval_error if the NFR is not canonical for [order]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,80 @@
+exception Lex_error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let length = String.length input in
+  let tokens = ref [] in
+  let emit token offset = tokens := (token, offset) :: !tokens in
+  let rec skip_line_comment i = if i < length && input.[i] <> '\n' then skip_line_comment (i + 1) else i in
+  let rec scan i =
+    if i >= length then emit Token.Eof i
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan (i + 1)
+      else if c = '-' && i + 1 < length && input.[i + 1] = '-' then
+        scan (skip_line_comment (i + 2))
+      else if is_ident_start c then begin
+        let rec stop j = if j < length && is_ident_char input.[j] then stop (j + 1) else j in
+        let j = stop i in
+        emit (Token.Ident (String.sub input i (j - i))) i;
+        scan j
+      end
+      else if is_digit c then begin
+        let rec stop j = if j < length && is_digit input.[j] then stop (j + 1) else j in
+        let j = stop i in
+        if j < length && input.[j] = '.' then begin
+          let k = stop (j + 1) in
+          let text = String.sub input i (k - i) in
+          match float_of_string_opt text with
+          | Some f -> emit (Token.Float_lit f) i; scan k
+          | None -> raise (Lex_error (Printf.sprintf "bad float %S" text, i))
+        end
+        else begin
+          emit (Token.Int_lit (int_of_string (String.sub input i (j - i)))) i;
+          scan j
+        end
+      end
+      else if c = '\'' then begin
+        let buffer = Buffer.create 16 in
+        let rec consume j =
+          if j >= length then raise (Lex_error ("unterminated string", i))
+          else if input.[j] = '\'' then
+            if j + 1 < length && input.[j + 1] = '\'' then begin
+              Buffer.add_char buffer '\'';
+              consume (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buffer input.[j];
+            consume (j + 1)
+          end
+        in
+        let j = consume (i + 1) in
+        emit (Token.String_lit (Buffer.contents buffer)) i;
+        scan j
+      end
+      else
+        let two = if i + 1 < length then String.sub input i 2 else "" in
+        match two with
+        | "<>" -> emit Token.Neq i; scan (i + 2)
+        | "<=" -> emit Token.Le i; scan (i + 2)
+        | ">=" -> emit Token.Ge i; scan (i + 2)
+        | _ -> (
+          match c with
+          | '(' -> emit Token.Lparen i; scan (i + 1)
+          | ')' -> emit Token.Rparen i; scan (i + 1)
+          | ',' -> emit Token.Comma i; scan (i + 1)
+          | ';' -> emit Token.Semicolon i; scan (i + 1)
+          | '*' -> emit Token.Star i; scan (i + 1)
+          | '=' -> emit Token.Eq i; scan (i + 1)
+          | '<' -> emit Token.Lt i; scan (i + 1)
+          | '>' -> emit Token.Gt i; scan (i + 1)
+          | _ -> raise (Lex_error (Printf.sprintf "illegal character %C" c, i)))
+  in
+  scan 0;
+  List.rev !tokens

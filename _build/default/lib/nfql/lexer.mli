@@ -1,0 +1,12 @@
+(** The NFQL lexer.
+
+    Hand-written scanner: identifiers/keywords, single-quoted strings
+    ([''] escapes), integer and float literals, punctuation and
+    comparison operators. [--] starts a comment to end of line. *)
+
+exception Lex_error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> (Token.t * int) list
+(** All tokens with their start offsets, ending with [Eof].
+    @raise Lex_error on an illegal character or unterminated string. *)

@@ -1,0 +1,296 @@
+exception Parse_error of string * int
+
+type state = {
+  mutable tokens : (Token.t * int) list;
+}
+
+let peek st =
+  match st.tokens with
+  | [] -> (Token.Eof, 0)
+  | head :: _ -> head
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let fail st message =
+  let token, offset = peek st in
+  raise
+    (Parse_error (Printf.sprintf "%s (found %s)" message (Token.to_string token), offset))
+
+let expect st token message =
+  let found, _ = peek st in
+  if found = token then advance st else fail st message
+
+let keyword st kw =
+  let token, _ = peek st in
+  if Token.is_keyword token kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (keyword st kw) then fail st (Printf.sprintf "expected %s" (String.uppercase_ascii kw))
+
+let reserved =
+  [
+    "select"; "from"; "where"; "nest"; "unnest"; "insert"; "into"; "values";
+    "delete"; "create"; "table"; "drop"; "order"; "and"; "or"; "not";
+    "contains"; "show"; "true"; "false"; "update"; "set"; "count"; "join";
+    "explain";
+  ]
+
+let ident st message =
+  match peek st with
+  | Token.Ident name, offset ->
+    if List.mem (String.lowercase_ascii name) reserved then
+      raise (Parse_error (Printf.sprintf "%s (found keyword %s)" message name, offset))
+    else begin
+      advance st;
+      name
+    end
+  | _ -> fail st message
+
+let ident_list st message =
+  let rec more acc =
+    let name = ident st message in
+    match peek st with
+    | Token.Comma, _ ->
+      advance st;
+      more (name :: acc)
+    | _ -> List.rev (name :: acc)
+  in
+  more []
+
+let literal st =
+  match peek st with
+  | Token.Int_lit i, _ ->
+    advance st;
+    Ast.L_int i
+  | Token.Float_lit f, _ ->
+    advance st;
+    Ast.L_float f
+  | Token.String_lit s, _ ->
+    advance st;
+    Ast.L_string s
+  | Token.Ident name, _
+    when String.lowercase_ascii name = "true" || String.lowercase_ascii name = "false" ->
+    advance st;
+    Ast.L_bool (String.lowercase_ascii name = "true")
+  | _ -> fail st "expected a literal"
+
+let literal_row st =
+  expect st Token.Lparen "expected (";
+  let rec more acc =
+    let lit = literal st in
+    match peek st with
+    | Token.Comma, _ ->
+      advance st;
+      more (lit :: acc)
+    | _ ->
+      expect st Token.Rparen "expected )";
+      List.rev (lit :: acc)
+  in
+  more []
+
+let comparison_of_token = function
+  | Token.Eq -> Some Ast.C_eq
+  | Token.Neq -> Some Ast.C_neq
+  | Token.Lt -> Some Ast.C_lt
+  | Token.Le -> Some Ast.C_le
+  | Token.Gt -> Some Ast.C_gt
+  | Token.Ge -> Some Ast.C_ge
+  | Token.Ident _ | Token.String_lit _ | Token.Int_lit _ | Token.Float_lit _
+  | Token.Lparen | Token.Rparen | Token.Comma | Token.Semicolon | Token.Star
+  | Token.Eof ->
+    None
+
+let operand st =
+  match peek st with
+  | Token.Ident name, _
+    when not (List.mem (String.lowercase_ascii name) reserved) ->
+    advance st;
+    Ast.O_column name
+  | _ -> Ast.O_literal (literal st)
+
+(* cond := or_cond
+   or_cond := and_cond (OR and_cond)*
+   and_cond := not_cond (AND not_cond)*
+   not_cond := NOT not_cond | atom
+   atom := '(' cond ')' | column CONTAINS lit | operand cmp operand *)
+let rec condition st = or_condition st
+
+and or_condition st =
+  let left = and_condition st in
+  if keyword st "or" then Ast.Or (left, or_condition st) else left
+
+and and_condition st =
+  let left = not_condition st in
+  if keyword st "and" then Ast.And (left, and_condition st) else left
+
+and not_condition st =
+  if keyword st "not" then Ast.Not (not_condition st) else atom st
+
+and atom st =
+  match peek st with
+  | Token.Lparen, _ ->
+    advance st;
+    let inner = condition st in
+    expect st Token.Rparen "expected )";
+    inner
+  | _ -> (
+    let lhs = operand st in
+    match lhs with
+    | Ast.O_column column when keyword st "contains" ->
+      Ast.Contains (column, literal st)
+    | Ast.O_column _ | Ast.O_literal _ -> (
+      let token, _ = peek st in
+      match comparison_of_token token with
+      | Some comparison ->
+        advance st;
+        Ast.Compare (comparison, lhs, operand st)
+      | None -> fail st "expected a comparison operator or CONTAINS"))
+
+let parse_source st =
+  let table = ident st "expected a table name" in
+  if keyword st "join" then
+    Ast.From_join (table, ident st "expected a table name after JOIN")
+  else Ast.From_table table
+
+let parse_select st =
+  if keyword st "count" then begin
+    expect_keyword st "from";
+    let source = parse_source st in
+    let where = if keyword st "where" then Some (condition st) else None in
+    Ast.Select_count (source, where)
+  end
+  else begin
+    let columns =
+      match peek st with
+      | Token.Star, _ ->
+        advance st;
+        None
+      | _ -> Some (ident_list st "expected a column name")
+    in
+    expect_keyword st "from";
+    let source = parse_source st in
+    let where = if keyword st "where" then Some (condition st) else None in
+    let nests =
+      if keyword st "nest" then ident_list st "expected a column to nest" else []
+    in
+    let unnests =
+      if keyword st "unnest" then ident_list st "expected a column to unnest"
+      else []
+    in
+    Ast.Select { columns; source; where; nests; unnests }
+  end
+
+let parse_create st =
+  expect_keyword st "table";
+  let table = ident st "expected a table name" in
+  expect st Token.Lparen "expected (";
+  let rec columns acc =
+    let name = ident st "expected a column name" in
+    let ty = ident st "expected a type name" in
+    match peek st with
+    | Token.Comma, _ ->
+      advance st;
+      columns ((name, ty) :: acc)
+    | _ ->
+      expect st Token.Rparen "expected )";
+      List.rev ((name, ty) :: acc)
+  in
+  let cols = columns [] in
+  let order =
+    if keyword st "order" then Some (ident_list st "expected an order column")
+    else None
+  in
+  Ast.Create (table, cols, order)
+
+let parse_insert st =
+  expect_keyword st "into";
+  let table = ident st "expected a table name" in
+  expect_keyword st "values";
+  let rec rows acc =
+    let row = literal_row st in
+    match peek st with
+    | Token.Comma, _ ->
+      advance st;
+      rows (row :: acc)
+    | _ -> List.rev (row :: acc)
+  in
+  Ast.Insert (table, rows [])
+
+let parse_delete st =
+  expect_keyword st "from";
+  let table = ident st "expected a table name" in
+  if keyword st "values" then Ast.Delete_values (table, literal_row st)
+  else if keyword st "where" then Ast.Delete_where (table, condition st)
+  else fail st "expected VALUES or WHERE"
+
+let parse_update st =
+  let table = ident st "expected a table name" in
+  expect_keyword st "set";
+  let rec assignments acc =
+    let column = ident st "expected a column name" in
+    expect st Token.Eq "expected =";
+    let lit = literal st in
+    if fst (peek st) = Token.Comma then begin
+      advance st;
+      assignments ((column, lit) :: acc)
+    end
+    else List.rev ((column, lit) :: acc)
+  in
+  let pairs = assignments [] in
+  expect_keyword st "where";
+  Ast.Update_set (table, pairs, condition st)
+
+let statement st =
+  if keyword st "select" then parse_select st
+  else if keyword st "explain" then begin
+    expect_keyword st "select";
+    match parse_select st with
+    | Ast.Select s -> Ast.Explain s
+    | Ast.Select_count _ -> fail st "EXPLAIN COUNT is not supported"
+    | Ast.Create _ | Ast.Drop _ | Ast.Insert _ | Ast.Delete_values _
+    | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _ | Ast.Show _ ->
+      assert false
+  end
+  else if keyword st "create" then parse_create st
+  else if keyword st "drop" then begin
+    expect_keyword st "table";
+    Ast.Drop (ident st "expected a table name")
+  end
+  else if keyword st "insert" then parse_insert st
+  else if keyword st "delete" then parse_delete st
+  else if keyword st "update" then parse_update st
+  else if keyword st "show" then Ast.Show (ident st "expected a table name")
+  else fail st "expected a statement"
+
+let finish_statement st =
+  while fst (peek st) = Token.Semicolon do
+    advance st
+  done
+
+let parse_statement input =
+  let st = { tokens = Lexer.tokenize input } in
+  let parsed = statement st in
+  finish_statement st;
+  (match peek st with
+  | Token.Eof, _ -> ()
+  | _ -> fail st "trailing input after statement");
+  parsed
+
+let parse_script input =
+  let st = { tokens = Lexer.tokenize input } in
+  let rec loop acc =
+    finish_statement st;
+    match peek st with
+    | Token.Eof, _ -> List.rev acc
+    | _ ->
+      let parsed = statement st in
+      loop (parsed :: acc)
+  in
+  loop []

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for NFQL.
+
+    One token of lookahead; conditions parse with the usual
+    precedence ([NOT] > [AND] > [OR]) and parentheses. *)
+
+exception Parse_error of string * int
+(** Message and character offset of the offending token. *)
+
+val parse_statement : string -> Ast.statement
+(** Parses exactly one statement (optionally [;]-terminated).
+    @raise Parse_error / [Lexer.Lex_error] on malformed input. *)
+
+val parse_script : string -> Ast.statement list
+(** Parses a [;]-separated sequence of statements. *)

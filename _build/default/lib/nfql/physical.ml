@@ -1,0 +1,338 @@
+open Relational
+open Nfr_core
+
+let error fmt = Compile.error fmt
+
+module String_map = Map.Make (String)
+
+type db = { mutable tables : Storage.Table.t String_map.t }
+
+type access_path =
+  | Via_scan
+  | Via_index of Attribute.t * Value.t
+  | Via_range of Attribute.t * Value.t * Value.t
+
+let create () = { tables = String_map.empty }
+
+let add_table db name table =
+  if String_map.mem name db.tables then error "table %s already exists" name;
+  db.tables <- String_map.add name table db.tables
+
+let table db name = String_map.find_opt name db.tables
+
+let find_table db name =
+  match table db name with
+  | Some t -> t
+  | None -> error "unknown table %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Access-path choice                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* An equality conjunct [attr = const] yields an index probe. *)
+let equality_probe = function
+  | Predicate.Compare (Predicate.Eq, Predicate.Field attribute, Predicate.Const value)
+  | Predicate.Compare (Predicate.Eq, Predicate.Const value, Predicate.Field attribute)
+    ->
+    Some (attribute, value)
+  | Predicate.Compare _ | Predicate.True | Predicate.False | Predicate.And _
+  | Predicate.Or _ | Predicate.Not _ ->
+    None
+
+(* Bounds a conjunct imposes on [attribute]: inclusive over-
+   approximations are fine — the exact predicate runs afterwards. *)
+let bounds_on attribute = function
+  | Predicate.Compare (op, Predicate.Field a, Predicate.Const v)
+    when Attribute.equal a attribute -> (
+    match op with
+    | Predicate.Le | Predicate.Lt -> (None, Some v)
+    | Predicate.Ge | Predicate.Gt -> (Some v, None)
+    | Predicate.Eq -> (Some v, Some v)
+    | Predicate.Neq -> (None, None))
+  | Predicate.Compare (op, Predicate.Const v, Predicate.Field a)
+    when Attribute.equal a attribute -> (
+    match op with
+    | Predicate.Le | Predicate.Lt -> (Some v, None)
+    | Predicate.Ge | Predicate.Gt -> (None, Some v)
+    | Predicate.Eq -> (Some v, Some v)
+    | Predicate.Neq -> (None, None))
+  | Predicate.Compare _ | Predicate.True | Predicate.False | Predicate.And _
+  | Predicate.Or _ | Predicate.Not _ ->
+    (None, None)
+
+let tighter keep a b =
+  match a, b with
+  | None, other | other, None -> other
+  | Some x, Some y -> Some (if keep (Value.compare x y) then x else y)
+
+let chosen_path db (s : Ast.select) =
+  match s.Ast.source with
+  | Ast.From_join _ -> Via_scan
+  | Ast.From_table name -> (
+    let t = find_table db name in
+    let schema = Storage.Table.schema t in
+    match s.Ast.where with
+    | None -> Via_scan
+    | Some condition -> (
+      let predicates, contains = Compile.split_condition schema condition in
+      (* Rank every probe candidate (CONTAINS constraints and equality
+         conjuncts) by posting-list length — cheapest first. *)
+      let candidates = contains @ List.filter_map equality_probe predicates in
+      match
+        List.sort
+          (fun (attr_a, val_a) (attr_b, val_b) ->
+            Int.compare
+              (Storage.Table.posting_size t attr_a val_a)
+              (Storage.Table.posting_size t attr_b val_b))
+          candidates
+      with
+      | (attribute, value) :: _ -> Via_index (attribute, value)
+      | [] -> (
+        match Storage.Table.ordered_attribute t with
+        | None -> Via_scan
+        | Some ordered -> (
+          let lo, hi =
+            List.fold_left
+              (fun (lo, hi) predicate ->
+                let plo, phi = bounds_on ordered predicate in
+                (tighter (fun c -> c > 0) lo plo, tighter (fun c -> c < 0) hi phi))
+              (None, None) predicates
+          in
+          match lo, hi with
+          | Some lo, Some hi -> Via_range (ordered, lo, hi)
+          | _, _ -> Via_scan))))
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Index nested-loop join: scan the smaller table (outer); for each
+   outer tuple probe the inner table's inverted index with every value
+   of one shared attribute, then join the fetched candidates directly
+   (pairwise component intersection). Falls back to snapshot join when
+   the schemas share no attribute (a Cartesian product). *)
+let join_tables ~stats left right =
+  let schema_l = Storage.Table.schema left in
+  let schema_r = Storage.Table.schema right in
+  match Schema.common schema_l schema_r with
+  | [] ->
+    let scan t =
+      let collected = ref [] in
+      Storage.Table.scan t ~stats (fun nt -> collected := nt :: !collected);
+      Nfr.of_ntuples (Storage.Table.schema t) !collected
+    in
+    (match Nalgebra.product (scan left) (scan right) with
+    | product -> product
+    | exception Invalid_argument msg -> error "%s" msg)
+  | probe_attribute :: _ ->
+    let outer, inner, flipped =
+      if Storage.Table.cardinality left <= Storage.Table.cardinality right then
+        (left, right, false)
+      else (right, left, true)
+    in
+    let outer_schema = Storage.Table.schema outer in
+    let position = Schema.position outer_schema probe_attribute in
+    let pairs = ref [] in
+    Storage.Table.scan outer ~stats (fun outer_nt ->
+        let seen = ref [] in
+        Vset.fold
+          (fun value () ->
+            List.iter
+              (fun inner_nt ->
+                if not (List.memq inner_nt !seen) then begin
+                  seen := inner_nt :: !seen;
+                  pairs := (outer_nt, inner_nt) :: !pairs
+                end)
+              (Storage.Table.lookup inner ~stats probe_attribute value))
+          (Ntuple.component outer_nt position)
+          ());
+    (* Join each candidate pair via the direct NFR join on singleton
+       relations, always in (left, right) orientation so the result
+       schema matches the logical evaluator's. *)
+    let one schema nt = Nfr.add (Nfr.empty schema) nt in
+    List.fold_left
+      (fun acc (outer_nt, inner_nt) ->
+        let left_nt, right_nt =
+          if flipped then (inner_nt, outer_nt) else (outer_nt, inner_nt)
+        in
+        let joined =
+          Nalgebra.natural_join (one schema_l left_nt) (one schema_r right_nt)
+        in
+        Nfr.fold (fun nt acc -> Nfr.add acc nt) joined acc)
+      (Nfr.empty (Schema.union schema_l schema_r))
+      !pairs
+
+let materialize db ~stats (s : Ast.select) =
+  match s.Ast.source with
+  | Ast.From_join (left_name, right_name) ->
+    let left = find_table db left_name and right = find_table db right_name in
+    let joined = join_tables ~stats left right in
+    let order = Schema.attributes (Nfr.schema joined) in
+    (Nest.canonicalize joined order, order)
+  | Ast.From_table name ->
+    let t = find_table db name in
+    let schema = Storage.Table.schema t in
+    let order = Storage.Table.nest_order t in
+    let ntuples =
+      match chosen_path db s with
+      | Via_index (attribute, value) ->
+        Storage.Table.lookup t ~stats attribute value
+      | Via_range (attribute, lo, hi) ->
+        ignore attribute;
+        Storage.Table.range t ~stats ~lo ~hi
+      | Via_scan ->
+        let collected = ref [] in
+        Storage.Table.scan t ~stats (fun nt -> collected := nt :: !collected);
+        List.rev !collected
+    in
+    (Nfr.of_ntuples schema ntuples, order)
+
+let exec_select db ~stats (s : Ast.select) =
+  let materialized, order = materialize db ~stats s in
+  let filtered =
+    Compile.apply_where (Nfr.schema materialized) order materialized s.Ast.where
+  in
+  Eval.Rows (Compile.shape_select filtered ~order s)
+
+let tuple_of_row schema row =
+  if List.length row <> Schema.degree schema then
+    error "expected %d values, got %d" (Schema.degree schema) (List.length row);
+  match Tuple.make schema (List.map Compile.value_of_literal row) with
+  | tuple -> tuple
+  | exception Schema.Schema_error msg -> error "%s" msg
+
+let type_of_name name =
+  match Value.ty_of_name (String.lowercase_ascii name) with
+  | Some ty -> ty
+  | None -> error "unknown type %s" name
+
+let matching_tuples db ~stats table_name condition =
+  let t = find_table db table_name in
+  let schema = Storage.Table.schema t in
+  (* Reuse the SELECT machinery to find the victims. *)
+  let select =
+    {
+      Ast.columns = None;
+      source = Ast.From_table table_name;
+      where = Some condition;
+      nests = [];
+      unnests = [];
+    }
+  in
+  let materialized, order = materialize db ~stats select in
+  let filtered = Compile.apply_where schema order materialized (Some condition) in
+  Relation.tuples (Nfr.flatten filtered)
+
+let explain_text db (s : Ast.select) =
+  let buffer = Buffer.create 128 in
+  let line fmt =
+    Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
+  in
+  line "physical plan:";
+  (match chosen_path db s with
+  | Via_scan -> line "  access: heap scan"
+  | Via_index (attribute, value) ->
+    line "  access: inverted-index probe %s ∋ %s" (Attribute.name attribute)
+      (Value.to_string value)
+  | Via_range (attribute, lo, hi) ->
+    line "  access: B+-tree range %s in [%s, %s]" (Attribute.name attribute)
+      (Value.to_string lo) (Value.to_string hi));
+  (match s.Ast.where with
+  | None -> ()
+  | Some condition -> line "  residual filter: %s" (Format.asprintf "%a" Ast.pp_condition condition));
+  (match s.Ast.columns with
+  | None -> ()
+  | Some names -> line "  project %s" (String.concat "," names));
+  String.trim (Buffer.contents buffer)
+
+let exec db statement =
+  let stats = Storage.Stats.create () in
+  let result =
+    match statement with
+    | Ast.Create (name, columns, order) ->
+      let schema =
+        match
+          Schema.of_names (List.map (fun (n, ty) -> (n, type_of_name ty)) columns)
+        with
+        | schema -> schema
+        | exception Schema.Schema_error msg -> error "%s" msg
+      in
+      let order_attrs =
+        match order with
+        | None -> Schema.attributes schema
+        | Some names -> List.map (Compile.attribute_of schema) names
+      in
+      add_table db name (Storage.Table.create ~order:order_attrs schema);
+      Eval.Done (Printf.sprintf "table %s created" name)
+    | Ast.Drop name ->
+      if not (String_map.mem name db.tables) then error "unknown table %s" name;
+      Storage.Table.close (find_table db name);
+      db.tables <- String_map.remove name db.tables;
+      Eval.Done (Printf.sprintf "table %s dropped" name)
+    | Ast.Insert (name, rows) ->
+      let t = find_table db name in
+      let schema = Storage.Table.schema t in
+      let inserted =
+        List.fold_left
+          (fun count row ->
+            if Storage.Table.insert t (tuple_of_row schema row) then count + 1
+            else count)
+          0 rows
+      in
+      Eval.Done (Printf.sprintf "%d row(s) inserted" inserted)
+    | Ast.Delete_values (name, row) ->
+      let t = find_table db name in
+      let tuple = tuple_of_row (Storage.Table.schema t) row in
+      (match Storage.Table.delete t tuple with
+      | () -> Eval.Done "1 row deleted"
+      | exception Update.Not_in_relation ->
+        error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
+    | Ast.Delete_where (name, condition) ->
+      let t = find_table db name in
+      let victims = matching_tuples db ~stats name condition in
+      List.iter (fun tuple -> Storage.Table.delete t tuple) victims;
+      Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
+    | Ast.Update_set (name, assignments, condition) ->
+      let t = find_table db name in
+      let schema = Storage.Table.schema t in
+      let resolved =
+        List.map
+          (fun (column, literal) ->
+            (Compile.attribute_of schema column, Compile.value_of_literal literal))
+          assignments
+      in
+      let victims = matching_tuples db ~stats name condition in
+      let images =
+        List.map
+          (fun tuple ->
+            List.fold_left
+              (fun tuple (attribute, value) ->
+                Tuple.set_field schema tuple attribute value)
+              tuple resolved)
+          victims
+      in
+      List.iter (fun tuple -> Storage.Table.delete t tuple) victims;
+      List.iter (fun tuple -> ignore (Storage.Table.insert t tuple)) images;
+      Eval.Done (Printf.sprintf "%d row(s) updated" (List.length victims))
+    | Ast.Select s -> exec_select db ~stats s
+    | Ast.Select_count (source, condition) ->
+      let select =
+        { Ast.columns = None; source; where = condition; nests = []; unnests = [] }
+      in
+      let materialized, order = materialize db ~stats select in
+      let filtered =
+        Compile.apply_where (Nfr.schema materialized) order materialized condition
+      in
+      Eval.Done
+        (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+           (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
+    | Ast.Explain s -> Eval.Done (explain_text db s)
+    | Ast.Show name -> Eval.Rows (Storage.Table.snapshot (find_table db name))
+  in
+  (result, stats)
+
+
+let explain = explain_text
+
+let exec_string db input =
+  List.map (exec db) (Parser.parse_script input)

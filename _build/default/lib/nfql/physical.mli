@@ -1,0 +1,49 @@
+(** NFQL over the storage engine.
+
+    The second back end: tables are {!Storage.Table} values (heap +
+    inverted index + optional B+-tree + WAL), and SELECT picks an
+    access path instead of always holding the relation in memory:
+
+    - {b index}: a [CONTAINS] constraint or an [attr = const] conjunct
+      probes the inverted index and materializes only matching groups;
+    - {b range}: comparison conjuncts on the table's ordered attribute
+      become one B+-tree range scan;
+    - {b scan}: everything else reads the heap.
+
+    Whatever the path, the materialized NFR is then filtered with the
+    same semantics as {!Eval} — access paths are sound pre-filters
+    (they never lose a matching group), so both back ends return
+    identical rows (property-tested). DML statements behave as in
+    {!Eval} but persist through the table (and its WAL, if any). *)
+
+open Relational
+
+type db
+
+(** Which access path a SELECT used (surfaced by {!explain}). *)
+type access_path =
+  | Via_scan
+  | Via_index of Attribute.t * Value.t
+  | Via_range of Attribute.t * Value.t * Value.t
+
+val create : unit -> db
+
+val add_table : db -> string -> Storage.Table.t -> unit
+(** Register an existing table. @raise Compile.Error on duplicates. *)
+
+val table : db -> string -> Storage.Table.t option
+
+val exec : db -> Ast.statement -> Eval.result * Storage.Stats.t
+(** Run one statement, returning the result and the access-path
+    charges it incurred. CREATE builds an in-memory table without a
+    WAL; JOIN sources are materialized from snapshots (logical
+    fallback, charged as full scans).
+    @raise Eval.Eval_error as {!Eval} does. *)
+
+val exec_string : db -> string -> (Eval.result * Storage.Stats.t) list
+
+val chosen_path : db -> Ast.select -> access_path
+(** The access path {!exec} would choose for this SELECT. *)
+
+val explain : db -> Ast.select -> string
+(** Plan text including the chosen access path. *)

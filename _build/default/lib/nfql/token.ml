@@ -1,0 +1,44 @@
+type t =
+  | Ident of string
+  | String_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> Printf.sprintf "%g" f
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Star -> "*"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let is_keyword t kw =
+  match t with
+  | Ident s -> String.lowercase_ascii s = String.lowercase_ascii kw
+  | String_lit _ | Int_lit _ | Float_lit _ | Lparen | Rparen | Comma
+  | Semicolon | Star | Eq | Neq | Lt | Le | Gt | Ge | Eof ->
+    false

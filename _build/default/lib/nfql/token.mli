@@ -1,0 +1,32 @@
+(** Lexical tokens for NFQL.
+
+    NFQL is the little query/DML language this reproduction supplies
+    in place of the companion paper the authors defer to ([9]):
+    CREATE/INSERT/DELETE maintain canonical NFRs through the Sec. 4
+    algorithms, SELECT exposes the nested algebra (WHERE, CONTAINS,
+    NEST, UNNEST). *)
+
+type t =
+  | Ident of string  (** bare identifier (also matched keywords) *)
+  | String_lit of string  (** single-quoted, [''] escapes a quote *)
+  | Int_lit of int
+  | Float_lit of float
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_keyword : t -> string -> bool
+(** [is_keyword tok kw] — is [tok] the identifier [kw],
+    case-insensitively? *)

@@ -1,0 +1,106 @@
+open Relational
+open Nfr_core
+
+let attr = Attribute.make
+let nfr schema rows = Nfr.of_ntuples schema (List.map (Ntuple.of_strings schema) rows)
+
+let sc_schema = Schema.strings [ "Student"; "Course"; "Club" ]
+let st_schema = Schema.strings [ "Student"; "Course"; "Semester" ]
+
+let r1_fig1 =
+  nfr sc_schema
+    [
+      [ [ "s1" ]; [ "c1"; "c2"; "c3" ]; [ "b1" ] ];
+      [ [ "s2" ]; [ "c1"; "c2"; "c3" ]; [ "b2" ] ];
+      [ [ "s3" ]; [ "c1"; "c2"; "c3" ]; [ "b1" ] ];
+    ]
+
+let r1_fig2 =
+  nfr sc_schema
+    [
+      [ [ "s1" ]; [ "c2"; "c3" ]; [ "b1" ] ];
+      [ [ "s2" ]; [ "c1"; "c2"; "c3" ]; [ "b2" ] ];
+      [ [ "s3" ]; [ "c1"; "c2"; "c3" ]; [ "b1" ] ];
+    ]
+
+let r2_fig1 =
+  nfr st_schema
+    [
+      [ [ "s1"; "s2"; "s3" ]; [ "c1"; "c2" ]; [ "t1" ] ];
+      [ [ "s1"; "s3" ]; [ "c3" ]; [ "t1" ] ];
+      [ [ "s2" ]; [ "c3" ]; [ "t2" ] ];
+    ]
+
+let r2_fig2 =
+  nfr st_schema
+    [
+      [ [ "s2"; "s3" ]; [ "c1"; "c2" ]; [ "t1" ] ];
+      [ [ "s1" ]; [ "c2" ]; [ "t1" ] ];
+      [ [ "s1"; "s3" ]; [ "c3" ]; [ "t1" ] ];
+      [ [ "s2" ]; [ "c3" ]; [ "t2" ] ];
+    ]
+
+let r2_canonical_order = [ attr "Student"; attr "Course"; attr "Semester" ]
+
+let schema2 = Schema.strings [ "A"; "B" ]
+let schema3 = Schema.strings [ "A"; "B"; "C" ]
+
+let example1_flat =
+  Relation.of_strings schema2
+    [ [ "a1"; "b1" ]; [ "a2"; "b1" ]; [ "a2"; "b2" ]; [ "a3"; "b2" ] ]
+
+let example1_r1 =
+  nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a2"; "a3" ]; [ "b2" ] ] ]
+
+let example1_r2 =
+  nfr schema2
+    [
+      [ [ "a1" ]; [ "b1" ] ];
+      [ [ "a2" ]; [ "b1"; "b2" ] ];
+      [ [ "a3" ]; [ "b2" ] ];
+    ]
+
+let example2_flat =
+  Relation.of_strings schema3
+    [
+      [ "a1"; "b1"; "c2" ];
+      [ "a1"; "b2"; "c2" ];
+      [ "a1"; "b2"; "c1" ];
+      [ "a2"; "b1"; "c1" ];
+      [ "a2"; "b1"; "c2" ];
+      [ "a2"; "b2"; "c1" ];
+    ]
+
+let example2_r4 =
+  nfr schema3
+    [
+      [ [ "a1" ]; [ "b1"; "b2" ]; [ "c2" ] ];
+      [ [ "a2" ]; [ "b1" ]; [ "c1"; "c2" ] ];
+      [ [ "a1"; "a2" ]; [ "b2" ]; [ "c1" ] ];
+    ]
+
+let example3_flat =
+  Relation.of_strings schema3
+    [
+      [ "a1"; "b1"; "c1" ];
+      [ "a1"; "b2"; "c1" ];
+      [ "a2"; "b1"; "c1" ];
+      [ "a2"; "b1"; "c2" ];
+    ]
+
+let example3_r7 =
+  nfr schema3
+    [
+      [ [ "a1" ]; [ "b1"; "b2" ]; [ "c1" ] ];
+      [ [ "a2" ]; [ "b1" ]; [ "c1"; "c2" ] ];
+    ]
+
+let example3_r8 =
+  nfr schema3
+    [
+      [ [ "a1"; "a2" ]; [ "b1" ]; [ "c1" ] ];
+      [ [ "a1" ]; [ "b2" ]; [ "c1" ] ];
+      [ [ "a2" ]; [ "b1" ]; [ "c2" ] ];
+    ]
+
+let example3_mvd = Dependency.Mvd.of_names [ "A" ] [ "B" ]

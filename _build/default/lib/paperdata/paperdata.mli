@@ -1,0 +1,49 @@
+(** The paper's worked instances, verbatim.
+
+    Figures 1–2 and Examples 1–3 as constructed data, shared by the
+    regression tests (test/test_paper.ml) and the bench reports so the
+    artifacts are pinned in exactly one place. *)
+
+open Relational
+open Nfr_core
+
+val sc_schema : Schema.t
+(** [Student, Course, Club] — R1's schema. *)
+
+val st_schema : Schema.t
+(** [Student, Course, Semester] — R2's schema. *)
+
+val r1_fig1 : Nfr.t
+val r1_fig2 : Nfr.t
+(** R1 after student s1 drops course c1. *)
+
+val r2_fig1 : Nfr.t
+val r2_fig2 : Nfr.t
+
+val r2_canonical_order : Attribute.t list
+(** Application order (Student, Course, Semester) under which
+    [r2_fig1] is canonical. *)
+
+val example1_flat : Relation.t
+val example1_r1 : Nfr.t
+(** The 2-tuple irreducible form. *)
+
+val example1_r2 : Nfr.t
+(** The 3-tuple irreducible form. *)
+
+val example2_flat : Relation.t
+(** R3: the 6-tuple symmetric instance. *)
+
+val example2_r4 : Nfr.t
+(** The 3-tuple irreducible form beating every canonical form. *)
+
+val example3_flat : Relation.t
+(** The 4-tuple instance satisfying MVD A ->-> B | C. *)
+
+val example3_r7 : Nfr.t
+(** Fixed on A. *)
+
+val example3_r8 : Nfr.t
+(** Not fixed on A. *)
+
+val example3_mvd : Dependency.Mvd.t

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Attribute Expr Format Hashtbl List Option Predicate Relation Schema String Tuple Value

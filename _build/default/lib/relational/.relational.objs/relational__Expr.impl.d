@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Attribute Format Predicate Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/expr.mli: Attribute Format Predicate Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Attribute Format Printf Schema Stdlib Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/predicate.mli: Attribute Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Attribute Format List Printf Schema Set String Tuple Value

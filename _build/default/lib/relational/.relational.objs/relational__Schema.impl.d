@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Attribute Format List Stdlib Value

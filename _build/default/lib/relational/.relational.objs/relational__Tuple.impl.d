@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Attribute Format Fun List Printf Schema Value

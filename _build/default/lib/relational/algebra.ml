@@ -1,0 +1,237 @@
+exception Algebra_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Algebra_error msg)) fmt
+
+let select predicate r =
+  let schema = Relation.schema r in
+  (match Predicate.validate schema predicate with
+  | Ok () -> ()
+  | Error msg -> error "invalid predicate: %s" msg);
+  Relation.filter (Predicate.eval schema predicate) r
+
+let project attrs r =
+  let schema = Relation.schema r in
+  let target = Schema.project schema attrs in
+  Relation.fold
+    (fun tuple acc -> Relation.add acc (Tuple.project schema tuple attrs))
+    r (Relation.empty target)
+
+let project_names names r = project (List.map Attribute.make names) r
+
+let rename pairs r =
+  let target = Schema.rename (Relation.schema r) pairs in
+  Relation.fold (fun tuple acc -> Relation.add acc tuple) r (Relation.empty target)
+
+let require_same_schema op a b =
+  if not (Schema.equal (Relation.schema a) (Relation.schema b)) then
+    error "%s requires identical schemas: %a vs %a" op Schema.pp
+      (Relation.schema a) Schema.pp (Relation.schema b)
+
+let union a b =
+  require_same_schema "union" a b;
+  Relation.fold (fun tuple acc -> Relation.add acc tuple) b a
+
+let inter a b =
+  require_same_schema "intersection" a b;
+  Relation.filter (Relation.mem b) a
+
+let diff a b =
+  require_same_schema "difference" a b;
+  Relation.filter (fun tuple -> not (Relation.mem b tuple)) a
+
+let product a b =
+  let schema_a = Relation.schema a and schema_b = Relation.schema b in
+  if not (Schema.disjoint schema_a schema_b) then
+    error "product requires disjoint schemas (shared: %s)"
+      (String.concat ", "
+         (List.map Attribute.name (Schema.common schema_a schema_b)));
+  let target = Schema.union schema_a schema_b in
+  Relation.fold
+    (fun tuple_a acc ->
+      Relation.fold
+        (fun tuple_b acc -> Relation.add acc (Tuple.concat tuple_a tuple_b))
+        b acc)
+    a (Relation.empty target)
+
+(* Natural join via hash partitioning on the shared attributes. *)
+let natural_join a b =
+  let schema_a = Relation.schema a and schema_b = Relation.schema b in
+  let shared = Schema.common schema_a schema_b in
+  if shared = [] then product a b
+  else begin
+    List.iter
+      (fun attribute ->
+        let ty_a = Schema.type_of_attribute schema_a attribute in
+        let ty_b = Schema.type_of_attribute schema_b attribute in
+        if ty_a <> ty_b then
+          error "natural join: %a has type %s vs %s" Attribute.pp attribute
+            (Value.ty_name ty_a) (Value.ty_name ty_b))
+      shared;
+    let target = Schema.union schema_a schema_b in
+    let extra_attrs =
+      List.filter
+        (fun attribute -> not (Schema.mem schema_a attribute))
+        (Schema.attributes schema_b)
+    in
+    let key schema tuple =
+      List.map (fun attribute -> Tuple.field schema tuple attribute) shared
+    in
+    let index : (Value.t list, Tuple.t list) Hashtbl.t = Hashtbl.create 64 in
+    Relation.iter
+      (fun tuple ->
+        let k = key schema_b tuple in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt index k) in
+        Hashtbl.replace index k (tuple :: existing))
+      b;
+    Relation.fold
+      (fun tuple_a acc ->
+        match Hashtbl.find_opt index (key schema_a tuple_a) with
+        | None -> acc
+        | Some matches ->
+          List.fold_left
+            (fun acc tuple_b ->
+              let extra = Tuple.project schema_b tuple_b extra_attrs in
+              Relation.add acc (Tuple.concat tuple_a extra))
+            acc matches)
+      a (Relation.empty target)
+  end
+
+let theta_join predicate a b = select predicate (product a b)
+
+let semijoin a b =
+  let schema_a = Relation.schema a and schema_b = Relation.schema b in
+  let shared = Schema.common schema_a schema_b in
+  if shared = [] then if Relation.is_empty b then Relation.empty schema_a else a
+  else
+    let b_keys = project shared b in
+    Relation.filter
+      (fun tuple -> Relation.mem b_keys (Tuple.project schema_a tuple shared))
+      a
+
+let antijoin a b =
+  let matched = semijoin a b in
+  Relation.filter (fun tuple -> not (Relation.mem matched tuple)) a
+
+let divide r s =
+  let schema_r = Relation.schema r and schema_s = Relation.schema s in
+  let divisor_attrs = Schema.attributes schema_s in
+  if
+    not
+      (List.for_all (Schema.mem schema_r) divisor_attrs
+      && Schema.degree schema_s < Schema.degree schema_r)
+  then
+    error "division: %a must be a proper subset of %a" Schema.pp schema_s
+      Schema.pp schema_r;
+  let quotient_attrs =
+    List.filter
+      (fun attribute -> not (Schema.mem schema_s attribute))
+      (Schema.attributes schema_r)
+  in
+  let candidates = project quotient_attrs r in
+  let qualifies candidate =
+    Relation.for_all
+      (fun divisor_tuple ->
+        let combined =
+          List.map
+            (fun attribute ->
+              match Schema.position_opt schema_s attribute with
+              | Some _ -> Tuple.field schema_s divisor_tuple attribute
+              | None ->
+                Tuple.field (Relation.schema candidates) candidate attribute)
+            (Schema.attributes schema_r)
+        in
+        Relation.mem r (Tuple.of_array_unchecked (Array.of_list combined)))
+      s
+  in
+  Relation.filter qualifies candidates
+
+type aggregate =
+  | Count
+  | Sum of Attribute.t
+  | Min of Attribute.t
+  | Max of Attribute.t
+
+let apply_aggregate schema group = function
+  | Count -> Value.of_int (List.length group)
+  | Sum attribute ->
+    let total =
+      List.fold_left
+        (fun acc tuple ->
+          match Value.to_int (Tuple.field schema tuple attribute) with
+          | Some i -> acc + i
+          | None -> error "sum over non-int attribute %a" Attribute.pp attribute)
+        0 group
+    in
+    Value.of_int total
+  | Min attribute -> (
+    match
+      List.map (fun tuple -> Tuple.field schema tuple attribute) group
+      |> List.sort Value.compare
+    with
+    | first :: _ -> first
+    | [] -> error "min over empty group")
+  | Max attribute -> (
+    match
+      List.map (fun tuple -> Tuple.field schema tuple attribute) group
+      |> List.sort (fun a b -> Value.compare b a)
+    with
+    | first :: _ -> first
+    | [] -> error "max over empty group")
+
+let aggregate_type schema = function
+  | Count -> Value.Tint
+  | Sum _ -> Value.Tint
+  | Min attribute | Max attribute -> Schema.type_of_attribute schema attribute
+
+let group_by keys aggs r =
+  if keys = [] then error "group_by requires at least one key attribute";
+  let schema = Relation.schema r in
+  let target =
+    Schema.make
+      (List.map (fun a -> (a, Schema.type_of_attribute schema a)) keys
+      @ List.map
+          (fun (name, agg) -> (Attribute.make name, aggregate_type schema agg))
+          aggs)
+  in
+  let groups : (Value.t list, Tuple.t list) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter
+    (fun tuple ->
+      let k = List.map (fun attribute -> Tuple.field schema tuple attribute) keys in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups k) in
+      Hashtbl.replace groups k (tuple :: existing))
+    r;
+  Hashtbl.fold
+    (fun key group acc ->
+      let aggregated =
+        List.map (fun (_, agg) -> apply_aggregate schema group agg) aggs
+      in
+      Relation.add acc (Tuple.of_array_unchecked (Array.of_list (key @ aggregated))))
+    groups (Relation.empty target)
+
+let extend name expr r =
+  let schema = Relation.schema r in
+  let attribute = Attribute.make name in
+  if Schema.mem schema attribute then
+    error "extend: column %s already exists" name;
+  let ty =
+    match Expr.infer schema expr with
+    | Ok ty -> ty
+    | Error msg -> error "extend: %s" msg
+  in
+  let target = Schema.make (Schema.columns schema @ [ (attribute, ty) ]) in
+  Relation.fold
+    (fun tuple acc ->
+      let computed = Expr.eval schema expr tuple in
+      Relation.add acc
+        (Tuple.of_array_unchecked
+           (Array.append (Tuple.to_array tuple) [| computed |])))
+    r (Relation.empty target)
+
+let sort_by attrs r =
+  let schema = Relation.schema r in
+  let key tuple = List.map (fun attribute -> Tuple.field schema tuple attribute) attrs in
+  let compare_tuples a b =
+    let c = List.compare Value.compare (key a) (key b) in
+    if c <> 0 then c else Tuple.compare a b
+  in
+  List.sort compare_tuples (Relation.tuples r)

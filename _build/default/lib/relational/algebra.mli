@@ -1,0 +1,72 @@
+(** The flat relational algebra.
+
+    Codd's operations on {!Relation.t}, used three ways in this
+    reproduction: as the 1NF baseline the paper compares NFRs against,
+    as the semantic ground truth behind the expansion mapping
+    (Theorem 1), and as the evaluation engine for NFQL's flat
+    subqueries. All operations are set-semantics and schema-checked. *)
+
+exception Algebra_error of string
+
+val select : Predicate.t -> Relation.t -> Relation.t
+(** [select p r] keeps tuples satisfying [p].
+    @raise Algebra_error if [p] does not validate against [r]'s schema. *)
+
+val project : Attribute.t list -> Relation.t -> Relation.t
+(** [project attrs r] keeps/reorders columns and deduplicates. *)
+
+val project_names : string list -> Relation.t -> Relation.t
+
+val rename : (Attribute.t * Attribute.t) list -> Relation.t -> Relation.t
+(** [rename pairs r] renames attributes pointwise. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** @raise Algebra_error unless schemas are equal (ordered). *)
+
+val inter : Relation.t -> Relation.t -> Relation.t
+val diff : Relation.t -> Relation.t -> Relation.t
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Cartesian product. @raise Algebra_error if schemas share an
+    attribute (rename first). *)
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Join on all shared attributes; degenerates to {!product} when the
+    schemas are disjoint. *)
+
+val theta_join : Predicate.t -> Relation.t -> Relation.t -> Relation.t
+(** [theta_join p a b] is [select p (product a b)]. *)
+
+val semijoin : Relation.t -> Relation.t -> Relation.t
+(** Tuples of the first argument that join with the second. *)
+
+val antijoin : Relation.t -> Relation.t -> Relation.t
+
+val divide : Relation.t -> Relation.t -> Relation.t
+(** [divide r s] — relational division: the largest [q] over
+    [schema(r) - schema(s)] with [product q s ⊆ r].
+    @raise Algebra_error unless [schema(s)] is a proper subset of
+    [schema(r)]. *)
+
+(** Aggregate functions for {!group_by}. [Count] ignores its attribute
+    argument's value and counts group members. *)
+type aggregate =
+  | Count
+  | Sum of Attribute.t
+  | Min of Attribute.t
+  | Max of Attribute.t
+
+val group_by :
+  Attribute.t list -> (string * aggregate) list -> Relation.t -> Relation.t
+(** [group_by keys aggs r] groups on [keys] and appends one int column
+    per named aggregate. [Sum]/[Min]/[Max] require an int column
+    ([Min]/[Max] also accept any type and use {!Value.compare}; [Sum]
+    requires ints). *)
+
+val sort_by : Attribute.t list -> Relation.t -> Tuple.t list
+(** Tuples ordered by the given attributes (then full tuple order). *)
+
+val extend : string -> Expr.t -> Relation.t -> Relation.t
+(** [extend name expr r] appends a computed column.
+    @raise Algebra_error if [name] clashes or [expr] fails to
+    type-check against [r]'s schema. *)

@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  id : int;
+}
+
+let intern_table : (string, t) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let make name =
+  if name = "" then invalid_arg "Attribute.make: empty name"
+  else
+    match Hashtbl.find_opt intern_table name with
+    | Some attribute -> attribute
+    | None ->
+      let attribute = { name; id = !next_id } in
+      incr next_id;
+      Hashtbl.add intern_table name attribute;
+      attribute
+
+let name a = a.name
+let compare a b = String.compare a.name b.name
+let equal a b = a.id = b.id
+let hash a = Hashtbl.hash a.id
+let pp ppf a = Format.pp_print_string ppf a.name
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)
+
+let set_of_list names = Set.of_list (List.map make names)
+
+let pp_set ppf set =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp)
+    (Set.elements set)

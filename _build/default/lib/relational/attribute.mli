@@ -1,0 +1,33 @@
+(** Attribute names.
+
+    Attributes are interned strings with a total order; the paper calls
+    them domains [E1 ... En]. Keeping them as a separate abstract-ish
+    type (a private record) lets schemas, dependencies and NFR
+    operations share one notion of "attribute" and keeps error messages
+    uniform. *)
+
+type t = private {
+  name : string;  (** the user-visible attribute name, e.g. ["Student"] *)
+  id : int;  (** interning key; equal names always share an [id] *)
+}
+
+val make : string -> t
+(** [make name] interns [name]. @raise Invalid_argument on the empty
+    string. Repeated calls with the same name return the same [id]. *)
+
+val name : t -> string
+val compare : t -> t -> int
+(** Order by [name] (stable across processes, unlike [id]). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : string list -> Set.t
+(** [set_of_list names] interns every name and collects the results. *)
+
+val pp_set : Format.formatter -> Set.t -> unit
+(** Prints as [{A, B, C}]. *)

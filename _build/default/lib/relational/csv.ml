@@ -1,0 +1,128 @@
+let parse_line line =
+  let buffer = Buffer.create 16 in
+  let cells = ref [] in
+  let push () =
+    cells := Buffer.contents buffer :: !cells;
+    Buffer.clear buffer
+  in
+  let length = String.length line in
+  (* [loop i inside] walks the record; [inside] tracks quoted state. *)
+  let rec loop i inside =
+    if i >= length then
+      if inside then failwith "csv: unterminated quoted cell" else push ()
+    else
+      let c = line.[i] in
+      if inside then
+        if c = '"' then
+          if i + 1 < length && line.[i + 1] = '"' then begin
+            Buffer.add_char buffer '"';
+            loop (i + 2) true
+          end
+          else loop (i + 1) false
+        else begin
+          Buffer.add_char buffer c;
+          loop (i + 1) true
+        end
+      else if c = '"' then loop (i + 1) true
+      else if c = ',' then begin
+        push ();
+        loop (i + 1) false
+      end
+      else begin
+        Buffer.add_char buffer c;
+        loop (i + 1) false
+      end
+  in
+  loop 0 false;
+  List.rev !cells
+
+let needs_quoting cell =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+
+let render_cell cell =
+  if needs_quoting cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_line cells = String.concat "," (List.map render_cell cells)
+
+let schema_of_header cells =
+  let column cell =
+    match String.index_opt cell ':' with
+    | None -> (cell, Value.Tstring)
+    | Some i -> (
+      let name = String.sub cell 0 i in
+      let ty_name = String.sub cell (i + 1) (String.length cell - i - 1) in
+      match Value.ty_of_name ty_name with
+      | Some ty -> (name, ty)
+      | None ->
+        raise (Schema.Schema_error (Printf.sprintf "unknown type %S" ty_name)))
+  in
+  Schema.of_names (List.map column cells)
+
+let header_of_schema schema =
+  List.map
+    (fun (attribute, ty) ->
+      Printf.sprintf "%s:%s" (Attribute.name attribute) (Value.ty_name ty))
+    (Schema.columns schema)
+
+let split_lines text =
+  String.split_on_char '\n' text
+  |> List.map (fun line ->
+         let n = String.length line in
+         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+  |> List.filter (fun line -> line <> "")
+
+let of_string text =
+  match split_lines text with
+  | [] -> failwith "csv: empty document"
+  | header :: rows ->
+    let schema = schema_of_header (parse_line header) in
+    let parse_row row =
+      let cells = parse_line row in
+      if List.length cells <> Schema.degree schema then
+        failwith
+          (Printf.sprintf "csv: row has %d cells, schema has %d columns"
+             (List.length cells) (Schema.degree schema));
+      let values =
+        List.mapi
+          (fun i cell ->
+            match Value.parse (Schema.type_at schema i) cell with
+            | Ok value -> value
+            | Error msg -> failwith ("csv: " ^ msg))
+          cells
+      in
+      Tuple.make schema values
+    in
+    Relation.of_tuples schema (List.map parse_row rows)
+
+let to_string r =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (render_line (header_of_schema (Relation.schema r)));
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun tuple ->
+      let cells =
+        List.map
+          (fun value ->
+            match value with
+            | Value.Vstring s -> s
+            | Value.Vint _ | Value.Vfloat _ | Value.Vbool _ -> Value.to_string value)
+          (Tuple.values tuple)
+      in
+      Buffer.add_string buffer (render_line cells);
+      Buffer.add_char buffer '\n')
+    (Relation.tuples r);
+  Buffer.contents buffer
+
+let load path =
+  let channel = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr channel)
+    (fun () -> of_string (really_input_string channel (in_channel_length channel)))
+
+let save path r =
+  let channel = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr channel)
+    (fun () -> output_string channel (to_string r))

@@ -1,0 +1,33 @@
+(** CSV import/export for flat relations.
+
+    The header row carries the schema as [name:type] cells (type
+    defaults to [string]); data cells follow RFC-4180 quoting (double
+    quotes, doubled to escape). One deliberate simplification: records
+    are line-delimited, so a quoted cell cannot contain a literal
+    newline (parse_line works on single records). Used by the CLI and
+    the examples. *)
+
+val parse_line : string -> string list
+(** [parse_line s] splits one CSV record into raw cells, honouring
+    quotes. @raise Failure on an unterminated quote. *)
+
+val render_line : string list -> string
+(** Inverse of {!parse_line}: quotes cells containing commas, quotes
+    or newlines. *)
+
+val schema_of_header : string list -> Schema.t
+(** [schema_of_header cells] reads [name:type] cells.
+    @raise Schema.Schema_error on an unknown type name. *)
+
+val header_of_schema : Schema.t -> string list
+
+val of_string : string -> Relation.t
+(** [of_string text] parses a full CSV document (header + rows).
+    @raise Failure or [Schema.Schema_error] on malformed input. *)
+
+val to_string : Relation.t -> string
+
+val load : string -> Relation.t
+(** [load path] reads and parses a file. *)
+
+val save : string -> Relation.t -> unit

@@ -1,0 +1,103 @@
+type t =
+  | Col of Attribute.t
+  | Lit of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Concat of t * t
+  | If of Predicate.t * t * t
+
+exception Eval_error of string
+
+let col name = Col (Attribute.make name)
+let int i = Lit (Value.of_int i)
+let str s = Lit (Value.of_string s)
+
+let rec infer schema expr =
+  let both_int a b k =
+    match infer schema a, infer schema b with
+    | Ok Value.Tint, Ok Value.Tint -> k ()
+    | Ok ty, Ok Value.Tint | Ok Value.Tint, Ok ty ->
+      Error (Printf.sprintf "arithmetic on %s" (Value.ty_name ty))
+    | Ok ty_a, Ok _ -> Error (Printf.sprintf "arithmetic on %s" (Value.ty_name ty_a))
+    | (Error _ as e), _ | _, (Error _ as e) -> e
+  in
+  match expr with
+  | Col attribute -> (
+    match Schema.position_opt schema attribute with
+    | Some i -> Ok (Schema.type_at schema i)
+    | None -> Error (Format.asprintf "unknown column %a" Attribute.pp attribute))
+  | Lit value -> Ok (Value.type_of value)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+    both_int a b (fun () -> Ok Value.Tint)
+  | Neg a -> both_int a a (fun () -> Ok Value.Tint)
+  | Concat (a, b) -> (
+    match infer schema a, infer schema b with
+    | Ok Value.Tstring, Ok Value.Tstring -> Ok Value.Tstring
+    | Ok ty, Ok Value.Tstring | Ok Value.Tstring, Ok ty ->
+      Error (Printf.sprintf "concat on %s" (Value.ty_name ty))
+    | Ok ty, Ok _ -> Error (Printf.sprintf "concat on %s" (Value.ty_name ty))
+    | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | If (predicate, a, b) -> (
+    match Predicate.validate schema predicate with
+    | Error e -> Error e
+    | Ok () -> (
+      match infer schema a, infer schema b with
+      | Ok ty_a, Ok ty_b when ty_a = ty_b -> Ok ty_a
+      | Ok ty_a, Ok ty_b ->
+        Error
+          (Printf.sprintf "if branches disagree: %s vs %s" (Value.ty_name ty_a)
+             (Value.ty_name ty_b))
+      | (Error _ as e), _ | _, (Error _ as e) -> e))
+
+let rec eval schema expr tuple =
+  let as_int sub =
+    match Value.to_int (eval schema sub tuple) with
+    | Some i -> i
+    | None -> raise (Eval_error "arithmetic on a non-int value")
+  in
+  match expr with
+  | Col attribute -> Tuple.field schema tuple attribute
+  | Lit value -> value
+  | Add (a, b) -> Value.of_int (as_int a + as_int b)
+  | Sub (a, b) -> Value.of_int (as_int a - as_int b)
+  | Mul (a, b) -> Value.of_int (as_int a * as_int b)
+  | Div (a, b) ->
+    let divisor = as_int b in
+    if divisor = 0 then raise (Eval_error "division by zero")
+    else Value.of_int (as_int a / divisor)
+  | Neg a -> Value.of_int (-as_int a)
+  | Concat (a, b) -> (
+    match
+      ( Value.to_string_opt (eval schema a tuple),
+        Value.to_string_opt (eval schema b tuple) )
+    with
+    | Some sa, Some sb -> Value.of_string (sa ^ sb)
+    | _, _ -> raise (Eval_error "concat on a non-string value"))
+  | If (predicate, a, b) ->
+    if Predicate.eval schema predicate tuple then eval schema a tuple
+    else eval schema b tuple
+
+let rec attributes = function
+  | Col attribute -> Attribute.Set.singleton attribute
+  | Lit _ -> Attribute.Set.empty
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Concat (a, b) ->
+    Attribute.Set.union (attributes a) (attributes b)
+  | Neg a -> attributes a
+  | If (predicate, a, b) ->
+    Attribute.Set.union (Predicate.attributes predicate)
+      (Attribute.Set.union (attributes a) (attributes b))
+
+let rec pp ppf = function
+  | Col attribute -> Attribute.pp ppf attribute
+  | Lit value -> Value.pp ppf value
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp a
+  | Concat (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp a pp b
+  | If (predicate, a, b) ->
+    Format.fprintf ppf "(if %a then %a else %a)" Predicate.pp predicate pp a pp b

@@ -1,0 +1,34 @@
+(** Scalar expressions over flat tuples.
+
+    A small typed expression language — column references, literals,
+    integer arithmetic, string concatenation, and conditionals over
+    {!Predicate} — powering {!Algebra.extend}'s computed columns and
+    available to tools built on the algebra. *)
+
+type t =
+  | Col of Attribute.t
+  | Lit of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** integer division; division by zero is an error *)
+  | Neg of t
+  | Concat of t * t  (** string concatenation *)
+  | If of Predicate.t * t * t  (** both branches must share a type *)
+
+val col : string -> t
+val int : int -> t
+val str : string -> t
+
+val infer : Schema.t -> t -> (Value.ty, string) result
+(** Type-check and infer the result type. Arithmetic requires ints,
+    [Concat] strings, [If] a valid predicate and equal branch types. *)
+
+exception Eval_error of string
+
+val eval : Schema.t -> t -> Tuple.t -> Value.t
+(** Evaluate on one tuple. Assumes {!infer} succeeded;
+    @raise Eval_error on division by zero. *)
+
+val attributes : t -> Attribute.Set.t
+val pp : Format.formatter -> t -> unit

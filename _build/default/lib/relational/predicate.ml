@@ -1,0 +1,114 @@
+type comparison =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type operand =
+  | Field of Attribute.t
+  | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Compare of comparison * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let field name = Field (Attribute.make name)
+let int i = Const (Value.of_int i)
+let str s = Const (Value.of_string s)
+let ( = ) a b = Compare (Eq, a, b)
+let ( <> ) a b = Compare (Neq, a, b)
+let ( < ) a b = Compare (Lt, a, b)
+let ( <= ) a b = Compare (Le, a, b)
+let ( > ) a b = Compare (Gt, a, b)
+let ( >= ) a b = Compare (Ge, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ p = Not p
+
+let operand_type schema = function
+  | Field attribute -> (
+    match Schema.position_opt schema attribute with
+    | Some i -> Ok (Schema.type_at schema i)
+    | None ->
+      Error (Format.asprintf "unknown attribute %a" Attribute.pp attribute))
+  | Const value -> Ok (Value.type_of value)
+
+let rec validate schema predicate =
+  match predicate with
+  | True | False -> Ok ()
+  | Compare (_, lhs, rhs) -> (
+    match operand_type schema lhs, operand_type schema rhs with
+    | Ok ty_l, Ok ty_r ->
+      if Stdlib.( = ) ty_l ty_r then Ok ()
+      else
+        Error
+          (Printf.sprintf "comparison between %s and %s" (Value.ty_name ty_l)
+             (Value.ty_name ty_r))
+    | Error e, _ | _, Error e -> Error e)
+  | And (a, b) | Or (a, b) -> (
+    match validate schema a with Ok () -> validate schema b | Error _ as e -> e)
+  | Not p -> validate schema p
+
+let eval_operand schema tuple = function
+  | Field attribute -> Tuple.field schema tuple attribute
+  | Const value -> value
+
+let apply_comparison comparison c =
+  match comparison with
+  | Eq -> Stdlib.( = ) c 0
+  | Neq -> Stdlib.( <> ) c 0
+  | Lt -> Stdlib.( < ) c 0
+  | Le -> Stdlib.( <= ) c 0
+  | Gt -> Stdlib.( > ) c 0
+  | Ge -> Stdlib.( >= ) c 0
+
+let rec eval schema predicate tuple =
+  match predicate with
+  | True -> true
+  | False -> false
+  | Compare (comparison, lhs, rhs) ->
+    let value_l = eval_operand schema tuple lhs in
+    let value_r = eval_operand schema tuple rhs in
+    apply_comparison comparison (Value.compare value_l value_r)
+  | And (a, b) -> Stdlib.( && ) (eval schema a tuple) (eval schema b tuple)
+  | Or (a, b) -> Stdlib.( || ) (eval schema a tuple) (eval schema b tuple)
+  | Not p -> not (eval schema p tuple)
+
+let rec attributes = function
+  | True | False -> Attribute.Set.empty
+  | Compare (_, lhs, rhs) ->
+    let of_operand = function
+      | Field attribute -> Attribute.Set.singleton attribute
+      | Const _ -> Attribute.Set.empty
+    in
+    Attribute.Set.union (of_operand lhs) (of_operand rhs)
+  | And (a, b) | Or (a, b) -> Attribute.Set.union (attributes a) (attributes b)
+  | Not p -> attributes p
+
+let comparison_name = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_operand ppf = function
+  | Field attribute -> Attribute.pp ppf attribute
+  | Const value -> Value.pp ppf value
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Compare (comparison, lhs, rhs) ->
+    Format.fprintf ppf "%a %s %a" pp_operand lhs (comparison_name comparison)
+      pp_operand rhs
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not p -> Format.fprintf ppf "(not %a)" pp p

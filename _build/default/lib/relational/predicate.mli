@@ -1,0 +1,53 @@
+(** Selection predicates over flat tuples.
+
+    A small boolean language used by {!Algebra.select}, the storage
+    engine and NFQL's WHERE clause. Predicates are validated against a
+    schema once, then evaluated per tuple. *)
+
+type comparison =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type operand =
+  | Field of Attribute.t
+  | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Compare of comparison * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val field : string -> operand
+val int : int -> operand
+val str : string -> operand
+
+val ( = ) : operand -> operand -> t
+val ( <> ) : operand -> operand -> t
+val ( < ) : operand -> operand -> t
+val ( <= ) : operand -> operand -> t
+val ( > ) : operand -> operand -> t
+val ( >= ) : operand -> operand -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val not_ : t -> t
+
+val validate : Schema.t -> t -> (unit, string) result
+(** [validate schema p] checks that every [Field] exists in [schema]
+    and that both sides of each comparison have the same type. *)
+
+val eval : Schema.t -> t -> Tuple.t -> bool
+(** [eval schema p t] evaluates [p] on [t]. Assumes [validate]
+    succeeded; an unknown field raises [Schema.Schema_error]. *)
+
+val attributes : t -> Attribute.Set.t
+(** Attributes mentioned by the predicate (for pushdown decisions). *)
+
+val comparison_name : comparison -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  schema : Schema.t;
+  body : Tuple_set.t;
+}
+
+let empty schema = { schema; body = Tuple_set.empty }
+let schema r = r.schema
+
+let check r tuple =
+  if Tuple.arity tuple <> Schema.degree r.schema then
+    raise
+      (Schema.Schema_error
+         (Printf.sprintf "tuple arity %d does not match schema degree %d"
+            (Tuple.arity tuple)
+            (Schema.degree r.schema)))
+
+let add r tuple =
+  check r tuple;
+  { r with body = Tuple_set.add tuple r.body }
+
+let remove r tuple = { r with body = Tuple_set.remove tuple r.body }
+let mem r tuple = Tuple_set.mem tuple r.body
+let cardinality r = Tuple_set.cardinal r.body
+let is_empty r = Tuple_set.is_empty r.body
+let of_tuples schema tuples = List.fold_left add (empty schema) tuples
+
+let of_rows schema rows =
+  of_tuples schema (List.map (Tuple.make schema) rows)
+
+let of_strings schema rows =
+  of_rows schema (List.map (List.map Value.of_string) rows)
+
+let tuples r = Tuple_set.elements r.body
+let fold f r init = Tuple_set.fold f r.body init
+let iter f r = Tuple_set.iter f r.body
+let filter p r = { r with body = Tuple_set.filter p r.body }
+let for_all p r = Tuple_set.for_all p r.body
+let exists p r = Tuple_set.exists p r.body
+let choose_opt r = Tuple_set.choose_opt r.body
+
+let equal a b = Schema.equal a.schema b.schema && Tuple_set.equal a.body b.body
+
+let compare a b =
+  let c = Schema.compare a.schema b.schema in
+  if c <> 0 then c else Tuple_set.compare a.body b.body
+
+let column_values r attribute =
+  let position = Schema.position r.schema attribute in
+  let values =
+    fold
+      (fun tuple acc ->
+        let value = Tuple.get tuple position in
+        if List.exists (Value.equal value) acc then acc else value :: acc)
+      r []
+  in
+  List.sort Value.compare values
+
+(* Table rendering: compute per-column widths, then print header,
+   rule, and rows. *)
+let pp ppf r =
+  let headers =
+    List.map (fun a -> Attribute.name a) (Schema.attributes r.schema)
+  in
+  let rows =
+    List.map (fun tuple -> List.map Value.to_string (Tuple.values tuple)) (tuples r)
+  in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length headers)
+      rows
+  in
+  let pad width s = s ^ String.make (width - String.length s) ' ' in
+  let print_row row =
+    Format.fprintf ppf "| %s |@,"
+      (String.concat " | " (List.map2 pad widths row))
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  Format.fprintf ppf "@[<v>%s@," rule;
+  print_row headers;
+  Format.fprintf ppf "%s@," rule;
+  List.iter print_row rows;
+  Format.fprintf ppf "%s@]" rule
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,53 @@
+(** Flat (1NF) relations: a schema plus a duplicate-free set of tuples.
+
+    This is the paper's baseline world and the target of the expansion
+    semantics (Theorem 1's [R*]). Sets, not bags: the paper assumes
+    "R* has no duplicate tuple and so has R". *)
+
+type t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+val add : t -> Tuple.t -> t
+(** [add r t] inserts [t]; idempotent on duplicates.
+    @raise Schema.Schema_error on arity/type mismatch. *)
+
+val remove : t -> Tuple.t -> t
+val mem : t -> Tuple.t -> bool
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val of_tuples : Schema.t -> Tuple.t list -> t
+(** Checked bulk constructor (deduplicates). *)
+
+val of_rows : Schema.t -> Value.t list list -> t
+(** [of_rows schema rows] builds each row with {!Tuple.make}. *)
+
+val of_strings : Schema.t -> string list list -> t
+(** Convenience for all-string schemas: each cell becomes a
+    [Value.Vstring]. @raise Schema.Schema_error if the schema has a
+    non-string column. *)
+
+val tuples : t -> Tuple.t list
+(** In increasing {!Tuple.compare} order. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val for_all : (Tuple.t -> bool) -> t -> bool
+val exists : (Tuple.t -> bool) -> t -> bool
+val choose_opt : t -> Tuple.t option
+
+val equal : t -> t -> bool
+(** Same schema (ordered) and same tuple set. *)
+
+val compare : t -> t -> int
+
+val column_values : t -> Attribute.t -> Value.t list
+(** Distinct values appearing under an attribute, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints as an aligned ASCII table with a header row. *)
+
+val to_string : t -> string

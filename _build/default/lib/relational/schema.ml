@@ -1,0 +1,151 @@
+exception Schema_error of string
+
+type t = {
+  columns : (Attribute.t * Value.ty) array;
+  index : int Attribute.Map.t;  (* attribute -> position *)
+}
+
+let error fmt = Format.kasprintf (fun msg -> raise (Schema_error msg)) fmt
+
+let make columns =
+  if columns = [] then error "schema must have at least one attribute";
+  let index, _ =
+    List.fold_left
+      (fun (index, position) (attribute, _ty) ->
+        if Attribute.Map.mem attribute index then
+          error "duplicate attribute %a in schema" Attribute.pp attribute;
+        (Attribute.Map.add attribute position index, position + 1))
+      (Attribute.Map.empty, 0) columns
+  in
+  { columns = Array.of_list columns; index }
+
+let of_names pairs =
+  make (List.map (fun (name, ty) -> (Attribute.make name, ty)) pairs)
+
+let strings names = of_names (List.map (fun name -> (name, Value.Tstring)) names)
+let columns s = Array.to_list s.columns
+let attributes s = List.map fst (columns s)
+
+let attribute_set s =
+  Array.fold_left
+    (fun set (attribute, _) -> Attribute.Set.add attribute set)
+    Attribute.Set.empty s.columns
+
+let degree s = Array.length s.columns
+let mem s attribute = Attribute.Map.mem attribute s.index
+let position_opt s attribute = Attribute.Map.find_opt attribute s.index
+
+let position s attribute =
+  match position_opt s attribute with
+  | Some i -> i
+  | None -> error "attribute %a is not in schema" Attribute.pp attribute
+
+let type_at s i = snd s.columns.(i)
+let attribute_at s i = fst s.columns.(i)
+let type_of_attribute s attribute = type_at s (position s attribute)
+
+let equal a b =
+  Array.length a.columns = Array.length b.columns
+  && Array.for_all2
+       (fun (attr_a, ty_a) (attr_b, ty_b) ->
+         Attribute.equal attr_a attr_b && ty_a = ty_b)
+       a.columns b.columns
+
+let compare a b =
+  let column_compare (attr_a, ty_a) (attr_b, ty_b) =
+    let c = Attribute.compare attr_a attr_b in
+    if c <> 0 then c else Stdlib.compare ty_a ty_b
+  in
+  let rec loop i =
+    if i >= Array.length a.columns && i >= Array.length b.columns then 0
+    else if i >= Array.length a.columns then -1
+    else if i >= Array.length b.columns then 1
+    else
+      let c = column_compare a.columns.(i) b.columns.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal_unordered a b =
+  degree a = degree b
+  && Array.for_all
+       (fun (attribute, ty) ->
+         match position_opt b attribute with
+         | Some i -> type_at b i = ty
+         | None -> false)
+       a.columns
+
+let project s attrs =
+  if attrs = [] then error "projection onto the empty attribute list";
+  make (List.map (fun attribute -> (attribute, type_of_attribute s attribute)) attrs)
+
+let restrict s set =
+  let kept =
+    List.filter (fun (attribute, _) -> Attribute.Set.mem attribute set) (columns s)
+  in
+  if kept = [] then error "restriction to %a is empty" Attribute.pp_set set;
+  make kept
+
+let remove s attribute =
+  if not (mem s attribute) then
+    error "cannot remove absent attribute %a" Attribute.pp attribute;
+  let kept = List.filter (fun (a, _) -> not (Attribute.equal a attribute)) (columns s) in
+  if kept = [] then error "removing %a would empty the schema" Attribute.pp attribute;
+  make kept
+
+let rename s pairs =
+  let rename_one attribute =
+    match List.find_opt (fun (from, _) -> Attribute.equal from attribute) pairs with
+    | Some (_, target) -> target
+    | None -> attribute
+  in
+  List.iter
+    (fun (from, _) ->
+      if not (mem s from) then
+        error "cannot rename absent attribute %a" Attribute.pp from)
+    pairs;
+  make (List.map (fun (attribute, ty) -> (rename_one attribute, ty)) (columns s))
+
+let union a b =
+  let extra =
+    List.filter (fun (attribute, _) -> not (mem a attribute)) (columns b)
+  in
+  List.iter
+    (fun (attribute, ty) ->
+      match position_opt a attribute with
+      | Some i when type_at a i <> ty ->
+        error "attribute %a has type %s in one schema and %s in the other"
+          Attribute.pp attribute
+          (Value.ty_name (type_at a i))
+          (Value.ty_name ty)
+      | Some _ | None -> ())
+    (columns b);
+  make (columns a @ extra)
+
+let common a b = List.filter (mem b) (attributes a)
+let disjoint a b = common a b = []
+
+let permutations s =
+  if degree s > 8 then
+    error "refusing to enumerate %d! permutations (degree > 8)" (degree s);
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest ->
+      (x :: y :: rest)
+      :: List.map (fun perm -> y :: perm) (insert_everywhere x rest)
+  in
+  let rec all = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (all rest)
+  in
+  all (attributes s)
+
+let pp ppf s =
+  let pp_column ppf (attribute, ty) =
+    Format.fprintf ppf "%a:%s" Attribute.pp attribute (Value.ty_name ty)
+  in
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_column)
+    (columns s)
+
+let to_string s = Format.asprintf "%a" pp s

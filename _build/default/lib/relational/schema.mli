@@ -1,0 +1,81 @@
+(** Relation schemas.
+
+    A schema is an ordered sequence of distinct attributes, each with a
+    declared value type. Order matters for printing and for positional
+    tuple representation; set-like operations (union for joins,
+    difference for projection complements) are provided on top. *)
+
+type t
+
+exception Schema_error of string
+(** Raised by constructors and accessors on malformed input; the
+    payload is a human-readable explanation. *)
+
+val make : (Attribute.t * Value.ty) list -> t
+(** [make columns] builds a schema. @raise Schema_error on duplicate
+    attributes or an empty column list. *)
+
+val of_names : (string * Value.ty) list -> t
+(** [of_names] is {!make} composed with {!Attribute.make}. *)
+
+val strings : string list -> t
+(** [strings names] is a schema where every column has type
+    [Value.Tstring] — the common case in the paper's examples. *)
+
+val columns : t -> (Attribute.t * Value.ty) list
+val attributes : t -> Attribute.t list
+val attribute_set : t -> Attribute.Set.t
+val degree : t -> int
+(** [degree s] is the number of attributes — the paper's [n]. *)
+
+val mem : t -> Attribute.t -> bool
+val position : t -> Attribute.t -> int
+(** [position s a] is the 0-based index of [a].
+    @raise Schema_error if [a] is not in [s]. *)
+
+val position_opt : t -> Attribute.t -> int option
+val type_at : t -> int -> Value.ty
+val type_of_attribute : t -> Attribute.t -> Value.ty
+(** @raise Schema_error if the attribute is absent. *)
+
+val attribute_at : t -> int -> Attribute.t
+
+val equal : t -> t -> bool
+(** Same attributes with the same types in the same order. *)
+
+val equal_unordered : t -> t -> bool
+(** Same attribute/type pairs regardless of order. *)
+
+val compare : t -> t -> int
+
+val project : t -> Attribute.t list -> t
+(** [project s attrs] keeps [attrs], in the order given.
+    @raise Schema_error if any attribute is missing or repeated. *)
+
+val restrict : t -> Attribute.Set.t -> t
+(** [restrict s set] keeps the attributes of [set], in [s]'s order. *)
+
+val remove : t -> Attribute.t -> t
+(** @raise Schema_error if absent or if the result would be empty. *)
+
+val rename : t -> (Attribute.t * Attribute.t) list -> t
+(** [rename s pairs] renames [fst] to [snd] pointwise.
+    @raise Schema_error on clashes. *)
+
+val union : t -> t -> t
+(** [union a b] is [a]'s columns followed by the columns of [b] not in
+    [a] — the schema of a natural join. @raise Schema_error if a shared
+    attribute has conflicting types. *)
+
+val common : t -> t -> Attribute.t list
+(** Attributes present in both schemas, in the order of the first. *)
+
+val disjoint : t -> t -> bool
+val permutations : t -> Attribute.t list list
+(** All [n!] attribute orders — the paper's nest permutations [P].
+    Intended for small [n]; @raise Schema_error when [degree > 8]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(A:string, B:int)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,81 @@
+type t = Value.t array
+
+let check_type schema position value =
+  let expected = Schema.type_at schema position in
+  let actual = Value.type_of value in
+  if expected <> actual then
+    raise
+      (Schema.Schema_error
+         (Format.asprintf "attribute %a expects %s but got %a : %s"
+            Attribute.pp
+            (Schema.attribute_at schema position)
+            (Value.ty_name expected) Value.pp value
+            (Value.ty_name actual)))
+
+let make schema values =
+  let arity = List.length values in
+  if arity <> Schema.degree schema then
+    raise
+      (Schema.Schema_error
+         (Printf.sprintf "tuple arity %d does not match schema degree %d" arity
+            (Schema.degree schema)));
+  let fields = Array.of_list values in
+  Array.iteri (fun i value -> check_type schema i value) fields;
+  fields
+
+let of_array_unchecked values = values
+let arity = Array.length
+let get t i = t.(i)
+let values t = Array.to_list t
+let to_array t = Array.copy t
+let field schema t attribute = t.(Schema.position schema attribute)
+
+let set_field schema t attribute value =
+  let position = Schema.position schema attribute in
+  check_type schema position value;
+  let copy = Array.copy t in
+  copy.(position) <- value;
+  copy
+
+let project schema t attrs =
+  Array.of_list (List.map (field schema t) attrs)
+
+let compare a b =
+  let rec loop i =
+    if i >= Array.length a && i >= Array.length b then 0
+    else if i >= Array.length a then -1
+    else if i >= Array.length b then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc value -> (acc * 31) + Value.hash value) 17 t
+
+let agree_on schema a b attrs =
+  List.for_all
+    (fun attribute ->
+      let i = Schema.position schema attribute in
+      Value.equal a.(i) b.(i))
+    attrs
+
+let concat = Array.append
+
+let pp ppf t =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Value.pp)
+    (values t)
+
+let pp_named schema ppf t =
+  let pp_field ppf i =
+    Format.fprintf ppf "%a(%a)" Attribute.pp
+      (Schema.attribute_at schema i)
+      Value.pp t.(i)
+  in
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_field)
+    (List.init (Array.length t) Fun.id)

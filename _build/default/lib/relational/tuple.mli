@@ -1,0 +1,52 @@
+(** Flat (1NF) tuples.
+
+    A tuple is a positional array of atomic values aligned with a
+    schema; the paper writes it [[E1(e1) ... En(en)]]. Tuples do not
+    carry their schema — relations do — but every constructor that
+    takes a schema checks types. *)
+
+type t
+
+val make : Schema.t -> Value.t list -> t
+(** [make schema values] builds a tuple after checking arity and types.
+    @raise Schema.Schema_error on mismatch. *)
+
+val of_array_unchecked : Value.t array -> t
+(** [of_array_unchecked values] wraps [values] without copying or
+    checking; the caller guarantees alignment with the intended
+    schema. Used by inner loops of the algebra. *)
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val values : t -> Value.t list
+val to_array : t -> Value.t array
+(** [to_array t] is a fresh copy of the underlying array. *)
+
+val field : Schema.t -> t -> Attribute.t -> Value.t
+(** [field schema t a] is the paper's projection [Π(t, a)].
+    @raise Schema.Schema_error if [a] is absent. *)
+
+val set_field : Schema.t -> t -> Attribute.t -> Value.t -> t
+(** Functional update of one field (type-checked). *)
+
+val project : Schema.t -> t -> Attribute.t list -> t
+(** [project schema t attrs] reorders/keeps fields per [attrs]. *)
+
+val compare : t -> t -> int
+(** Lexicographic by position. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val agree_on : Schema.t -> t -> t -> Attribute.t list -> bool
+(** [agree_on schema a b attrs] — do [a] and [b] coincide on every
+    attribute in [attrs]? *)
+
+val concat : t -> t -> t
+(** [concat a b] juxtaposes fields (schema of the Cartesian product). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v1, v2, ...)]. *)
+
+val pp_named : Schema.t -> Format.formatter -> t -> unit
+(** Prints in the paper's notation: [[A(a1) B(b1)]]. *)

@@ -1,0 +1,119 @@
+type ty =
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tbool
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vbool of bool
+
+let type_of = function
+  | Vint _ -> Tint
+  | Vfloat _ -> Tfloat
+  | Vstring _ -> Tstring
+  | Vbool _ -> Tbool
+
+let ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+
+let ty_of_name = function
+  | "int" -> Some Tint
+  | "float" -> Some Tfloat
+  | "string" -> Some Tstring
+  | "bool" -> Some Tbool
+  | _ -> None
+
+let of_int i = Vint i
+
+let of_float f =
+  if Float.is_nan f then invalid_arg "Value.of_float: NaN is not a domain value"
+  else Vfloat f
+
+let of_string s = Vstring s
+let of_bool b = Vbool b
+
+let to_int = function Vint i -> Some i | Vfloat _ | Vstring _ | Vbool _ -> None
+let to_float = function Vfloat f -> Some f | Vint _ | Vstring _ | Vbool _ -> None
+
+let to_string_opt = function
+  | Vstring s -> Some s
+  | Vint _ | Vfloat _ | Vbool _ -> None
+
+let to_bool = function Vbool b -> Some b | Vint _ | Vfloat _ | Vstring _ -> None
+
+let type_rank = function Tint -> 0 | Tfloat -> 1 | Tstring -> 2 | Tbool -> 3
+
+let compare a b =
+  match a, b with
+  | Vint x, Vint y -> Int.compare x y
+  | Vfloat x, Vfloat y -> Float.compare x y
+  | Vstring x, Vstring y -> String.compare x y
+  | Vbool x, Vbool y -> Bool.compare x y
+  | (Vint _ | Vfloat _ | Vstring _ | Vbool _), _ ->
+    Int.compare (type_rank (type_of a)) (type_rank (type_of b))
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Vint i -> Hashtbl.hash (0, i)
+  | Vfloat f -> Hashtbl.hash (1, f)
+  | Vstring s -> Hashtbl.hash (2, s)
+  | Vbool b -> Hashtbl.hash (3, b)
+
+(* Identifier-like strings print bare so that NFR tuples render the way
+   the paper writes them, e.g. [A(a1, a2) B(b1)]. *)
+let ident_like s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-' || c = '.')
+       s
+
+let pp ppf = function
+  | Vint i -> Format.pp_print_int ppf i
+  | Vfloat f -> Format.fprintf ppf "%g" f
+  | Vstring s ->
+    if ident_like s then Format.pp_print_string ppf s
+    else Format.fprintf ppf "%S" s
+  | Vbool b -> Format.pp_print_bool ppf b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let parse ty s =
+  let fail () = Error (Printf.sprintf "%S is not a valid %s" s (ty_name ty)) in
+  match ty with
+  | Tint -> ( match int_of_string_opt (String.trim s) with
+    | Some i -> Ok (Vint i)
+    | None -> fail ())
+  | Tfloat -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when not (Float.is_nan f) -> Ok (Vfloat f)
+    | Some _ | None -> fail ())
+  | Tbool -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "true" | "t" | "1" -> Ok (Vbool true)
+    | "false" | "f" | "0" -> Ok (Vbool false)
+    | _ -> fail ())
+  | Tstring -> Ok (Vstring s)
+
+let parse_guess s =
+  let trimmed = String.trim s in
+  match int_of_string_opt trimmed with
+  | Some i -> Vint i
+  | None -> (
+    match float_of_string_opt trimmed with
+    | Some f when not (Float.is_nan f) -> Vfloat f
+    | Some _ | None -> (
+      match trimmed with
+      | "true" -> Vbool true
+      | "false" -> Vbool false
+      | _ -> Vstring s))

@@ -1,0 +1,69 @@
+(** Atomic domain values.
+
+    An NFR (non-first-normal-form relation) in the sense of Arisawa,
+    Moriya and Miura (VLDB 1983) is defined over {e simple domains}:
+    every field of every tuple holds a set of {e atomic} elements.
+    This module provides those atomic elements — a small dynamically
+    typed value universe with a total order, hashing, printing and
+    parsing. *)
+
+(** The dynamic type of an atomic value. *)
+type ty =
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tbool
+
+(** An atomic value. [Vfloat] must not carry a NaN (enforced by
+    {!of_float}); this keeps the order total. *)
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vbool of bool
+
+val type_of : t -> ty
+(** [type_of v] is the dynamic type of [v]. *)
+
+val ty_name : ty -> string
+(** [ty_name ty] is a lowercase name ("int", "float", "string",
+    "bool") used in error messages and schema files. *)
+
+val ty_of_name : string -> ty option
+(** [ty_of_name s] parses the output of {!ty_name}. *)
+
+val of_int : int -> t
+val of_float : float -> t
+(** [of_float f] builds a float value. @raise Invalid_argument on NaN. *)
+
+val of_string : string -> t
+val of_bool : bool -> t
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+
+val compare : t -> t -> int
+(** Total order: values of distinct types are ordered by type
+    ([Tint < Tfloat < Tstring < Tbool]); values of the same type by the
+    natural order of their payload. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints a value the way the paper writes domain elements:
+    ints and floats bare, strings bare when they are simple
+    identifiers and quoted otherwise, booleans as [true]/[false]. *)
+
+val to_string : t -> string
+(** [to_string v] is [Format.asprintf "%a" pp v]. *)
+
+val parse : ty -> string -> (t, string) result
+(** [parse ty s] reads [s] as a value of type [ty] (used by the CSV
+    loader and the CLI). *)
+
+val parse_guess : string -> t
+(** [parse_guess s] reads [s] as an int, then float, then bool, then
+    falls back to a string. *)

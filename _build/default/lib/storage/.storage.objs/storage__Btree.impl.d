@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Heap List Relational Stats Value

@@ -1,0 +1,1 @@
+lib/storage/btree.mli: Heap Relational Stats Value

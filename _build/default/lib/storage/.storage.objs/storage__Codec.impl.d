@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Bytes Char Int64 List Nfr Nfr_core Ntuple Printf Relation Relational String Tuple Value Vset

@@ -1,0 +1,1 @@
+lib/storage/codec.mli: Buffer Nfr Nfr_core Ntuple Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/engine.ml: Buffer Bytes Codec Heap Index List Nfr Nfr_core Ntuple Relation Relational Schema String Tuple Value Vset

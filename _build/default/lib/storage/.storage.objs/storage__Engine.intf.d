@@ -1,0 +1,1 @@
+lib/storage/engine.mli: Attribute Nfr Nfr_core Ntuple Relation Relational Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Page Printf Stats String

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Hashtbl Heap List Option Relational Stats Value

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Buffer Bytes Char Codec Fun List Printf Relational String Sys Tuple

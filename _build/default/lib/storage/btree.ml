@@ -1,0 +1,228 @@
+open Relational
+
+type leaf = {
+  mutable items : (Value.t * Heap.rid list) list;  (* sorted by key *)
+  mutable next : leaf option;
+}
+
+type node =
+  | Leaf of leaf
+  | Interior of interior
+
+and interior = {
+  mutable seps : Value.t list;  (* k separators *)
+  mutable children : node list;  (* k + 1 children *)
+}
+
+type t = {
+  mutable root : node;
+  fanout : int;
+}
+
+let create ?(fanout = 16) () =
+  let fanout = max 4 fanout in
+  { root = Leaf { items = []; next = None }; fanout }
+
+(* Child index for a key: first separator strictly greater than the
+   key selects its child; keys equal to a separator go right. *)
+let child_index seps key =
+  let rec loop i = function
+    | [] -> i
+    | sep :: rest -> if Value.compare key sep < 0 then i else loop (i + 1) rest
+  in
+  loop 0 seps
+
+let rec nth_child children i =
+  match children, i with
+  | child :: _, 0 -> child
+  | _ :: rest, i -> nth_child rest (i - 1)
+  | [], _ -> invalid_arg "Btree: bad child index"
+
+let split_list items =
+  let n = List.length items in
+  let rec take k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | head :: tail ->
+      let left, right = take (k - 1) tail in
+      (head :: left, right)
+  in
+  take (n / 2) items
+
+(* Insert into a node; on overflow return (separator, right sibling). *)
+let rec insert_node fanout node key rid =
+  match node with
+  | Leaf leaf ->
+    let rec place = function
+      | [] -> [ (key, [ rid ]) ]
+      | ((existing, postings) as entry) :: rest ->
+        let c = Value.compare key existing in
+        if c = 0 then (existing, rid :: postings) :: rest
+        else if c < 0 then (key, [ rid ]) :: entry :: rest
+        else entry :: place rest
+    in
+    leaf.items <- place leaf.items;
+    if List.length leaf.items <= fanout then None
+    else begin
+      let left_items, right_items = split_list leaf.items in
+      let right = { items = right_items; next = leaf.next } in
+      leaf.items <- left_items;
+      leaf.next <- Some right;
+      match right_items with
+      | (sep, _) :: _ -> Some (sep, Leaf right)
+      | [] -> None
+    end
+  | Interior interior -> (
+    let index = child_index interior.seps key in
+    let child = nth_child interior.children index in
+    match insert_node fanout child key rid with
+    | None -> None
+    | Some (sep, right) ->
+      (* Splice sep and right after position index. *)
+      let rec splice i seps children =
+        match seps, children with
+        | seps, child :: rest when i = 0 ->
+          (sep :: seps, child :: right :: rest)
+        | s :: seps, child :: children ->
+          let seps', children' = splice (i - 1) seps children in
+          (s :: seps', child :: children')
+        | [], [ child ] -> (* index points at the last child *)
+          ([ sep ], [ child; right ])
+        | _ -> invalid_arg "Btree: malformed interior"
+      in
+      let seps', children' = splice index interior.seps interior.children in
+      interior.seps <- seps';
+      interior.children <- children';
+      if List.length interior.children <= fanout then None
+      else begin
+        (* Split the interior: middle separator moves up. *)
+        let k = List.length interior.seps / 2 in
+        let rec cut i seps children =
+          match seps, children with
+          | sep :: seps_rest, child :: children_rest when i = 0 ->
+            (([], [ child ]), sep, (seps_rest, children_rest))
+          | sep :: seps_rest, child :: children_rest ->
+            let (ls, lc), mid, (rs, rc) = cut (i - 1) seps_rest children_rest in
+            ((sep :: ls, child :: lc), mid, (rs, rc))
+          | _ -> invalid_arg "Btree: malformed interior split"
+        in
+        let (left_seps, left_children), mid, (right_seps, right_children) =
+          cut k interior.seps interior.children
+        in
+        interior.seps <- left_seps;
+        interior.children <- left_children;
+        Some (mid, Interior { seps = right_seps; children = right_children })
+      end)
+
+let insert t key rid =
+  match insert_node t.fanout t.root key rid with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Interior { seps = [ sep ]; children = [ t.root; right ] }
+
+let rec find_leaf node key =
+  match node with
+  | Leaf leaf -> leaf
+  | Interior interior ->
+    find_leaf (nth_child interior.children (child_index interior.seps key)) key
+
+let remove t key rid =
+  let leaf = find_leaf t.root key in
+  leaf.items <-
+    List.filter_map
+      (fun (existing, postings) ->
+        if Value.equal existing key then begin
+          match List.filter (fun r -> r <> rid) postings with
+          | [] -> None
+          | remaining -> Some (existing, remaining)
+        end
+        else Some (existing, postings))
+      leaf.items
+
+let lookup t ~stats key =
+  stats.Stats.index_probes <- stats.Stats.index_probes + 1;
+  let leaf = find_leaf t.root key in
+  match List.find_opt (fun (existing, _) -> Value.equal existing key) leaf.items with
+  | Some (_, postings) -> List.rev postings
+  | None -> []
+
+let range t ~stats ~lo ~hi =
+  let start = find_leaf t.root lo in
+  let rec walk leaf acc =
+    stats.Stats.index_probes <- stats.Stats.index_probes + 1;
+    let in_range, past =
+      List.fold_left
+        (fun (acc, past) (key, postings) ->
+          if Value.compare key lo < 0 then (acc, past)
+          else if Value.compare key hi > 0 then (acc, true)
+          else ((key, List.rev postings) :: acc, past))
+        (acc, false) leaf.items
+    in
+    if past then in_range
+    else
+      match leaf.next with
+      | Some next -> walk next in_range
+      | None -> in_range
+  in
+  List.rev (walk start [])
+
+let leftmost t =
+  let rec descend = function
+    | Leaf leaf -> leaf
+    | Interior { children = child :: _; _ } -> descend child
+    | Interior { children = []; _ } -> invalid_arg "Btree: empty interior"
+  in
+  descend t.root
+
+let keys t =
+  let rec walk leaf acc =
+    let acc = List.fold_left (fun acc (key, _) -> key :: acc) acc leaf.items in
+    match leaf.next with Some next -> walk next acc | None -> List.rev acc
+  in
+  walk (leftmost t) []
+
+let cardinal t = List.length (keys t)
+
+let depth t =
+  let rec descend node acc =
+    match node with
+    | Leaf _ -> acc
+    | Interior { children = child :: _; _ } -> descend child (acc + 1)
+    | Interior { children = []; _ } -> acc
+  in
+  descend t.root 1
+
+let rec node_keys = function
+  | Leaf leaf -> List.map fst leaf.items
+  | Interior interior -> List.concat_map node_keys interior.children
+
+let rec node_ok fanout = function
+  | Leaf leaf ->
+    let ks = List.map fst leaf.items in
+    List.sort Value.compare ks = ks
+    && List.length (List.sort_uniq Value.compare ks) = List.length ks
+  | Interior interior ->
+    List.length interior.children = List.length interior.seps + 1
+    && List.length interior.children <= fanout
+    && List.for_all (node_ok fanout) interior.children
+    &&
+    (* Separator discipline: child i's keys < seps[i] <= child i+1's. *)
+    let rec seps_ok seps children =
+      match seps, children with
+      | [], [ _ ] -> true
+      | sep :: seps_rest, left :: (right :: _ as children_rest) ->
+        List.for_all (fun k -> Value.compare k sep < 0) (node_keys left)
+        && List.for_all (fun k -> Value.compare k sep >= 0) (node_keys right)
+        && seps_ok seps_rest children_rest
+      | _ -> false
+    in
+    seps_ok interior.seps interior.children
+
+let check_invariants t =
+  node_ok t.fanout t.root
+  &&
+  (* The leaf chain enumerates exactly the in-order keys, sorted. *)
+  let chained = keys t in
+  let in_order = node_keys t.root in
+  chained = in_order
+  && List.sort Value.compare chained = chained

@@ -1,0 +1,45 @@
+(** An in-memory B+-tree over atomic values.
+
+    The ordered companion to {!Index}'s hash postings: supports point
+    and {e range} lookups over one attribute, mapping each key to the
+    rids whose component contains it. Interior nodes hold separators,
+    leaves hold (key, postings) pairs and are chained for in-order
+    scans — the textbook structure, sized by [fanout].
+
+    Deletion is by tombstone (empty posting lists are pruned from
+    leaves but nodes are not rebalanced); {!of_seq} bulk-loads
+    bottom-up. This mirrors how the rest of the storage layer trades
+    durability realism for measurability. *)
+
+open Relational
+
+type t
+
+val create : ?fanout:int -> unit -> t
+(** [fanout] is the maximum number of children per interior node
+    (default 16; minimum 4). *)
+
+val insert : t -> Value.t -> Heap.rid -> unit
+(** Add a posting under the key (duplicates per key allowed). *)
+
+val remove : t -> Value.t -> Heap.rid -> unit
+(** Remove one posting; a no-op when absent. *)
+
+val lookup : t -> stats:Stats.t -> Value.t -> Heap.rid list
+(** Postings for an exact key, charging one probe. *)
+
+val range : t -> stats:Stats.t -> lo:Value.t -> hi:Value.t -> (Value.t * Heap.rid list) list
+(** All keys with [lo <= key <= hi], ascending, one probe charged per
+    visited leaf. *)
+
+val keys : t -> Value.t list
+(** All keys in ascending order. *)
+
+val cardinal : t -> int
+(** Number of distinct keys. *)
+
+val depth : t -> int
+
+val check_invariants : t -> bool
+(** Structural sanity: sorted keys, separator correctness, leaf chain
+    order, node occupancy. Used by the test suite. *)

@@ -1,0 +1,139 @@
+open Relational
+open Nfr_core
+
+let encode_varint buffer n =
+  if n < 0 then invalid_arg "Codec.encode_varint: negative";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buffer (Char.chr n)
+    else begin
+      Buffer.add_char buffer (Char.chr (0x80 lor (n land 0x7F)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let decode_varint bytes offset =
+  let rec loop offset shift acc =
+    if offset >= Bytes.length bytes then failwith "Codec.decode_varint: truncated";
+    let byte = Char.code (Bytes.get bytes offset) in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then (acc, offset + 1) else loop (offset + 1) (shift + 7) acc
+  in
+  loop offset 0 0
+
+(* Value tags. *)
+let tag_int = 0
+let tag_float = 1
+let tag_string = 2
+let tag_true = 3
+let tag_false = 4
+let tag_negative_int = 5
+
+let encode_value buffer = function
+  | Value.Vint i ->
+    if i >= 0 then begin
+      encode_varint buffer tag_int;
+      encode_varint buffer i
+    end
+    else begin
+      encode_varint buffer tag_negative_int;
+      encode_varint buffer (-(i + 1))
+    end
+  | Value.Vfloat f ->
+    encode_varint buffer tag_float;
+    let bits = Int64.bits_of_float f in
+    for shift = 0 to 7 do
+      Buffer.add_char buffer
+        (Char.chr
+           (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (shift * 8)) 0xFFL)))
+    done
+  | Value.Vstring s ->
+    encode_varint buffer tag_string;
+    encode_varint buffer (String.length s);
+    Buffer.add_string buffer s
+  | Value.Vbool true -> encode_varint buffer tag_true
+  | Value.Vbool false -> encode_varint buffer tag_false
+
+let decode_value bytes offset =
+  let tag, offset = decode_varint bytes offset in
+  if tag = tag_int then begin
+    let i, offset = decode_varint bytes offset in
+    (Value.of_int i, offset)
+  end
+  else if tag = tag_negative_int then begin
+    let i, offset = decode_varint bytes offset in
+    (Value.of_int (-i - 1), offset)
+  end
+  else if tag = tag_float then begin
+    if offset + 8 > Bytes.length bytes then failwith "Codec.decode_value: truncated float";
+    let bits = ref 0L in
+    for shift = 7 downto 0 do
+      bits :=
+        Int64.logor
+          (Int64.shift_left !bits 8)
+          (Int64.of_int (Char.code (Bytes.get bytes (offset + shift))))
+    done;
+    (Value.of_float (Int64.float_of_bits !bits), offset + 8)
+  end
+  else if tag = tag_string then begin
+    let length, offset = decode_varint bytes offset in
+    if offset + length > Bytes.length bytes then
+      failwith "Codec.decode_value: truncated string";
+    (Value.of_string (Bytes.sub_string bytes offset length), offset + length)
+  end
+  else if tag = tag_true then (Value.of_bool true, offset)
+  else if tag = tag_false then (Value.of_bool false, offset)
+  else failwith (Printf.sprintf "Codec.decode_value: unknown tag %d" tag)
+
+let encode_tuple buffer tuple =
+  encode_varint buffer (Tuple.arity tuple);
+  List.iter (encode_value buffer) (Tuple.values tuple)
+
+let decode_tuple bytes offset =
+  let arity, offset = decode_varint bytes offset in
+  let values = Array.make arity (Value.of_int 0) in
+  let offset = ref offset in
+  for i = 0 to arity - 1 do
+    let value, next = decode_value bytes !offset in
+    values.(i) <- value;
+    offset := next
+  done;
+  (Tuple.of_array_unchecked values, !offset)
+
+let encode_ntuple buffer nt =
+  encode_varint buffer (Ntuple.arity nt);
+  List.iter
+    (fun component ->
+      encode_varint buffer (Vset.cardinal component);
+      List.iter (encode_value buffer) (Vset.elements component))
+    (Ntuple.components nt)
+
+let decode_ntuple bytes offset =
+  let arity, offset = decode_varint bytes offset in
+  let components = Array.make arity (Vset.singleton (Value.of_int 0)) in
+  let offset = ref offset in
+  for i = 0 to arity - 1 do
+    let cardinal, next = decode_varint bytes !offset in
+    offset := next;
+    let values = ref [] in
+    for _ = 1 to cardinal do
+      let value, next = decode_value bytes !offset in
+      values := value :: !values;
+      offset := next
+    done;
+    components.(i) <- Vset.of_list !values
+  done;
+  (Ntuple.of_sets_unchecked components, !offset)
+
+let measure encode x =
+  let buffer = Buffer.create 64 in
+  encode buffer x;
+  Buffer.length buffer
+
+let tuple_size tuple = measure encode_tuple tuple
+let ntuple_size nt = measure encode_ntuple nt
+
+let relation_size r =
+  Relation.fold (fun tuple acc -> acc + tuple_size tuple) r 0
+
+let nfr_size r = Nfr.fold (fun nt acc -> acc + ntuple_size nt) r 0

@@ -1,0 +1,37 @@
+(** Binary encoding of values, tuples and NFR tuples.
+
+    The paper's "realization view" argument is that an NFR is smaller
+    {e physically} than its 1NF expansion; this codec makes that
+    measurable in bytes. Encoding is length-prefixed (LEB128 varints)
+    and self-describing per value, so heap pages can hold mixed
+    schemas. *)
+
+open Relational
+open Nfr_core
+
+val encode_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128. @raise Invalid_argument on negative input. *)
+
+val decode_varint : bytes -> int -> int * int
+(** [decode_varint b off] is [(value, next_offset)].
+    @raise Failure on truncated input. *)
+
+val encode_value : Buffer.t -> Value.t -> unit
+val decode_value : bytes -> int -> Value.t * int
+
+val encode_tuple : Buffer.t -> Tuple.t -> unit
+val decode_tuple : bytes -> int -> Tuple.t * int
+
+val encode_ntuple : Buffer.t -> Ntuple.t -> unit
+val decode_ntuple : bytes -> int -> Ntuple.t * int
+
+val tuple_size : Tuple.t -> int
+(** Encoded size in bytes (without encoding twice at use sites is not
+    attempted — this simply measures a throwaway buffer). *)
+
+val ntuple_size : Ntuple.t -> int
+
+val relation_size : Relation.t -> int
+(** Total encoded size of all tuples. *)
+
+val nfr_size : Nfr.t -> int

@@ -1,0 +1,116 @@
+open Relational
+open Nfr_core
+
+type flat_store = {
+  f_schema : Schema.t;
+  f_heap : Heap.t;
+  f_index : Index.t;
+  f_payload : int;
+}
+
+type nfr_store = {
+  n_schema : Schema.t;
+  n_heap : Heap.t;
+  n_index : Index.t;
+  n_payload : int;
+}
+
+let encode_record encode x =
+  let buffer = Buffer.create 64 in
+  encode buffer x;
+  Buffer.contents buffer
+
+let load_flat ?page_size r =
+  let heap = Heap.create ?page_size () in
+  let index = Index.create () in
+  let payload = ref 0 in
+  Relation.iter
+    (fun tuple ->
+      let record = encode_record Codec.encode_tuple tuple in
+      payload := !payload + String.length record;
+      let rid = Heap.append heap record in
+      List.iteri
+        (fun position value -> Index.add index ~position value rid)
+        (Tuple.values tuple))
+    r;
+  { f_schema = Relation.schema r; f_heap = heap; f_index = index; f_payload = !payload }
+
+let load_nfr ?page_size r =
+  let heap = Heap.create ?page_size () in
+  let index = Index.create () in
+  let payload = ref 0 in
+  Nfr.iter
+    (fun nt ->
+      let record = encode_record Codec.encode_ntuple nt in
+      payload := !payload + String.length record;
+      let rid = Heap.append heap record in
+      List.iteri
+        (fun position component ->
+          Vset.fold (fun value () -> Index.add index ~position value rid) component ())
+        (Ntuple.components nt))
+    r;
+  { n_schema = Nfr.schema r; n_heap = heap; n_index = index; n_payload = !payload }
+
+type footprint = {
+  records : int;
+  pages : int;
+  heap_bytes : int;
+  payload_bytes : int;
+  index_entries : int;
+}
+
+let flat_footprint store =
+  {
+    records = Heap.record_count store.f_heap;
+    pages = Heap.page_count store.f_heap;
+    heap_bytes = Heap.total_bytes store.f_heap;
+    payload_bytes = store.f_payload;
+    index_entries = Index.entry_count store.f_index;
+  }
+
+let nfr_footprint store =
+  {
+    records = Heap.record_count store.n_heap;
+    pages = Heap.page_count store.n_heap;
+    heap_bytes = Heap.total_bytes store.n_heap;
+    payload_bytes = store.n_payload;
+    index_entries = Index.entry_count store.n_index;
+  }
+
+let flat_scan_eq store ~stats attribute value =
+  let position = Schema.position store.f_schema attribute in
+  let matches = ref [] in
+  Heap.scan store.f_heap ~stats (fun _rid record ->
+      let tuple, _ = Codec.decode_tuple (Bytes.of_string record) 0 in
+      if Value.equal (Tuple.get tuple position) value then
+        matches := tuple :: !matches);
+  List.rev !matches
+
+let nfr_scan_contains store ~stats attribute value =
+  let position = Schema.position store.n_schema attribute in
+  let matches = ref [] in
+  Heap.scan store.n_heap ~stats (fun _rid record ->
+      let nt, _ = Codec.decode_ntuple (Bytes.of_string record) 0 in
+      if Vset.mem value (Ntuple.component nt position) then matches := nt :: !matches);
+  List.rev !matches
+
+let flat_lookup_eq store ~stats attribute value =
+  let position = Schema.position store.f_schema attribute in
+  let rids = Index.lookup store.f_index ~stats ~position value in
+  List.map
+    (fun rid ->
+      let record = Heap.fetch store.f_heap ~stats rid in
+      fst (Codec.decode_tuple (Bytes.of_string record) 0))
+    rids
+
+let nfr_lookup_contains store ~stats attribute value =
+  let position = Schema.position store.n_schema attribute in
+  let rids = Index.lookup store.n_index ~stats ~position value in
+  List.map
+    (fun rid ->
+      let record = Heap.fetch store.n_heap ~stats rid in
+      fst (Codec.decode_ntuple (Bytes.of_string record) 0))
+    rids
+
+let flat_schema store = store.f_schema
+let nfr_schema store = store.n_schema

@@ -1,0 +1,69 @@
+type rid = {
+  page_no : int;
+  slot : int;
+}
+
+type t = {
+  mutable pages : Page.t array;  (* grows; last page is the open one *)
+  mutable records : int;
+  page_size : int;
+}
+
+let create ?(page_size = Page.default_size) () =
+  { pages = [| Page.create ~size:page_size () |]; records = 0; page_size }
+
+let current_page t = t.pages.(Array.length t.pages - 1)
+
+let open_new_page t =
+  let page = Page.create ~size:t.page_size () in
+  t.pages <- Array.append t.pages [| page |];
+  page
+
+let append t record =
+  let page, page_no =
+    match Page.append (current_page t) record with
+    | Some slot -> (Some slot, Array.length t.pages - 1)
+    | None -> (None, 0)
+  in
+  match page with
+  | Some slot ->
+    t.records <- t.records + 1;
+    { page_no; slot }
+  | None ->
+    let fresh = open_new_page t in
+    (match Page.append fresh record with
+    | Some slot ->
+      t.records <- t.records + 1;
+      { page_no = Array.length t.pages - 1; slot }
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Heap.append: record of %d bytes exceeds page size %d"
+           (String.length record) t.page_size))
+
+let get t rid =
+  if rid.page_no < 0 || rid.page_no >= Array.length t.pages then
+    invalid_arg "Heap.get: bad page number";
+  Page.get t.pages.(rid.page_no) rid.slot
+
+let page_count t = Array.length t.pages
+let record_count t = t.records
+let total_bytes t = Array.fold_left (fun acc page -> acc + Page.size page) 0 t.pages
+
+let scan t ~stats f =
+  Array.iteri
+    (fun page_no page ->
+      stats.Stats.pages_read <- stats.Stats.pages_read + 1;
+      Page.iter
+        (fun slot record ->
+          stats.Stats.records_read <- stats.Stats.records_read + 1;
+          stats.Stats.bytes_read <- stats.Stats.bytes_read + String.length record;
+          f { page_no; slot } record)
+        page)
+    t.pages
+
+let fetch t ~stats rid =
+  let record = get t rid in
+  stats.Stats.pages_read <- stats.Stats.pages_read + 1;
+  stats.Stats.records_read <- stats.Stats.records_read + 1;
+  stats.Stats.bytes_read <- stats.Stats.bytes_read + String.length record;
+  record

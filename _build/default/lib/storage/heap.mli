@@ -1,0 +1,32 @@
+(** Heap files: an append-only sequence of slotted pages.
+
+    Scans report how many pages and records they touched via
+    {!Stats}; that count is the paper's "logical search space". *)
+
+type t
+
+type rid = {
+  page_no : int;
+  slot : int;
+}
+(** Record identifier. *)
+
+val create : ?page_size:int -> unit -> t
+
+val append : t -> string -> rid
+(** Store a record, opening a new page when the current one is full.
+    @raise Invalid_argument if the record exceeds a whole page. *)
+
+val get : t -> rid -> string
+(** @raise Invalid_argument on a dangling rid. *)
+
+val page_count : t -> int
+val record_count : t -> int
+val total_bytes : t -> int
+(** Sum of page sizes (allocated), not just payload. *)
+
+val scan : t -> stats:Stats.t -> (rid -> string -> unit) -> unit
+(** Full scan; charges every page and record to [stats]. *)
+
+val fetch : t -> stats:Stats.t -> rid -> string
+(** Point read; charges one page and one record. *)

@@ -1,0 +1,34 @@
+open Relational
+
+module Key = struct
+  type t = int * Value.t
+
+  let equal (pa, va) (pb, vb) = pa = pb && Value.equal va vb
+  let hash (position, value) = (position * 31) + Value.hash value
+end
+
+module Table = Hashtbl.Make (Key)
+
+type t = {
+  table : Heap.rid list Table.t;
+  mutable entries : int;
+}
+
+let create () = { table = Table.create 256; entries = 0 }
+
+let add t ~position value rid =
+  let key = (position, value) in
+  let existing = Option.value ~default:[] (Table.find_opt t.table key) in
+  Table.replace t.table key (rid :: existing);
+  t.entries <- t.entries + 1
+
+let lookup t ~stats ~position value =
+  stats.Stats.index_probes <- stats.Stats.index_probes + 1;
+  List.rev (Option.value ~default:[] (Table.find_opt t.table (position, value)))
+
+let entry_count t = t.entries
+
+let posting_size t ~position value =
+  match Table.find_opt t.table (position, value) with
+  | Some rids -> List.length rids
+  | None -> 0

@@ -1,0 +1,25 @@
+(** Inverted value indexes.
+
+    Maps [(attribute position, value)] to the rids of records whose
+    component (set-valued for NFR heaps, atomic for flat heaps)
+    contains the value. This is the natural secondary index for
+    set-valued fields and what makes the NFR point lookup in E9 touch
+    one page instead of scanning. *)
+
+open Relational
+
+type t
+
+val create : unit -> t
+
+val add : t -> position:int -> Value.t -> Heap.rid -> unit
+
+val lookup : t -> stats:Stats.t -> position:int -> Value.t -> Heap.rid list
+(** Charges one index probe; rids in insertion order. *)
+
+val entry_count : t -> int
+(** Total number of (value, rid) postings (index size proxy). *)
+
+val posting_size : t -> position:int -> Value.t -> int
+(** Length of one posting list without charging a probe — the
+    selectivity statistic the physical planner ranks candidates by. *)

@@ -1,0 +1,53 @@
+(* A page is a byte buffer plus a slot directory. Records are
+   appended front-to-back; the directory (offset, length per slot) is
+   tracked out-of-band but its size is charged against the page budget
+   (4 bytes per slot), mimicking an on-disk slotted layout. *)
+
+type t = {
+  buffer : Buffer.t;
+  mutable slots : (int * int) list;  (* newest first: (offset, length) *)
+  page_size : int;
+}
+
+let default_size = 4096
+let slot_overhead = 4
+let header_overhead = 8
+
+let create ?(size = default_size) () =
+  { buffer = Buffer.create size; slots = []; page_size = size }
+
+let record_count page = List.length page.slots
+
+let used_bytes page =
+  Buffer.length page.buffer
+  + (record_count page * slot_overhead)
+  + header_overhead
+
+let capacity_left page = page.page_size - used_bytes page - slot_overhead
+let size page = page.page_size
+
+let append page record =
+  if String.length record > capacity_left page then None
+  else begin
+    let offset = Buffer.length page.buffer in
+    Buffer.add_string page.buffer record;
+    page.slots <- (offset, String.length record) :: page.slots;
+    Some (record_count page - 1)
+  end
+
+let nth_slot page slot =
+  let count = record_count page in
+  if slot < 0 || slot >= count then
+    invalid_arg (Printf.sprintf "Page.get: slot %d of %d" slot count);
+  (* Slots are stored newest-first. *)
+  List.nth page.slots (count - 1 - slot)
+
+let get page slot =
+  let offset, length = nth_slot page slot in
+  Buffer.sub page.buffer offset length
+
+let iter f page =
+  let count = record_count page in
+  for slot = 0 to count - 1 do
+    f slot (get page slot)
+  done

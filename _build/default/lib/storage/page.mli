@@ -1,0 +1,31 @@
+(** Slotted pages.
+
+    Fixed-size in-memory pages with a slot directory, as a stand-in
+    for disk blocks: the search-space benches count pages touched, so
+    the page abstraction is what turns "fewer tuples" into "fewer
+    I/Os". *)
+
+type t
+
+val default_size : int
+(** 4096 bytes. *)
+
+val create : ?size:int -> unit -> t
+
+val capacity_left : t -> int
+(** Free bytes available for one more record (slot overhead already
+    accounted). *)
+
+val record_count : t -> int
+
+val append : t -> string -> int option
+(** [append page record] stores the record and returns its slot
+    number, or [None] when it does not fit. Records longer than the
+    page payload can never fit. *)
+
+val get : t -> int -> string
+(** @raise Invalid_argument on a bad slot. *)
+
+val iter : (int -> string -> unit) -> t -> unit
+val used_bytes : t -> int
+val size : t -> int

@@ -1,0 +1,25 @@
+type t = {
+  mutable pages_read : int;
+  mutable records_read : int;
+  mutable bytes_read : int;
+  mutable index_probes : int;
+}
+
+let create () =
+  { pages_read = 0; records_read = 0; bytes_read = 0; index_probes = 0 }
+
+let reset t =
+  t.pages_read <- 0;
+  t.records_read <- 0;
+  t.bytes_read <- 0;
+  t.index_probes <- 0
+
+let add acc s =
+  acc.pages_read <- acc.pages_read + s.pages_read;
+  acc.records_read <- acc.records_read + s.records_read;
+  acc.bytes_read <- acc.bytes_read + s.bytes_read;
+  acc.index_probes <- acc.index_probes + s.index_probes
+
+let pp ppf t =
+  Format.fprintf ppf "pages=%d records=%d bytes=%d probes=%d" t.pages_read
+    t.records_read t.bytes_read t.index_probes

@@ -1,0 +1,19 @@
+(** Access-path counters.
+
+    Every storage operation charges what it touched; the search-space
+    experiment (E9) reports these instead of wall-clock time, matching
+    the paper's "reduction of the logical search space" claim. *)
+
+type t = {
+  mutable pages_read : int;
+  mutable records_read : int;
+  mutable bytes_read : int;
+  mutable index_probes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,292 @@
+open Relational
+open Nfr_core
+
+module Ntuple_table = Hashtbl.Make (struct
+  type t = Ntuple.t
+
+  let equal = Ntuple.equal
+  let hash = Ntuple.hash
+end)
+
+module Rid_set = Set.Make (struct
+  type t = Heap.rid
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  schema : Schema.t;
+  order : Attribute.t list;
+  store : Update.Store.t;
+  page_size : int;
+  mutable heap : Heap.t;
+  mutable index : Index.t;
+  mutable rids : Heap.rid Ntuple_table.t;  (* live ntuple -> rid *)
+  mutable dead : Rid_set.t;
+  ordered_on : int option;  (* schema position of the B+-tree key *)
+  mutable btree : Btree.t option;
+  wal : Wal.t option;
+  wal_path : string option;
+}
+
+let encode_record nt =
+  let buffer = Buffer.create 64 in
+  Codec.encode_ntuple buffer nt;
+  Buffer.contents buffer
+
+let ordered_values t nt =
+  match t.ordered_on with
+  | None -> Vset.singleton (Value.of_int 0) (* unused *)
+  | Some position -> Ntuple.component nt position
+
+let physical_add t nt =
+  let rid = Heap.append t.heap (encode_record nt) in
+  Ntuple_table.replace t.rids nt rid;
+  List.iteri
+    (fun position component ->
+      Vset.fold (fun value () -> Index.add t.index ~position value rid) component ())
+    (Ntuple.components nt);
+  match t.btree with
+  | Some tree ->
+    Vset.fold (fun value () -> Btree.insert tree value rid) (ordered_values t nt) ()
+  | None -> ()
+
+let physical_remove t nt =
+  match Ntuple_table.find_opt t.rids nt with
+  | Some rid ->
+    Ntuple_table.remove t.rids nt;
+    t.dead <- Rid_set.add rid t.dead;
+    (match t.btree with
+    | Some tree ->
+      Vset.fold (fun value () -> Btree.remove tree value rid) (ordered_values t nt) ()
+    | None -> ())
+  | None -> ()
+
+let apply_journal t journal =
+  List.iter
+    (fun entry ->
+      match entry with
+      | Update.Added nt -> physical_add t nt
+      | Update.Removed nt -> physical_remove t nt)
+    journal
+
+let create ?(page_size = Page.default_size) ?wal_path ?ordered_on ~order schema =
+  let ordered_position =
+    Option.map (fun attribute -> Schema.position schema attribute) ordered_on
+  in
+  {
+    schema;
+    order;
+    store = Update.Store.create ~order schema;
+    page_size;
+    heap = Heap.create ~page_size ();
+    index = Index.create ();
+    rids = Ntuple_table.create 256;
+    dead = Rid_set.empty;
+    ordered_on = ordered_position;
+    btree = Option.map (fun _ -> Btree.create ()) ordered_position;
+    wal = Option.map Wal.open_log wal_path;
+    wal_path;
+  }
+
+let apply_unlogged t entry =
+  match entry with
+  | Wal.Insert tuple ->
+    let journal = Update.Store.insert_journaled t.store tuple in
+    apply_journal t journal;
+    journal <> []
+  | Wal.Delete tuple ->
+    let journal = Update.Store.delete_journaled t.store tuple in
+    apply_journal t journal;
+    true
+
+let load ?page_size ?wal_path ?ordered_on ~order flat =
+  let t = create ?page_size ?wal_path ?ordered_on ~order (Relation.schema flat) in
+  Relation.iter (fun tuple -> ignore (apply_unlogged t (Wal.Insert tuple))) flat;
+  t
+
+let recover ?page_size ?ordered_on ~wal_path ~order schema =
+  let entries = Wal.replay wal_path in
+  let t = create ?page_size ~wal_path ?ordered_on ~order schema in
+  List.iter
+    (fun entry ->
+      match apply_unlogged t entry with
+      | _ -> ()
+      | exception Update.Not_in_relation ->
+        (* A delete whose insert was lost cannot be replayed; the log
+           is the source of truth, so this is corruption. *)
+        failwith "Table.recover: WAL deletes a tuple that is not present")
+    entries;
+  t
+
+let close t = Option.iter Wal.close t.wal
+let schema t = t.schema
+let nest_order t = t.order
+
+let ordered_attribute t =
+  Option.map (fun position -> Schema.attribute_at t.schema position) t.ordered_on
+
+let posting_size t attribute value =
+  Index.posting_size t.index ~position:(Schema.position t.schema attribute) value
+
+let insert t tuple =
+  if Update.Store.member t.store tuple then false
+  else begin
+    Option.iter (fun wal -> Wal.append wal (Wal.Insert tuple)) t.wal;
+    apply_unlogged t (Wal.Insert tuple)
+  end
+
+let delete t tuple =
+  if not (Update.Store.member t.store tuple) then raise Update.Not_in_relation;
+  Option.iter (fun wal -> Wal.append wal (Wal.Delete tuple)) t.wal;
+  ignore (apply_unlogged t (Wal.Delete tuple))
+
+let member t tuple = Update.Store.member t.store tuple
+let snapshot t = Update.Store.snapshot t.store
+let cardinality t = Update.Store.cardinality t.store
+let fact_count t = Nfr.expansion_size (snapshot t)
+
+let lookup t ~stats attribute value =
+  let position = Schema.position t.schema attribute in
+  let rids = Index.lookup t.index ~stats ~position value in
+  List.filter_map
+    (fun rid ->
+      if Rid_set.mem rid t.dead then None
+      else begin
+        let record = Heap.fetch t.heap ~stats rid in
+        Some (fst (Codec.decode_ntuple (Bytes.of_string record) 0))
+      end)
+    rids
+
+let scan t ~stats f =
+  Heap.scan t.heap ~stats (fun rid record ->
+      if not (Rid_set.mem rid t.dead) then
+        f (fst (Codec.decode_ntuple (Bytes.of_string record) 0)))
+
+let range t ~stats ~lo ~hi =
+  match t.btree, t.ordered_on with
+  | Some tree, Some _position ->
+    let postings = Btree.range tree ~stats ~lo ~hi in
+    let module Rid_seen = Set.Make (struct
+      type t = Heap.rid
+
+      let compare = Stdlib.compare
+    end) in
+    let _, tuples =
+      List.fold_left
+        (fun (seen, acc) (_key, rids) ->
+          List.fold_left
+            (fun (seen, acc) rid ->
+              if Rid_seen.mem rid seen || Rid_set.mem rid t.dead then (seen, acc)
+              else begin
+                let record = Heap.fetch t.heap ~stats rid in
+                ( Rid_seen.add rid seen,
+                  fst (Codec.decode_ntuple (Bytes.of_string record) 0) :: acc )
+              end)
+            (seen, acc) rids)
+        (Rid_seen.empty, []) postings
+    in
+    List.rev tuples
+  | None, _ | _, None -> invalid_arg "Table.range: no ordered index (pass ~ordered_on)"
+
+let live_records t = Ntuple_table.length t.rids
+let dead_records t = Rid_set.cardinal t.dead
+let pages t = Heap.page_count t.heap
+
+let compact t =
+  let live = snapshot t in
+  t.heap <- Heap.create ~page_size:t.page_size ();
+  t.index <- Index.create ();
+  t.rids <- Ntuple_table.create 256;
+  t.dead <- Rid_set.empty;
+  t.btree <- Option.map (fun _ -> Btree.create ()) t.ordered_on;
+  Nfr.iter (physical_add t) live
+
+let checkpoint t =
+  compact t;
+  Option.iter Wal.reset t.wal_path
+
+(* Snapshot format: schema (degree, then name/ty-tag pairs), nest
+   order (attribute names), ordered-on marker, tuple count, tuples. *)
+let ty_tag = function
+  | Value.Tint -> 0
+  | Value.Tfloat -> 1
+  | Value.Tstring -> 2
+  | Value.Tbool -> 3
+
+let ty_of_tag = function
+  | 0 -> Value.Tint
+  | 1 -> Value.Tfloat
+  | 2 -> Value.Tstring
+  | 3 -> Value.Tbool
+  | tag -> failwith (Printf.sprintf "Table snapshot: unknown type tag %d" tag)
+
+let encode_string buffer s =
+  Codec.encode_varint buffer (String.length s);
+  Buffer.add_string buffer s
+
+let decode_string bytes offset =
+  let length, offset = Codec.decode_varint bytes offset in
+  if offset + length > Bytes.length bytes then
+    failwith "Table snapshot: truncated string";
+  (Bytes.sub_string bytes offset length, offset + length)
+
+let save_snapshot t path =
+  let buffer = Buffer.create 4096 in
+  Codec.encode_varint buffer (Schema.degree t.schema);
+  List.iter
+    (fun (attribute, ty) ->
+      encode_string buffer (Attribute.name attribute);
+      Codec.encode_varint buffer (ty_tag ty))
+    (Schema.columns t.schema);
+  List.iter (fun attribute -> encode_string buffer (Attribute.name attribute)) t.order;
+  let snapshot = snapshot t in
+  Codec.encode_varint buffer (Nfr.cardinality snapshot);
+  Nfr.iter (Codec.encode_ntuple buffer) snapshot;
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buffer))
+
+let load_snapshot ?page_size ?wal_path ?ordered_on path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let bytes = Bytes.of_string contents in
+  let degree, offset = Codec.decode_varint bytes 0 in
+  if degree = 0 then failwith "Table snapshot: empty schema";
+  let columns = ref [] in
+  let offset = ref offset in
+  for _ = 1 to degree do
+    let name, next = decode_string bytes !offset in
+    let tag, next = Codec.decode_varint bytes next in
+    columns := (name, ty_of_tag tag) :: !columns;
+    offset := next
+  done;
+  let schema = Schema.of_names (List.rev !columns) in
+  let order = ref [] in
+  for _ = 1 to degree do
+    let name, next = decode_string bytes !offset in
+    order := Attribute.make name :: !order;
+    offset := next
+  done;
+  let count, next = Codec.decode_varint bytes !offset in
+  offset := next;
+  let t = create ?page_size ?wal_path ?ordered_on ~order:(List.rev !order) schema in
+  for _ = 1 to count do
+    let nt, next = Codec.decode_ntuple bytes !offset in
+    offset := next;
+    (* Feed the flat facts through the normal path so logic and
+       physical layers stay in sync and canonicity is re-established
+       even if the snapshot was tampered with. *)
+    List.iter
+      (fun tuple -> ignore (apply_unlogged t (Wal.Insert tuple)))
+      (Ntuple.expand nt)
+  done;
+  (match wal_path with
+  | Some wal_path ->
+    List.iter
+      (fun entry ->
+        match apply_unlogged t entry with
+        | _ -> ()
+        | exception Update.Not_in_relation ->
+          failwith "Table.load_snapshot: WAL deletes an absent tuple")
+      (Wal.replay wal_path)
+  | None -> ());
+  t

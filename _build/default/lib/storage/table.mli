@@ -1,0 +1,112 @@
+(** A live NFR table: canonical maintenance + physical storage + WAL.
+
+    Combines the three layers this library builds:
+
+    - logic: {!Nfr_core.Update.Store} keeps the relation canonical
+      under inserts/deletes (Sec. 4 algorithms, postings-indexed);
+    - physical: every current NFR tuple lives in a {!Heap} record with
+      {!Index} postings; updates tombstone dead records and append new
+      ones (journal-driven), {!compact} rebuilds when the dead ratio
+      grows;
+    - durability: a logical {!Wal}; {!recover} replays it from an
+      empty table, so a crash loses at most the unfinished entry.
+
+    The heap/index are in-memory stand-ins for disk blocks (as in
+    {!Engine}); durability comes solely from the WAL. *)
+
+open Relational
+open Nfr_core
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?wal_path:string ->
+  ?ordered_on:Attribute.t ->
+  order:Attribute.t list ->
+  Schema.t ->
+  t
+(** An empty table. With [wal_path], every update is logged before it
+    is applied; with [ordered_on], a {!Btree} over that attribute's
+    component values is maintained and {!range} becomes available. *)
+
+val load :
+  ?page_size:int ->
+  ?wal_path:string ->
+  ?ordered_on:Attribute.t ->
+  order:Attribute.t list ->
+  Relation.t ->
+  t
+(** Bulk-load a flat relation (canonicalized; not logged — a bulk load
+    is its own checkpoint). *)
+
+val recover :
+  ?page_size:int ->
+  ?ordered_on:Attribute.t ->
+  wal_path:string ->
+  order:Attribute.t list ->
+  Schema.t ->
+  t
+(** Rebuild by replaying the WAL from an empty table. *)
+
+val close : t -> unit
+
+val schema : t -> Schema.t
+val nest_order : t -> Attribute.t list
+val ordered_attribute : t -> Attribute.t option
+(** The attribute carrying the B+-tree, if any. *)
+
+val posting_size : t -> Attribute.t -> Value.t -> int
+(** Selectivity statistic: how many heap records (live or tombstoned)
+    the inverted index lists for this (attribute, value). Free of
+    charge — used by the physical planner to rank candidate probes. *)
+
+val insert : t -> Tuple.t -> bool
+(** Logs, updates the canonical store, mirrors the journal onto the
+    heap/index. [false] (and no log entry) on duplicates. *)
+
+val delete : t -> Tuple.t -> unit
+(** @raise Update.Not_in_relation when absent (nothing is logged). *)
+
+val member : t -> Tuple.t -> bool
+val snapshot : t -> Nfr.t
+val cardinality : t -> int
+(** Current number of NFR tuples. *)
+
+val fact_count : t -> int
+(** Number of flat facts ([R*] cardinality). *)
+
+val lookup : t -> stats:Stats.t -> Attribute.t -> Value.t -> Ntuple.t list
+(** Indexed containment lookup against the physical store (tombstoned
+    records are skipped but charged as index probes). *)
+
+val scan : t -> stats:Stats.t -> (Ntuple.t -> unit) -> unit
+(** Full heap scan over live records. *)
+
+val range : t -> stats:Stats.t -> lo:Value.t -> hi:Value.t -> Ntuple.t list
+(** NFR tuples whose ordered component holds a value in
+    [\[lo, hi\]], each returned once, via the B+-tree.
+    @raise Invalid_argument when the table has no ordered index. *)
+
+val live_records : t -> int
+val dead_records : t -> int
+val pages : t -> int
+
+val compact : t -> unit
+(** Rebuild heap and index from the live snapshot, dropping
+    tombstones. *)
+
+val checkpoint : t -> unit
+(** {!compact} and reset the WAL. Pair with {!save_snapshot} first —
+    after a checkpoint the WAL alone replays to an empty table. *)
+
+val save_snapshot : t -> string -> unit
+(** Serialize schema, nest order and every NFR tuple to a file
+    (binary, via {!Codec}). *)
+
+val load_snapshot :
+  ?page_size:int -> ?wal_path:string -> ?ordered_on:Attribute.t -> string -> t
+(** Rebuild a table from {!save_snapshot} output, then replay
+    [wal_path] (if given) on top — the full recovery story:
+    snapshot at the last checkpoint + the log since.
+    @raise Failure on a malformed snapshot. *)

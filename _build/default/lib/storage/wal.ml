@@ -1,0 +1,120 @@
+open Relational
+
+type entry =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+
+type t = {
+  channel : out_channel;
+}
+
+let open_log path =
+  { channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+
+let checksum payload =
+  let total = ref 0 in
+  String.iter (fun c -> total := (!total + Char.code c) land 0xFF) payload;
+  !total
+
+let encode_entry entry =
+  let buffer = Buffer.create 32 in
+  (match entry with
+  | Insert tuple ->
+    Buffer.add_char buffer 'I';
+    Codec.encode_tuple buffer tuple
+  | Delete tuple ->
+    Buffer.add_char buffer 'D';
+    Codec.encode_tuple buffer tuple);
+  Buffer.contents buffer
+
+let append t entry =
+  let payload = encode_entry entry in
+  let framed = Buffer.create (String.length payload + 8) in
+  Codec.encode_varint framed (String.length payload);
+  Buffer.add_string framed payload;
+  Buffer.add_char framed (Char.chr (checksum payload));
+  output_string t.channel (Buffer.contents framed);
+  flush t.channel
+
+let close t = close_out_noerr t.channel
+
+let decode_entry payload =
+  let bytes = Bytes.of_string payload in
+  if Bytes.length bytes < 1 then failwith "Wal: empty entry";
+  let tuple, consumed = Codec.decode_tuple bytes 1 in
+  if consumed <> Bytes.length bytes then failwith "Wal: trailing bytes in entry";
+  match Bytes.get bytes 0 with
+  | 'I' -> Insert tuple
+  | 'D' -> Delete tuple
+  | c -> failwith (Printf.sprintf "Wal: unknown entry tag %C" c)
+
+let replay path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let channel = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr channel)
+      (fun () ->
+        let contents =
+          really_input_string channel (in_channel_length channel)
+        in
+        let bytes = Bytes.of_string contents in
+        let length = Bytes.length bytes in
+        (* Read entries; a failure at the very tail is crash debris, a
+           failure with more data after it is real corruption. *)
+        let rec loop offset acc =
+          if offset >= length then List.rev acc
+          else
+            match
+              let payload_length, after_length = Codec.decode_varint bytes offset in
+              if after_length + payload_length + 1 > length then
+                failwith "Wal: truncated entry"
+              else begin
+                let payload = Bytes.sub_string bytes after_length payload_length in
+                let stored = Char.code (Bytes.get bytes (after_length + payload_length)) in
+                if stored <> checksum payload then failwith "Wal: bad checksum"
+                else (decode_entry payload, after_length + payload_length + 1)
+              end
+            with
+            | entry, next -> loop next (entry :: acc)
+            | exception Failure reason ->
+              (* Is this the tail? Heuristic: if fewer than one full
+                 frame could follow the failure point, treat as crash
+                 debris; otherwise fail loudly. We approximate by
+                 checking whether the failure consumed the rest of the
+                 file (no further valid frame start can be proven), so
+                 we simply stop here — and re-raise only when a valid
+                 frame is found later. *)
+              let rec later_frame probe =
+                if probe >= length then None
+                else
+                  match
+                    let payload_length, after_length = Codec.decode_varint bytes probe in
+                    if
+                      payload_length > 0
+                      && after_length + payload_length + 1 <= length
+                    then begin
+                      let payload =
+                        Bytes.sub_string bytes after_length payload_length
+                      in
+                      let stored =
+                        Char.code (Bytes.get bytes (after_length + payload_length))
+                      in
+                      if stored = checksum payload then Some (decode_entry payload)
+                      else None
+                    end
+                    else None
+                  with
+                  | Some entry -> Some entry
+                  | None | (exception Failure _) -> later_frame (probe + 1)
+              in
+              (match later_frame (offset + 1) with
+              | Some _ -> failwith ("Wal: corrupt entry mid-log: " ^ reason)
+              | None -> List.rev acc)
+        in
+        loop 0 [])
+  end
+
+let reset path =
+  let channel = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
+  close_out_noerr channel

@@ -1,0 +1,38 @@
+(** A logical write-ahead log.
+
+    Records the {e user-level} operations (insert/delete of one flat
+    tuple) rather than physical effects, so recovery is replaying the
+    Sec. 4 algorithms — which is exactly what makes logical logging
+    cheap for NFRs: entries are tuple-sized no matter how large the
+    touched groups were.
+
+    Entries are length-prefixed and checksummed; {!replay} stops at
+    the first truncated or corrupt entry, so a crash mid-append loses
+    at most the unfinished entry (tested by truncating logs at every
+    byte boundary). *)
+
+open Relational
+
+type entry =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+
+type t
+(** An open log handle (append mode). *)
+
+val open_log : string -> t
+(** Opens (creating if absent) for appending. *)
+
+val append : t -> entry -> unit
+(** Encode, write, flush. *)
+
+val close : t -> unit
+
+val replay : string -> entry list
+(** All complete entries in write order; the empty list when the file
+    does not exist. Silently drops a trailing partial/corrupt entry
+    (crash semantics), but @raise Failure when corruption is followed
+    by more data (torn middle — a real error). *)
+
+val reset : string -> unit
+(** Truncate the log (after a checkpoint). *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Fun List Printf Prng Relation Relational Schema String Tuple Value Zipf

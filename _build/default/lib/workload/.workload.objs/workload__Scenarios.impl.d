@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Float Gen List Printf

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Char Format List Printf Prng Relation Relational Schema Tuple Value Zipf

@@ -1,0 +1,128 @@
+open Relational
+
+type dependent = {
+  name : string;
+  domain : int;
+  set_min : int;
+  set_max : int;
+}
+
+let dependent ?(set_min = 1) ?(set_max = 4) ?(domain = 20) name =
+  { name; domain; set_min; set_max }
+
+let value_of prefix i = Value.of_string (Printf.sprintf "%s%d" prefix i)
+
+(* Lowercased column name as the value prefix, so printed relations
+   read like the paper's examples (Student -> student0, student1...). *)
+let prefix_of name = String.lowercase_ascii name
+
+let entity ~seed ~entities ~key deps =
+  if deps = [] then invalid_arg "Gen.entity: no dependent attributes";
+  List.iter
+    (fun d ->
+      if d.set_min < 1 || d.set_max < d.set_min || d.set_max > d.domain then
+        invalid_arg
+          (Printf.sprintf "Gen.entity: bad set sizes for %s (%d..%d of %d)"
+             d.name d.set_min d.set_max d.domain))
+    deps;
+  let rng = Prng.create seed in
+  let schema = Schema.strings (key :: List.map (fun d -> d.name) deps) in
+  let rec product = function
+    | [] -> [ [] ]
+    | values :: rest ->
+      let suffixes = product rest in
+      List.concat_map
+        (fun value -> List.map (fun suffix -> value :: suffix) suffixes)
+        values
+  in
+  let rows =
+    List.concat_map
+      (fun e ->
+        let key_value = value_of (prefix_of key) e in
+        let sets =
+          List.map
+            (fun d ->
+              let size = d.set_min + Prng.int rng (d.set_max - d.set_min + 1) in
+              List.map
+                (value_of (prefix_of d.name))
+                (Prng.sample_distinct rng size d.domain))
+            deps
+        in
+        List.map (fun combo -> key_value :: combo) (product sets))
+      (List.init entities Fun.id)
+  in
+  Relation.of_rows schema rows
+
+type column = {
+  col_name : string;
+  col_domain : int;
+  zipf_s : float;
+}
+
+let column ?(domain = 20) ?(zipf_s = 0.) col_name =
+  { col_name; col_domain = domain; zipf_s }
+
+let relationship ~seed ~rows cols =
+  if cols = [] then invalid_arg "Gen.relationship: no columns";
+  let space =
+    List.fold_left (fun acc c -> acc * c.col_domain) 1 cols
+  in
+  if space < rows then
+    invalid_arg
+      (Printf.sprintf "Gen.relationship: %d rows requested from a %d-tuple space"
+         rows space);
+  let rng = Prng.create seed in
+  let schema = Schema.strings (List.map (fun c -> c.col_name) cols) in
+  let samplers =
+    List.map
+      (fun c ->
+        if c.zipf_s = 0. then fun () -> Prng.int rng c.col_domain
+        else begin
+          let z = Zipf.create ~n:c.col_domain ~s:c.zipf_s in
+          fun () -> Zipf.sample z rng
+        end)
+      cols
+  in
+  let draw () =
+    List.map2 (fun c sample -> value_of (prefix_of c.col_name) (sample ())) cols
+      samplers
+  in
+  (* Rejection sampling with a generous attempt budget; the space
+     check above keeps this terminating in practice. *)
+  let rec fill r attempts =
+    if Relation.cardinality r >= rows || attempts > rows * 200 then r
+    else fill (Relation.add r (Tuple.make schema (draw ()))) (attempts + 1)
+  in
+  fill (Relation.empty schema) 0
+
+(* Alphabets actually appearing in a relation, per column. *)
+let observed_alphabets r =
+  let schema = Relation.schema r in
+  List.map
+    (fun attribute -> Array.of_list (Relation.column_values r attribute))
+    (Schema.attributes schema)
+
+let insert_stream ~seed r k =
+  let rng = Prng.create seed in
+  let alphabets = observed_alphabets r in
+  let draw () =
+    Tuple.of_array_unchecked
+      (Array.of_list (List.map (fun alphabet -> Prng.pick rng alphabet) alphabets))
+  in
+  let rec fill acc seen attempts =
+    if List.length acc >= k || attempts > k * 500 then List.rev acc
+    else
+      let candidate = draw () in
+      if Relation.mem r candidate || List.exists (Tuple.equal candidate) seen
+      then fill acc seen (attempts + 1)
+      else fill (candidate :: acc) (candidate :: seen) (attempts + 1)
+  in
+  fill [] [] 0
+
+let delete_stream ~seed r k =
+  if k > Relation.cardinality r then
+    invalid_arg "Gen.delete_stream: more deletions than tuples";
+  let rng = Prng.create seed in
+  let tuples = Array.of_list (Relation.tuples r) in
+  Prng.shuffle rng tuples;
+  Array.to_list (Array.sub tuples 0 k)

@@ -1,0 +1,59 @@
+(** Synthetic flat relations with controlled dependency structure.
+
+    Two families matter to the paper's story:
+
+    - {e entity} relations (Fig. 1's R1): one key attribute determines
+      independent {e sets} of values in each dependent attribute — the
+      MVD-rich shape where nesting collapses whole groups;
+    - {e relationship} relations (Fig. 1's R2): arbitrary distinct
+      tuples with no dependency — the shape where nesting buys little.
+
+    All values are strings [<column-prefix><index>]; all randomness
+    comes from explicit seeds via {!Prng}. *)
+
+open Relational
+
+(** One dependent attribute of an {!entity} relation. *)
+type dependent = {
+  name : string;
+  domain : int;  (** distinct values available *)
+  set_min : int;  (** smallest per-entity set *)
+  set_max : int;  (** largest per-entity set *)
+}
+
+val dependent : ?set_min:int -> ?set_max:int -> ?domain:int -> string -> dependent
+(** Defaults: [domain = 20], [set_min = 1], [set_max = 4]. *)
+
+val entity :
+  seed:int -> entities:int -> key:string -> dependent list -> Relation.t
+(** [entity ~seed ~entities ~key deps] — per entity, draw one value
+    set per dependent and emit the full product: the MVD
+    [key ->-> d1 | d2 | ...] holds by construction.
+    @raise Invalid_argument on empty [deps] or nonsensical sizes. *)
+
+(** One column of a {!relationship} relation. *)
+type column = {
+  col_name : string;
+  col_domain : int;
+  zipf_s : float;  (** 0. = uniform *)
+}
+
+val column : ?domain:int -> ?zipf_s:float -> string -> column
+(** Defaults: [domain = 20], [zipf_s = 0.] (uniform). *)
+
+val relationship : seed:int -> rows:int -> column list -> Relation.t
+(** [relationship ~seed ~rows cols] draws [rows] {e distinct} tuples,
+    each cell independently from its column's (possibly Zipf) value
+    distribution. May return fewer than [rows] tuples when the domain
+    product is smaller; @raise Invalid_argument when the product of
+    domains is below [rows]. *)
+
+val insert_stream : seed:int -> Relation.t -> int -> Tuple.t list
+(** [insert_stream ~seed r k] — [k] tuples over [r]'s schema and the
+    per-column value alphabets {e observed in [r]}, not currently in
+    [r], for insertion benches. May return fewer than [k] when the
+    remaining product space is small. *)
+
+val delete_stream : seed:int -> Relation.t -> int -> Tuple.t list
+(** [k] distinct tuples of [r], in random order, for deletion
+    benches. @raise Invalid_argument if [k > cardinality r]. *)

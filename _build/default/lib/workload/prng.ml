@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Shift by 2 so the result fits OCaml's 63-bit signed int. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  raw mod bound
+
+let float t =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t values =
+  if Array.length values = 0 then invalid_arg "Prng.pick: empty array";
+  values.(int t (Array.length values))
+
+let shuffle t values =
+  for i = Array.length values - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = values.(i) in
+    values.(i) <- values.(j);
+    values.(j) <- tmp
+  done
+
+let sample_distinct t k bound =
+  if k > bound then invalid_arg "Prng.sample_distinct: k > bound";
+  (* Partial Fisher-Yates over an index array; fine for bench-sized
+     bounds. *)
+  let indices = Array.init bound Fun.id in
+  for i = 0 to k - 1 do
+    let j = i + int t (bound - i) in
+    let tmp = indices.(i) in
+    indices.(i) <- indices.(j);
+    indices.(j) <- tmp
+  done;
+  Array.to_list (Array.sub indices 0 k)

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The benches and generators must be reproducible across runs and
+    machines, so they never touch [Stdlib.Random]; every stream is
+    seeded explicitly. SplitMix64 is tiny, fast and statistically fine
+    for workload synthesis. *)
+
+type t
+
+val create : int -> t
+(** [create seed] starts a stream. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent stream derived from the current state. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit step. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element. @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t k bound] draws [k] distinct ints from
+    [\[0, bound)]. @raise Invalid_argument if [k > bound]. *)

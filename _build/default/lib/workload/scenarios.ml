@@ -1,0 +1,39 @@
+
+let university_entity ?(seed = 42) ~students () =
+  Gen.entity ~seed ~entities:students ~key:"Student"
+    [
+      Gen.dependent ~domain:30 ~set_min:2 ~set_max:5 "Course";
+      Gen.dependent ~domain:12 ~set_min:1 ~set_max:2 "Club";
+    ]
+
+let university_relationship ?(seed = 43) ~rows () =
+  Gen.relationship ~seed ~rows
+    [
+      Gen.column ~domain:(max 8 (rows / 4)) "Student";
+      Gen.column ~domain:30 "Course";
+      Gen.column ~domain:6 "Semester";
+    ]
+
+let bibliography ?(seed = 44) ~papers () =
+  Gen.entity ~seed ~entities:papers ~key:"Paper"
+    [
+      Gen.dependent ~domain:40 ~set_min:1 ~set_max:4 "Author";
+      Gen.dependent ~domain:25 ~set_min:2 ~set_max:6 "Keyword";
+    ]
+
+let skewed_pairs ?(seed = 45) ?(s = 1.0) ~rows () =
+  Gen.relationship ~seed ~rows
+    [
+      Gen.column ~domain:(max 8 (rows / 2)) ~zipf_s:s "A";
+      Gen.column ~domain:(max 8 (rows / 2)) ~zipf_s:s "B";
+    ]
+
+let wide ?(seed = 46) ~degree ~rows () =
+  (* Domains sized so that the tuple space comfortably exceeds the
+     requested rows while staying collision-rich. *)
+  let domain =
+    let rec grow d = if Float.pow (float_of_int d) (float_of_int degree) > float_of_int (rows * 4) then d else grow (d + 1) in
+    grow 2
+  in
+  Gen.relationship ~seed ~rows
+    (List.init degree (fun i -> Gen.column ~domain (Printf.sprintf "E%d" (i + 1))))

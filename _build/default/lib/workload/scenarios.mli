@@ -1,0 +1,28 @@
+(** Named workloads used by the examples and the bench harness.
+
+    Each scenario fixes a schema, a seed policy and realistic size
+    knobs, so every report in EXPERIMENTS.md names its workload by one
+    of these constructors. *)
+
+open Relational
+
+val university_entity : ?seed:int -> students:int -> unit -> Relation.t
+(** Fig. 1's R1 writ large: [Student, Course, Club] where each student
+    takes a set of courses and belongs to a set of clubs
+    (MVD [Student ->-> Course | Club] holds by construction). *)
+
+val university_relationship : ?seed:int -> rows:int -> unit -> Relation.t
+(** Fig. 1's R2 writ large: [Student, Course, Semester] with no
+    dependency — arbitrary enrollment facts. *)
+
+val bibliography : ?seed:int -> papers:int -> unit -> Relation.t
+(** [Paper, Author, Keyword]: each paper has author and keyword sets
+    (MVD-rich; the Schek–Pistor integrated-IR motivation [8]). *)
+
+val skewed_pairs : ?seed:int -> ?s:float -> rows:int -> unit -> Relation.t
+(** Two-column relation with Zipf-distributed values; the compression
+    sweep varies [s]. *)
+
+val wide : ?seed:int -> degree:int -> rows:int -> unit -> Relation.t
+(** Degree-[n] relationship relation over small domains, for the
+    Theorem A-4 degree sweep. Column names are [E1 .. En]. *)

@@ -1,0 +1,77 @@
+open Relational
+
+type op =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+
+let mixed ~seed ?(insert_ratio = 0.6) ?(zipf_s = 0.8) ?(domain = 12) start ~ops =
+  let rng = Prng.create seed in
+  let schema = Relation.schema start in
+  let zipf = Zipf.create ~n:domain ~s:zipf_s in
+  let fresh_candidate () =
+    Tuple.make schema
+      (List.mapi
+         (fun i _ ->
+           Value.of_string
+             (Printf.sprintf "%c%d"
+                (Char.chr (Char.code 'a' + (i mod 26)))
+                (Zipf.sample zipf rng)))
+         (Schema.attributes schema))
+  in
+  let rec build live remaining acc =
+    if remaining = 0 then List.rev acc
+    else begin
+      let want_insert =
+        Relation.is_empty live
+        || (Prng.float rng < insert_ratio
+           &&
+           (* Find a fresh tuple with a bounded number of draws. *)
+           true)
+      in
+      if want_insert then begin
+        let rec draw attempts =
+          if attempts > 50 then None
+          else
+            let candidate = fresh_candidate () in
+            if Relation.mem live candidate then draw (attempts + 1)
+            else Some candidate
+        in
+        match draw 0 with
+        | Some tuple ->
+          build (Relation.add live tuple) (remaining - 1) (Insert tuple :: acc)
+        | None -> (
+          (* Space too hot; delete instead if possible. *)
+          match Relation.tuples live with
+          | [] -> List.rev acc
+          | tuples ->
+            let victim = List.nth tuples (Prng.int rng (List.length tuples)) in
+            build (Relation.remove live victim) (remaining - 1)
+              (Delete victim :: acc))
+      end
+      else
+        match Relation.tuples live with
+        | [] -> build live remaining acc (* unreachable: forced insert *)
+        | tuples ->
+          let victim = List.nth tuples (Prng.int rng (List.length tuples)) in
+          build (Relation.remove live victim) (remaining - 1)
+            (Delete victim :: acc)
+    end
+  in
+  build start ops []
+
+let replay trace ~insert ~delete =
+  List.iter
+    (fun op -> match op with Insert t -> insert t | Delete t -> delete t)
+    trace
+
+let final_relation start trace =
+  List.fold_left
+    (fun live op ->
+      match op with
+      | Insert t -> Relation.add live t
+      | Delete t -> Relation.remove live t)
+    start trace
+
+let pp_op ppf = function
+  | Insert t -> Format.fprintf ppf "+%a" Tuple.pp t
+  | Delete t -> Format.fprintf ppf "-%a" Tuple.pp t

@@ -1,0 +1,38 @@
+(** Update traces: realistic operation streams.
+
+    The E7/E10 benches sample independent operations against a fixed
+    relation; a {e trace} instead evolves the relation — inserts and
+    deletes interleave, values are drawn with optional Zipf heat so
+    hot groups keep growing and shrinking (the regime where the Sec. 4
+    algorithms do real composition work). Traces are valid by
+    construction: inserts are fresh, deletes hit live tuples. *)
+
+open Relational
+
+type op =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+
+val mixed :
+  seed:int ->
+  ?insert_ratio:float ->
+  ?zipf_s:float ->
+  ?domain:int ->
+  Relation.t ->
+  ops:int ->
+  op list
+(** [mixed ~seed start ~ops] — a trace of [ops] operations starting
+    from [start]. Each step inserts a fresh tuple with probability
+    [insert_ratio] (default [0.6]; forced to insert when the live set
+    is empty, to delete when no fresh tuple is found), drawing each
+    cell from a per-column alphabet of [domain] values (default [12])
+    with Zipf exponent [zipf_s] (default [0.8]). Deletes pick a
+    uniformly random live tuple. *)
+
+val replay :
+  op list -> insert:(Tuple.t -> unit) -> delete:(Tuple.t -> unit) -> unit
+
+val final_relation : Relation.t -> op list -> Relation.t
+(** The flat relation a correct executor must end with. *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,35 @@
+type t = {
+  n : int;
+  s : float;
+  cdf : float array;  (* cdf.(i) = P(rank <= i) *)
+}
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let running = ref 0. in
+  Array.iteri
+    (fun i w ->
+      running := !running +. (w /. total);
+      cdf.(i) <- !running)
+    weights;
+  cdf.(n - 1) <- 1.;
+  { n; s; cdf }
+
+let sample t rng =
+  let u = Prng.float rng in
+  (* First index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let pmf t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

@@ -1,0 +1,18 @@
+(** Zipf-distributed sampling.
+
+    Skewed value popularity is what makes nesting pay off unevenly:
+    hot values form large groups (good compression), cold values stay
+    singletons. The compression benches sweep the exponent [s]. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares sampling over ranks [0 .. n-1] with
+    exponent [s] ([s = 0.] is uniform). Precomputes the CDF in O(n).
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank (0 is the most popular). O(log n) by binary search. *)
+
+val pmf : t -> int -> float
+(** Probability of a rank. @raise Invalid_argument out of range. *)

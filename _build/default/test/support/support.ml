@@ -1,0 +1,97 @@
+(* Shared builders and qcheck generators for the test suites. *)
+
+open Relational
+open Nfr_core
+
+let attr = Attribute.make
+let v = Value.of_string
+let schema2 = Schema.strings [ "A"; "B" ]
+let schema3 = Schema.strings [ "A"; "B"; "C" ]
+let schema4 = Schema.strings [ "A"; "B"; "C"; "D" ]
+
+let row schema cells = Tuple.make schema (List.map v cells)
+let rel schema rows = Relation.of_strings schema rows
+let nt schema components = Ntuple.of_strings schema components
+
+let nfr schema tuples =
+  Nfr.of_ntuples schema (List.map (nt schema) tuples)
+
+(* Alcotest testables. *)
+let relation_testable = Alcotest.testable Relation.pp Relation.equal
+let nfr_testable = Alcotest.testable Nfr.pp Nfr.equal
+let schema_testable = Alcotest.testable Schema.pp Schema.equal
+
+let tuple_testable =
+  Alcotest.testable
+    (fun ppf t -> Tuple.pp ppf t)
+    Tuple.equal
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A value alphabet per column: column [i] draws from [i0 .. i<dom-1>]
+   prefixed with the column letter, so generated relations have small,
+   collision-rich domains — the regime where nesting does something. *)
+let column_letter i = String.make 1 (Char.chr (Char.code 'a' + (i mod 26)))
+
+let gen_cell ~dom i state =
+  let k = QCheck.Gen.int_bound (dom - 1) state in
+  Printf.sprintf "%s%d" (column_letter i) k
+
+let gen_row ~degree ~dom state =
+  List.init degree (fun i -> gen_cell ~dom i state)
+
+let gen_rows ~degree ~dom ~max_rows state =
+  let n = 1 + QCheck.Gen.int_bound (max_rows - 1) state in
+  List.init n (fun _ -> gen_row ~degree ~dom state)
+
+let schema_of_degree degree =
+  Schema.strings (List.init degree (fun i -> String.make 1 (Char.chr (Char.code 'A' + i))))
+
+let gen_relation ~degree ~dom ~max_rows state =
+  rel (schema_of_degree degree) (gen_rows ~degree ~dom ~max_rows state)
+
+let arbitrary_relation ?(degree = 3) ?(dom = 3) ?(max_rows = 12) () =
+  QCheck.make
+    ~print:(fun r -> Relation.to_string r)
+    (gen_relation ~degree ~dom ~max_rows)
+
+(* A relation plus one extra row over the same alphabet (for insert
+   tests) and one contained row (for delete tests). *)
+let arbitrary_relation_and_row ?(degree = 3) ?(dom = 3) ?(max_rows = 12) () =
+  let gen state =
+    let r = gen_relation ~degree ~dom ~max_rows state in
+    let extra = gen_row ~degree ~dom state in
+    (r, row (Relation.schema r) extra)
+  in
+  QCheck.make
+    ~print:(fun (r, t) ->
+      Format.asprintf "%a@.row: %a" Relation.pp r Tuple.pp t)
+    gen
+
+(* A random permutation of a schema's attributes. *)
+let gen_order schema state =
+  let attrs = Array.of_list (Schema.attributes schema) in
+  let n = Array.length attrs in
+  for i = n - 1 downto 1 do
+    let j = QCheck.Gen.int_bound i state in
+    let tmp = attrs.(i) in
+    attrs.(i) <- attrs.(j);
+    attrs.(j) <- tmp
+  done;
+  Array.to_list attrs
+
+let arbitrary_relation_with_order ?(degree = 3) ?(dom = 3) ?(max_rows = 12) () =
+  let gen state =
+    let r = gen_relation ~degree ~dom ~max_rows state in
+    (r, gen_order (Relation.schema r) state)
+  in
+  QCheck.make
+    ~print:(fun (r, order) ->
+      Format.asprintf "%a@.order: %s" Relation.pp r
+        (String.concat " " (List.map Attribute.name order)))
+    gen
+
+let qtest ?(count = 200) name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arbitrary prop)

@@ -1,0 +1,719 @@
+(* The NFR core: value sets, NFR tuples (composition/decomposition),
+   NFR relations (expansion semantics), nest/unnest/canonical forms,
+   irreducible forms and the Def. 6/7 classifications. *)
+
+open Relational
+open Nfr_core
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Vset                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_vset_basics () =
+  let s = Vset.of_strings [ "b"; "a"; "b" ] in
+  Alcotest.(check int) "dedup" 2 (Vset.cardinal s);
+  Alcotest.(check bool) "empty rejected" true
+    (match Vset.of_list [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "inter empty -> None" true
+    (Vset.inter (Vset.of_strings [ "a" ]) (Vset.of_strings [ "b" ]) = None);
+  Alcotest.(check bool) "diff to empty -> None" true
+    (Vset.diff (Vset.of_strings [ "a" ]) (Vset.of_strings [ "a" ]) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Ntuple: expansion, composition, decomposition                       *)
+(* ------------------------------------------------------------------ *)
+
+let t12_b1 = nt schema2 [ [ "a1"; "a2" ]; [ "b1" ] ]
+
+let test_expansion () =
+  Alcotest.(check int) "size" 2 (Ntuple.expansion_size t12_b1);
+  let expanded = Ntuple.expand t12_b1 in
+  Alcotest.(check int) "two tuples" 2 (List.length expanded);
+  Alcotest.(check bool) "contains (a1,b1)" true
+    (Ntuple.contains_tuple t12_b1 (row schema2 [ "a1"; "b1" ]));
+  Alcotest.(check bool) "not (a3,b1)" false
+    (Ntuple.contains_tuple t12_b1 (row schema2 [ "a3"; "b1" ]))
+
+let test_composition_definition1 () =
+  (* The paper's worked example after Definition 1. *)
+  let t1 = nt schema3 [ [ "a1"; "a2" ]; [ "b1"; "b2" ]; [ "c1" ] ] in
+  let t2 = nt schema3 [ [ "a1"; "a2" ]; [ "b3" ]; [ "c1" ] ] in
+  let t3 = nt schema3 [ [ "a1"; "a2" ]; [ "b1"; "b2"; "b3" ]; [ "c1" ] ] in
+  Alcotest.(check bool) "composable on B" true (Ntuple.composable t1 t2 = Some 1);
+  Alcotest.(check bool) "vB(t1,t2) = t3" true (Ntuple.equal (Ntuple.compose t1 t2 1) t3);
+  Alcotest.(check bool) "wrong position rejected" true
+    (match Ntuple.compose t1 t2 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Not composable when two positions differ. *)
+  let t4 = nt schema3 [ [ "a9" ]; [ "b3" ]; [ "c1" ] ] in
+  Alcotest.(check bool) "two diffs" true (Ntuple.composable t1 t4 = None);
+  (* Identical tuples are not composable (r <> s required). *)
+  Alcotest.(check bool) "self" true (Ntuple.composable t1 t1 = None)
+
+let test_decomposition_definition2 () =
+  (* u_B(b3)(t3) gives back t1 and t2. *)
+  let t3 = nt schema3 [ [ "a1"; "a2" ]; [ "b1"; "b2"; "b3" ]; [ "c1" ] ] in
+  let extracted, remainder = Ntuple.decompose t3 1 (v "b3") in
+  Alcotest.(check bool) "extracted = t2" true
+    (Ntuple.equal extracted (nt schema3 [ [ "a1"; "a2" ]; [ "b3" ]; [ "c1" ] ]));
+  (match remainder with
+  | Some rest ->
+    Alcotest.(check bool) "remainder = t1" true
+      (Ntuple.equal rest (nt schema3 [ [ "a1"; "a2" ]; [ "b1"; "b2" ]; [ "c1" ] ]))
+  | None -> Alcotest.fail "expected a remainder");
+  (* u_A(a1): the other worked decomposition. *)
+  let extracted_a, remainder_a = Ntuple.decompose t3 0 (v "a1") in
+  Alcotest.(check bool) "A-extract" true
+    (Ntuple.equal extracted_a
+       (nt schema3 [ [ "a1" ]; [ "b1"; "b2"; "b3" ]; [ "c1" ] ]));
+  Alcotest.(check bool) "A-remainder" true
+    (match remainder_a with
+    | Some rest ->
+      Ntuple.equal rest (nt schema3 [ [ "a2" ]; [ "b1"; "b2"; "b3" ]; [ "c1" ] ])
+    | None -> false);
+  (* Extracting the full component leaves no remainder. *)
+  let _, none = Ntuple.decompose (nt schema2 [ [ "a1" ]; [ "b1" ] ]) 0 (v "a1") in
+  Alcotest.(check bool) "no remainder" true (none = None);
+  Alcotest.(check bool) "absent value rejected" true
+    (match Ntuple.decompose t3 1 (v "zz") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_compose_then_decompose_roundtrip () =
+  let t1 = nt schema3 [ [ "a1"; "a2" ]; [ "b1"; "b2" ]; [ "c1" ] ] in
+  let t2 = nt schema3 [ [ "a1"; "a2" ]; [ "b3" ]; [ "c1" ] ] in
+  let composed = Ntuple.compose t1 t2 1 in
+  let extracted, remainder = Ntuple.decompose_set composed 1 (Ntuple.component t2 1) in
+  Alcotest.(check bool) "decompose undoes compose" true
+    (Ntuple.equal extracted t2
+    && match remainder with Some rest -> Ntuple.equal rest t1 | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Nfr: expansion semantics (Theorem 1)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_flatten_theorem1 () =
+  let r =
+    nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ]
+  in
+  let expected =
+    rel schema2 [ [ "a1"; "b1" ]; [ "a2"; "b1" ]; [ "a1"; "b2" ] ]
+  in
+  Alcotest.check relation_testable "R*" expected (Nfr.flatten r);
+  Alcotest.(check int) "expansion size" 3 (Nfr.expansion_size r);
+  Alcotest.(check bool) "well-formed" true (Nfr.well_formed r)
+
+let test_well_formedness_detects_overlap () =
+  let overlapping =
+    nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b1" ] ] ]
+  in
+  Alcotest.(check bool) "overlap detected" false (Nfr.well_formed overlapping);
+  Alcotest.(check bool) "add_strict rejects" true
+    (match
+       Nfr.add_strict
+         (nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ] ])
+         (nt schema2 [ [ "a1" ]; [ "b1" ] ])
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_find_containing () =
+  let r =
+    nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ]
+  in
+  (match Nfr.find_containing r (row schema2 [ "a2"; "b1" ]) with
+  | Some found ->
+    Alcotest.(check bool) "right tuple" true
+      (Ntuple.equal found (nt schema2 [ [ "a1"; "a2" ]; [ "b1" ] ]))
+  | None -> Alcotest.fail "expected a containing tuple");
+  Alcotest.(check bool) "absent" true
+    (Nfr.find_containing r (row schema2 [ "a2"; "b2" ]) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Nest / unnest / canonical                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_nest_groups () =
+  let flat =
+    rel schema2 [ [ "a1"; "b1" ]; [ "a2"; "b1" ]; [ "a1"; "b2" ] ]
+  in
+  let nested = Nest.nest (Nfr.of_relation flat) (attr "A") in
+  Alcotest.check nfr_testable "grouped by B"
+    (nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ])
+    nested
+
+let test_unnest_inverts_nest () =
+  let flat =
+    rel schema2 [ [ "a1"; "b1" ]; [ "a2"; "b1" ]; [ "a1"; "b2" ] ]
+  in
+  let embedded = Nfr.of_relation flat in
+  let nested = Nest.nest embedded (attr "A") in
+  Alcotest.check nfr_testable "unnest(nest) = id on 1NF"
+    embedded
+    (Nest.unnest nested (attr "A"))
+
+let test_canonical_not_a_permutation () =
+  let flat = rel schema2 [ [ "a1"; "b1" ] ] in
+  Alcotest.(check bool) "rejects bad order" true
+    (match Nest.canonical flat [ attr "A" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_nest_sequence_order_matters () =
+  (* Example 2's instance: different orders, different canonical
+     forms (same cardinality here, different tuples). *)
+  let flat =
+    rel schema3
+      [
+        [ "a1"; "b1"; "c2" ]; [ "a1"; "b2"; "c2" ]; [ "a1"; "b2"; "c1" ];
+        [ "a2"; "b1"; "c1" ]; [ "a2"; "b1"; "c2" ]; [ "a2"; "b2"; "c1" ];
+      ]
+  in
+  let form_ab = Nest.canonical flat [ attr "A"; attr "B"; attr "C" ] in
+  let form_ba = Nest.canonical flat [ attr "B"; attr "A"; attr "C" ] in
+  Alcotest.(check bool) "different forms" false (Nfr.equal form_ab form_ba)
+
+(* ------------------------------------------------------------------ *)
+(* Irreducible forms                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_irreducible () =
+  let reducible =
+    nfr schema2 [ [ [ "a1" ]; [ "b1" ] ]; [ [ "a2" ]; [ "b1" ] ] ]
+  in
+  Alcotest.(check bool) "reducible" false (Irreducible.is_irreducible reducible);
+  Alcotest.(check int) "one composable pair" 1
+    (List.length (Irreducible.composable_pairs reducible));
+  let reduced = Irreducible.reduce_greedy reducible in
+  Alcotest.(check bool) "greedy reaches irreducible" true
+    (Irreducible.is_irreducible reduced);
+  Alcotest.(check bool) "information preserved" true
+    (Nfr.equivalent reducible reduced)
+
+let test_budget_guard () =
+  (* A big random-ish instance exceeds a tiny state budget. *)
+  let rows =
+    List.concat_map
+      (fun i ->
+        List.map (fun j -> [ Printf.sprintf "a%d" i; Printf.sprintf "b%d" j ]) [ 1; 2; 3 ])
+      [ 1; 2; 3; 4 ]
+  in
+  let flat = rel schema2 rows in
+  Alcotest.(check bool) "budget exceeded" true
+    (match Irreducible.enumerate ~max_states:5 (Nfr.of_relation flat) with
+    | exception Irreducible.Budget_exceeded _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Classification (Defs. 6-7)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_cardinalities () =
+  (* 1:1 — each value once, singleton. *)
+  let one_one = nfr schema2 [ [ [ "a1" ]; [ "b1" ] ]; [ [ "a2" ]; [ "b2" ] ] ] in
+  Alcotest.(check string) "1:1" "1:1"
+    (Classify.cardinality_name (Classify.classify one_one (attr "A")));
+  (* n:1 — compound components, no recurrence. *)
+  let n_one = nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ] ] in
+  Alcotest.(check string) "n:1" "n:1"
+    (Classify.cardinality_name (Classify.classify n_one (attr "A")));
+  (* 1:n — recurring singleton values. *)
+  let one_n = nfr schema2 [ [ [ "a1" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ] in
+  Alcotest.(check string) "1:n" "1:n"
+    (Classify.cardinality_name (Classify.classify one_n (attr "A")));
+  (* m:n — compound and recurring. *)
+  let m_n =
+    nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ]
+  in
+  Alcotest.(check string) "m:n" "m:n"
+    (Classify.cardinality_name (Classify.classify m_n (attr "A")))
+
+let test_fixedness () =
+  (* Example 1's R1 is fixed on A, R2 on B. *)
+  let r1 = nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a2"; "a3" ]; [ "b2" ] ] ] in
+  Alcotest.(check bool) "R1 not fixed on A (a2 recurs)" false
+    (Classify.fixed_on r1 (Attribute.Set.singleton (attr "A")));
+  Alcotest.(check bool) "R1 fixed on B" true
+    (Classify.fixed_on r1 (Attribute.Set.singleton (attr "B")));
+  let r2 =
+    nfr schema2
+      [
+        [ [ "a1" ]; [ "b1" ] ];
+        [ [ "a2" ]; [ "b1"; "b2" ] ];
+        [ [ "a3" ]; [ "b2" ] ];
+      ]
+  in
+  Alcotest.(check bool) "R2 fixed on A" true
+    (Classify.fixed_on r2 (Attribute.Set.singleton (attr "A")));
+  Alcotest.(check bool) "R2 not fixed on B" false
+    (Classify.fixed_on r2 (Attribute.Set.singleton (attr "B")))
+
+let test_fixed_sets_minimal () =
+  let r2 =
+    nfr schema2
+      [
+        [ [ "a1" ]; [ "b1" ] ];
+        [ [ "a2" ]; [ "b1"; "b2" ] ];
+        [ [ "a3" ]; [ "b2" ] ];
+      ]
+  in
+  let minimal = Classify.fixed_sets r2 in
+  Alcotest.(check bool) "A is a minimal fixed set" true
+    (List.exists
+       (fun s -> Attribute.Set.equal s (Attribute.Set.singleton (attr "A")))
+       minimal);
+  (* No minimal set may contain another. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun s' ->
+          if not (Attribute.Set.equal s s') then
+            Alcotest.(check bool) "antichain" false (Attribute.Set.subset s s'))
+        minimal)
+    minimal
+
+(* ------------------------------------------------------------------ *)
+(* Nested CSV serialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_nfr_csv_roundtrip () =
+  let sample =
+    nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ]
+  in
+  Alcotest.check nfr_testable "roundtrip" sample
+    (Nfr_csv.of_string (Nfr_csv.to_string sample));
+  (* Pipes and backslashes inside values survive. *)
+  let nasty =
+    Nfr.add (Nfr.empty schema2)
+      (Ntuple.make schema2
+         [ [ v "a|b"; v "c\\d" ]; [ v "plain" ] ])
+  in
+  Alcotest.check nfr_testable "escaping" nasty
+    (Nfr_csv.of_string (Nfr_csv.to_string nasty));
+  (* Typed columns. *)
+  let typed = Schema.of_names [ ("K", Value.Tstring); ("N", Value.Tint) ] in
+  let with_ints =
+    Nfr.add (Nfr.empty typed)
+      (Ntuple.make typed [ [ v "k" ]; [ Value.of_int 1; Value.of_int 2 ] ])
+  in
+  Alcotest.(check bool) "ints roundtrip" true
+    (Nfr.equal with_ints (Nfr_csv.of_string (Nfr_csv.to_string with_ints)));
+  Alcotest.(check bool) "bad cell rejected" true
+    (match Nfr_csv.of_string "K:string,N:int\nk,1|x\n" with
+    | exception Failure _ -> true
+    | _ -> false);
+  (* File roundtrip. *)
+  let path = Filename.temp_file "nf2-ncsv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nfr_csv.save path sample;
+      Alcotest.check nfr_testable "file roundtrip" sample (Nfr_csv.load path))
+
+let prop_nfr_csv_roundtrip (flat, order) =
+  let canonical = Nest.canonical flat order in
+  Nfr.equal canonical (Nfr_csv.of_string (Nfr_csv.to_string canonical))
+
+(* ------------------------------------------------------------------ *)
+(* Design strategies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_design_nfr_first_single_table () =
+  let open Dependency in
+  let schema = Schema.strings [ "Student"; "Course"; "Club" ] in
+  let mvd = Mvd.of_names [ "Student" ] [ "Course" ] in
+  let design = Design.nfr_first schema [] [ mvd ] in
+  Alcotest.(check int) "one table" 1 (List.length design.Design.tables);
+  Alcotest.(check int) "no joins" 0 design.Design.joins_needed;
+  (match design.Design.tables with
+  | [ table ] ->
+    Alcotest.(check bool) "fixed on Student" true
+      (Attribute.Set.mem (attr "Student") table.Design.fixed_on);
+    (* Dependents nested first, determinant last. *)
+    (match List.rev table.Design.nest_order with
+    | last :: _ ->
+      Alcotest.(check string) "Student nested last" "Student"
+        (Attribute.name last)
+    | [] -> Alcotest.fail "empty order")
+  | _ -> Alcotest.fail "expected one table")
+
+let test_design_4nf_decomposes () =
+  let open Dependency in
+  let schema = Schema.strings [ "Student"; "Course"; "Club" ] in
+  let mvd = Mvd.of_names [ "Student" ] [ "Course" ] in
+  let design = Design.fourth_nf schema [] [ mvd ] in
+  Alcotest.(check int) "two tables" 2 (List.length design.Design.tables);
+  Alcotest.(check int) "one join" 1 design.Design.joins_needed
+
+let test_design_clusters_split () =
+  (* Two unrelated FD clusters separate without joins. *)
+  let open Dependency in
+  let schema = Schema.strings [ "A"; "B"; "C"; "D" ] in
+  let fds = [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "C" ] [ "D" ] ] in
+  let design = Design.nfr_first schema fds [] in
+  Alcotest.(check int) "two clusters" 2 (List.length design.Design.tables);
+  Alcotest.(check int) "still no joins" 0 design.Design.joins_needed
+
+let test_design_evaluate () =
+  let open Dependency in
+  let instance = Workload.Scenarios.university_entity ~students:12 () in
+  let schema = Relation.schema instance in
+  let mvd = Mvd.of_names [ "Student" ] [ "Course" ] in
+  let nfr_route = Design.evaluate instance (Design.nfr_first schema [] [ mvd ]) in
+  let fourth_route = Design.evaluate instance (Design.fourth_nf schema [] [ mvd ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "nfr %d tuples vs 4nf %d" nfr_route.Design.total_tuples
+       fourth_route.Design.total_tuples)
+    true
+    (nfr_route.Design.total_tuples <= fourth_route.Design.total_tuples
+    + Relation.cardinality instance);
+  Alcotest.(check int) "nfr: one table" 1 nfr_route.Design.table_count;
+  Alcotest.(check int) "nfr: no joins" 0 nfr_route.Design.joins;
+  Alcotest.(check bool) "4nf needs joins" true (fourth_route.Design.joins > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Minimum NFR search                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_grow_box () =
+  let flat =
+    rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ]; [ "a2"; "b1" ]; [ "a2"; "b2" ] ]
+  in
+  let box = Minimize.grow_box flat (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.(check int) "full rectangle" 4 (Ntuple.expansion_size box);
+  Alcotest.(check bool) "is a box" true (Minimize.is_box flat box);
+  Alcotest.(check bool) "bad seed rejected" true
+    (match Minimize.grow_box flat (row schema2 [ "zz"; "zz" ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_greedy_cover () =
+  let flat = Paperdata.example2_flat in
+  let cover = Minimize.greedy flat in
+  Alcotest.(check bool) "well-formed" true (Nfr.well_formed cover);
+  Alcotest.check relation_testable "covers exactly" flat (Nfr.flatten cover)
+
+let test_exact_beats_canonical_on_example2 () =
+  (* The paper's Example 2: canonical forms need 4 tuples; the true
+     minimum is 3 — and here it is reachable, matching the reachable
+     irreducible minimum. *)
+  let exact = Minimize.exact Paperdata.example2_flat in
+  Alcotest.(check int) "minimum is 3" 3 (Nfr.cardinality exact);
+  Alcotest.check relation_testable "still exact cover" Paperdata.example2_flat
+    (Nfr.flatten exact)
+
+let test_exact_on_rectangle () =
+  let flat =
+    rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ]; [ "a2"; "b1" ]; [ "a2"; "b2" ] ]
+  in
+  Alcotest.(check int) "one box suffices" 1
+    (Nfr.cardinality (Minimize.exact flat))
+
+let test_exact_budget () =
+  let flat =
+    rel schema3
+      (List.concat_map
+         (fun a ->
+           List.concat_map
+             (fun b -> List.map (fun c -> [ a; b; c ]) [ "c1"; "c2"; "c3" ])
+             [ "b1"; "b2"; "b3" ])
+         [ "a1"; "a2"; "a3" ])
+  in
+  Alcotest.(check bool) "budget guard" true
+    (match Minimize.exact ~max_nodes:50 flat with
+    | exception Irreducible.Budget_exceeded _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Powerset domains (Sec. 2's CP example)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_powerset_roundtrip () =
+  let set = Vset.of_strings [ "c2"; "c1" ] in
+  let atom = Powerset.atom_of_set set in
+  Alcotest.(check bool) "recognized" true (Powerset.is_set_atom atom);
+  (match Powerset.set_of_atom atom with
+  | Some back -> Alcotest.(check bool) "roundtrip" true (Vset.equal set back)
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "order-insensitive encoding" true
+    (Value.equal atom (Powerset.atom_of_strings [ "c1"; "c2" ]));
+  Alcotest.(check bool) "plain values are not set atoms" false
+    (Powerset.is_set_atom (v "c1"));
+  (* Mixed types survive. *)
+  let mixed = Vset.of_list [ Value.of_int 3; v "x"; Value.of_bool true ] in
+  (match Powerset.set_of_atom (Powerset.atom_of_set mixed) with
+  | Some back -> Alcotest.(check bool) "mixed roundtrip" true (Vset.equal mixed back)
+  | None -> Alcotest.fail "mixed decode failed")
+
+let test_powerset_escaping () =
+  (* Member strings containing the delimiters must survive. *)
+  let nasty = Vset.of_strings [ "a,b"; "{weird}"; "back\\slash" ] in
+  match Powerset.set_of_atom (Powerset.atom_of_set nasty) with
+  | Some back -> Alcotest.(check bool) "escaped roundtrip" true (Vset.equal nasty back)
+  | None -> Alcotest.fail "escaped decode failed"
+
+let test_powerset_sets_of_sets () =
+  (* The paper: CP may contain (c0, {{c1,c2},{c1,c3}}). *)
+  let cond1 = Powerset.atom_of_strings [ "c1"; "c2" ] in
+  let cond2 = Powerset.atom_of_strings [ "c1"; "c3" ] in
+  let both = Powerset.atom_of_set (Vset.of_list [ cond1; cond2 ]) in
+  match Powerset.set_of_atom both with
+  | Some outer ->
+    Alcotest.(check int) "two alternatives" 2 (Vset.cardinal outer);
+    Alcotest.(check bool) "members decode as sets again" true
+      (Vset.for_all Powerset.is_set_atom outer);
+    Alcotest.(check bool) "inner membership" true (Powerset.member (v "c3") cond2)
+  | None -> Alcotest.fail "outer decode failed"
+
+let test_powerset_cp_scenario () =
+  (* CP(Course, Prerequisite) with Prerequisite over the powerset of
+     Course. The two alternative conditions for c0 are distinct atomic
+     values: nesting on Course can merge the courses sharing a
+     condition, but can never split a condition. *)
+  let cp_schema = Schema.strings [ "Course"; "Prerequisite" ] in
+  let cond12 = Powerset.atom_of_strings [ "c1"; "c2" ] in
+  let cond13 = Powerset.atom_of_strings [ "c1"; "c3" ] in
+  let cp =
+    Relation.of_rows cp_schema
+      [
+        [ v "c0"; cond12 ];
+        [ v "c0"; cond13 ];
+        [ v "c9"; cond12 ];
+      ]
+  in
+  Alcotest.(check int) "three conditions stored" 3 (Relation.cardinality cp);
+  let nested = Nest.nest (Nfr.of_relation cp) (attr "Course") in
+  (* Grouping by condition: cond12 shared by c0 and c9. *)
+  Alcotest.(check int) "two groups" 2 (Nfr.cardinality nested);
+  Alcotest.(check bool) "conditions still atomic" true
+    (Nfr.for_all
+       (fun nt ->
+         Vset.for_all Powerset.is_set_atom
+           (Ntuple.field cp_schema nt (attr "Prerequisite")))
+       nested);
+  (* Contrast with SC(Student, Course): there (a, {c1,c2}) really is
+     two tuples, i.e. an NFR component, not a powerset atom. *)
+  let sc = nfr schema2 [ [ [ "a" ]; [ "c1"; "c2" ] ] ] in
+  Alcotest.(check int) "SC expansion splits" 2
+    (Relation.cardinality (Nfr.flatten sc))
+
+let test_powerset_operations () =
+  let small = Powerset.atom_of_strings [ "c1" ] in
+  let big = Powerset.atom_of_strings [ "c1"; "c2" ] in
+  Alcotest.(check bool) "subset" true (Powerset.subset_atom small big);
+  Alcotest.(check bool) "not superset" false (Powerset.subset_atom big small);
+  Alcotest.(check bool) "union" true
+    (match Powerset.union_atom small big with
+    | Some u -> Value.equal u big
+    | None -> false);
+  Alcotest.(check bool) "cardinal" true (Powerset.cardinal big = Some 2);
+  Alcotest.(check bool) "cardinal of non-set" true
+    (Powerset.cardinal (v "c1") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_canonical_preserves_information (flat, order) =
+  Relation.equal flat (Nfr.flatten (Nest.canonical flat order))
+
+let prop_canonical_is_irreducible (flat, order) =
+  Irreducible.is_irreducible (Nest.canonical flat order)
+
+let prop_canonical_idempotent (flat, order) =
+  let form = Nest.canonical flat order in
+  Nfr.equal form (Nest.canonicalize form order)
+
+let prop_nest_by_composition_agrees (flat, order) =
+  (* Theorem 2 under random pair orders. *)
+  match order with
+  | first :: _ ->
+    let reference = Nest.nest (Nfr.of_relation flat) first in
+    List.for_all
+      (fun seed ->
+        Nfr.equal reference (Nest.nest_by_composition ~seed (Nfr.of_relation flat) first))
+      [ 7; 8; 9 ]
+  | [] -> true
+
+let prop_unnest_all_is_flatten (flat, order) =
+  let canonical = Nest.canonical flat order in
+  Nfr.equal (Nest.unnest_all canonical) (Nfr.of_relation flat)
+
+let prop_nest_never_grows (flat, order) =
+  match order with
+  | first :: _ ->
+    let embedded = Nfr.of_relation flat in
+    Nfr.cardinality (Nest.nest embedded first) <= Nfr.cardinality embedded
+  | [] -> true
+
+let prop_theorem5_random (flat, order) =
+  Theory.check_theorem5 flat order
+
+let prop_expand_size_consistent (flat, order) =
+  let canonical = Nest.canonical flat order in
+  Nfr.expansion_size canonical = Relation.cardinality flat
+
+(* Random powerset atoms — mixed base values, arbitrary strings, and
+   one level of nesting — must roundtrip exactly. *)
+let arbitrary_value_set =
+  let open QCheck in
+  let base_value =
+    Gen.oneof
+      [
+        Gen.map Value.of_int Gen.small_signed_int;
+        Gen.map Value.of_string (Gen.string_size ~gen:Gen.printable (Gen.int_bound 8));
+        Gen.map Value.of_bool Gen.bool;
+      ]
+  in
+  let value_set =
+    Gen.map
+      (fun values -> Vset.of_list values)
+      (Gen.list_size (Gen.int_range 1 6) base_value)
+  in
+  let nested_value =
+    Gen.oneof
+      [ base_value; Gen.map Powerset.atom_of_set value_set ]
+  in
+  make
+    ~print:(fun set ->
+      String.concat "; " (List.map Value.to_string (Vset.elements set)))
+    (Gen.map
+       (fun values -> Vset.of_list values)
+       (Gen.list_size (Gen.int_range 1 6) nested_value))
+
+let prop_powerset_roundtrip set =
+  match Powerset.set_of_atom (Powerset.atom_of_set set) with
+  | Some back -> Vset.equal set back
+  | None -> false
+
+let () =
+  Alcotest.run "core-nfr"
+    [
+      ( "vset",
+        [ Alcotest.test_case "basics" `Quick test_vset_basics ] );
+      ( "ntuple",
+        [
+          Alcotest.test_case "expansion" `Quick test_expansion;
+          Alcotest.test_case "composition (Def. 1)" `Quick
+            test_composition_definition1;
+          Alcotest.test_case "decomposition (Def. 2)" `Quick
+            test_decomposition_definition2;
+          Alcotest.test_case "compose/decompose roundtrip" `Quick
+            test_compose_then_decompose_roundtrip;
+        ] );
+      ( "nfr",
+        [
+          Alcotest.test_case "flatten (Theorem 1)" `Quick test_flatten_theorem1;
+          Alcotest.test_case "well-formedness" `Quick
+            test_well_formedness_detects_overlap;
+          Alcotest.test_case "find_containing" `Quick test_find_containing;
+        ] );
+      ( "nest",
+        [
+          Alcotest.test_case "grouping" `Quick test_nest_groups;
+          Alcotest.test_case "unnest inverts" `Quick test_unnest_inverts_nest;
+          Alcotest.test_case "permutation check" `Quick
+            test_canonical_not_a_permutation;
+          Alcotest.test_case "order matters" `Quick
+            test_nest_sequence_order_matters;
+        ] );
+      ( "irreducible",
+        [
+          Alcotest.test_case "reduction" `Quick test_is_irreducible;
+          Alcotest.test_case "budget guard" `Quick test_budget_guard;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "cardinalities (Def. 6)" `Quick
+            test_classify_cardinalities;
+          Alcotest.test_case "fixedness (Def. 7)" `Quick test_fixedness;
+          Alcotest.test_case "minimal fixed sets" `Quick test_fixed_sets_minimal;
+        ] );
+      ( "nfr-csv",
+        [ Alcotest.test_case "roundtrips" `Quick test_nfr_csv_roundtrip ] );
+      ( "design",
+        [
+          Alcotest.test_case "nfr-first keeps one table" `Quick
+            test_design_nfr_first_single_table;
+          Alcotest.test_case "4nf decomposes" `Quick test_design_4nf_decomposes;
+          Alcotest.test_case "independent clusters split" `Quick
+            test_design_clusters_split;
+          Alcotest.test_case "evaluate on an instance" `Quick
+            test_design_evaluate;
+        ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "grow_box" `Quick test_grow_box;
+          Alcotest.test_case "greedy cover" `Quick test_greedy_cover;
+          Alcotest.test_case "exact on Example 2" `Quick
+            test_exact_beats_canonical_on_example2;
+          Alcotest.test_case "exact on a rectangle" `Quick
+            test_exact_on_rectangle;
+          Alcotest.test_case "budget guard" `Quick test_exact_budget;
+        ] );
+      ( "powerset",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_powerset_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_powerset_escaping;
+          Alcotest.test_case "sets of sets" `Quick test_powerset_sets_of_sets;
+          Alcotest.test_case "CP scenario (Sec. 2)" `Quick
+            test_powerset_cp_scenario;
+          Alcotest.test_case "operations" `Quick test_powerset_operations;
+        ] );
+      ( "properties",
+        [
+          qtest "canonical preserves information"
+            (arbitrary_relation_with_order ())
+            prop_canonical_preserves_information;
+          qtest "canonical is irreducible"
+            (arbitrary_relation_with_order ())
+            prop_canonical_is_irreducible;
+          qtest "canonical idempotent"
+            (arbitrary_relation_with_order ())
+            prop_canonical_idempotent;
+          qtest ~count:60 "Theorem 2 (composition order)"
+            (arbitrary_relation_with_order ())
+            prop_nest_by_composition_agrees;
+          qtest "unnest-all lands on R*"
+            (arbitrary_relation_with_order ())
+            prop_unnest_all_is_flatten;
+          qtest "nest never grows" (arbitrary_relation_with_order ())
+            prop_nest_never_grows;
+          qtest ~count:100 "Theorem 5 on random instances"
+            (arbitrary_relation_with_order ())
+            prop_theorem5_random;
+          qtest "expansion size consistent"
+            (arbitrary_relation_with_order ())
+            prop_expand_size_consistent;
+          qtest ~count:300 "powerset atom roundtrip" arbitrary_value_set
+            prop_powerset_roundtrip;
+          qtest ~count:150 "nested CSV roundtrip"
+            (arbitrary_relation_with_order ())
+            prop_nfr_csv_roundtrip;
+          qtest ~count:150 "greedy cover is a valid NFR"
+            (arbitrary_relation_with_order ())
+            (fun (flat, _) ->
+              let cover = Minimize.greedy flat in
+              Nfr.well_formed cover && Relation.equal flat (Nfr.flatten cover));
+          qtest ~count:40 "exact <= greedy <= flat; exact covers"
+            (arbitrary_relation ~degree:2 ~dom:3 ~max_rows:7 ())
+            (fun flat ->
+              let greedy_size = Nfr.cardinality (Minimize.greedy flat) in
+              let exact = Minimize.exact ~max_nodes:500_000 flat in
+              Nfr.cardinality exact <= greedy_size
+              && greedy_size <= Relation.cardinality flat
+              && Relation.equal flat (Nfr.flatten exact));
+          qtest ~count:40 "exact never beaten by any canonical form"
+            (arbitrary_relation ~degree:2 ~dom:3 ~max_rows:7 ())
+            (fun flat ->
+              let exact = Minimize.exact ~max_nodes:500_000 flat in
+              List.for_all
+                (fun (_, form) ->
+                  Nfr.cardinality exact <= Nfr.cardinality form)
+                (Nest.all_canonical_forms flat));
+        ] );
+    ]

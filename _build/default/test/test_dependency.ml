@@ -1,0 +1,432 @@
+(* FD/MVD theory: closures, covers, keys, instance checks, the chase,
+   and the normal forms. *)
+
+open Relational
+open Dependency
+open Support
+
+let set = Attribute.set_of_list
+
+(* The classic supplier schema for FD exercises. *)
+let abcde = Schema.strings [ "A"; "B"; "C"; "D"; "E" ]
+
+let fds_classic =
+  [
+    Fd.of_names [ "A" ] [ "B"; "C" ];
+    Fd.of_names [ "C"; "D" ] [ "E" ];
+    Fd.of_names [ "B" ] [ "D" ];
+    Fd.of_names [ "E" ] [ "A" ];
+  ]
+
+let test_closure () =
+  let closure = Fd.closure fds_classic (set [ "A" ]) in
+  (* A+ = A B C D E. *)
+  Alcotest.(check int) "A+ covers everything" 5 (Attribute.Set.cardinal closure);
+  let closure_b = Fd.closure fds_classic (set [ "B" ]) in
+  Alcotest.(check bool) "B+ = B D" true
+    (Attribute.Set.equal closure_b (set [ "B"; "D" ]))
+
+let test_implies () =
+  Alcotest.(check bool) "A -> E implied" true
+    (Fd.implies fds_classic (Fd.of_names [ "A" ] [ "E" ]));
+  Alcotest.(check bool) "B -> A not implied" false
+    (Fd.implies fds_classic (Fd.of_names [ "B" ] [ "A" ]))
+
+let test_minimal_cover () =
+  (* Redundant FD and extraneous attribute. *)
+  let noisy =
+    [
+      Fd.of_names [ "A" ] [ "B" ];
+      Fd.of_names [ "B" ] [ "C" ];
+      Fd.of_names [ "A" ] [ "C" ];  (* redundant *)
+      Fd.of_names [ "A"; "B" ] [ "D" ];  (* B extraneous *)
+    ]
+  in
+  let cover = Fd.minimal_cover noisy in
+  Alcotest.(check bool) "equivalent" true (Fd.equivalent noisy cover);
+  Alcotest.(check int) "three FDs remain" 3 (List.length cover);
+  List.iter
+    (fun (fd : Fd.t) ->
+      Alcotest.(check int) "singleton rhs" 1 (Attribute.Set.cardinal fd.Fd.rhs))
+    cover;
+  Alcotest.(check bool) "A -> D with A alone" true
+    (List.exists
+       (fun (fd : Fd.t) ->
+         Attribute.Set.equal fd.Fd.lhs (set [ "A" ])
+         && Attribute.Set.equal fd.Fd.rhs (set [ "D" ]))
+       cover)
+
+let test_candidate_keys () =
+  let keys = Fd.candidate_keys abcde fds_classic in
+  (* Known result for this classic: A, E, CD, BC are the candidate
+     keys. *)
+  let names key =
+    String.concat "" (List.map Attribute.name (Attribute.Set.elements key))
+  in
+  let key_names = List.sort compare (List.map names keys) in
+  Alcotest.(check (list string)) "candidate keys" [ "A"; "BC"; "CD"; "E" ] key_names
+
+let test_fd_satisfaction () =
+  let r =
+    rel schema3
+      [ [ "a1"; "b1"; "c1" ]; [ "a1"; "b1"; "c2" ]; [ "a2"; "b2"; "c1" ] ]
+  in
+  Alcotest.(check bool) "A -> B holds" true
+    (Fd.satisfied_by r (Fd.of_names [ "A" ] [ "B" ]));
+  Alcotest.(check bool) "A -> C fails" false
+    (Fd.satisfied_by r (Fd.of_names [ "A" ] [ "C" ]))
+
+let test_fd_projection () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "B" ] [ "C" ] ] in
+  let projected = Fd.project fds (set [ "A"; "C" ]) in
+  Alcotest.(check bool) "A -> C survives" true
+    (Fd.implies projected (Fd.of_names [ "A" ] [ "C" ]))
+
+(* ------------------------------------------------------------------ *)
+(* MVDs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let entity_instance =
+  (* student x {courses} x {clubs}: Student ->-> Course | Club. *)
+  rel schema3
+    [
+      [ "a1"; "b1"; "c1" ];
+      [ "a1"; "b1"; "c2" ];
+      [ "a1"; "b2"; "c1" ];
+      [ "a1"; "b2"; "c2" ];
+      [ "a2"; "b1"; "c1" ];
+    ]
+
+let test_mvd_satisfaction () =
+  let mvd = Mvd.of_names [ "A" ] [ "B" ] in
+  Alcotest.(check bool) "holds" true (Mvd.satisfied_by entity_instance mvd);
+  let broken = Relation.remove entity_instance (row schema3 [ "a1"; "b2"; "c2" ]) in
+  Alcotest.(check bool) "violated after removal" false (Mvd.satisfied_by broken mvd);
+  Alcotest.(check bool) "violations nonempty" true
+    (Mvd.violations broken mvd <> [])
+
+let test_mvd_complement () =
+  let mvd = Mvd.of_names [ "A" ] [ "B" ] in
+  let complement = Mvd.complement schema3 mvd in
+  Alcotest.(check bool) "complement is A ->-> C" true
+    (Attribute.Set.equal complement.Mvd.rhs (set [ "C" ]));
+  (* Complementation: satisfaction transfers. *)
+  Alcotest.(check bool) "complement holds too" true
+    (Mvd.satisfied_by entity_instance complement)
+
+let test_mvd_of_fd () =
+  let r =
+    rel schema3 [ [ "a1"; "b1"; "c1" ]; [ "a1"; "b1"; "c2" ]; [ "a2"; "b2"; "c1" ] ]
+  in
+  (* A -> B holds, so A ->-> B must hold. *)
+  Alcotest.(check bool) "FD-derived MVD holds" true
+    (Mvd.satisfied_by r (Mvd.of_fd (Fd.of_names [ "A" ] [ "B" ])))
+
+let test_mvd_trivial () =
+  Alcotest.(check bool) "covering split is trivial" true
+    (Mvd.trivial schema2 (Mvd.of_names [ "A" ] [ "B" ]));
+  Alcotest.(check bool) "proper split is not" false
+    (Mvd.trivial schema3 (Mvd.of_names [ "A" ] [ "B" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Chase                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_chase_lossless_fd () =
+  (* R(A,B,C), FD A -> B: split into AB, AC is lossless. *)
+  let fds = [ Fd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "AB/AC lossless" true
+    (Chase.lossless_join schema3 fds [] [ set [ "A"; "B" ]; set [ "A"; "C" ] ]);
+  (* Split into AB, BC is lossy without B -> anything. *)
+  Alcotest.(check bool) "AB/BC lossy" false
+    (Chase.lossless_join schema3 fds [] [ set [ "A"; "B" ]; set [ "B"; "C" ] ])
+
+let test_chase_lossless_mvd () =
+  (* MVD A ->-> B makes AB/AC lossless even without FDs. *)
+  let mvds = [ Mvd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "MVD split lossless" true
+    (Chase.lossless_join schema3 [] mvds [ set [ "A"; "B" ]; set [ "A"; "C" ] ])
+
+let test_chase_implies_fd () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "B" ] [ "C" ] ] in
+  Alcotest.(check bool) "transitivity" true
+    (Chase.implies_fd schema3 fds [] (Fd.of_names [ "A" ] [ "C" ]));
+  Alcotest.(check bool) "no reflection" false
+    (Chase.implies_fd schema3 fds [] (Fd.of_names [ "C" ] [ "A" ]))
+
+let test_chase_implies_mvd () =
+  (* FD A -> B implies MVD A ->-> B. *)
+  let fds = [ Fd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "FD promotes to MVD" true
+    (Chase.implies_mvd schema3 fds [] (Mvd.of_names [ "A" ] [ "B" ]));
+  (* Complementation: A ->-> B implies A ->-> C over ABC. *)
+  let mvds = [ Mvd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "complementation" true
+    (Chase.implies_mvd schema3 [] mvds (Mvd.of_names [ "A" ] [ "C" ]));
+  Alcotest.(check bool) "not everything implied" false
+    (Chase.implies_mvd schema3 [] mvds (Mvd.of_names [ "B" ] [ "A" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Armstrong derivations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_armstrong_derive_transitivity () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "B" ] [ "C" ] ] in
+  let goal = Fd.of_names [ "A" ] [ "C" ] in
+  match Armstrong.derive fds goal with
+  | Some proof ->
+    Alcotest.(check bool) "verifies" true (Armstrong.verify fds proof);
+    Alcotest.(check bool) "concludes the goal" true
+      (Fd.equal (Armstrong.conclusion proof) goal
+      || Attribute.Set.subset goal.Fd.rhs (Armstrong.conclusion proof).Fd.rhs)
+  | None -> Alcotest.fail "expected a derivation"
+
+let test_armstrong_derive_composite () =
+  let goal = Fd.of_names [ "A" ] [ "D"; "E" ] in
+  match Armstrong.derive fds_classic goal with
+  | Some proof ->
+    Alcotest.(check bool) "verifies" true (Armstrong.verify fds_classic proof);
+    let concluded = Armstrong.conclusion proof in
+    Alcotest.(check bool) "lhs is A" true
+      (Attribute.Set.equal concluded.Fd.lhs (set [ "A" ]));
+    Alcotest.(check bool) "rhs covers D and E" true
+      (Attribute.Set.subset (set [ "D"; "E" ]) concluded.Fd.rhs)
+  | None -> Alcotest.fail "expected a derivation"
+
+let test_armstrong_refuses_underivable () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "B -> A not derivable" true
+    (Armstrong.derive fds (Fd.of_names [ "B" ] [ "A" ]) = None)
+
+let test_armstrong_verify_rejects_bad_proofs () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ] ] in
+  (* A forged leaf. *)
+  Alcotest.(check bool) "forged given" false
+    (Armstrong.verify fds (Armstrong.Given (Fd.of_names [ "B" ] [ "A" ])));
+  (* A reflexivity claim that is not reflexive. *)
+  Alcotest.(check bool) "bad reflexivity" false
+    (Armstrong.verify fds (Armstrong.Reflexivity (Fd.of_names [ "A" ] [ "B" ])));
+  (* A transitivity with mismatched middle. *)
+  let bad =
+    Armstrong.Transitivity
+      ( Armstrong.Given (Fd.of_names [ "A" ] [ "B" ]),
+        Armstrong.Given (Fd.of_names [ "A" ] [ "B" ]),
+        Fd.of_names [ "A" ] [ "B" ] )
+  in
+  Alcotest.(check bool) "bad transitivity" false (Armstrong.verify fds bad)
+
+(* ------------------------------------------------------------------ *)
+(* Normal forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bcnf_check () =
+  (* A -> B on ABC: A is not a key of ABC? A+ = AB, so not BCNF. *)
+  let fds = [ Fd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "violating" false (Normalize.is_bcnf schema3 fds);
+  (* With A -> BC, A is a key: BCNF. *)
+  let fds_key = [ Fd.of_names [ "A" ] [ "B"; "C" ] ] in
+  Alcotest.(check bool) "key FD is fine" true (Normalize.is_bcnf schema3 fds_key)
+
+let test_3nf_synthesis () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "B" ] [ "C" ] ] in
+  let components = Normalize.synthesize_3nf schema3 fds in
+  (* Expect AB and BC. *)
+  let names s =
+    String.concat "" (List.map Attribute.name (Schema.attributes s))
+  in
+  Alcotest.(check (list string)) "components" [ "AB"; "BC" ]
+    (List.sort compare (List.map names components));
+  (* Every component must be in 3NF and the join lossless. *)
+  List.iter
+    (fun component ->
+      Alcotest.(check bool) "component in 3NF" true (Normalize.is_3nf component fds))
+    components;
+  Alcotest.(check bool) "lossless" true
+    (Chase.lossless_join schema3 fds []
+       (List.map Schema.attribute_set components))
+
+let test_bcnf_decompose () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ] ] in
+  let components = Normalize.bcnf_decompose schema3 fds in
+  List.iter
+    (fun component ->
+      Alcotest.(check bool) "in BCNF" true (Normalize.is_bcnf component fds))
+    components;
+  Alcotest.(check bool) "lossless" true
+    (Chase.lossless_join schema3 fds []
+       (List.map Schema.attribute_set components))
+
+let test_4nf () =
+  let mvds = [ Mvd.of_names [ "A" ] [ "B" ] ] in
+  Alcotest.(check bool) "MVD violates 4NF" false (Normalize.is_4nf schema3 [] mvds);
+  let components = Normalize.fourth_nf_decompose schema3 [] mvds in
+  let names s =
+    String.concat "" (List.map Attribute.name (Schema.attributes s))
+  in
+  Alcotest.(check (list string)) "split into AB and AC" [ "AB"; "AC" ]
+    (List.sort compare (List.map names components));
+  Alcotest.(check bool) "lossless" true
+    (Chase.lossless_join schema3 [] mvds
+       (List.map Schema.attribute_set components))
+
+let test_prime_attributes () =
+  let fds = [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "B" ] [ "A" ] ] in
+  (* Keys of AB...C: AC and BC. *)
+  Alcotest.(check bool) "A prime" true (Normalize.is_prime schema3 fds (attr "A"));
+  Alcotest.(check bool) "C prime" true (Normalize.is_prime schema3 fds (attr "C"))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_closure_monotone r =
+  (* Learn the FDs that hold in r between single attributes, then
+     check closure is monotone wrt the seed set. *)
+  let schema = Relation.schema r in
+  let attrs = Schema.attributes schema in
+  let fds =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Attribute.equal a b then None
+            else
+              let fd =
+                Fd.make (Attribute.Set.singleton a) (Attribute.Set.singleton b)
+              in
+              if Fd.satisfied_by r fd then Some fd else None)
+          attrs)
+      attrs
+  in
+  List.for_all
+    (fun a ->
+      let single = Fd.closure fds (Attribute.Set.singleton a) in
+      let pair = Fd.closure fds (Attribute.Set.of_list [ a; List.hd attrs ]) in
+      Attribute.Set.subset single (Attribute.Set.union pair single))
+    attrs
+
+let prop_minimal_cover_equivalent r =
+  let schema = Relation.schema r in
+  let attrs = Schema.attributes schema in
+  let fds =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Attribute.equal a b then None
+            else
+              let fd =
+                Fd.make (Attribute.Set.singleton a) (Attribute.Set.singleton b)
+              in
+              if Fd.satisfied_by r fd then Some fd else None)
+          attrs)
+      attrs
+  in
+  Fd.equivalent fds (Fd.minimal_cover fds)
+
+(* Completeness + soundness of Armstrong derivations against closure,
+   on FDs learned from random instances. *)
+let learned_fds r =
+  let schema = Relation.schema r in
+  let attrs = Schema.attributes schema in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if Attribute.equal a b then None
+          else
+            let fd =
+              Fd.make (Attribute.Set.singleton a) (Attribute.Set.singleton b)
+            in
+            if Fd.satisfied_by r fd then Some fd else None)
+        attrs)
+    attrs
+
+let prop_armstrong_matches_closure r =
+  let fds = learned_fds r in
+  let attrs = Schema.attributes (Relation.schema r) in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          if Attribute.equal a b then true
+          else begin
+            let goal =
+              Fd.make (Attribute.Set.singleton a) (Attribute.Set.singleton b)
+            in
+            let implied = Fd.implies fds goal in
+            match Armstrong.derive fds goal with
+            | Some proof -> implied && Armstrong.verify fds proof
+            | None -> not implied
+          end)
+        attrs)
+    attrs
+
+let prop_mvd_complement_agrees r =
+  let schema = Relation.schema r in
+  match Schema.attributes schema with
+  | a :: b :: _ :: _ ->
+    let mvd = Mvd.make (Attribute.Set.singleton a) (Attribute.Set.singleton b) in
+    let complement = Mvd.complement schema mvd in
+    Bool.equal (Mvd.satisfied_by r mvd) (Mvd.satisfied_by r complement)
+  | _ -> true
+
+let () =
+  Alcotest.run "dependency"
+    [
+      ( "fd",
+        [
+          Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "implication" `Quick test_implies;
+          Alcotest.test_case "minimal cover" `Quick test_minimal_cover;
+          Alcotest.test_case "candidate keys" `Quick test_candidate_keys;
+          Alcotest.test_case "instance satisfaction" `Quick test_fd_satisfaction;
+          Alcotest.test_case "projection" `Quick test_fd_projection;
+        ] );
+      ( "mvd",
+        [
+          Alcotest.test_case "satisfaction" `Quick test_mvd_satisfaction;
+          Alcotest.test_case "complement" `Quick test_mvd_complement;
+          Alcotest.test_case "FD as MVD" `Quick test_mvd_of_fd;
+          Alcotest.test_case "triviality" `Quick test_mvd_trivial;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "lossless join via FD" `Quick test_chase_lossless_fd;
+          Alcotest.test_case "lossless join via MVD" `Quick
+            test_chase_lossless_mvd;
+          Alcotest.test_case "FD implication" `Quick test_chase_implies_fd;
+          Alcotest.test_case "MVD implication" `Quick test_chase_implies_mvd;
+        ] );
+      ( "armstrong",
+        [
+          Alcotest.test_case "transitivity" `Quick
+            test_armstrong_derive_transitivity;
+          Alcotest.test_case "composite goals" `Quick
+            test_armstrong_derive_composite;
+          Alcotest.test_case "underivable goals" `Quick
+            test_armstrong_refuses_underivable;
+          Alcotest.test_case "bad proofs rejected" `Quick
+            test_armstrong_verify_rejects_bad_proofs;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "BCNF check" `Quick test_bcnf_check;
+          Alcotest.test_case "3NF synthesis" `Quick test_3nf_synthesis;
+          Alcotest.test_case "BCNF decomposition" `Quick test_bcnf_decompose;
+          Alcotest.test_case "4NF" `Quick test_4nf;
+          Alcotest.test_case "prime attributes" `Quick test_prime_attributes;
+        ] );
+      ( "properties",
+        [
+          qtest ~count:100 "closure monotone" (arbitrary_relation ())
+            prop_closure_monotone;
+          qtest ~count:100 "minimal cover equivalent" (arbitrary_relation ())
+            prop_minimal_cover_equivalent;
+          qtest ~count:100 "MVD complement agrees" (arbitrary_relation ())
+            prop_mvd_complement_agrees;
+          qtest ~count:100 "Armstrong derivations = closure"
+            (arbitrary_relation ())
+            prop_armstrong_matches_closure;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Edge cases and degenerate inputs across the whole stack: degree-1
+   relations, empties, boundary arguments, and malformed input paths
+   that the main suites don't hit. *)
+
+open Relational
+open Nfr_core
+open Support
+
+let schema1 = Schema.strings [ "Only" ]
+let only = attr "Only"
+
+(* ------------------------------------------------------------------ *)
+(* Degree-1 relations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_degree1_canonical () =
+  let flat = rel schema1 [ [ "x" ]; [ "y" ]; [ "z" ] ] in
+  let canonical = Nest.canonical flat [ only ] in
+  (* Nesting the only attribute groups everything into one tuple. *)
+  Alcotest.(check int) "one tuple" 1 (Nfr.cardinality canonical);
+  Alcotest.check relation_testable "information kept" flat
+    (Nfr.flatten canonical)
+
+let test_degree1_updates () =
+  let flat = rel schema1 [ [ "x" ]; [ "y" ] ] in
+  let order = [ only ] in
+  let canonical = Nest.canonical flat order in
+  let added = Update.insert ~order canonical (row schema1 [ "z" ]) in
+  Alcotest.(check int) "still one tuple" 1 (Nfr.cardinality added);
+  Alcotest.(check int) "three values" 3 (Nfr.expansion_size added);
+  let removed = Update.delete ~order added (row schema1 [ "x" ]) in
+  Alcotest.(check int) "two values" 2 (Nfr.expansion_size removed);
+  (* Drain to empty. *)
+  let empty =
+    Update.delete ~order
+      (Update.delete ~order removed (row schema1 [ "y" ]))
+      (row schema1 [ "z" ])
+  in
+  Alcotest.(check bool) "empty" true (Nfr.is_empty empty)
+
+let test_degree1_store () =
+  let store = Update.Store.create ~order:[ only ] schema1 in
+  Alcotest.(check bool) "insert" true (Update.Store.insert store (row schema1 [ "x" ]));
+  Alcotest.(check bool) "member" true (Update.Store.member store (row schema1 [ "x" ]));
+  Update.Store.delete store (row schema1 [ "x" ]);
+  Alcotest.(check int) "empty" 0 (Update.Store.cardinality store)
+
+(* ------------------------------------------------------------------ *)
+(* Empties and singletons                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_relation_operations () =
+  let empty = Relation.empty schema2 in
+  Alcotest.(check bool) "flatten of empty NFR" true
+    (Relation.is_empty (Nfr.flatten (Nfr.of_relation empty)));
+  Alcotest.(check int) "canonical of empty" 0
+    (Nfr.cardinality (Nest.canonical empty [ attr "A"; attr "B" ]));
+  Alcotest.(check bool) "empty is irreducible" true
+    (Irreducible.is_irreducible (Nfr.of_relation empty));
+  (* Rendering the empty relation must not raise. *)
+  Alcotest.(check bool) "prints" true (String.length (Relation.to_string empty) > 0);
+  Alcotest.(check bool) "empty NFR prints" true
+    (String.length (Nfr.to_string (Nfr.of_relation empty)) > 0)
+
+let test_singleton_everything () =
+  let flat = rel schema2 [ [ "a"; "b" ] ] in
+  let order = [ attr "A"; attr "B" ] in
+  let canonical = Nest.canonical flat order in
+  Alcotest.(check int) "one tuple" 1 (Nfr.cardinality canonical);
+  Alcotest.(check bool) "fixed on everything" true
+    (Classify.fixed_on canonical (Schema.attribute_set schema2));
+  let region = Classify.region canonical in
+  Alcotest.(check bool) "canonical and irreducible" true
+    (region.Classify.canonical && region.Classify.irreducible);
+  Alcotest.(check int) "minimum is itself" 1
+    (fst (Irreducible.minimum_size canonical))
+
+(* ------------------------------------------------------------------ *)
+(* Boundary arguments                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_vset_boundaries () =
+  let s = Vset.of_strings [ "a" ] in
+  Alcotest.(check bool) "remove to empty" true (Vset.remove (v "a") s = None);
+  Alcotest.(check bool) "remove absent keeps" true
+    (match Vset.remove (v "zz") s with Some s' -> Vset.equal s s' | None -> false);
+  Alcotest.(check bool) "subset reflexive" true (Vset.subset s s);
+  Alcotest.(check bool) "is_singleton" true (Vset.is_singleton s)
+
+let test_schema_boundaries () =
+  Alcotest.(check bool) "equal_unordered" true
+    (Schema.equal_unordered
+       (Schema.strings [ "A"; "B" ])
+       (Schema.strings [ "B"; "A" ]));
+  Alcotest.(check bool) "remove to empty rejected" true
+    (match Schema.remove schema1 only with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "permutations guard" true
+    (match
+       Schema.permutations
+         (Schema.strings [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "I" ])
+     with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "check_permutation rejects duplicates" true
+    (match Nest.check_permutation schema2 [ attr "A"; attr "A" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_csv_boundaries () =
+  (* CRLF endings parse. *)
+  let crlf = "A:string,B:int\r\nx,1\r\ny,2\r\n" in
+  Alcotest.(check int) "CRLF rows" 2 (Relation.cardinality (Csv.of_string crlf));
+  Alcotest.(check bool) "empty document rejected" true
+    (match Csv.of_string "" with exception Failure _ -> true | _ -> false);
+  Alcotest.(check bool) "unknown header type rejected" true
+    (match Csv.of_string "A:blob\nx\n" with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false);
+  (* Unicode-ish bytes survive the string path. *)
+  let funky = "A:string\nna\xc3\xafve\n" in
+  Alcotest.(check int) "utf8 bytes kept" 1 (Relation.cardinality (Csv.of_string funky))
+
+let test_heap_boundaries () =
+  let heap = Storage.Heap.create ~page_size:128 () in
+  let rid = Storage.Heap.append heap "x" in
+  Alcotest.(check string) "read back" "x" (Storage.Heap.get heap rid);
+  Alcotest.(check bool) "bad page rejected" true
+    (match Storage.Heap.get heap { Storage.Heap.page_no = 99; slot = 0 } with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let page = Storage.Page.create ~size:64 () in
+  Alcotest.(check bool) "capacity positive" true (Storage.Page.capacity_left page > 0);
+  Alcotest.(check int) "size" 64 (Storage.Page.size page)
+
+let test_powerset_boundaries () =
+  Alcotest.(check bool) "empty braces not a set" true
+    (Powerset.set_of_atom (v "{}") = None);
+  Alcotest.(check bool) "tampered atom rejected" true
+    (Powerset.set_of_atom (v "{z:junk}") = None);
+  Alcotest.(check bool) "member of non-set is false" false
+    (Powerset.member (v "x") (v "plain"))
+
+let test_zipf_boundaries () =
+  Alcotest.(check bool) "n = 0 rejected" true
+    (match Workload.Zipf.create ~n:0 ~s:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative s rejected" true
+    (match Workload.Zipf.create ~n:5 ~s:(-1.0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let z = Workload.Zipf.create ~n:1 ~s:2.0 in
+  let rng = Workload.Prng.create 1 in
+  Alcotest.(check int) "single-rank sampler" 0 (Workload.Zipf.sample z rng)
+
+let test_hschema_unnest_clash () =
+  (* Unnesting (A, G(A)) would duplicate A — must fail loudly. *)
+  let s =
+    Hnfr.Hschema.make
+      [
+        ("A", Hnfr.Hschema.string_node);
+        ("G", Hnfr.Hschema.nested [ ("A", Hnfr.Hschema.string_node) ]);
+      ]
+  in
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Hnfr.Hschema.unnest s (attr "G") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_expr_nested_conditionals () =
+  let schema = Schema.of_names [ ("N", Value.Tint) ] in
+  let expr =
+    Expr.(
+      If
+        ( Predicate.(field "N" >= int 0),
+          If (Predicate.(field "N" >= int 10), int 2, int 1),
+          Neg (int 1) ))
+  in
+  Alcotest.(check bool) "types" true (Expr.infer schema expr = Ok Value.Tint);
+  let eval n =
+    Option.get
+      (Value.to_int
+         (Expr.eval schema expr (Tuple.make schema [ Value.of_int n ])))
+  in
+  Alcotest.(check int) "negative branch" (-1) (eval (-5));
+  Alcotest.(check int) "small branch" 1 (eval 5);
+  Alcotest.(check int) "large branch" 2 (eval 50)
+
+(* NFQL edge: degree-1 table, empty results, nest on the only column. *)
+let test_nfql_degree1 () =
+  let db = Nfql.Eval.create () in
+  ignore
+    (Nfql.Eval.exec_string db
+       "create table t (Only string); insert into t values ('x'), ('y');");
+  (match Nfql.Eval.exec_string db "select * from t where Only = 'zz'" with
+  | [ Nfql.Eval.Rows rows ] -> Alcotest.(check bool) "empty" true (Nfr.is_empty rows)
+  | _ -> Alcotest.fail "expected rows");
+  match Nfql.Eval.exec_string db "select count from t" with
+  | [ Nfql.Eval.Done msg ] ->
+    Alcotest.(check string) "two facts" "2 fact(s) in 1 NFR tuple(s)" msg
+  | _ -> Alcotest.fail "expected count"
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "degree-1",
+        [
+          Alcotest.test_case "canonical" `Quick test_degree1_canonical;
+          Alcotest.test_case "updates" `Quick test_degree1_updates;
+          Alcotest.test_case "indexed store" `Quick test_degree1_store;
+          Alcotest.test_case "nfql" `Quick test_nfql_degree1;
+        ] );
+      ( "empty-and-singleton",
+        [
+          Alcotest.test_case "empty relation" `Quick
+            test_empty_relation_operations;
+          Alcotest.test_case "singleton relation" `Quick
+            test_singleton_everything;
+        ] );
+      ( "boundaries",
+        [
+          Alcotest.test_case "vset" `Quick test_vset_boundaries;
+          Alcotest.test_case "schema" `Quick test_schema_boundaries;
+          Alcotest.test_case "csv" `Quick test_csv_boundaries;
+          Alcotest.test_case "heap/page" `Quick test_heap_boundaries;
+          Alcotest.test_case "powerset" `Quick test_powerset_boundaries;
+          Alcotest.test_case "zipf" `Quick test_zipf_boundaries;
+          Alcotest.test_case "hschema unnest clash" `Quick
+            test_hschema_unnest_clash;
+          Alcotest.test_case "expr conditionals" `Quick
+            test_expr_nested_conditionals;
+        ] );
+    ]

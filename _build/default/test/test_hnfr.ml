@@ -1,0 +1,452 @@
+(* Hierarchical nested relations: schema mechanics, the Jaeschke-Schek
+   nest/unnest laws, embeddings of 1NF relations and set-valued NFRs,
+   and depth operations. *)
+
+open Relational
+open Nfr_core
+open Hnfr
+open Support
+
+let hrel_testable = Alcotest.testable Hrel.pp Hrel.equal
+
+(* Flat starting point: (Student, Course, Semester). *)
+let flat =
+  rel (Schema.strings [ "Student"; "Course"; "Semester" ])
+    [
+      [ "s1"; "c1"; "t1" ];
+      [ "s1"; "c2"; "t1" ];
+      [ "s2"; "c1"; "t1" ];
+      [ "s2"; "c1"; "t2" ];
+    ]
+
+let student = attr "Student"
+let course = attr "Course"
+let semester = attr "Semester"
+
+(* ------------------------------------------------------------------ *)
+(* Schemas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_construction () =
+  let s =
+    Hschema.make
+      [
+        ("Student", Hschema.string_node);
+        ("Courses", Hschema.nested [ ("Course", Hschema.string_node) ]);
+      ]
+  in
+  Alcotest.(check int) "degree" 2 (Hschema.degree s);
+  Alcotest.(check int) "depth" 2 (Hschema.depth s);
+  Alcotest.(check bool) "not flat" false (Hschema.is_flat s);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Hschema.make [ ("A", Hschema.string_node); ("A", Hschema.string_node) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_schema_nest_unnest () =
+  let s = Hschema.of_flat (Relation.schema flat) in
+  let nested = Hschema.nest s [ course; semester ] ~into:"Enrollment" in
+  Alcotest.(check int) "two columns" 2 (Hschema.degree nested);
+  Alcotest.(check int) "depth 2" 2 (Hschema.depth nested);
+  let back = Hschema.unnest nested (attr "Enrollment") in
+  (* Splicing puts the grouped columns at Enrollment's position. *)
+  Alcotest.(check (list string)) "names restored"
+    [ "Student"; "Course"; "Semester" ]
+    (List.map Attribute.name (Hschema.attributes back));
+  Alcotest.(check bool) "nest everything rejected" true
+    (match Hschema.nest s [ student; course; semester ] ~into:"X" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "clash rejected" true
+    (match Hschema.nest s [ course ] ~into:"Student" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_schema_deep () =
+  (* Three levels: department -> courses -> sections. *)
+  let s =
+    Hschema.make
+      [
+        ("Dept", Hschema.string_node);
+        ( "Courses",
+          Hschema.nested
+            [
+              ("Course", Hschema.string_node);
+              ("Sections", Hschema.nested [ ("Section", Hschema.string_node) ]);
+            ] );
+      ]
+  in
+  Alcotest.(check int) "depth 3" 3 (Hschema.depth s)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple checking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuple_checking () =
+  let s =
+    Hschema.make
+      [
+        ("Student", Hschema.string_node);
+        ("Courses", Hschema.nested [ ("Course", Hschema.string_node) ]);
+      ]
+  in
+  let inner_schema =
+    match Hschema.node_of s (attr "Courses") with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ -> assert false
+  in
+  let inner =
+    Hrel.of_tuples inner_schema
+      [ Hrel.tuple inner_schema [ Hrel.Atom (v "c1") ] ]
+  in
+  let ok = Hrel.tuple s [ Hrel.Atom (v "s1"); Hrel.Rel inner ] in
+  Alcotest.(check int) "arity" 2 (List.length (Hrel.tuple_values ok));
+  Alcotest.(check bool) "atom where relation expected" true
+    (match Hrel.tuple s [ Hrel.Atom (v "s1"); Hrel.Atom (v "c1") ] with
+    | exception Hrel.Hnfr_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty nested relation rejected" true
+    (match Hrel.tuple s [ Hrel.Atom (v "s1"); Hrel.Rel (Hrel.empty inner_schema) ] with
+    | exception Hrel.Hnfr_error _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Nest / unnest on relations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_nest_groups () =
+  let h = Hrel.of_relation flat in
+  let nested = Hrel.nest h [ course; semester ] ~into:"Enrollment" in
+  (* Two students -> two tuples. *)
+  Alcotest.(check int) "one tuple per student" 2 (Hrel.cardinality nested);
+  (* s2's enrollment relation has two inner tuples. *)
+  let s2_row =
+    List.find
+      (fun t ->
+        match List.hd (Hrel.tuple_values t) with
+        | Hrel.Atom value -> Value.equal value (v "s2")
+        | Hrel.Rel _ -> false)
+      (Hrel.tuples nested)
+  in
+  (match Hrel.tuple_values s2_row with
+  | [ _; Hrel.Rel inner ] ->
+    Alcotest.(check int) "two enrollments" 2 (Hrel.cardinality inner)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_unnest_inverts_nest () =
+  let h = Hrel.of_relation flat in
+  let nested = Hrel.nest h [ course; semester ] ~into:"Enrollment" in
+  let back = Hrel.unnest nested (attr "Enrollment") in
+  Alcotest.check hrel_testable "unnest . nest = id" h back
+
+let test_double_nest_and_unnest_all () =
+  let h = Hrel.of_relation flat in
+  let once = Hrel.nest h [ semester ] ~into:"Semesters" in
+  let twice = Hrel.nest once [ course; attr "Semesters" ] ~into:"Enrollment" in
+  Alcotest.(check int) "depth 3" 3 (Hschema.depth (Hrel.schema twice));
+  Alcotest.check relation_testable "unnest_all recovers the flat relation" flat
+    (Hrel.unnest_all twice)
+
+let test_nest_not_always_invertible () =
+  (* nest(unnest(r)) <> r in general: build a relation where two
+     tuples agree on the kept attributes, so re-nesting merges their
+     nested relations. *)
+  let s =
+    Hschema.make
+      [
+        ("K", Hschema.string_node);
+        ("Xs", Hschema.nested [ ("X", Hschema.string_node) ]);
+      ]
+  in
+  let inner_schema =
+    match Hschema.node_of s (attr "Xs") with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ -> assert false
+  in
+  let unary values =
+    Hrel.Rel
+      (Hrel.of_tuples inner_schema
+         (List.map (fun x -> Hrel.tuple inner_schema [ Hrel.Atom (v x) ]) values))
+  in
+  (* Two tuples with the same key but different X-sets: legal Hrel,
+     but not in "partitioned" shape. *)
+  let r =
+    Hrel.of_tuples s
+      [
+        Hrel.tuple s [ Hrel.Atom (v "k"); unary [ "x1" ] ];
+        Hrel.tuple s [ Hrel.Atom (v "k"); unary [ "x2" ] ];
+      ]
+  in
+  let renested = Hrel.nest (Hrel.unnest r (attr "Xs")) [ attr "X" ] ~into:"Xs" in
+  Alcotest.(check int) "merged to one tuple" 1 (Hrel.cardinality renested);
+  Alcotest.(check bool) "not equal to the original" false
+    (Hrel.equal
+       (Hrel.project renested [ attr "K"; attr "Xs" ])
+       r)
+
+(* ------------------------------------------------------------------ *)
+(* Embeddings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_relation_roundtrip () =
+  let h = Hrel.of_relation flat in
+  (match Hrel.to_relation h with
+  | Some back -> Alcotest.check relation_testable "roundtrip" flat back
+  | None -> Alcotest.fail "flat embedding should be flat");
+  Alcotest.(check int) "atom count" 12 (Hrel.total_atoms h)
+
+let test_nfr_roundtrip () =
+  let order = [ student; course; semester ] in
+  let canonical = Nest.canonical flat order in
+  let h = Hrel.of_nfr canonical in
+  Alcotest.(check int) "same cardinality" (Nfr.cardinality canonical)
+    (Hrel.cardinality h);
+  (match Hrel.to_nfr (Relation.schema flat) h with
+  | Some back ->
+    Alcotest.(check bool) "roundtrip" true (Nfr.equal canonical back)
+  | None -> Alcotest.fail "NFR shape expected");
+  (* Unnesting every unary relation recovers R*. *)
+  Alcotest.check relation_testable "unnest_all = flatten" flat (Hrel.unnest_all h)
+
+(* ------------------------------------------------------------------ *)
+(* Selection / projection / map_nested                                 *)
+(* ------------------------------------------------------------------ *)
+
+let nested_sample () =
+  Hrel.nest (Hrel.of_relation flat) [ course; semester ] ~into:"Enrollment"
+
+let test_select_atom () =
+  let r = nested_sample () in
+  let selected = Hrel.select_atom student (v "s1") r in
+  Alcotest.(check int) "one student" 1 (Hrel.cardinality selected)
+
+let test_select_member () =
+  let r = nested_sample () in
+  let enrollment = attr "Enrollment" in
+  let takes_c2 inner_tuple =
+    match Hrel.tuple_values inner_tuple with
+    | Hrel.Atom course_value :: _ -> Value.equal course_value (v "c2")
+    | _ -> false
+  in
+  let selected = Hrel.select_member enrollment takes_c2 r in
+  Alcotest.(check int) "only s1 takes c2" 1 (Hrel.cardinality selected)
+
+let test_project () =
+  let r = nested_sample () in
+  let projected = Hrel.project r [ attr "Enrollment" ] in
+  Alcotest.(check int) "distinct enrollments" 2 (Hrel.cardinality projected)
+
+let test_map_path () =
+  (* Depth-3: filter semesters inside courses inside students. *)
+  let h = Hrel.of_relation flat in
+  let once = Hrel.nest h [ semester ] ~into:"Ts" in
+  let twice = Hrel.nest once [ course; attr "Ts" ] ~into:"Enrollment" in
+  let keep_t1 inner = Hrel.select_atom semester (v "t1") inner in
+  let mapped = Hrel.map_path twice [ attr "Enrollment"; attr "Ts" ] keep_t1 in
+  let flat_after = Hrel.unnest_all mapped in
+  (* (s2, c1, t2) is the only t2 fact; it must be gone. *)
+  Alcotest.(check int) "three facts left" 3 (Relation.cardinality flat_after);
+  (* Empty path = apply at the root. *)
+  let rooted = Hrel.map_path twice [] (fun r -> r) in
+  Alcotest.(check bool) "empty path is identity on identity" true
+    (Hrel.equal twice rooted);
+  (* Filtering everything out drops tuples at every level. *)
+  let none =
+    Hrel.map_path twice [ attr "Enrollment"; attr "Ts" ] (fun inner ->
+        Hrel.select_atom semester (v "t9") inner)
+  in
+  Alcotest.(check bool) "fully emptied" true (Hrel.is_empty none)
+
+let test_map_nested () =
+  let r = nested_sample () in
+  let enrollment = attr "Enrollment" in
+  (* Keep only semester-t1 enrollments inside each group. *)
+  let only_t1 inner =
+    let selected = Hrel.select_atom semester (v "t1") inner in
+    selected
+  in
+  let mapped = Hrel.map_nested r enrollment only_t1 in
+  Alcotest.(check int) "both students kept" 2 (Hrel.cardinality mapped);
+  let flat_after = Hrel.unnest_all mapped in
+  Alcotest.(check int) "t2 enrollment gone" 3 (Relation.cardinality flat_after)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned Normal Form                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_pnf () =
+  (* Flat relations are trivially PNF; nesting preserves it. *)
+  let h = Hrel.of_relation flat in
+  Alcotest.(check bool) "flat is PNF" true (Hrel.is_pnf h);
+  let nested = Hrel.nest h [ course; semester ] ~into:"Enrollment" in
+  Alcotest.(check bool) "nested is PNF" true (Hrel.is_pnf nested);
+  let twice =
+    Hrel.nest (Hrel.nest h [ semester ] ~into:"Ts") [ course; attr "Ts" ]
+      ~into:"Enrollment"
+  in
+  Alcotest.(check bool) "doubly nested is PNF" true (Hrel.is_pnf twice);
+  (* The non-invertibility counterexample is exactly non-PNF: two
+     tuples with the same atomic key. *)
+  let s =
+    Hschema.make
+      [
+        ("K", Hschema.string_node);
+        ("Xs", Hschema.nested [ ("X", Hschema.string_node) ]);
+      ]
+  in
+  let inner_schema =
+    match Hschema.node_of s (attr "Xs") with
+    | Hschema.Nested inner -> inner
+    | Hschema.Atomic _ -> assert false
+  in
+  let unary values =
+    Hrel.Rel
+      (Hrel.of_tuples inner_schema
+         (List.map (fun x -> Hrel.tuple inner_schema [ Hrel.Atom (v x) ]) values))
+  in
+  let non_pnf =
+    Hrel.of_tuples s
+      [
+        Hrel.tuple s [ Hrel.Atom (v "k"); unary [ "x1" ] ];
+        Hrel.tuple s [ Hrel.Atom (v "k"); unary [ "x2" ] ];
+      ]
+  in
+  Alcotest.(check bool) "duplicate key breaks PNF" false (Hrel.is_pnf non_pnf)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_unnest_nest_identity (flat, _) =
+  (* unnest splices the grouped columns back at the nested attribute's
+     position, so compare after projecting to the original order. *)
+  let h = Hrel.of_relation flat in
+  let attrs = Schema.attributes (Relation.schema flat) in
+  match attrs with
+  | first :: _ :: _ ->
+    let nested = Hrel.nest h [ first ] ~into:"G" in
+    let back = Hrel.unnest nested (Attribute.make "G") in
+    Hrel.equal h (Hrel.project back attrs)
+  | _ -> true
+
+let prop_nest_never_grows (flat, _) =
+  let h = Hrel.of_relation flat in
+  match Schema.attributes (Relation.schema flat) with
+  | first :: _ :: _ ->
+    Hrel.cardinality (Hrel.nest h [ first ] ~into:"G") <= Hrel.cardinality h
+  | _ -> true
+
+let prop_unnest_all_of_nfr (flat, order) =
+  let canonical = Nest.canonical flat order in
+  Relation.equal flat (Hrel.unnest_all (Hrel.of_nfr canonical))
+
+let prop_nest_compresses_atoms (flat, _) =
+  (* Nesting shares the kept columns across each group, so the atom
+     count can only shrink — and unnesting restores it exactly. *)
+  let h = Hrel.of_relation flat in
+  match Schema.attributes (Relation.schema flat) with
+  | first :: _ :: _ ->
+    let nested = Hrel.nest h [ first ] ~into:"G" in
+    Hrel.total_atoms nested <= Hrel.total_atoms h
+    && Hrel.total_atoms (Hrel.unnest nested (Attribute.make "G"))
+       = Hrel.total_atoms h
+  | _ -> true
+
+let () =
+  Alcotest.run "hnfr"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "construction" `Quick test_schema_construction;
+          Alcotest.test_case "nest/unnest" `Quick test_schema_nest_unnest;
+          Alcotest.test_case "deep" `Quick test_schema_deep;
+        ] );
+      ( "tuples",
+        [ Alcotest.test_case "checking" `Quick test_tuple_checking ] );
+      ( "nest-unnest",
+        [
+          Alcotest.test_case "nest groups" `Quick test_nest_groups;
+          Alcotest.test_case "unnest inverts nest" `Quick
+            test_unnest_inverts_nest;
+          Alcotest.test_case "double nest, unnest_all" `Quick
+            test_double_nest_and_unnest_all;
+          Alcotest.test_case "nest(unnest) merges" `Quick
+            test_nest_not_always_invertible;
+        ] );
+      ( "embeddings",
+        [
+          Alcotest.test_case "1NF roundtrip" `Quick test_relation_roundtrip;
+          Alcotest.test_case "NFR roundtrip" `Quick test_nfr_roundtrip;
+        ] );
+      ( "operations",
+        [
+          Alcotest.test_case "select_atom" `Quick test_select_atom;
+          Alcotest.test_case "select_member" `Quick test_select_member;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "map_nested" `Quick test_map_nested;
+          Alcotest.test_case "map_path" `Quick test_map_path;
+        ] );
+      ( "pnf", [ Alcotest.test_case "PNF detection" `Quick test_pnf ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick (fun () ->
+              let h =
+                Hrel.nest
+                  (Hrel.nest (Hrel.of_relation flat) [ semester ] ~into:"Ts")
+                  [ course; attr "Ts" ] ~into:"Enrollment"
+              in
+              let buffer = Buffer.create 256 in
+              Hcodec.encode buffer h;
+              let decoded, consumed = Hcodec.decode (Buffer.to_bytes buffer) 0 in
+              Alcotest.check hrel_testable "roundtrip" h decoded;
+              Alcotest.(check int) "all bytes consumed" (Buffer.length buffer)
+                consumed);
+          Alcotest.test_case "garbage rejected" `Quick (fun () ->
+              Alcotest.(check bool) "fails loudly" true
+                (match Hcodec.decode (Bytes.of_string "\x02\x01z\x09") 0 with
+                | exception Failure _ -> true
+                | exception Hrel.Hnfr_error _ -> true
+                | exception Invalid_argument _ -> true
+                | _ -> false));
+          Alcotest.test_case "nesting shrinks encoding" `Quick (fun () ->
+              let h = Hrel.of_relation flat in
+              let nested = Hrel.nest h [ course; semester ] ~into:"Enrollment" in
+              Alcotest.(check bool) "nested is no larger" true
+                (Hcodec.size nested <= Hcodec.size h + 32));
+        ] );
+      ( "properties",
+        [
+          qtest "unnest . nest = id" (arbitrary_relation_with_order ())
+            prop_unnest_nest_identity;
+          qtest "nest output is PNF" (arbitrary_relation_with_order ())
+            (fun (flat, _) ->
+              match Schema.attributes (Relation.schema flat) with
+              | first :: _ :: _ ->
+                Hrel.is_pnf (Hrel.nest (Hrel.of_relation flat) [ first ] ~into:"G")
+              | _ -> true);
+          qtest "PNF makes nest/unnest invertible"
+            (arbitrary_relation_with_order ())
+            (fun (flat, _) ->
+              match Schema.attributes (Relation.schema flat) with
+              | first :: _ :: _ ->
+                let nested =
+                  Hrel.nest (Hrel.of_relation flat) [ first ] ~into:"G"
+                in
+                let g = Attribute.make "G" in
+                let renested =
+                  Hrel.nest (Hrel.unnest nested g) [ first ] ~into:"G"
+                in
+                Hrel.equal
+                  (Hrel.project renested (Hschema.attributes (Hrel.schema nested)))
+                  nested
+              | _ -> true);
+          qtest "nest never grows" (arbitrary_relation_with_order ())
+            prop_nest_never_grows;
+          qtest "unnest_all . of_nfr = flatten"
+            (arbitrary_relation_with_order ())
+            prop_unnest_all_of_nfr;
+          qtest "nest compresses atoms, unnest restores"
+            (arbitrary_relation_with_order ())
+            prop_nest_compresses_atoms;
+        ] );
+    ]

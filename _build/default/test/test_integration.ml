@@ -1,0 +1,239 @@
+(* Cross-library integration: the flows a real user runs, end to end.
+   Each test chains several subsystems and checks the information is
+   preserved at every hop. *)
+
+open Relational
+open Nfr_core
+open Support
+
+let attr = Attribute.make
+
+(* ------------------------------------------------------------------ *)
+(* CSV -> canonical -> storage -> answers                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_to_storage_pipeline () =
+  let flat = Workload.Scenarios.university_entity ~students:15 () in
+  (* Persist and reload through CSV. *)
+  let path = Filename.temp_file "nf2-test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save path flat;
+      let reloaded = Csv.load path in
+      Alcotest.check relation_testable "CSV roundtrip" flat reloaded;
+      (* Canonicalize with the dependency-aware order. *)
+      let order =
+        Theory.fixed_canonical_order (Relation.schema reloaded) []
+          [ Dependency.Mvd.of_names [ "Student" ] [ "Course" ] ]
+      in
+      let canonical = Nest.canonical reloaded order in
+      Alcotest.check relation_testable "canonical preserves info" reloaded
+        (Nfr.flatten canonical);
+      (* Load both representations into the engine; answers agree. *)
+      let open Storage in
+      let flat_store = Engine.load_flat reloaded in
+      let nfr_store = Engine.load_nfr canonical in
+      let student = attr "Student" in
+      List.iter
+        (fun value ->
+          let stats = Stats.create () in
+          let flat_hits = Engine.flat_lookup_eq flat_store ~stats student value in
+          let nfr_hits = Engine.nfr_lookup_contains nfr_store ~stats student value in
+          let expanded =
+            List.concat_map
+              (fun nt ->
+                List.filter
+                  (fun tuple ->
+                    Value.equal
+                      (Tuple.field (Relation.schema reloaded) tuple student)
+                      value)
+                  (Ntuple.expand nt))
+              nfr_hits
+          in
+          Alcotest.(check int)
+            (Format.asprintf "same answer for %a" Value.pp value)
+            (List.length flat_hits) (List.length expanded))
+        (Relation.column_values reloaded student))
+
+(* ------------------------------------------------------------------ *)
+(* Mixed update stream: Store vs functions vs recompute vs NFQL        *)
+(* ------------------------------------------------------------------ *)
+
+let test_update_stream_four_ways () =
+  let schema = Schema.strings [ "A"; "B"; "C" ] in
+  let flat =
+    Workload.Gen.relationship ~seed:71 ~rows:40
+      [
+        Workload.Gen.column ~domain:6 "A";
+        Workload.Gen.column ~domain:6 "B";
+        Workload.Gen.column ~domain:4 "C";
+      ]
+  in
+  let order = Schema.attributes schema in
+  let inserts = Workload.Gen.insert_stream ~seed:72 flat 10 in
+  let deletes = Workload.Gen.delete_stream ~seed:73 flat 10 in
+  (* 1: persistent scan-based functions. *)
+  let by_functions =
+    Update.delete_all ~order
+      (Update.insert_all ~order (Nest.canonical flat order) inserts)
+      deletes
+  in
+  (* 2: indexed store. *)
+  let store = Update.Store.of_nfr ~order (Nest.canonical flat order) in
+  List.iter (fun t -> ignore (Update.Store.insert store t)) inserts;
+  List.iter (fun t -> Update.Store.delete store t) deletes;
+  (* 3: recompute from the flat truth. *)
+  let final_flat =
+    List.fold_left Relation.remove
+      (List.fold_left Relation.add flat inserts)
+      deletes
+  in
+  let by_recompute = Nest.canonical final_flat order in
+  (* 4: NFQL statements. *)
+  let db = Nfql.Eval.create () in
+  ignore (Nfql.Eval.exec_string db "create table t (A string, B string, C string)");
+  let literal tuple =
+    String.concat ","
+      (List.map
+         (fun value -> Format.asprintf "'%a'" Value.pp value)
+         (Tuple.values tuple))
+  in
+  Relation.iter
+    (fun tuple ->
+      ignore
+        (Nfql.Eval.exec_string db
+           (Printf.sprintf "insert into t values (%s)" (literal tuple))))
+    flat;
+  List.iter
+    (fun tuple ->
+      ignore
+        (Nfql.Eval.exec_string db
+           (Printf.sprintf "insert into t values (%s)" (literal tuple))))
+    inserts;
+  List.iter
+    (fun tuple ->
+      ignore
+        (Nfql.Eval.exec_string db
+           (Printf.sprintf "delete from t values (%s)" (literal tuple))))
+    deletes;
+  let by_nfql = Option.get (Nfql.Eval.table db "t") in
+  Alcotest.check nfr_testable "functions = recompute" by_recompute by_functions;
+  Alcotest.check nfr_testable "store = recompute" by_recompute
+    (Update.Store.snapshot store);
+  Alcotest.check nfr_testable "NFQL = recompute" by_recompute by_nfql
+
+(* ------------------------------------------------------------------ *)
+(* Normalization route vs NFR route                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_4nf_route_vs_nfr_route () =
+  let open Dependency in
+  let flat = Workload.Scenarios.university_entity ~students:10 () in
+  let schema = Relation.schema flat in
+  let mvd = Mvd.of_names [ "Student" ] [ "Course" ] in
+  Alcotest.(check bool) "MVD holds" true (Mvd.satisfied_by flat mvd);
+  (* Route 1: decompose to 4NF, then join back. *)
+  let components = Normalize.fourth_nf_decompose schema [] [ mvd ] in
+  Alcotest.(check int) "two components" 2 (List.length components);
+  let projections =
+    List.map (fun component -> Algebra.project (Schema.attributes component) flat)
+      components
+  in
+  let rejoined =
+    match projections with
+    | first :: rest -> List.fold_left Algebra.natural_join first rest
+    | [] -> assert false
+  in
+  let reordered = Algebra.project (Schema.attributes schema) rejoined in
+  Alcotest.check relation_testable "lossless join" flat reordered;
+  (* Route 2: one NFR. Same information, no join needed. *)
+  let order = Theory.fixed_canonical_order schema [] [ mvd ] in
+  let nested = Nest.canonical flat order in
+  Alcotest.check relation_testable "NFR route" flat (Nfr.flatten nested);
+  (* The NFR is fixed on the MVD's left side (Sec. 3.4's point). *)
+  Alcotest.(check bool) "fixed on Student" true
+    (Classify.fixed_on nested (Attribute.Set.singleton (attr "Student")))
+
+(* ------------------------------------------------------------------ *)
+(* Codec persistence of a whole NFR                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_persistence () =
+  let flat = Workload.Scenarios.bibliography ~papers:12 () in
+  let order = List.rev (Schema.attributes (Relation.schema flat)) in
+  let canonical = Nest.canonical flat order in
+  (* Serialize every ntuple into one buffer, then read them back. *)
+  let buffer = Buffer.create 1024 in
+  Nfr.iter (Storage.Codec.encode_ntuple buffer) canonical;
+  let bytes = Buffer.to_bytes buffer in
+  let rec read_all offset acc =
+    if offset >= Bytes.length bytes then acc
+    else begin
+      let nt, next = Storage.Codec.decode_ntuple bytes offset in
+      read_all next (Nfr.add acc nt)
+    end
+  in
+  let reloaded = read_all 0 (Nfr.empty (Relation.schema flat)) in
+  Alcotest.check nfr_testable "binary roundtrip of a whole NFR" canonical reloaded
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical view of an NFQL table                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_hnfr_view_of_nfql_table () =
+  let db = Nfql.Eval.create () in
+  ignore
+    (Nfql.Eval.exec_string db
+       "create table sc (Student string, Course string);\n\
+        insert into sc values ('s1','c1'),('s1','c2'),('s2','c1');");
+  let table = Option.get (Nfql.Eval.table db "sc") in
+  let hview = Hnfr.Hrel.of_nfr table in
+  Alcotest.(check int) "tuple counts agree" (Nfr.cardinality table)
+    (Hnfr.Hrel.cardinality hview);
+  Alcotest.check relation_testable "unnest_all = flatten" (Nfr.flatten table)
+    (Hnfr.Hrel.unnest_all hview)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption handling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_rejects_garbage () =
+  let garbage = Bytes.of_string "\x07\x99garbage-bytes" in
+  Alcotest.(check bool) "decode_ntuple fails loudly" true
+    (match Storage.Codec.decode_ntuple garbage 0 with
+    | exception Failure _ -> true
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Truncating a valid encoding mid-stream also fails loudly. *)
+  let buffer = Buffer.create 64 in
+  Storage.Codec.encode_ntuple buffer
+    (Ntuple.of_strings schema2 [ [ "a1"; "a2" ]; [ "b1" ] ]);
+  let full = Buffer.to_bytes buffer in
+  let truncated = Bytes.sub full 0 (Bytes.length full - 2) in
+  Alcotest.(check bool) "truncation detected" true
+    (match Storage.Codec.decode_ntuple truncated 0 with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "CSV -> canonical -> storage" `Quick
+            test_csv_to_storage_pipeline;
+          Alcotest.test_case "update stream, four ways" `Quick
+            test_update_stream_four_ways;
+          Alcotest.test_case "4NF route vs NFR route" `Quick
+            test_4nf_route_vs_nfr_route;
+          Alcotest.test_case "binary persistence" `Quick test_codec_persistence;
+          Alcotest.test_case "hierarchical view of NFQL table" `Quick
+            test_hnfr_view_of_nfql_table;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "codec rejects garbage" `Quick
+            test_codec_rejects_garbage;
+        ] );
+    ]

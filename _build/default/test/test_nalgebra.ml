@@ -1,0 +1,251 @@
+(* The nested algebra: every operation is specified against the
+   expansion semantics, so most tests compare against the flat algebra
+   through Nfr.flatten. *)
+
+open Relational
+open Nfr_core
+open Support
+
+let abc_order = [ attr "A"; attr "B"; attr "C" ]
+
+let sample =
+  Nest.canonical
+    (rel schema3
+       [
+         [ "a1"; "b1"; "c1" ];
+         [ "a1"; "b2"; "c1" ];
+         [ "a2"; "b1"; "c1" ];
+         [ "a2"; "b1"; "c2" ];
+       ])
+    abc_order
+
+let test_select_contains () =
+  let selected = Nalgebra.select_contains (attr "B") (v "b2") sample in
+  Alcotest.(check bool) "only tuples holding b2" true
+    (Nfr.for_all
+       (fun nt -> Vset.mem (v "b2") (Ntuple.field schema3 nt (attr "B")))
+       selected);
+  Alcotest.(check bool) "nonempty" false (Nfr.is_empty selected)
+
+let test_select_componentwise () =
+  let p = Predicate.(field "B" = str "b1") in
+  let selected = Nalgebra.select p ~order:abc_order sample in
+  Alcotest.check relation_testable "expansion semantics"
+    (Algebra.select p (Nfr.flatten sample))
+    (Nfr.flatten selected);
+  Alcotest.(check bool) "canonical result" true
+    (Nest.is_canonical selected abc_order)
+
+let test_select_correlated () =
+  (* A field-to-field comparison cannot be filtered componentwise. *)
+  let p = Predicate.(Field (attr "A") <> Field (attr "B")) in
+  let selected = Nalgebra.select p ~order:abc_order sample in
+  Alcotest.check relation_testable "expansion semantics"
+    (Algebra.select p (Nfr.flatten sample))
+    (Nfr.flatten selected)
+
+let test_select_empty_result () =
+  let p = Predicate.(field "A" = str "zz") in
+  let selected = Nalgebra.select p ~order:abc_order sample in
+  Alcotest.(check bool) "empty" true (Nfr.is_empty selected)
+
+let test_project () =
+  let projected =
+    Nalgebra.project [ attr "A"; attr "B" ] ~order:[ attr "A"; attr "B" ] sample
+  in
+  Alcotest.check relation_testable "expansion semantics"
+    (Algebra.project [ attr "A"; attr "B" ] (Nfr.flatten sample))
+    (Nfr.flatten projected);
+  Alcotest.(check bool) "well-formed after overlap repair" true
+    (Nfr.well_formed projected)
+
+let test_natural_join () =
+  let bd = Schema.strings [ "B"; "D" ] in
+  let right =
+    Nest.canonical
+      (rel bd [ [ "b1"; "d1" ]; [ "b1"; "d2" ]; [ "b9"; "d1" ] ])
+      [ attr "B"; attr "D" ]
+  in
+  let joined = Nalgebra.natural_join sample right in
+  Alcotest.check relation_testable "expansion semantics"
+    (Algebra.natural_join (Nfr.flatten sample) (Nfr.flatten right))
+    (Nfr.flatten joined);
+  Alcotest.(check bool) "well-formed" true (Nfr.well_formed joined)
+
+let test_product () =
+  let de = Schema.strings [ "D"; "E" ] in
+  let right = nfr de [ [ [ "d1"; "d2" ]; [ "e1" ] ] ] in
+  let product = Nalgebra.product sample right in
+  Alcotest.check relation_testable "expansion semantics"
+    (Algebra.product (Nfr.flatten sample) (Nfr.flatten right))
+    (Nfr.flatten product);
+  Alcotest.(check bool) "overlapping schema rejected" true
+    (match Nalgebra.product sample sample with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_union_diff () =
+  let other =
+    Nest.canonical (rel schema3 [ [ "a1"; "b1"; "c1" ]; [ "a9"; "b9"; "c9" ] ]) abc_order
+  in
+  let union = Nalgebra.union ~order:abc_order sample other in
+  Alcotest.check relation_testable "union"
+    (Algebra.union (Nfr.flatten sample) (Nfr.flatten other))
+    (Nfr.flatten union);
+  let diff = Nalgebra.diff ~order:abc_order sample other in
+  Alcotest.check relation_testable "diff"
+    (Algebra.diff (Nfr.flatten sample) (Nfr.flatten other))
+    (Nfr.flatten diff)
+
+let test_semijoin_antijoin () =
+  let bd = Schema.strings [ "B"; "D" ] in
+  let right =
+    Nest.canonical (rel bd [ [ "b1"; "d1" ] ]) [ attr "B"; attr "D" ]
+  in
+  let semi = Nalgebra.semijoin sample right in
+  Alcotest.(check bool) "kept tuples all contain b1" true
+    (Nfr.for_all
+       (fun nt -> Vset.mem (v "b1") (Ntuple.field schema3 nt (attr "B")))
+       semi);
+  let anti = Nalgebra.antijoin sample right in
+  Alcotest.(check int) "partition" (Nfr.cardinality sample)
+    (Nfr.cardinality semi + Nfr.cardinality anti);
+  (* Disjoint schemas degenerate to all-or-nothing. *)
+  let xy = Schema.strings [ "X"; "Y" ] in
+  let unrelated = Nest.canonical (rel xy [ [ "x"; "y" ] ]) [ attr "X"; attr "Y" ] in
+  Alcotest.(check int) "disjoint semijoin keeps all" (Nfr.cardinality sample)
+    (Nfr.cardinality (Nalgebra.semijoin sample unrelated));
+  Alcotest.(check bool) "disjoint antijoin empties" true
+    (Nfr.is_empty (Nalgebra.antijoin sample unrelated))
+
+let test_divide () =
+  (* Which A-C pairs cover all required B values? *)
+  let divisor_schema = Schema.strings [ "B" ] in
+  let divisor =
+    Nest.canonical (rel divisor_schema [ [ "b1" ] ]) [ attr "B" ]
+  in
+  let quotient = Nalgebra.divide ~order:[ attr "A"; attr "C" ] sample divisor in
+  Alcotest.check relation_testable "matches flat division"
+    (Algebra.divide (Nfr.flatten sample) (Nfr.flatten divisor))
+    (Nfr.flatten quotient)
+
+let test_group_sizes () =
+  let sizes = Nalgebra.group_sizes sample (attr "A") in
+  (* Reference: counts from the flattening. *)
+  let flat = Nfr.flatten sample in
+  List.iter
+    (fun (value, count) ->
+      let expected =
+        Relation.cardinality
+          (Algebra.select
+             Predicate.(Compare (Eq, Field (attr "A"), Const value))
+             flat)
+      in
+      Alcotest.(check int)
+        (Format.asprintf "count for %a" Value.pp value)
+        expected count)
+    sizes
+
+let test_rename () =
+  let renamed = Nalgebra.rename [ (attr "A", attr "X") ] sample in
+  Alcotest.(check (list string)) "schema renamed" [ "X"; "B"; "C" ]
+    (List.map Attribute.name (Schema.attributes (Nfr.schema renamed)));
+  Alcotest.(check int) "same tuples" (Nfr.cardinality sample)
+    (Nfr.cardinality renamed)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_select_expansion (flat, order) =
+  let canonical = Nest.canonical flat order in
+  let p = Predicate.(field "A" = str "a1") in
+  Relation.equal
+    (Algebra.select p flat)
+    (Nfr.flatten (Nalgebra.select p ~order canonical))
+
+let prop_project_expansion (flat, order) =
+  let canonical = Nest.canonical flat order in
+  let attrs = [ attr "A"; attr "B" ] in
+  let sub_order = List.filter (fun a -> List.exists (Attribute.equal a) attrs) order in
+  Relation.equal
+    (Algebra.project attrs flat)
+    (Nfr.flatten (Nalgebra.project attrs ~order:sub_order canonical))
+
+let prop_join_expansion (flat, order) =
+  let canonical = Nest.canonical flat order in
+  (* Join with a projection of itself renamed on the shared B. *)
+  let right_flat =
+    Algebra.rename [ (attr "A", attr "D") ] (Algebra.project_names [ "A"; "B" ] flat)
+  in
+  let right = Nest.canonical right_flat [ attr "D"; attr "B" ] in
+  Relation.equal
+    (Algebra.natural_join flat right_flat)
+    (Nfr.flatten (Nalgebra.natural_join canonical right))
+
+let prop_join_well_formed (flat, order) =
+  let canonical = Nest.canonical flat order in
+  let right_flat =
+    Algebra.rename [ (attr "A", attr "D") ] (Algebra.project_names [ "A"; "B" ] flat)
+  in
+  let right = Nest.canonical right_flat [ attr "D"; attr "B" ] in
+  Nfr.well_formed (Nalgebra.natural_join canonical right)
+
+let () =
+  Alcotest.run "nalgebra"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "select_contains" `Quick test_select_contains;
+          Alcotest.test_case "select componentwise" `Quick
+            test_select_componentwise;
+          Alcotest.test_case "select correlated" `Quick test_select_correlated;
+          Alcotest.test_case "select to empty" `Quick test_select_empty_result;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "union/diff" `Quick test_union_diff;
+          Alcotest.test_case "semijoin/antijoin" `Quick test_semijoin_antijoin;
+          Alcotest.test_case "divide" `Quick test_divide;
+          Alcotest.test_case "group_sizes" `Quick test_group_sizes;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "properties",
+        [
+          qtest "select = flat select" (arbitrary_relation_with_order ())
+            prop_select_expansion;
+          qtest "project = flat project" (arbitrary_relation_with_order ())
+            prop_project_expansion;
+          qtest ~count:100 "join = flat join" (arbitrary_relation_with_order ())
+            prop_join_expansion;
+          qtest ~count:100 "join well-formed" (arbitrary_relation_with_order ())
+            prop_join_well_formed;
+          qtest ~count:100 "group_sizes = flat counts"
+            (arbitrary_relation_with_order ())
+            (fun (flat, order) ->
+              let canonical = Nest.canonical flat order in
+              List.for_all
+                (fun (value, count) ->
+                  count
+                  = Relation.cardinality
+                      (Algebra.select
+                         Predicate.(Compare (Eq, Field (attr "A"), Const value))
+                         flat))
+                (Nalgebra.group_sizes canonical (attr "A")));
+          qtest ~count:100 "semijoin tuple-level soundness"
+            (arbitrary_relation_with_order ())
+            (fun (flat, order) ->
+              (* Every flat semijoin survivor is contained in some kept
+                 NFR tuple. *)
+              let canonical = Nest.canonical flat order in
+              let right_flat =
+                Algebra.rename [ (attr "A", attr "D") ]
+                  (Algebra.project_names [ "A"; "B" ] flat)
+              in
+              let right = Nest.canonical right_flat [ attr "D"; attr "B" ] in
+              let kept = Nalgebra.semijoin canonical right in
+              Relation.for_all
+                (fun tuple -> Nfr.member_tuple kept tuple)
+                (Algebra.semijoin flat right_flat));
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* Pinned reproductions of every worked artifact in the paper:
+   Fig. 1 -> Fig. 2 (the update scenario), Examples 1-3, Fig. 3's
+   classification, and Theorems 2-5 on the paper's own instances. *)
+
+open Relational
+open Nfr_core
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1 / Fig. 2                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sc_schema = Paperdata.sc_schema
+let st_schema = Paperdata.st_schema
+let r1_fig1 = Paperdata.r1_fig1
+let r1_fig2 = Paperdata.r1_fig2
+let r2_fig1 = Paperdata.r2_fig1
+let r2_fig2 = Paperdata.r2_fig2
+let course_order = [ attr "Course"; attr "Club"; attr "Student" ]
+let r2_order = Paperdata.r2_canonical_order
+
+let test_fig1_r1_is_nested_form () =
+  (* R1 of Fig. 1 is V_Course of its own flattening. *)
+  let flat = Nfr.flatten r1_fig1 in
+  Alcotest.check nfr_testable "V_Course(R1*) = R1"
+    (Nest.nest (Nfr.of_relation flat) (attr "Course"))
+    r1_fig1;
+  Alcotest.(check int) "R1* has 9 tuples" 9 (Relation.cardinality flat)
+
+let test_fig1_r2_is_canonical () =
+  (* R2 of Fig. 1 is canonical for application order Student, Course,
+     Semester. *)
+  let flat = Nfr.flatten r2_fig1 in
+  Alcotest.check nfr_testable "canonical form matches Fig. 1"
+    (Nest.canonical flat r2_order) r2_fig1;
+  Alcotest.(check int) "R2* has 9 tuples" 9 (Relation.cardinality flat)
+
+let test_fig2_r1_value_removal () =
+  (* Dropping (s1, c1, _) from R1 removes one value from one component:
+     re-nesting the shrunk flattening reproduces Fig. 2's R1 exactly. *)
+  let flat = Nfr.flatten r1_fig1 in
+  let shrunk = Relation.remove flat (row sc_schema [ "s1"; "c1"; "b1" ]) in
+  Alcotest.check nfr_testable "Fig. 2 R1"
+    (Nest.nest (Nfr.of_relation shrunk) (attr "Course"))
+    r1_fig2
+
+let test_fig2_r2_deletion_algorithm () =
+  (* The paper deletes (s1, c1, t1) from R2 by splitting the first
+     tuple and re-adding two pieces; our Sec. 4 deletion maintains the
+     canonical form instead. Both must describe the same R*. *)
+  let deleted =
+    Update.delete ~order:r2_order r2_fig1 (row st_schema [ "s1"; "c1"; "t1" ])
+  in
+  Alcotest.check relation_testable "same information as Fig. 2 R2"
+    (Nfr.flatten r2_fig2) (Nfr.flatten deleted);
+  Alcotest.(check int)
+    "same tuple count as Fig. 2 R2 (4)" (Nfr.cardinality r2_fig2)
+    (Nfr.cardinality deleted);
+  Alcotest.(check bool)
+    "result is canonical" true
+    (Nest.is_canonical deleted r2_order)
+
+let test_fig2_r1_deletion_algorithm () =
+  (* The same deletion run through the update algorithm on a canonical
+     form of R1 (order Course, Club, Student as application order
+     would merge s1 and s3; use Course, Student, Club and check
+     equivalence instead of syntactic equality). *)
+  let canonical = Nest.canonical (Nfr.flatten r1_fig1) course_order in
+  let deleted =
+    Update.delete ~order:course_order canonical
+      (row sc_schema [ "s1"; "c1"; "b1" ])
+  in
+  Alcotest.check relation_testable "same information as Fig. 2 R1"
+    (Nfr.flatten r1_fig2) (Nfr.flatten deleted);
+  Alcotest.(check bool)
+    "result is canonical" true
+    (Nest.is_canonical deleted course_order)
+
+let test_fig1_mvd_structure () =
+  (* The paper: Student ->-> Course | Club holds in R1 but not the
+     corresponding MVD in R2. *)
+  let open Dependency in
+  let r1_flat = Nfr.flatten r1_fig1 in
+  let r2_flat = Nfr.flatten r2_fig1 in
+  Alcotest.(check bool)
+    "Student ->-> Course | Club holds in R1*" true
+    (Mvd.satisfied_by r1_flat (Mvd.of_names [ "Student" ] [ "Course" ]));
+  Alcotest.(check bool)
+    "Student ->-> Course | Semester fails in R2*" false
+    (Mvd.satisfied_by r2_flat (Mvd.of_names [ "Student" ] [ "Course" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Example 1: several irreducible forms                                *)
+(* ------------------------------------------------------------------ *)
+
+let example1_flat = Paperdata.example1_flat
+let example1_r1 = Paperdata.example1_r1
+let example1_r2 = Paperdata.example1_r2
+
+let test_example1 () =
+  let forms = Irreducible.enumerate (Nfr.of_relation example1_flat) in
+  let contains form = List.exists (Nfr.equal form) forms in
+  Alcotest.(check bool) "R1 (2 tuples) is reachable" true (contains example1_r1);
+  Alcotest.(check bool) "R2 (3 tuples) is reachable" true (contains example1_r2);
+  Alcotest.(check bool)
+    "all enumerated forms are irreducible" true
+    (List.for_all Irreducible.is_irreducible forms);
+  Alcotest.(check bool)
+    "all enumerated forms carry the same information" true
+    (List.for_all
+       (fun form -> Relation.equal (Nfr.flatten form) example1_flat)
+       forms)
+
+(* ------------------------------------------------------------------ *)
+(* Example 2: irreducible beats every canonical form                   *)
+(* ------------------------------------------------------------------ *)
+
+let example2_flat = Paperdata.example2_flat
+let example2_r4 = Paperdata.example2_r4
+
+let test_example2_r4_is_irreducible () =
+  Alcotest.(check bool) "R4 is irreducible" true
+    (Irreducible.is_irreducible example2_r4);
+  Alcotest.check relation_testable "R4 flattens to R3" example2_flat
+    (Nfr.flatten example2_r4)
+
+let test_example2_canonical_gap () =
+  let forms = Nest.all_canonical_forms example2_flat in
+  Alcotest.(check int) "3! canonical forms" 6 (List.length forms);
+  List.iter
+    (fun (_, form) ->
+      Alcotest.(check int) "every canonical form has 4 tuples" 4
+        (Nfr.cardinality form))
+    forms;
+  let minimum, _ = Irreducible.minimum_size (Nfr.of_relation example2_flat) in
+  Alcotest.(check int) "minimum irreducible form has 3 tuples" 3 minimum
+
+let test_example2_r4_not_canonical () =
+  let region = Classify.region example2_r4 in
+  Alcotest.(check bool) "R4 irreducible (region)" true region.Classify.irreducible;
+  Alcotest.(check bool) "R4 not canonical under any permutation" false
+    region.Classify.canonical
+
+(* ------------------------------------------------------------------ *)
+(* Example 3: MVD and fixedness                                        *)
+(* ------------------------------------------------------------------ *)
+
+let example3_flat = Paperdata.example3_flat
+let example3_r7 = Paperdata.example3_r7
+let example3_r8 = Paperdata.example3_r8
+
+let a_set = Attribute.Set.singleton (attr "A")
+
+let test_example3 () =
+  let open Dependency in
+  let mvd = Mvd.of_names [ "A" ] [ "B" ] in
+  Alcotest.(check bool) "A ->-> B | C holds" true
+    (Mvd.satisfied_by example3_flat mvd);
+  let forms = Irreducible.enumerate (Nfr.of_relation example3_flat) in
+  let contains form = List.exists (Nfr.equal form) forms in
+  Alcotest.(check bool) "R7 reachable" true (contains example3_r7);
+  Alcotest.(check bool) "R8 reachable" true (contains example3_r8);
+  Alcotest.(check bool) "R7 fixed on A" true (Classify.fixed_on example3_r7 a_set);
+  Alcotest.(check bool) "R8 not fixed on A" false
+    (Classify.fixed_on example3_r8 a_set)
+
+let test_theorem4_on_example3 () =
+  let open Dependency in
+  Alcotest.(check bool) "Theorem 4 holds on Example 3" true
+    (Theory.check_theorem4 example3_flat (Mvd.of_names [ "A" ] [ "B" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Theorems 2, 3, 5 on concrete instances                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_theorem2 () =
+  let order = [ attr "A"; attr "B"; attr "C" ] in
+  Alcotest.(check bool) "Theorem 2 on Example 2's R3" true
+    (Theory.check_theorem2 example2_flat order);
+  Alcotest.(check bool) "Theorem 2 on Example 3's R" true
+    (Theory.check_theorem2 example3_flat order)
+
+let test_theorem3 () =
+  let open Dependency in
+  (* Instance where A is a key: FD A -> B C covers the schema, as
+     Theorem 3's proof requires ("R* is fixed on F1..Fk"). *)
+  let flat =
+    rel schema3
+      [
+        [ "a1"; "b1"; "c1" ];
+        [ "a2"; "b1"; "c2" ];
+        [ "a3"; "b2"; "c1" ];
+        [ "a4"; "b1"; "c1" ];
+        [ "a5"; "b2"; "c2" ];
+      ]
+  in
+  let fd = Fd.of_names [ "A" ] [ "B"; "C" ] in
+  Alcotest.(check bool) "FD A -> B C holds" true (Fd.satisfied_by flat fd);
+  Alcotest.(check bool) "Theorem 3" true (Theory.check_theorem3 flat fd);
+  (* Counterpoint: a non-covering FD does not enjoy the theorem — this
+     instance satisfies A -> B yet reaches an irreducible form that is
+     not fixed on A, so the key hypothesis is essential. *)
+  let partial =
+    rel schema3
+      [
+        [ "a1"; "b1"; "c1" ];
+        [ "a1"; "b1"; "c2" ];
+        [ "a2"; "b1"; "c1" ];
+        [ "a3"; "b2"; "c1" ];
+        [ "a3"; "b2"; "c2" ];
+      ]
+  in
+  let forms = Irreducible.enumerate (Nfr.of_relation partial) in
+  let a_only = Attribute.Set.singleton (attr "A") in
+  Alcotest.(check bool) "non-key FD: some form not fixed on A" true
+    (List.exists (fun form -> not (Classify.fixed_on form a_only)) forms)
+
+let test_theorem3_composite_key () =
+  let open Dependency in
+  (* Composite key: A B -> C over ABC; compositions can then happen
+     over A or B individually, and fixedness on {A, B} must survive. *)
+  let flat =
+    rel schema3
+      [
+        [ "a1"; "b1"; "c1" ];
+        [ "a1"; "b2"; "c2" ];
+        [ "a2"; "b1"; "c1" ];
+        [ "a2"; "b2"; "c1" ];
+        [ "a3"; "b1"; "c2" ];
+      ]
+  in
+  let fd = Fd.of_names [ "A"; "B" ] [ "C" ] in
+  Alcotest.(check bool) "FD A B -> C holds" true (Fd.satisfied_by flat fd);
+  Alcotest.(check bool) "Theorem 3 (composite key)" true
+    (Theory.check_theorem3 flat fd)
+
+let test_theorem5 () =
+  List.iter
+    (fun order ->
+      Alcotest.(check bool)
+        (Format.asprintf "Theorem 5 for order %s"
+           (String.concat "," (List.map Attribute.name order)))
+        true
+        (Theory.check_theorem5 example2_flat order))
+    (Schema.permutations schema3);
+  Alcotest.(check bool) "Theorem 5 on Example 3" true
+    (Theory.check_theorem5 example3_flat [ attr "B"; attr "A"; attr "C" ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: canonical subset of irreducible                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig3_inclusions () =
+  (* Every canonical form of the example instances is irreducible;
+     Example 2's R4 witnesses irreducible-but-not-canonical. *)
+  List.iter
+    (fun flat ->
+      List.iter
+        (fun (_, form) ->
+          Alcotest.(check bool) "canonical => irreducible" true
+            (Irreducible.is_irreducible form))
+        (Nest.all_canonical_forms flat))
+    [ example1_flat; example2_flat; example3_flat ];
+  let region = Classify.region example2_r4 in
+  Alcotest.(check bool) "irreducible, not canonical" true
+    (region.Classify.irreducible && not region.Classify.canonical)
+
+let () =
+  Alcotest.run "paper"
+    [
+      ( "fig1-fig2",
+        [
+          Alcotest.test_case "R1 is the Course-nested form" `Quick
+            test_fig1_r1_is_nested_form;
+          Alcotest.test_case "R2 is canonical (S,C,T order)" `Quick
+            test_fig1_r2_is_canonical;
+          Alcotest.test_case "Fig.2 R1 via value removal" `Quick
+            test_fig2_r1_value_removal;
+          Alcotest.test_case "Fig.2 R2 via deletion algorithm" `Quick
+            test_fig2_r2_deletion_algorithm;
+          Alcotest.test_case "Fig.2 R1 via deletion algorithm" `Quick
+            test_fig2_r1_deletion_algorithm;
+          Alcotest.test_case "MVD structure of R1 vs R2" `Quick
+            test_fig1_mvd_structure;
+        ] );
+      ( "example1",
+        [ Alcotest.test_case "two irreducible forms" `Quick test_example1 ] );
+      ( "example2",
+        [
+          Alcotest.test_case "R4 irreducible and equivalent" `Quick
+            test_example2_r4_is_irreducible;
+          Alcotest.test_case "canonical gap (4 vs 3 tuples)" `Quick
+            test_example2_canonical_gap;
+          Alcotest.test_case "R4 is not canonical" `Quick
+            test_example2_r4_not_canonical;
+        ] );
+      ( "example3",
+        [
+          Alcotest.test_case "R7/R8 fixedness under MVD" `Quick test_example3;
+          Alcotest.test_case "Theorem 4" `Quick test_theorem4_on_example3;
+        ] );
+      ( "theorems",
+        [
+          Alcotest.test_case "Theorem 2 uniqueness" `Quick test_theorem2;
+          Alcotest.test_case "Theorem 3 FD fixedness" `Quick test_theorem3;
+          Alcotest.test_case "Theorem 3 with a composite key" `Quick
+            test_theorem3_composite_key;
+          Alcotest.test_case "Theorem 5 canonical fixedness" `Quick
+            test_theorem5;
+        ] );
+      ( "fig3",
+        [ Alcotest.test_case "inclusion structure" `Quick test_fig3_inclusions ]
+      );
+    ]

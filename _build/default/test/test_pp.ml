@@ -1,0 +1,175 @@
+(* Printing coverage: every pp / to_string in the public API renders
+   without raising and contains the landmarks a reader needs. Format
+   bugs (unbalanced boxes, bad %a usage) only show at render time, so
+   each printer gets exercised at least once here. *)
+
+open Relational
+open Nfr_core
+open Support
+
+let contains haystack needle =
+  let rec search i =
+    i + String.length needle <= String.length haystack
+    && (String.sub haystack i (String.length needle) = needle || search (i + 1))
+  in
+  search 0
+
+let check_contains what haystack needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %S" what needle)
+    true (contains haystack needle)
+
+let sample_relation =
+  rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ]; [ "a2"; "b1" ] ]
+
+let sample_nfr = Nest.canonical sample_relation [ attr "A"; attr "B" ]
+
+let test_relational_printers () =
+  check_contains "Value.pp quoted" (Value.to_string (v "a b")) "\"a b\"";
+  check_contains "Schema.pp" (Schema.to_string schema3) "A:string";
+  check_contains "Relation.pp" (Relation.to_string sample_relation) "| a1";
+  let tuple = row schema2 [ "x"; "y" ] in
+  check_contains "Tuple.pp" (Format.asprintf "%a" Tuple.pp tuple) "(x, y)";
+  check_contains "Tuple.pp_named"
+    (Format.asprintf "%a" (Tuple.pp_named schema2) tuple)
+    "A(x)";
+  check_contains "Attribute.pp_set"
+    (Format.asprintf "%a" Attribute.pp_set (Attribute.set_of_list [ "A"; "B" ]))
+    "{A, B}";
+  let p = Predicate.(field "A" = str "a1" && not_ (field "B" < str "b9")) in
+  check_contains "Predicate.pp" (Format.asprintf "%a" Predicate.pp p) "A = a1";
+  let e = Expr.(If (Predicate.True, Concat (col "A", str "!"), col "A")) in
+  check_contains "Expr.pp" (Format.asprintf "%a" Expr.pp e) "A ^"
+
+let test_core_printers () =
+  let nt = Ntuple.of_strings schema2 [ [ "a1"; "a2" ]; [ "b1" ] ] in
+  check_contains "Ntuple.pp"
+    (Format.asprintf "%a" (Ntuple.pp schema2) nt)
+    "A(a1, a2)";
+  check_contains "Ntuple.pp_anon" (Format.asprintf "%a" Ntuple.pp_anon nt) "{a1, a2}";
+  check_contains "Nfr.pp" (Format.asprintf "%a" Nfr.pp sample_nfr) "[A(";
+  check_contains "Nfr.pp_table" (Nfr.to_string sample_nfr) "| A";
+  check_contains "Vset.pp"
+    (Format.asprintf "%a" Vset.pp (Vset.of_strings [ "x"; "y" ]))
+    "x, y"
+
+let test_dependency_printers () =
+  let open Dependency in
+  check_contains "Fd.pp"
+    (Format.asprintf "%a" Fd.pp (Fd.of_names [ "A"; "B" ] [ "C" ]))
+    "A B -> C";
+  check_contains "Mvd.pp"
+    (Format.asprintf "%a" Mvd.pp (Mvd.of_names [ "A" ] [ "B" ]))
+    "A ->-> B";
+  (match Armstrong.derive
+           [ Fd.of_names [ "A" ] [ "B" ]; Fd.of_names [ "B" ] [ "C" ] ]
+           (Fd.of_names [ "A" ] [ "C" ])
+   with
+  | Some proof ->
+    let rendered = Format.asprintf "%a" Armstrong.pp proof in
+    check_contains "Armstrong.pp" rendered "trans";
+    check_contains "Armstrong.pp leaves" rendered "given"
+  | None -> Alcotest.fail "derivation expected");
+  let tableau =
+    Chase.initial_for_decomposition schema3
+      [ Attribute.set_of_list [ "A"; "B" ]; Attribute.set_of_list [ "A"; "C" ] ]
+  in
+  check_contains "Chase.pp"
+    (Format.asprintf "%a" (Chase.pp schema3) tableau)
+    "A:a"
+
+let test_design_and_stats_printers () =
+  let open Dependency in
+  let schema = Schema.strings [ "Student"; "Course"; "Club" ] in
+  let design = Design.nfr_first schema [] [ Mvd.of_names [ "Student" ] [ "Course" ] ] in
+  let rendered = Format.asprintf "%a" Design.pp design in
+  check_contains "Design.pp strategy" rendered "nfr-first";
+  check_contains "Design.pp fixedness" rendered "fixed on";
+  let stats = Storage.Stats.create () in
+  stats.Storage.Stats.pages_read <- 3;
+  check_contains "Stats.pp" (Format.asprintf "%a" Storage.Stats.pp stats) "pages=3"
+
+let test_hnfr_printers () =
+  let open Hnfr in
+  let flat = rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ] ] in
+  let nested = Hrel.nest (Hrel.of_relation flat) [ attr "B" ] ~into:"Bs" in
+  check_contains "Hschema.pp"
+    (Format.asprintf "%a" Hschema.pp (Hrel.schema nested))
+    "Bs(";
+  check_contains "Hrel.pp" (Format.asprintf "%a" Hrel.pp nested) "A=a1"
+
+let test_nfql_printers () =
+  let statement =
+    Nfql.Parser.parse_statement
+      "select Student from sc join t2 where Course CONTAINS 'c1' and not Semester = 't2' nest Course"
+  in
+  let rendered = Format.asprintf "%a" Nfql.Ast.pp_statement statement in
+  check_contains "Ast.pp select" rendered "SELECT Student";
+  check_contains "Ast.pp join" rendered "sc JOIN t2";
+  check_contains "Ast.pp contains" rendered "CONTAINS";
+  check_contains "Ast.pp nest" rendered "NEST Course";
+  let update =
+    Nfql.Parser.parse_statement "update t set a = 1 where b = 'x'"
+  in
+  check_contains "Ast.pp update"
+    (Format.asprintf "%a" Nfql.Ast.pp_statement update)
+    "UPDATE t SET a = 1";
+  let count = Nfql.Parser.parse_statement "select count from t" in
+  check_contains "Ast.pp count"
+    (Format.asprintf "%a" Nfql.Ast.pp_statement count)
+    "SELECT COUNT";
+  let explain = Nfql.Parser.parse_statement "explain select * from t" in
+  check_contains "Ast.pp explain"
+    (Format.asprintf "%a" Nfql.Ast.pp_statement explain)
+    "EXPLAIN SELECT *";
+  List.iter
+    (fun token ->
+      Alcotest.(check bool) "token prints nonempty" true
+        (String.length (Nfql.Token.to_string token) > 0))
+    Nfql.Token.
+      [ Ident "x"; String_lit "s"; Int_lit 1; Float_lit 1.5; Lparen; Rparen;
+        Comma; Semicolon; Star; Eq; Neq; Lt; Le; Gt; Ge; Eof ]
+
+(* Round trip: parsing the printed statement yields the same AST. *)
+let test_ast_pp_parse_roundtrip () =
+  List.iter
+    (fun source ->
+      let parsed = Nfql.Parser.parse_statement source in
+      let printed = Format.asprintf "%a" Nfql.Ast.pp_statement parsed in
+      let reparsed = Nfql.Parser.parse_statement printed in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s (printed as %s)" source printed)
+        true (parsed = reparsed))
+    [
+      "select * from t";
+      "select a, b from t where a = 'x' and b <> 2";
+      "select * from t where a CONTAINS 'v' nest b unnest c";
+      "select count from t where x >= 1";
+      "insert into t values ('a', 1), ('b', 2)";
+      "delete from t values ('a', 1)";
+      "delete from t where a = 'x' or not b = 'y'";
+      "update t set a = 'z' where b = 1";
+      "create table t (a string, b int) order b, a";
+      "drop table t";
+      "show t";
+    ]
+
+let () =
+  Alcotest.run "pp"
+    [
+      ( "printers",
+        [
+          Alcotest.test_case "relational" `Quick test_relational_printers;
+          Alcotest.test_case "core" `Quick test_core_printers;
+          Alcotest.test_case "dependency" `Quick test_dependency_printers;
+          Alcotest.test_case "design/stats" `Quick
+            test_design_and_stats_printers;
+          Alcotest.test_case "hnfr" `Quick test_hnfr_printers;
+          Alcotest.test_case "nfql" `Quick test_nfql_printers;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "parse(pp(ast)) = ast" `Quick
+            test_ast_pp_parse_roundtrip;
+        ] );
+    ]

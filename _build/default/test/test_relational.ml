@@ -1,0 +1,423 @@
+(* The flat relational substrate: values, schemas, tuples, the
+   algebra, predicates, and CSV round-trips. *)
+
+open Relational
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_order_total () =
+  let values =
+    [
+      Value.of_int 3; Value.of_int (-1); Value.of_float 2.5;
+      Value.of_string "x"; Value.of_bool true; Value.of_bool false;
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b and ba = Value.compare b a in
+          Alcotest.(check bool) "antisymmetric" true (compare ab 0 = compare 0 ba))
+        values)
+    values;
+  Alcotest.(check bool) "int < float by type" true
+    (Value.compare (Value.of_int 999) (Value.of_float 0.) < 0)
+
+let test_value_nan_rejected () =
+  Alcotest.check_raises "NaN" (Invalid_argument "Value.of_float: NaN is not a domain value")
+    (fun () -> ignore (Value.of_float Float.nan))
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.parse Value.Tint "42" = Ok (Value.of_int 42));
+  Alcotest.(check bool) "bad int" true
+    (match Value.parse Value.Tint "4x" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "bool t" true
+    (Value.parse Value.Tbool "T" = Ok (Value.of_bool true));
+  Alcotest.(check bool) "guess float" true
+    (Value.parse_guess "2.25" = Value.of_float 2.25);
+  Alcotest.(check bool) "guess string" true
+    (Value.parse_guess "2.25x" = Value.of_string "2.25x")
+
+let test_value_pp () =
+  Alcotest.(check string) "bare ident" "abc" (Value.to_string (v "abc"));
+  Alcotest.(check string) "quoted" "\"a b\"" (Value.to_string (v "a b"));
+  Alcotest.(check string) "int" "-7" (Value.to_string (Value.of_int (-7)))
+
+(* ------------------------------------------------------------------ *)
+(* Attributes and schemas                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_attribute_interning () =
+  let a1 = Attribute.make "Same" and a2 = Attribute.make "Same" in
+  Alcotest.(check bool) "equal" true (Attribute.equal a1 a2);
+  Alcotest.(check bool) "same id" true (a1.Attribute.id = a2.Attribute.id);
+  Alcotest.check_raises "empty name" (Invalid_argument "Attribute.make: empty name")
+    (fun () -> ignore (Attribute.make ""))
+
+let test_schema_construction () =
+  Alcotest.(check int) "degree" 3 (Schema.degree schema3);
+  Alcotest.(check int) "position" 1 (Schema.position schema3 (attr "B"));
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Schema.make [ (attr "A", Value.Tint); (attr "A", Value.Tint) ] with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty rejected" true
+    (match Schema.make [] with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false)
+
+let test_schema_set_operations () =
+  let left = Schema.of_names [ ("A", Value.Tstring); ("B", Value.Tint) ] in
+  let right = Schema.of_names [ ("B", Value.Tint); ("C", Value.Tbool) ] in
+  Alcotest.check schema_testable "union"
+    (Schema.of_names [ ("A", Value.Tstring); ("B", Value.Tint); ("C", Value.Tbool) ])
+    (Schema.union left right);
+  Alcotest.(check (list string)) "common" [ "B" ]
+    (List.map Attribute.name (Schema.common left right));
+  let conflicting = Schema.of_names [ ("B", Value.Tstring) ] in
+  Alcotest.(check bool) "type conflict rejected" true
+    (match Schema.union left conflicting with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false)
+
+let test_schema_project_rename () =
+  let projected = Schema.project schema3 [ attr "C"; attr "A" ] in
+  Alcotest.(check (list string)) "reordered" [ "C"; "A" ]
+    (List.map Attribute.name (Schema.attributes projected));
+  let renamed = Schema.rename schema2 [ (attr "A", attr "X") ] in
+  Alcotest.(check (list string)) "renamed" [ "X"; "B" ]
+    (List.map Attribute.name (Schema.attributes renamed))
+
+let test_schema_permutations () =
+  Alcotest.(check int) "3! = 6" 6 (List.length (Schema.permutations schema3));
+  let all_distinct perms =
+    List.length (List.sort_uniq compare perms) = List.length perms
+  in
+  Alcotest.(check bool) "distinct" true
+    (all_distinct
+       (List.map (List.map Attribute.name) (Schema.permutations schema3)))
+
+(* ------------------------------------------------------------------ *)
+(* Tuples                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuple_type_checking () =
+  let typed = Schema.of_names [ ("A", Value.Tstring); ("N", Value.Tint) ] in
+  let good = Tuple.make typed [ v "x"; Value.of_int 3 ] in
+  Alcotest.(check int) "arity" 2 (Tuple.arity good);
+  Alcotest.(check bool) "type mismatch" true
+    (match Tuple.make typed [ Value.of_int 3; Value.of_int 3 ] with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "arity mismatch" true
+    (match Tuple.make typed [ v "x" ] with
+    | exception Schema.Schema_error _ -> true
+    | _ -> false)
+
+let test_tuple_field_ops () =
+  let t = row schema3 [ "x"; "y"; "z" ] in
+  Alcotest.(check bool) "field" true (Value.equal (v "y") (Tuple.field schema3 t (attr "B")));
+  let updated = Tuple.set_field schema3 t (attr "B") (v "w") in
+  Alcotest.(check bool) "set_field" true
+    (Value.equal (v "w") (Tuple.field schema3 updated (attr "B")));
+  Alcotest.(check bool) "original untouched" true
+    (Value.equal (v "y") (Tuple.field schema3 t (attr "B")));
+  Alcotest.(check bool) "agree_on" true
+    (Tuple.agree_on schema3 t updated [ attr "A"; attr "C" ])
+
+(* ------------------------------------------------------------------ *)
+(* Relations and the algebra                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample =
+  rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ]; [ "a2"; "b1" ] ]
+
+let test_relation_set_semantics () =
+  let doubled = Relation.add sample (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.(check int) "no duplicates" 3 (Relation.cardinality doubled);
+  let removed = Relation.remove sample (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.(check int) "removed" 2 (Relation.cardinality removed)
+
+let test_select () =
+  let open Predicate in
+  let selected = Algebra.select (field "A" = str "a1") sample in
+  Alcotest.(check int) "two a1 rows" 2 (Relation.cardinality selected);
+  Alcotest.(check bool) "invalid predicate" true
+    (match Algebra.select (field "Z" = str "a1") sample with
+    | exception Algebra.Algebra_error _ -> true
+    | _ -> false)
+
+let test_project () =
+  let projected = Algebra.project_names [ "A" ] sample in
+  Alcotest.(check int) "deduplicated" 2 (Relation.cardinality projected)
+
+let test_union_inter_diff () =
+  let other = rel schema2 [ [ "a1"; "b1" ]; [ "a9"; "b9" ] ] in
+  Alcotest.(check int) "union" 4 (Relation.cardinality (Algebra.union sample other));
+  Alcotest.(check int) "inter" 1 (Relation.cardinality (Algebra.inter sample other));
+  Alcotest.(check int) "diff" 2 (Relation.cardinality (Algebra.diff sample other))
+
+let test_product_and_join () =
+  let cd = Schema.strings [ "C"; "D" ] in
+  let right = rel cd [ [ "c1"; "d1" ]; [ "c2"; "d2" ] ] in
+  let product = Algebra.product sample right in
+  Alcotest.(check int) "product size" 6 (Relation.cardinality product);
+  let bc = Schema.strings [ "B"; "C" ] in
+  let join_right = rel bc [ [ "b1"; "c1" ]; [ "b3"; "c3" ] ] in
+  let joined = Algebra.natural_join sample join_right in
+  Alcotest.(check int) "join matches b1" 2 (Relation.cardinality joined);
+  Alcotest.(check (list string)) "join schema" [ "A"; "B"; "C" ]
+    (List.map Attribute.name (Schema.attributes (Relation.schema joined)))
+
+let test_join_equals_select_product () =
+  (* Natural join via hash index agrees with the definition. *)
+  let bc = Schema.strings [ "B"; "C" ] in
+  let right = rel bc [ [ "b1"; "c1" ]; [ "b2"; "c1" ]; [ "b3"; "c3" ] ] in
+  let joined = Algebra.natural_join sample right in
+  (* Definitional: rename, product, select, project. *)
+  let renamed = Algebra.rename [ (attr "B", attr "B2") ] right in
+  let open Predicate in
+  let selected = Algebra.select (Field (attr "B") = Field (attr "B2")) (Algebra.product sample renamed) in
+  let definitional = Algebra.project_names [ "A"; "B"; "C" ] selected in
+  Alcotest.check relation_testable "agree" definitional joined
+
+let test_semijoin_antijoin () =
+  let bc = Schema.strings [ "B"; "C" ] in
+  let right = rel bc [ [ "b1"; "c1" ] ] in
+  Alcotest.(check int) "semijoin" 2
+    (Relation.cardinality (Algebra.semijoin sample right));
+  Alcotest.(check int) "antijoin" 1
+    (Relation.cardinality (Algebra.antijoin sample right))
+
+let test_division () =
+  (* Students (A) having taken all courses in the divisor (B). *)
+  let divisor = rel (Schema.strings [ "B" ]) [ [ "b1" ]; [ "b2" ] ] in
+  let quotient = Algebra.divide sample divisor in
+  Alcotest.(check int) "only a1 took both" 1 (Relation.cardinality quotient);
+  Alcotest.(check bool) "a1 in quotient" true
+    (Relation.mem quotient (Tuple.make (Relation.schema quotient) [ v "a1" ]))
+
+let test_group_by () =
+  let grouped =
+    Algebra.group_by [ attr "A" ] [ ("n", Algebra.Count) ] sample
+  in
+  Alcotest.(check int) "two groups" 2 (Relation.cardinality grouped);
+  let count_of key =
+    let schema = Relation.schema grouped in
+    match
+      List.find_opt
+        (fun t -> Value.equal (Tuple.field schema t (attr "A")) (v key))
+        (Relation.tuples grouped)
+    with
+    | Some t -> Option.get (Value.to_int (Tuple.field schema t (attr "n")))
+    | None -> -1
+  in
+  Alcotest.(check int) "a1 count" 2 (count_of "a1");
+  Alcotest.(check int) "a2 count" 1 (count_of "a2")
+
+let test_sort_by () =
+  let sorted = Algebra.sort_by [ attr "B" ] sample in
+  let b_values =
+    List.map (fun t -> Value.to_string (Tuple.field schema2 t (attr "B"))) sorted
+  in
+  Alcotest.(check (list string)) "ordered" [ "b1"; "b1"; "b2" ] b_values
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and extend                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scores_schema = Schema.of_names [ ("Name", Value.Tstring); ("Score", Value.Tint) ]
+
+let scores =
+  Relation.of_rows scores_schema
+    [ [ v "ann"; Value.of_int 7 ]; [ v "bob"; Value.of_int 3 ] ]
+
+let test_expr_infer () =
+  let double = Expr.(Mul (col "Score", int 2)) in
+  Alcotest.(check bool) "int typed" true
+    (Expr.infer scores_schema double = Ok Value.Tint);
+  Alcotest.(check bool) "arith on string rejected" true
+    (match Expr.infer scores_schema Expr.(Add (col "Name", int 1)) with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool) "unknown column rejected" true
+    (match Expr.infer scores_schema Expr.(col "Nope") with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool) "if branches must agree" true
+    (match
+       Expr.infer scores_schema
+         Expr.(If (Predicate.True, col "Name", col "Score"))
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_expr_eval () =
+  let t = List.hd (Relation.tuples scores) in
+  let grade =
+    Expr.(
+      If
+        (Predicate.(field "Score" >= int 5),
+         str "pass", str "fail"))
+  in
+  Alcotest.(check bool) "conditional" true
+    (Value.equal (v "pass") (Expr.eval scores_schema grade t)
+    || Value.equal (v "fail") (Expr.eval scores_schema grade t));
+  Alcotest.(check bool) "division by zero raises" true
+    (match Expr.eval scores_schema Expr.(Div (col "Score", int 0)) t with
+    | exception Expr.Eval_error _ -> true
+    | _ -> false)
+
+let test_algebra_extend () =
+  let extended = Algebra.extend "Doubled" Expr.(Mul (col "Score", int 2)) scores in
+  let schema = Relation.schema extended in
+  Alcotest.(check int) "new column" 3 (Schema.degree schema);
+  Relation.iter
+    (fun tuple ->
+      let score = Option.get (Value.to_int (Tuple.field schema tuple (attr "Score"))) in
+      let doubled =
+        Option.get (Value.to_int (Tuple.field schema tuple (attr "Doubled")))
+      in
+      Alcotest.(check int) "doubled" (2 * score) doubled)
+    extended;
+  Alcotest.(check bool) "clash rejected" true
+    (match Algebra.extend "Score" Expr.(int 0) scores with
+    | exception Algebra.Algebra_error _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_predicate_eval () =
+  let typed = Schema.of_names [ ("A", Value.Tstring); ("N", Value.Tint) ] in
+  let t = Tuple.make typed [ v "x"; Value.of_int 5 ] in
+  let p = Predicate.(field "N" > int 3 && field "A" = str "x") in
+  let mistyped = Predicate.(field "A" = int 3) in
+  Alcotest.(check bool) "validates" true (Predicate.validate typed p = Ok ());
+  Alcotest.(check bool) "holds" true (Predicate.eval typed p t);
+  Alcotest.(check bool) "negation" false (Predicate.eval typed (Predicate.not_ p) t);
+  Alcotest.(check bool) "type error caught" true
+    (match Predicate.validate typed mistyped with
+    | Error _ -> true
+    | Ok () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_parse_line () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ]
+    (Csv.parse_line "a,b,c");
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ]
+    (Csv.parse_line "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "say \"hi\"" ]
+    (Csv.parse_line "\"say \"\"hi\"\"\"");
+  Alcotest.(check (list string)) "empty cells" [ ""; ""; "" ]
+    (Csv.parse_line ",,")
+
+let test_csv_roundtrip () =
+  let typed =
+    Schema.of_names [ ("Name", Value.Tstring); ("Age", Value.Tint) ]
+  in
+  let r =
+    Relation.of_rows typed
+      [ [ v "alice, the first"; Value.of_int 30 ]; [ v "bob"; Value.of_int 4 ] ]
+  in
+  Alcotest.check relation_testable "roundtrip" r (Csv.of_string (Csv.to_string r));
+  Alcotest.(check bool) "bad row width" true
+    (match Csv.of_string "A:string,B:int\nx\n" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_select_idempotent r =
+  let p = Predicate.(field "A" = str "a1") in
+  let once = Algebra.select p r in
+  Relation.equal once (Algebra.select p once)
+
+let prop_project_shrinks r =
+  let projected = Algebra.project_names [ "A"; "B" ] r in
+  Relation.cardinality projected <= Relation.cardinality r
+
+let prop_union_commutes (a, _) =
+  (* Reuse the pair generator: ignore the row, union with itself
+     reversed. *)
+  let shifted = Algebra.rename [ (attr "A", attr "A") ] a in
+  Relation.equal (Algebra.union a shifted) (Algebra.union shifted a)
+
+let prop_diff_inter_partition r =
+  let p = Predicate.(field "A" = str "a1") in
+  let selected = Algebra.select p r in
+  let rest = Algebra.diff r selected in
+  Relation.cardinality selected + Relation.cardinality rest
+  = Relation.cardinality r
+
+let prop_csv_roundtrip r = Relation.equal r (Csv.of_string (Csv.to_string r))
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "total order" `Quick test_value_order_total;
+          Alcotest.test_case "NaN rejected" `Quick test_value_nan_rejected;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "printing" `Quick test_value_pp;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "interning" `Quick test_attribute_interning;
+          Alcotest.test_case "construction" `Quick test_schema_construction;
+          Alcotest.test_case "set operations" `Quick test_schema_set_operations;
+          Alcotest.test_case "project/rename" `Quick test_schema_project_rename;
+          Alcotest.test_case "permutations" `Quick test_schema_permutations;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "type checking" `Quick test_tuple_type_checking;
+          Alcotest.test_case "field operations" `Quick test_tuple_field_ops;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "union/inter/diff" `Quick test_union_inter_diff;
+          Alcotest.test_case "product and join" `Quick test_product_and_join;
+          Alcotest.test_case "join = select(product)" `Quick
+            test_join_equals_select_product;
+          Alcotest.test_case "semijoin/antijoin" `Quick test_semijoin_antijoin;
+          Alcotest.test_case "division" `Quick test_division;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "sort_by" `Quick test_sort_by;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "inference" `Quick test_expr_infer;
+          Alcotest.test_case "evaluation" `Quick test_expr_eval;
+          Alcotest.test_case "extend" `Quick test_algebra_extend;
+        ] );
+      ( "predicate",
+        [ Alcotest.test_case "evaluation" `Quick test_predicate_eval ] );
+      ( "csv",
+        [
+          Alcotest.test_case "parse_line" `Quick test_csv_parse_line;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+        ] );
+      ( "properties",
+        [
+          qtest "select idempotent" (arbitrary_relation ()) prop_select_idempotent;
+          qtest "project shrinks" (arbitrary_relation ()) prop_project_shrinks;
+          qtest "union commutes" (arbitrary_relation_and_row ()) prop_union_commutes;
+          qtest "select/diff partition" (arbitrary_relation ())
+            prop_diff_inter_partition;
+          qtest "csv roundtrip" (arbitrary_relation ()) prop_csv_roundtrip;
+        ] );
+    ]

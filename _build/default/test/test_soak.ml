@@ -1,0 +1,158 @@
+(* Endurance: thousands of mixed updates through the indexed store,
+   with invariants checked at checkpoints and a full recompute check
+   at the end. Deterministic (seeded); runs in a few seconds. *)
+
+open Relational
+open Nfr_core
+open Support
+
+let soak ~seed ~degree ~dom ~initial_rows ~ops () =
+  let rng = Workload.Prng.create seed in
+  let schema =
+    Schema.strings
+      (List.init degree (fun i -> String.make 1 (Char.chr (Char.code 'A' + i))))
+  in
+  let random_tuple () =
+    Tuple.make schema
+      (List.init degree (fun i ->
+           Value.of_string
+             (Printf.sprintf "%c%d"
+                (Char.chr (Char.code 'a' + i))
+                (Workload.Prng.int rng dom))))
+  in
+  (* Initial load. *)
+  let initial =
+    List.fold_left
+      (fun flat _ -> Relation.add flat (random_tuple ()))
+      (Relation.empty schema)
+      (List.init initial_rows Fun.id)
+  in
+  let order = Schema.attributes schema in
+  let store = Update.Store.of_nfr ~order (Nest.canonical initial order) in
+  (* Shadow flat truth. *)
+  let truth = ref initial in
+  let stats = Update.fresh_stats () in
+  let checkpoint () =
+    let snapshot = Update.Store.snapshot store in
+    Alcotest.(check bool) "well-formed" true (Nfr.well_formed snapshot);
+    Alcotest.check relation_testable "flattening matches the truth" !truth
+      (Nfr.flatten snapshot)
+  in
+  for i = 1 to ops do
+    let tuple = random_tuple () in
+    if Workload.Prng.bool rng then begin
+      ignore (Update.Store.insert ~stats store tuple);
+      truth := Relation.add !truth tuple
+    end
+    else if Relation.mem !truth tuple then begin
+      Update.Store.delete ~stats store tuple;
+      truth := Relation.remove !truth tuple
+    end;
+    if i mod (ops / 4) = 0 then checkpoint ()
+  done;
+  (* Final: exact canonical form. *)
+  Alcotest.check nfr_testable "final state is the recomputed canonical form"
+    (Nest.canonical !truth order)
+    (Update.Store.snapshot store);
+  (* Theorem A-4 sanity: mean compositions per op stays tiny. *)
+  let per_op = float_of_int stats.Update.compositions /. float_of_int ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "compositions/op = %.2f stays bounded" per_op)
+    true (per_op < 10.)
+
+let test_soak_degree3 () =
+  soak ~seed:31 ~degree:3 ~dom:8 ~initial_rows:300 ~ops:1200 ()
+
+let test_soak_degree5 () =
+  soak ~seed:32 ~degree:5 ~dom:4 ~initial_rows:200 ~ops:800 ()
+
+let test_soak_dense_domain () =
+  (* Tiny domains force constant composition/split traffic. *)
+  soak ~seed:33 ~degree:3 ~dom:3 ~initial_rows:20 ~ops:600 ()
+
+let test_soak_scan_functions () =
+  (* The persistent, scan-based functions under the same regime
+     (smaller scale: they are O(|R|) per op). *)
+  let rng = Workload.Prng.create 34 in
+  let schema = schema3 in
+  let order = Schema.attributes schema in
+  let random_tuple () =
+    Tuple.make schema
+      (List.init 3 (fun i ->
+           Value.of_string
+             (Printf.sprintf "%c%d"
+                (Char.chr (Char.code 'a' + i))
+                (Workload.Prng.int rng 5))))
+  in
+  let truth = ref (Relation.empty schema) in
+  let nfr = ref (Nfr.empty schema) in
+  for _ = 1 to 400 do
+    let tuple = random_tuple () in
+    if Workload.Prng.bool rng then begin
+      nfr := Update.insert ~order !nfr tuple;
+      truth := Relation.add !truth tuple
+    end
+    else if Relation.mem !truth tuple then begin
+      nfr := Update.delete ~order !nfr tuple;
+      truth := Relation.remove !truth tuple
+    end
+  done;
+  Alcotest.check nfr_testable "scan-based functions converge too"
+    (Nest.canonical !truth order)
+    !nfr
+
+let test_soak_wal_table () =
+  (* A long mixed stream through a WAL-backed table, then recovery
+     from the log alone must land on the identical state. *)
+  let wal_path = Filename.temp_file "nf2-soak" ".wal" in
+  Sys.remove wal_path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists wal_path then Sys.remove wal_path)
+    (fun () ->
+      let rng = Workload.Prng.create 35 in
+      let schema = schema3 in
+      let order = Schema.attributes schema in
+      let table = Storage.Table.create ~wal_path ~order schema in
+      let random_tuple () =
+        Tuple.make schema
+          (List.init 3 (fun i ->
+               Value.of_string
+                 (Printf.sprintf "%c%d"
+                    (Char.chr (Char.code 'a' + i))
+                    (Workload.Prng.int rng 6))))
+      in
+      for _ = 1 to 500 do
+        let tuple = random_tuple () in
+        if Workload.Prng.bool rng then
+          ignore (Storage.Table.insert table tuple)
+        else if Storage.Table.member table tuple then
+          Storage.Table.delete table tuple
+      done;
+      let final = Storage.Table.snapshot table in
+      Alcotest.(check bool) "final state canonical" true
+        (Nest.is_canonical final order);
+      Storage.Table.close table;
+      let recovered = Storage.Table.recover ~wal_path ~order schema in
+      Alcotest.check nfr_testable "recovery replays to the same state" final
+        (Storage.Table.snapshot recovered);
+      Storage.Table.close recovered)
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "1200 ops, degree 3" `Slow test_soak_degree3;
+          Alcotest.test_case "800 ops, degree 5" `Slow test_soak_degree5;
+          Alcotest.test_case "600 ops, dense domain" `Slow
+            test_soak_dense_domain;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "400 mixed ops" `Slow test_soak_scan_functions;
+        ] );
+      ( "wal-table",
+        [
+          Alcotest.test_case "500 ops + recovery" `Slow test_soak_wal_table;
+        ] );
+    ]

@@ -1,0 +1,693 @@
+(* The realization view: codec round-trips, page/heap mechanics,
+   indexes, and the engine's access paths. *)
+
+open Relational
+open Nfr_core
+open Storage
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_value value =
+  let buffer = Buffer.create 16 in
+  Codec.encode_value buffer value;
+  let decoded, consumed = Codec.decode_value (Buffer.to_bytes buffer) 0 in
+  Value.equal decoded value && consumed = Buffer.length buffer
+
+let test_codec_values () =
+  List.iter
+    (fun value ->
+      Alcotest.(check bool)
+        (Format.asprintf "roundtrip %a" Value.pp value)
+        true (roundtrip_value value))
+    [
+      Value.of_int 0; Value.of_int 127; Value.of_int 128; Value.of_int 300000;
+      Value.of_int (-1); Value.of_int (-123456);
+      Value.of_float 0.; Value.of_float 3.141592653589793; Value.of_float (-2.5e300);
+      Value.of_string ""; Value.of_string "hello"; Value.of_string (String.make 500 'x');
+      Value.of_bool true; Value.of_bool false;
+    ]
+
+let test_codec_varint () =
+  List.iter
+    (fun n ->
+      let buffer = Buffer.create 8 in
+      Codec.encode_varint buffer n;
+      let decoded, _ = Codec.decode_varint (Buffer.to_bytes buffer) 0 in
+      Alcotest.(check int) (string_of_int n) n decoded)
+    [ 0; 1; 127; 128; 16383; 16384; 1 lsl 40 ];
+  Alcotest.(check bool) "negative rejected" true
+    (match Codec.encode_varint (Buffer.create 4) (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "truncated detected" true
+    (match Codec.decode_varint (Bytes.of_string "\x80") 0 with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_codec_tuples () =
+  let t = row schema3 [ "x"; "yy"; "zzz" ] in
+  let buffer = Buffer.create 16 in
+  Codec.encode_tuple buffer t;
+  let decoded, _ = Codec.decode_tuple (Buffer.to_bytes buffer) 0 in
+  Alcotest.check tuple_testable "tuple roundtrip" t decoded
+
+let test_codec_ntuples () =
+  let sample = nt schema3 [ [ "a1"; "a2" ]; [ "b1" ]; [ "c1"; "c2"; "c3" ] ] in
+  let buffer = Buffer.create 32 in
+  Codec.encode_ntuple buffer sample;
+  let decoded, _ = Codec.decode_ntuple (Buffer.to_bytes buffer) 0 in
+  Alcotest.(check bool) "ntuple roundtrip" true (Ntuple.equal sample decoded)
+
+let test_codec_sizes_favor_nfr () =
+  (* The whole Sec. 5 point: the NFR encoding of an MVD-structured
+     relation is smaller than its 1NF expansion. *)
+  let flat = Workload.Scenarios.university_entity ~students:20 () in
+  let order = List.rev (Schema.attributes (Relation.schema flat)) in
+  let canonical = Nest.canonical flat order in
+  Alcotest.(check bool) "nfr smaller" true
+    (Codec.nfr_size canonical < Codec.relation_size flat)
+
+(* ------------------------------------------------------------------ *)
+(* Pages and heaps                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_append_get () =
+  let page = Page.create ~size:128 () in
+  (match Page.append page "hello" with
+  | Some slot -> Alcotest.(check string) "read back" "hello" (Page.get page slot)
+  | None -> Alcotest.fail "should fit");
+  Alcotest.(check bool) "bad slot" true
+    (match Page.get page 9 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_page_overflow () =
+  let page = Page.create ~size:64 () in
+  let rec fill i =
+    match Page.append page (Printf.sprintf "record-%03d" i) with
+    | Some _ -> fill (i + 1)
+    | None -> i
+  in
+  let fitted = fill 0 in
+  Alcotest.(check bool) "some fit, not all" true (fitted > 0 && fitted < 100);
+  Alcotest.(check int) "count agrees" fitted (Page.record_count page)
+
+let test_heap_spans_pages () =
+  let heap = Heap.create ~page_size:128 () in
+  let rids = List.init 50 (fun i -> Heap.append heap (Printf.sprintf "r%02d" i)) in
+  Alcotest.(check bool) "multiple pages" true (Heap.page_count heap > 1);
+  Alcotest.(check int) "all stored" 50 (Heap.record_count heap);
+  List.iteri
+    (fun i rid ->
+      Alcotest.(check string) "fetch" (Printf.sprintf "r%02d" i) (Heap.get heap rid))
+    rids;
+  Alcotest.(check bool) "oversized rejected" true
+    (match Heap.append heap (String.make 4096 'x') with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_heap_scan_charges_stats () =
+  let heap = Heap.create ~page_size:128 () in
+  List.iter (fun i -> ignore (Heap.append heap (Printf.sprintf "r%02d" i))) (List.init 20 Fun.id);
+  let stats = Stats.create () in
+  let seen = ref 0 in
+  Heap.scan heap ~stats (fun _ _ -> incr seen);
+  Alcotest.(check int) "visited all" 20 !seen;
+  Alcotest.(check int) "records charged" 20 stats.Stats.records_read;
+  Alcotest.(check int) "pages charged" (Heap.page_count heap) stats.Stats.pages_read
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let flat_sample = Workload.Scenarios.university_entity ~students:12 ()
+
+let canonical_sample =
+  let order = List.rev (Schema.attributes (Relation.schema flat_sample)) in
+  Nest.canonical flat_sample order
+
+let test_engine_footprints () =
+  let flat_store = Engine.load_flat flat_sample in
+  let nfr_store = Engine.load_nfr canonical_sample in
+  let ff = Engine.flat_footprint flat_store in
+  let nf = Engine.nfr_footprint nfr_store in
+  Alcotest.(check int) "flat records = cardinality"
+    (Relation.cardinality flat_sample) ff.Engine.records;
+  Alcotest.(check int) "nfr records = NFR cardinality"
+    (Nfr.cardinality canonical_sample) nf.Engine.records;
+  Alcotest.(check bool) "nfr fewer records" true (nf.Engine.records < ff.Engine.records);
+  Alcotest.(check bool) "nfr fewer payload bytes" true
+    (nf.Engine.payload_bytes < ff.Engine.payload_bytes)
+
+let test_engine_scan_agrees_with_lookup () =
+  let flat_store = Engine.load_flat flat_sample in
+  let nfr_store = Engine.load_nfr canonical_sample in
+  let student = attr "Student" in
+  let target = v "student3" in
+  let scan_stats = Stats.create () in
+  let scan_result = Engine.flat_scan_eq flat_store ~stats:scan_stats student target in
+  let lookup_stats = Stats.create () in
+  let lookup_result =
+    Engine.flat_lookup_eq flat_store ~stats:lookup_stats student target
+  in
+  Alcotest.(check int) "same matches" (List.length scan_result)
+    (List.length lookup_result);
+  Alcotest.(check bool) "lookup cheaper" true
+    (lookup_stats.Stats.records_read < scan_stats.Stats.records_read);
+  (* NFR paths agree with each other too. *)
+  let nscan = Stats.create () and nlook = Stats.create () in
+  let from_scan = Engine.nfr_scan_contains nfr_store ~stats:nscan student target in
+  let from_lookup = Engine.nfr_lookup_contains nfr_store ~stats:nlook student target in
+  Alcotest.(check int) "nfr same matches" (List.length from_scan)
+    (List.length from_lookup)
+
+let test_engine_semantic_agreement () =
+  (* The NFR store and flat store answer the same question with the
+     same information: expanding the NFR matches and filtering equals
+     the flat matches. *)
+  let flat_store = Engine.load_flat flat_sample in
+  let nfr_store = Engine.load_nfr canonical_sample in
+  let student = attr "Student" in
+  let target = v "student7" in
+  let stats = Stats.create () in
+  let flat_matches = Engine.flat_lookup_eq flat_store ~stats student target in
+  let nfr_matches = Engine.nfr_lookup_contains nfr_store ~stats student target in
+  let schema = Engine.nfr_schema nfr_store in
+  let position = Schema.position schema student in
+  let expanded =
+    List.concat_map
+      (fun nt ->
+        List.filter
+          (fun tuple -> Value.equal (Tuple.get tuple position) target)
+          (Ntuple.expand nt))
+      nfr_matches
+  in
+  Alcotest.(check int) "same answer" (List.length flat_matches)
+    (List.length expanded)
+
+let test_engine_scan_touches_fewer_nfr_pages () =
+  let flat_store = Engine.load_flat ~page_size:512 flat_sample in
+  let nfr_store = Engine.load_nfr ~page_size:512 canonical_sample in
+  let stats_flat = Stats.create () and stats_nfr = Stats.create () in
+  ignore (Engine.flat_scan_eq flat_store ~stats:stats_flat (attr "Student") (v "student1"));
+  ignore
+    (Engine.nfr_scan_contains nfr_store ~stats:stats_nfr (attr "Student") (v "student1"));
+  Alcotest.(check bool) "nfr scan touches fewer pages" true
+    (stats_nfr.Stats.pages_read <= stats_flat.Stats.pages_read)
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rid page_no slot = { Heap.page_no; slot }
+
+let test_btree_basics () =
+  let tree = Btree.create ~fanout:4 () in
+  let stats = Stats.create () in
+  Btree.insert tree (v "m") (rid 0 0);
+  Btree.insert tree (v "c") (rid 0 1);
+  Btree.insert tree (v "m") (rid 0 2);
+  Alcotest.(check int) "two keys" 2 (Btree.cardinal tree);
+  Alcotest.(check int) "two postings for m" 2
+    (List.length (Btree.lookup tree ~stats (v "m")));
+  Alcotest.(check int) "absent key" 0
+    (List.length (Btree.lookup tree ~stats (v "zz")));
+  Btree.remove tree (v "m") (rid 0 0);
+  Alcotest.(check int) "one posting left" 1
+    (List.length (Btree.lookup tree ~stats (v "m")));
+  Btree.remove tree (v "m") (rid 0 2);
+  Alcotest.(check int) "key pruned" 1 (Btree.cardinal tree)
+
+let test_btree_splits_and_order () =
+  let tree = Btree.create ~fanout:4 () in
+  let n = 500 in
+  let keys =
+    List.init n (fun i -> Value.of_string (Printf.sprintf "k%04d" ((i * 7919) mod n)))
+  in
+  List.iteri (fun i key -> Btree.insert tree key (rid 0 i)) keys;
+  Alcotest.(check bool) "invariants hold" true (Btree.check_invariants tree);
+  Alcotest.(check int) "all keys present" n (Btree.cardinal tree);
+  Alcotest.(check bool) "tree actually grew" true (Btree.depth tree > 1);
+  let sorted = Btree.keys tree in
+  Alcotest.(check bool) "ascending" true
+    (List.sort Value.compare sorted = sorted)
+
+let test_btree_range () =
+  let tree = Btree.create ~fanout:4 () in
+  List.iteri
+    (fun i key -> Btree.insert tree (v key) (rid 0 i))
+    [ "apple"; "banana"; "cherry"; "date"; "elder"; "fig"; "grape" ];
+  let stats = Stats.create () in
+  let hits = Btree.range tree ~stats ~lo:(v "banana") ~hi:(v "elder") in
+  Alcotest.(check (list string)) "inclusive range"
+    [ "banana"; "cherry"; "date"; "elder" ]
+    (List.map (fun (key, _) -> Value.to_string key) hits);
+  Alcotest.(check int) "empty range" 0
+    (List.length (Btree.range tree ~stats ~lo:(v "x") ~hi:(v "z")));
+  Alcotest.(check bool) "probes charged" true (stats.Stats.index_probes > 0)
+
+let prop_btree_matches_reference (flat, _) =
+  (* Insert every (A-value, synthetic rid); tree lookups and ranges
+     must agree with a reference association list. *)
+  let tree = Btree.create ~fanout:4 () in
+  let reference = Hashtbl.create 32 in
+  List.iteri
+    (fun i tuple ->
+      let key = Tuple.field (Relation.schema flat) tuple (attr "A") in
+      Btree.insert tree key (rid 0 i);
+      Hashtbl.replace reference key
+        (rid 0 i :: Option.value ~default:[] (Hashtbl.find_opt reference key)))
+    (Relation.tuples flat);
+  Btree.check_invariants tree
+  && Hashtbl.fold
+       (fun key postings acc ->
+         acc
+         &&
+         let stats = Stats.create () in
+         let found = Btree.lookup tree ~stats key in
+         List.length found = List.length postings)
+       reference true
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "nf2-wal" ".log" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_wal_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      let t1 = row schema2 [ "a1"; "b1" ] and t2 = row schema2 [ "a2"; "b2" ] in
+      Wal.append wal (Wal.Insert t1);
+      Wal.append wal (Wal.Insert t2);
+      Wal.append wal (Wal.Delete t1);
+      Wal.close wal;
+      match Wal.replay path with
+      | [ Wal.Insert r1; Wal.Insert r2; Wal.Delete r3 ] ->
+        Alcotest.check tuple_testable "first" t1 r1;
+        Alcotest.check tuple_testable "second" t2 r2;
+        Alcotest.check tuple_testable "third" t1 r3
+      | entries ->
+        Alcotest.failf "expected 3 entries, got %d" (List.length entries))
+
+let test_wal_missing_file () =
+  Alcotest.(check int) "no file, no entries" 0
+    (List.length (Wal.replay "/tmp/nf2-definitely-not-here.log"))
+
+let test_wal_crash_truncation () =
+  (* Whatever byte the crash cut the log at, replay recovers exactly
+     the complete prefix of entries. *)
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      let tuples =
+        List.init 5 (fun i -> row schema2 [ Printf.sprintf "a%d" i; "b" ])
+      in
+      List.iter (fun t -> Wal.append wal (Wal.Insert t)) tuples;
+      Wal.close wal;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let total = String.length full in
+      for cut = 0 to total - 1 do
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (String.sub full 0 cut));
+        let recovered = Wal.replay path in
+        Alcotest.(check bool)
+          (Printf.sprintf "prefix at cut %d" cut)
+          true
+          (List.length recovered <= 5
+          && List.for_all2
+               (fun entry expected ->
+                 match entry with
+                 | Wal.Insert t -> Tuple.equal t expected
+                 | Wal.Delete _ -> false)
+               recovered
+               (List.filteri (fun i _ -> i < List.length recovered) tuples))
+      done)
+
+let test_wal_reset () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      Wal.append wal (Wal.Insert (row schema2 [ "a"; "b" ]));
+      Wal.close wal;
+      Wal.reset path;
+      Alcotest.(check int) "empty after reset" 0 (List.length (Wal.replay path)))
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ab_order = [ attr "A"; attr "B" ]
+
+let test_table_basics () =
+  let table = Table.create ~order:ab_order schema2 in
+  Alcotest.(check bool) "insert" true (Table.insert table (row schema2 [ "a1"; "b1" ]));
+  Alcotest.(check bool) "dup insert" false
+    (Table.insert table (row schema2 [ "a1"; "b1" ]));
+  ignore (Table.insert table (row schema2 [ "a2"; "b1" ]));
+  Alcotest.(check int) "one NFR tuple after merge" 1 (Table.cardinality table);
+  Alcotest.(check int) "two facts" 2 (Table.fact_count table);
+  Alcotest.(check bool) "member" true (Table.member table (row schema2 [ "a2"; "b1" ]));
+  Table.delete table (row schema2 [ "a1"; "b1" ]);
+  Alcotest.(check int) "one fact" 1 (Table.fact_count table);
+  Alcotest.check_raises "absent delete" Nfr_core.Update.Not_in_relation (fun () ->
+      Table.delete table (row schema2 [ "zz"; "zz" ]))
+
+let test_table_physical_consistency () =
+  let flat = Workload.Scenarios.university_relationship ~rows:120 () in
+  let order = Schema.attributes (Relation.schema flat) in
+  let table = Table.load ~order flat in
+  (* Every snapshot tuple is reachable by lookup on each of its values,
+     and a scan sees exactly the snapshot. *)
+  let stats = Stats.create () in
+  let snapshot = Nfr_core.Nfr.ntuples (Table.snapshot table) in
+  Alcotest.(check int) "live = snapshot" (List.length snapshot)
+    (Table.live_records table);
+  let seen = ref 0 in
+  Table.scan table ~stats (fun nt ->
+      incr seen;
+      Alcotest.(check bool) "scanned tuple is in snapshot" true
+        (List.exists (Nfr_core.Ntuple.equal nt) snapshot));
+  Alcotest.(check int) "scan count" (List.length snapshot) !seen;
+  List.iter
+    (fun nt ->
+      let attribute = attr "Student" in
+      let position =
+        Schema.position (Relation.schema flat) attribute
+      in
+      Nfr_core.Vset.fold
+        (fun value () ->
+          Alcotest.(check bool) "lookup finds it" true
+            (List.exists (Nfr_core.Ntuple.equal nt)
+               (Table.lookup table ~stats attribute value)))
+        (Nfr_core.Ntuple.component nt position)
+        ())
+    snapshot
+
+let test_table_tombstones_and_compaction () =
+  let flat = Workload.Scenarios.university_relationship ~rows:100 () in
+  let order = Schema.attributes (Relation.schema flat) in
+  let table = Table.load ~order flat in
+  let victims = Workload.Gen.delete_stream ~seed:5 flat 40 in
+  List.iter (fun tuple -> Table.delete table tuple) victims;
+  Alcotest.(check bool) "tombstones accumulated" true (Table.dead_records table > 0);
+  let before_pages = Table.pages table in
+  let snapshot_before = Table.snapshot table in
+  Table.compact table;
+  Alcotest.(check int) "no tombstones after compaction" 0
+    (Table.dead_records table);
+  Alcotest.(check bool) "pages reclaimed" true (Table.pages table <= before_pages);
+  Alcotest.(check bool) "snapshot unchanged" true
+    (Nfr_core.Nfr.equal snapshot_before (Table.snapshot table));
+  (* Physical still consistent after compaction. *)
+  let stats = Stats.create () in
+  let seen = ref 0 in
+  Table.scan table ~stats (fun _ -> incr seen);
+  Alcotest.(check int) "scan count after compaction"
+    (Nfr_core.Nfr.cardinality snapshot_before)
+    !seen
+
+let test_table_wal_recovery () =
+  with_temp_file (fun wal_path ->
+      Sys.remove wal_path;
+      let table = Table.create ~wal_path ~order:ab_order schema2 in
+      let ops =
+        [ "a1", "b1"; "a2", "b1"; "a1", "b2"; "a3", "b3" ]
+      in
+      List.iter (fun (a, b) -> ignore (Table.insert table (row schema2 [ a; b ]))) ops;
+      Table.delete table (row schema2 [ "a3"; "b3" ]);
+      let expected = Table.snapshot table in
+      Table.close table;
+      (* Recover from the log alone. *)
+      let recovered = Table.recover ~wal_path ~order:ab_order schema2 in
+      Alcotest.(check bool) "recovered snapshot equals original" true
+        (Nfr_core.Nfr.equal expected (Table.snapshot recovered));
+      Table.close recovered)
+
+let test_table_wal_crash_mid_write () =
+  with_temp_file (fun wal_path ->
+      Sys.remove wal_path;
+      let table = Table.create ~wal_path ~order:ab_order schema2 in
+      ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+      ignore (Table.insert table (row schema2 [ "a2"; "b2" ]));
+      Table.close table;
+      (* Simulate a crash that tore the last entry. *)
+      let full = In_channel.with_open_bin wal_path In_channel.input_all in
+      Out_channel.with_open_bin wal_path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full - 3)));
+      let recovered = Table.recover ~wal_path ~order:ab_order schema2 in
+      Alcotest.(check int) "only the first insert survives" 1
+        (Table.fact_count recovered);
+      Table.close recovered)
+
+let test_table_checkpoint () =
+  with_temp_file (fun wal_path ->
+      Sys.remove wal_path;
+      let table = Table.create ~wal_path ~order:ab_order schema2 in
+      ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+      Table.checkpoint table;
+      Alcotest.(check int) "wal empty after checkpoint" 0
+        (List.length (Wal.replay wal_path));
+      (* Updates after the checkpoint are logged again. *)
+      ignore (Table.insert table (row schema2 [ "a2"; "b2" ]));
+      Alcotest.(check int) "one entry" 1 (List.length (Wal.replay wal_path));
+      Table.close table)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_table_matches_store (flat, order) =
+  let table = Table.load ~order flat in
+  let stream = Workload.Gen.insert_stream ~seed:9 flat 5 in
+  List.iter (fun tuple -> ignore (Table.insert table tuple)) stream;
+  List.iter
+    (fun tuple -> Table.delete table tuple)
+    (List.filteri (fun i _ -> i < 3) (Relation.tuples flat));
+  (* Physical scan agrees with the logical snapshot. *)
+  let stats = Stats.create () in
+  let scanned = ref [] in
+  Table.scan table ~stats (fun nt -> scanned := nt :: !scanned);
+  let snapshot = Nfr_core.Nfr.ntuples (Table.snapshot table) in
+  List.length !scanned = List.length snapshot
+  && List.for_all
+       (fun nt -> List.exists (Nfr_core.Ntuple.equal nt) snapshot)
+       !scanned
+
+let prop_tuple_roundtrip (flat, _) =
+  List.for_all
+    (fun tuple ->
+      let buffer = Buffer.create 32 in
+      Codec.encode_tuple buffer tuple;
+      let decoded, _ = Codec.decode_tuple (Buffer.to_bytes buffer) 0 in
+      Tuple.equal tuple decoded)
+    (Relation.tuples flat)
+
+let prop_ntuple_roundtrip (flat, order) =
+  let canonical = Nest.canonical flat order in
+  List.for_all
+    (fun ntuple ->
+      let buffer = Buffer.create 32 in
+      Codec.encode_ntuple buffer ntuple;
+      let decoded, _ = Codec.decode_ntuple (Buffer.to_bytes buffer) 0 in
+      Ntuple.equal ntuple decoded)
+    (Nfr.ntuples canonical)
+
+let prop_store_preserves_answers (flat, order) =
+  let canonical = Nest.canonical flat order in
+  let store = Engine.load_nfr canonical in
+  let stats = Stats.create () in
+  (* Every stored ntuple must come back through the index on each of
+     its component values. *)
+  List.for_all
+    (fun nt ->
+      List.for_all
+        (fun (position, component) ->
+          Vset.for_all
+            (fun value ->
+              let attribute =
+                Schema.attribute_at (Nfr.schema canonical) position
+              in
+              List.exists (Ntuple.equal nt)
+                (Engine.nfr_lookup_contains store ~stats attribute value))
+            component)
+        (List.mapi (fun i c -> (i, c)) (Ntuple.components nt)))
+    (Nfr.ntuples canonical)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "values" `Quick test_codec_values;
+          Alcotest.test_case "varint" `Quick test_codec_varint;
+          Alcotest.test_case "tuples" `Quick test_codec_tuples;
+          Alcotest.test_case "ntuples" `Quick test_codec_ntuples;
+          Alcotest.test_case "NFR encodes smaller" `Quick
+            test_codec_sizes_favor_nfr;
+        ] );
+      ( "pages",
+        [
+          Alcotest.test_case "append/get" `Quick test_page_append_get;
+          Alcotest.test_case "overflow" `Quick test_page_overflow;
+          Alcotest.test_case "heap spans pages" `Quick test_heap_spans_pages;
+          Alcotest.test_case "scan charges stats" `Quick
+            test_heap_scan_charges_stats;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "footprints" `Quick test_engine_footprints;
+          Alcotest.test_case "scan vs lookup" `Quick
+            test_engine_scan_agrees_with_lookup;
+          Alcotest.test_case "semantic agreement" `Quick
+            test_engine_semantic_agreement;
+          Alcotest.test_case "page counts" `Quick
+            test_engine_scan_touches_fewer_nfr_pages;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basics;
+          Alcotest.test_case "splits and order" `Quick
+            test_btree_splits_and_order;
+          Alcotest.test_case "range" `Quick test_btree_range;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_wal_missing_file;
+          Alcotest.test_case "crash truncation at every byte" `Quick
+            test_wal_crash_truncation;
+          Alcotest.test_case "reset" `Quick test_wal_reset;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "physical consistency" `Quick
+            test_table_physical_consistency;
+          Alcotest.test_case "tombstones and compaction" `Quick
+            test_table_tombstones_and_compaction;
+          Alcotest.test_case "range queries" `Quick (fun () ->
+              let flat = Workload.Scenarios.university_relationship ~rows:80 () in
+              let order = Schema.attributes (Relation.schema flat) in
+              let table = Table.load ~ordered_on:(attr "Student") ~order flat in
+              let stats = Stats.create () in
+              let hits =
+                Table.range table ~stats ~lo:(v "student1") ~hi:(v "student3")
+              in
+              (* Reference: scan and filter. *)
+              let position = Schema.position (Relation.schema flat) (attr "Student") in
+              let expected = ref 0 in
+              Table.scan table ~stats (fun nt ->
+                  if
+                    Nfr_core.Vset.exists
+                      (fun value ->
+                        Value.compare (v "student1") value <= 0
+                        && Value.compare value (v "student3") <= 0)
+                      (Nfr_core.Ntuple.component nt position)
+                  then incr expected);
+              Alcotest.(check int) "range = filtered scan" !expected
+                (List.length hits);
+              (* Deleted facts leave the range. *)
+              (match
+                 List.find_opt
+                   (fun tuple ->
+                     Value.equal
+                       (Tuple.field (Relation.schema flat) tuple (attr "Student"))
+                       (v "student2"))
+                   (Relation.tuples flat)
+               with
+              | Some victim ->
+                Table.delete table victim;
+                let stats2 = Stats.create () in
+                let hits2 =
+                  Table.range table ~stats:stats2 ~lo:(v "student2")
+                    ~hi:(v "student2")
+                in
+                Alcotest.(check bool) "victim's fact gone from range" true
+                  (List.for_all
+                     (fun nt ->
+                       not (Nfr_core.Ntuple.contains_tuple nt victim))
+                     hits2)
+              | None -> ());
+              Alcotest.(check bool) "no ordered index raises" true
+                (match
+                   Table.range (Table.load ~order flat) ~stats ~lo:(v "a")
+                     ~hi:(v "b")
+                 with
+                | exception Invalid_argument _ -> true
+                | _ -> false));
+          Alcotest.test_case "WAL recovery" `Quick test_table_wal_recovery;
+          Alcotest.test_case "crash mid-write" `Quick
+            test_table_wal_crash_mid_write;
+          Alcotest.test_case "checkpoint" `Quick test_table_checkpoint;
+          Alcotest.test_case "snapshot save/load + WAL tail" `Quick
+            (fun () ->
+              let snap_path = Filename.temp_file "nf2-snap" ".bin" in
+              let wal_path = Filename.temp_file "nf2-snapwal" ".wal" in
+              Sys.remove wal_path;
+              Fun.protect
+                ~finally:(fun () ->
+                  List.iter
+                    (fun p -> if Sys.file_exists p then Sys.remove p)
+                    [ snap_path; wal_path ])
+                (fun () ->
+                  let table =
+                    Table.create ~wal_path ~order:ab_order schema2
+                  in
+                  ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+                  ignore (Table.insert table (row schema2 [ "a2"; "b1" ]));
+                  (* Checkpoint: snapshot + WAL reset. *)
+                  Table.save_snapshot table snap_path;
+                  Table.checkpoint table;
+                  (* Post-checkpoint updates land only in the WAL. *)
+                  ignore (Table.insert table (row schema2 [ "a1"; "b2" ]));
+                  Table.delete table (row schema2 [ "a2"; "b1" ]);
+                  let expected = Table.snapshot table in
+                  Table.close table;
+                  (* Full recovery: snapshot + WAL tail. *)
+                  let recovered =
+                    Table.load_snapshot ~wal_path snap_path
+                  in
+                  Alcotest.(check bool) "snapshot + tail = live state" true
+                    (Nfr_core.Nfr.equal expected (Table.snapshot recovered));
+                  Table.close recovered;
+                  (* Snapshot alone recovers the checkpoint state. *)
+                  let at_checkpoint = Table.load_snapshot snap_path in
+                  Alcotest.(check int) "two facts at checkpoint" 2
+                    (Table.fact_count at_checkpoint);
+                  Alcotest.(check bool) "garbage snapshot fails loudly" true
+                    (match
+                       Out_channel.with_open_bin snap_path (fun oc ->
+                           Out_channel.output_string oc "\x00garbage");
+                       Table.load_snapshot snap_path
+                     with
+                    | exception Failure _ -> true
+                    | exception Schema.Schema_error _ -> true
+                    | _ -> false)));
+        ] );
+      ( "properties",
+        [
+          qtest ~count:60 "table scan = logical snapshot"
+            (arbitrary_relation_with_order ())
+            prop_table_matches_store;
+          qtest ~count:100 "btree matches reference"
+            (arbitrary_relation_with_order ())
+            prop_btree_matches_reference;
+          qtest ~count:100 "tuple codec roundtrip"
+            (arbitrary_relation_with_order ())
+            prop_tuple_roundtrip;
+          qtest ~count:100 "ntuple codec roundtrip"
+            (arbitrary_relation_with_order ())
+            prop_ntuple_roundtrip;
+          qtest ~count:60 "index completeness"
+            (arbitrary_relation_with_order ())
+            prop_store_preserves_answers;
+        ] );
+    ]

@@ -1,0 +1,382 @@
+(* Section 4's update algorithms: unit cases plus the property that
+   pins their whole specification — insert/delete on a canonical NFR
+   lands exactly on the canonical form of the updated flattening. *)
+
+open Relational
+open Nfr_core
+open Support
+
+let ab_order = [ attr "A"; attr "B" ]
+
+let test_insert_into_empty () =
+  let empty = Nfr.empty schema2 in
+  let inserted = Update.insert ~order:ab_order empty (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.check nfr_testable "single simple tuple"
+    (nfr schema2 [ [ [ "a1" ]; [ "b1" ] ] ])
+    inserted
+
+let test_insert_composes_on_first_attribute () =
+  let r = nfr schema2 [ [ [ "a1" ]; [ "b1" ] ] ] in
+  let inserted = Update.insert ~order:ab_order r (row schema2 [ "a2"; "b1" ]) in
+  Alcotest.check nfr_testable "A components merged"
+    (nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ] ])
+    inserted
+
+let test_insert_composes_on_second_attribute () =
+  let r = nfr schema2 [ [ [ "a1" ]; [ "b1" ] ] ] in
+  let inserted = Update.insert ~order:ab_order r (row schema2 [ "a1"; "b2" ]) in
+  Alcotest.check nfr_testable "B components merged"
+    (nfr schema2 [ [ [ "a1" ]; [ "b1"; "b2" ] ] ])
+    inserted
+
+let test_insert_cascades () =
+  (* R = [A(a1,a2) B(b1)], [A(a1) B(b2)]; inserting (a2,b2) completes
+     the rectangle: one tuple [A(a1,a2) B(b1,b2)]. *)
+  let r =
+    nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ]
+  in
+  let inserted = Update.insert ~order:ab_order r (row schema2 [ "a2"; "b2" ]) in
+  Alcotest.check nfr_testable "rectangle completed"
+    (nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1"; "b2" ] ] ])
+    inserted
+
+let test_insert_duplicate_is_noop () =
+  let r = nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ] ] in
+  let inserted = Update.insert ~order:ab_order r (row schema2 [ "a2"; "b1" ]) in
+  Alcotest.check nfr_testable "unchanged" r inserted
+
+let test_insert_splits_candidate () =
+  (* R = [A(a1,a2) B(b1)] (canonical for order B,A over {a1b1,a2b1}).
+     Insert (a1,b2) under order B,A: the candidate must be split on A
+     before composing on B. *)
+  let r = nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ] ] in
+  let ba_order = [ attr "B"; attr "A" ] in
+  let inserted = Update.insert ~order:ba_order r (row schema2 [ "a1"; "b2" ]) in
+  Alcotest.check nfr_testable "split then merged"
+    (nfr schema2 [ [ [ "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b1"; "b2" ] ] ])
+    inserted;
+  (* Under order A,B the same insert extends the b2 group instead. *)
+  let inserted_ab = Update.insert ~order:ab_order r (row schema2 [ "a1"; "b2" ]) in
+  Alcotest.check nfr_testable "A,B order keeps the b1 group"
+    (nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ])
+    inserted_ab
+
+let test_delete_simple () =
+  let r = nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ] ] in
+  let deleted = Update.delete ~order:ab_order r (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.check nfr_testable "one value peeled"
+    (nfr schema2 [ [ [ "a2" ]; [ "b1" ] ] ])
+    deleted
+
+let test_delete_last_tuple () =
+  let r = nfr schema2 [ [ [ "a1" ]; [ "b1" ] ] ] in
+  let deleted = Update.delete ~order:ab_order r (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.(check bool) "empty" true (Nfr.is_empty deleted)
+
+let test_delete_absent_raises () =
+  let r = nfr schema2 [ [ [ "a1" ]; [ "b1" ] ] ] in
+  Alcotest.check_raises "Not_in_relation" Update.Not_in_relation (fun () ->
+      ignore (Update.delete ~order:ab_order r (row schema2 [ "a9"; "b9" ])))
+
+let test_delete_rectangle_corner () =
+  (* R = [A(a1,a2) B(b1,b2)]; deleting the corner (a1,b1) leaves an
+     L-shape whose canonical form (order A,B) has two tuples. *)
+  let r = nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1"; "b2" ] ] ] in
+  let deleted = Update.delete ~order:ab_order r (row schema2 [ "a1"; "b1" ]) in
+  Alcotest.check nfr_testable "L-shape"
+    (nfr schema2 [ [ [ "a2" ]; [ "b1" ] ]; [ [ "a1"; "a2" ]; [ "b2" ] ] ])
+    deleted
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_insert_matches_canonical (flat, order) =
+  let canonical = Nest.canonical flat order in
+  (* Insert a tuple not in the relation (derived from the alphabet by
+     using fresh values). *)
+  let fresh =
+    Tuple.make (Relation.schema flat)
+      (List.map
+         (fun a -> Value.of_string (Attribute.name a ^ "-fresh"))
+         (Schema.attributes (Relation.schema flat)))
+  in
+  let incremental = Update.insert ~order canonical fresh in
+  let recomputed = Nest.canonical (Relation.add flat fresh) order in
+  Nfr.equal incremental recomputed
+
+let prop_insert_existing_alphabet (flat, tuple) =
+  (* Insert a tuple drawn from the same small alphabet (often causing
+     deep recons cascades) for every permutation of the schema. *)
+  let schema = Relation.schema flat in
+  List.for_all
+    (fun order ->
+      let canonical = Nest.canonical flat order in
+      let incremental = Update.insert ~order canonical tuple in
+      let recomputed = Nest.canonical (Relation.add flat tuple) order in
+      Nfr.equal incremental recomputed)
+    (Schema.permutations schema)
+
+let prop_delete_matches_canonical (flat, order) =
+  match Relation.tuples flat with
+  | [] -> true
+  | victim :: _ ->
+    let canonical = Nest.canonical flat order in
+    let incremental = Update.delete ~order canonical victim in
+    let recomputed = Nest.canonical (Relation.remove flat victim) order in
+    Nfr.equal incremental recomputed
+
+let prop_delete_every_tuple (flat, order) =
+  let canonical = Nest.canonical flat order in
+  List.for_all
+    (fun victim ->
+      let incremental = Update.delete ~order canonical victim in
+      Nfr.equal incremental (Nest.canonical (Relation.remove flat victim) order))
+    (Relation.tuples flat)
+
+let prop_build_matches_canonical (flat, order) =
+  Nfr.equal (Update.build ~order flat) (Nest.canonical flat order)
+
+let prop_insert_delete_roundtrip (flat, tuple) =
+  let order = Schema.attributes (Relation.schema flat) in
+  if Relation.mem flat tuple then true
+  else
+    let canonical = Nest.canonical flat order in
+    let there = Update.insert ~order canonical tuple in
+    let back = Update.delete ~order there tuple in
+    Nfr.equal back canonical
+
+let prop_updates_preserve_well_formedness (flat, tuple) =
+  let order = Schema.attributes (Relation.schema flat) in
+  let canonical = Nest.canonical flat order in
+  let inserted = Update.insert ~order canonical tuple in
+  Nfr.well_formed inserted
+
+(* ------------------------------------------------------------------ *)
+(* The indexed Store agrees with the scan-based functions              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_store_insert_agrees (flat, order) =
+  let store = Update.Store.of_nfr ~order (Nest.canonical flat order) in
+  let victims =
+    Tuple.make (Relation.schema flat)
+      (List.map
+         (fun a -> Value.of_string (Attribute.name a ^ "-new"))
+         (Schema.attributes (Relation.schema flat)))
+    :: Relation.tuples flat
+  in
+  List.for_all
+    (fun tuple ->
+      let expected = Nfr.member_tuple (Update.Store.snapshot store) tuple in
+      let changed = Update.Store.insert store tuple in
+      changed <> expected
+      && Nfr.equal (Update.Store.snapshot store)
+           (Nest.canonical
+              (Relation.add (Nfr.flatten (Update.Store.snapshot store)) tuple)
+              order))
+    victims
+
+let prop_store_delete_agrees (flat, order) =
+  let store = Update.Store.of_nfr ~order (Nest.canonical flat order) in
+  List.for_all
+    (fun tuple ->
+      Update.Store.delete store tuple;
+      let expected =
+        Nest.canonical (Relation.remove (Nfr.flatten (Nest.canonical flat order)) tuple) order
+      in
+      ignore expected;
+      Nest.is_canonical (Update.Store.snapshot store) order
+      && not (Update.Store.member store tuple))
+    (List.filteri (fun i _ -> i < 4) (Relation.tuples flat))
+
+let prop_store_full_drain (flat, order) =
+  (* Delete everything; the store must reach empty through canonical
+     intermediate states. *)
+  let store = Update.Store.of_nfr ~order (Nest.canonical flat order) in
+  List.iter (fun tuple -> Update.Store.delete store tuple) (Relation.tuples flat);
+  Nfr.is_empty (Update.Store.snapshot store)
+
+let prop_store_matches_scan_updates (flat, order) =
+  (* Run the same mixed update stream through the persistent functions
+     and the indexed store; final states must be identical. *)
+  let canonical = Nest.canonical flat order in
+  let store = Update.Store.of_nfr ~order canonical in
+  let fresh suffix =
+    Tuple.make (Relation.schema flat)
+      (List.map
+         (fun a -> Value.of_string (Attribute.name a ^ suffix))
+         (Schema.attributes (Relation.schema flat)))
+  in
+  let inserts = [ fresh "-x"; fresh "-y" ] in
+  let deletes = List.filteri (fun i _ -> i < 2) (Relation.tuples flat) in
+  let by_scan =
+    let after = Update.insert_all ~order canonical inserts in
+    Update.delete_all ~order after deletes
+  in
+  List.iter (fun tuple -> ignore (Update.Store.insert store tuple)) inserts;
+  List.iter (fun tuple -> Update.Store.delete store tuple) deletes;
+  Nfr.equal by_scan (Update.Store.snapshot store)
+
+let test_store_member () =
+  let store =
+    Update.Store.of_nfr ~order:ab_order
+      (nfr schema2 [ [ [ "a1"; "a2" ]; [ "b1" ] ]; [ [ "a1" ]; [ "b2" ] ] ])
+  in
+  Alcotest.(check bool) "member (a2,b1)" true
+    (Update.Store.member store (row schema2 [ "a2"; "b1" ]));
+  Alcotest.(check bool) "not member (a2,b2)" false
+    (Update.Store.member store (row schema2 [ "a2"; "b2" ]));
+  Alcotest.(check int) "cardinality" 2 (Update.Store.cardinality store);
+  Alcotest.check_raises "delete absent" Update.Not_in_relation (fun () ->
+      Update.Store.delete store (row schema2 [ "a9"; "b9" ]))
+
+let test_store_candidate_scans_drop () =
+  (* The point of the index: far fewer candidate examinations than the
+     scan-based search on a larger relation. *)
+  let flat =
+    Relation.of_strings schema2
+      (List.concat_map
+         (fun i ->
+           List.map
+             (fun j -> [ Printf.sprintf "a%d" i; Printf.sprintf "b%d" j ])
+             (List.init 10 Fun.id))
+         (List.init 30 Fun.id))
+  in
+  let order = Schema.attributes schema2 in
+  let canonical = Nest.canonical flat order in
+  let probe = row schema2 [ "a3"; "b999" ] in
+  let scan_stats = Update.fresh_stats () in
+  ignore (Update.insert ~stats:scan_stats ~order canonical probe);
+  let store = Update.Store.of_nfr ~order canonical in
+  let index_stats = Update.fresh_stats () in
+  ignore (Update.Store.insert ~stats:index_stats store probe);
+  Alcotest.(check bool)
+    (Printf.sprintf "indexed %d < scan %d" index_stats.Update.candidate_scans
+       scan_stats.Update.candidate_scans)
+    true
+    (index_stats.Update.candidate_scans < scan_stats.Update.candidate_scans)
+
+let () =
+  Alcotest.run "update"
+    [
+      ( "insert-unit",
+        [
+          Alcotest.test_case "into empty" `Quick test_insert_into_empty;
+          Alcotest.test_case "compose on first attribute" `Quick
+            test_insert_composes_on_first_attribute;
+          Alcotest.test_case "compose on second attribute" `Quick
+            test_insert_composes_on_second_attribute;
+          Alcotest.test_case "cascade to one tuple" `Quick test_insert_cascades;
+          Alcotest.test_case "duplicate is a no-op" `Quick
+            test_insert_duplicate_is_noop;
+          Alcotest.test_case "candidate split" `Quick test_insert_splits_candidate;
+        ] );
+      ( "delete-unit",
+        [
+          Alcotest.test_case "peel one value" `Quick test_delete_simple;
+          Alcotest.test_case "delete last tuple" `Quick test_delete_last_tuple;
+          Alcotest.test_case "absent tuple raises" `Quick
+            test_delete_absent_raises;
+          Alcotest.test_case "rectangle corner" `Quick
+            test_delete_rectangle_corner;
+        ] );
+      ( "properties",
+        [
+          qtest "insert fresh = recomputed canonical"
+            (arbitrary_relation_with_order ())
+            prop_insert_matches_canonical;
+          qtest ~count:100 "insert alphabet tuple, all orders"
+            (arbitrary_relation_and_row ())
+            prop_insert_existing_alphabet;
+          qtest "delete first = recomputed canonical"
+            (arbitrary_relation_with_order ())
+            prop_delete_matches_canonical;
+          qtest ~count:60 "delete every tuple"
+            (arbitrary_relation_with_order ())
+            prop_delete_every_tuple;
+          qtest ~count:100 "incremental build = canonical"
+            (arbitrary_relation_with_order ())
+            prop_build_matches_canonical;
+          qtest "insert then delete returns" (arbitrary_relation_and_row ())
+            prop_insert_delete_roundtrip;
+          qtest "updates preserve well-formedness"
+            (arbitrary_relation_and_row ())
+            prop_updates_preserve_well_formedness;
+        ] );
+      ( "theorem-a4",
+        [
+          Alcotest.test_case "compositions flat across 10x size" `Quick
+            (fun () ->
+              (* The E7 claim as a regression test: mean compositions
+                 per insert at |R*|=1200 is within 3x of |R*|=120. *)
+              let cost rows seed =
+                let flat =
+                  Workload.Gen.relationship ~seed ~rows
+                    [
+                      Workload.Gen.column ~domain:(max 8 (rows / 4)) "A";
+                      Workload.Gen.column ~domain:12 "B";
+                      Workload.Gen.column ~domain:5 "C";
+                    ]
+                in
+                let order = Schema.attributes (Relation.schema flat) in
+                let canonical = Nest.canonical flat order in
+                let stats = Update.fresh_stats () in
+                let stream = Workload.Gen.insert_stream ~seed:(seed + 1) flat 25 in
+                List.iter
+                  (fun tuple -> ignore (Update.insert ~stats ~order canonical tuple))
+                  stream;
+                float_of_int stats.Update.compositions
+                /. float_of_int (List.length stream)
+              in
+              let small = cost 120 41 and large = cost 1200 42 in
+              Alcotest.(check bool)
+                (Printf.sprintf "small=%.2f large=%.2f" small large)
+                true
+                (large <= (3. *. small) +. 1.))
+        ] );
+      ( "lemma-a1",
+        [
+          qtest ~count:150 "at most one candidate at the minimal position"
+            (arbitrary_relation_and_row ())
+            (fun (flat, probe) ->
+              let order = Schema.attributes (Relation.schema flat) in
+              let canonical = Nest.canonical flat order in
+              if Nfr.member_tuple canonical probe then true
+              else begin
+                let probe_nt = Ntuple.of_tuple probe in
+                let n = List.length order in
+                (* The paper's claim is for the minimal position with
+                   any candidate. *)
+                let rec check m =
+                  if m >= n then true
+                  else
+                    match
+                      Update.lemma_a1_candidates ~order canonical probe_nt
+                        ~position:m
+                    with
+                    | [] -> check (m + 1)
+                    | [ _ ] -> true
+                    | _ :: _ :: _ -> false
+                in
+                check 0
+              end);
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "member/cardinality" `Quick test_store_member;
+          Alcotest.test_case "index reduces candidate scans" `Quick
+            test_store_candidate_scans_drop;
+          qtest ~count:100 "store insert = recomputed canonical"
+            (arbitrary_relation_with_order ())
+            prop_store_insert_agrees;
+          qtest ~count:100 "store delete stays canonical"
+            (arbitrary_relation_with_order ())
+            prop_store_delete_agrees;
+          qtest ~count:100 "store drains to empty"
+            (arbitrary_relation_with_order ())
+            prop_store_full_drain;
+          qtest ~count:100 "store = scan on mixed stream"
+            (arbitrary_relation_with_order ())
+            prop_store_matches_scan_updates;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Workload generators: determinism, structural guarantees (the MVDs
+   the entity generator promises), distribution sanity for Zipf. *)
+
+open Relational
+open Dependency
+open Workload
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let seq rng = List.init 20 (fun _ -> Prng.int rng 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Prng.create 8 in
+  Alcotest.(check bool) "different seed differs" true (seq (Prng.create 7) <> seq c)
+
+let test_prng_bounds () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done;
+  Alcotest.(check bool) "zero bound rejected" true
+    (match Prng.int rng 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_prng_float_range () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_sample_distinct () =
+  let rng = Prng.create 3 in
+  let sample = Prng.sample_distinct rng 5 10 in
+  Alcotest.(check int) "five drawn" 5 (List.length sample);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare sample));
+  List.iter
+    (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 10))
+    sample;
+  Alcotest.(check bool) "k > bound rejected" true
+    (match Prng.sample_distinct rng 11 10 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:50 ~s:1.2 in
+  let rng = Prng.create 4 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let rank = Zipf.sample z rng in
+    counts.(rank) <- counts.(rank) + 1
+  done;
+  Alcotest.(check bool) "rank 0 dominates rank 10" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 10 dominates rank 40" true
+    (counts.(10) > counts.(40))
+
+let test_zipf_uniform_when_s_zero () =
+  let z = Zipf.create ~n:10 ~s:0. in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "pmf flat" true (abs_float (Zipf.pmf z i -. 0.1) < 1e-9))
+    (List.init 10 Fun.id)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:30 ~s:0.8 in
+  let total = List.fold_left (fun acc i -> acc +. Zipf.pmf z i) 0. (List.init 30 Fun.id) in
+  Alcotest.(check bool) "sums to 1" true (abs_float (total -. 1.) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_entity_generator_mvd () =
+  let r =
+    Gen.entity ~seed:11 ~entities:15 ~key:"K"
+      [ Gen.dependent ~domain:10 ~set_min:1 ~set_max:3 "X";
+        Gen.dependent ~domain:10 ~set_min:1 ~set_max:3 "Y" ]
+  in
+  (* The promised MVD holds. *)
+  Alcotest.(check bool) "K ->-> X | Y" true
+    (Mvd.satisfied_by r (Mvd.of_names [ "K" ] [ "X" ]));
+  (* And is non-trivial: some key has more than one X. *)
+  let nfr = Nfr_core.Nest.canonical r
+      [ attr "X"; attr "Y"; attr "K" ]
+  in
+  Alcotest.(check bool) "nesting compresses" true
+    (Nfr_core.Nfr.cardinality nfr < Relation.cardinality r)
+
+let test_entity_generator_deterministic () =
+  let make () =
+    Gen.entity ~seed:12 ~entities:5 ~key:"K" [ Gen.dependent ~domain:6 "X" ]
+  in
+  Alcotest.check relation_testable "reproducible" (make ()) (make ())
+
+let test_relationship_generator () =
+  let r =
+    Gen.relationship ~seed:13 ~rows:100
+      [ Gen.column ~domain:30 "A"; Gen.column ~domain:30 "B" ]
+  in
+  Alcotest.(check int) "requested rows" 100 (Relation.cardinality r);
+  Alcotest.(check bool) "overfull space rejected" true
+    (match Gen.relationship ~seed:1 ~rows:100 [ Gen.column ~domain:5 "A" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_insert_stream_fresh () =
+  let r =
+    Gen.relationship ~seed:14 ~rows:50
+      [ Gen.column ~domain:20 "A"; Gen.column ~domain:20 "B" ]
+  in
+  let stream = Gen.insert_stream ~seed:15 r 20 in
+  Alcotest.(check int) "twenty tuples" 20 (List.length stream);
+  List.iter
+    (fun tuple ->
+      Alcotest.(check bool) "not already present" false (Relation.mem r tuple))
+    stream;
+  Alcotest.(check int) "distinct" 20
+    (List.length (List.sort_uniq Tuple.compare stream))
+
+let test_delete_stream () =
+  let r =
+    Gen.relationship ~seed:16 ~rows:50
+      [ Gen.column ~domain:20 "A"; Gen.column ~domain:20 "B" ]
+  in
+  let stream = Gen.delete_stream ~seed:17 r 30 in
+  Alcotest.(check int) "thirty victims" 30 (List.length stream);
+  List.iter
+    (fun tuple -> Alcotest.(check bool) "present" true (Relation.mem r tuple))
+    stream;
+  Alcotest.(check bool) "too many rejected" true
+    (match Gen.delete_stream ~seed:1 r 51 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_trace_validity () =
+  let start =
+    Gen.relationship ~seed:21 ~rows:20
+      [ Gen.column ~domain:8 "A"; Gen.column ~domain:8 "B" ]
+  in
+  let trace = Trace.mixed ~seed:22 start ~ops:200 in
+  Alcotest.(check int) "requested length" 200 (List.length trace);
+  (* Replaying against a shadow set must never insert a duplicate or
+     delete an absent tuple. *)
+  let live = ref start in
+  List.iter
+    (fun op ->
+      match op with
+      | Trace.Insert t ->
+        Alcotest.(check bool) "insert is fresh" false (Relation.mem !live t);
+        live := Relation.add !live t
+      | Trace.Delete t ->
+        Alcotest.(check bool) "delete hits live" true (Relation.mem !live t);
+        live := Relation.remove !live t)
+    trace;
+  Alcotest.check relation_testable "final_relation agrees"
+    (Trace.final_relation start trace)
+    !live;
+  (* Deterministic. *)
+  Alcotest.(check bool) "same seed, same trace" true
+    (Trace.mixed ~seed:22 start ~ops:200 = trace)
+
+let test_trace_drives_store () =
+  let schema = Schema.strings [ "A"; "B" ] in
+  let start = Relation.empty schema in
+  let trace = Trace.mixed ~seed:23 ~zipf_s:1.2 start ~ops:300 in
+  let order = Schema.attributes schema in
+  let store = Nfr_core.Update.Store.create ~order schema in
+  Trace.replay trace
+    ~insert:(fun t -> ignore (Nfr_core.Update.Store.insert store t))
+    ~delete:(fun t -> Nfr_core.Update.Store.delete store t);
+  Alcotest.check relation_testable "store tracks the trace"
+    (Trace.final_relation start trace)
+    (Nfr_core.Nfr.flatten (Nfr_core.Update.Store.snapshot store))
+
+let test_scenarios_shapes () =
+  let entity = Scenarios.university_entity ~students:8 () in
+  Alcotest.(check (list string)) "entity schema" [ "Student"; "Course"; "Club" ]
+    (List.map Attribute.name (Schema.attributes (Relation.schema entity)));
+  let relationship = Scenarios.university_relationship ~rows:40 () in
+  Alcotest.(check int) "relationship rows" 40 (Relation.cardinality relationship);
+  let wide = Scenarios.wide ~degree:5 ~rows:30 () in
+  Alcotest.(check int) "wide degree" 5 (Schema.degree (Relation.schema wide));
+  let bib = Scenarios.bibliography ~papers:6 () in
+  Alcotest.(check bool) "bibliography MVD" true
+    (Mvd.satisfied_by bib (Mvd.of_names [ "Paper" ] [ "Author" ]))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform at s=0" `Quick
+            test_zipf_uniform_when_s_zero;
+          Alcotest.test_case "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "entity MVD" `Quick test_entity_generator_mvd;
+          Alcotest.test_case "deterministic" `Quick
+            test_entity_generator_deterministic;
+          Alcotest.test_case "relationship" `Quick test_relationship_generator;
+          Alcotest.test_case "insert stream" `Quick test_insert_stream_fresh;
+          Alcotest.test_case "delete stream" `Quick test_delete_stream;
+          Alcotest.test_case "scenarios" `Quick test_scenarios_shapes;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "validity and determinism" `Quick
+            test_trace_validity;
+          Alcotest.test_case "drives the canonical store" `Quick
+            test_trace_drives_store;
+        ] );
+    ]
