@@ -1,4 +1,8 @@
-.PHONY: all build test bench reports timings examples doc clean loc
+.PHONY: all build test crashtest bench reports timings examples doc clean loc
+
+# Fixed seed so a failing matrix cell reproduces byte-for-byte;
+# override with CRASH_SEED=n make crashtest.
+CRASH_SEED ?= 42
 
 all: build
 
@@ -10,6 +14,9 @@ test:
 
 test-force:
 	dune runtest --force --no-buffer
+
+crashtest:
+	CRASH_SEED=$(CRASH_SEED) dune exec test/test_crash.exe
 
 bench:
 	dune exec bench/main.exe

@@ -706,6 +706,83 @@ let x3_access_paths () =
      the ordered attribute use the B+-tree; everything else scans. All paths\n\
      return the same rows as the in-memory evaluator (test_physical.ml).@."
 
+(* ------------------------------------------------------------------ *)
+(* X4 (extension): durability — recovery and salvage                   *)
+(* ------------------------------------------------------------------ *)
+
+let x4_recovery () =
+  banner "X4" "Extension: durability — WAL recovery, salvage, snapshots";
+  let schema = Schema.strings [ "A"; "B"; "C" ] in
+  let order = Schema.attributes schema in
+  let file_size path =
+    In_channel.with_open_bin path In_channel.length |> Int64.to_int
+  in
+  let rows =
+    List.map
+      (fun ops ->
+        let wal_path = Filename.temp_file "nf2-bench" ".wal" in
+        let snap_path = Filename.temp_file "nf2-bench" ".snap" in
+        Sys.remove wal_path;
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> if Sys.file_exists p then Sys.remove p)
+              [ wal_path; snap_path; snap_path ^ ".tmp" ])
+          (fun () ->
+            let trace =
+              Workload.Trace.mixed ~seed:17 (Relation.empty schema) ~ops
+            in
+            let table = Storage.Table.create ~wal_path ~order schema in
+            List.iter
+              (fun op ->
+                match op with
+                | Workload.Trace.Insert t -> ignore (Storage.Table.insert table t)
+                | Workload.Trace.Delete t -> Storage.Table.delete table t)
+              trace;
+            Storage.Table.save_snapshot table snap_path;
+            let facts = Storage.Table.fact_count table in
+            Storage.Table.close table;
+            let wal_bytes = file_size wal_path in
+            (* Clean replay recovers the exact pre-crash state. *)
+            let recovered = Storage.Table.recover ~wal_path ~order schema in
+            let exact = Storage.Table.fact_count recovered = facts in
+            Storage.Table.close recovered;
+            (* One flipped byte mid-log: salvage skips exactly the
+               damaged frame and resumes at the next CRC-valid one. *)
+            let damaged =
+              Bytes.of_string
+                (In_channel.with_open_bin wal_path In_channel.input_all)
+            in
+            let mid = Bytes.length damaged / 2 in
+            Bytes.set damaged mid
+              (Char.chr (Char.code (Bytes.get damaged mid) lxor 0x20));
+            Out_channel.with_open_bin wal_path (fun oc ->
+                Out_channel.output_bytes oc damaged);
+            let salvage = Storage.Wal.replay_salvage wal_path in
+            [
+              string_of_int ops;
+              string_of_int wal_bytes;
+              string_of_int (file_size snap_path);
+              string_of_int facts;
+              (if exact then "yes" else "NO");
+              string_of_int (List.length salvage.Storage.Wal.entries);
+              string_of_int salvage.Storage.Wal.bytes_skipped;
+            ]))
+      [ 100; 400; 1600 ]
+  in
+  print_table
+    [
+      "ops"; "WAL bytes"; "snapshot bytes"; "facts"; "replay exact";
+      "salvaged entries"; "bytes skipped";
+    ]
+    rows;
+  Format.printf
+    "@.A clean log replays to the exact pre-crash state; one flipped byte\n\
+     costs only the damaged frame — salvage scans to the next CRC-valid\n\
+     frame and reports what it skipped. Snapshots (atomic, checksummed,\n\
+     generation-stamped against stale logs) cut recovery to the tail since\n\
+     the last checkpoint.@."
+
 let run_all () =
   e1_fig1_fig2 ();
   e2_example1 ();
@@ -719,4 +796,5 @@ let run_all () =
   e10_incremental ();
   x1_hierarchy ();
   x2_minimum ();
-  x3_access_paths ()
+  x3_access_paths ();
+  x4_recovery ()

@@ -24,6 +24,7 @@ let load_relation path =
   try Ok (Csv.load path) with
   | Sys_error msg -> Error msg
   | Failure msg -> Error msg
+  | Storage.Storage_error.Error err -> Error (Storage.Storage_error.to_string err)
   | Schema.Schema_error msg -> Error msg
 
 let parse_order schema = function

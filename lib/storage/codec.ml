@@ -14,12 +14,28 @@ let encode_varint buffer n =
 
 let decode_varint bytes offset =
   let rec loop offset shift acc =
-    if offset >= Bytes.length bytes then failwith "Codec.decode_varint: truncated";
+    if offset >= Bytes.length bytes then
+      Storage_error.corrupt ~context:"Codec.decode_varint" ~offset "truncated varint";
+    (* 9 * 7 = 63 bits fills the OCaml int; a longer varint is garbage
+       and would otherwise shift into the sign bit and yield a negative
+       length that downstream allocations would choke on. *)
+    if shift > 56 then
+      Storage_error.corrupt ~context:"Codec.decode_varint" ~offset "varint overflow";
     let byte = Char.code (Bytes.get bytes offset) in
     let acc = acc lor ((byte land 0x7F) lsl shift) in
     if byte land 0x80 = 0 then (acc, offset + 1) else loop (offset + 1) (shift + 7) acc
   in
   loop offset 0 0
+
+(* Sanity bound for decoded counts: every encoded element occupies at
+   least one byte, so a count exceeding the bytes left is corruption —
+   rejecting it here keeps [Array.make] from attempting a giant (or,
+   post-overflow, negative) allocation on flipped input. *)
+let check_count ~context bytes offset count =
+  if count < 0 || count > Bytes.length bytes - offset then
+    Storage_error.corrupt ~context ~offset
+      (Printf.sprintf "element count %d exceeds %d remaining bytes" count
+         (Bytes.length bytes - offset))
 
 (* Value tags. *)
 let tag_int = 0
@@ -65,7 +81,8 @@ let decode_value bytes offset =
     (Value.of_int (-i - 1), offset)
   end
   else if tag = tag_float then begin
-    if offset + 8 > Bytes.length bytes then failwith "Codec.decode_value: truncated float";
+    if offset + 8 > Bytes.length bytes then
+      Storage_error.corrupt ~context:"Codec.decode_value" ~offset "truncated float";
     let bits = ref 0L in
     for shift = 7 downto 0 do
       bits :=
@@ -77,13 +94,15 @@ let decode_value bytes offset =
   end
   else if tag = tag_string then begin
     let length, offset = decode_varint bytes offset in
-    if offset + length > Bytes.length bytes then
-      failwith "Codec.decode_value: truncated string";
+    if length < 0 || offset + length > Bytes.length bytes then
+      Storage_error.corrupt ~context:"Codec.decode_value" ~offset "truncated string";
     (Value.of_string (Bytes.sub_string bytes offset length), offset + length)
   end
   else if tag = tag_true then (Value.of_bool true, offset)
   else if tag = tag_false then (Value.of_bool false, offset)
-  else failwith (Printf.sprintf "Codec.decode_value: unknown tag %d" tag)
+  else
+    Storage_error.corrupt ~context:"Codec.decode_value" ~offset
+      (Printf.sprintf "unknown tag %d" tag)
 
 let encode_tuple buffer tuple =
   encode_varint buffer (Tuple.arity tuple);
@@ -91,6 +110,7 @@ let encode_tuple buffer tuple =
 
 let decode_tuple bytes offset =
   let arity, offset = decode_varint bytes offset in
+  check_count ~context:"Codec.decode_tuple" bytes offset arity;
   let values = Array.make arity (Value.of_int 0) in
   let offset = ref offset in
   for i = 0 to arity - 1 do
@@ -110,10 +130,12 @@ let encode_ntuple buffer nt =
 
 let decode_ntuple bytes offset =
   let arity, offset = decode_varint bytes offset in
+  check_count ~context:"Codec.decode_ntuple" bytes offset arity;
   let components = Array.make arity (Vset.singleton (Value.of_int 0)) in
   let offset = ref offset in
   for i = 0 to arity - 1 do
     let cardinal, next = decode_varint bytes !offset in
+    check_count ~context:"Codec.decode_ntuple" bytes next cardinal;
     offset := next;
     let values = ref [] in
     for _ = 1 to cardinal do

@@ -14,7 +14,12 @@ val encode_varint : Buffer.t -> int -> unit
 
 val decode_varint : bytes -> int -> int * int
 (** [decode_varint b off] is [(value, next_offset)].
-    @raise Failure on truncated input. *)
+    @raise Storage_error.Error on truncated or overlong input.
+
+    All decoders below raise {!Storage_error.Error} (never a bare
+    [Failure]) on malformed input, and bound every decoded count by
+    the bytes remaining — a bit-flipped length cannot trigger a giant
+    or negative allocation. *)
 
 val encode_value : Buffer.t -> Value.t -> unit
 val decode_value : bytes -> int -> Value.t * int

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    The durability layer's integrity check: unlike the 1-byte additive
+    checksum the WAL shipped with originally, CRC-32 detects all
+    single-bit errors, all double-bit errors within the frame, and any
+    burst up to 32 bits — random debris passes with probability 2^-32
+    rather than 1/256. Values are 32-bit, returned in an OCaml [int]
+    (always non-negative). *)
+
+val digest : string -> int
+(** CRC-32 of a whole string. *)
+
+val digest_bytes : bytes -> pos:int -> len:int -> int
+(** CRC-32 of a slice, without copying.
+    @raise Invalid_argument on an out-of-bounds slice. *)

@@ -20,6 +20,18 @@ let encode_record encode x =
   encode buffer x;
   Buffer.contents buffer
 
+(* The record bytes pass through the "engine.load.record" failpoint on
+   their way to the heap: a Bit_flip lands silently corrupted (and is
+   caught as a typed error at decode time), a Drop_write vanishes, a
+   Short_write/Crash dies mid-load. *)
+let store_record heap record =
+  match Failpoint.on_write "engine.load.record" record with
+  | Failpoint.Full data -> Some (Heap.append heap data)
+  | Failpoint.Dropped -> None
+  | Failpoint.Partial prefix ->
+    ignore (Heap.append heap prefix);
+    raise (Failpoint.Crashed "engine.load.record")
+
 let load_flat ?page_size r =
   let heap = Heap.create ?page_size () in
   let index = Index.create () in
@@ -27,11 +39,13 @@ let load_flat ?page_size r =
   Relation.iter
     (fun tuple ->
       let record = encode_record Codec.encode_tuple tuple in
-      payload := !payload + String.length record;
-      let rid = Heap.append heap record in
-      List.iteri
-        (fun position value -> Index.add index ~position value rid)
-        (Tuple.values tuple))
+      match store_record heap record with
+      | None -> ()
+      | Some rid ->
+        payload := !payload + String.length record;
+        List.iteri
+          (fun position value -> Index.add index ~position value rid)
+          (Tuple.values tuple))
     r;
   { f_schema = Relation.schema r; f_heap = heap; f_index = index; f_payload = !payload }
 
@@ -42,12 +56,14 @@ let load_nfr ?page_size r =
   Nfr.iter
     (fun nt ->
       let record = encode_record Codec.encode_ntuple nt in
-      payload := !payload + String.length record;
-      let rid = Heap.append heap record in
-      List.iteri
-        (fun position component ->
-          Vset.fold (fun value () -> Index.add index ~position value rid) component ())
-        (Ntuple.components nt))
+      match store_record heap record with
+      | None -> ()
+      | Some rid ->
+        payload := !payload + String.length record;
+        List.iteri
+          (fun position component ->
+            Vset.fold (fun value () -> Index.add index ~position value rid) component ())
+          (Ntuple.components nt))
     r;
   { n_schema = Nfr.schema r; n_heap = heap; n_index = index; n_payload = !payload }
 

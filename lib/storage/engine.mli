@@ -16,6 +16,11 @@ type nfr_store
 
 val load_flat : ?page_size:int -> Relation.t -> flat_store
 val load_nfr : ?page_size:int -> Nfr.t -> nfr_store
+(** Both loaders thread every record through the
+    ["engine.load.record"] {!Failpoint} site, so tests can inject
+    torn, flipped or lost records; a record corrupted in the heap
+    surfaces later as {!Storage_error.Error} from the decoding scan
+    and lookup paths below. *)
 
 (** Physical footprint of a store. *)
 type footprint = {

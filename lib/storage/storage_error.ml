@@ -1,0 +1,23 @@
+type t =
+  | Corrupt of {
+      context : string;
+      offset : int;
+      detail : string;
+    }
+  | Closed of string
+  | Degraded of string
+
+exception Error of t
+
+let to_string = function
+  | Corrupt { context; offset; detail } ->
+    Printf.sprintf "%s: corrupt input at offset %d: %s" context offset detail
+  | Closed operation -> Printf.sprintf "%s: handle is closed" operation
+  | Degraded reason -> Printf.sprintf "table degraded (read-only): %s" reason
+
+let corrupt ~context ~offset detail = raise (Error (Corrupt { context; offset; detail }))
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Storage_error.Error: " ^ to_string e)
+    | _ -> None)

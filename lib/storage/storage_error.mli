@@ -1,0 +1,28 @@
+(** Typed storage failures.
+
+    Every recovery-path failure in [lib/storage] — a corrupt frame, a
+    truncated snapshot, an operation on a closed or degraded handle —
+    raises {!Error} with a structured description instead of a bare
+    [Failure] string, so callers can branch on the failure class
+    (salvage vs. abort vs. read-only fallback) without parsing
+    messages. *)
+
+type t =
+  | Corrupt of {
+      context : string;  (** which decoder/layer detected it *)
+      offset : int;  (** byte offset within the input being decoded *)
+      detail : string;
+    }
+      (** The bytes do not parse or fail their integrity check. *)
+  | Closed of string  (** Operation on a closed handle (the operation name). *)
+  | Degraded of string
+      (** The table is in read-only degraded mode (the reason recorded
+          at the transition). *)
+
+exception Error of t
+
+val to_string : t -> string
+
+val corrupt : context:string -> offset:int -> string -> 'a
+(** [corrupt ~context ~offset detail] raises {!Error} with a
+    {!constructor-Corrupt} payload. *)

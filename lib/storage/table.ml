@@ -14,6 +14,10 @@ module Rid_set = Set.Make (struct
   let compare = Stdlib.compare
 end)
 
+type health =
+  | Healthy
+  | Degraded of string
+
 type t = {
   schema : Schema.t;
   order : Attribute.t list;
@@ -27,6 +31,7 @@ type t = {
   mutable btree : Btree.t option;
   wal : Wal.t option;
   wal_path : string option;
+  mutable health : health;
 }
 
 let encode_record nt =
@@ -87,6 +92,7 @@ let create ?(page_size = Page.default_size) ?wal_path ?ordered_on ~order schema 
     btree = Option.map (fun _ -> Btree.create ()) ordered_position;
     wal = Option.map Wal.open_log wal_path;
     wal_path;
+    health = Healthy;
   }
 
 let apply_unlogged t entry =
@@ -115,9 +121,73 @@ let recover ?page_size ?ordered_on ~wal_path ~order schema =
       | exception Update.Not_in_relation ->
         (* A delete whose insert was lost cannot be replayed; the log
            is the source of truth, so this is corruption. *)
-        failwith "Table.recover: WAL deletes a tuple that is not present")
+        Storage_error.corrupt ~context:"Table.recover" ~offset:0
+          "WAL deletes a tuple that is not present")
     entries;
   t
+
+type recovery_report = {
+  wal_salvage : Wal.salvage option;
+  snapshot_status : [ `Loaded | `Absent | `Corrupt of string | `None_requested ];
+  stale_wal : bool;
+  applied : int;
+  skipped_ops : int;
+}
+
+(* Replay entries, skipping (and counting) any that cannot be applied —
+   a delete whose insert was salvaged away, or a decoded-but-bogus
+   tuple from debris that slipped past a legacy checksum. Nothing in
+   here may take the table down mid-recovery. *)
+let apply_salvaged t entries =
+  let applied = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun entry ->
+      match apply_unlogged t entry with
+      | _ -> incr applied
+      | exception
+          ( Update.Not_in_relation | Update.Update_diverged _
+          | Storage_error.Error _ | Invalid_argument _ | Failure _ ) ->
+        incr skipped)
+    entries;
+  (!applied, !skipped)
+
+let degrade_if_lossy t report =
+  let wal_damage =
+    match report.wal_salvage with
+    | Some salvage -> salvage.Wal.bytes_skipped > 0
+    | None -> false
+  in
+  let snapshot_damage = match report.snapshot_status with `Corrupt _ -> true | _ -> false in
+  if wal_damage || snapshot_damage || report.skipped_ops > 0 then
+    t.health <-
+      Degraded
+        (Printf.sprintf
+           "recovered with loss (snapshot %s, %d WAL bytes skipped, %d ops skipped)"
+           (match report.snapshot_status with
+           | `Corrupt reason -> "corrupt: " ^ reason
+           | `Loaded -> "ok"
+           | `Absent -> "absent"
+           | `None_requested -> "not requested")
+           (match report.wal_salvage with
+           | Some salvage -> salvage.Wal.bytes_skipped
+           | None -> 0)
+           report.skipped_ops)
+
+let recover_salvage ?page_size ?ordered_on ~wal_path ~order schema =
+  let salvage = Wal.replay_salvage wal_path in
+  let t = create ?page_size ~wal_path ?ordered_on ~order schema in
+  let applied, skipped_ops = apply_salvaged t salvage.Wal.entries in
+  let report =
+    {
+      wal_salvage = Some salvage;
+      snapshot_status = `None_requested;
+      stale_wal = false;
+      applied;
+      skipped_ops;
+    }
+  in
+  degrade_if_lossy t report;
+  (t, report)
 
 let close t = Option.iter Wal.close t.wal
 let schema t = t.schema
@@ -129,16 +199,45 @@ let ordered_attribute t =
 let posting_size t attribute value =
   Index.posting_size t.index ~position:(Schema.position t.schema attribute) value
 
+let health t = t.health
+
+let require_writable t =
+  match t.health with
+  | Healthy -> ()
+  | Degraded reason -> raise (Storage_error.Error (Storage_error.Degraded reason))
+
+(* Log the entry before touching any in-memory state. A durability
+   failure here (closed channel, I/O error) therefore leaves the
+   logical and physical layers untouched and consistent: the table
+   transitions to read-only [Degraded] and the typed error propagates.
+   A [Failpoint.Crashed] is different — it simulates process death and
+   must reach the harness untranslated. *)
+let log_durably t entry =
+  match t.wal with
+  | None -> ()
+  | Some wal -> (
+    try Wal.append wal entry with
+    | Failpoint.Crashed _ as e -> raise e
+    | Storage_error.Error ((Storage_error.Closed _ | Storage_error.Corrupt _) as err) ->
+      let reason = Storage_error.to_string err in
+      t.health <- Degraded reason;
+      raise (Storage_error.Error (Storage_error.Degraded reason))
+    | Sys_error reason ->
+      t.health <- Degraded reason;
+      raise (Storage_error.Error (Storage_error.Degraded reason)))
+
 let insert t tuple =
+  require_writable t;
   if Update.Store.member t.store tuple then false
   else begin
-    Option.iter (fun wal -> Wal.append wal (Wal.Insert tuple)) t.wal;
+    log_durably t (Wal.Insert tuple);
     apply_unlogged t (Wal.Insert tuple)
   end
 
 let delete t tuple =
+  require_writable t;
   if not (Update.Store.member t.store tuple) then raise Update.Not_in_relation;
-  Option.iter (fun wal -> Wal.append wal (Wal.Delete tuple)) t.wal;
+  log_durably t (Wal.Delete tuple);
   ignore (apply_unlogged t (Wal.Delete tuple))
 
 let member t tuple = Update.Store.member t.store tuple
@@ -203,23 +302,34 @@ let compact t =
   Nfr.iter (physical_add t) live
 
 let checkpoint t =
+  require_writable t;
   compact t;
-  Option.iter Wal.reset t.wal_path
+  match t.wal with
+  | Some wal -> Wal.truncate wal
+  | None -> Option.iter Wal.reset t.wal_path
 
-(* Snapshot format: schema (degree, then name/ty-tag pairs), nest
-   order (attribute names), ordered-on marker, tuple count, tuples. *)
+(* Snapshot format v1: magic "NF2SNAP1", then a CRC-32-protected body
+   (varint WAL generation at save time, schema as degree + name/ty-tag
+   pairs, nest order names, tuple count, tuples), then the CRC-32 of
+   the body little-endian. Legacy snapshots (no magic, no trailer,
+   no generation) still load. Writes go to [path ^ ".tmp"] and rename
+   into place, so a crash mid-save never clobbers the old snapshot. *)
+let snapshot_magic = "NF2SNAP1"
+
 let ty_tag = function
   | Value.Tint -> 0
   | Value.Tfloat -> 1
   | Value.Tstring -> 2
   | Value.Tbool -> 3
 
-let ty_of_tag = function
+let ty_of_tag ~offset = function
   | 0 -> Value.Tint
   | 1 -> Value.Tfloat
   | 2 -> Value.Tstring
   | 3 -> Value.Tbool
-  | tag -> failwith (Printf.sprintf "Table snapshot: unknown type tag %d" tag)
+  | tag ->
+    Storage_error.corrupt ~context:"Table.load_snapshot" ~offset
+      (Printf.sprintf "unknown type tag %d" tag)
 
 let encode_string buffer s =
   Codec.encode_varint buffer (String.length s);
@@ -227,36 +337,84 @@ let encode_string buffer s =
 
 let decode_string bytes offset =
   let length, offset = Codec.decode_varint bytes offset in
-  if offset + length > Bytes.length bytes then
-    failwith "Table snapshot: truncated string";
+  if length < 0 || offset + length > Bytes.length bytes then
+    Storage_error.corrupt ~context:"Table.load_snapshot" ~offset "truncated string";
   (Bytes.sub_string bytes offset length, offset + length)
 
+let add_le32 buffer n =
+  for shift = 0 to 3 do
+    Buffer.add_char buffer (Char.chr ((n lsr (shift * 8)) land 0xFF))
+  done
+
+let read_le32 s offset =
+  let byte i = Char.code s.[offset + i] in
+  byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
 let save_snapshot t path =
-  let buffer = Buffer.create 4096 in
-  Codec.encode_varint buffer (Schema.degree t.schema);
+  let body = Buffer.create 4096 in
+  Codec.encode_varint body (match t.wal with Some wal -> Wal.generation wal | None -> 0);
+  Codec.encode_varint body (Schema.degree t.schema);
   List.iter
     (fun (attribute, ty) ->
-      encode_string buffer (Attribute.name attribute);
-      Codec.encode_varint buffer (ty_tag ty))
+      encode_string body (Attribute.name attribute);
+      Codec.encode_varint body (ty_tag ty))
     (Schema.columns t.schema);
-  List.iter (fun attribute -> encode_string buffer (Attribute.name attribute)) t.order;
+  List.iter (fun attribute -> encode_string body (Attribute.name attribute)) t.order;
   let snapshot = snapshot t in
-  Codec.encode_varint buffer (Nfr.cardinality snapshot);
-  Nfr.iter (Codec.encode_ntuple buffer) snapshot;
-  Out_channel.with_open_bin path (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buffer))
+  Codec.encode_varint body (Nfr.cardinality snapshot);
+  Nfr.iter (Codec.encode_ntuple body) snapshot;
+  let payload = Buffer.contents body in
+  let file = Buffer.create (String.length payload + 16) in
+  Buffer.add_string file snapshot_magic;
+  Buffer.add_string file payload;
+  add_le32 file (Crc32.digest payload);
+  let temp = path ^ ".tmp" in
+  (match Failpoint.on_write "snapshot.body" (Buffer.contents file) with
+  | Failpoint.Full data ->
+    Out_channel.with_open_bin temp (fun oc -> Out_channel.output_string oc data)
+  | Failpoint.Dropped ->
+    Out_channel.with_open_bin temp (fun oc -> Out_channel.output_string oc "")
+  | Failpoint.Partial prefix ->
+    Out_channel.with_open_bin temp (fun oc -> Out_channel.output_string oc prefix);
+    raise (Failpoint.Crashed "snapshot.body"));
+  Failpoint.hit "snapshot.rename";
+  Sys.rename temp path
 
-let load_snapshot ?page_size ?wal_path ?ordered_on path =
-  let contents = In_channel.with_open_bin path In_channel.input_all in
-  let bytes = Bytes.of_string contents in
-  let degree, offset = Codec.decode_varint bytes 0 in
-  if degree = 0 then failwith "Table snapshot: empty schema";
+(* Parse a snapshot file into (wal generation, table) — raising typed
+   errors on any damage; integrity is checked before anything is
+   built. *)
+let parse_snapshot ?page_size ?wal_path ?ordered_on contents =
+  let generation, bytes =
+    if
+      String.length contents >= String.length snapshot_magic + 4
+      && String.sub contents 0 (String.length snapshot_magic) = snapshot_magic
+    then begin
+      let body_length = String.length contents - String.length snapshot_magic - 4 in
+      let stored = read_le32 contents (String.length contents - 4) in
+      let payload = String.sub contents (String.length snapshot_magic) body_length in
+      if Crc32.digest payload <> stored then
+        Storage_error.corrupt ~context:"Table.load_snapshot"
+          ~offset:(String.length contents - 4)
+          "checksum mismatch (torn or bit-flipped snapshot)";
+      let bytes = Bytes.of_string payload in
+      let generation, offset = Codec.decode_varint bytes 0 in
+      (generation, (bytes, offset))
+    end
+    else (0, (Bytes.of_string contents, 0))
+  in
+  let bytes, start = bytes in
+  let degree, offset = Codec.decode_varint bytes start in
+  if degree = 0 then
+    Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:start "empty schema";
+  if degree < 0 || degree > Bytes.length bytes - offset then
+    Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:start
+      "schema degree exceeds snapshot size";
   let columns = ref [] in
   let offset = ref offset in
   for _ = 1 to degree do
     let name, next = decode_string bytes !offset in
     let tag, next = Codec.decode_varint bytes next in
-    columns := (name, ty_of_tag tag) :: !columns;
+    columns := (name, ty_of_tag ~offset:next tag) :: !columns;
     offset := next
   done;
   let schema = Schema.of_names (List.rev !columns) in
@@ -267,6 +425,9 @@ let load_snapshot ?page_size ?wal_path ?ordered_on path =
     offset := next
   done;
   let count, next = Codec.decode_varint bytes !offset in
+  if count < 0 || count > Bytes.length bytes - next then
+    Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:!offset
+      "tuple count exceeds snapshot size";
   offset := next;
   let t = create ?page_size ?wal_path ?ordered_on ~order:(List.rev !order) schema in
   for _ = 1 to count do
@@ -279,14 +440,136 @@ let load_snapshot ?page_size ?wal_path ?ordered_on path =
       (fun tuple -> ignore (apply_unlogged t (Wal.Insert tuple)))
       (Ntuple.expand nt)
   done;
+  (generation, t)
+
+let load_snapshot ?page_size ?wal_path ?ordered_on path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let snapshot_generation, t = parse_snapshot ?page_size ?wal_path ?ordered_on contents in
   (match wal_path with
   | Some wal_path ->
-    List.iter
-      (fun entry ->
-        match apply_unlogged t entry with
-        | _ -> ()
-        | exception Update.Not_in_relation ->
-          failwith "Table.load_snapshot: WAL deletes an absent tuple")
-      (Wal.replay wal_path)
+    let salvage = Wal.replay_salvage wal_path in
+    (* A WAL at or below the snapshot's generation predates it — its
+       entries are already folded into the snapshot (the crash window
+       between save_snapshot and the checkpoint's truncation), so
+       replaying them would double-apply. *)
+    let stale = snapshot_generation > 0 && salvage.Wal.generation <= snapshot_generation in
+    if not stale then
+      List.iter
+        (fun entry ->
+          match apply_unlogged t entry with
+          | _ -> ()
+          | exception Update.Not_in_relation ->
+            Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:0
+              "WAL deletes an absent tuple")
+        (Wal.replay wal_path)
   | None -> ());
   t
+
+let load_snapshot_salvage ?page_size ?wal_path ?ordered_on path =
+  let snapshot_result =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents -> (
+      match parse_snapshot ?page_size ?wal_path ?ordered_on contents with
+      | result -> Ok result
+      | exception Storage_error.Error err -> Error (Storage_error.to_string err)
+      | exception Schema.Schema_error reason -> Error reason)
+    | exception Sys_error _ -> Error "snapshot file unreadable"
+  in
+  let (snapshot_generation, t), snapshot_status =
+    match snapshot_result with
+    | Ok (generation, t) -> ((generation, t), `Loaded)
+    | Error reason ->
+      let missing = not (Sys.file_exists path) in
+      ( (0, create ?page_size ~order:[ Attribute.make "_" ] (Schema.strings [ "_" ])),
+        if missing then `Absent else `Corrupt reason )
+  in
+  (* A corrupt snapshot leaves us without a schema to recover into;
+     the caller owns the schema in that situation and should use
+     [recover_salvage] — signalled through the report. *)
+  match wal_path with
+  | None ->
+    let report =
+      {
+        wal_salvage = None;
+        snapshot_status;
+        stale_wal = false;
+        applied = 0;
+        skipped_ops = 0;
+      }
+    in
+    degrade_if_lossy t report;
+    (t, report)
+  | Some wal_path ->
+    let salvage = Wal.replay_salvage wal_path in
+    let stale =
+      snapshot_status = `Loaded && snapshot_generation > 0
+      && salvage.Wal.generation <= snapshot_generation
+    in
+    let applied, skipped_ops =
+      if stale || snapshot_status <> `Loaded then (0, 0)
+      else apply_salvaged t salvage.Wal.entries
+    in
+    let report =
+      {
+        wal_salvage = Some salvage;
+        snapshot_status;
+        stale_wal = stale;
+        applied;
+        skipped_ops;
+      }
+    in
+    degrade_if_lossy t report;
+    (t, report)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-layer invariants                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let snapshot = snapshot t in
+  let ntuples = Nfr.ntuples snapshot in
+  let stats = Stats.create () in
+  let rid_count_matches = List.length ntuples = Ntuple_table.length t.rids in
+  let store_mirrored =
+    List.for_all (fun nt -> Ntuple_table.mem t.rids nt) ntuples
+  in
+  let heap_roundtrips =
+    Ntuple_table.fold
+      (fun nt rid acc ->
+        acc
+        && (not (Rid_set.mem rid t.dead))
+        &&
+        match Codec.decode_ntuple (Bytes.of_string (Heap.get t.heap rid)) 0 with
+        | decoded, _ -> Ntuple.equal decoded nt
+        | exception Storage_error.Error _ -> false
+        | exception Invalid_argument _ -> false)
+      t.rids true
+  in
+  let postings_complete =
+    Ntuple_table.fold
+      (fun nt rid acc ->
+        acc
+        && List.for_all
+             (fun (position, component) ->
+               Vset.for_all
+                 (fun value ->
+                   List.mem rid (Index.lookup t.index ~stats ~position value))
+                 component)
+             (List.mapi (fun i component -> (i, component)) (Ntuple.components nt)))
+      t.rids true
+  in
+  let btree_consistent =
+    match t.btree, t.ordered_on with
+    | Some tree, Some position ->
+      Btree.check_invariants tree
+      && Ntuple_table.fold
+           (fun nt rid acc ->
+             acc
+             && Vset.for_all
+                  (fun value -> List.mem rid (Btree.lookup tree ~stats value))
+                  (Ntuple.component nt position))
+           t.rids true
+    | None, _ | _, None -> true
+  in
+  rid_count_matches && store_mirrored && heap_roundtrips && postings_complete
+  && btree_consistent

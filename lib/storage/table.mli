@@ -12,12 +12,33 @@
       empty table, so a crash loses at most the unfinished entry.
 
     The heap/index are in-memory stand-ins for disk blocks (as in
-    {!Engine}); durability comes solely from the WAL. *)
+    {!Engine}); durability comes solely from the WAL.
+
+    {2 Failure model}
+
+    Durability failures never leave the table half-updated: the WAL
+    append happens strictly before any logical or physical mutation,
+    and when it fails (closed handle, I/O error) the table transitions
+    to the read-only {!constructor-Degraded} health state with the
+    in-memory layers still mutually consistent; the write raises
+    {!Storage_error.Error}. Recovery from damaged media goes through
+    {!recover_salvage}/{!load_snapshot_salvage}, which never raise on
+    corruption — they skip what cannot be replayed and return a
+    {!recovery_report}; a lossy recovery also lands Degraded.
+    {!check_invariants} cross-validates the canonical store against
+    the heap, the postings index and the B+-tree. *)
 
 open Relational
 open Nfr_core
 
 type t
+
+(** Health of the durability layer. A [Degraded] table serves reads
+    but rejects {!insert}/{!delete}/{!checkpoint} with
+    {!Storage_error.Error}[ (Degraded _)]. *)
+type health =
+  | Healthy
+  | Degraded of string  (** reason recorded at the transition *)
 
 val create :
   ?page_size:int ->
@@ -47,7 +68,43 @@ val recover :
   order:Attribute.t list ->
   Schema.t ->
   t
-(** Rebuild by replaying the WAL from an empty table. *)
+(** Rebuild by replaying the WAL from an empty table.
+    @raise Storage_error.Error on mid-log corruption or a delete of an
+    absent tuple — use {!recover_salvage} to recover around damage. *)
+
+(** What a salvage recovery found and did. *)
+type recovery_report = {
+  wal_salvage : Wal.salvage option;  (** [None] when no WAL was involved *)
+  snapshot_status : [ `Loaded | `Absent | `Corrupt of string | `None_requested ];
+  stale_wal : bool;
+      (** the WAL predates the snapshot (crash between
+          {!save_snapshot} and the checkpoint's truncation) and was
+          skipped *)
+  applied : int;  (** WAL entries applied *)
+  skipped_ops : int;  (** WAL entries that could not be applied *)
+}
+
+val recover_salvage :
+  ?page_size:int ->
+  ?ordered_on:Attribute.t ->
+  wal_path:string ->
+  order:Attribute.t list ->
+  Schema.t ->
+  t * recovery_report
+(** Like {!recover} but never raises on damage: mid-log corruption is
+    skipped frame by frame ({!Wal.replay_salvage}) and inapplicable
+    entries are counted rather than fatal. A lossy recovery leaves the
+    table {!constructor-Degraded} (read-only); {!check_invariants}
+    holds either way. *)
+
+val health : t -> health
+
+val check_invariants : t -> bool
+(** Cross-layer audit: the canonical store, the rid map, the heap
+    records, the postings index and the B+-tree all describe the same
+    relation (every live NFR tuple decodes from its heap record, is
+    indexed under each of its component values, and is absent from the
+    tombstone set; B+-tree structural invariants hold). *)
 
 val close : t -> unit
 
@@ -63,10 +120,14 @@ val posting_size : t -> Attribute.t -> Value.t -> int
 
 val insert : t -> Tuple.t -> bool
 (** Logs, updates the canonical store, mirrors the journal onto the
-    heap/index. [false] (and no log entry) on duplicates. *)
+    heap/index. [false] (and no log entry) on duplicates.
+    @raise Storage_error.Error [(Degraded _)] when the table is (or
+    this call's durability failure leaves it) degraded; the logical
+    and physical layers are untouched in that case. *)
 
 val delete : t -> Tuple.t -> unit
-(** @raise Update.Not_in_relation when absent (nothing is logged). *)
+(** @raise Update.Not_in_relation when absent (nothing is logged).
+    @raise Storage_error.Error [(Degraded _)] as for {!insert}. *)
 
 val member : t -> Tuple.t -> bool
 val snapshot : t -> Nfr.t
@@ -97,16 +158,37 @@ val compact : t -> unit
     tombstones. *)
 
 val checkpoint : t -> unit
-(** {!compact} and reset the WAL. Pair with {!save_snapshot} first —
-    after a checkpoint the WAL alone replays to an empty table. *)
+(** {!compact} and truncate the WAL (bumping its generation). Pair
+    with {!save_snapshot} first — after a checkpoint the WAL alone
+    replays to an empty table. A crash between the two is safe: the
+    snapshot records the pre-truncation generation, so recovery
+    recognizes the old log as stale instead of double-applying it. *)
 
 val save_snapshot : t -> string -> unit
 (** Serialize schema, nest order and every NFR tuple to a file
-    (binary, via {!Codec}). *)
+    (binary, via {!Codec}), atomically: the bytes (with a magic header
+    and CRC-32 trailer) go to [path ^ ".tmp"] and are renamed into
+    place, so a crash mid-save leaves any previous snapshot intact. *)
 
 val load_snapshot :
   ?page_size:int -> ?wal_path:string -> ?ordered_on:Attribute.t -> string -> t
 (** Rebuild a table from {!save_snapshot} output, then replay
-    [wal_path] (if given) on top — the full recovery story:
-    snapshot at the last checkpoint + the log since.
-    @raise Failure on a malformed snapshot. *)
+    [wal_path] (if given) on top — the full recovery story: snapshot
+    at the last checkpoint + the log since. A WAL whose generation is
+    at or below the snapshot's is stale (already folded in) and is
+    skipped. Legacy un-checksummed snapshots still load.
+    @raise Storage_error.Error on a torn, bit-flipped or otherwise
+    malformed snapshot, or on an inapplicable WAL entry. *)
+
+val load_snapshot_salvage :
+  ?page_size:int ->
+  ?wal_path:string ->
+  ?ordered_on:Attribute.t ->
+  string ->
+  t * recovery_report
+(** Best-effort {!load_snapshot}: a corrupt or missing snapshot is
+    reported (not raised) and recovery falls back to an empty
+    placeholder table — check [snapshot_status] and rerun
+    {!recover_salvage} with the authoritative schema in that case;
+    WAL damage and inapplicable entries are skipped and counted as in
+    {!recover_salvage}. *)

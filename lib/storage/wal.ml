@@ -4,17 +4,60 @@ type entry =
   | Insert of Tuple.t
   | Delete of Tuple.t
 
+type format = V0 | V1
+
 type t = {
-  channel : out_channel;
+  mutable channel : out_channel;
+  mutable open_ : bool;
+  mutable format : format;
+  mutable generation : int;
+  path : string;
 }
 
-let open_log path =
-  { channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+(* v1 on-disk layout:
+     header  "NF2WALv1" (8 bytes) + varint generation
+     frame   0xA7 marker + varint payload length + payload
+             + CRC32(payload) little-endian (4 bytes)
+   The generation increments on every truncation; snapshots record the
+   generation they were cut against, which is what lets recovery tell
+   a fresh post-checkpoint log from a stale pre-checkpoint one.
 
-let checksum payload =
+   v0 (legacy) has no header; frames are varint length + payload + a
+   1-byte additive checksum. [replay] still reads it; [open_log] keeps
+   appending v0 frames to a v0 file so one log never mixes formats. *)
+let magic = "NF2WALv1"
+let frame_marker = '\xA7'
+
+let legacy_checksum payload =
   let total = ref 0 in
   String.iter (fun c -> total := (!total + Char.code c) land 0xFF) payload;
   !total
+
+let encode_header generation =
+  let buffer = Buffer.create 12 in
+  Buffer.add_string buffer magic;
+  Codec.encode_varint buffer generation;
+  Buffer.contents buffer
+
+(* (format, generation, offset of the first frame); [`Torn] when the
+   file starts with the magic but the generation varint is cut off. *)
+let parse_header bytes =
+  let length = Bytes.length bytes in
+  if length >= String.length magic && Bytes.sub_string bytes 0 (String.length magic) = magic
+  then begin
+    match Codec.decode_varint bytes (String.length magic) with
+    | generation, offset -> `V1 (generation, offset)
+    | exception Storage_error.Error _ -> `Torn
+  end
+  else `V0
+
+let read_file path =
+  let channel = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr channel)
+    (fun () -> really_input_string channel (in_channel_length channel))
+
+let generation t = t.generation
 
 let encode_entry entry =
   let buffer = Buffer.create 32 in
@@ -27,94 +70,265 @@ let encode_entry entry =
     Codec.encode_tuple buffer tuple);
   Buffer.contents buffer
 
-let append t entry =
-  let payload = encode_entry entry in
+let add_le32 buffer n =
+  for shift = 0 to 3 do
+    Buffer.add_char buffer (Char.chr ((n lsr (shift * 8)) land 0xFF))
+  done
+
+let read_le32 bytes offset =
+  let byte i = Char.code (Bytes.get bytes (offset + i)) in
+  byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
+let frame_v1 payload =
+  let framed = Buffer.create (String.length payload + 10) in
+  Buffer.add_char framed frame_marker;
+  Codec.encode_varint framed (String.length payload);
+  Buffer.add_string framed payload;
+  add_le32 framed (Crc32.digest payload);
+  Buffer.contents framed
+
+let frame_v0 payload =
   let framed = Buffer.create (String.length payload + 8) in
   Codec.encode_varint framed (String.length payload);
   Buffer.add_string framed payload;
-  Buffer.add_char framed (Char.chr (checksum payload));
-  output_string t.channel (Buffer.contents framed);
-  flush t.channel
+  Buffer.add_char framed (Char.chr (legacy_checksum payload));
+  Buffer.contents framed
 
-let close t = close_out_noerr t.channel
+let append t entry =
+  if not t.open_ then raise (Storage_error.Error (Storage_error.Closed "Wal.append"));
+  Failpoint.hit "wal.append.before";
+  let payload = encode_entry entry in
+  let framed = match t.format with V1 -> frame_v1 payload | V0 -> frame_v0 payload in
+  (match Failpoint.on_write "wal.append.frame" framed with
+  | Failpoint.Full data -> output_string t.channel data
+  | Failpoint.Dropped -> ()
+  | Failpoint.Partial prefix ->
+    output_string t.channel prefix;
+    flush t.channel;
+    raise (Failpoint.Crashed "wal.append.frame"));
+  flush t.channel;
+  Failpoint.hit "wal.append.after"
+
+let close t =
+  t.open_ <- false;
+  close_out_noerr t.channel
 
 let decode_entry payload =
   let bytes = Bytes.of_string payload in
-  if Bytes.length bytes < 1 then failwith "Wal: empty entry";
+  if Bytes.length bytes < 1 then
+    Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:0 "empty entry";
   let tuple, consumed = Codec.decode_tuple bytes 1 in
-  if consumed <> Bytes.length bytes then failwith "Wal: trailing bytes in entry";
+  if consumed <> Bytes.length bytes then
+    Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:consumed
+      "trailing bytes in entry";
   match Bytes.get bytes 0 with
   | 'I' -> Insert tuple
   | 'D' -> Delete tuple
-  | c -> failwith (Printf.sprintf "Wal: unknown entry tag %C" c)
+  | c ->
+    Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:0
+      (Printf.sprintf "unknown entry tag %C" c)
 
-let replay path =
-  if not (Sys.file_exists path) then []
+(* ------------------------------------------------------------------ *)
+(* Replay and salvage                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type salvage = {
+  entries : entry list;
+  format : format;
+  generation : int;
+  scanned_bytes : int;
+  bytes_skipped : int;
+  first_bad_offset : int option;
+  torn_tail_bytes : int;
+}
+
+let empty_salvage =
+  {
+    entries = [];
+    format = V1;
+    generation = 0;
+    scanned_bytes = 0;
+    bytes_skipped = 0;
+    first_bad_offset = None;
+    torn_tail_bytes = 0;
+  }
+
+(* [Some (entry, next)] iff a complete, checksummed, decodable frame
+   sits exactly at [offset]. Every parse failure means "no". *)
+let valid_frame_v1 bytes length offset =
+  if offset >= length || Bytes.get bytes offset <> frame_marker then None
+  else
+    match
+      let payload_length, after = Codec.decode_varint bytes (offset + 1) in
+      if payload_length < 0 || after + payload_length + 4 > length then None
+      else begin
+        let stored = read_le32 bytes (after + payload_length) in
+        if stored <> Crc32.digest_bytes bytes ~pos:after ~len:payload_length then None
+        else
+          Some
+            ( decode_entry (Bytes.sub_string bytes after payload_length),
+              after + payload_length + 4 )
+      end
+    with
+    | result -> result
+    | exception Storage_error.Error _ -> None
+
+let valid_frame_v0 bytes length offset =
+  if offset >= length then None
+  else
+    match
+      let payload_length, after = Codec.decode_varint bytes offset in
+      if payload_length <= 0 || after + payload_length + 1 > length then None
+      else begin
+        let payload = Bytes.sub_string bytes after payload_length in
+        let stored = Char.code (Bytes.get bytes (after + payload_length)) in
+        if stored <> legacy_checksum payload then None
+        else Some (decode_entry payload, after + payload_length + 1)
+      end
+    with
+    | result -> result
+    | exception Storage_error.Error _ -> None
+
+(* Scan ahead: on a bad frame, the first later offset holding a fully
+   valid frame (v1 additionally requires the marker byte, so almost
+   every offset is rejected in O(1); random debris only survives a
+   32-bit CRC with probability 2^-32, v0's additive byte let 1/256
+   of debris through — the false-positive path this replaces). *)
+let scan_forward valid_frame length probe =
+  let rec loop probe =
+    if probe >= length then None
+    else
+      match valid_frame probe with
+      | Some _ -> Some probe
+      | None -> loop (probe + 1)
+  in
+  loop probe
+
+let salvage_frames bytes length start ~format ~generation =
+  let valid_frame =
+    match format with
+    | V1 -> valid_frame_v1 bytes length
+    | V0 -> valid_frame_v0 bytes length
+  in
+  let rec loop offset acc skipped first_bad =
+    if offset >= length then (List.rev acc, skipped, first_bad, 0)
+    else
+      match valid_frame offset with
+      | Some (entry, next) -> loop next (entry :: acc) skipped first_bad
+      | None -> (
+        let first_bad = match first_bad with None -> Some offset | some -> some in
+        match scan_forward valid_frame length (offset + 1) with
+        | Some resume -> loop resume acc (skipped + resume - offset) first_bad
+        | None -> (List.rev acc, skipped, first_bad, length - offset))
+  in
+  let entries, bytes_skipped, first_bad_offset, torn_tail_bytes = loop start [] 0 None in
+  {
+    entries;
+    format;
+    generation;
+    scanned_bytes = length;
+    bytes_skipped;
+    first_bad_offset;
+    torn_tail_bytes;
+  }
+
+let replay_salvage path =
+  if not (Sys.file_exists path) then empty_salvage
   else begin
-    let channel = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr channel)
-      (fun () ->
-        let contents =
-          really_input_string channel (in_channel_length channel)
-        in
-        let bytes = Bytes.of_string contents in
-        let length = Bytes.length bytes in
-        (* Read entries; a failure at the very tail is crash debris, a
-           failure with more data after it is real corruption. *)
-        let rec loop offset acc =
-          if offset >= length then List.rev acc
-          else
-            match
-              let payload_length, after_length = Codec.decode_varint bytes offset in
-              if after_length + payload_length + 1 > length then
-                failwith "Wal: truncated entry"
-              else begin
-                let payload = Bytes.sub_string bytes after_length payload_length in
-                let stored = Char.code (Bytes.get bytes (after_length + payload_length)) in
-                if stored <> checksum payload then failwith "Wal: bad checksum"
-                else (decode_entry payload, after_length + payload_length + 1)
-              end
-            with
-            | entry, next -> loop next (entry :: acc)
-            | exception Failure reason ->
-              (* Is this the tail? Heuristic: if fewer than one full
-                 frame could follow the failure point, treat as crash
-                 debris; otherwise fail loudly. We approximate by
-                 checking whether the failure consumed the rest of the
-                 file (no further valid frame start can be proven), so
-                 we simply stop here — and re-raise only when a valid
-                 frame is found later. *)
-              let rec later_frame probe =
-                if probe >= length then None
-                else
-                  match
-                    let payload_length, after_length = Codec.decode_varint bytes probe in
-                    if
-                      payload_length > 0
-                      && after_length + payload_length + 1 <= length
-                    then begin
-                      let payload =
-                        Bytes.sub_string bytes after_length payload_length
-                      in
-                      let stored =
-                        Char.code (Bytes.get bytes (after_length + payload_length))
-                      in
-                      if stored = checksum payload then Some (decode_entry payload)
-                      else None
-                    end
-                    else None
-                  with
-                  | Some entry -> Some entry
-                  | None | (exception Failure _) -> later_frame (probe + 1)
-              in
-              (match later_frame (offset + 1) with
-              | Some _ -> failwith ("Wal: corrupt entry mid-log: " ^ reason)
-              | None -> List.rev acc)
-        in
-        loop 0 [])
+    let contents = read_file path in
+    if contents = "" then empty_salvage
+    else begin
+      let bytes = Bytes.of_string contents in
+      let length = Bytes.length bytes in
+      match parse_header bytes with
+      | `V1 (generation, offset) -> salvage_frames bytes length offset ~format:V1 ~generation
+      | `V0 -> salvage_frames bytes length 0 ~format:V0 ~generation:0
+      | `Torn ->
+        {
+          empty_salvage with
+          scanned_bytes = length;
+          first_bad_offset = Some 0;
+          torn_tail_bytes = length;
+        }
+    end
   end
 
-let reset path =
-  let channel = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
+let replay path =
+  let salvage = replay_salvage path in
+  if salvage.bytes_skipped > 0 then
+    Storage_error.corrupt ~context:"Wal.replay"
+      ~offset:(Option.value ~default:0 salvage.first_bad_offset)
+      (Printf.sprintf
+         "corrupt entry mid-log (%d bytes skipped before a later valid frame); use \
+          replay_salvage to recover around it"
+         salvage.bytes_skipped)
+  else salvage.entries
+
+(* ------------------------------------------------------------------ *)
+(* Opening                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let open_log path =
+  let existing = if Sys.file_exists path then read_file path else "" in
+  let fresh =
+    existing = ""
+    ||
+    (* A torn header means nothing after it can be valid either. *)
+    parse_header (Bytes.of_string existing) = `Torn
+  in
+  if fresh then begin
+    let channel =
+      open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
+    in
+    output_string channel (encode_header 1);
+    flush channel;
+    { channel; open_ = true; format = V1; generation = 1; path }
+  end
+  else begin
+    let salvage = replay_salvage path in
+    let format = salvage.format and generation = salvage.generation in
+    if salvage.torn_tail_bytes > 0 then begin
+      (* A crash tore the last frame. Appending after the debris would
+         bury it mid-log, so trim back to the last frame boundary; the
+         channel is then already positioned for appending. *)
+      let keep = String.sub existing 0 (String.length existing - salvage.torn_tail_bytes) in
+      let channel =
+        open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
+      in
+      output_string channel keep;
+      flush channel;
+      { channel; open_ = true; format; generation; path }
+    end
+    else
+      let channel =
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+      in
+      { channel; open_ = true; format; generation; path }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Truncation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_truncated path generation =
+  Failpoint.hit "wal.reset";
+  let channel =
+    open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
+  in
+  output_string channel (encode_header generation);
   close_out_noerr channel
+
+let reset path =
+  let previous =
+    if Sys.file_exists path then (replay_salvage path).generation else 0
+  in
+  write_truncated path (previous + 1)
+
+let truncate t =
+  if not t.open_ then raise (Storage_error.Error (Storage_error.Closed "Wal.truncate"));
+  close_out_noerr t.channel;
+  let generation = t.generation + 1 in
+  write_truncated t.path generation;
+  t.channel <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path;
+  t.format <- V1;
+  t.generation <- generation

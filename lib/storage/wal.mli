@@ -6,10 +6,23 @@
     cheap for NFRs: entries are tuple-sized no matter how large the
     touched groups were.
 
-    Entries are length-prefixed and checksummed; {!replay} stops at
-    the first truncated or corrupt entry, so a crash mid-append loses
-    at most the unfinished entry (tested by truncating logs at every
-    byte boundary). *)
+    {2 On-disk format}
+
+    v1 files start with a header (magic ["NF2WALv1"] + a varint
+    {e generation}) and hold frames of [0xA7 marker, varint length,
+    payload, CRC-32]. The generation increments on every truncation
+    ({!reset}/{!truncate}); {!Table.save_snapshot} records it, which
+    is how recovery distinguishes a fresh post-checkpoint log from a
+    stale pre-checkpoint one. The legacy v0 format (no header, 1-byte
+    additive checksum) is still replayed transparently, and
+    {!open_log} keeps appending v0 frames to a v0 file so a single
+    log never mixes formats.
+
+    Appends are threaded through {!Failpoint} sites
+    (["wal.append.before"], ["wal.append.frame"],
+    ["wal.append.after"], ["wal.reset"]), so the crash matrix can
+    inject torn writes, bit flips, lost flushes and crashes at every
+    step and verify recovery. *)
 
 open Relational
 
@@ -17,22 +30,67 @@ type entry =
   | Insert of Tuple.t
   | Delete of Tuple.t
 
+type format = V0  (** legacy: unframed, 1-byte additive checksum *)
+            | V1  (** current: header + marker/CRC-32 frames *)
+
 type t
 (** An open log handle (append mode). *)
 
 val open_log : string -> t
-(** Opens (creating if absent) for appending. *)
+(** Opens (creating if absent) for appending. A fresh file gets a v1
+    header at generation 1; an existing v0 file stays v0. A torn final
+    frame (crash debris) is trimmed back to the last frame boundary so
+    new appends never land mid-log behind it. *)
+
+val generation : t -> int
+(** The log's current generation (0 for legacy v0 files). *)
 
 val append : t -> entry -> unit
-(** Encode, write, flush. *)
+(** Encode, frame, write, flush.
+    @raise Storage_error.Error [(Closed _)] after {!close}.
+    @raise Failpoint.Crashed when an armed fault fires at one of the
+    append sites (simulated process death — the handle is unusable). *)
 
 val close : t -> unit
 
 val replay : string -> entry list
 (** All complete entries in write order; the empty list when the file
     does not exist. Silently drops a trailing partial/corrupt entry
-    (crash semantics), but @raise Failure when corruption is followed
-    by more data (torn middle — a real error). *)
+    (crash semantics), but
+    @raise Storage_error.Error when corruption is followed by a later
+    valid frame (torn middle — a real error). Use {!replay_salvage}
+    to recover around mid-log damage instead. *)
+
+(** The structured result of a salvage scan. *)
+type salvage = {
+  entries : entry list;  (** every decodable entry, in write order *)
+  format : format;
+  generation : int;  (** 0 for v0 or when the header is unreadable *)
+  scanned_bytes : int;  (** file size *)
+  bytes_skipped : int;  (** mid-log debris skipped over *)
+  first_bad_offset : int option;
+      (** first offset at which frame parsing failed, including a torn
+          tail; [None] iff the file parsed cleanly end to end *)
+  torn_tail_bytes : int;
+      (** trailing bytes dropped as crash debris (no later valid frame) *)
+}
+
+val replay_salvage : string -> salvage
+(** Scan-ahead salvage: never raises on corrupt input. On a bad frame
+    it scans forward for the next structurally valid, CRC-checked
+    frame, counts the skipped bytes, and carries on; trailing debris
+    is reported as a torn tail. A missing file yields an empty clean
+    report. *)
 
 val reset : string -> unit
-(** Truncate the log (after a checkpoint). *)
+(** Truncate the log to an empty v1 file at the next generation
+    (after a checkpoint). Safe to call on a path whose handle is
+    still open {e only} for v1 handles — the open handle appends in
+    v1 framing past the rewritten header. For a handle-aware
+    truncation (and the only correct way to reset a v0-format
+    handle), use {!truncate}. *)
+
+val truncate : t -> unit
+(** Truncate through the handle: bumps the generation, rewrites the
+    header, and re-points the handle (upgrading a v0 handle to v1).
+    @raise Storage_error.Error [(Closed _)] after {!close}. *)

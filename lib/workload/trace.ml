@@ -59,6 +59,24 @@ let mixed ~seed ?(insert_ratio = 0.6) ?(zipf_s = 0.8) ?(domain = 12) start ~ops 
   in
   build start ops []
 
+let prefix trace n = List.filteri (fun i _ -> i < n) trace
+
+type crash_point = {
+  after_ops : int;
+  site : string;
+}
+
+let crash_schedule ~seed ~sites ~ops ~points =
+  let site_array = Array.of_list sites in
+  if Array.length site_array = 0 || ops <= 0 || points <= 0 then []
+  else begin
+    let rng = Prng.create seed in
+    let count = min points ops in
+    Prng.sample_distinct rng count ops
+    |> List.sort compare
+    |> List.map (fun after_ops -> { after_ops; site = Prng.pick rng site_array })
+  end
+
 let replay trace ~insert ~delete =
   List.iter
     (fun op -> match op with Insert t -> insert t | Delete t -> delete t)

@@ -29,6 +29,26 @@ val mixed :
     with Zipf exponent [zipf_s] (default [0.8]). Deletes pick a
     uniformly random live tuple. *)
 
+val prefix : op list -> int -> op list
+(** The first [n] operations — the state a crash after [n] applied
+    operations must recover to (via {!final_relation}). *)
+
+(** A scheduled failure: after [after_ops] operations have been
+    applied, the failure site named [site] is armed. Sites are plain
+    strings so this module stays independent of the storage layer;
+    the crash soak passes [Storage.Failpoint] site names through. *)
+type crash_point = {
+  after_ops : int;
+  site : string;
+}
+
+val crash_schedule :
+  seed:int -> sites:string list -> ops:int -> points:int -> crash_point list
+(** [crash_schedule ~seed ~sites ~ops ~points] — up to [points]
+    crash points at distinct operation indices in [\[0, ops)],
+    ascending, each assigned a site drawn deterministically from
+    [sites]. Equal seeds give equal schedules. *)
+
 val replay :
   op list -> insert:(Tuple.t -> unit) -> delete:(Tuple.t -> unit) -> unit
 

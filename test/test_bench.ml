@@ -62,6 +62,17 @@ let test_e6 () =
 let test_x2 () =
   check_report "X2" Bench_reports.Reports.x2_minimum [ "Example 2 (R3)" ]
 
+let test_x4 () =
+  let output = capture Bench_reports.Reports.x4_recovery in
+  List.iter
+    (fun landmark ->
+      Alcotest.(check bool)
+        (Printf.sprintf "X4 mentions %S" landmark)
+        true (contains output landmark))
+    [ "replay exact"; "A clean log replays to the exact pre-crash state" ];
+  (* A "NO" in the replay-exact column would mean a recovery miss. *)
+  Alcotest.(check bool) "X4 reports no replay miss" false (contains output "NO")
+
 let () =
   Alcotest.run "bench-reports"
     [
@@ -74,5 +85,6 @@ let () =
           Alcotest.test_case "E5 fig 3" `Quick test_e5;
           Alcotest.test_case "E6 theorems" `Quick test_e6;
           Alcotest.test_case "X2 minimum" `Quick test_x2;
+          Alcotest.test_case "X4 recovery" `Quick test_x4;
         ] );
     ]

@@ -1,0 +1,375 @@
+(* Crash-matrix soak: drive a deterministic update trace against the
+   WAL-backed table while injecting every registered failure mode at
+   every registered site, then recover from disk and audit the result.
+   Acceptance, per cell: recovery raises nothing, the recovered table
+   passes the cross-layer audit, and its state either matches the
+   golden executor exactly or the loss is visible in the structured
+   recovery report. A byte-level matrix additionally truncates and
+   bit-flips the WAL at every byte offset.
+
+   Deterministic: set CRASH_SEED to reproduce a cell (default 42). *)
+
+open Relational
+open Storage
+open Support
+
+let seed =
+  match Sys.getenv_opt "CRASH_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 42)
+  | None -> 42
+
+let order3 = Schema.attributes schema3
+let start = Relation.empty schema3
+
+let pp_fault = function
+  | Failpoint.Crash -> "crash"
+  | Failpoint.Short_write n -> Printf.sprintf "short:%d" n
+  | Failpoint.Bit_flip n -> Printf.sprintf "flip:%d" n
+  | Failpoint.Drop_write -> "drop"
+
+let flat table = Nfr_core.Nfr.flatten (Table.snapshot table)
+
+(* Loss that recovery is allowed to have, provided it says so. *)
+let lossy report =
+  report.Table.skipped_ops > 0
+  || (match report.Table.snapshot_status with `Corrupt _ -> true | _ -> false)
+  || (match report.Table.wal_salvage with
+     | Some s -> s.Wal.bytes_skipped > 0 || s.Wal.torn_tail_bytes > 0
+     | None -> false)
+
+(* The tolerant executor mirrors salvage-recovery semantics: inserts
+   are set-adds, deletes of absent tuples are skipped. *)
+let tolerant_final ops =
+  List.fold_left
+    (fun live op ->
+      match op with
+      | Workload.Trace.Insert t -> Relation.add live t
+      | Workload.Trace.Delete t ->
+        if Relation.mem live t then Relation.remove live t else live)
+    start ops
+
+let with_scratch f =
+  let wal_path = Filename.temp_file "nf2-crash" ".wal" in
+  let snap_path = Filename.temp_file "nf2-crash" ".snap" in
+  Sys.remove wal_path;
+  Sys.remove snap_path;
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.reset ();
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ wal_path; snap_path; snap_path ^ ".tmp" ])
+    (fun () -> f ~wal_path ~snap_path)
+
+let apply_op table = function
+  | Workload.Trace.Insert t -> ignore (Table.insert table t)
+  | Workload.Trace.Delete t -> Table.delete table t
+
+(* ------------------------------------------------------------------ *)
+(* Site x fault matrix                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive [ops] with a snapshot + checkpoint after op [mid], [fault]
+   armed at [site] (firing on hit [after + 1]). Returns (ops applied,
+   simulated process death). *)
+let run_cell ~name ~ops ~mid ~site ~fault ~after ~wal_path ~snap_path =
+  Failpoint.reset ();
+  let table = Table.create ~wal_path ~order:order3 schema3 in
+  let applied = ref 0 in
+  let crashed =
+    try
+      Failpoint.arm ~after site fault;
+      List.iteri
+        (fun i op ->
+          apply_op table op;
+          incr applied;
+          if i = mid then begin
+            Table.save_snapshot table snap_path;
+            Table.checkpoint table
+          end)
+        ops;
+      false
+    with Failpoint.Crashed _ -> true
+  in
+  (* The armed fault must actually have fired — a renamed or moved
+     site would otherwise make every cell pass vacuously. *)
+  Alcotest.(check bool)
+    (name ^ ": fault fired")
+    true
+    (List.mem (site, fault) (Failpoint.fired ()));
+  Failpoint.reset ();
+  (try Table.close table with _ -> ());
+  (!applied, crashed)
+
+let recover_from_disk ~wal_path ~snap_path =
+  if Sys.file_exists snap_path then
+    Table.load_snapshot_salvage ~wal_path snap_path
+  else Table.recover_salvage ~wal_path ~order:order3 schema3
+
+let check_cell ~name ~ops ~applied ~crashed ~fault ~after recovered report =
+  Alcotest.(check bool) (name ^ ": cross-layer audit") true
+    (Table.check_invariants recovered);
+  let state = flat recovered in
+  let matches_prefix k =
+    Relation.equal state (tolerant_final (Workload.Trace.prefix ops k))
+  in
+  let matches_without_op j =
+    Relation.equal state
+      (tolerant_final (List.filteri (fun i _ -> i <> j) ops))
+  in
+  let ok =
+    if crashed then
+      (* The in-flight op is the only ambiguity: it was either durable
+         or it was not. Anything else must be reported. *)
+      matches_prefix applied || matches_prefix (applied + 1) || lossy report
+    else
+      (* The run completed; only a silent Drop_write may shave exactly
+         the op whose append was dropped. *)
+      matches_prefix (List.length ops)
+      || lossy report
+      || (fault = Failpoint.Drop_write && matches_without_op after)
+  in
+  Alcotest.(check bool) (name ^ ": golden state or reported loss") true ok
+
+let test_site_fault_matrix () =
+  let ops = Workload.Trace.mixed ~seed start ~ops:60 in
+  let total = List.length ops in
+  let mid = total / 2 in
+  List.iter
+    (fun (site, kind) ->
+      if site <> "engine.load.record" then
+        List.iter
+          (fun fault ->
+            (* Append sites are hit once per op: exercise one shot in
+               the pre-checkpoint half and one in the WAL tail. *)
+            let afters =
+              if String.length site >= 3 && String.sub site 0 3 = "wal" && site <> "wal.reset"
+              then [ 4; mid + 3 ]
+              else [ 0 ]
+            in
+            List.iter
+              (fun after ->
+                let name =
+                  Printf.sprintf "%s/%s@%d" site (pp_fault fault) after
+                in
+                with_scratch (fun ~wal_path ~snap_path ->
+                    let applied, crashed =
+                      run_cell ~name ~ops ~mid ~site ~fault ~after ~wal_path
+                        ~snap_path
+                    in
+                    let recovered, report = recover_from_disk ~wal_path ~snap_path in
+                    check_cell ~name ~ops ~applied ~crashed ~fault ~after
+                      recovered report;
+                    Table.close recovered))
+              afters)
+          (Failpoint.faults_for kind))
+    Failpoint.sites
+
+(* The engine loader's site, separately: it has no WAL behind it, so
+   the contract is simply typed failure or visible shrinkage. *)
+let test_engine_load_matrix () =
+  let flat_rel = Workload.Scenarios.university_relationship ~rows:40 () in
+  let rows = Relation.cardinality flat_rel in
+  Fun.protect ~finally:Failpoint.reset (fun () ->
+      (* Crash / torn write kill the load. *)
+      List.iter
+        (fun fault ->
+          Failpoint.reset ();
+          Failpoint.arm ~after:7 "engine.load.record" fault;
+          Alcotest.(check bool)
+            (Printf.sprintf "load dies on %s" (pp_fault fault))
+            true
+            (match Engine.load_flat flat_rel with
+            | exception Failpoint.Crashed _ -> true
+            | _ -> false))
+        [ Failpoint.Crash; Failpoint.Short_write 3 ];
+      (* A dropped record shrinks the store, silently but visibly. *)
+      Failpoint.reset ();
+      Failpoint.arm ~after:7 "engine.load.record" Failpoint.Drop_write;
+      let store = Engine.load_flat flat_rel in
+      Alcotest.(check int) "dropped record missing from the heap" (rows - 1)
+        (Engine.flat_footprint store).Engine.records;
+      (* A flipped record is caught as a typed error at decode time. *)
+      Failpoint.reset ();
+      Failpoint.arm ~after:7 "engine.load.record" (Failpoint.Bit_flip 21);
+      let store = Engine.load_flat flat_rel in
+      let stats = Stats.create () in
+      Alcotest.(check bool) "flipped record surfaces as a typed error" true
+        (match
+           Engine.flat_scan_eq store ~stats (attr "Student") (v "student1")
+         with
+        | exception Storage_error.Error (Storage_error.Corrupt _) -> true
+        | exception Storage_error.Error _ -> true
+        | _ ->
+          (* The flip can land in a value's bytes and still decode; the
+             scan then simply returns (possibly wrong) tuples — that is
+             the heap's contract, detection lives in the WAL/snapshot
+             layers. Accept it, but only when nothing escaped as an
+             untyped exception. *)
+          true))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level matrix                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_wal ~ops ~wal_path =
+  let table = Table.create ~wal_path ~order:order3 schema3 in
+  List.iter (apply_op table) ops;
+  Table.close table
+
+let entry_matches entry op =
+  match (entry, op) with
+  | Wal.Insert a, Workload.Trace.Insert b -> Tuple.equal a b
+  | Wal.Delete a, Workload.Trace.Delete b -> Tuple.equal a b
+  | _ -> false
+
+let test_truncation_matrix () =
+  with_scratch (fun ~wal_path ~snap_path:_ ->
+      let ops = Workload.Trace.mixed ~seed start ~ops:40 in
+      build_wal ~ops ~wal_path;
+      let full = In_channel.with_open_bin wal_path In_channel.input_all in
+      let arr = Array.of_list ops in
+      for cut = 0 to String.length full do
+        Out_channel.with_open_bin wal_path (fun oc ->
+            Out_channel.output_string oc (String.sub full 0 cut));
+        let salvage = Wal.replay_salvage wal_path in
+        if salvage.Wal.bytes_skipped > 0 then
+          Alcotest.failf "cut %d: truncation reported as mid-log damage" cut;
+        List.iteri
+          (fun i entry ->
+            if not (entry_matches entry arr.(i)) then
+              Alcotest.failf "cut %d: salvaged entry %d diverges" cut i)
+          salvage.Wal.entries;
+        let k = List.length salvage.Wal.entries in
+        let recovered, report =
+          Table.recover_salvage ~wal_path ~order:order3 schema3
+        in
+        if report.Table.skipped_ops > 0 then
+          Alcotest.failf "cut %d: %d ops skipped" cut report.Table.skipped_ops;
+        if not (Table.check_invariants recovered) then
+          Alcotest.failf "cut %d: cross-layer audit failed" cut;
+        if
+          not
+            (Relation.equal (flat recovered)
+               (tolerant_final (Workload.Trace.prefix ops k)))
+        then Alcotest.failf "cut %d: state is not the recovered prefix" cut;
+        Table.close recovered
+      done)
+
+let test_bit_flip_matrix () =
+  with_scratch (fun ~wal_path ~snap_path:_ ->
+      let ops = Workload.Trace.mixed ~seed:(seed + 1) start ~ops:40 in
+      build_wal ~ops ~wal_path;
+      let full = In_channel.with_open_bin wal_path In_channel.input_all in
+      let golden = tolerant_final ops in
+      for position = 0 to String.length full - 1 do
+        let damaged = Bytes.of_string full in
+        Bytes.set damaged position
+          (Char.chr
+             (Char.code (Bytes.get damaged position)
+             lxor (1 lsl (position mod 8))));
+        Out_channel.with_open_bin wal_path (fun oc ->
+            Out_channel.output_bytes oc damaged);
+        (* Salvage must never raise, whatever the flip hit. *)
+        let salvage = Wal.replay_salvage wal_path in
+        let recovered, report =
+          Table.recover_salvage ~wal_path ~order:order3 schema3
+        in
+        if not (Table.check_invariants recovered) then
+          Alcotest.failf "flip at %d: cross-layer audit failed" position;
+        let damage_visible =
+          salvage.Wal.bytes_skipped > 0
+          || salvage.Wal.torn_tail_bytes > 0
+          || salvage.Wal.first_bad_offset <> None
+          || report.Table.skipped_ops > 0
+          (* Header flips change the log's identity rather than a
+             frame: a corrupted magic demotes the parse to v0, a
+             corrupted generation varint shows up directly. *)
+          || salvage.Wal.format = Wal.V0
+          || salvage.Wal.generation <> 1
+        in
+        if not (Relation.equal (flat recovered) golden || damage_visible) then
+          Alcotest.failf "flip at %d: silent divergence from the golden state"
+            position;
+        Table.close recovered
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduled crash / recover / resume soak                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduled_crashes () =
+  with_scratch (fun ~wal_path ~snap_path:_ ->
+      let ops = Workload.Trace.mixed ~seed:(seed + 2) start ~ops:80 in
+      let sites = [ "wal.append.before"; "wal.append.frame"; "wal.append.after" ] in
+      let schedule =
+        Workload.Trace.crash_schedule ~seed ~sites ~ops:(List.length ops)
+          ~points:6
+      in
+      Alcotest.(check bool) "schedule is non-trivial" true
+        (List.length schedule > 0);
+      let table = ref (Table.create ~wal_path ~order:order3 schema3) in
+      let upcoming = ref schedule in
+      let crashes = ref 0 in
+      let tolerant_apply t op =
+        match op with
+        | Workload.Trace.Insert tuple -> ignore (Table.insert t tuple)
+        | Workload.Trace.Delete tuple -> (
+          (* After a crash-after-append the op may already be durable;
+             the retry below must then be a no-op. *)
+          try Table.delete t tuple
+          with Nfr_core.Update.Not_in_relation -> ())
+      in
+      List.iteri
+        (fun i op ->
+          (match !upcoming with
+          | { Workload.Trace.after_ops; site } :: rest when after_ops = i ->
+            upcoming := rest;
+            Failpoint.arm site Failpoint.Crash
+          | _ -> ());
+          let rec attempt () =
+            try tolerant_apply !table op
+            with Failpoint.Crashed _ ->
+              incr crashes;
+              Failpoint.reset ();
+              (try Table.close !table with _ -> ());
+              let recovered, report =
+                Table.recover_salvage ~wal_path ~order:order3 schema3
+              in
+              Alcotest.(check bool) "audit after mid-trace crash" true
+                (Table.check_invariants recovered);
+              Alcotest.(check int) "no ops lost to the crash" 0
+                report.Table.skipped_ops;
+              table := recovered;
+              attempt ()
+          in
+          attempt ())
+        ops;
+      Alcotest.(check int) "every scheduled crash fired" (List.length schedule)
+        !crashes;
+      Alcotest.check relation_testable
+        "resumed run converges on the golden state" (tolerant_final ops)
+        (flat !table);
+      Table.close !table)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "every site x every fault" `Quick
+            test_site_fault_matrix;
+          Alcotest.test_case "engine load faults" `Quick test_engine_load_matrix;
+        ] );
+      ( "bytes",
+        [
+          Alcotest.test_case "truncation at every byte" `Slow
+            test_truncation_matrix;
+          Alcotest.test_case "bit flip at every byte" `Slow test_bit_flip_matrix;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "crash, recover, resume" `Quick
+            test_scheduled_crashes;
+        ] );
+    ]

@@ -405,6 +405,7 @@ let () =
               Alcotest.(check bool) "fails loudly" true
                 (match Hcodec.decode (Bytes.of_string "\x02\x01z\x09") 0 with
                 | exception Failure _ -> true
+                | exception Storage.Storage_error.Error _ -> true
                 | exception Hrel.Hnfr_error _ -> true
                 | exception Invalid_argument _ -> true
                 | _ -> false));

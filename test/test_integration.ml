@@ -202,7 +202,7 @@ let test_codec_rejects_garbage () =
   let garbage = Bytes.of_string "\x07\x99garbage-bytes" in
   Alcotest.(check bool) "decode_ntuple fails loudly" true
     (match Storage.Codec.decode_ntuple garbage 0 with
-    | exception Failure _ -> true
+    | exception Storage.Storage_error.Error (Storage.Storage_error.Corrupt _) -> true
     | exception Invalid_argument _ -> true
     | _ -> false);
   (* Truncating a valid encoding mid-stream also fails loudly. *)
@@ -213,7 +213,7 @@ let test_codec_rejects_garbage () =
   let truncated = Bytes.sub full 0 (Bytes.length full - 2) in
   Alcotest.(check bool) "truncation detected" true
     (match Storage.Codec.decode_ntuple truncated 0 with
-    | exception Failure _ -> true
+    | exception Storage.Storage_error.Error (Storage.Storage_error.Corrupt _) -> true
     | _ -> false)
 
 let () =

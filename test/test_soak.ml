@@ -137,6 +137,110 @@ let test_soak_wal_table () =
         (Storage.Table.snapshot recovered);
       Storage.Table.close recovered)
 
+let test_soak_snapshot_faults () =
+  (* Snapshot round-trips under injected faults: cycles of mixed
+     updates, each ending in a save that may be torn, bit-flipped,
+     dropped or crashed. The slot invariant: the snapshot file either
+     loads to a complete, correct state or fails with a typed error —
+     it is never silently wrong, and a tear/crash never damages the
+     previous snapshot. *)
+  let wal_path = Filename.temp_file "nf2-soakwal" ".wal" in
+  let snap_path = Filename.temp_file "nf2-soaksnap" ".snap" in
+  Sys.remove wal_path;
+  Sys.remove snap_path;
+  Fun.protect
+    ~finally:(fun () ->
+      Storage.Failpoint.reset ();
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ wal_path; snap_path; snap_path ^ ".tmp" ])
+    (fun () ->
+      let schema = schema3 in
+      let order = Schema.attributes schema in
+      let rng = Workload.Prng.create 36 in
+      let table = Storage.Table.create ~wal_path ~order schema in
+      let random_tuple () =
+        Tuple.make schema
+          (List.init 3 (fun i ->
+               Value.of_string
+                 (Printf.sprintf "%c%d"
+                    (Char.chr (Char.code 'a' + i))
+                    (Workload.Prng.int rng 6))))
+      in
+      let faults =
+        [
+          Storage.Failpoint.Crash;
+          Storage.Failpoint.Short_write 6;
+          Storage.Failpoint.Bit_flip 25;
+          Storage.Failpoint.Drop_write;
+        ]
+      in
+      let good = ref None in
+      for cycle = 1 to 24 do
+        for _ = 1 to 25 do
+          let tuple = random_tuple () in
+          if Workload.Prng.bool rng then ignore (Storage.Table.insert table tuple)
+          else if Storage.Table.member table tuple then
+            Storage.Table.delete table tuple
+        done;
+        let live = Storage.Table.snapshot table in
+        if cycle mod 3 = 0 then begin
+          (* A faulty save. *)
+          let fault =
+            List.nth faults (Workload.Prng.int rng (List.length faults))
+          in
+          let tear_like =
+            match fault with
+            | Storage.Failpoint.Crash | Storage.Failpoint.Short_write _ -> true
+            | _ -> false
+          in
+          Storage.Failpoint.arm "snapshot.body" fault;
+          (match Storage.Table.save_snapshot table snap_path with
+          | () -> ()
+          | exception Storage.Failpoint.Crashed _ -> ());
+          Storage.Failpoint.reset ();
+          match Storage.Table.load_snapshot snap_path with
+          | recovered ->
+            (* Whatever loads must be a complete state we actually had. *)
+            let state = Storage.Table.snapshot recovered in
+            Alcotest.(check bool)
+              (Printf.sprintf "cycle %d: slot holds a full good state" cycle)
+              true
+              (Nfr.equal state live
+              || match !good with Some g -> Nfr.equal state g | None -> false);
+            Storage.Table.close recovered
+          | exception Storage.Storage_error.Error _ ->
+            (* Detected damage is acceptable for a flip or a lost
+               flush — but a tear or crash lands on the temp file and
+               must leave the previous snapshot untouched. *)
+            if tear_like && !good <> None then
+              Alcotest.failf "cycle %d: a torn save damaged the slot" cycle
+        end
+        else begin
+          (* Clean save: the round-trip (with stale-WAL detection — no
+             checkpoint has happened yet) reproduces the live state. *)
+          Storage.Table.save_snapshot table snap_path;
+          good := Some live;
+          let recovered, report =
+            Storage.Table.load_snapshot_salvage ~wal_path snap_path
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "cycle %d: round-trip equals the live state" cycle)
+            true
+            (Nfr.equal live (Storage.Table.snapshot recovered));
+          Alcotest.(check bool)
+            (Printf.sprintf "cycle %d: pre-checkpoint WAL is stale" cycle)
+            true report.Storage.Table.stale_wal;
+          Alcotest.(check bool)
+            (Printf.sprintf "cycle %d: audit passes" cycle)
+            true
+            (Storage.Table.check_invariants recovered);
+          Storage.Table.close recovered;
+          Storage.Table.checkpoint table
+        end
+      done;
+      Storage.Table.close table)
+
 let () =
   Alcotest.run "soak"
     [
@@ -154,5 +258,7 @@ let () =
       ( "wal-table",
         [
           Alcotest.test_case "500 ops + recovery" `Slow test_soak_wal_table;
+          Alcotest.test_case "snapshot round-trips under faults" `Slow
+            test_soak_snapshot_faults;
         ] );
     ]

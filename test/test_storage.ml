@@ -44,7 +44,7 @@ let test_codec_varint () =
     | _ -> false);
   Alcotest.(check bool) "truncated detected" true
     (match Codec.decode_varint (Bytes.of_string "\x80") 0 with
-    | exception Failure _ -> true
+    | exception Storage_error.Error (Storage_error.Corrupt _) -> true
     | _ -> false)
 
 let test_codec_tuples () =
@@ -461,6 +461,363 @@ let test_table_checkpoint () =
       Table.close table)
 
 (* ------------------------------------------------------------------ *)
+(* Durability: v1 framing, typed errors, fault injection               *)
+(* ------------------------------------------------------------------ *)
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let write_all path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let flip_bit s position =
+  let damaged = Bytes.of_string s in
+  Bytes.set damaged position
+    (Char.chr (Char.code (Bytes.get damaged position) lxor 0x10));
+  Bytes.to_string damaged
+
+(* A legacy v0 frame: varint length + payload + 1-byte additive
+   checksum — what the pre-CRC log format wrote. *)
+let v0_frame tag tuple =
+  let payload = Buffer.create 32 in
+  Buffer.add_char payload tag;
+  Codec.encode_tuple payload tuple;
+  let payload = Buffer.contents payload in
+  let framed = Buffer.create 40 in
+  Codec.encode_varint framed (String.length payload);
+  Buffer.add_string framed payload;
+  let total = ref 0 in
+  String.iter (fun c -> total := (!total + Char.code c) land 0xFF) payload;
+  Buffer.add_char framed (Char.chr !total);
+  Buffer.contents framed
+
+let test_wal_v1_header () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      Alcotest.(check int) "fresh generation" 1 (Wal.generation wal);
+      Wal.append wal (Wal.Insert (row schema2 [ "a"; "b" ]));
+      Wal.close wal;
+      Alcotest.(check string) "magic leads the file" "NF2WALv1"
+        (String.sub (read_all path) 0 8);
+      let salvage = Wal.replay_salvage path in
+      Alcotest.(check int) "one entry" 1 (List.length salvage.Wal.entries);
+      Alcotest.(check int) "generation read back" 1 salvage.Wal.generation;
+      Alcotest.(check bool) "v1 format" true (salvage.Wal.format = Wal.V1);
+      Alcotest.(check int) "nothing skipped" 0 salvage.Wal.bytes_skipped;
+      Alcotest.(check int) "no torn tail" 0 salvage.Wal.torn_tail_bytes)
+
+let test_wal_legacy_v0 () =
+  with_temp_file (fun path ->
+      let t1 = row schema2 [ "a1"; "b1" ] and t2 = row schema2 [ "a2"; "b2" ] in
+      write_all path (v0_frame 'I' t1);
+      (match Wal.replay path with
+      | [ Wal.Insert r ] -> Alcotest.check tuple_testable "legacy entry" t1 r
+      | entries -> Alcotest.failf "expected 1 entry, got %d" (List.length entries));
+      Alcotest.(check bool) "detected as v0" true
+        ((Wal.replay_salvage path).Wal.format = Wal.V0);
+      (* Appending keeps the legacy framing: one log never mixes formats. *)
+      let wal = Wal.open_log path in
+      Wal.append wal (Wal.Insert t2);
+      Wal.close wal;
+      Alcotest.(check int) "both entries replay" 2 (List.length (Wal.replay path));
+      Alcotest.(check bool) "still v0" true
+        ((Wal.replay_salvage path).Wal.format = Wal.V0))
+
+let test_wal_append_after_close () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      Wal.append wal (Wal.Insert (row schema2 [ "a"; "b" ]));
+      Wal.close wal;
+      Alcotest.(check bool) "append after close is a typed error" true
+        (match Wal.append wal (Wal.Insert (row schema2 [ "x"; "y" ])) with
+        | exception Storage_error.Error (Storage_error.Closed _) -> true
+        | _ -> false);
+      Alcotest.(check int) "log undamaged" 1 (List.length (Wal.replay path)))
+
+let test_wal_midlog_salvage () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      let tuples =
+        List.init 5 (fun i -> row schema2 [ Printf.sprintf "a%d" i; String.make 8 'b' ])
+      in
+      List.iter (fun t -> Wal.append wal (Wal.Insert t)) tuples;
+      Wal.close wal;
+      (* One flipped bit in the middle of the log. *)
+      let contents = read_all path in
+      write_all path (flip_bit contents (String.length contents / 2));
+      Alcotest.(check bool) "strict replay refuses mid-log damage" true
+        (match Wal.replay path with
+        | exception Storage_error.Error (Storage_error.Corrupt _) -> true
+        | _ -> false);
+      let salvage = Wal.replay_salvage path in
+      Alcotest.(check bool) "salvage recovers around the damage" true
+        (List.length salvage.Wal.entries >= 3);
+      Alcotest.(check bool) "skipped bytes reported" true
+        (salvage.Wal.bytes_skipped > 0);
+      Alcotest.(check bool) "first bad offset reported" true
+        (salvage.Wal.first_bad_offset <> None);
+      List.iter
+        (fun entry ->
+          match entry with
+          | Wal.Insert t ->
+            Alcotest.(check bool) "salvaged entry is genuine" true
+              (List.exists (Tuple.equal t) tuples)
+          | Wal.Delete _ -> Alcotest.fail "unexpected delete salvaged")
+        salvage.Wal.entries)
+
+let test_wal_tail_debris_rejected () =
+  (* The legacy heuristic probed every tail byte for "length + payload
+     + additive checksum" and accepted 1-in-256 random debris as an
+     entry. Craft debris that passes that sum check and splice it after
+     a valid v1 log: CRC framing must treat it as a torn tail. *)
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let wal = Wal.open_log path in
+      Wal.append wal (Wal.Insert (row schema2 [ "a1"; "b1" ]));
+      Wal.append wal (Wal.Insert (row schema2 [ "a2"; "b2" ]));
+      Wal.close wal;
+      let debris = v0_frame 'I' (row schema2 [ "zz"; "zz" ]) in
+      write_all path (read_all path ^ debris);
+      Alcotest.(check int) "debris is not an entry" 2
+        (List.length (Wal.replay path));
+      let salvage = Wal.replay_salvage path in
+      Alcotest.(check int) "torn tail covers exactly the debris"
+        (String.length debris) salvage.Wal.torn_tail_bytes)
+
+let test_failpoint_registry () =
+  Failpoint.reset ();
+  Fun.protect ~finally:Failpoint.reset (fun () ->
+      Failpoint.hit "wal.append.before";
+      Alcotest.(check int) "hits counted" 1 (Failpoint.hits "wal.append.before");
+      (* One-shot, with an after-skip. *)
+      Failpoint.arm ~after:1 "wal.append.before" Failpoint.Crash;
+      Failpoint.hit "wal.append.before";
+      Alcotest.(check bool) "fires on the (after+1)-th hit" true
+        (match Failpoint.hit "wal.append.before" with
+        | exception Failpoint.Crashed _ -> true
+        | () -> false);
+      Failpoint.hit "wal.append.before";
+      Alcotest.(check bool) "fired log records the shot" true
+        (List.mem ("wal.append.before", Failpoint.Crash) (Failpoint.fired ()));
+      (* Write effects. *)
+      Failpoint.arm "x" (Failpoint.Short_write 2);
+      Alcotest.(check bool) "short write keeps the prefix" true
+        (Failpoint.on_write "x" "abcdef" = Failpoint.Partial "ab");
+      Failpoint.arm "x" (Failpoint.Bit_flip 0);
+      Alcotest.(check bool) "bit flip flips exactly one bit" true
+        (Failpoint.on_write "x" "\x00" = Failpoint.Full "\x01");
+      Failpoint.arm "x" Failpoint.Drop_write;
+      Alcotest.(check bool) "drop loses the write" true
+        (Failpoint.on_write "x" "abc" = Failpoint.Dropped);
+      Alcotest.(check bool) "disarmed after firing" true
+        (Failpoint.on_write "x" "abc" = Failpoint.Full "abc");
+      (* Deterministic schedules. *)
+      Alcotest.(check bool) "plans are deterministic" true
+        (Failpoint.plan ~seed:7 10 = Failpoint.plan ~seed:7 10);
+      Alcotest.(check bool) "plans vary with the seed" true
+        (Failpoint.plan ~seed:7 10 <> Failpoint.plan ~seed:8 10))
+
+let test_table_fault_injection () =
+  Failpoint.reset ();
+  Fun.protect ~finally:Failpoint.reset (fun () ->
+      (* Crash before the append: the op is lost whole. *)
+      with_temp_file (fun wal_path ->
+          Sys.remove wal_path;
+          let table = Table.create ~wal_path ~order:ab_order schema2 in
+          ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+          Failpoint.arm "wal.append.before" Failpoint.Crash;
+          Alcotest.(check bool) "crash propagates" true
+            (match Table.insert table (row schema2 [ "a2"; "b2" ]) with
+            | exception Failpoint.Crashed _ -> true
+            | _ -> false);
+          Table.close table;
+          let recovered, report =
+            Table.recover_salvage ~wal_path ~order:ab_order schema2
+          in
+          Alcotest.(check int) "only the first insert survived" 1
+            (Table.fact_count recovered);
+          Alcotest.(check int) "clean salvage" 0 report.Table.skipped_ops;
+          Alcotest.(check bool) "invariants hold" true
+            (Table.check_invariants recovered);
+          Table.close recovered);
+      (* Torn append: only a prefix of the frame reaches the file. *)
+      with_temp_file (fun wal_path ->
+          Sys.remove wal_path;
+          let table = Table.create ~wal_path ~order:ab_order schema2 in
+          ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+          Failpoint.arm "wal.append.frame" (Failpoint.Short_write 3);
+          (match Table.insert table (row schema2 [ "a2"; "b2" ]) with
+          | exception Failpoint.Crashed _ -> ()
+          | _ -> Alcotest.fail "torn write should crash");
+          Table.close table;
+          let recovered, report =
+            Table.recover_salvage ~wal_path ~order:ab_order schema2
+          in
+          Alcotest.(check int) "complete prefix recovered" 1
+            (Table.fact_count recovered);
+          (match report.Table.wal_salvage with
+          | Some s ->
+            Alcotest.(check int) "torn tail, not mid-log damage" 0
+              s.Wal.bytes_skipped;
+            Alcotest.(check bool) "torn bytes reported" true
+              (s.Wal.torn_tail_bytes > 0)
+          | None -> Alcotest.fail "expected a WAL salvage report");
+          Alcotest.(check bool) "invariants hold" true
+            (Table.check_invariants recovered);
+          Table.close recovered);
+      (* Lost flush: the entry silently never reaches the file. *)
+      with_temp_file (fun wal_path ->
+          Sys.remove wal_path;
+          let table = Table.create ~wal_path ~order:ab_order schema2 in
+          ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+          Failpoint.arm "wal.append.frame" Failpoint.Drop_write;
+          ignore (Table.insert table (row schema2 [ "a2"; "b2" ]));
+          Alcotest.(check int) "live table has both" 2 (Table.fact_count table);
+          Table.close table;
+          let recovered, _ =
+            Table.recover_salvage ~wal_path ~order:ab_order schema2
+          in
+          Alcotest.(check int) "dropped entry is gone after recovery" 1
+            (Table.fact_count recovered);
+          Table.close recovered);
+      (* Bit flip mid-log: salvage skips the damaged frame, keeps the
+         rest, and the lossy recovery lands Degraded. *)
+      with_temp_file (fun wal_path ->
+          Sys.remove wal_path;
+          let table = Table.create ~wal_path ~order:ab_order schema2 in
+          ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+          Failpoint.arm "wal.append.frame" (Failpoint.Bit_flip 13);
+          ignore (Table.insert table (row schema2 [ "a2"; "b2" ]));
+          ignore (Table.insert table (row schema2 [ "a3"; "b3" ]));
+          Table.close table;
+          let recovered, report =
+            Table.recover_salvage ~wal_path ~order:ab_order schema2
+          in
+          Alcotest.(check int) "damaged entry skipped, rest kept" 2
+            (Table.fact_count recovered);
+          Alcotest.(check bool) "corruption reported" true
+            ((match report.Table.wal_salvage with
+             | Some s -> s.Wal.bytes_skipped > 0
+             | None -> false));
+          (match Table.health recovered with
+          | Table.Degraded _ -> ()
+          | Table.Healthy -> Alcotest.fail "lossy recovery must degrade");
+          Alcotest.(check bool) "invariants hold" true
+            (Table.check_invariants recovered);
+          Table.close recovered))
+
+let test_table_degraded_readonly () =
+  with_temp_file (fun wal_path ->
+      Sys.remove wal_path;
+      let table = Table.create ~wal_path ~order:ab_order schema2 in
+      ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+      (* Sever the WAL underneath the table: the next write's
+         durability failure must degrade it, not half-apply. *)
+      Table.close table;
+      Alcotest.(check bool) "write fails with a typed error" true
+        (match Table.insert table (row schema2 [ "a2"; "b2" ]) with
+        | exception Storage_error.Error (Storage_error.Degraded _) -> true
+        | _ -> false);
+      (match Table.health table with
+      | Table.Degraded _ -> ()
+      | Table.Healthy -> Alcotest.fail "expected a degraded table");
+      Alcotest.(check int) "reads still serve" 1 (Table.fact_count table);
+      Alcotest.(check bool) "failed write left no trace" true
+        (not (Table.member table (row schema2 [ "a2"; "b2" ])));
+      Alcotest.(check bool) "layers still consistent" true
+        (Table.check_invariants table);
+      Alcotest.(check bool) "later deletes rejected up front" true
+        (match Table.delete table (row schema2 [ "a1"; "b1" ]) with
+        | exception Storage_error.Error (Storage_error.Degraded _) -> true
+        | _ -> false))
+
+let test_snapshot_fault_injection () =
+  Failpoint.reset ();
+  let snap_path = Filename.temp_file "nf2-snap" ".bin" in
+  let wal_path = Filename.temp_file "nf2-snapwal" ".wal" in
+  Sys.remove wal_path;
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.reset ();
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ snap_path; snap_path ^ ".tmp"; wal_path ])
+    (fun () ->
+      let table = Table.create ~wal_path ~order:ab_order schema2 in
+      ignore (Table.insert table (row schema2 [ "a1"; "b1" ]));
+      ignore (Table.insert table (row schema2 [ "a2"; "b2" ]));
+      Table.save_snapshot table snap_path;
+      Table.checkpoint table;
+      let golden = Table.snapshot table in
+      ignore (Table.insert table (row schema2 [ "a3"; "b3" ]));
+      (* 1. Torn snapshot write: the crash leaves the previous snapshot
+         untouched (the tear lands on the temp file). *)
+      Failpoint.arm "snapshot.body" (Failpoint.Short_write 10);
+      (match Table.save_snapshot table snap_path with
+      | exception Failpoint.Crashed _ -> ()
+      | () -> Alcotest.fail "torn snapshot write should crash");
+      let recovered = Table.load_snapshot snap_path in
+      Alcotest.(check bool) "previous snapshot intact after a tear" true
+        (Nfr_core.Nfr.equal golden (Table.snapshot recovered));
+      Table.close recovered;
+      (* 2. Crash between the temp write and the rename. *)
+      Failpoint.arm "snapshot.rename" Failpoint.Crash;
+      (match Table.save_snapshot table snap_path with
+      | exception Failpoint.Crashed _ -> ()
+      | () -> Alcotest.fail "rename crash should propagate");
+      let recovered = Table.load_snapshot snap_path in
+      Alcotest.(check bool) "rename crash keeps the old snapshot" true
+        (Nfr_core.Nfr.equal golden (Table.snapshot recovered));
+      Table.close recovered;
+      (* 3. Bit-flipped trailer: the checksum catches it; salvage
+         reports it and falls back. *)
+      Table.save_snapshot table snap_path;
+      let good = read_all snap_path in
+      write_all snap_path (flip_bit good (String.length good - 1));
+      Alcotest.(check bool) "flipped trailer is a typed error" true
+        (match Table.load_snapshot snap_path with
+        | exception Storage_error.Error (Storage_error.Corrupt _) -> true
+        | _ -> false);
+      let fallback, report = Table.load_snapshot_salvage snap_path in
+      (match report.Table.snapshot_status with
+      | `Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected a corrupt snapshot status");
+      (match Table.health fallback with
+      | Table.Degraded _ -> ()
+      | Table.Healthy -> Alcotest.fail "lossy snapshot recovery must degrade");
+      write_all snap_path good;
+      (* 4. Stale WAL: this snapshot was cut against the live WAL
+         generation with no checkpoint after it (the crash window
+         between save_snapshot and truncation) — recovery must skip
+         the log rather than double-apply it. *)
+      Table.close table;
+      let recovered, report = Table.load_snapshot_salvage ~wal_path snap_path in
+      Alcotest.(check bool) "stale WAL detected" true report.Table.stale_wal;
+      Alcotest.(check int) "nothing double-applied" 0 report.Table.applied;
+      Alcotest.(check int) "snapshot state stands alone" 3
+        (Table.fact_count recovered);
+      Alcotest.(check bool) "invariants hold" true
+        (Table.check_invariants recovered);
+      Table.close recovered)
+
+let test_table_check_invariants () =
+  let flat = Workload.Scenarios.university_relationship ~rows:80 () in
+  let order = Schema.attributes (Relation.schema flat) in
+  let table = Table.load ~ordered_on:(attr "Student") ~order flat in
+  Alcotest.(check bool) "fresh load passes the audit" true
+    (Table.check_invariants table);
+  List.iter
+    (fun tuple -> Table.delete table tuple)
+    (Workload.Gen.delete_stream ~seed:11 flat 25);
+  Alcotest.(check bool) "holds with tombstones" true
+    (Table.check_invariants table);
+  Table.compact table;
+  Alcotest.(check bool) "holds after compaction" true
+    (Table.check_invariants table)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -668,9 +1025,29 @@ let () =
                            Out_channel.output_string oc "\x00garbage");
                        Table.load_snapshot snap_path
                      with
-                    | exception Failure _ -> true
+                    | exception Storage_error.Error (Storage_error.Corrupt _) -> true
                     | exception Schema.Schema_error _ -> true
                     | _ -> false)));
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "WAL v1 header" `Quick test_wal_v1_header;
+          Alcotest.test_case "legacy v0 replay and append" `Quick
+            test_wal_legacy_v0;
+          Alcotest.test_case "append after close" `Quick
+            test_wal_append_after_close;
+          Alcotest.test_case "mid-log salvage" `Quick test_wal_midlog_salvage;
+          Alcotest.test_case "tail debris rejected" `Quick
+            test_wal_tail_debris_rejected;
+          Alcotest.test_case "failpoint registry" `Quick test_failpoint_registry;
+          Alcotest.test_case "faults through the table" `Quick
+            test_table_fault_injection;
+          Alcotest.test_case "degraded is read-only" `Quick
+            test_table_degraded_readonly;
+          Alcotest.test_case "snapshot faults" `Quick
+            test_snapshot_fault_injection;
+          Alcotest.test_case "cross-layer audit" `Quick
+            test_table_check_invariants;
         ] );
       ( "properties",
         [
