@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest bench reports timings examples doc clean loc
+.PHONY: all build test crashtest bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -20,6 +20,11 @@ crashtest:
 
 bench:
 	dune exec bench/main.exe
+
+# CI subset: no Bechamel timing runs, just the reports that drive the
+# physical executor end to end (E9 + per-operator EXPLAIN ANALYZE).
+benchsmoke:
+	dune exec bench/main.exe -- smoke
 
 reports:
 	dune exec bench/main.exe -- reports

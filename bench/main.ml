@@ -5,6 +5,7 @@
      dune exec bench/main.exe            reports + timings
      dune exec bench/main.exe -- reports reports only
      dune exec bench/main.exe -- timings timings only
+     dune exec bench/main.exe -- smoke   CI subset (E9 + per-operator)
 *)
 
 open Relational
@@ -269,6 +270,7 @@ let run_timings () =
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode = "smoke" then Bench_reports.Reports.run_smoke ();
   if mode = "reports" || mode = "all" then Bench_reports.Reports.run_all ();
   if mode = "timings" || mode = "all" then run_timings ();
   Format.printf "@.done.@."

@@ -450,7 +450,8 @@ let physical_arg =
     value & flag
     & info [ "physical" ]
         ~doc:"Run against the storage engine (heap/index/B+-tree) and print \
-              per-statement access costs")
+              per-statement access costs; EXPLAIN ANALYZE additionally breaks \
+              a SELECT down per operator")
 
 let make_backend physical loads =
   let backend = if physical then physical_backend () else logical_backend () in

@@ -50,45 +50,54 @@ let filter_componentwise schema parts nt =
       match acc with None -> None | Some nt -> filter_one nt part)
     (Some nt) parts
 
+(* Classification of a predicate for per-tuple selection: either every
+   conjunct mentions at most one attribute (componentwise filtering
+   applies) or the predicate is correlated (per-tuple expansion). *)
+let classify predicate =
+  let classified =
+    List.map (fun p -> (single_attribute p, p)) (conjuncts predicate)
+  in
+  if List.for_all (fun (single, _) -> single <> None) classified then
+    Some
+      (List.map
+         (fun (single, p) ->
+           match single with
+           | Some binding -> (binding, p)
+           | None -> assert false)
+         classified)
+  else None
+
+let select_tuple schema predicate nt =
+  (match Predicate.validate schema predicate with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Nalgebra.select_tuple: " ^ msg));
+  match classify predicate with
+  | Some parts -> (
+    match filter_componentwise schema parts nt with
+    | Some kept -> [ kept ]
+    | None -> [])
+  | None ->
+    (* Correlated predicate: expand this tuple. *)
+    List.filter_map
+      (fun tuple ->
+        if Predicate.eval schema predicate tuple then
+          Some (Ntuple.of_tuple tuple)
+        else None)
+      (Ntuple.expand nt)
+
 let select predicate ~order r =
   let schema = Nfr.schema r in
   (match Predicate.validate schema predicate with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Nalgebra.select: " ^ msg));
-  let parts =
-    let classified =
-      List.map (fun p -> (single_attribute p, p)) (conjuncts predicate)
-    in
-    if List.for_all (fun (single, _) -> single <> None) classified then
-      Some
-        (List.map
-           (fun (single, p) ->
-             match single with
-             | Some binding -> (binding, p)
-             | None -> assert false)
-           classified)
-    else None
-  in
   let filtered =
-    match parts with
-    | Some parts ->
-      Nfr.fold
-        (fun nt acc ->
-          match filter_componentwise schema parts nt with
-          | Some kept -> Nfr.add acc kept
-          | None -> acc)
-        r (Nfr.empty schema)
-    | None ->
-      (* Correlated predicate: expand per tuple. *)
-      Nfr.fold
-        (fun nt acc ->
-          List.fold_left
-            (fun acc tuple ->
-              if Predicate.eval schema predicate tuple then
-                Nfr.add acc (Ntuple.of_tuple tuple)
-              else acc)
-            acc (Ntuple.expand nt))
-        r (Nfr.empty schema)
+    Nfr.fold
+      (fun nt acc ->
+        List.fold_left
+          (fun acc kept -> Nfr.add acc kept)
+          acc
+          (select_tuple schema predicate nt))
+      r (Nfr.empty schema)
   in
   Nest.canonicalize filtered order
 

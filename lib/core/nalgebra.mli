@@ -22,6 +22,17 @@ val select : Predicate.t -> order:Attribute.t list -> Nfr.t -> Nfr.t
     componentwise (never expanding); correlated predicates fall back
     to per-tuple expansion. *)
 
+val select_tuple : Schema.t -> Predicate.t -> Ntuple.t -> Ntuple.t list
+(** Per-tuple selection kernel: the NFR tuples (zero or more) that one
+    input tuple contributes to [select predicate]. Componentwise
+    predicates shrink components in place (at most one output tuple);
+    correlated predicates expand the tuple and keep matching facts.
+    Streaming {!select} over a relation is [select_tuple] per tuple
+    followed by one final {!Nest.canonicalize} — the physical
+    executor's filter operator relies on exactly this decomposition.
+    @raise Invalid_argument when the predicate does not validate
+    against the schema. *)
+
 val componentwise_selectable : Predicate.t -> bool
 (** Would {!select} take the componentwise path (every top-level
     conjunct mentions at most one attribute)? Exposed for NFQL's

@@ -76,8 +76,11 @@ let nest_by_composition ?(seed = 0) r attribute =
     | [] -> r
     | candidates ->
       let state = lcg_next state in
-      let pick = abs state mod List.length candidates in
-      let i, j = List.nth candidates pick in
+      let candidates = Array.of_list candidates in
+      (* [abs min_int] is still negative (no positive counterpart in
+         two's complement), so mask the sign bit off instead. *)
+      let pick = state land max_int mod Array.length candidates in
+      let i, j = candidates.(pick) in
       let composed = Ntuple.compose tuples.(i) tuples.(j) position in
       let r' =
         Nfr.add (Nfr.remove (Nfr.remove r tuples.(i)) tuples.(j)) composed

@@ -45,6 +45,7 @@ type statement =
   | Select of select
   | Select_count of source * condition option
   | Explain of select
+  | Explain_analyze of select
   | Show of string
 
 let pp_literal ppf = function
@@ -148,4 +149,5 @@ let pp_statement ppf = function
         | Some c -> Format.fprintf ppf " WHERE %a" pp_condition c)
       condition
   | Explain s -> Format.fprintf ppf "EXPLAIN %a" pp_select s
+  | Explain_analyze s -> Format.fprintf ppf "EXPLAIN ANALYZE %a" pp_select s
   | Show table -> Format.fprintf ppf "SHOW %s" table

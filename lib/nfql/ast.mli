@@ -12,7 +12,7 @@
     SELECT *|col,... FROM t [JOIN t2] [WHERE cond]
         [NEST col,...] [UNNEST col,...]
     SELECT COUNT FROM t [WHERE cond]
-    EXPLAIN <select>
+    EXPLAIN [ANALYZE] <select>
     SHOW t
     v}
 
@@ -66,6 +66,8 @@ type statement =
   | Select of select
   | Select_count of source * condition option
   | Explain of select
+  | Explain_analyze of select
+      (** run the select and report per-operator execution metrics *)
   | Show of string
 
 val pp_literal : Format.formatter -> literal -> unit

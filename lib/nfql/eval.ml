@@ -246,6 +246,21 @@ let exec db statement =
   | Ast.Select s -> exec_select db s
   | Ast.Select_count (source, condition) -> exec_select_count db source condition
   | Ast.Explain s -> exec_explain db s
+  | Ast.Explain_analyze s ->
+    (* The logical back end has no physical operators to meter; report
+       the plan annotated with the select's actual output size. The
+       physical back end ({!Physical}) renders per-operator counters. *)
+    let plan =
+      match exec_explain db s with
+      | Done text -> text
+      | Rows _ -> assert false
+    in
+    (match exec_select db s with
+    | Rows rows ->
+      Done
+        (Printf.sprintf "%s\n  actual: %d fact(s) in %d NFR tuple(s)" plan
+           (Nfr.expansion_size rows) (Nfr.cardinality rows))
+    | Done _ -> assert false)
   | Ast.Show table -> Rows (find_table db table).nfr
 
 let exec_string db input =

@@ -39,7 +39,7 @@ let reserved =
     "select"; "from"; "where"; "nest"; "unnest"; "insert"; "into"; "values";
     "delete"; "create"; "table"; "drop"; "order"; "and"; "or"; "not";
     "contains"; "show"; "true"; "false"; "update"; "set"; "count"; "join";
-    "explain";
+    "explain"; "analyze";
   ]
 
 let ident st message =
@@ -250,12 +250,14 @@ let parse_update st =
 let statement st =
   if keyword st "select" then parse_select st
   else if keyword st "explain" then begin
+    let analyze = keyword st "analyze" in
     expect_keyword st "select";
     match parse_select st with
-    | Ast.Select s -> Ast.Explain s
+    | Ast.Select s -> if analyze then Ast.Explain_analyze s else Ast.Explain s
     | Ast.Select_count _ -> fail st "EXPLAIN COUNT is not supported"
     | Ast.Create _ | Ast.Drop _ | Ast.Insert _ | Ast.Delete_values _
-    | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _ | Ast.Show _ ->
+    | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _
+    | Ast.Explain_analyze _ | Ast.Show _ ->
       assert false
   end
   else if keyword st "create" then parse_create st

@@ -5,12 +5,19 @@ let error fmt = Compile.error fmt
 
 module String_map = Map.Make (String)
 
+module Ntuple_tbl = Hashtbl.Make (struct
+  type t = Ntuple.t
+
+  let equal = Ntuple.equal
+  let hash = Ntuple.hash
+end)
+
 type db = { mutable tables : Storage.Table.t String_map.t }
 
 type access_path =
   | Via_scan
   | Via_index of Attribute.t * Value.t
-  | Via_range of Attribute.t * Value.t * Value.t
+  | Via_range of Attribute.t * Value.t option * Value.t option
 
 let create () = { tables = String_map.empty }
 
@@ -99,129 +106,478 @@ let chosen_path db (s : Ast.select) =
               (None, None) predicates
           in
           match lo, hi with
-          | Some lo, Some hi -> Via_range (ordered, lo, hi)
-          | _, _ -> Via_scan))))
+          | None, None -> Via_scan
+          | lo, hi -> Via_range (ordered, lo, hi)))))
 
 (* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
+(* Pull-based operator tree                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* Peak-live-tuple meter: every operator that buffers decoded tuples
+   (filter queues, join queues, blocking canonicalize, the final
+   collector) registers what it holds, so [peak] is the high-water
+   mark of tuples simultaneously alive during one statement — the
+   number a materializing executor would push to O(table). *)
+type meter = {
+  mutable live : int;
+  mutable peak : int;
+}
+
+let meter_create () = { live = 0; peak = 0 }
+
+let meter_add m n =
+  m.live <- m.live + n;
+  if m.live > m.peak then m.peak <- m.live
+
+let meter_sub m n = m.live <- m.live - n
+
+(* One node of the operator tree. [pull] returns the next tuple or
+   [None] when exhausted; [stats] charges only this operator's own
+   storage touches, while [seconds] is inclusive of its inputs (a
+   parent's pull calls its children's pulls inside its own clock). *)
+type op = {
+  label : string;
+  stats : Storage.Stats.t;
+  mutable rows_out : int;
+  mutable seconds : float;
+  children : op list;
+  mutable pull : unit -> Ntuple.t option;
+}
+
+let make_op ?(children = []) label =
+  {
+    label;
+    stats = Storage.Stats.create ();
+    rows_out = 0;
+    seconds = 0.;
+    children;
+    pull = (fun () -> None);
+  }
+
+let pull_op op =
+  let start = Sys.time () in
+  let result = op.pull () in
+  op.seconds <- op.seconds +. (Sys.time () -. start);
+  (match result with
+  | Some _ -> op.rows_out <- op.rows_out + 1
+  | None -> ());
+  result
+
+let scan_op t name =
+  let op = make_op (Printf.sprintf "heap-scan %s" name) in
+  let cursor = lazy (Storage.Table.scan_cursor t ~stats:op.stats) in
+  op.pull <- (fun () -> (Lazy.force cursor) ());
+  op
+
+let probe_op t name attribute value =
+  let op =
+    make_op
+      (Printf.sprintf "index-probe %s (%s ∋ %s)" name (Attribute.name attribute)
+         (Value.to_string value))
+  in
+  let cursor =
+    lazy (Storage.Table.lookup_cursor t ~stats:op.stats attribute value)
+  in
+  op.pull <- (fun () -> (Lazy.force cursor) ());
+  op
+
+let bound_text prefix = function
+  | Some value -> Value.to_string value
+  | None -> prefix
+
+let range_op t name attribute lo hi =
+  let op =
+    make_op
+      (Printf.sprintf "btree-range %s (%s in [%s, %s])" name
+         (Attribute.name attribute) (bound_text "-∞" lo) (bound_text "+∞" hi))
+  in
+  let cursor = lazy (Storage.Table.range_cursor t ~stats:op.stats ?lo ?hi ()) in
+  op.pull <- (fun () -> (Lazy.force cursor) ());
+  op
+
+(* Streaming WHERE: tuple-level CONTAINS checks on the stored grouping
+   first, then the expansion-level predicates via
+   {!Nalgebra.select_tuple} (componentwise shrink, or per-tuple
+   expansion for correlated predicates). Predicates may turn one input
+   tuple into several output tuples; the extras wait in a queue. The
+   final re-canonicalization (when predicates exist) happens once, in
+   the collector — {!Nalgebra.select_tuple}'s contract makes that
+   equivalent to {!Compile.apply_where}. *)
+let filter_op schema ~contains ~predicates ~label meter child =
+  let op = make_op ~children:[ child ] (Printf.sprintf "filter %s" label) in
+  let contains_positions =
+    List.map
+      (fun (attribute, value) -> (Schema.position schema attribute, value))
+      contains
+  in
+  let keeps nt =
+    List.for_all
+      (fun (position, value) -> Vset.mem value (Ntuple.component nt position))
+      contains_positions
+  in
+  let select_tuple predicate nt =
+    match Nalgebra.select_tuple schema predicate nt with
+    | nts -> nts
+    | exception Invalid_argument msg -> error "%s" msg
+  in
+  let queue = Queue.create () in
+  let rec next () =
+    if not (Queue.is_empty queue) then begin
+      meter_sub meter 1;
+      Some (Queue.pop queue)
+    end
+    else
+      match pull_op child with
+      | None -> None
+      | Some nt ->
+        if not (keeps nt) then next ()
+        else begin
+          let survivors =
+            List.fold_left
+              (fun nts predicate -> List.concat_map (select_tuple predicate) nts)
+              [ nt ] predicates
+          in
+          match survivors with
+          | [] -> next ()
+          | first :: rest ->
+            List.iter
+              (fun nt ->
+                Queue.add nt queue;
+                meter_add meter 1)
+              rest;
+            Some first
+        end
+  in
+  op.pull <- next;
+  op
+
+(* Blocking nest-canonicalization: drains its input, re-nests, then
+   streams the canonical tuples out. *)
+let canonicalize_op schema order meter child =
+  let op = make_op ~children:[ child ] "canonicalize" in
+  let pending = ref None in
+  let ensure () =
+    match !pending with
+    | Some items -> items
+    | None ->
+      let rec drain acc count =
+        match pull_op child with
+        | Some nt ->
+          meter_add meter 1;
+          drain (Nfr.add acc nt) (count + 1)
+        | None -> (acc, count)
+      in
+      let drained, count = drain (Nfr.empty schema) 0 in
+      let items = Nfr.ntuples (Nest.canonicalize drained order) in
+      meter_sub meter count;
+      meter_add meter (List.length items);
+      pending := Some items;
+      items
+  in
+  op.pull <-
+    (fun () ->
+      match ensure () with
+      | [] -> None
+      | nt :: rest ->
+        pending := Some rest;
+        meter_sub meter 1;
+        Some nt);
+  op
+
+let one_tuple schema nt = Nfr.add (Nfr.empty schema) nt
 
 (* Index nested-loop join: scan the smaller table (outer); for each
    outer tuple probe the inner table's inverted index with every value
    of one shared attribute, then join the fetched candidates directly
-   (pairwise component intersection). Falls back to snapshot join when
-   the schemas share no attribute (a Cartesian product). *)
-let join_tables ~stats left right =
+   (pairwise component intersection), always in (left, right)
+   orientation so the result schema matches the logical evaluator's.
+   Falls back to a block nested loop (inner side buffered once) when
+   the schemas share no attribute — a Cartesian product. Distinct
+   probe values of one outer tuple can fetch the same inner tuple
+   twice; a per-outer-tuple set keyed on structural {!Ntuple} equality
+   dedups them (the heap decodes a fresh tuple per probe, so physical
+   equality never fires). *)
+let join_op db meter left_name right_name =
+  let left = find_table db left_name and right = find_table db right_name in
   let schema_l = Storage.Table.schema left in
   let schema_r = Storage.Table.schema right in
+  let joined_schema = Schema.union schema_l schema_r in
   match Schema.common schema_l schema_r with
   | [] ->
-    let scan t =
+    let outer_op = scan_op left left_name in
+    let op =
+      make_op ~children:[ outer_op ]
+        (Printf.sprintf "product %s × %s" left_name right_name)
+    in
+    let inner = lazy (
       let collected = ref [] in
-      Storage.Table.scan t ~stats (fun nt -> collected := nt :: !collected);
-      Nfr.of_ntuples (Storage.Table.schema t) !collected
+      Storage.Table.scan right ~stats:op.stats (fun nt ->
+          meter_add meter 1;
+          collected := nt :: !collected);
+      Array.of_list (List.rev !collected))
     in
-    (match Nalgebra.product (scan left) (scan right) with
-    | product -> product
-    | exception Invalid_argument msg -> error "%s" msg)
+    let queue = Queue.create () in
+    let rec next () =
+      if not (Queue.is_empty queue) then begin
+        meter_sub meter 1;
+        Some (Queue.pop queue)
+      end
+      else
+        match pull_op outer_op with
+        | None -> None
+        | Some left_nt ->
+          Array.iter
+            (fun right_nt ->
+              let components =
+                Ntuple.components left_nt @ Ntuple.components right_nt
+              in
+              Queue.add (Ntuple.of_sets_unchecked (Array.of_list components)) queue;
+              meter_add meter 1)
+            (Lazy.force inner);
+          next ()
+    in
+    op.pull <- next;
+    (op, joined_schema)
   | probe_attribute :: _ ->
-    let outer, inner, flipped =
+    let outer, outer_name, inner, flipped =
       if Storage.Table.cardinality left <= Storage.Table.cardinality right then
-        (left, right, false)
-      else (right, left, true)
+        (left, left_name, right, false)
+      else (right, right_name, left, true)
     in
-    let outer_schema = Storage.Table.schema outer in
-    let position = Schema.position outer_schema probe_attribute in
-    let pairs = ref [] in
-    Storage.Table.scan outer ~stats (fun outer_nt ->
-        let seen = ref [] in
-        Vset.fold
-          (fun value () ->
-            List.iter
-              (fun inner_nt ->
-                if not (List.memq inner_nt !seen) then begin
-                  seen := inner_nt :: !seen;
-                  pairs := (outer_nt, inner_nt) :: !pairs
-                end)
-              (Storage.Table.lookup inner ~stats probe_attribute value))
-          (Ntuple.component outer_nt position)
-          ());
-    (* Join each candidate pair via the direct NFR join on singleton
-       relations, always in (left, right) orientation so the result
-       schema matches the logical evaluator's. *)
-    let one schema nt = Nfr.add (Nfr.empty schema) nt in
-    List.fold_left
-      (fun acc (outer_nt, inner_nt) ->
-        let left_nt, right_nt =
-          if flipped then (inner_nt, outer_nt) else (outer_nt, inner_nt)
-        in
-        let joined =
-          Nalgebra.natural_join (one schema_l left_nt) (one schema_r right_nt)
-        in
-        Nfr.fold (fun nt acc -> Nfr.add acc nt) joined acc)
-      (Nfr.empty (Schema.union schema_l schema_r))
-      !pairs
+    let position = Schema.position (Storage.Table.schema outer) probe_attribute in
+    let outer_op = scan_op outer outer_name in
+    let op =
+      make_op ~children:[ outer_op ]
+        (Printf.sprintf "inlj %s ⋈ %s (probe %s)" left_name right_name
+           (Attribute.name probe_attribute))
+    in
+    let queue = Queue.create () in
+    let rec next () =
+      if not (Queue.is_empty queue) then begin
+        meter_sub meter 1;
+        Some (Queue.pop queue)
+      end
+      else
+        match pull_op outer_op with
+        | None -> None
+        | Some outer_nt ->
+          let seen = Ntuple_tbl.create 8 in
+          Vset.fold
+            (fun value () ->
+              List.iter
+                (fun inner_nt ->
+                  if not (Ntuple_tbl.mem seen inner_nt) then begin
+                    Ntuple_tbl.add seen inner_nt ();
+                    let left_nt, right_nt =
+                      if flipped then (inner_nt, outer_nt)
+                      else (outer_nt, inner_nt)
+                    in
+                    let joined =
+                      Nalgebra.natural_join
+                        (one_tuple schema_l left_nt)
+                        (one_tuple schema_r right_nt)
+                    in
+                    Nfr.iter
+                      (fun nt ->
+                        Queue.add nt queue;
+                        meter_add meter 1)
+                      joined
+                  end)
+                (Storage.Table.lookup inner ~stats:op.stats probe_attribute value))
+            (Ntuple.component outer_nt position)
+            ();
+          next ()
+    in
+    op.pull <- next;
+    (op, joined_schema)
 
-let materialize db ~stats (s : Ast.select) =
+(* ------------------------------------------------------------------ *)
+(* Pipelines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type pipeline = {
+  root : op;
+  schema : Schema.t;
+  order : Attribute.t list;
+  predicates : Predicate.t list;  (* non-empty => collector re-canonicalizes *)
+  meter : meter;
+}
+
+let build_pipeline db (s : Ast.select) =
+  let meter = meter_create () in
+  let with_filter schema source_op =
+    match s.Ast.where with
+    | None -> ([], source_op)
+    | Some condition ->
+      let predicates, contains = Compile.split_condition schema condition in
+      if predicates = [] && contains = [] then ([], source_op)
+      else
+        ( predicates,
+          filter_op schema ~contains ~predicates
+            ~label:(Format.asprintf "%a" Ast.pp_condition condition)
+            meter source_op )
+  in
   match s.Ast.source with
-  | Ast.From_join (left_name, right_name) ->
-    let left = find_table db left_name and right = find_table db right_name in
-    let joined = join_tables ~stats left right in
-    let order = Schema.attributes (Nfr.schema joined) in
-    (Nest.canonicalize joined order, order)
   | Ast.From_table name ->
     let t = find_table db name in
     let schema = Storage.Table.schema t in
     let order = Storage.Table.nest_order t in
-    let ntuples =
+    let source_op =
       match chosen_path db s with
-      | Via_index (attribute, value) ->
-        Storage.Table.lookup t ~stats attribute value
-      | Via_range (attribute, lo, hi) ->
-        ignore attribute;
-        Storage.Table.range t ~stats ~lo ~hi
-      | Via_scan ->
-        let collected = ref [] in
-        Storage.Table.scan t ~stats (fun nt -> collected := nt :: !collected);
-        List.rev !collected
+      | Via_scan -> scan_op t name
+      | Via_index (attribute, value) -> probe_op t name attribute value
+      | Via_range (attribute, lo, hi) -> range_op t name attribute lo hi
     in
-    (Nfr.of_ntuples schema ntuples, order)
+    let predicates, root = with_filter schema source_op in
+    { root; schema; order; predicates; meter }
+  | Ast.From_join (left_name, right_name) ->
+    let join, joined_schema = join_op db meter left_name right_name in
+    let order = Schema.attributes joined_schema in
+    let canonical = canonicalize_op joined_schema order meter join in
+    let predicates, root = with_filter joined_schema canonical in
+    { root; schema = joined_schema; order; predicates; meter }
 
-let exec_select db ~stats (s : Ast.select) =
-  let materialized, order = materialize db ~stats s in
+type executed = {
+  shaped : Nfr.t;  (* after projection / NEST / UNNEST *)
+  filtered : Nfr.t;  (* after WHERE, before shaping *)
+  root : op;  (* full tree, collector (and shape) included *)
+  peak : int;
+}
+
+let run_select db (s : Ast.select) =
+  let pipeline = build_pipeline db s in
+  let start = Sys.time () in
+  let rec drain acc =
+    match pull_op pipeline.root with
+    | Some nt ->
+      meter_add pipeline.meter 1;
+      drain (Nfr.add acc nt)
+    | None -> acc
+  in
+  let drained = drain (Nfr.empty pipeline.schema) in
   let filtered =
-    Compile.apply_where (Nfr.schema materialized) order materialized s.Ast.where
+    if pipeline.predicates = [] then drained
+    else Nest.canonicalize drained pipeline.order
   in
-  Eval.Rows (Compile.shape_select filtered ~order s)
-
-let tuple_of_row schema row =
-  if List.length row <> Schema.degree schema then
-    error "expected %d values, got %d" (Schema.degree schema) (List.length row);
-  match Tuple.make schema (List.map Compile.value_of_literal row) with
-  | tuple -> tuple
-  | exception Schema.Schema_error msg -> error "%s" msg
-
-let type_of_name name =
-  match Value.ty_of_name (String.lowercase_ascii name) with
-  | Some ty -> ty
-  | None -> error "unknown type %s" name
-
-let matching_tuples db ~stats table_name condition =
-  let t = find_table db table_name in
-  let schema = Storage.Table.schema t in
-  (* Reuse the SELECT machinery to find the victims. *)
-  let select =
-    {
-      Ast.columns = None;
-      source = Ast.From_table table_name;
-      where = Some condition;
-      nests = [];
-      unnests = [];
-    }
+  let collector =
+    make_op ~children:[ pipeline.root ]
+      (if pipeline.predicates = [] then "collect" else "collect+canonicalize")
   in
-  let materialized, order = materialize db ~stats select in
-  let filtered = Compile.apply_where schema order materialized (Some condition) in
-  Relation.tuples (Nfr.flatten filtered)
+  collector.rows_out <- Nfr.cardinality filtered;
+  collector.seconds <- Sys.time () -. start;
+  let shaping =
+    s.Ast.columns <> None || s.Ast.nests <> [] || s.Ast.unnests <> []
+  in
+  let shape_start = Sys.time () in
+  let shaped = Compile.shape_select filtered ~order:pipeline.order s in
+  let root =
+    if not shaping then collector
+    else begin
+      let shape = make_op ~children:[ collector ] "shape (project/nest/unnest)" in
+      shape.rows_out <- Nfr.cardinality shaped;
+      shape.seconds <- Sys.time () -. shape_start;
+      shape
+    end
+  in
+  { shaped; filtered; root; peak = pipeline.meter.peak }
+
+let select_for_condition table_name condition =
+  {
+    Ast.columns = None;
+    source = Ast.From_table table_name;
+    where = Some condition;
+    nests = [];
+    unnests = [];
+  }
+
+(* DML victim search rides the same operator pipeline as SELECT; the
+   pipeline is fully drained before any mutation, so no cursor is live
+   while the table changes. *)
+let matching_tuples db table_name condition =
+  let executed = run_select db (select_for_condition table_name condition) in
+  (Relation.tuples (Nfr.flatten executed.filtered), executed.root)
+
+let rec add_op_stats total op =
+  Storage.Stats.add total op.stats;
+  List.iter (add_op_stats total) op.children
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN / EXPLAIN ANALYZE                                           *)
+(* ------------------------------------------------------------------ *)
+
+type op_metrics = {
+  op_label : string;
+  op_depth : int;
+  op_rows : int;
+  op_pages : int;
+  op_records : int;
+  op_bytes : int;
+  op_probes : int;
+  op_seconds : float;
+}
+
+type analyze_report = {
+  operators : op_metrics list;
+  peak_live : int;
+  analyzed : Eval.result;
+}
+
+let rec flatten_ops depth op =
+  {
+    op_label = op.label;
+    op_depth = depth;
+    op_rows = op.rows_out;
+    op_pages = op.stats.Storage.Stats.pages_read;
+    op_records = op.stats.Storage.Stats.records_read;
+    op_bytes = op.stats.Storage.Stats.bytes_read;
+    op_probes = op.stats.Storage.Stats.index_probes;
+    op_seconds = op.seconds;
+  }
+  :: List.concat_map (flatten_ops (depth + 1)) op.children
+
+let analyze_select db (s : Ast.select) =
+  let executed = run_select db s in
+  {
+    operators = flatten_ops 0 executed.root;
+    peak_live = executed.peak;
+    analyzed = Eval.Rows executed.shaped;
+  }
+
+let stats_of_report report =
+  let total = Storage.Stats.create () in
+  List.iter
+    (fun m ->
+      total.Storage.Stats.pages_read <-
+        total.Storage.Stats.pages_read + m.op_pages;
+      total.Storage.Stats.records_read <-
+        total.Storage.Stats.records_read + m.op_records;
+      total.Storage.Stats.bytes_read <- total.Storage.Stats.bytes_read + m.op_bytes;
+      total.Storage.Stats.index_probes <-
+        total.Storage.Stats.index_probes + m.op_probes)
+    report.operators;
+  total
+
+let render_analyze report =
+  let buffer = Buffer.create 256 in
+  let line fmt =
+    Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
+  in
+  line "physical plan (executed):";
+  line "  %-44s %8s %7s %9s %8s %9s" "operator" "rows" "pages" "records"
+    "probes" "ms";
+  List.iter
+    (fun m ->
+      line "  %-44s %8d %7d %9d %8d %9.3f"
+        (String.make (2 * m.op_depth) ' ' ^ m.op_label)
+        m.op_rows m.op_pages m.op_records m.op_probes (m.op_seconds *. 1000.))
+    report.operators;
+  line "  peak live tuples: %d" report.peak_live;
+  (match report.analyzed with
+  | Eval.Rows nfr ->
+    line "  result: %d fact(s) in %d NFR tuple(s)" (Nfr.expansion_size nfr)
+      (Nfr.cardinality nfr)
+  | Eval.Done _ -> ());
+  String.trim (Buffer.contents buffer)
 
 let explain_text db (s : Ast.select) =
   let buffer = Buffer.create 128 in
@@ -236,7 +592,7 @@ let explain_text db (s : Ast.select) =
       (Value.to_string value)
   | Via_range (attribute, lo, hi) ->
     line "  access: B+-tree range %s in [%s, %s]" (Attribute.name attribute)
-      (Value.to_string lo) (Value.to_string hi));
+      (bound_text "-∞" lo) (bound_text "+∞" hi));
   (match s.Ast.where with
   | None -> ()
   | Some condition -> line "  residual filter: %s" (Format.asprintf "%a" Ast.pp_condition condition));
@@ -244,6 +600,22 @@ let explain_text db (s : Ast.select) =
   | None -> ()
   | Some names -> line "  project %s" (String.concat "," names));
   String.trim (Buffer.contents buffer)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tuple_of_row schema row =
+  if List.length row <> Schema.degree schema then
+    error "expected %d values, got %d" (Schema.degree schema) (List.length row);
+  match Tuple.make schema (List.map Compile.value_of_literal row) with
+  | tuple -> tuple
+  | exception Schema.Schema_error msg -> error "%s" msg
+
+let type_of_name name =
+  match Value.ty_of_name (String.lowercase_ascii name) with
+  | Some ty -> ty
+  | None -> error "unknown type %s" name
 
 let exec db statement =
   let stats = Storage.Stats.create () in
@@ -289,7 +661,8 @@ let exec db statement =
         error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
     | Ast.Delete_where (name, condition) ->
       let t = find_table db name in
-      let victims = matching_tuples db ~stats name condition in
+      let victims, search = matching_tuples db name condition in
+      add_op_stats stats search;
       List.iter (fun tuple -> Storage.Table.delete t tuple) victims;
       Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
     | Ast.Update_set (name, assignments, condition) ->
@@ -301,36 +674,53 @@ let exec db statement =
             (Compile.attribute_of schema column, Compile.value_of_literal literal))
           assignments
       in
-      let victims = matching_tuples db ~stats name condition in
-      let images =
-        List.map
-          (fun tuple ->
-            List.fold_left
-              (fun tuple (attribute, value) ->
-                Tuple.set_field schema tuple attribute value)
-              tuple resolved)
-          victims
+      let victims, search = matching_tuples db name condition in
+      add_op_stats stats search;
+      let image_of tuple =
+        List.fold_left
+          (fun tuple (attribute, value) ->
+            Tuple.set_field schema tuple attribute value)
+          tuple resolved
       in
-      List.iter (fun tuple -> Storage.Table.delete t tuple) victims;
-      List.iter (fun tuple -> ignore (Storage.Table.insert t tuple)) images;
+      (* Insert each victim's image before deleting the victim, one
+         pair at a time: a crash anywhere in the window leaves every
+         victim present as itself or as its image — never silently
+         lost, as the old delete-all-then-insert-all batches did.
+         Assignments are constant, so an image colliding with another
+         victim equals that victim's own (identity) image; identity
+         pairs are skipped outright, which keeps the pairwise order
+         equivalent to the batch semantics. *)
+      List.iter
+        (fun victim ->
+          let image = image_of victim in
+          if not (Tuple.equal image victim) then begin
+            ignore (Storage.Table.insert t image);
+            Storage.Table.delete t victim
+          end)
+        victims;
       Eval.Done (Printf.sprintf "%d row(s) updated" (List.length victims))
-    | Ast.Select s -> exec_select db ~stats s
+    | Ast.Select s ->
+      let executed = run_select db s in
+      add_op_stats stats executed.root;
+      Eval.Rows executed.shaped
     | Ast.Select_count (source, condition) ->
       let select =
         { Ast.columns = None; source; where = condition; nests = []; unnests = [] }
       in
-      let materialized, order = materialize db ~stats select in
-      let filtered =
-        Compile.apply_where (Nfr.schema materialized) order materialized condition
-      in
+      let executed = run_select db select in
+      add_op_stats stats executed.root;
       Eval.Done
         (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
-           (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
+           (Nfr.expansion_size executed.filtered)
+           (Nfr.cardinality executed.filtered))
     | Ast.Explain s -> Eval.Done (explain_text db s)
+    | Ast.Explain_analyze s ->
+      let report = analyze_select db s in
+      Storage.Stats.add stats (stats_of_report report);
+      Eval.Done (render_analyze report)
     | Ast.Show name -> Eval.Rows (Storage.Table.snapshot (find_table db name))
   in
   (result, stats)
-
 
 let explain = explain_text
 

@@ -1,30 +1,43 @@
 (** NFQL over the storage engine.
 
     The second back end: tables are {!Storage.Table} values (heap +
-    inverted index + optional B+-tree + WAL), and SELECT picks an
-    access path instead of always holding the relation in memory:
+    inverted index + optional B+-tree + WAL), and every SELECT runs as
+    a {e pull-based operator tree} — scan / index-probe / B+-range
+    leaves, streaming filter, index nested-loop join and blocking
+    nest-canonicalize — instead of materializing its input:
 
     - {b index}: a [CONTAINS] constraint or an [attr = const] conjunct
-      probes the inverted index and materializes only matching groups;
+      probes the inverted index and decodes only matching groups;
     - {b range}: comparison conjuncts on the table's ordered attribute
-      become one B+-tree range scan;
-    - {b scan}: everything else reads the heap.
+      become one B+-tree range scan, open-ended when only one bound
+      exists ([WHERE x > 5]);
+    - {b scan}: everything else streams the heap one record per pull,
+      so a filtered scan holds O(matches) decoded tuples, not
+      O(table).
 
-    Whatever the path, the materialized NFR is then filtered with the
-    same semantics as {!Eval} — access paths are sound pre-filters
-    (they never lose a matching group), so both back ends return
-    identical rows (property-tested). DML statements behave as in
-    {!Eval} but persist through the table (and its WAL, if any). *)
+    Whatever the path, tuples are filtered with the same semantics as
+    {!Eval} — access paths are sound pre-filters (they never lose a
+    matching group), so both back ends return identical rows
+    (property-tested). DML statements behave as in {!Eval} but persist
+    through the table (and its WAL, if any); UPDATE applies each
+    victim as an insert-image-then-delete pair so a crash inside the
+    statement never silently loses a row.
+
+    Each operator carries its own {!Storage.Stats} counters plus
+    rows-emitted and wall-clock; [EXPLAIN ANALYZE SELECT ...] runs the
+    query and renders them per operator ({!analyze_select} is the
+    programmatic face of the same report). *)
 
 open Relational
 
 type db
 
-(** Which access path a SELECT used (surfaced by {!explain}). *)
+(** Which access path a SELECT used (surfaced by {!explain}). Range
+    bounds are optional: [None] means that side is open. *)
 type access_path =
   | Via_scan
   | Via_index of Attribute.t * Value.t
-  | Via_range of Attribute.t * Value.t * Value.t
+  | Via_range of Attribute.t * Value.t option * Value.t option
 
 val create : unit -> db
 
@@ -35,9 +48,8 @@ val table : db -> string -> Storage.Table.t option
 
 val exec : db -> Ast.statement -> Eval.result * Storage.Stats.t
 (** Run one statement, returning the result and the access-path
-    charges it incurred. CREATE builds an in-memory table without a
-    WAL; JOIN sources are materialized from snapshots (logical
-    fallback, charged as full scans).
+    charges it incurred (summed over all operators). CREATE builds an
+    in-memory table without a WAL.
     @raise Eval.Eval_error as {!Eval} does. *)
 
 val exec_string : db -> string -> (Eval.result * Storage.Stats.t) list
@@ -46,4 +58,40 @@ val chosen_path : db -> Ast.select -> access_path
 (** The access path {!exec} would choose for this SELECT. *)
 
 val explain : db -> Ast.select -> string
-(** Plan text including the chosen access path. *)
+(** Plan text including the chosen access path (does not run the
+    query; use [EXPLAIN ANALYZE] / {!analyze_select} for that). *)
+
+(** {2 Per-operator execution metrics}
+
+    What [EXPLAIN ANALYZE] reports. One {!op_metrics} per operator of
+    the executed tree, pre-order (parents before their inputs,
+    [op_depth] giving the indentation). [op_pages] / [op_records] /
+    [op_bytes] / [op_probes] charge only that operator's own storage
+    touches; [op_seconds] is inclusive of its inputs. *)
+
+type op_metrics = {
+  op_label : string;
+  op_depth : int;
+  op_rows : int;  (** tuples this operator emitted *)
+  op_pages : int;
+  op_records : int;
+  op_bytes : int;
+  op_probes : int;
+  op_seconds : float;
+}
+
+type analyze_report = {
+  operators : op_metrics list;
+  peak_live : int;
+      (** high-water mark of decoded tuples buffered simultaneously
+          (filter/join queues, blocking canonicalize, result
+          collection) — the streaming executor's memory story *)
+  analyzed : Eval.result;  (** the select's actual rows *)
+}
+
+val analyze_select : db -> Ast.select -> analyze_report
+(** Execute the select, returning per-operator metrics alongside its
+    rows. @raise Eval.Eval_error as {!exec} does. *)
+
+val render_analyze : analyze_report -> string
+(** The aligned text table [EXPLAIN ANALYZE] prints. *)

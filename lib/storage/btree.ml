@@ -146,15 +146,33 @@ let lookup t ~stats key =
   | Some (_, postings) -> List.rev postings
   | None -> []
 
-let range t ~stats ~lo ~hi =
-  let start = find_leaf t.root lo in
+let leftmost t =
+  let rec descend = function
+    | Leaf leaf -> leaf
+    | Interior { children = child :: _; _ } -> descend child
+    | Interior { children = []; _ } -> invalid_arg "Btree: empty interior"
+  in
+  descend t.root
+
+let range_open t ~stats ?lo ?hi () =
+  let start =
+    match lo with
+    | Some lo -> find_leaf t.root lo
+    | None -> leftmost t
+  in
+  let below_lo key =
+    match lo with Some lo -> Value.compare key lo < 0 | None -> false
+  in
+  let above_hi key =
+    match hi with Some hi -> Value.compare key hi > 0 | None -> false
+  in
   let rec walk leaf acc =
     stats.Stats.index_probes <- stats.Stats.index_probes + 1;
     let in_range, past =
       List.fold_left
         (fun (acc, past) (key, postings) ->
-          if Value.compare key lo < 0 then (acc, past)
-          else if Value.compare key hi > 0 then (acc, true)
+          if below_lo key then (acc, past)
+          else if above_hi key then (acc, true)
           else ((key, List.rev postings) :: acc, past))
         (acc, false) leaf.items
     in
@@ -166,13 +184,7 @@ let range t ~stats ~lo ~hi =
   in
   List.rev (walk start [])
 
-let leftmost t =
-  let rec descend = function
-    | Leaf leaf -> leaf
-    | Interior { children = child :: _; _ } -> descend child
-    | Interior { children = []; _ } -> invalid_arg "Btree: empty interior"
-  in
-  descend t.root
+let range t ~stats ~lo ~hi = range_open t ~stats ~lo ~hi ()
 
 let keys t =
   let rec walk leaf acc =

@@ -32,6 +32,17 @@ val range : t -> stats:Stats.t -> lo:Value.t -> hi:Value.t -> (Value.t * Heap.ri
 (** All keys with [lo <= key <= hi], ascending, one probe charged per
     visited leaf. *)
 
+val range_open :
+  t ->
+  stats:Stats.t ->
+  ?lo:Value.t ->
+  ?hi:Value.t ->
+  unit ->
+  (Value.t * Heap.rid list) list
+(** {!range} with either bound optional: a missing [lo] starts at the
+    leftmost leaf, a missing [hi] walks the leaf chain to its end —
+    the open-ended ranges one-sided comparisons compile to. *)
+
 val keys : t -> Value.t list
 (** All keys in ascending order. *)
 

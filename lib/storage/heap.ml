@@ -61,6 +61,36 @@ let scan t ~stats f =
         page)
     t.pages
 
+let cursor t ~stats =
+  let page_no = ref 0 in
+  let slot = ref 0 in
+  let page_charged = ref false in
+  let rec next () =
+    if !page_no >= Array.length t.pages then None
+    else begin
+      let page = t.pages.(!page_no) in
+      if not !page_charged then begin
+        stats.Stats.pages_read <- stats.Stats.pages_read + 1;
+        page_charged := true
+      end;
+      if !slot >= Page.record_count page then begin
+        incr page_no;
+        slot := 0;
+        page_charged := false;
+        next ()
+      end
+      else begin
+        let record = Page.get page !slot in
+        let rid = { page_no = !page_no; slot = !slot } in
+        incr slot;
+        stats.Stats.records_read <- stats.Stats.records_read + 1;
+        stats.Stats.bytes_read <- stats.Stats.bytes_read + String.length record;
+        Some (rid, record)
+      end
+    end
+  in
+  next
+
 let fetch t ~stats rid =
   let record = get t rid in
   stats.Stats.pages_read <- stats.Stats.pages_read + 1;

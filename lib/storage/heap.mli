@@ -30,3 +30,10 @@ val scan : t -> stats:Stats.t -> (rid -> string -> unit) -> unit
 
 val fetch : t -> stats:Stats.t -> rid -> string
 (** Point read; charges one page and one record. *)
+
+val cursor : t -> stats:Stats.t -> unit -> (rid * string) option
+(** Pull-based full scan: same visit order and the same per-page /
+    per-record charging as {!scan}, but one record per call, so a
+    consumer that stops early only pays for what it pulled. Records
+    appended after the cursor was created are visited if the cursor
+    has not passed their page yet. *)

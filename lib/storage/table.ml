@@ -262,31 +262,72 @@ let scan t ~stats f =
       if not (Rid_set.mem rid t.dead) then
         f (fst (Codec.decode_ntuple (Bytes.of_string record) 0)))
 
-let range t ~stats ~lo ~hi =
+let decode_record record = fst (Codec.decode_ntuple (Bytes.of_string record) 0)
+
+let scan_cursor t ~stats =
+  let next = Heap.cursor t.heap ~stats in
+  let rec pull () =
+    match next () with
+    | None -> None
+    | Some (rid, record) ->
+      if Rid_set.mem rid t.dead then pull () else Some (decode_record record)
+  in
+  pull
+
+let lookup_cursor t ~stats attribute value =
+  let position = Schema.position t.schema attribute in
+  let pending = ref (Index.lookup t.index ~stats ~position value) in
+  let rec pull () =
+    match !pending with
+    | [] -> None
+    | rid :: rest ->
+      pending := rest;
+      if Rid_set.mem rid t.dead then pull ()
+      else Some (decode_record (Heap.fetch t.heap ~stats rid))
+  in
+  pull
+
+let range_cursor t ~stats ?lo ?hi () =
   match t.btree, t.ordered_on with
   | Some tree, Some _position ->
-    let postings = Btree.range tree ~stats ~lo ~hi in
-    let module Rid_seen = Set.Make (struct
-      type t = Heap.rid
-
-      let compare = Stdlib.compare
-    end) in
-    let _, tuples =
-      List.fold_left
-        (fun (seen, acc) (_key, rids) ->
-          List.fold_left
-            (fun (seen, acc) rid ->
-              if Rid_seen.mem rid seen || Rid_set.mem rid t.dead then (seen, acc)
-              else begin
-                let record = Heap.fetch t.heap ~stats rid in
-                ( Rid_seen.add rid seen,
-                  fst (Codec.decode_ntuple (Bytes.of_string record) 0) :: acc )
-              end)
-            (seen, acc) rids)
-        (Rid_seen.empty, []) postings
+    (* The leaf walk (keys and rid lists) happens up front; records are
+       fetched and decoded lazily, one tuple per pull. A rid posted
+       under several in-range keys is returned once. *)
+    let postings = ref (Btree.range_open tree ~stats ?lo ?hi ()) in
+    let current = ref [] in
+    let seen = ref Rid_set.empty in
+    let rec pull () =
+      match !current with
+      | rid :: rest ->
+        current := rest;
+        if Rid_set.mem rid !seen || Rid_set.mem rid t.dead then pull ()
+        else begin
+          seen := Rid_set.add rid !seen;
+          Some (decode_record (Heap.fetch t.heap ~stats rid))
+        end
+      | [] -> (
+        match !postings with
+        | [] -> None
+        | (_key, rids) :: rest ->
+          postings := rest;
+          current := rids;
+          pull ())
     in
-    List.rev tuples
-  | None, _ | _, None -> invalid_arg "Table.range: no ordered index (pass ~ordered_on)"
+    pull
+  | None, _ | _, None ->
+    invalid_arg "Table.range_cursor: no ordered index (pass ~ordered_on)"
+
+let range t ~stats ~lo ~hi =
+  match t.btree with
+  | None -> invalid_arg "Table.range: no ordered index (pass ~ordered_on)"
+  | Some _ ->
+    let next = range_cursor t ~stats ~lo ~hi () in
+    let rec collect acc =
+      match next () with
+      | Some nt -> collect (nt :: acc)
+      | None -> List.rev acc
+    in
+    collect []
 
 let live_records t = Ntuple_table.length t.rids
 let dead_records t = Rid_set.cardinal t.dead

@@ -149,6 +149,35 @@ val range : t -> stats:Stats.t -> lo:Value.t -> hi:Value.t -> Ntuple.t list
     [\[lo, hi\]], each returned once, via the B+-tree.
     @raise Invalid_argument when the table has no ordered index. *)
 
+(** {2 Pull-based cursors}
+
+    Each cursor is a [unit -> Ntuple.t option] thunk returning the
+    next live tuple (or [None] when exhausted), charging the given
+    stats exactly as the materializing variant would — but one tuple
+    per pull, so a pipelined consumer holds O(1) decoded tuples. The
+    table must not be mutated while a cursor is live. *)
+
+val scan_cursor : t -> stats:Stats.t -> unit -> Ntuple.t option
+(** Streaming {!scan}. *)
+
+val lookup_cursor :
+  t -> stats:Stats.t -> Attribute.t -> Value.t -> unit -> Ntuple.t option
+(** Streaming {!lookup}: the index probe happens at creation, heap
+    fetches and decoding happen lazily per pull. *)
+
+val range_cursor :
+  t ->
+  stats:Stats.t ->
+  ?lo:Value.t ->
+  ?hi:Value.t ->
+  unit ->
+  unit ->
+  Ntuple.t option
+(** Streaming {!range}, with either bound optional (open-ended
+    one-sided ranges walk the leaf chain from the leftmost leaf or to
+    its end). Each matching tuple is returned once.
+    @raise Invalid_argument when the table has no ordered index. *)
+
 val live_records : t -> int
 val dead_records : t -> int
 val pages : t -> int

@@ -528,6 +528,43 @@ let prop_canonical_idempotent (flat, order) =
   let form = Nest.canonical flat order in
   Nfr.equal form (Nest.canonicalize form order)
 
+let test_nest_by_composition_adversarial_seed () =
+  (* Regression: the pair pick normalized the LCG state with [abs],
+     but [abs min_int] is still negative (two's complement has no
+     positive counterpart), so any state hitting [min_int] indexed the
+     candidate array with a negative number whenever the candidate
+     count did not divide 2^62. Build exactly that state: the LCG
+     multiplier is odd, hence invertible mod 2^63, and Newton's
+     iteration doubles the bits of a modular inverse per step. *)
+  let inv a =
+    let x = ref a in
+    for _ = 1 to 6 do
+      x := !x * (2 - (a * !x))
+    done;
+    !x
+  in
+  let multiplier = 25214903917 in
+  let seed = (min_int - 11) * inv multiplier in
+  Alcotest.(check bool) "first LCG state is min_int" true
+    ((seed * multiplier) + 11 = min_int);
+  (* Three tuples pairwise composable on B: the first pick chooses
+     among 3 candidates, and [min_int mod 3 < 0]. *)
+  let flat = rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ]; [ "a1"; "b3" ] ] in
+  let reference = Nest.nest (Nfr.of_relation flat) (attr "B") in
+  Alcotest.(check nfr_testable) "adversarial seed agrees with nest"
+    reference
+    (Nest.nest_by_composition ~seed (Nfr.of_relation flat) (attr "B"));
+  (* Sweep: the same instance under many seeds, including ones that
+     drive later states (not just the first) through sign-bit
+     territory. *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check nfr_testable)
+        (Printf.sprintf "seed %d agrees with nest" seed)
+        reference
+        (Nest.nest_by_composition ~seed (Nfr.of_relation flat) (attr "B")))
+    (List.init 32 (fun i -> (seed * (i + 1)) + i))
+
 let prop_nest_by_composition_agrees (flat, order) =
   (* Theorem 2 under random pair orders. *)
   match order with
@@ -620,6 +657,8 @@ let () =
             test_canonical_not_a_permutation;
           Alcotest.test_case "order matters" `Quick
             test_nest_sequence_order_matters;
+          Alcotest.test_case "composition: adversarial LCG seeds" `Quick
+            test_nest_by_composition_adversarial_seed;
         ] );
       ( "irreducible",
         [

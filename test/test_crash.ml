@@ -352,6 +352,68 @@ let test_scheduled_crashes () =
         (flat !table);
       Table.close !table)
 
+(* ------------------------------------------------------------------ *)
+(* NFQL UPDATE crash window                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_update_crash_window () =
+  (* The physical back end applies UPDATE as per-victim
+     insert-image-then-delete-victim pairs, so a crash anywhere inside
+     the statement must leave every matched row present as its old or
+     its new image — a recoverable superset, never a silent loss. Land
+     the crash mid-statement: the six row updates append twelve WAL
+     frames, and the fault arms on the sixth. *)
+  with_scratch (fun ~wal_path ~snap_path:_ ->
+      let order2 = Schema.attributes schema2 in
+      let table = Table.create ~wal_path ~order:order2 schema2 in
+      let db = Nfql.Physical.create () in
+      Nfql.Physical.add_table db "t" table;
+      ignore
+        (Nfql.Physical.exec_string db
+           "insert into t values ('a1','b1'),('a2','b2'),('a3','b3'),\
+            ('a4','b4'),('a5','b5'),('a6','b6')");
+      let victims = Relation.tuples (flat table) in
+      Alcotest.(check int) "six distinct rows" 6 (List.length victims);
+      let image_of victim =
+        Tuple.set_field schema2 victim (attr "B") (v "b9")
+      in
+      Failpoint.arm ~after:5 "wal.append.frame" Failpoint.Crash;
+      let crashed =
+        try
+          ignore
+            (Nfql.Physical.exec_string db
+               "update t set B = 'b9' where A >= 'a1'");
+          false
+        with Failpoint.Crashed _ -> true
+      in
+      Alcotest.(check bool) "crash landed inside the UPDATE" true crashed;
+      Alcotest.(check bool) "fault fired" true
+        (List.mem ("wal.append.frame", Failpoint.Crash) (Failpoint.fired ()));
+      Failpoint.reset ();
+      (try Table.close table with _ -> ());
+      let recovered, report =
+        Table.recover_salvage ~wal_path ~order:order2 schema2
+      in
+      Alcotest.(check bool) "cross-layer audit" true
+        (Table.check_invariants recovered);
+      Alcotest.(check int) "no ops silently skipped" 0
+        report.Table.skipped_ops;
+      let state = flat recovered in
+      List.iter
+        (fun victim ->
+          Alcotest.(check bool)
+            (Format.asprintf "row %a survives as itself or its image"
+               Tuple.pp victim)
+            true
+            (Relation.mem state victim || Relation.mem state (image_of victim)))
+        victims;
+      (* And some rows must already carry the new image — otherwise the
+         crash landed before the statement did any work and the window
+         was never exercised. *)
+      Alcotest.(check bool) "the update made durable progress" true
+        (List.exists (fun victim -> Relation.mem state (image_of victim)) victims);
+      Table.close recovered)
+
 let () =
   Alcotest.run "crash"
     [
@@ -371,5 +433,10 @@ let () =
         [
           Alcotest.test_case "crash, recover, resume" `Quick
             test_scheduled_crashes;
+        ] );
+      ( "nfql",
+        [
+          Alcotest.test_case "UPDATE crash window" `Quick
+            test_update_crash_window;
         ] );
     ]

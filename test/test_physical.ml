@@ -64,6 +64,8 @@ let test_differential_selects () =
       "select * from sc where Student CONTAINS 'student2'";
       "select Course from sc where Semester = 'semester1'";
       "select * from sc where Student >= 'student1' and Student <= 'student3'";
+      "select * from sc where Student > 'student3'";
+      "select * from sc where Student <= 'student2'";
       "select Student, Course from sc where Course = 'course5'";
       "select * from sc where Student = 'student1' or Course = 'course2'";
     ]
@@ -90,6 +92,18 @@ let test_access_paths () =
   | Physical.Via_range (a, _, _) ->
     Alcotest.(check string) "range on Student" "Student" (Attribute.name a)
   | _ -> Alcotest.fail "bounds -> range");
+  (* A single bound is enough: the B+-tree range is open on the other
+     side instead of falling back to a heap scan. *)
+  (match path "select * from sc where Student > 'student5'" with
+  | Physical.Via_range (a, Some _, None) ->
+    Alcotest.(check string) "open-above range on Student" "Student"
+      (Attribute.name a)
+  | _ -> Alcotest.fail "lower bound alone -> open-ended range");
+  (match path "select * from sc where Student <= 'student2'" with
+  | Physical.Via_range (a, None, Some _) ->
+    Alcotest.(check string) "open-below range on Student" "Student"
+      (Attribute.name a)
+  | _ -> Alcotest.fail "upper bound alone -> open-ended range");
   (* Range only works on the ordered attribute. *)
   (match path "select * from sc where Course >= 'course1' and Course <= 'course4'" with
   | Physical.Via_scan -> ()
@@ -209,6 +223,121 @@ let test_physical_explain () =
     Alcotest.(check bool) "mentions residual filter" true (has "residual filter")
   | _ -> Alcotest.fail "expected select"
 
+let analyze_of physical query =
+  match Parser.parse_statement query with
+  | Ast.Select s -> Physical.analyze_select physical s
+  | _ -> Alcotest.fail "expected select"
+
+let test_join_dedup () =
+  (* Regression: probing the inner index once per value of an outer
+     set component returns the same inner group several times, as
+     freshly decoded (physically distinct) tuples. The old [List.memq]
+     dedup compared them physically and kept the duplicates; the join
+     must dedup structurally. *)
+  let physical = Physical.create () in
+  ignore
+    (Physical.exec_string physical
+       "create table t1 (A string, B string);\n\
+        insert into t1 values ('a1','b1'),('a1','b2');\n\
+        create table t2 (B string, C string);\n\
+        insert into t2 values ('b1','c1'),('b2','c1');");
+  (* t1 canonicalizes to ({a1},{b1,b2}); t2 to ({b1,b2},{c1}). The
+     outer tuple probes B twice, hitting the same inner group both
+     times: exactly one joined tuple must come out. *)
+  let report = analyze_of physical "select * from t1 join t2" in
+  let inlj =
+    match
+      List.find_opt
+        (fun m ->
+          String.length m.Physical.op_label >= 4
+          && String.sub m.Physical.op_label 0 4 = "inlj")
+        report.Physical.operators
+    with
+    | Some m -> m
+    | None -> Alcotest.fail "expected an inlj operator"
+  in
+  Alcotest.(check int) "duplicate probe hits collapsed" 1 inlj.Physical.op_rows;
+  (match report.Physical.analyzed with
+  | Eval.Rows rows ->
+    Alcotest.(check int) "two facts" 2 (Nfr.expansion_size rows);
+    Alcotest.(check int) "one NFR tuple" 1 (Nfr.cardinality rows)
+  | Eval.Done _ -> Alcotest.fail "expected rows")
+
+let test_filtered_scan_streams () =
+  (* A selective filter over a heap scan must hold O(matches) decoded
+     tuples, not the whole table. 100 distinct rows, exactly one
+     match. *)
+  let physical = Physical.create () in
+  let schema = Schema.strings [ "A"; "B" ] in
+  let flat =
+    List.fold_left Relation.add (Relation.empty schema)
+      (List.init 100 (fun i ->
+           Tuple.make schema
+             [
+               Value.of_string (Printf.sprintf "a%03d" i);
+               Value.of_string (Printf.sprintf "b%03d" i);
+             ]))
+  in
+  Physical.add_table physical "t"
+    (Storage.Table.load ~order:(Schema.attributes schema) flat);
+  let report = analyze_of physical "select * from t where A = 'a007'" in
+  (match report.Physical.analyzed with
+  | Eval.Rows rows -> Alcotest.(check int) "one match" 1 (Nfr.expansion_size rows)
+  | Eval.Done _ -> Alcotest.fail "expected rows");
+  Alcotest.(check bool)
+    (Printf.sprintf "peak live tuples %d bounded by matches, not table size"
+       report.Physical.peak_live)
+    true
+    (report.Physical.peak_live <= 5)
+
+let test_explain_analyze_statement () =
+  let has needle text =
+    let rec search i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || search (i + 1))
+    in
+    search 0
+  in
+  let logical, physical = setup () in
+  let query = "explain analyze select * from sc where Student = 'student1'" in
+  (match Physical.exec_string physical query with
+  | [ (Eval.Done text, stats) ] ->
+    Alcotest.(check bool) "per-operator table" true (has "operator" text);
+    Alcotest.(check bool) "names the probe" true (has "index-probe sc" text);
+    Alcotest.(check bool) "reports peak memory" true (has "peak live tuples" text);
+    Alcotest.(check bool) "reports output size" true (has "fact(s)" text);
+    (* Running the query charges the statement's stats. *)
+    Alcotest.(check bool) "stats charged" true
+      (stats.Storage.Stats.index_probes > 0)
+  | _ -> Alcotest.fail "expected analyze text");
+  match Eval.exec_string logical query with
+  | [ Eval.Done text ] ->
+    Alcotest.(check bool) "logical: plan text" true (has "plan:" text);
+    Alcotest.(check bool) "logical: actual row count" true (has "actual:" text)
+  | _ -> Alcotest.fail "expected analyze text"
+
+let test_update_aliasing () =
+  (* Regression for the per-victim update: when an assignment maps a
+     victim onto another victim's image (or onto itself), no row may
+     be lost and set semantics must deduplicate the images. *)
+  let physical = Physical.create () in
+  ignore
+    (Physical.exec_string physical
+       "create table t (A string, B string);\n\
+        insert into t values ('a1','b1'),('a1','b2');\n\
+        update t set B = 'b2' where A = 'a1';");
+  (match Physical.exec_string physical "select count from t" with
+  | [ (Eval.Done msg, _) ] ->
+    Alcotest.(check string) "collapsed to the image" "1 fact(s) in 1 NFR tuple(s)"
+      msg
+  | _ -> Alcotest.fail "expected count");
+  (* Identity update: every victim equals its image, nothing moves. *)
+  ignore (Physical.exec_string physical "update t set B = 'b2' where A = 'a1'");
+  match Physical.exec_string physical "select * from t" with
+  | [ (Eval.Rows rows, _) ] ->
+    Alcotest.(check int) "unchanged" 1 (Nfr.expansion_size rows)
+  | _ -> Alcotest.fail "expected rows"
+
 (* Differential property: random simple queries agree between the two
    back ends. *)
 let prop_differential (flat, order) =
@@ -261,6 +390,14 @@ let () =
           Alcotest.test_case "index cheaper than scan" `Quick
             test_index_cheaper_than_scan;
           Alcotest.test_case "explain" `Quick test_physical_explain;
+          Alcotest.test_case "explain analyze" `Quick
+            test_explain_analyze_statement;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "join dedups structurally" `Quick test_join_dedup;
+          Alcotest.test_case "filtered scan streams" `Quick
+            test_filtered_scan_streams;
         ] );
       ( "differential",
         [
@@ -274,6 +411,7 @@ let () =
       ( "dml",
         [
           Alcotest.test_case "insert/delete/update" `Quick test_physical_dml;
+          Alcotest.test_case "update aliasing" `Quick test_update_aliasing;
           Alcotest.test_case "table stays canonical" `Quick
             test_physical_table_stays_canonical;
         ] );
