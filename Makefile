@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke netbench netsmoke bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -17,6 +17,23 @@ test-force:
 
 crashtest:
 	CRASH_SEED=$(CRASH_SEED) dune exec test/test_crash.exe
+
+# The nf2d server: protocol fuzz + session robustness, the
+# 32-connection soak, and the CLI batch-mode exit-status regressions.
+servetest:
+	dune exec test/test_server.exe
+	ALCOTEST_SLOW=1 dune exec test/test_netsoak.exe
+	dune exec test/test_cli.exe
+
+# End-to-end smoke over a real serve/connect pair on loopback.
+servesmoke: build
+	scripts/server_smoke.sh
+
+netbench:
+	dune exec bench/main.exe -- net
+
+netsmoke:
+	dune exec bench/main.exe -- netsmoke
 
 bench:
 	dune exec bench/main.exe

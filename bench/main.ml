@@ -272,5 +272,7 @@ let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if mode = "smoke" then Bench_reports.Reports.run_smoke ();
   if mode = "reports" || mode = "all" then Bench_reports.Reports.run_all ();
+  if mode = "net" then Netbench.run ();
+  if mode = "netsmoke" then Netbench.run ~conns:4 ~ops:300 ();
   if mode = "timings" || mode = "all" then run_timings ();
   Format.printf "@.done.@."

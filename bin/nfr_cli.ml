@@ -467,41 +467,269 @@ let sql_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "e" ] ~docv:"SCRIPT" ~doc:"NFQL script to run (otherwise stdin)")
+      & info [ "e" ] ~docv:"SCRIPT"
+          ~doc:"NFQL script to run (otherwise --script, otherwise stdin)")
   in
-  let run loads script physical =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE" ~doc:"Run the NFQL script in FILE")
+  in
+  let run loads script script_file physical =
     let backend = make_backend physical loads in
     let source =
-      match script with
-      | Some text -> text
-      | None -> In_channel.input_all In_channel.stdin
+      match (script, script_file) with
+      | Some text, _ -> text
+      | None, Some path -> (
+        try In_channel.with_open_text path In_channel.input_all
+        with Sys_error msg -> or_die (Error msg))
+      | None, None -> In_channel.input_all In_channel.stdin
     in
+    (* Batch mode: any failed statement must make the run exit
+       non-zero — scripts drive CI and cron jobs, where a printed
+       error with exit 0 is a silent failure. *)
     match backend.run source with Ok () -> () | Error msg -> or_die (Error msg)
   in
   Cmd.v
     (Cmd.info "sql" ~doc:"Run an NFQL script against loaded CSV tables")
-    Term.(const run $ load_spec_arg $ exec_arg $ physical_arg)
+    Term.(const run $ load_spec_arg $ exec_arg $ script_arg $ physical_arg)
 
 let repl_cmd =
   let run loads physical =
     let backend = make_backend physical loads in
-    Format.printf "nfr_cli repl — NFQL statements; ctrl-d to quit@.";
+    let interactive = Unix.isatty Unix.stdin in
+    if interactive then
+      Format.printf "nfr_cli repl — NFQL statements; ctrl-d to quit@.";
+    let failures = ref 0 in
     let rec loop () =
-      Format.printf "nfql> @?";
+      if interactive then Format.printf "nfql> @?";
       match In_channel.input_line In_channel.stdin with
-      | None -> Format.printf "bye@."
+      | None -> if interactive then Format.printf "bye@."
       | Some line when String.trim line = "" -> loop ()
       | Some line ->
         (match backend.run line with
         | Ok () -> ()
-        | Error msg -> Format.printf "error: %s@." msg);
+        | Error msg ->
+          incr failures;
+          Format.printf "error: %s@." msg);
         loop ()
     in
-    loop ()
+    loop ();
+    (* Piped-script (file) mode must not swallow failures into exit 0;
+       interactively, errors were already shown and handled. *)
+    if (not interactive) && !failures > 0 then
+      or_die
+        (Error (Printf.sprintf "%d statement(s) failed in batch mode" !failures))
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive NFQL shell")
     Term.(const run $ load_spec_arg $ physical_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve / connect                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let port_arg =
+  Arg.(
+    value & opt int 7744
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port (serve: 0 picks a free one)")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Server host to connect to")
+
+let serve_cmd =
+  let max_conns_arg =
+    Arg.(
+      value & opt int Server.Session.default_config.Server.Session.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Admission cap: further connections get a polite overload error")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt float Server.Session.default_config.Server.Session.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reap connections silent for this long")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt float Server.Session.default_config.Server.Session.request_timeout
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per request (and per dribbling frame)")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt int Server.Session.default_config.Server.Session.max_payload
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Per-frame payload cap")
+  in
+  let slow_query_arg =
+    Arg.(
+      value & opt float Server.Session.default_config.Server.Session.slow_query_s
+      & info [ "slow-query" ] ~docv:"SECONDS"
+          ~doc:"Log statements slower than this in the METRICS dump")
+  in
+  let wal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Give every loaded table a write-ahead log DIR/NAME.wal; on \
+             graceful shutdown the tables are checkpointed and closed")
+  in
+  let run loads port max_connections idle_timeout request_timeout max_payload
+      slow_query_s wal_dir =
+    let db = Nfql.Physical.create () in
+    let tables = ref [] in
+    List.iter
+      (fun spec ->
+        let name, path = split_load_spec spec in
+        let flat = or_die (load_relation path) in
+        let order = Schema.attributes (Relation.schema flat) in
+        let wal_path =
+          Option.map (fun dir -> Filename.concat dir (name ^ ".wal")) wal_dir
+        in
+        let table = Storage.Table.load ?wal_path ~order flat in
+        tables := table :: !tables;
+        Nfql.Physical.add_table db name table)
+      loads;
+    let config =
+      {
+        Server.Session.max_connections;
+        max_payload;
+        idle_timeout;
+        request_timeout;
+        slow_query_s;
+        slow_log_size = Server.Session.default_config.Server.Session.slow_log_size;
+      }
+    in
+    (* Drain-time hook: checkpoint (compact + truncate the WAL at the
+       new generation) and close every WAL-backed table, so a graceful
+       shutdown leaves a minimal, flushed log behind. *)
+    let on_shutdown () =
+      List.iter
+        (fun table ->
+          (try Storage.Table.checkpoint table
+           with Storage.Storage_error.Error _ -> ());
+          Storage.Table.close table)
+        !tables
+    in
+    let loop =
+      try
+        Server.Loop.create ~config ~metrics:Server.Metrics.global ~on_shutdown
+          ~db ~listen:(`Port port) ()
+      with Unix.Unix_error (err, _, _) ->
+        or_die
+          (Error (Printf.sprintf "cannot listen on port %d: %s" port
+                    (Unix.error_message err)))
+    in
+    Format.printf "nf2d listening on 127.0.0.1:%d (%d table(s) loaded)@."
+      (Server.Loop.port loop) (List.length loads);
+    Server.Loop.run loop;
+    Format.printf "nf2d drained; bye@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve loaded CSV tables over the nf2d wire protocol (TCP)")
+    Term.(
+      const run $ load_spec_arg $ port_arg $ max_conns_arg $ idle_arg
+      $ request_timeout_arg $ max_frame_arg $ slow_query_arg $ wal_dir_arg)
+
+let print_client_response response =
+  List.iter
+    (fun { Server.Client.stats; reply } ->
+      (match reply with
+      | `Rows (schema, ntuples) ->
+        Format.printf "%a@." Nfr.pp_table (Nfr.of_ntuples schema ntuples)
+      | `Msg text -> Format.printf "%s@." text);
+      Format.printf "-- cost: %a@." Storage.Stats.pp stats)
+    response.Server.Client.results;
+  Format.printf "%s@." response.Server.Client.summary
+
+let connect_cmd =
+  let exec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e" ] ~docv:"SCRIPT"
+          ~doc:"Send one NFQL script, print the reply, exit")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the server's METRICS dump and exit")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain and stop, then exit")
+  in
+  let run host port script metrics shutdown =
+    let client =
+      try Server.Client.connect ~host ~port ()
+      with Server.Client.Error msg -> or_die (Error msg)
+    in
+    let finally () = Server.Client.close client in
+    Fun.protect ~finally (fun () ->
+        let guarded f =
+          match f () with
+          | () -> ()
+          | exception Server.Client.Error msg -> or_die (Error msg)
+        in
+        if metrics then guarded (fun () -> print_string (Server.Client.metrics client))
+        else if shutdown then
+          guarded (fun () ->
+              Server.Client.shutdown client;
+              Format.printf "server is draining@.")
+        else
+          let run_source source =
+            match Server.Client.query client source with
+            | Ok response ->
+              print_client_response response;
+              Ok ()
+            | Error (code, reason) ->
+              Error
+                (Printf.sprintf "%s: %s"
+                   (Server.Protocol.err_code_name code)
+                   reason)
+            | exception Server.Client.Error msg -> or_die (Error msg)
+          in
+          match script with
+          | Some source -> (
+            match run_source source with Ok () -> () | Error msg -> or_die (Error msg))
+          | None ->
+            let interactive = Unix.isatty Unix.stdin in
+            if interactive then
+              Format.printf
+                "nfr_cli connect — remote NFQL; ctrl-d to quit@.";
+            let failures = ref 0 in
+            let rec loop () =
+              if interactive then Format.printf "nfql> @?";
+              match In_channel.input_line In_channel.stdin with
+              | None -> if interactive then Format.printf "bye@."
+              | Some line when String.trim line = "" -> loop ()
+              | Some line ->
+                (match run_source line with
+                | Ok () -> ()
+                | Error msg ->
+                  incr failures;
+                  Format.printf "error: %s@." msg);
+                loop ()
+            in
+            loop ();
+            if (not interactive) && !failures > 0 then
+              or_die
+                (Error
+                   (Printf.sprintf "%d statement(s) failed in batch mode"
+                      !failures)))
+  in
+  Cmd.v
+    (Cmd.info "connect" ~doc:"Remote NFQL REPL against a running nf2d server")
+    Term.(
+      const run $ host_arg $ port_arg $ exec_arg $ metrics_arg $ shutdown_arg)
 
 let () =
   let info =
@@ -512,4 +740,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ nest_cmd; canonical_cmd; forms_cmd; classify_cmd; update_cmd;
-            normalize_cmd; design_cmd; sql_cmd; repl_cmd ]))
+            normalize_cmd; design_cmd; sql_cmd; repl_cmd; serve_cmd; connect_cmd ]))

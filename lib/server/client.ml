@@ -1,0 +1,136 @@
+open Relational
+open Nfr_core
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable alive : bool;
+}
+
+type statement_result = {
+  stats : Storage.Stats.t;
+  reply : [ `Rows of Schema.t * Ntuple.t list | `Msg of string ];
+}
+
+type response = {
+  results : statement_result list;
+  summary : string;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> fail "host %s has no address" host
+      | entry -> entry.Unix.h_addr_list.(0)
+      | exception Not_found -> fail "unknown host %s" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    fail "connect %s:%d: %s" host port (Unix.error_message err));
+  { fd; rbuf = Bytes.create 8192; rlen = 0; alive = true }
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fd t = t.fd
+
+let send_raw t data =
+  let rec push pos =
+    if pos < String.length data then
+      match Unix.write_substring t.fd data pos (String.length data - pos) with
+      | n -> push (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> push pos
+      | exception Unix.Unix_error (err, _, _) ->
+        fail "write: %s" (Unix.error_message err)
+    else ()
+  in
+  push 0
+
+let send t message = send_raw t (Protocol.encode_string message)
+
+let ensure_capacity t extra =
+  let needed = t.rlen + extra in
+  if needed > Bytes.length t.rbuf then begin
+    let grown = Bytes.create (max needed (2 * Bytes.length t.rbuf)) in
+    Bytes.blit t.rbuf 0 grown 0 t.rlen;
+    t.rbuf <- grown
+  end
+
+let rec recv t =
+  match Protocol.decode t.rbuf ~pos:0 ~len:t.rlen with
+  | Protocol.Msg (message, consumed) ->
+    Bytes.blit t.rbuf consumed t.rbuf 0 (t.rlen - consumed);
+    t.rlen <- t.rlen - consumed;
+    message
+  | Protocol.Oversized n -> fail "server sent an oversized frame (%d bytes)" n
+  | Protocol.Malformed reason -> fail "garbled frame from server: %s" reason
+  | Protocol.Need_more -> (
+    ensure_capacity t 8192;
+    match Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+    | 0 -> fail "connection closed by server"
+    | n ->
+      t.rlen <- t.rlen + n;
+      recv t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t
+    | exception Unix.Unix_error (err, _, _) ->
+      fail "read: %s" (Unix.error_message err))
+
+let ping t =
+  send t Protocol.Ping;
+  match recv t with
+  | Protocol.Pong -> ()
+  | other -> fail "expected pong, got %s" (Protocol.message_name other)
+
+let query t source =
+  send t (Protocol.Query source);
+  let rec collect results =
+    match recv t with
+    | Protocol.Stats stats -> (
+      match recv t with
+      | Protocol.Rows (schema, ntuples) ->
+        collect ({ stats; reply = `Rows (schema, ntuples) } :: results)
+      | Protocol.Done text -> collect ({ stats; reply = `Msg text } :: results)
+      | other ->
+        fail "expected a statement result after stats, got %s"
+          (Protocol.message_name other))
+    | Protocol.Done summary -> Ok { results = List.rev results; summary }
+    | Protocol.Err (code, reason) -> (
+      Stdlib.Error (code, reason))
+    | other -> fail "unexpected %s frame in response" (Protocol.message_name other)
+  in
+  collect []
+
+let query_exn t source =
+  match query t source with
+  | Ok response -> response
+  | Stdlib.Error (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+
+let metrics t =
+  send t Protocol.Metrics_req;
+  match recv t with
+  | Protocol.Metrics dump -> dump
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected metrics, got %s" (Protocol.message_name other)
+
+let shutdown t =
+  send t Protocol.Shutdown;
+  match recv t with
+  | Protocol.Done _ -> ()
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected done, got %s" (Protocol.message_name other)

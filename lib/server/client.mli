@@ -1,0 +1,58 @@
+(** Blocking nf2d client: one TCP connection, request/response.
+
+    Used by the [nfr_cli connect] remote REPL and by the closed-loop
+    network bench driver. Each call sends one request frame and reads
+    the full response ({!Protocol} grammar); a protocol violation,
+    garbled frame or dropped connection raises {!Error}. The client is
+    not thread-safe — one in-flight request per connection, which is
+    what closed-loop load generation wants. *)
+
+open Relational
+open Nfr_core
+
+exception Error of string
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Default host [127.0.0.1]. @raise Error when the TCP connect or
+    name lookup fails. *)
+
+val close : t -> unit
+
+val ping : t -> unit
+(** Round-trip a [Ping]. @raise Error unless a [Pong] comes back. *)
+
+(** One statement's outcome: its access-path cost and either result
+    rows (canonical NFR tuples) or an acknowledgement message. *)
+type statement_result = {
+  stats : Storage.Stats.t;
+  reply : [ `Rows of Schema.t * Ntuple.t list | `Msg of string ];
+}
+
+type response = {
+  results : statement_result list;  (** per statement, in order *)
+  summary : string;  (** the terminal [Done] text *)
+}
+
+val query : t -> string -> (response, Protocol.err_code * string) result
+(** Run an NFQL script. [Error] is the server's refusal ([Err] frame:
+    parse/eval failure, timeout, drain, ...); transport problems
+    raise {!Error} instead. *)
+
+val query_exn : t -> string -> response
+(** {!query}, raising {!Error} on a server refusal too. *)
+
+val metrics : t -> string
+(** The server's metrics dump ([Metrics_req] round trip). *)
+
+val shutdown : t -> unit
+(** Ask the server to drain and stop; returns once acknowledged. *)
+
+(** {2 Test hooks} *)
+
+val fd : t -> Unix.file_descr
+
+val send_raw : t -> string -> unit
+(** Write raw bytes, bypassing framing — the robustness suite uses
+    this to die mid-frame and to send garbage preambles. *)

@@ -1,0 +1,88 @@
+let magic = "N2"
+let version = 1
+let header_len = 2 + 1 + 1 + 4 (* magic, version, type, payload length *)
+let trailer_len = 4 (* CRC-32 *)
+let max_payload_default = 1 lsl 20
+
+let put_be32 buffer n =
+  Buffer.add_char buffer (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char buffer (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char buffer (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buffer (Char.chr (n land 0xFF))
+
+let get_be32 bytes pos =
+  (Char.code (Bytes.get bytes pos) lsl 24)
+  lor (Char.code (Bytes.get bytes (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get bytes (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get bytes (pos + 3))
+
+let encode buffer ~typ payload =
+  if typ < 0 || typ > 0xFF then invalid_arg "Frame.encode: type byte out of range";
+  let start = Buffer.length buffer in
+  Buffer.add_string buffer magic;
+  Buffer.add_char buffer (Char.chr version);
+  Buffer.add_char buffer (Char.chr typ);
+  put_be32 buffer (String.length payload);
+  Buffer.add_string buffer payload;
+  (* CRC over magic..payload. The buffer may already hold earlier
+     frames, so digest only this frame's slice. *)
+  let body_len = Buffer.length buffer - start in
+  let body = Buffer.sub buffer start body_len in
+  put_be32 buffer (Storage.Crc32.digest body)
+
+let encode_string ~typ payload =
+  let buffer = Buffer.create (header_len + String.length payload + trailer_len) in
+  encode buffer ~typ payload;
+  Buffer.contents buffer
+
+type decoded = {
+  typ : int;
+  payload : string;
+  consumed : int;
+}
+
+type result =
+  | Frame of decoded
+  | Need_more
+  | Oversized of int
+  | Malformed of string
+
+let decode ?(max_payload = max_payload_default) bytes ~pos ~len =
+  (* Clamp the region so hostile pos/len cannot index out of bounds. *)
+  let len = min len (Bytes.length bytes) in
+  let pos = max 0 pos in
+  let avail = len - pos in
+  if avail <= 0 then Need_more
+  else if Bytes.get bytes pos <> magic.[0] then
+    Malformed "bad magic"
+  else if avail < 2 then Need_more
+  else if Bytes.get bytes (pos + 1) <> magic.[1] then
+    Malformed "bad magic"
+  else if avail < 3 then Need_more
+  else if Char.code (Bytes.get bytes (pos + 2)) <> version then
+    Malformed
+      (Printf.sprintf "unsupported version %d" (Char.code (Bytes.get bytes (pos + 2))))
+  else if avail < header_len then Need_more
+  else begin
+    let typ = Char.code (Bytes.get bytes (pos + 3)) in
+    let payload_len = get_be32 bytes (pos + 4) in
+    if payload_len > max_payload then Oversized payload_len
+    else begin
+      let total = header_len + payload_len + trailer_len in
+      if avail < total then Need_more
+      else begin
+        let stored = get_be32 bytes (pos + header_len + payload_len) in
+        let crc =
+          Storage.Crc32.digest_bytes bytes ~pos ~len:(header_len + payload_len)
+        in
+        if stored <> crc then Malformed "CRC mismatch"
+        else
+          Frame
+            {
+              typ;
+              payload = Bytes.sub_string bytes (pos + header_len) payload_len;
+              consumed = total;
+            }
+      end
+    end
+  end

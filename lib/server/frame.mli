@@ -1,0 +1,61 @@
+(** Raw wire framing: the byte layout every nf2d connection speaks.
+
+    One frame is
+
+    {v
+    +-------+---------+------+----------------+---------+--------+
+    | magic | version | type | payload length | payload | CRC-32 |
+    | "N2"  |  1 byte |1 byte| 4 bytes BE     | n bytes | 4 B BE |
+    +-------+---------+------+----------------+---------+--------+
+    v}
+
+    The CRC (reusing {!Storage.Crc32}, the same polynomial the WAL
+    frames use) covers everything before it — magic through payload —
+    so a flipped bit anywhere in the frame is detected. The decoder is
+    {e total}: any byte string, truncated stream or hostile length
+    field yields {!Need_more}, {!Oversized} or {!Malformed}, never an
+    exception. Typed payloads live one layer up in {!Protocol}; this
+    module only moves opaque payload strings. *)
+
+val magic : string
+(** ["N2"], the two bytes every frame starts with. *)
+
+val version : int
+(** Wire version, currently [1]. *)
+
+val header_len : int
+(** Bytes before the payload (magic + version + type + length). *)
+
+val trailer_len : int
+(** Bytes after the payload (the CRC). *)
+
+val max_payload_default : int
+(** Default per-frame payload cap (1 MiB) — the admission-control
+    frame-size limit when the server config does not override it. *)
+
+val encode : Buffer.t -> typ:int -> string -> unit
+(** Append one frame carrying [payload] with type byte [typ].
+    @raise Invalid_argument if [typ] is outside [0..255]. *)
+
+val encode_string : typ:int -> string -> string
+(** {!encode} into a fresh string. *)
+
+type decoded = {
+  typ : int;  (** the type byte, uninterpreted *)
+  payload : string;
+  consumed : int;  (** total frame bytes, header through CRC *)
+}
+
+type result =
+  | Frame of decoded
+  | Need_more  (** a valid prefix; read more bytes and retry *)
+  | Oversized of int
+      (** the declared payload length, over the cap — the connection
+          cannot be resynchronized and should be dropped *)
+  | Malformed of string  (** bad magic/version/CRC — drop the link *)
+
+val decode : ?max_payload:int -> Bytes.t -> pos:int -> len:int -> result
+(** [decode buf ~pos ~len] examines [buf.[pos .. len-1]] (the unread
+    region of a connection buffer) for one complete frame. Total:
+    never raises on any input; out-of-range [pos]/[len] behave as an
+    empty region. *)

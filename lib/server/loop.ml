@@ -1,0 +1,227 @@
+type conn = {
+  fd : Unix.file_descr;
+  session : Session.t;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  ctx : Session.context;
+  on_shutdown : unit -> unit;
+  mutable conns : conn list;
+  mutable next_id : int;
+  mutable listening : bool;
+  mutable is_stopped : bool;
+  read_chunk : Bytes.t;
+}
+
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let create ?config ?metrics ?now ?(on_shutdown = fun () -> ()) ~db ~listen () =
+  Lazy.force ignore_sigpipe;
+  let listen_fd =
+    match listen with
+    | `Fd fd -> fd
+    | `Port port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd 64
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  in
+  Unix.set_nonblock listen_fd;
+  {
+    listen_fd;
+    ctx = Session.make_context ?config ?metrics ?now db;
+    on_shutdown;
+    conns = [];
+    next_id = 0;
+    listening = true;
+    is_stopped = false;
+    read_chunk = Bytes.create 8192;
+  }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> 0
+
+let metrics t = Session.context_metrics t.ctx
+let context t = t.ctx
+let live_sessions t = List.length t.conns
+let stopped t = t.is_stopped
+
+let close_conn t conn =
+  if not (Session.closed conn.session) then begin
+    Session.close conn.session;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Metrics.incr (metrics t) "connections.closed";
+    t.conns <- List.filter (fun c -> c != conn) t.conns
+  end
+
+let stop_listening t =
+  if t.listening then begin
+    t.listening <- false;
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let begin_shutdown t =
+  if not (Session.draining t.ctx) then begin
+    Session.drain t.ctx;
+    stop_listening t
+  end
+
+let finish_shutdown t =
+  Storage.Failpoint.hit "server.shutdown.flush";
+  t.on_shutdown ();
+  t.is_stopped <- true
+
+let close t =
+  stop_listening t;
+  List.iter (fun conn -> close_conn t conn) t.conns;
+  t.is_stopped <- true
+
+(* Best-effort single write used for the Overloaded rejection: the
+   socket was just accepted, so its send buffer is empty and one frame
+   fits; if even that fails the peer is gone anyway. *)
+let write_once fd data =
+  try ignore (Unix.write_substring fd data 0 (String.length data))
+  with Unix.Unix_error _ -> ()
+
+let accept_new t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      let config = Session.context_config t.ctx in
+      if List.length t.conns >= config.Session.max_connections then begin
+        Metrics.incr (metrics t) "connections.rejected";
+        Metrics.incr (metrics t) "errors.overloaded";
+        write_once fd
+          (Protocol.encode_string
+             (Protocol.Err
+                ( Protocol.Overloaded,
+                  Printf.sprintf "connection cap of %d reached"
+                    config.Session.max_connections )));
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Metrics.incr (metrics t) "connections.accepted";
+        t.next_id <- t.next_id + 1;
+        t.conns <-
+          { fd; session = Session.create t.ctx ~id:t.next_id } :: t.conns
+      end
+  done
+
+let read_conn t conn =
+  let continue = ref true in
+  while !continue && not (Session.closing conn.session) do
+    match Unix.read conn.fd t.read_chunk 0 (Bytes.length t.read_chunk) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      continue := false
+    | exception Unix.Unix_error (_, _, _) ->
+      (* Peer died (ECONNRESET and friends): drop the session; the
+         rest of the loop keeps serving. *)
+      close_conn t conn;
+      continue := false
+    | 0 ->
+      close_conn t conn;
+      continue := false
+    | n -> Session.feed conn.session t.read_chunk n
+  done
+
+let write_conn t conn =
+  let continue = ref true in
+  while !continue do
+    match Session.next_output conn.session with
+    | None ->
+      if Session.closing conn.session then close_conn t conn;
+      continue := false
+    | Some (data, pos) -> (
+      match Unix.write_substring conn.fd data pos (String.length data - pos) with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (_, _, _) ->
+        close_conn t conn;
+        continue := false
+      | n -> Session.advance_output conn.session n)
+  done
+
+let step t timeout =
+  if t.is_stopped then false
+  else begin
+    let draining = Session.draining t.ctx in
+    if draining then begin
+      (* Drop sessions with nothing left to flush. *)
+      Storage.Failpoint.hit "server.shutdown.drain";
+      List.iter
+        (fun conn ->
+          if not (Session.want_write conn.session) then close_conn t conn)
+        t.conns;
+      if t.conns = [] then finish_shutdown t
+    end;
+    if t.is_stopped then false
+    else begin
+      let read_fds =
+        (if t.listening then [ t.listen_fd ] else [])
+        @ List.filter_map
+            (fun conn ->
+              if Session.closing conn.session then None else Some conn.fd)
+            t.conns
+      in
+      let write_fds =
+        List.filter_map
+          (fun conn ->
+            if Session.want_write conn.session then Some conn.fd else None)
+          t.conns
+      in
+      let readable, writable, _ =
+        match Unix.select read_fds write_fds [] timeout with
+        | result -> result
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if t.listening && List.mem t.listen_fd readable then accept_new t;
+      List.iter
+        (fun conn ->
+          if List.mem conn.fd readable && not (Session.closed conn.session) then
+            read_conn t conn)
+        t.conns;
+      (* A frame handled this round may have staged replies; try to
+         push them immediately rather than waiting a select cycle. *)
+      List.iter
+        (fun conn ->
+          if
+            (not (Session.closed conn.session))
+            && (List.mem conn.fd writable || Session.want_write conn.session)
+          then write_conn t conn)
+        t.conns;
+      let now = Session.context_now t.ctx in
+      List.iter
+        (fun conn ->
+          if not (Session.closed conn.session) then
+            match Session.check_deadlines conn.session ~now with
+            | `Keep -> ()
+            | `Reap ->
+              (* Flush the polite rejection, then drop. *)
+              write_conn t conn;
+              if not (Session.closed conn.session) then close_conn t conn)
+        t.conns;
+      if Session.shutdown_requested t.ctx then begin_shutdown t;
+      not t.is_stopped
+    end
+  end
+
+let run t = while step t 0.25 do () done

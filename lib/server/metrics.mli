@@ -1,0 +1,64 @@
+(** Live server metrics: named counters and latency histograms.
+
+    A registry is a process-wide (or per-loop, in tests) bag of
+    monotonic counters ([frames.in], [queries.select], ...) and
+    log-bucketed histograms of seconds ([query.seconds]), cheap enough
+    to update on every frame. The server answers a [Metrics_req] frame
+    with {!to_text}; {!to_json} shares the flat-object encoding of
+    {!Storage.Stats.to_json} so EXPLAIN ANALYZE costs, the METRICS
+    dump and the network bench report all render one machine-readable
+    format.
+
+    Histograms bucket by powers of two starting at 1 µs, so quantile
+    estimates carry at most a 2x bucket-width error — plenty for p50 /
+    p95 / p99 service-time reporting, with exact [count], [sum] and
+    [max] kept alongside. *)
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** The default process-wide registry (the CLI server uses it). *)
+
+val incr : t -> string -> unit
+(** Add 1 to a counter, creating it at 0 first. *)
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** Current value; 0 for a counter never touched. *)
+
+val observe : t -> string -> float -> unit
+(** Record one duration (seconds) in a histogram. Negative samples
+    clamp to 0. *)
+
+(** Summary of one histogram. Quantiles are bucket upper bounds
+    (within 2x of the true value); [max] and [sum] are exact. *)
+type summary = {
+  count : int;
+  sum : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : t -> string -> summary option
+(** [None] when the histogram has no observations. *)
+
+val quantile : float list -> float -> float
+(** [quantile samples q] — exact quantile of a raw sample list (the
+    bench's client-side latencies). [0.] on an empty list. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val to_text : t -> string
+(** Human-readable dump: one [name value] line per counter, one
+    summary line per histogram. *)
+
+val to_json : t -> string
+(** [{"counters":{...},"histograms":{"name":{"count":..,...}}}]. *)
+
+val reset : t -> unit

@@ -1,0 +1,250 @@
+open Relational
+open Nfr_core
+
+type err_code =
+  | Overloaded
+  | Too_large
+  | Malformed_frame
+  | Timeout
+  | Query_failed
+  | Shutting_down
+
+let err_code_name = function
+  | Overloaded -> "overloaded"
+  | Too_large -> "too-large"
+  | Malformed_frame -> "malformed"
+  | Timeout -> "timeout"
+  | Query_failed -> "query-failed"
+  | Shutting_down -> "shutting-down"
+
+type message =
+  | Ping
+  | Pong
+  | Query of string
+  | Rows of Schema.t * Ntuple.t list
+  | Done of string
+  | Err of err_code * string
+  | Stats of Storage.Stats.t
+  | Metrics_req
+  | Metrics of string
+  | Shutdown
+
+let message_name = function
+  | Ping -> "ping"
+  | Pong -> "pong"
+  | Query _ -> "query"
+  | Rows _ -> "rows"
+  | Done _ -> "done"
+  | Err _ -> "err"
+  | Stats _ -> "stats"
+  | Metrics_req -> "metrics-req"
+  | Metrics _ -> "metrics"
+  | Shutdown -> "shutdown"
+
+(* Frame type bytes. *)
+let t_ping = 0x01
+let t_pong = 0x02
+let t_query = 0x03
+let t_rows = 0x04
+let t_done = 0x05
+let t_err = 0x06
+let t_stats = 0x07
+let t_metrics_req = 0x08
+let t_metrics = 0x09
+let t_shutdown = 0x0A
+
+let err_code_byte = function
+  | Overloaded -> 1
+  | Too_large -> 2
+  | Malformed_frame -> 3
+  | Timeout -> 4
+  | Query_failed -> 5
+  | Shutting_down -> 6
+
+let err_code_of_byte = function
+  | 1 -> Some Overloaded
+  | 2 -> Some Too_large
+  | 3 -> Some Malformed_frame
+  | 4 -> Some Timeout
+  | 5 -> Some Query_failed
+  | 6 -> Some Shutting_down
+  | _ -> None
+
+(* Value type tags for the schema encoding. *)
+let ty_byte = function
+  | Value.Tint -> 0
+  | Value.Tfloat -> 1
+  | Value.Tstring -> 2
+  | Value.Tbool -> 3
+
+let ty_of_byte = function
+  | 0 -> Some Value.Tint
+  | 1 -> Some Value.Tfloat
+  | 2 -> Some Value.Tstring
+  | 3 -> Some Value.Tbool
+  | _ -> None
+
+let encode_schema buffer schema =
+  let columns = Schema.columns schema in
+  Storage.Codec.encode_varint buffer (List.length columns);
+  List.iter
+    (fun (attribute, ty) ->
+      let name = Attribute.name attribute in
+      Storage.Codec.encode_varint buffer (String.length name);
+      Buffer.add_string buffer name;
+      Buffer.add_char buffer (Char.chr (ty_byte ty)))
+    columns
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+let need bytes offset n what =
+  if offset + n > Bytes.length bytes then bad "truncated %s" what
+
+let decode_schema bytes offset =
+  let degree, offset = Storage.Codec.decode_varint bytes offset in
+  if degree <= 0 || degree > Bytes.length bytes - offset then
+    bad "schema degree %d out of range" degree;
+  let columns = ref [] in
+  let offset = ref offset in
+  for _ = 1 to degree do
+    let name_len, next = Storage.Codec.decode_varint bytes !offset in
+    need bytes next name_len "schema column name";
+    let name = Bytes.sub_string bytes next name_len in
+    let next = next + name_len in
+    need bytes next 1 "schema column type";
+    (match ty_of_byte (Char.code (Bytes.get bytes next)) with
+    | None -> bad "unknown column type tag"
+    | Some ty -> columns := (Attribute.make name, ty) :: !columns);
+    offset := next + 1
+  done;
+  (Schema.make (List.rev !columns), !offset)
+
+let payload_of_message message =
+  let buffer = Buffer.create 64 in
+  (match message with
+  | Ping | Pong | Metrics_req | Shutdown -> ()
+  | Query source -> Buffer.add_string buffer source
+  | Done text -> Buffer.add_string buffer text
+  | Metrics dump -> Buffer.add_string buffer dump
+  | Err (code, text) ->
+    Buffer.add_char buffer (Char.chr (err_code_byte code));
+    Buffer.add_string buffer text
+  | Stats stats ->
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.pages_read;
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.records_read;
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.bytes_read;
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.index_probes
+  | Rows (schema, ntuples) ->
+    encode_schema buffer schema;
+    Storage.Codec.encode_varint buffer (List.length ntuples);
+    List.iter (Storage.Codec.encode_ntuple buffer) ntuples);
+  Buffer.contents buffer
+
+let type_of_message = function
+  | Ping -> t_ping
+  | Pong -> t_pong
+  | Query _ -> t_query
+  | Rows _ -> t_rows
+  | Done _ -> t_done
+  | Err _ -> t_err
+  | Stats _ -> t_stats
+  | Metrics_req -> t_metrics_req
+  | Metrics _ -> t_metrics
+  | Shutdown -> t_shutdown
+
+let encode buffer message =
+  Frame.encode buffer ~typ:(type_of_message message)
+    (payload_of_message message)
+
+let encode_string message =
+  Frame.encode_string ~typ:(type_of_message message)
+    (payload_of_message message)
+
+(* Payload parsing. Runs inside a catch-all because the codec raises
+   Storage_error on truncation and Schema.make on duplicates — the
+   decoder's contract is totality, so every parse failure folds into
+   [Bad]. *)
+let message_of_payload typ payload =
+  let bytes = Bytes.unsafe_of_string payload in
+  let strict_end what offset =
+    if offset <> String.length payload then bad "trailing bytes after %s" what
+  in
+  if typ = t_ping then (strict_end "ping" 0; Ping)
+  else if typ = t_pong then (strict_end "pong" 0; Pong)
+  else if typ = t_metrics_req then (strict_end "metrics-req" 0; Metrics_req)
+  else if typ = t_shutdown then (strict_end "shutdown" 0; Shutdown)
+  else if typ = t_query then Query payload
+  else if typ = t_done then Done payload
+  else if typ = t_metrics then Metrics payload
+  else if typ = t_err then begin
+    if String.length payload < 1 then bad "empty err payload";
+    match err_code_of_byte (Char.code payload.[0]) with
+    | None -> bad "unknown err code %d" (Char.code payload.[0])
+    | Some code ->
+      Err (code, String.sub payload 1 (String.length payload - 1))
+  end
+  else if typ = t_stats then begin
+    let pages, offset = Storage.Codec.decode_varint bytes 0 in
+    let records, offset = Storage.Codec.decode_varint bytes offset in
+    let bytes_read, offset = Storage.Codec.decode_varint bytes offset in
+    let probes, offset = Storage.Codec.decode_varint bytes offset in
+    strict_end "stats" offset;
+    let stats = Storage.Stats.create () in
+    stats.Storage.Stats.pages_read <- pages;
+    stats.Storage.Stats.records_read <- records;
+    stats.Storage.Stats.bytes_read <- bytes_read;
+    stats.Storage.Stats.index_probes <- probes;
+    Stats stats
+  end
+  else if typ = t_rows then begin
+    let schema, offset = decode_schema bytes 0 in
+    let count, offset = Storage.Codec.decode_varint bytes offset in
+    if count < 0 || count > Bytes.length bytes - offset then
+      bad "row count %d out of range" count;
+    let ntuples = ref [] in
+    let offset = ref offset in
+    for _ = 1 to count do
+      let nt, next = Storage.Codec.decode_ntuple bytes !offset in
+      (* The codec trusts its input; re-check against the schema so a
+         forged frame cannot smuggle an arity-mismatched tuple into a
+         typed [Rows]. *)
+      if Ntuple.arity nt <> Schema.degree schema then
+        bad "row arity %d does not match schema" (Ntuple.arity nt);
+      ntuples := nt :: !ntuples;
+      offset := next
+    done;
+    strict_end "rows" !offset;
+    Rows (schema, List.rev !ntuples)
+  end
+  else bad "unknown frame type 0x%02X" typ
+
+type result =
+  | Msg of message * int
+  | Need_more
+  | Oversized of int
+  | Malformed of string
+
+let decode ?max_payload bytes ~pos ~len =
+  match Frame.decode ?max_payload bytes ~pos ~len with
+  | Frame.Need_more -> Need_more
+  | Frame.Oversized n -> Oversized n
+  | Frame.Malformed reason -> Malformed reason
+  | Frame.Frame { typ; payload; consumed } -> (
+    match message_of_payload typ payload with
+    | message -> Msg (message, consumed)
+    | exception Bad reason -> Malformed reason
+    | exception Storage.Storage_error.Error err ->
+      Malformed (Storage.Storage_error.to_string err)
+    | exception Schema.Schema_error reason -> Malformed reason
+    | exception exn -> Malformed (Printexc.to_string exn))
+
+let decode_message data =
+  let bytes = Bytes.of_string data in
+  match decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Msg (message, consumed) when consumed = String.length data -> Ok message
+  | Msg _ -> Error "trailing bytes after frame"
+  | Need_more -> Error "truncated frame"
+  | Oversized n -> Error (Printf.sprintf "oversized frame (%d bytes)" n)
+  | Malformed reason -> Error reason

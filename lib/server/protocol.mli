@@ -1,0 +1,65 @@
+(** Typed messages over {!Frame} — the nf2d wire protocol.
+
+    Client-originated: [Ping], [Query] (one NFQL script), [Metrics_req]
+    and [Shutdown]. Server-originated: [Pong], per-statement [Stats]
+    followed by its result frame ([Rows] for row-returning statements,
+    [Done] for acknowledgements), and a terminal [Done] (request
+    summary) or [Err]. The response grammar for one [Query] is
+
+    {v (Stats (Rows | Done))* (Done | Err) v}
+
+    — a [Stats] frame announces that one statement's result frame
+    follows, so the client needs no lookahead to recognize the
+    terminator. [Rows] carries the schema and the canonical NFR tuples
+    via {!Storage.Codec}, the same binary encoding the heap pages use.
+
+    {!decode} is total like {!Frame.decode}: any payload that does not
+    parse back to a message (unknown type byte, truncated codec data,
+    trailing junk) is [`Malformed], never an exception — the fuzz
+    suite feeds it random and truncated byte streams. *)
+
+open Relational
+open Nfr_core
+
+(** Why a request (or connection) was refused. *)
+type err_code =
+  | Overloaded  (** connection cap reached; retry later *)
+  | Too_large  (** frame exceeded the payload cap *)
+  | Malformed_frame  (** undecodable bytes or an unexpected frame *)
+  | Timeout  (** the request ran past the wall-clock limit *)
+  | Query_failed  (** NFQL parse or evaluation error *)
+  | Shutting_down  (** server is draining; no new requests *)
+
+val err_code_name : err_code -> string
+
+type message =
+  | Ping
+  | Pong
+  | Query of string  (** NFQL source, possibly several statements *)
+  | Rows of Schema.t * Ntuple.t list  (** one statement's result rows *)
+  | Done of string  (** statement ack, or request terminator *)
+  | Err of err_code * string  (** terminal for its request *)
+  | Stats of Storage.Stats.t  (** cost of the statement that follows *)
+  | Metrics_req  (** admin: ask for the metrics dump *)
+  | Metrics of string  (** the dump (text or JSON; see {!Metrics}) *)
+  | Shutdown  (** admin: drain sessions and stop *)
+
+val message_name : message -> string
+(** Lowercase tag for logs and error messages. *)
+
+val encode : Buffer.t -> message -> unit
+(** Append the message as one complete frame. *)
+
+val encode_string : message -> string
+
+type result =
+  | Msg of message * int  (** decoded message and bytes consumed *)
+  | Need_more
+  | Oversized of int
+  | Malformed of string
+
+val decode : ?max_payload:int -> Bytes.t -> pos:int -> len:int -> result
+(** Decode one message from the unread region. Total: never raises. *)
+
+val decode_message : string -> (message, string) Stdlib.result
+(** Decode exactly one whole frame from a string (tests, tools). *)

@@ -1,0 +1,317 @@
+open Nfr_core
+
+type config = {
+  max_connections : int;
+  max_payload : int;
+  idle_timeout : float;
+  request_timeout : float;
+  slow_query_s : float;
+  slow_log_size : int;
+}
+
+let default_config =
+  {
+    max_connections = 64;
+    max_payload = Frame.max_payload_default;
+    idle_timeout = 30.;
+    request_timeout = 10.;
+    slow_query_s = 0.1;
+    slow_log_size = 64;
+  }
+
+type context = {
+  db : Nfql.Physical.db;
+  metrics : Metrics.t;
+  config : config;
+  now : unit -> float;
+  slow : (string * float) Queue.t;
+  mutable is_draining : bool;
+  mutable wants_shutdown : bool;
+}
+
+let make_context ?(config = default_config) ?metrics ?now db =
+  {
+    db;
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    config;
+    now = (match now with Some f -> f | None -> Unix.gettimeofday);
+    slow = Queue.create ();
+    is_draining = false;
+    wants_shutdown = false;
+  }
+
+let context_metrics ctx = ctx.metrics
+let context_config ctx = ctx.config
+let context_now ctx = ctx.now ()
+let slow_log ctx = List.of_seq (Queue.to_seq ctx.slow)
+let drain ctx = ctx.is_draining <- true
+let draining ctx = ctx.is_draining
+let shutdown_requested ctx = ctx.wants_shutdown
+
+let note_slow ctx text seconds =
+  Metrics.incr ctx.metrics "queries.slow";
+  Queue.push (text, seconds) ctx.slow;
+  while Queue.length ctx.slow > ctx.config.slow_log_size do
+    ignore (Queue.pop ctx.slow)
+  done
+
+let metrics_dump ctx =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer (Metrics.to_text ctx.metrics);
+  if not (Queue.is_empty ctx.slow) then begin
+    Buffer.add_string buffer "slow queries (slowest-first cap, newest last):\n";
+    Queue.iter
+      (fun (text, seconds) ->
+        Buffer.add_string buffer (Printf.sprintf "  %.6fs  %s\n" seconds text))
+      ctx.slow
+  end;
+  Buffer.contents buffer
+
+type state =
+  | Open
+  | Closing  (** flush staged output, then drop *)
+  | Closed
+
+type t = {
+  ctx : context;
+  session_id : int;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  staged : Buffer.t;  (** frames not yet handed to the writer *)
+  mutable pending : string;  (** frame bytes currently being written *)
+  mutable pending_pos : int;
+  mutable state : state;
+  mutable last_activity_at : float;
+  mutable frame_started_at : float option;
+      (** when the current partial frame began arriving *)
+}
+
+let create ctx ~id =
+  {
+    ctx;
+    session_id = id;
+    rbuf = Bytes.create 4096;
+    rlen = 0;
+    staged = Buffer.create 256;
+    pending = "";
+    pending_pos = 0;
+    state = Open;
+    last_activity_at = ctx.now ();
+    frame_started_at = None;
+  }
+
+let id t = t.session_id
+let closing t = t.state = Closing
+let closed t = t.state = Closed
+let close t = t.state <- Closed
+let last_activity t = t.last_activity_at
+
+(* ------------------------------------------------------------------ *)
+(* Output queue                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let send t message =
+  let before = Buffer.length t.staged in
+  Protocol.encode t.staged message;
+  Metrics.incr t.ctx.metrics "frames.out";
+  Metrics.add t.ctx.metrics "bytes.out" (Buffer.length t.staged - before)
+
+let next_output t =
+  if t.pending_pos >= String.length t.pending then begin
+    t.pending <- Buffer.contents t.staged;
+    t.pending_pos <- 0;
+    Buffer.clear t.staged
+  end;
+  if t.pending_pos >= String.length t.pending then None
+  else Some (t.pending, t.pending_pos)
+
+let advance_output t n =
+  t.pending_pos <- t.pending_pos + n;
+  t.last_activity_at <- t.ctx.now ()
+
+let want_write t =
+  t.pending_pos < String.length t.pending || Buffer.length t.staged > 0
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let statement_verb = function
+  | Nfql.Ast.Create _ -> "create"
+  | Nfql.Ast.Drop _ -> "drop"
+  | Nfql.Ast.Insert _ -> "insert"
+  | Nfql.Ast.Delete_values _ | Nfql.Ast.Delete_where _ -> "delete"
+  | Nfql.Ast.Update_set _ -> "update"
+  | Nfql.Ast.Select _ -> "select"
+  | Nfql.Ast.Select_count _ -> "count"
+  | Nfql.Ast.Explain _ | Nfql.Ast.Explain_analyze _ -> "explain"
+  | Nfql.Ast.Show _ -> "show"
+
+let reply_of_result = function
+  | Nfql.Eval.Done text -> Protocol.Done text
+  | Nfql.Eval.Rows nfr -> Protocol.Rows (Nfr.schema nfr, Nfr.ntuples nfr)
+
+let run_query t source =
+  let ctx = t.ctx in
+  match Nfql.Parser.parse_script source with
+  | exception Nfql.Parser.Parse_error (message, offset) ->
+    Metrics.incr ctx.metrics "errors.query";
+    send t
+      (Protocol.Err
+         ( Protocol.Query_failed,
+           Printf.sprintf "parse error at offset %d: %s" offset message ))
+  | exception Nfql.Lexer.Lex_error (message, offset) ->
+    Metrics.incr ctx.metrics "errors.query";
+    send t
+      (Protocol.Err
+         ( Protocol.Query_failed,
+           Printf.sprintf "lex error at offset %d: %s" offset message ))
+  | statements ->
+    let deadline = ctx.now () +. ctx.config.request_timeout in
+    let rec execute completed = function
+      | [] ->
+        send t (Protocol.Done (Printf.sprintf "ok: %d statement(s)" completed))
+      | statement :: rest ->
+        if ctx.now () > deadline then begin
+          Metrics.incr ctx.metrics "errors.timeout";
+          send t
+            (Protocol.Err
+               ( Protocol.Timeout,
+                 Printf.sprintf
+                   "request exceeded %.3fs; %d of %d statement(s) ran"
+                   ctx.config.request_timeout completed
+                   (List.length statements) ))
+        end
+        else begin
+          Metrics.incr ctx.metrics "queries.total";
+          Metrics.incr ctx.metrics ("queries." ^ statement_verb statement);
+          let started = ctx.now () in
+          match Nfql.Physical.exec ctx.db statement with
+          | result, stats ->
+            let elapsed = ctx.now () -. started in
+            Metrics.observe ctx.metrics "query.seconds" elapsed;
+            if elapsed > ctx.config.slow_query_s then
+              note_slow ctx
+                (Format.asprintf "%a" Nfql.Ast.pp_statement statement)
+                elapsed;
+            send t (Protocol.Stats stats);
+            send t (reply_of_result result);
+            execute (completed + 1) rest
+          | exception Nfql.Eval.Eval_error message ->
+            Metrics.incr ctx.metrics "errors.query";
+            send t (Protocol.Err (Protocol.Query_failed, message))
+          | exception Storage.Storage_error.Error err ->
+            Metrics.incr ctx.metrics "errors.query";
+            send t
+              (Protocol.Err
+                 (Protocol.Query_failed, Storage.Storage_error.to_string err))
+          | exception (Storage.Failpoint.Crashed _ as crash) ->
+            (* Fault injection simulates process death: let it out. *)
+            raise crash
+          | exception exn ->
+            Metrics.incr ctx.metrics "errors.query";
+            send t (Protocol.Err (Protocol.Query_failed, Printexc.to_string exn))
+        end
+    in
+    execute 0 statements
+
+let refuse t code reason =
+  Metrics.incr t.ctx.metrics
+    (match code with
+    | Protocol.Shutting_down -> "errors.shutting_down"
+    | Protocol.Timeout -> "errors.timeout"
+    | Protocol.Too_large -> "errors.too_large"
+    | Protocol.Malformed_frame -> "errors.malformed"
+    | Protocol.Overloaded -> "errors.overloaded"
+    | Protocol.Query_failed -> "errors.query");
+  send t (Protocol.Err (code, reason));
+  t.state <- Closing
+
+let handle t message =
+  let ctx = t.ctx in
+  Storage.Failpoint.hit "server.session.frame";
+  if ctx.is_draining then
+    refuse t Protocol.Shutting_down "server is draining"
+  else
+    match message with
+    | Protocol.Ping -> send t Protocol.Pong
+    | Protocol.Query source -> run_query t source
+    | Protocol.Metrics_req -> send t (Protocol.Metrics (metrics_dump ctx))
+    | Protocol.Shutdown ->
+      ctx.wants_shutdown <- true;
+      send t (Protocol.Done "shutting down")
+    | Protocol.Pong | Protocol.Rows _ | Protocol.Done _ | Protocol.Err _
+    | Protocol.Stats _ | Protocol.Metrics _ ->
+      refuse t Protocol.Malformed_frame
+        (Printf.sprintf "unexpected %s frame from client"
+           (Protocol.message_name message))
+
+(* ------------------------------------------------------------------ *)
+(* Input buffering and frame parsing                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_capacity t extra =
+  let needed = t.rlen + extra in
+  if needed > Bytes.length t.rbuf then begin
+    let grown = Bytes.create (max needed (2 * Bytes.length t.rbuf)) in
+    Bytes.blit t.rbuf 0 grown 0 t.rlen;
+    t.rbuf <- grown
+  end
+
+let consume t n =
+  if n > 0 then begin
+    Bytes.blit t.rbuf n t.rbuf 0 (t.rlen - n);
+    t.rlen <- t.rlen - n
+  end
+
+let rec parse_frames t =
+  if t.state = Open && t.rlen > 0 then
+    match
+      Protocol.decode ~max_payload:t.ctx.config.max_payload t.rbuf ~pos:0
+        ~len:t.rlen
+    with
+    | Protocol.Need_more -> ()
+    | Protocol.Msg (message, consumed_bytes) ->
+      Metrics.incr t.ctx.metrics "frames.in";
+      consume t consumed_bytes;
+      handle t message;
+      parse_frames t
+    | Protocol.Oversized n ->
+      refuse t Protocol.Too_large
+        (Printf.sprintf "frame payload of %d bytes exceeds the %d-byte cap" n
+           t.ctx.config.max_payload)
+    | Protocol.Malformed reason ->
+      refuse t Protocol.Malformed_frame reason
+
+let feed t buf n =
+  if t.state = Open && n > 0 then begin
+    ensure_capacity t n;
+    Bytes.blit buf 0 t.rbuf t.rlen n;
+    t.rlen <- t.rlen + n;
+    Metrics.add t.ctx.metrics "bytes.in" n;
+    t.last_activity_at <- t.ctx.now ();
+    if t.frame_started_at = None then t.frame_started_at <- Some t.last_activity_at;
+    parse_frames t;
+    if t.rlen = 0 then t.frame_started_at <- None
+  end
+
+let check_deadlines t ~now =
+  if t.state <> Open then `Keep
+  else
+    match t.frame_started_at with
+    | Some started when now -. started > t.ctx.config.request_timeout ->
+      (* Slowloris: the frame has been dribbling in for too long. *)
+      refuse t Protocol.Timeout
+        (Printf.sprintf "frame did not complete within %.3fs"
+           t.ctx.config.request_timeout);
+      `Reap
+    | _ ->
+      if
+        now -. t.last_activity_at > t.ctx.config.idle_timeout
+        && not (want_write t)
+      then begin
+        Metrics.incr t.ctx.metrics "connections.reaped";
+        t.state <- Closing;
+        `Reap
+      end
+      else `Keep

@@ -1,0 +1,108 @@
+(** Per-connection protocol state machine, socket-agnostic.
+
+    A session owns a read accumulation buffer and a write queue and
+    knows nothing about file descriptors: the {!Loop} (or a test)
+    {!feed}s it raw bytes and drains {!next_output}. Feeding parses as
+    many complete frames as the bytes hold, dispatches each against
+    the shared {!context} (executing NFQL through
+    {!Nfql.Physical.exec}), and stages the response frames. The
+    lifecycle is
+
+    {v open --(protocol error | timeout | shutdown)--> closing
+            --(write queue drained)------------------> closed v}
+
+    where {e closing} still flushes the staged reply (the polite
+    rejection) before the loop drops the socket.
+
+    Every decoded frame passes the ["server.session.frame"]
+    {!Storage.Failpoint} control site, so the crash suite can kill the
+    serve path mid-request and assert recovery; an armed [Crash]
+    propagates out of {!feed} as [Failpoint.Crashed]. *)
+
+(** Admission-control and robustness knobs (shared with {!Loop}). *)
+type config = {
+  max_connections : int;  (** accept cap; above it: [Err Overloaded] *)
+  max_payload : int;  (** per-frame payload cap in bytes *)
+  idle_timeout : float;  (** seconds of silence before reaping *)
+  request_timeout : float;
+      (** wall-clock budget for one request: a partial frame must
+          complete, and a script's statements must all start, within
+          this many seconds *)
+  slow_query_s : float;  (** statements slower than this are logged *)
+  slow_log_size : int;  (** slow-query ring-buffer capacity *)
+}
+
+val default_config : config
+(** 64 connections, 1 MiB frames, 30 s idle, 10 s requests, 100 ms
+    slow-query threshold, 64 slow-log entries. *)
+
+(** State shared by every session of one server. *)
+type context
+
+val make_context :
+  ?config:config ->
+  ?metrics:Metrics.t ->
+  ?now:(unit -> float) ->
+  Nfql.Physical.db ->
+  context
+(** [now] defaults to [Unix.gettimeofday]; tests inject a fake clock
+    to exercise idle reaping and slowloris timeouts deterministically.
+    [metrics] defaults to a fresh registry. *)
+
+val context_metrics : context -> Metrics.t
+val context_config : context -> config
+
+val context_now : context -> float
+(** The context's clock reading (injected or wall). *)
+
+val slow_log : context -> (string * float) list
+(** Most recent slow statements (text, seconds), newest last; at most
+    [slow_log_size] entries. *)
+
+val drain : context -> unit
+(** Enter drain mode: every subsequent request on any session is
+    refused with [Err Shutting_down]. *)
+
+val draining : context -> bool
+
+val shutdown_requested : context -> bool
+(** Has any session received a [Shutdown] frame? The loop polls this
+    after feeding. *)
+
+val metrics_dump : context -> string
+(** What a [Metrics_req] answers: {!Metrics.to_text} plus the
+    slow-query log. *)
+
+type t
+
+val create : context -> id:int -> t
+val id : t -> int
+
+val feed : t -> bytes -> int -> unit
+(** [feed t buf n] appends [buf.[0..n-1]] (just read from the peer)
+    and processes every complete frame. Never raises on malformed
+    input (the session transitions to closing with a staged [Err]);
+    [Failpoint.Crashed] from an armed site does propagate. *)
+
+val next_output : t -> (string * int) option
+(** [Some (data, pos)]: unsent bytes are [data.[pos..]]. [None]: the
+    write queue is empty. *)
+
+val advance_output : t -> int -> unit
+(** Record that [n] more bytes of {!next_output} reached the socket. *)
+
+val want_write : t -> bool
+
+val check_deadlines : t -> now:float -> [ `Keep | `Reap ]
+(** Idle and partial-frame timers. [`Reap]: the loop should close the
+    socket after flushing ({!want_write} may newly be true — a
+    slowloris gets a polite [Err Timeout] first). *)
+
+val closing : t -> bool
+(** The session must be dropped once its output drains. *)
+
+val close : t -> unit
+(** Mark closed (socket gone). Idempotent. *)
+
+val closed : t -> bool
+val last_activity : t -> float

@@ -23,3 +23,8 @@ let add acc s =
 let pp ppf t =
   Format.fprintf ppf "pages=%d records=%d bytes=%d probes=%d" t.pages_read
     t.records_read t.bytes_read t.index_probes
+
+let to_json t =
+  Printf.sprintf
+    "{\"pages_read\":%d,\"records_read\":%d,\"bytes_read\":%d,\"index_probes\":%d}"
+    t.pages_read t.records_read t.bytes_read t.index_probes

@@ -17,3 +17,9 @@ val add : t -> t -> unit
 (** [add acc s] accumulates [s] into [acc]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One flat JSON object ([{"pages_read":..,"records_read":..,
+    "bytes_read":..,"index_probes":..}]) — the machine-readable form
+    shared by EXPLAIN ANALYZE cost dumps, the server's METRICS frame
+    and the network bench report. *)

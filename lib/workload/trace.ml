@@ -93,3 +93,31 @@ let final_relation start trace =
 let pp_op ppf = function
   | Insert t -> Format.fprintf ppf "+%a" Tuple.pp t
   | Delete t -> Format.fprintf ppf "-%a" Tuple.pp t
+
+(* NFQL literal syntax: ints/floats/bools bare, strings quoted with
+   [''] doubling — matching the lexer, not [Value.pp] (which leaves
+   identifier-like strings bare and would collide with column names
+   in a statement). *)
+let nfql_literal = function
+  | Value.Vint i -> string_of_int i
+  | Value.Vfloat f -> Printf.sprintf "%.17g" f
+  | Value.Vbool b -> string_of_bool b
+  | Value.Vstring s ->
+    let buffer = Buffer.create (String.length s + 2) in
+    Buffer.add_char buffer '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buffer "''"
+        else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '\'';
+    Buffer.contents buffer
+
+let nfql_statement ~table op =
+  let tuple, verb =
+    match op with
+    | Insert t -> (t, "insert into")
+    | Delete t -> (t, "delete from")
+  in
+  Printf.sprintf "%s %s values (%s)" verb table
+    (String.concat ", " (List.map nfql_literal (Tuple.values tuple)))

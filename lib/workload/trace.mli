@@ -56,3 +56,9 @@ val final_relation : Relation.t -> op list -> Relation.t
 (** The flat relation a correct executor must end with. *)
 
 val pp_op : Format.formatter -> op -> unit
+
+val nfql_statement : table:string -> op -> string
+(** The operation as one NFQL DML statement against [table]
+    ([insert into t values ('a1', ...)]) — what the network soak and
+    the closed-loop bench driver replay over the wire. String values
+    are quoted and escaped for the NFQL lexer. *)

@@ -1,0 +1,87 @@
+#!/bin/sh
+# End-to-end nf2d smoke: start `nfr_cli serve` on a free loopback port,
+# run a scripted client session against it, and assert both the rows
+# that come back and a clean drain on shutdown. Run via `make
+# servesmoke` (after `dune build`) or directly from the repo root.
+set -eu
+
+CLI=_build/default/bin/nfr_cli.exe
+[ -x "$CLI" ] || { echo "server_smoke: $CLI not built" >&2; exit 1; }
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+cat > "$workdir/sc.csv" <<'EOF'
+Student:string,Course:string
+s1,c1
+s1,c2
+s2,c1
+EOF
+
+"$CLI" serve --load "sc=$workdir/sc.csv" --port 0 --wal-dir "$workdir" \
+    > "$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# The server prints "nf2d listening on 127.0.0.1:PORT ..." once bound.
+port=""
+for _ in $(seq 1 50); do
+    port=$(sed -n 's/^nf2d listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$workdir/server.log")
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "server_smoke: server died at startup:" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "server_smoke: no listening line" >&2; exit 1; }
+
+echo "server_smoke: serving on port $port"
+
+# One scripted session: DML + query; the reply must contain the
+# freshly inserted student and the request summary.
+out=$("$CLI" connect --port "$port" \
+    -e "insert into sc values ('s3', 'c2'); select * from sc")
+echo "$out" | grep -q "s3" || {
+    echo "server_smoke: inserted row missing from SELECT reply:" >&2
+    echo "$out" >&2
+    exit 1
+}
+echo "$out" | grep -q "ok: 2 statement(s)" || {
+    echo "server_smoke: request summary missing" >&2
+    echo "$out" >&2
+    exit 1
+}
+
+# The metrics dump must account for exactly those statements.
+"$CLI" connect --port "$port" --metrics | grep -q "queries.total 2" || {
+    echo "server_smoke: METRICS dump missing queries.total" >&2
+    exit 1
+}
+
+# Graceful shutdown: drain, flush the WAL, exit 0.
+"$CLI" connect --port "$port" --shutdown
+wait "$server_pid"
+status=$?
+server_pid=""
+[ "$status" -eq 0 ] || {
+    echo "server_smoke: server exited $status" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+grep -q "nf2d drained; bye" "$workdir/server.log" || {
+    echo "server_smoke: drain banner missing" >&2
+    exit 1
+}
+[ -s "$workdir/sc.wal" ] || [ -e "$workdir/sc.wal" ] || {
+    echo "server_smoke: WAL file missing" >&2
+    exit 1
+}
+
+echo "server_smoke: OK"

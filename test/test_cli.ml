@@ -1,0 +1,86 @@
+(* Exit-status regression tests for the CLI's batch modes.
+
+   A failed statement must make `nfr_cli sql` (both -e and --script)
+   and a piped `nfr_cli repl` exit non-zero — scripts drive CI and
+   cron jobs, where a printed error with exit 0 is a silent failure.
+   The piped-repl case is the historical regression: errors were
+   printed per line and the process still exited 0. *)
+
+(* The test binary lives in _build/default/test; the CLI is its
+   sibling in _build/default/bin, wherever the runner was started. *)
+let exe =
+  Filename.quote
+    (Filename.concat
+       (Filename.dirname Sys.executable_name)
+       "../bin/nfr_cli.exe")
+
+let run ?stdin_file args =
+  let stdin_redirect =
+    match stdin_file with
+    | Some path -> " < " ^ Filename.quote path
+    | None -> " < /dev/null"
+  in
+  Sys.command (exe ^ " " ^ args ^ stdin_redirect ^ " > /dev/null 2> /dev/null")
+
+let with_script contents f =
+  let path = Filename.temp_file "nfr_cli_test" ".nfql" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc contents);
+      f path)
+
+let good_script =
+  "create table x (A string, B string);\n\
+   insert into x values ('a1', 'b1');\n\
+   select * from x\n"
+
+(* Second statement fails: the run must report it in its exit code. *)
+let bad_script =
+  "create table x (A string, B string);\nselect * from nope\n"
+
+let check_zero name code = Alcotest.(check int) name 0 code
+
+let check_nonzero name code =
+  Alcotest.(check bool) (name ^ " exits non-zero") true (code <> 0)
+
+let test_sql_exec () =
+  check_zero "sql -e ok" (run ("sql -e " ^ Filename.quote good_script));
+  check_nonzero "sql -e failing"
+    (run ("sql -e " ^ Filename.quote bad_script))
+
+let test_sql_script_file () =
+  with_script good_script (fun path ->
+      check_zero "sql --script ok" (run ("sql --script " ^ Filename.quote path)));
+  with_script bad_script (fun path ->
+      check_nonzero "sql --script failing"
+        (run ("sql --script " ^ Filename.quote path)))
+
+let test_sql_stdin () =
+  with_script good_script (fun path ->
+      check_zero "sql < ok" (run ~stdin_file:path "sql"));
+  with_script bad_script (fun path ->
+      check_nonzero "sql < failing" (run ~stdin_file:path "sql"))
+
+let test_repl_piped () =
+  with_script good_script (fun path ->
+      check_zero "repl < ok" (run ~stdin_file:path "repl"));
+  with_script bad_script (fun path ->
+      check_nonzero "repl < failing" (run ~stdin_file:path "repl"));
+  (* Same regression against the storage-engine backend. *)
+  with_script bad_script (fun path ->
+      check_nonzero "repl --physical < failing"
+        (run ~stdin_file:path "repl --physical"))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-status",
+        [
+          Alcotest.test_case "sql -e" `Quick test_sql_exec;
+          Alcotest.test_case "sql --script" `Quick test_sql_script_file;
+          Alcotest.test_case "sql over stdin" `Quick test_sql_stdin;
+          Alcotest.test_case "piped repl" `Quick test_repl_piped;
+        ] );
+    ]

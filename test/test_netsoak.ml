@@ -1,0 +1,157 @@
+(* Network soak: the acceptance scenario for the nf2d server.
+
+   Forks one server process (the listening socket is bound before the
+   fork, so parent and child agree on the port), opens 32 concurrent
+   blocking client connections, and replays a Workload.Trace.mixed
+   scenario round-robin across them — closed loop, every reply fully
+   decoded, so a single dropped or garbled frame fails the suite.
+   Halfway through, one extra "victim" connection dies mid-frame; the
+   32 workers must not notice. At the end: the final table must equal
+   Trace.final_relation, the server's own METRICS counters must match
+   the client-side request ledger exactly, and a graceful shutdown
+   must leave the child with exit status 0. *)
+
+open Relational
+open Support
+
+let conns = 32
+let ops = 1600
+let seed_rows = 40
+
+let schema3 = Schema.strings [ "A"; "B"; "C" ]
+
+let listen_socket () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 128;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, port)
+
+let fork_server ~listen_fd =
+  match Unix.fork () with
+  | 0 ->
+    let exit_code =
+      try
+        let db = Nfql.Physical.create () in
+        Nfql.Physical.add_table db "t"
+          (Storage.Table.load
+             ~order:(Schema.attributes schema3)
+             (Relation.empty schema3));
+        let loop = Server.Loop.create ~db ~listen:(`Fd listen_fd) () in
+        Server.Loop.run loop;
+        0
+      with _ -> 1
+    in
+    Unix._exit exit_code
+  | pid ->
+    Unix.close listen_fd;
+    pid
+
+(* Pull "queries.total 123"-style counters back out of the METRICS
+   text dump. *)
+let counter_of_dump dump name =
+  let prefix = name ^ " " in
+  String.split_on_char '\n' dump
+  |> List.find_map (fun line ->
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then int_of_string_opt (String.sub line (String.length prefix)
+                (String.length line - String.length prefix))
+         else None)
+  |> Option.value ~default:(-1)
+
+let error_counters_of_dump dump =
+  String.split_on_char '\n' dump
+  |> List.filter (fun line ->
+         String.length line > 7 && String.sub line 0 7 = "errors.")
+
+let test_soak () =
+  let start =
+    let trace =
+      Workload.Trace.mixed ~seed:7 ~insert_ratio:1.0 (Relation.empty schema3)
+        ~ops:seed_rows
+    in
+    Workload.Trace.final_relation (Relation.empty schema3) trace
+  in
+  let trace = Workload.Trace.mixed ~seed:8 start ~ops in
+  let listen_fd, port = listen_socket () in
+  let server_pid = fork_server ~listen_fd in
+  let clients = Array.init conns (fun _ -> Server.Client.connect ~port ()) in
+  Array.iter Server.Client.ping clients;
+  let admin = clients.(0) in
+  (* Seed the table over the wire. *)
+  let statements_sent = ref 0 in
+  Relation.iter
+    (fun tuple ->
+      ignore
+        (Server.Client.query_exn admin
+           (Workload.Trace.nfql_statement ~table:"t"
+              (Workload.Trace.Insert tuple)));
+      incr statements_sent)
+    start;
+  (* The victim: dies mid-frame halfway through the replay. *)
+  let victim = Server.Client.connect ~port () in
+  let victim_fragment =
+    let whole = Server.Protocol.encode_string (Server.Protocol.Query "show t") in
+    String.sub whole 0 (String.length whole - 3)
+  in
+  List.iteri
+    (fun i op ->
+      if i = ops / 2 then begin
+        Server.Client.send_raw victim victim_fragment;
+        Server.Client.close victim
+      end;
+      let client = clients.(i mod conns) in
+      (match
+         Server.Client.query client (Workload.Trace.nfql_statement ~table:"t" op)
+       with
+      | Ok _ -> ()
+      | Error (_, reason) -> Alcotest.failf "op %d refused: %s" i reason);
+      incr statements_sent)
+    trace;
+  (* Every worker connection is still alive after the victim's death. *)
+  Array.iter Server.Client.ping clients;
+  (* Final state over the wire. *)
+  let final_rows =
+    match (Server.Client.query_exn admin "select * from t").results with
+    | [ { Server.Client.reply = `Rows (row_schema, ntuples); _ } ] ->
+      Nfr_core.Nfr.flatten (Nfr_core.Nfr.of_ntuples row_schema ntuples)
+    | _ -> Alcotest.fail "unexpected SELECT response shape"
+  in
+  incr statements_sent;
+  Alcotest.check relation_testable "final table = Trace.final_relation"
+    (Workload.Trace.final_relation start trace)
+    final_rows;
+  (* The server's ledger must agree with ours, statement for
+     statement. *)
+  let dump = Server.Client.metrics admin in
+  Alcotest.(check int)
+    "METRICS queries.total = client-side statement count" !statements_sent
+    (counter_of_dump dump "queries.total");
+  Alcotest.(check int)
+    "all 33 connections accepted" (conns + 1)
+    (counter_of_dump dump "connections.accepted");
+  Alcotest.(check (list string)) "no error counters" []
+    (error_counters_of_dump dump);
+  Server.Client.shutdown admin;
+  Array.iter Server.Client.close clients;
+  let _, status = Unix.waitpid [] server_pid in
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+  | Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
+  | Unix.WSTOPPED n -> Alcotest.failf "server stopped by signal %d" n
+
+let () =
+  Alcotest.run "netsoak"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "32-connection mixed-trace soak" `Slow test_soak;
+        ] );
+    ]
