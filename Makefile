@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke netbench netsmoke bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -28,6 +28,18 @@ servetest:
 # End-to-end smoke over a real serve/connect pair on loopback.
 servesmoke: build
 	scripts/server_smoke.sh
+
+# Observability: registry/span property tests, the end-to-end
+# Prometheus scrape smoke, and the tracing-overhead bench
+# (writes BENCH_obs.json).
+obstest:
+	dune exec test/test_obs.exe
+
+obssmoke: build
+	scripts/obs_smoke.sh
+
+obsbench:
+	dune exec bench/main.exe -- obs
 
 netbench:
 	dune exec bench/main.exe -- net

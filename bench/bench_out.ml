@@ -1,0 +1,11 @@
+(* Machine-readable bench artifacts: every smoke/bench mode drops a
+   BENCH_<name>.json in the invoking directory (the repo root under
+   `make benchsmoke` / `netsmoke` / `obsbench`) so CI and trend
+   tooling diff numbers instead of scraping stdout. *)
+
+let write name json =
+  let path = "BENCH_" ^ name ^ ".json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  Format.printf "wrote %s@." path

@@ -268,11 +268,53 @@ let run_timings () =
       Format.printf "%-44s %16s@." name pretty)
     sorted
 
+(* The benchsmoke artifact: a quick closed-loop latency pass over the
+   physical executor's three access paths, written to BENCH_smoke.json
+   (ops/s, exact percentiles, summed access-path cost). *)
+let run_smoke_bench () =
+  let db = Lazy.force physical_db in
+  let statements =
+    [
+      "select * from sc where Student = 'student1'";
+      "select * from sc where Student >= 'student1' and Student <= 'student2'";
+      "select * from sc";
+    ]
+  in
+  let iters = 100 in
+  let latencies = ref [] in
+  let total_stats = Storage.Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    List.iter
+      (fun source ->
+        let started = Unix.gettimeofday () in
+        List.iter
+          (fun (_, stats) -> Storage.Stats.add total_stats stats)
+          (Nfql.Physical.exec_string db source);
+        latencies := (Unix.gettimeofday () -. started) :: !latencies)
+      statements
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ops = iters * List.length statements in
+  let q p = Obs.Registry.quantile !latencies p in
+  Bench_out.write "smoke"
+    (Printf.sprintf
+       "{\"ops\":%d,\"elapsed_s\":%.3f,\"throughput_ops\":%.0f,\"p50_s\":%.6f,\
+        \"p95_s\":%.6f,\"p99_s\":%.6f,\"cost\":%s}"
+       ops elapsed
+       (float_of_int ops /. elapsed)
+       (q 0.5) (q 0.95) (q 0.99)
+       (Storage.Stats.to_json total_stats))
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode = "smoke" then Bench_reports.Reports.run_smoke ();
+  if mode = "smoke" then begin
+    Bench_reports.Reports.run_smoke ();
+    run_smoke_bench ()
+  end;
   if mode = "reports" || mode = "all" then Bench_reports.Reports.run_all ();
   if mode = "net" then Netbench.run ();
   if mode = "netsmoke" then Netbench.run ~conns:4 ~ops:300 ();
+  if mode = "obs" then Obsbench.run ();
   if mode = "timings" || mode = "all" then run_timings ();
   Format.printf "@.done.@."

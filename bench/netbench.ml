@@ -122,15 +122,18 @@ let run ?(conns = 8) ?(ops = 2000) ?(seed = 1983) () =
     | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n);
   Format.printf "access-path cost (summed): %s@."
     (Storage.Stats.to_json total_stats);
-  Format.printf "report: %s@."
-    (Printf.sprintf
-       "{\"ops\":%d,\"conns\":%d,\"elapsed_s\":%.3f,\"throughput_ops\":%.0f,\
-        \"errors\":%d,\"p50_s\":%.6f,\"p95_s\":%.6f,\"p99_s\":%.6f,\
-        \"state_ok\":%b,\"cost\":%s}"
-       ops conns elapsed
-       (float_of_int ops /. elapsed)
-       !errors (q 0.5) (q 0.95) (q 0.99) state_ok
-       (Storage.Stats.to_json total_stats));
+  let report =
+    Printf.sprintf
+      "{\"ops\":%d,\"conns\":%d,\"elapsed_s\":%.3f,\"throughput_ops\":%.0f,\
+       \"errors\":%d,\"p50_s\":%.6f,\"p95_s\":%.6f,\"p99_s\":%.6f,\
+       \"state_ok\":%b,\"cost\":%s}"
+      ops conns elapsed
+      (float_of_int ops /. elapsed)
+      !errors (q 0.5) (q 0.95) (q 0.99) state_ok
+      (Storage.Stats.to_json total_stats)
+  in
+  Format.printf "report: %s@." report;
+  Bench_out.write "net" report;
   Format.printf "server metrics:@.%s@." metrics_dump;
   if not state_ok then failwith "netbench: final relation mismatch";
   if not (status = Unix.WEXITED 0) then failwith "netbench: server died"

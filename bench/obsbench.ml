@@ -1,0 +1,85 @@
+(* Obs overhead bench: the E9-style physical lookups, three ways.
+
+   Round 1 runs with tracing disabled (spans detached: two clock reads
+   per operator, nothing retained), round 2 repeats it to estimate the
+   run-to-run noise floor, round 3 runs with tracing enabled and every
+   query under its own trace scope (spans recorded into the ring).
+   BENCH_obs.json records ops/s for each plus the two deltas, so the
+   "tracing off must be ~free" claim is a number CI can trend, not
+   folklore. *)
+
+open Relational
+
+let statements =
+  [
+    "select * from sc where Student = 'student17'";
+    "select * from sc where Student >= 'student1' and Student <= 'student3'";
+    "select Course from sc where Student contains 'student42'";
+  ]
+
+let build_db () =
+  let flat = Workload.Scenarios.university_relationship ~rows:1000 () in
+  let order = Schema.attributes (Relation.schema flat) in
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "sc"
+    (Storage.Table.load ~ordered_on:(Attribute.make "Student") ~order flat);
+  db
+
+(* One round: [iters] passes over the statement set; per-statement
+   latencies and summed access-path costs come back with ops/s. *)
+let round ?(trace_each = false) db iters =
+  let latencies = ref [] in
+  let total_stats = Storage.Stats.create () in
+  let run_one source =
+    let started = Unix.gettimeofday () in
+    List.iter
+      (fun (_, stats) -> Storage.Stats.add total_stats stats)
+      (Nfql.Physical.exec_string db source);
+    latencies := (Unix.gettimeofday () -. started) :: !latencies
+  in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    List.iter
+      (fun source ->
+        if trace_each then Obs.Span.in_trace (fun _ -> run_one source)
+        else run_one source)
+      statements
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ops = iters * List.length statements in
+  (float_of_int ops /. elapsed, !latencies, total_stats)
+
+let pct_delta base v = if base = 0. then 0. else (base -. v) /. base *. 100.
+
+let run ?(iters = 2000) () =
+  Format.printf "@.== OBS: tracing overhead on E9-style lookups — %d iters ==@."
+    iters;
+  let db = build_db () in
+  Obs.Span.set_enabled false;
+  (* Warm the table caches so round 1 doesn't pay one-time costs. *)
+  ignore (round db (max 1 (iters / 10)));
+  let disabled_ops, latencies, total_stats = round db iters in
+  let rerun_ops, _, _ = round db iters in
+  Obs.Span.set_enabled true;
+  let enabled_ops, _, _ = round ~trace_each:true db iters in
+  Obs.Span.set_enabled false;
+  Obs.Span.reset ();
+  let q p = Obs.Registry.quantile latencies p in
+  let noise_pct = Float.abs (pct_delta disabled_ops rerun_ops) in
+  let enabled_overhead_pct = pct_delta disabled_ops enabled_ops in
+  Format.printf "tracing off:        %10.0f op/s@." disabled_ops;
+  Format.printf "tracing off again:  %10.0f op/s (noise %.2f%%)@." rerun_ops
+    noise_pct;
+  Format.printf "tracing on:         %10.0f op/s (overhead %.2f%%)@."
+    enabled_ops enabled_overhead_pct;
+  Format.printf "latency (off) p50=%.6fs p95=%.6fs p99=%.6fs@." (q 0.5)
+    (q 0.95) (q 0.99);
+  Bench_out.write "obs"
+    (Printf.sprintf
+       "{\"iters\":%d,\"statements\":%d,\"disabled_ops\":%.0f,\
+        \"disabled_rerun_ops\":%.0f,\"noise_pct\":%.2f,\"enabled_ops\":%.0f,\
+        \"enabled_overhead_pct\":%.2f,\"p50_s\":%.6f,\"p95_s\":%.6f,\
+        \"p99_s\":%.6f,\"cost\":%s}"
+       iters (List.length statements) disabled_ops rerun_ops noise_pct
+       enabled_ops enabled_overhead_pct (q 0.5) (q 0.95) (q 0.99)
+       (Storage.Stats.to_json total_stats))

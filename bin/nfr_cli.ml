@@ -580,8 +580,16 @@ let serve_cmd =
             "Give every loaded table a write-ahead log DIR/NAME.wal; on \
              graceful shutdown the tables are checkpointed and closed")
   in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Record a span tree for every request (inspect with TRACE \
+                statements or the slow-query log's trace ids)")
+  in
   let run loads port max_connections idle_timeout request_timeout max_payload
-      slow_query_s wal_dir =
+      slow_query_s wal_dir trace =
+    if trace then Obs.Span.set_enabled true;
     let db = Nfql.Physical.create () in
     let tables = ref [] in
     List.iter
@@ -636,7 +644,8 @@ let serve_cmd =
        ~doc:"Serve loaded CSV tables over the nf2d wire protocol (TCP)")
     Term.(
       const run $ load_spec_arg $ port_arg $ max_conns_arg $ idle_arg
-      $ request_timeout_arg $ max_frame_arg $ slow_query_arg $ wal_dir_arg)
+      $ request_timeout_arg $ max_frame_arg $ slow_query_arg $ wal_dir_arg
+      $ trace_arg)
 
 let print_client_response response =
   List.iter
@@ -731,6 +740,129 @@ let connect_cmd =
     Term.(
       const run $ host_arg $ port_arg $ exec_arg $ metrics_arg $ shutdown_arg)
 
+(* ------------------------------------------------------------------ *)
+(* trace / metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let exec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e" ] ~docv:"SCRIPT"
+          ~doc:"NFQL script to trace (otherwise stdin)")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the spans as JSON lines instead of a tree")
+  in
+  let run loads script json =
+    let db = Nfql.Physical.create () in
+    List.iter
+      (fun spec ->
+        let name, path = split_load_spec spec in
+        let flat = or_die (load_relation path) in
+        let order = Schema.attributes (Relation.schema flat) in
+        Nfql.Physical.add_table db name (Storage.Table.load ~order flat))
+      loads;
+    let source =
+      match script with
+      | Some text -> text
+      | None -> In_channel.input_all In_channel.stdin
+    in
+    let trace =
+      Obs.Span.in_trace (fun trace ->
+          let statements =
+            Obs.Span.with_span Obs.Span.Parse "parse-script" (fun span ->
+                Obs.Span.add_bytes span (String.length source);
+                match Nfql.Parser.parse_script source with
+                | statements -> statements
+                | exception Nfql.Parser.Parse_error (msg, offset) ->
+                  or_die
+                    (Error
+                       (Printf.sprintf "parse error at offset %d: %s" offset msg))
+                | exception Nfql.Lexer.Lex_error (msg, offset) ->
+                  or_die
+                    (Error (Printf.sprintf "lex error at offset %d: %s" offset msg)))
+          in
+          List.iter
+            (fun statement ->
+              match Nfql.Physical.exec db statement with
+              | _, _ -> ()
+              | exception Nfql.Eval.Eval_error msg -> or_die (Error msg))
+            statements;
+          trace)
+    in
+    let spans = Obs.Span.spans_of_trace trace in
+    if json then
+      List.iter (fun span -> print_endline (Obs.Span.to_json span)) spans
+    else print_string (Obs.Span.render_tree spans)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an NFQL script against the storage engine and print its span \
+             tree (parse, plan, operators, WAL)")
+    Term.(const run $ load_spec_arg $ exec_arg $ json_arg)
+
+let metrics_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("text", `Text) ]) `Prom
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Scrape format: $(b,prom) (Prometheus text exposition, \
+                validated) or $(b,text) (the METRICS dump)")
+  in
+  let require_arg =
+    Arg.(
+      value & opt (list string) []
+      & info [ "require" ] ~docv:"NAMES"
+          ~doc:"Comma-separated metric names that must appear in the scrape \
+                (prefix match, so nf2_query_seconds covers its _bucket/_sum/\
+                _count series); missing names make the command fail")
+  in
+  let run host port format required =
+    let client =
+      try Server.Client.connect ~host ~port ()
+      with Server.Client.Error msg -> or_die (Error msg)
+    in
+    let finally () = Server.Client.close client in
+    Fun.protect ~finally (fun () ->
+        match format with
+        | `Text -> (
+          match Server.Client.metrics client with
+          | dump -> print_string dump
+          | exception Server.Client.Error msg -> or_die (Error msg))
+        | `Prom -> (
+          match Server.Client.metrics_prom client with
+          | exception Server.Client.Error msg -> or_die (Error msg)
+          | body -> (
+            match Obs.Registry.parse_prometheus body with
+            | Error msg ->
+              or_die (Error (Printf.sprintf "unparseable exposition: %s" msg))
+            | Ok samples ->
+              print_string body;
+              let satisfied name =
+                List.exists
+                  (fun { Obs.Registry.s_name; _ } ->
+                    String.length s_name >= String.length name
+                    && String.sub s_name 0 (String.length name) = name)
+                  samples
+              in
+              let missing = List.filter (fun n -> not (satisfied n)) required in
+              if missing <> [] then
+                or_die
+                  (Error
+                     (Printf.sprintf "missing required series: %s"
+                        (String.concat ", " missing))))))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Scrape a running nf2d server's metrics; with --format prom the \
+             exposition is parsed back and --require names are checked")
+    Term.(const run $ host_arg $ port_arg $ format_arg $ require_arg)
+
 let () =
   let info =
     Cmd.info "nfr_cli" ~version:"1.0.0"
@@ -740,4 +872,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ nest_cmd; canonical_cmd; forms_cmd; classify_cmd; update_cmd;
-            normalize_cmd; design_cmd; sql_cmd; repl_cmd; serve_cmd; connect_cmd ]))
+            normalize_cmd; design_cmd; sql_cmd; repl_cmd; serve_cmd; connect_cmd;
+            trace_cmd; metrics_cmd ]))

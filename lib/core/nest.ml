@@ -25,6 +25,8 @@ let key_of position nt =
   List.filteri (fun i _ -> i <> position) (Ntuple.components nt)
 
 let nest r attribute =
+  Obs.Span.with_span Obs.Span.Nest_apply (Attribute.name attribute)
+  @@ fun nest_span ->
   let schema = Nfr.schema r in
   let position = Schema.position schema attribute in
   let groups =
@@ -39,52 +41,69 @@ let nest r attribute =
         Key_map.add key merged groups)
       r Key_map.empty
   in
-  Key_map.fold
-    (fun key set acc ->
-      let components =
-        (* Reinsert the nested component at its position. *)
-        let rec weave i = function
-          | rest when i = position -> set :: weave (i + 1) rest
-          | [] -> []
-          | hd :: tl -> hd :: weave (i + 1) tl
+  let nested =
+    Key_map.fold
+      (fun key set acc ->
+        let components =
+          (* Reinsert the nested component at its position. *)
+          let rec weave i = function
+            | rest when i = position -> set :: weave (i + 1) rest
+            | [] -> []
+            | hd :: tl -> hd :: weave (i + 1) tl
+          in
+          weave 0 key
         in
-        weave 0 key
-      in
-      Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components)))
-    groups
-    (Nfr.empty schema)
+        Nfr.add acc (Ntuple.of_sets_unchecked (Array.of_list components)))
+      groups
+      (Nfr.empty schema)
+  in
+  Obs.Span.set_rows nest_span (Nfr.cardinality nested);
+  nested
 
 (* A tiny deterministic LCG for pair-order shuffling in the literal
    Definition 4 implementation. *)
 let lcg_next state = (state * 25214903917) + 11
 
 let nest_by_composition ?(seed = 0) r attribute =
+  Obs.Span.with_span Obs.Span.Nest_fixpoint
+    ("nest-by-composition " ^ Attribute.name attribute)
+  @@ fun fixpoint_span ->
+  Obs.Registry.incr Obs.Registry.global "nest.fixpoints_total";
   let schema = Nfr.schema r in
   let position = Schema.position schema attribute in
   let rec loop r state =
-    let tuples = Array.of_list (Nfr.ntuples r) in
-    let n = Array.length tuples in
-    let pairs = ref [] in
-    for i = 0 to n - 1 do
-      for j = i + 1 to n - 1 do
-        match Ntuple.composable tuples.(i) tuples.(j) with
-        | Some c when c = position -> pairs := (i, j) :: !pairs
-        | Some _ | None -> ()
-      done
-    done;
-    match !pairs with
-    | [] -> r
-    | candidates ->
-      let state = lcg_next state in
-      let candidates = Array.of_list candidates in
-      (* [abs min_int] is still negative (no positive counterpart in
-         two's complement), so mask the sign bit off instead. *)
-      let pick = state land max_int mod Array.length candidates in
-      let i, j = candidates.(pick) in
-      let composed = Ntuple.compose tuples.(i) tuples.(j) position in
-      let r' =
-        Nfr.add (Nfr.remove (Nfr.remove r tuples.(i)) tuples.(j)) composed
-      in
+    (* One Definition-4 step per span: the recursive call stays
+       outside so steps are siblings under the fixpoint, not a chain. *)
+    let step =
+      Obs.Span.with_span Obs.Span.Compose_step "pick+compose" @@ fun _ ->
+      let tuples = Array.of_list (Nfr.ntuples r) in
+      let n = Array.length tuples in
+      let pairs = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match Ntuple.composable tuples.(i) tuples.(j) with
+          | Some c when c = position -> pairs := (i, j) :: !pairs
+          | Some _ | None -> ()
+        done
+      done;
+      match !pairs with
+      | [] -> `Fixed
+      | candidates ->
+        let state = lcg_next state in
+        let candidates = Array.of_list candidates in
+        (* [abs min_int] is still negative (no positive counterpart in
+           two's complement), so mask the sign bit off instead. *)
+        let pick = state land max_int mod Array.length candidates in
+        let i, j = candidates.(pick) in
+        let composed = Ntuple.compose tuples.(i) tuples.(j) position in
+        `Composed
+          (Nfr.add (Nfr.remove (Nfr.remove r tuples.(i)) tuples.(j)) composed, state)
+    in
+    match step with
+    | `Fixed -> r
+    | `Composed (r', state) ->
+      Obs.Registry.incr Obs.Registry.global "nest.compose_steps_total";
+      Obs.Span.add_rows fixpoint_span 1;
       loop r' state
   in
   loop r seed
@@ -92,25 +111,34 @@ let nest_by_composition ?(seed = 0) r attribute =
 let nest_sequence r order = List.fold_left nest r order
 
 let unnest r attribute =
+  Obs.Span.with_span Obs.Span.Unnest_apply (Attribute.name attribute)
+  @@ fun unnest_span ->
   let schema = Nfr.schema r in
   let position = Schema.position schema attribute in
-  Nfr.fold
-    (fun nt acc ->
-      Vset.fold
-        (fun value acc ->
-          Nfr.add acc
-            (Ntuple.with_component nt position (Vset.singleton value)))
-        (Ntuple.component nt position)
-        acc)
-    r
-    (Nfr.empty schema)
+  let flatter =
+    Nfr.fold
+      (fun nt acc ->
+        Vset.fold
+          (fun value acc ->
+            Nfr.add acc
+              (Ntuple.with_component nt position (Vset.singleton value)))
+          (Ntuple.component nt position)
+          acc)
+      r
+      (Nfr.empty schema)
+  in
+  Obs.Span.set_rows unnest_span (Nfr.cardinality flatter);
+  flatter
 
 let unnest_all r =
   List.fold_left unnest r (Schema.attributes (Nfr.schema r))
 
 let canonical flat order =
+  Obs.Span.with_span Obs.Span.Nest_fixpoint "canonical" @@ fun canonical_span ->
   check_permutation (Relation.schema flat) order;
-  nest_sequence (Nfr.of_relation flat) order
+  let nested = nest_sequence (Nfr.of_relation flat) order in
+  Obs.Span.set_rows canonical_span (Nfr.cardinality nested);
+  nested
 
 let canonicalize r order = canonical (Nfr.flatten r) order
 let is_canonical r order = Nfr.equal r (canonicalize r order)

@@ -46,6 +46,7 @@ type statement =
   | Select_count of source * condition option
   | Explain of select
   | Explain_analyze of select
+  | Trace of statement
   | Show of string
 
 let pp_literal ppf = function
@@ -103,7 +104,7 @@ let pp_select ppf s =
       | unnests -> Format.fprintf ppf " UNNEST %a" pp_names unnests)
     s.unnests
 
-let pp_statement ppf = function
+let rec pp_statement ppf = function
   | Create (table, columns, order) ->
     Format.fprintf ppf "CREATE TABLE %s (%a)%a" table
       (Format.pp_print_list
@@ -150,4 +151,20 @@ let pp_statement ppf = function
       condition
   | Explain s -> Format.fprintf ppf "EXPLAIN %a" pp_select s
   | Explain_analyze s -> Format.fprintf ppf "EXPLAIN ANALYZE %a" pp_select s
+  | Trace s -> Format.fprintf ppf "TRACE %a" pp_statement s
   | Show table -> Format.fprintf ppf "SHOW %s" table
+
+(* The statement's leading verb — span labels and the slow-query log
+   want a cheap constant-ish name, never the full rendered text. *)
+let rec statement_verb = function
+  | Create _ -> "create"
+  | Drop _ -> "drop"
+  | Insert _ -> "insert"
+  | Delete_values _ | Delete_where _ -> "delete"
+  | Update_set _ -> "update"
+  | Select _ -> "select"
+  | Select_count _ -> "select-count"
+  | Explain _ -> "explain"
+  | Explain_analyze _ -> "explain-analyze"
+  | Trace inner -> "trace:" ^ statement_verb inner
+  | Show _ -> "show"

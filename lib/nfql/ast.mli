@@ -13,6 +13,7 @@
         [NEST col,...] [UNNEST col,...]
     SELECT COUNT FROM t [WHERE cond]
     EXPLAIN [ANALYZE] <select>
+    TRACE <statement>
     SHOW t
     v}
 
@@ -68,8 +69,16 @@ type statement =
   | Explain of select
   | Explain_analyze of select
       (** run the select and report per-operator execution metrics *)
+  | Trace of statement
+      (** run the statement under a trace scope and return its span
+          tree as rows *)
   | Show of string
 
 val pp_literal : Format.formatter -> literal -> unit
 val pp_condition : Format.formatter -> condition -> unit
 val pp_statement : Format.formatter -> statement -> unit
+
+val statement_verb : statement -> string
+(** The statement's leading verb, lowercase ("select", "insert", ...;
+    TRACE prefixes the inner verb as ["trace:select"]). Cheap — used
+    for span labels and metrics, never full statement text. *)

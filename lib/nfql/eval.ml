@@ -229,7 +229,38 @@ let exec_explain db (s : Ast.select) =
   List.iter (fun name -> line "  unnest %s" name) s.unnests;
   Done (String.trim (Buffer.contents buffer))
 
-let exec db statement =
+(* TRACE surface: one row per span of the statement's trace, in ring
+   order (parents before children) so clients can rebuild the tree. *)
+let trace_schema =
+  Schema.of_names
+    [
+      ("Span", Value.Tint);
+      ("Parent", Value.Tint);
+      ("Event", Value.Tstring);
+      ("Label", Value.Tstring);
+      ("Ms", Value.Tfloat);
+      ("Rows", Value.Tint);
+      ("Bytes", Value.Tint);
+    ]
+
+let rows_of_spans spans =
+  List.fold_left
+    (fun acc (sp : Obs.Span.t) ->
+      let cells =
+        [|
+          Vset.singleton (Value.of_int sp.Obs.Span.id);
+          Vset.singleton (Value.of_int sp.Obs.Span.parent);
+          Vset.singleton (Value.of_string (Obs.Span.event_name sp.Obs.Span.event));
+          Vset.singleton (Value.of_string sp.Obs.Span.label);
+          Vset.singleton (Value.of_float (Obs.Span.busy sp *. 1000.));
+          Vset.singleton (Value.of_int sp.Obs.Span.rows);
+          Vset.singleton (Value.of_int sp.Obs.Span.bytes);
+        |]
+      in
+      Nfr.add acc (Ntuple.of_sets_unchecked cells))
+    (Nfr.empty trace_schema) spans
+
+let rec exec db statement =
   match statement with
   | Ast.Create (table, columns, order) -> exec_create db table columns order
   | Ast.Drop table ->
@@ -261,6 +292,21 @@ let exec db statement =
         (Printf.sprintf "%s\n  actual: %d fact(s) in %d NFR tuple(s)" plan
            (Nfr.expansion_size rows) (Nfr.cardinality rows))
     | Done _ -> assert false)
+  | Ast.Trace inner ->
+    (* Run the statement under a trace scope (reusing an ambient one if
+       the server already opened it) and return its spans as rows. *)
+    let run () = ignore (exec db inner) in
+    let trace =
+      match Obs.Span.current_trace () with
+      | Some trace ->
+        run ();
+        trace
+      | None ->
+        Obs.Span.in_trace (fun trace ->
+            run ();
+            trace)
+    in
+    Rows (rows_of_spans (Obs.Span.spans_of_trace trace))
   | Ast.Show table -> Rows (find_table db table).nfr
 
 let exec_string db input =

@@ -41,4 +41,8 @@ val define : db -> string -> order:Attribute.t list -> Nfr.t -> unit
 (** Install an externally built NFR as a table (CLI loading path).
     @raise Eval_error if the NFR is not canonical for [order]. *)
 
+val rows_of_spans : Obs.Span.t list -> Nfr.t
+(** The TRACE result surface: one row per span — (Span, Parent, Event,
+    Label, Ms, Rows, Bytes) — shared by both back ends. *)
+
 val pp_result : Format.formatter -> result -> unit

@@ -39,7 +39,7 @@ let reserved =
     "select"; "from"; "where"; "nest"; "unnest"; "insert"; "into"; "values";
     "delete"; "create"; "table"; "drop"; "order"; "and"; "or"; "not";
     "contains"; "show"; "true"; "false"; "update"; "set"; "count"; "join";
-    "explain"; "analyze";
+    "explain"; "analyze"; "trace";
   ]
 
 let ident st message =
@@ -247,8 +247,9 @@ let parse_update st =
   expect_keyword st "where";
   Ast.Update_set (table, pairs, condition st)
 
-let statement st =
-  if keyword st "select" then parse_select st
+let rec statement st =
+  if keyword st "trace" then Ast.Trace (statement st)
+  else if keyword st "select" then parse_select st
   else if keyword st "explain" then begin
     let analyze = keyword st "analyze" in
     expect_keyword st "select";
@@ -257,7 +258,7 @@ let statement st =
     | Ast.Select_count _ -> fail st "EXPLAIN COUNT is not supported"
     | Ast.Create _ | Ast.Drop _ | Ast.Insert _ | Ast.Delete_values _
     | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _
-    | Ast.Explain_analyze _ | Ast.Show _ ->
+    | Ast.Explain_analyze _ | Ast.Trace _ | Ast.Show _ ->
       assert false
   end
   else if keyword st "create" then parse_create st

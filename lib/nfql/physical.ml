@@ -12,14 +12,20 @@ module Ntuple_tbl = Hashtbl.Make (struct
   let hash = Ntuple.hash
 end)
 
-type db = { mutable tables : Storage.Table.t String_map.t }
+type db = {
+  mutable tables : Storage.Table.t String_map.t;
+  (* Pre-order (label, rows_out) of the last executed operator tree —
+     the slow-query log snapshots it without re-running anything. *)
+  mutable last_ops : (string * int) list;
+}
 
 type access_path =
   | Via_scan
   | Via_index of Attribute.t * Value.t
   | Via_range of Attribute.t * Value.t option * Value.t option
 
-let create () = { tables = String_map.empty }
+let create () = { tables = String_map.empty; last_ops = [] }
+let last_profile db = db.last_ops
 
 let add_table db name table =
   if String_map.mem name db.tables then error "table %s already exists" name;
@@ -133,13 +139,17 @@ let meter_sub m n = m.live <- m.live - n
 
 (* One node of the operator tree. [pull] returns the next tuple or
    [None] when exhausted; [stats] charges only this operator's own
-   storage touches, while [seconds] is inclusive of its inputs (a
-   parent's pull calls its children's pulls inside its own clock). *)
+   storage touches. Timing lives on the operator's {!Obs.Span}: each
+   pull adds its elapsed wall clock to the span's busy time, inclusive
+   of its inputs (a parent's pull calls its children's pulls inside
+   its own clock). When a trace scope is open the spans land in the
+   ring as children of the enclosing Plan span, so EXPLAIN ANALYZE and
+   TRACE read the very same clocks. *)
 type op = {
   label : string;
   stats : Storage.Stats.t;
+  span : Obs.Span.t;
   mutable rows_out : int;
-  mutable seconds : float;
   children : op list;
   mutable pull : unit -> Ntuple.t option;
 }
@@ -148,20 +158,31 @@ let make_op ?(children = []) label =
   {
     label;
     stats = Storage.Stats.create ();
+    span = Obs.Span.enter (Obs.Span.Operator label) label;
     rows_out = 0;
-    seconds = 0.;
     children;
     pull = (fun () -> None);
   }
 
 let pull_op op =
-  let start = Sys.time () in
+  let start = Obs.Span.now () in
   let result = op.pull () in
-  op.seconds <- op.seconds +. (Sys.time () -. start);
+  Obs.Span.add_busy op.span (Obs.Span.now () -. start);
   (match result with
   | Some _ -> op.rows_out <- op.rows_out + 1
   | None -> ());
   result
+
+(* Seal the tree's spans once the statement is done: copy each
+   operator's row/byte tallies onto its span and mark it ended. *)
+let rec finish_ops op =
+  Obs.Span.set_rows op.span op.rows_out;
+  Obs.Span.set_bytes op.span op.stats.Storage.Stats.bytes_read;
+  Obs.Span.finish op.span;
+  List.iter finish_ops op.children
+
+let rec profile_ops op =
+  (op.label, op.rows_out) :: List.concat_map profile_ops op.children
 
 let scan_op t name =
   let op = make_op (Printf.sprintf "heap-scan %s" name) in
@@ -445,8 +466,19 @@ type executed = {
 }
 
 let run_select db (s : Ast.select) =
-  let pipeline = build_pipeline db s in
-  let start = Sys.time () in
+  (* Build under a Plan span so every operator's span (entered inside
+     make_op) records as a child of the planning step. *)
+  let pipeline =
+    Obs.Span.with_span Obs.Span.Plan "build-pipeline" @@ fun _ ->
+    build_pipeline db s
+  in
+  (* The collector (and shape) ops are created before their timed work
+     so their span start times bracket what they actually did. *)
+  let collector =
+    make_op ~children:[ pipeline.root ]
+      (if pipeline.predicates = [] then "collect" else "collect+canonicalize")
+  in
+  let start = Obs.Span.now () in
   let rec drain acc =
     match pull_op pipeline.root with
     | Some nt ->
@@ -459,26 +491,27 @@ let run_select db (s : Ast.select) =
     if pipeline.predicates = [] then drained
     else Nest.canonicalize drained pipeline.order
   in
-  let collector =
-    make_op ~children:[ pipeline.root ]
-      (if pipeline.predicates = [] then "collect" else "collect+canonicalize")
-  in
   collector.rows_out <- Nfr.cardinality filtered;
-  collector.seconds <- Sys.time () -. start;
+  Obs.Span.add_busy collector.span (Obs.Span.now () -. start);
   let shaping =
     s.Ast.columns <> None || s.Ast.nests <> [] || s.Ast.unnests <> []
   in
-  let shape_start = Sys.time () in
+  let shape =
+    if shaping then Some (make_op ~children:[ collector ] "shape (project/nest/unnest)")
+    else None
+  in
+  let shape_start = Obs.Span.now () in
   let shaped = Compile.shape_select filtered ~order:pipeline.order s in
   let root =
-    if not shaping then collector
-    else begin
-      let shape = make_op ~children:[ collector ] "shape (project/nest/unnest)" in
+    match shape with
+    | None -> collector
+    | Some shape ->
       shape.rows_out <- Nfr.cardinality shaped;
-      shape.seconds <- Sys.time () -. shape_start;
+      Obs.Span.add_busy shape.span (Obs.Span.now () -. shape_start);
       shape
-    end
   in
+  finish_ops root;
+  db.last_ops <- profile_ops root;
   { shaped; filtered; root; peak = pipeline.meter.peak }
 
 let select_for_condition table_name condition =
@@ -531,7 +564,7 @@ let rec flatten_ops depth op =
     op_records = op.stats.Storage.Stats.records_read;
     op_bytes = op.stats.Storage.Stats.bytes_read;
     op_probes = op.stats.Storage.Stats.index_probes;
-    op_seconds = op.seconds;
+    op_seconds = Obs.Span.busy op.span;
   }
   :: List.concat_map (flatten_ops (depth + 1)) op.children
 
@@ -617,7 +650,9 @@ let type_of_name name =
   | Some ty -> ty
   | None -> error "unknown type %s" name
 
-let exec db statement =
+let rec exec db statement =
+  let verb = Ast.statement_verb statement in
+  Obs.Span.with_span (Obs.Span.Statement verb) verb @@ fun statement_span ->
   let stats = Storage.Stats.create () in
   let result =
     match statement with
@@ -718,8 +753,27 @@ let exec db statement =
       let report = analyze_select db s in
       Storage.Stats.add stats (stats_of_report report);
       Eval.Done (render_analyze report)
+    | Ast.Trace inner ->
+      (* Run the statement under a trace scope — reusing the server's
+         ambient one when present — and return its spans as rows. *)
+      let run () =
+        let _, inner_stats = exec db inner in
+        Storage.Stats.add stats inner_stats
+      in
+      let trace =
+        match Obs.Span.current_trace () with
+        | Some trace ->
+          run ();
+          trace
+        | None ->
+          Obs.Span.in_trace (fun trace ->
+              run ();
+              trace)
+      in
+      Eval.Rows (Eval.rows_of_spans (Obs.Span.spans_of_trace trace))
     | Ast.Show name -> Eval.Rows (Storage.Table.snapshot (find_table db name))
   in
+  Obs.Span.set_bytes statement_span stats.Storage.Stats.bytes_read;
   (result, stats)
 
 let explain = explain_text

@@ -24,9 +24,13 @@
     statement never silently loses a row.
 
     Each operator carries its own {!Storage.Stats} counters plus
-    rows-emitted and wall-clock; [EXPLAIN ANALYZE SELECT ...] runs the
-    query and renders them per operator ({!analyze_select} is the
-    programmatic face of the same report). *)
+    rows-emitted, and its wall-clock lives on an {!Obs.Span} — the one
+    clock both [EXPLAIN ANALYZE SELECT ...] (which runs the query and
+    renders per-operator metrics; {!analyze_select} is the
+    programmatic face of the same report) and [TRACE <statement>]
+    (which returns the whole span tree as rows) read. Statements run
+    under a [Statement] span; planning under a [Plan] span whose
+    children are the operators it built. *)
 
 open Relational
 
@@ -60,6 +64,11 @@ val chosen_path : db -> Ast.select -> access_path
 val explain : db -> Ast.select -> string
 (** Plan text including the chosen access path (does not run the
     query; use [EXPLAIN ANALYZE] / {!analyze_select} for that). *)
+
+val last_profile : db -> (string * int) list
+(** Pre-order [(label, rows_out)] of the most recently executed
+    operator tree — what the server's slow-query log snapshots. Empty
+    until a SELECT/COUNT/DML-search has run. *)
 
 (** {2 Per-operator execution metrics}
 

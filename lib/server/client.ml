@@ -127,6 +127,14 @@ let metrics t =
     fail "%s: %s" (Protocol.err_code_name code) reason
   | other -> fail "expected metrics, got %s" (Protocol.message_name other)
 
+let metrics_prom t =
+  send t Protocol.Metrics_prom_req;
+  match recv t with
+  | Protocol.Metrics_prom dump -> dump
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected metrics-prom, got %s" (Protocol.message_name other)
+
 let shutdown t =
   send t Protocol.Shutdown;
   match recv t with

@@ -46,6 +46,10 @@ val query_exn : t -> string -> response
 val metrics : t -> string
 (** The server's metrics dump ([Metrics_req] round trip). *)
 
+val metrics_prom : t -> string
+(** The server's Prometheus text exposition ([Metrics_prom_req] round
+    trip) — what a scrape job would ingest. *)
+
 val shutdown : t -> unit
 (** Ask the server to drain and stop; returns once acknowledged. *)
 

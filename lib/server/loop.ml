@@ -62,7 +62,9 @@ let close_conn t conn =
     Session.close conn.session;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Metrics.incr (metrics t) "connections.closed";
-    t.conns <- List.filter (fun c -> c != conn) t.conns
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    Metrics.set_gauge (metrics t) "connections.open"
+      (float_of_int (List.length t.conns))
   end
 
 let stop_listening t =
@@ -120,7 +122,9 @@ let accept_new t =
         Metrics.incr (metrics t) "connections.accepted";
         t.next_id <- t.next_id + 1;
         t.conns <-
-          { fd; session = Session.create t.ctx ~id:t.next_id } :: t.conns
+          { fd; session = Session.create t.ctx ~id:t.next_id } :: t.conns;
+        Metrics.set_gauge (metrics t) "connections.open"
+          (float_of_int (List.length t.conns))
       end
   done
 

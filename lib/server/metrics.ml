@@ -1,159 +1,5 @@
-(* Buckets are powers of two over 1 µs: bucket [i] counts samples in
-   (2^(i-1) µs, 2^i µs]; bucket 0 holds everything at or under 1 µs.
-   40 buckets reach ~6.4 days, far past any request timeout. *)
-let bucket_count = 40
-
-type histogram = {
-  buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_max : float;
-}
-
-type t = {
-  counters : (string, int ref) Hashtbl.t;
-  histograms : (string, histogram) Hashtbl.t;
-}
-
-let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
-let global = create ()
-
-let counter_ref t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add t.counters name r;
-    r
-
-let add t name n = counter_ref t name := !(counter_ref t name) + n
-let incr t name = add t name 1
-
-let get t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
-
-let bucket_of_seconds seconds =
-  let micros = seconds *. 1e6 in
-  let rec find i bound =
-    if i >= bucket_count - 1 || micros <= bound then i
-    else find (i + 1) (bound *. 2.)
-  in
-  find 0 1.
-
-let bucket_upper_seconds i = 1e-6 *. (2. ** float_of_int i)
-
-let histogram t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      { buckets = Array.make bucket_count 0; h_count = 0; h_sum = 0.; h_max = 0. }
-    in
-    Hashtbl.add t.histograms name h;
-    h
-
-let observe t name seconds =
-  let seconds = if seconds < 0. then 0. else seconds in
-  let h = histogram t name in
-  let b = bucket_of_seconds seconds in
-  h.buckets.(b) <- h.buckets.(b) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. seconds;
-  if seconds > h.h_max then h.h_max <- seconds
-
-type summary = {
-  count : int;
-  sum : float;
-  max : float;
-  p50 : float;
-  p95 : float;
-  p99 : float;
-}
-
-let histogram_quantile h q =
-  (* Upper bound of the first bucket at which the cumulative count
-     reaches q of the total, capped by the exact max. *)
-  let target = int_of_float (ceil (q *. float_of_int h.h_count)) in
-  let target = max 1 target in
-  let rec walk i cumulative =
-    if i >= bucket_count then h.h_max
-    else
-      let cumulative = cumulative + h.buckets.(i) in
-      if cumulative >= target then min (bucket_upper_seconds i) h.h_max
-      else walk (i + 1) cumulative
-  in
-  walk 0 0
-
-let summarize t name =
-  match Hashtbl.find_opt t.histograms name with
-  | None -> None
-  | Some h when h.h_count = 0 -> None
-  | Some h ->
-    Some
-      {
-        count = h.h_count;
-        sum = h.h_sum;
-        max = h.h_max;
-        p50 = histogram_quantile h 0.5;
-        p95 = histogram_quantile h 0.95;
-        p99 = histogram_quantile h 0.99;
-      }
-
-let quantile samples q =
-  match samples with
-  | [] -> 0.
-  | _ ->
-    let sorted = List.sort compare samples in
-    let n = List.length sorted in
-    let rank = int_of_float (ceil (q *. float_of_int n)) in
-    let rank = min (max rank 1) n in
-    List.nth sorted (rank - 1)
-
-let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
-  |> List.sort compare
-
-let summaries t =
-  Hashtbl.fold
-    (fun name _ acc ->
-      match summarize t name with
-      | Some s -> (name, s) :: acc
-      | None -> acc)
-    t.histograms []
-  |> List.sort compare
-
-let to_text t =
-  let buffer = Buffer.create 256 in
-  List.iter
-    (fun (name, value) -> Buffer.add_string buffer (Printf.sprintf "%s %d\n" name value))
-    (counters t);
-  List.iter
-    (fun (name, s) ->
-      Buffer.add_string buffer
-        (Printf.sprintf
-           "%s count=%d sum=%.6f max=%.6f p50=%.6f p95=%.6f p99=%.6f\n" name
-           s.count s.sum s.max s.p50 s.p95 s.p99))
-    (summaries t);
-  Buffer.contents buffer
-
-let to_json t =
-  let counter_fields =
-    List.map
-      (fun (name, value) -> Printf.sprintf "%S:%d" name value)
-      (counters t)
-  in
-  let histogram_fields =
-    List.map
-      (fun (name, s) ->
-        Printf.sprintf
-          "%S:{\"count\":%d,\"sum\":%.6f,\"max\":%.6f,\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f}"
-          name s.count s.sum s.max s.p50 s.p95 s.p99)
-      (summaries t)
-  in
-  Printf.sprintf "{\"counters\":{%s},\"histograms\":{%s}}"
-    (String.concat "," counter_fields)
-    (String.concat "," histogram_fields)
-
-let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.histograms
+(* Promoted to lib/obs (PR 4) so storage, the executor and the nest
+   kernel can charge the same registry the server exposes; kept here
+   as an alias so Server.Metrics call sites (tests, benches, the CLI)
+   keep reading naturally. *)
+include Obs.Registry

@@ -27,6 +27,8 @@ type message =
   | Stats of Storage.Stats.t
   | Metrics_req
   | Metrics of string
+  | Metrics_prom_req
+  | Metrics_prom of string
   | Shutdown
 
 let message_name = function
@@ -39,6 +41,8 @@ let message_name = function
   | Stats _ -> "stats"
   | Metrics_req -> "metrics-req"
   | Metrics _ -> "metrics"
+  | Metrics_prom_req -> "metrics-prom-req"
+  | Metrics_prom _ -> "metrics-prom"
   | Shutdown -> "shutdown"
 
 (* Frame type bytes. *)
@@ -52,6 +56,8 @@ let t_stats = 0x07
 let t_metrics_req = 0x08
 let t_metrics = 0x09
 let t_shutdown = 0x0A
+let t_metrics_prom_req = 0x0B
+let t_metrics_prom = 0x0C
 
 let err_code_byte = function
   | Overloaded -> 1
@@ -124,10 +130,11 @@ let decode_schema bytes offset =
 let payload_of_message message =
   let buffer = Buffer.create 64 in
   (match message with
-  | Ping | Pong | Metrics_req | Shutdown -> ()
+  | Ping | Pong | Metrics_req | Metrics_prom_req | Shutdown -> ()
   | Query source -> Buffer.add_string buffer source
   | Done text -> Buffer.add_string buffer text
   | Metrics dump -> Buffer.add_string buffer dump
+  | Metrics_prom dump -> Buffer.add_string buffer dump
   | Err (code, text) ->
     Buffer.add_char buffer (Char.chr (err_code_byte code));
     Buffer.add_string buffer text
@@ -152,6 +159,8 @@ let type_of_message = function
   | Stats _ -> t_stats
   | Metrics_req -> t_metrics_req
   | Metrics _ -> t_metrics
+  | Metrics_prom_req -> t_metrics_prom_req
+  | Metrics_prom _ -> t_metrics_prom
   | Shutdown -> t_shutdown
 
 let encode buffer message =
@@ -174,10 +183,13 @@ let message_of_payload typ payload =
   if typ = t_ping then (strict_end "ping" 0; Ping)
   else if typ = t_pong then (strict_end "pong" 0; Pong)
   else if typ = t_metrics_req then (strict_end "metrics-req" 0; Metrics_req)
+  else if typ = t_metrics_prom_req then
+    (strict_end "metrics-prom-req" 0; Metrics_prom_req)
   else if typ = t_shutdown then (strict_end "shutdown" 0; Shutdown)
   else if typ = t_query then Query payload
   else if typ = t_done then Done payload
   else if typ = t_metrics then Metrics payload
+  else if typ = t_metrics_prom then Metrics_prom payload
   else if typ = t_err then begin
     if String.length payload < 1 then bad "empty err payload";
     match err_code_of_byte (Char.code payload.[0]) with

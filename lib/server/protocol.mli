@@ -42,6 +42,8 @@ type message =
   | Stats of Storage.Stats.t  (** cost of the statement that follows *)
   | Metrics_req  (** admin: ask for the metrics dump *)
   | Metrics of string  (** the dump (text or JSON; see {!Metrics}) *)
+  | Metrics_prom_req  (** admin: ask for Prometheus text exposition *)
+  | Metrics_prom of string  (** the Prometheus exposition body *)
   | Shutdown  (** admin: drain sessions and stop *)
 
 val message_name : message -> string

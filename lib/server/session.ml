@@ -19,20 +19,49 @@ let default_config =
     slow_log_size = 64;
   }
 
+(* One slow-query log entry: enough to reproduce and to correlate —
+   the trace id links to the span ring, the hash groups repeats of the
+   same statement text, the operator profile and plan snapshot say
+   where the time plausibly went without re-running anything. *)
+type slow_entry = {
+  slow_text : string;
+  slow_seconds : float;
+  slow_trace : int;  (* 0 when no trace scope was open *)
+  slow_hash : string;
+  slow_ops : (string * int) list;
+  slow_plan : string option;
+}
+
 type context = {
   db : Nfql.Physical.db;
   metrics : Metrics.t;
   config : config;
   now : unit -> float;
-  slow : (string * float) Queue.t;
+  slow : slow_entry Queue.t;
   mutable is_draining : bool;
   mutable wants_shutdown : bool;
 }
 
+(* Pre-declare every series a monitoring pipeline alerts on, so a
+   scrape of a freshly started (still idle) server already exposes
+   them at zero instead of 404-by-omission. *)
+let declare_series m =
+  List.iter (Metrics.declare m)
+    [
+      "queries.total"; "queries.slow"; "connections.accepted";
+      "connections.rejected"; "connections.closed"; "connections.reaped";
+      "frames.in"; "frames.out"; "wal.append_total"; "wal.fsync_total";
+    ];
+  Metrics.declare_histogram m "query.seconds";
+  Metrics.declare_histogram m "wal.fsync.seconds";
+  Metrics.set_gauge m "connections.open" 0.
+
 let make_context ?(config = default_config) ?metrics ?now db =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  declare_series metrics;
   {
     db;
-    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    metrics;
     config;
     now = (match now with Some f -> f | None -> Unix.gettimeofday);
     slow = Queue.create ();
@@ -48,22 +77,39 @@ let drain ctx = ctx.is_draining <- true
 let draining ctx = ctx.is_draining
 let shutdown_requested ctx = ctx.wants_shutdown
 
-let note_slow ctx text seconds =
+let note_slow ctx entry =
   Metrics.incr ctx.metrics "queries.slow";
-  Queue.push (text, seconds) ctx.slow;
+  Queue.push entry ctx.slow;
   while Queue.length ctx.slow > ctx.config.slow_log_size do
     ignore (Queue.pop ctx.slow)
   done
+
+let render_slow_entry buffer entry =
+  Buffer.add_string buffer
+    (Printf.sprintf "  %.6fs  trace=%d hash=%s  %s\n" entry.slow_seconds
+       entry.slow_trace
+       (String.sub entry.slow_hash 0 (min 12 (String.length entry.slow_hash)))
+       entry.slow_text);
+  (match entry.slow_ops with
+  | [] -> ()
+  | ops ->
+    Buffer.add_string buffer
+      (Printf.sprintf "            ops: %s\n"
+         (String.concat "; "
+            (List.map (fun (label, rows) -> Printf.sprintf "%s=%d" label rows) ops))));
+  match entry.slow_plan with
+  | None -> ()
+  | Some plan ->
+    String.split_on_char '\n' plan
+    |> List.iter (fun line ->
+           Buffer.add_string buffer (Printf.sprintf "            | %s\n" line))
 
 let metrics_dump ctx =
   let buffer = Buffer.create 512 in
   Buffer.add_string buffer (Metrics.to_text ctx.metrics);
   if not (Queue.is_empty ctx.slow) then begin
-    Buffer.add_string buffer "slow queries (slowest-first cap, newest last):\n";
-    Queue.iter
-      (fun (text, seconds) ->
-        Buffer.add_string buffer (Printf.sprintf "  %.6fs  %s\n" seconds text))
-      ctx.slow
+    Buffer.add_string buffer "slow queries (ring of last, newest last):\n";
+    Queue.iter (render_slow_entry buffer) ctx.slow
   end;
   Buffer.contents buffer
 
@@ -112,7 +158,13 @@ let last_activity t = t.last_activity_at
 
 let send t message =
   let before = Buffer.length t.staged in
-  Protocol.encode t.staged message;
+  (match Obs.Span.current_trace () with
+  | None -> Protocol.encode t.staged message
+  | Some _ ->
+    Obs.Span.with_span Obs.Span.Frame_tx (Protocol.message_name message)
+      (fun span ->
+        Protocol.encode t.staged message;
+        Obs.Span.add_bytes span (Buffer.length t.staged - before)));
   Metrics.incr t.ctx.metrics "frames.out";
   Metrics.add t.ctx.metrics "bytes.out" (Buffer.length t.staged - before)
 
@@ -136,24 +188,29 @@ let want_write t =
 (* Request execution                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let statement_verb = function
-  | Nfql.Ast.Create _ -> "create"
-  | Nfql.Ast.Drop _ -> "drop"
-  | Nfql.Ast.Insert _ -> "insert"
-  | Nfql.Ast.Delete_values _ | Nfql.Ast.Delete_where _ -> "delete"
-  | Nfql.Ast.Update_set _ -> "update"
-  | Nfql.Ast.Select _ -> "select"
-  | Nfql.Ast.Select_count _ -> "count"
-  | Nfql.Ast.Explain _ | Nfql.Ast.Explain_analyze _ -> "explain"
-  | Nfql.Ast.Show _ -> "show"
-
 let reply_of_result = function
   | Nfql.Eval.Done text -> Protocol.Done text
   | Nfql.Eval.Rows nfr -> Protocol.Rows (Nfr.schema nfr, Nfr.ntuples nfr)
 
+(* EXPLAIN snapshot for the slow log: only for statements that carry a
+   select, and only when they were actually slow. *)
+let plan_snapshot db = function
+  | Nfql.Ast.Select s | Nfql.Ast.Explain s | Nfql.Ast.Explain_analyze s ->
+    Some (Nfql.Physical.explain db s)
+  | Nfql.Ast.Trace (Nfql.Ast.Select s) -> Some (Nfql.Physical.explain db s)
+  | Nfql.Ast.Create _ | Nfql.Ast.Drop _ | Nfql.Ast.Insert _
+  | Nfql.Ast.Delete_values _ | Nfql.Ast.Delete_where _ | Nfql.Ast.Update_set _
+  | Nfql.Ast.Select_count _ | Nfql.Ast.Trace _ | Nfql.Ast.Show _ ->
+    None
+
 let run_query t source =
   let ctx = t.ctx in
-  match Nfql.Parser.parse_script source with
+  let parse source =
+    Obs.Span.with_span Obs.Span.Parse "parse-script" @@ fun parse_span ->
+    Obs.Span.add_bytes parse_span (String.length source);
+    Nfql.Parser.parse_script source
+  in
+  match parse source with
   | exception Nfql.Parser.Parse_error (message, offset) ->
     Metrics.incr ctx.metrics "errors.query";
     send t
@@ -184,16 +241,26 @@ let run_query t source =
         end
         else begin
           Metrics.incr ctx.metrics "queries.total";
-          Metrics.incr ctx.metrics ("queries." ^ statement_verb statement);
+          Metrics.incr ctx.metrics
+            ("queries." ^ Nfql.Ast.statement_verb statement);
           let started = ctx.now () in
           match Nfql.Physical.exec ctx.db statement with
           | result, stats ->
             let elapsed = ctx.now () -. started in
             Metrics.observe ctx.metrics "query.seconds" elapsed;
-            if elapsed > ctx.config.slow_query_s then
+            if elapsed > ctx.config.slow_query_s then begin
+              let text = Format.asprintf "%a" Nfql.Ast.pp_statement statement in
               note_slow ctx
-                (Format.asprintf "%a" Nfql.Ast.pp_statement statement)
-                elapsed;
+                {
+                  slow_text = text;
+                  slow_seconds = elapsed;
+                  slow_trace =
+                    Option.value ~default:0 (Obs.Span.current_trace ());
+                  slow_hash = Digest.to_hex (Digest.string text);
+                  slow_ops = Nfql.Physical.last_profile ctx.db;
+                  slow_plan = plan_snapshot ctx.db statement;
+                }
+            end;
             send t (Protocol.Stats stats);
             send t (reply_of_result result);
             execute (completed + 1) rest
@@ -237,11 +304,13 @@ let handle t message =
     | Protocol.Ping -> send t Protocol.Pong
     | Protocol.Query source -> run_query t source
     | Protocol.Metrics_req -> send t (Protocol.Metrics (metrics_dump ctx))
+    | Protocol.Metrics_prom_req ->
+      send t (Protocol.Metrics_prom (Metrics.to_prometheus ctx.metrics))
     | Protocol.Shutdown ->
       ctx.wants_shutdown <- true;
       send t (Protocol.Done "shutting down")
     | Protocol.Pong | Protocol.Rows _ | Protocol.Done _ | Protocol.Err _
-    | Protocol.Stats _ | Protocol.Metrics _ ->
+    | Protocol.Stats _ | Protocol.Metrics _ | Protocol.Metrics_prom _ ->
       refuse t Protocol.Malformed_frame
         (Printf.sprintf "unexpected %s frame from client"
            (Protocol.message_name message))
@@ -266,6 +335,7 @@ let consume t n =
 
 let rec parse_frames t =
   if t.state = Open && t.rlen > 0 then
+    let decode_started = Obs.Span.now () in
     match
       Protocol.decode ~max_payload:t.ctx.config.max_payload t.rbuf ~pos:0
         ~len:t.rlen
@@ -274,7 +344,19 @@ let rec parse_frames t =
     | Protocol.Msg (message, consumed_bytes) ->
       Metrics.incr t.ctx.metrics "frames.in";
       consume t consumed_bytes;
-      handle t message;
+      (* When tracing is on, every request gets its own trace rooted at
+         a Frame_rx span: decode time is pre-seeded into the span's
+         busy clock ({!Obs.Span.with_span} adds its own elapsed on
+         top), and everything the handler does — parse, statement,
+         operators, WAL — nests beneath it. *)
+      (if Obs.Span.enabled () then
+         Obs.Span.in_trace (fun _ ->
+             Obs.Span.with_span Obs.Span.Frame_rx
+               (Protocol.message_name message) (fun span ->
+                 Obs.Span.add_bytes span consumed_bytes;
+                 Obs.Span.add_busy span (Obs.Span.now () -. decode_started);
+                 handle t message))
+       else handle t message);
       parse_frames t
     | Protocol.Oversized n ->
       refuse t Protocol.Too_large

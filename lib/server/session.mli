@@ -36,6 +36,20 @@ val default_config : config
 (** 64 connections, 1 MiB frames, 30 s idle, 10 s requests, 100 ms
     slow-query threshold, 64 slow-log entries. *)
 
+(** One slow-query log entry. [slow_trace] is the request's trace id
+    (0 when tracing was off — nothing to correlate), [slow_hash] an
+    MD5 of the statement text for grouping repeats, [slow_ops] the
+    executed operator tree's pre-order [(label, rows_out)] profile,
+    [slow_plan] an EXPLAIN snapshot for select-carrying statements. *)
+type slow_entry = {
+  slow_text : string;
+  slow_seconds : float;
+  slow_trace : int;
+  slow_hash : string;
+  slow_ops : (string * int) list;
+  slow_plan : string option;
+}
+
 (** State shared by every session of one server. *)
 type context
 
@@ -47,7 +61,10 @@ val make_context :
   context
 (** [now] defaults to [Unix.gettimeofday]; tests inject a fake clock
     to exercise idle reaping and slowloris timeouts deterministically.
-    [metrics] defaults to a fresh registry. *)
+    [metrics] defaults to a fresh registry; either way the series a
+    monitoring pipeline alerts on (queries, admission, frames, WAL,
+    the query-latency histogram, the open-connections gauge) are
+    pre-declared so an idle server scrapes complete. *)
 
 val context_metrics : context -> Metrics.t
 val context_config : context -> config
@@ -55,8 +72,8 @@ val context_config : context -> config
 val context_now : context -> float
 (** The context's clock reading (injected or wall). *)
 
-val slow_log : context -> (string * float) list
-(** Most recent slow statements (text, seconds), newest last; at most
+val slow_log : context -> slow_entry list
+(** Most recent slow statements, newest last; a ring capped at
     [slow_log_size] entries. *)
 
 val drain : context -> unit

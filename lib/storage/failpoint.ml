@@ -62,6 +62,8 @@ let trigger site =
     else begin
       Hashtbl.remove armed_table site;
       fired_log := (site, armed.fault) :: !fired_log;
+      Obs.Registry.incr_labeled Obs.Registry.global "failpoints.tripped"
+        [ ("site", site) ];
       Some armed.fault
     end
 

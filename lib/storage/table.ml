@@ -45,6 +45,7 @@ let ordered_values t nt =
   | Some position -> Ntuple.component nt position
 
 let physical_add t nt =
+  Obs.Registry.add_gauge Obs.Registry.global "storage.live_tuples" 1.;
   let rid = Heap.append t.heap (encode_record nt) in
   Ntuple_table.replace t.rids nt rid;
   List.iteri
@@ -59,6 +60,7 @@ let physical_add t nt =
 let physical_remove t nt =
   match Ntuple_table.find_opt t.rids nt with
   | Some rid ->
+    Obs.Registry.add_gauge Obs.Registry.global "storage.live_tuples" (-1.);
     Ntuple_table.remove t.rids nt;
     t.dead <- Rid_set.add rid t.dead;
     (match t.btree with
@@ -174,6 +176,8 @@ let degrade_if_lossy t report =
            report.skipped_ops)
 
 let recover_salvage ?page_size ?ordered_on ~wal_path ~order schema =
+  Obs.Span.with_span Obs.Span.Salvage wal_path @@ fun _ ->
+  Obs.Registry.incr Obs.Registry.global "wal.recover_salvage_total";
   let salvage = Wal.replay_salvage wal_path in
   let t = create ?page_size ~wal_path ?ordered_on ~order schema in
   let applied, skipped_ops = apply_salvaged t salvage.Wal.entries in
@@ -392,6 +396,8 @@ let read_le32 s offset =
   byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
 
 let save_snapshot t path =
+  Obs.Span.with_span Obs.Span.Snapshot_write path @@ fun snapshot_span ->
+  Obs.Registry.incr Obs.Registry.global "snapshot.write_total";
   let body = Buffer.create 4096 in
   Codec.encode_varint body (match t.wal with Some wal -> Wal.generation wal | None -> 0);
   Codec.encode_varint body (Schema.degree t.schema);
@@ -418,6 +424,7 @@ let save_snapshot t path =
   | Failpoint.Partial prefix ->
     Out_channel.with_open_bin temp (fun oc -> Out_channel.output_string oc prefix);
     raise (Failpoint.Crashed "snapshot.body"));
+  Obs.Span.set_bytes snapshot_span (String.length payload);
   Failpoint.hit "snapshot.rename";
   Sys.rename temp path
 
@@ -484,6 +491,8 @@ let parse_snapshot ?page_size ?wal_path ?ordered_on contents =
   (generation, t)
 
 let load_snapshot ?page_size ?wal_path ?ordered_on path =
+  Obs.Span.with_span Obs.Span.Snapshot_load path @@ fun _ ->
+  Obs.Registry.incr Obs.Registry.global "snapshot.load_total";
   let contents = In_channel.with_open_bin path In_channel.input_all in
   let snapshot_generation, t = parse_snapshot ?page_size ?wal_path ?ordered_on contents in
   (match wal_path with
@@ -507,6 +516,8 @@ let load_snapshot ?page_size ?wal_path ?ordered_on path =
   t
 
 let load_snapshot_salvage ?page_size ?wal_path ?ordered_on path =
+  Obs.Span.with_span Obs.Span.Salvage path @@ fun _ ->
+  Obs.Registry.incr Obs.Registry.global "snapshot.salvage_total";
   let snapshot_result =
     match In_channel.with_open_bin path In_channel.input_all with
     | contents -> (

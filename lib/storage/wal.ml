@@ -96,18 +96,33 @@ let frame_v0 payload =
 
 let append t entry =
   if not t.open_ then raise (Storage_error.Error (Storage_error.Closed "Wal.append"));
-  Failpoint.hit "wal.append.before";
-  let payload = encode_entry entry in
-  let framed = match t.format with V1 -> frame_v1 payload | V0 -> frame_v0 payload in
-  (match Failpoint.on_write "wal.append.frame" framed with
-  | Failpoint.Full data -> output_string t.channel data
-  | Failpoint.Dropped -> ()
-  | Failpoint.Partial prefix ->
-    output_string t.channel prefix;
-    flush t.channel;
-    raise (Failpoint.Crashed "wal.append.frame"));
-  flush t.channel;
-  Failpoint.hit "wal.append.after"
+  Obs.Span.with_span Obs.Span.Wal_append "wal.append" (fun span ->
+      Failpoint.hit "wal.append.before";
+      let payload = encode_entry entry in
+      let framed =
+        match t.format with V1 -> frame_v1 payload | V0 -> frame_v0 payload
+      in
+      let registry = Obs.Registry.global in
+      Obs.Registry.incr registry "wal.append_total";
+      Obs.Registry.add registry "wal.bytes_total" (String.length framed);
+      Obs.Registry.add_gauge registry "wal.bytes_unflushed"
+        (float_of_int (String.length framed));
+      Obs.Span.add_bytes span (String.length framed);
+      (match Failpoint.on_write "wal.append.frame" framed with
+      | Failpoint.Full data -> output_string t.channel data
+      | Failpoint.Dropped -> ()
+      | Failpoint.Partial prefix ->
+        output_string t.channel prefix;
+        flush t.channel;
+        raise (Failpoint.Crashed "wal.append.frame"));
+      Obs.Span.with_span Obs.Span.Wal_fsync "wal.fsync" (fun fsync_span ->
+          flush t.channel;
+          Obs.Registry.incr registry "wal.fsync_total";
+          Obs.Registry.add_gauge registry "wal.bytes_unflushed"
+            (-.float_of_int (String.length framed));
+          Obs.Registry.observe registry "wal.fsync.seconds"
+            (Obs.Span.now () -. fsync_span.Obs.Span.start_s));
+      Failpoint.hit "wal.append.after")
 
 let close t =
   t.open_ <- false;
@@ -233,25 +248,35 @@ let salvage_frames bytes length start ~format ~generation =
   }
 
 let replay_salvage path =
-  if not (Sys.file_exists path) then empty_salvage
-  else begin
-    let contents = read_file path in
-    if contents = "" then empty_salvage
-    else begin
-      let bytes = Bytes.of_string contents in
-      let length = Bytes.length bytes in
-      match parse_header bytes with
-      | `V1 (generation, offset) -> salvage_frames bytes length offset ~format:V1 ~generation
-      | `V0 -> salvage_frames bytes length 0 ~format:V0 ~generation:0
-      | `Torn ->
-        {
-          empty_salvage with
-          scanned_bytes = length;
-          first_bad_offset = Some 0;
-          torn_tail_bytes = length;
-        }
-    end
-  end
+  Obs.Span.with_span Obs.Span.Wal_replay "wal.replay" (fun span ->
+      let salvage =
+        if not (Sys.file_exists path) then empty_salvage
+        else begin
+          let contents = read_file path in
+          if contents = "" then empty_salvage
+          else begin
+            let bytes = Bytes.of_string contents in
+            let length = Bytes.length bytes in
+            match parse_header bytes with
+            | `V1 (generation, offset) ->
+              salvage_frames bytes length offset ~format:V1 ~generation
+            | `V0 -> salvage_frames bytes length 0 ~format:V0 ~generation:0
+            | `Torn ->
+              {
+                empty_salvage with
+                scanned_bytes = length;
+                first_bad_offset = Some 0;
+                torn_tail_bytes = length;
+              }
+          end
+        end
+      in
+      Obs.Span.set_bytes span salvage.scanned_bytes;
+      Obs.Span.set_rows span (List.length salvage.entries);
+      Obs.Registry.incr Obs.Registry.global "wal.replay_total";
+      if salvage.first_bad_offset <> None then
+        Obs.Registry.incr Obs.Registry.global "wal.salvage_total";
+      salvage)
 
 let replay path =
   let salvage = replay_salvage path in

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Observability smoke: start nf2d with tracing on, push a small
+# workload through it, then scrape the Prometheus exposition with
+# `nfr_cli metrics` — which fails if the body does not parse or any
+# required series (query latency, WAL fsync, admission rejects) is
+# missing. Run via `make obssmoke` (after `dune build`) or directly
+# from the repo root.
+set -eu
+
+CLI=_build/default/bin/nfr_cli.exe
+[ -x "$CLI" ] || { echo "obs_smoke: $CLI not built" >&2; exit 1; }
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+cat > "$workdir/sc.csv" <<'EOF'
+Student:string,Course:string
+s1,c1
+s1,c2
+s2,c1
+EOF
+
+"$CLI" serve --trace --load "sc=$workdir/sc.csv" --port 0 \
+    --wal-dir "$workdir" > "$workdir/server.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 50); do
+    port=$(sed -n 's/^nf2d listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$workdir/server.log")
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "obs_smoke: server died at startup:" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "obs_smoke: no listening line" >&2; exit 1; }
+
+echo "obs_smoke: serving on port $port"
+
+# A workload that exercises the series we require: queries (latency
+# histogram) and DML (WAL appends + fsyncs).
+"$CLI" connect --port "$port" -e \
+    "insert into sc values ('s3', 'c3'); select * from sc; select Course from sc where Student contains 's1'" \
+    > /dev/null
+
+# The scrape: byte-validates the exposition through the registry's
+# own parser and insists on the required series by prefix.
+"$CLI" metrics --port "$port" \
+    --require nf2_query_seconds,nf2_wal_fsync_total,nf2_connections_rejected \
+    > "$workdir/scrape.txt" || {
+    echo "obs_smoke: metrics scrape failed:" >&2
+    cat "$workdir/scrape.txt" >&2
+    exit 1
+}
+
+grep -q '^nf2_queries_total ' "$workdir/scrape.txt" || {
+    echo "obs_smoke: nf2_queries_total missing from exposition" >&2
+    cat "$workdir/scrape.txt" >&2
+    exit 1
+}
+
+"$CLI" connect --port "$port" --shutdown
+wait "$server_pid"
+status=$?
+server_pid=""
+[ "$status" -eq 0 ] || {
+    echo "obs_smoke: server exited $status" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+
+echo "obs_smoke: OK"

@@ -1,0 +1,240 @@
+(* The observability layer: registry bucketing/quantile laws,
+   Prometheus exposition round-trips through the self-validating
+   parser, and the span ring's capacity and parent-before-child
+   invariants. Properties are QCheck; fixed regressions (empty
+   histogram, sanitized names) are plain Alcotest cases. *)
+
+module R = Obs.Registry
+module S = Obs.Span
+
+(* Small non-negative durations: these sit well inside the bucket
+   table (2^39 µs ~ 6.4 days), so histogram quantile estimates are
+   bucket upper bounds rather than the overflow cap. *)
+let duration = QCheck.float_bound_inclusive 10.
+
+(* -- bucketing ---------------------------------------------------- *)
+
+let prop_bucket_total =
+  QCheck.Test.make ~count:500 ~name:"bucket_of_seconds total, in range"
+    QCheck.float (fun s ->
+      let i = R.bucket_of_seconds s in
+      0 <= i && i < R.bucket_count)
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~count:500 ~name:"bucket_of_seconds monotone"
+    QCheck.(pair duration duration)
+    (fun (a, b) ->
+      let lo, hi = if a <= b then (a, b) else (b, a) in
+      R.bucket_of_seconds lo <= R.bucket_of_seconds hi)
+
+let prop_bucket_upper_covers =
+  QCheck.Test.make ~count:500 ~name:"sample within its bucket upper bound"
+    duration (fun s ->
+      s <= R.bucket_upper_seconds (R.bucket_of_seconds s))
+
+let test_bucket_upper_monotone () =
+  for i = 0 to R.bucket_count - 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "upper(%d) < upper(%d)" i (i + 1))
+      true
+      (R.bucket_upper_seconds i < R.bucket_upper_seconds (i + 1))
+  done
+
+(* -- histogram quantiles ------------------------------------------ *)
+
+let summarize_samples samples =
+  let r = R.create () in
+  List.iter (R.observe r "h") samples;
+  match R.summarize r "h" with
+  | Some s -> s
+  | None -> Alcotest.fail "summarize returned None for non-empty histogram"
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~count:300
+    ~name:"histogram quantiles ordered, <= observed max"
+    QCheck.(list_of_size (Gen.int_range 1 200) duration)
+    (fun samples ->
+      let s = summarize_samples samples in
+      let max_sample = List.fold_left Float.max 0. samples in
+      s.R.count = List.length samples
+      && 0. <= s.R.p50 && s.R.p50 <= s.R.p95 && s.R.p95 <= s.R.p99
+      && s.R.p99 <= s.R.max
+      && Float.abs (s.R.max -. max_sample) < 1e-12)
+
+let prop_quantile_at_least_exact =
+  QCheck.Test.make ~count:300
+    ~name:"histogram quantile >= exact sample quantile"
+    QCheck.(list_of_size (Gen.int_range 1 200) duration)
+    (fun samples ->
+      let s = summarize_samples samples in
+      (* The estimate is the upper bound of the bucket holding the
+         true quantile (capped at max), so it can never undershoot. *)
+      s.R.p50 >= R.quantile samples 0.5
+      && s.R.p95 >= R.quantile samples 0.95
+      && s.R.p99 >= R.quantile samples 0.99)
+
+let test_empty_histogram () =
+  let r = R.create () in
+  R.declare_histogram r "latency.seconds";
+  Alcotest.(check bool) "summarize None" true (R.summarize r "latency.seconds" = None);
+  Alcotest.(check (float 0.)) "raw quantile of [] is 0" 0. (R.quantile [] 0.99);
+  (* A declared-but-empty histogram must still expose parseable
+     series with zero count. *)
+  match R.parse_prometheus (R.to_prometheus r) with
+  | Error e -> Alcotest.fail ("exposition unparseable: " ^ e)
+  | Ok samples ->
+    let count =
+      List.find_opt
+        (fun s -> s.R.s_name = "nf2_latency_seconds_count")
+        samples
+    in
+    (match count with
+    | Some s -> Alcotest.(check (float 0.)) "zero count" 0. s.R.s_value
+    | None -> Alcotest.fail "missing _count series")
+
+(* -- Prometheus round-trip ---------------------------------------- *)
+
+let find name samples =
+  List.find_opt (fun s -> s.R.s_name = name && s.R.s_labels = []) samples
+
+let test_prometheus_roundtrip () =
+  let r = R.create () in
+  R.add r "queries.total" 7;
+  R.incr r "wal.fsync_total";
+  R.incr_labeled r "frames.in" [ ("type", "query") ];
+  R.incr_labeled r "frames.in" [ ("type", "query") ];
+  R.incr_labeled r "frames.in" [ ("type", "ping") ];
+  R.set_gauge r "connections.open" 3.;
+  R.observe r "query.seconds" 0.002;
+  R.observe r "query.seconds" 0.004;
+  match R.parse_prometheus (R.to_prometheus r) with
+  | Error e -> Alcotest.fail ("exposition unparseable: " ^ e)
+  | Ok samples ->
+    let value name =
+      match find name samples with
+      | Some s -> s.R.s_value
+      | None -> Alcotest.fail ("missing series " ^ name)
+    in
+    Alcotest.(check (float 0.)) "counter" 7. (value "nf2_queries_total");
+    Alcotest.(check (float 0.)) "incr" 1. (value "nf2_wal_fsync_total");
+    Alcotest.(check (float 0.)) "gauge" 3. (value "nf2_connections_open");
+    Alcotest.(check (float 0.)) "hist count" 2.
+      (value "nf2_query_seconds_count");
+    Alcotest.(check (float 1e-9)) "hist sum" 0.006
+      (value "nf2_query_seconds_sum");
+    let labeled =
+      List.find_opt
+        (fun s ->
+          s.R.s_name = "nf2_frames_in"
+          && s.R.s_labels = [ ("type", "query") ])
+        samples
+    in
+    (match labeled with
+    | Some s -> Alcotest.(check (float 0.)) "labeled" 2. s.R.s_value
+    | None -> Alcotest.fail "missing labeled series");
+    (* Cumulative buckets: non-decreasing, final +Inf equals count. *)
+    let buckets =
+      List.filter (fun s -> s.R.s_name = "nf2_query_seconds_bucket") samples
+    in
+    Alcotest.(check bool) "has buckets" true (buckets <> []);
+    let values = List.map (fun s -> s.R.s_value) buckets in
+    let sorted = List.sort compare values in
+    Alcotest.(check bool) "cumulative non-decreasing" true (values = sorted);
+    Alcotest.(check (float 0.)) "+Inf bucket = count" 2.
+      (List.nth values (List.length values - 1))
+
+let prop_prometheus_arbitrary_names =
+  QCheck.Test.make ~count:200 ~name:"exposition parses for arbitrary names"
+    QCheck.(list_of_size (Gen.int_range 1 10) (pair printable_string small_nat))
+    (fun counters ->
+      let r = R.create () in
+      List.iter (fun (name, v) -> R.add r name v) counters;
+      match R.parse_prometheus (R.to_prometheus r) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+(* -- span ring ---------------------------------------------------- *)
+
+(* Drive the ring with a random script: multiples of 3 open a nested
+   subtree over the rest of the script, others record a leaf. *)
+let rec play = function
+  | [] -> ()
+  | k :: rest ->
+    if k mod 3 = 0 then S.with_span (S.Custom "node") "n" (fun _ -> play rest)
+    else begin
+      S.with_span (S.Custom "leaf") "l" (fun _ -> ());
+      play rest
+    end
+
+let with_ring cap f =
+  S.set_capacity cap;
+  Fun.protect ~finally:(fun () -> S.set_capacity 4096) f
+
+let prop_ring_invariants =
+  QCheck.Test.make ~count:200
+    ~name:"span ring bounded, parent precedes child"
+    QCheck.(pair (int_range 1 16) (list_of_size (Gen.int_range 0 64) small_nat))
+    (fun (cap, script) ->
+      with_ring cap @@ fun () ->
+      S.in_trace (fun trace ->
+          play script;
+          let retained = S.spans () in
+          let ids = List.map (fun s -> s.S.id) retained in
+          List.length retained <= cap
+          && List.length (List.sort_uniq compare ids) = List.length ids
+          && List.for_all (fun s -> s.S.trace = trace) retained
+          && (* among retained spans a parent always precedes its
+                children: spans are recorded at enter time in id
+                order, and the ring keeps the newest suffix. *)
+          List.for_all
+            (fun s ->
+              s.S.parent = 0
+              || (not (List.mem s.S.parent ids))
+              ||
+              let rec precedes = function
+                | [] -> false
+                | x :: rest ->
+                  if x.S.id = s.S.parent then List.exists (fun y -> y == s) rest
+                  else precedes rest
+              in
+              precedes retained)
+            retained))
+
+let test_detached_spans_not_recorded () =
+  with_ring 64 @@ fun () ->
+  S.reset ();
+  S.with_span (S.Custom "outside") "detached" (fun span ->
+      Alcotest.(check int) "detached id" 0 span.S.id;
+      Alcotest.(check int) "detached trace" 0 span.S.trace);
+  Alcotest.(check int) "nothing retained" 0 (List.length (S.spans ()))
+
+let test_detached_spans_still_time () =
+  let span = S.enter (S.Custom "timed") "t" in
+  S.add_busy span 0.25;
+  S.finish span;
+  Alcotest.(check (float 1e-9)) "busy accumulates" 0.25 (S.busy span)
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "buckets",
+        props [ prop_bucket_total; prop_bucket_monotone; prop_bucket_upper_covers ]
+        @ [ Alcotest.test_case "upper bounds monotone" `Quick
+              test_bucket_upper_monotone ] );
+      ( "quantiles",
+        props [ prop_quantile_bounds; prop_quantile_at_least_exact ]
+        @ [ Alcotest.test_case "empty histogram" `Quick test_empty_histogram ]
+      );
+      ( "prometheus",
+        Alcotest.test_case "round-trip" `Quick test_prometheus_roundtrip
+        :: props [ prop_prometheus_arbitrary_names ] );
+      ( "spans",
+        props [ prop_ring_invariants ]
+        @ [
+            Alcotest.test_case "detached spans not recorded" `Quick
+              test_detached_spans_not_recorded;
+            Alcotest.test_case "detached spans still time" `Quick
+              test_detached_spans_still_time;
+          ] );
+    ]

@@ -62,6 +62,8 @@ let all_messages () =
     P.Stats (sample_stats ());
     P.Metrics_req;
     P.Metrics "queries.total 7\n";
+    P.Metrics_prom_req;
+    P.Metrics_prom "# TYPE nf2_queries_total counter\nnf2_queries_total 7\n";
     P.Shutdown;
   ]
 
