@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -46,6 +46,16 @@ netbench:
 
 netsmoke:
 	dune exec bench/main.exe -- netsmoke
+
+# Cost-based planner: ANALYZE statistics, plan-cache behaviour and the
+# access-path regressions.
+plannertest:
+	dune exec test/test_planner.exe
+
+# Planner micro-bench: plan-cache speedup and estimation error on a
+# Zipf-skewed table (writes BENCH_planner.json).
+plannerbench:
+	dune exec bench/main.exe -- planner
 
 bench:
 	dune exec bench/main.exe

@@ -1,11 +1,20 @@
 (* Machine-readable bench artifacts: every smoke/bench mode drops a
    BENCH_<name>.json in the invoking directory (the repo root under
-   `make benchsmoke` / `netsmoke` / `obsbench`) so CI and trend
-   tooling diff numbers instead of scraping stdout. *)
+   `make benchsmoke` / `netsmoke` / `obsbench` / `plannerbench`) so CI
+   and trend tooling diff numbers instead of scraping stdout.
+
+   Every artifact shares one envelope —
+   {"schema_version":1,"bench":NAME,"timestamp":EPOCH,"data":PAYLOAD}
+   — so a collector can route and age files without per-bench
+   parsers. *)
+
+let schema_version = 1
 
 let write name json =
   let path = "BENCH_" ^ name ^ ".json" in
   Out_channel.with_open_text path (fun oc ->
-      output_string oc json;
+      output_string oc
+        (Printf.sprintf "{\"schema_version\":%d,\"bench\":\"%s\",\"timestamp\":%.0f,\"data\":%s}"
+           schema_version name (Unix.time ()) json);
       output_char oc '\n');
   Format.printf "wrote %s@." path

@@ -316,5 +316,6 @@ let () =
   if mode = "net" then Netbench.run ();
   if mode = "netsmoke" then Netbench.run ~conns:4 ~ops:300 ();
   if mode = "obs" then Obsbench.run ();
+  if mode = "planner" then Plannerbench.run ();
   if mode = "timings" || mode = "all" then run_timings ();
   Format.printf "@.done.@."

@@ -38,6 +38,54 @@ let classify r attribute =
 let classify_all r =
   List.map (fun attribute -> (attribute, classify r attribute)) (Schema.attributes (Nfr.schema r))
 
+type profile = {
+  p_class : cardinality;
+  p_distinct : int;
+  p_max_group : int;
+  p_mean_group : float;
+  p_fixed : bool;
+}
+
+(* Single-pass Def. 6 + Def. 7 profile. Fixedness on a singleton set
+   {a} asks that no value combination on {a} — i.e. no single value —
+   is contained in two distinct tuples, which is exactly Def. 6's
+   "recurring" test: [p_fixed] holds iff the class is on the [:1]
+   side. The statistics collector (ANALYZE) leans on this so it never
+   pays {!fixed_on}'s pairwise O(n²) scan per attribute. *)
+let profile r attribute =
+  let position = Schema.position (Nfr.schema r) attribute in
+  let occurrences : (Value.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let compound = ref false in
+  Nfr.iter
+    (fun nt ->
+      let component = Ntuple.component nt position in
+      if not (Vset.is_singleton component) then compound := true;
+      Vset.fold
+        (fun value () ->
+          let count = Option.value ~default:0 (Hashtbl.find_opt occurrences value) in
+          Hashtbl.replace occurrences value (count + 1))
+        component ())
+    r;
+  let distinct = Hashtbl.length occurrences in
+  let total, max_group =
+    Hashtbl.fold
+      (fun _ count (total, max_group) -> (total + count, max count max_group))
+      occurrences (0, 0)
+  in
+  let recurring = max_group > 1 in
+  {
+    p_class =
+      (match !compound, recurring with
+      | false, false -> One_to_one
+      | true, false -> N_to_one
+      | false, true -> One_to_n
+      | true, true -> M_to_n);
+    p_distinct = distinct;
+    p_max_group = max_group;
+    p_mean_group = (if distinct = 0 then 0. else float_of_int total /. float_of_int distinct);
+    p_fixed = not recurring;
+  }
+
 let fixed_on r attrs =
   if Attribute.Set.is_empty attrs then
     invalid_arg "Classify.fixed_on: empty attribute set";

@@ -24,6 +24,23 @@ val classify : Nfr.t -> Attribute.t -> cardinality
 
 val classify_all : Nfr.t -> (Attribute.t * cardinality) list
 
+(** One attribute's Def. 6/7 statistics, computed in a single pass:
+    class, number of distinct component values, the largest and mean
+    number of tuples any one value occurs in, and Def. 7 fixedness on
+    the singleton set — which coincides with the [:1] classes (no value
+    in two tuples), so it costs nothing extra. *)
+type profile = {
+  p_class : cardinality;
+  p_distinct : int;  (** distinct values across all components *)
+  p_max_group : int;  (** most tuples any single value occurs in *)
+  p_mean_group : float;  (** mean tuples per distinct value; 0 when empty *)
+  p_fixed : bool;  (** {!fixed_on} the singleton [{a}] *)
+}
+
+val profile : Nfr.t -> Attribute.t -> profile
+(** Agrees with {!classify} and with {!fixed_on} on the singleton set
+    (property-tested). *)
+
 val fixed_on : Nfr.t -> Attribute.Set.t -> bool
 (** Definition 7: at most one tuple contains any given combination of
     values on the listed attributes — i.e. every pair of distinct

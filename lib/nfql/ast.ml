@@ -46,6 +46,7 @@ type statement =
   | Select_count of source * condition option
   | Explain of select
   | Explain_analyze of select
+  | Analyze of string
   | Trace of statement
   | Show of string
 
@@ -151,6 +152,7 @@ let rec pp_statement ppf = function
       condition
   | Explain s -> Format.fprintf ppf "EXPLAIN %a" pp_select s
   | Explain_analyze s -> Format.fprintf ppf "EXPLAIN ANALYZE %a" pp_select s
+  | Analyze table -> Format.fprintf ppf "ANALYZE %s" table
   | Trace s -> Format.fprintf ppf "TRACE %a" pp_statement s
   | Show table -> Format.fprintf ppf "SHOW %s" table
 
@@ -166,5 +168,6 @@ let rec statement_verb = function
   | Select_count _ -> "select-count"
   | Explain _ -> "explain"
   | Explain_analyze _ -> "explain-analyze"
+  | Analyze _ -> "analyze"
   | Trace inner -> "trace:" ^ statement_verb inner
   | Show _ -> "show"

@@ -13,6 +13,7 @@
         [NEST col,...] [UNNEST col,...]
     SELECT COUNT FROM t [WHERE cond]
     EXPLAIN [ANALYZE] <select>
+    ANALYZE t
     TRACE <statement>
     SHOW t
     v}
@@ -69,6 +70,10 @@ type statement =
   | Explain of select
   | Explain_analyze of select
       (** run the select and report per-operator execution metrics *)
+  | Analyze of string
+      (** collect {!Tablestats} for the table (row count, Def. 6
+          classes, posting distribution, fixedness) — the cost-based
+          planner's input *)
   | Trace of statement
       (** run the statement under a trace scope and return its span
           tree as rows *)

@@ -292,6 +292,12 @@ let rec exec db statement =
         (Printf.sprintf "%s\n  actual: %d fact(s) in %d NFR tuple(s)" plan
            (Nfr.expansion_size rows) (Nfr.cardinality rows))
     | Done _ -> assert false)
+  | Ast.Analyze name ->
+    (* The logical back end has no planner to feed, but it still
+       collects and reports the same statistics so the differential
+       suite can compare the text verbatim with {!Physical}. *)
+    let state = find_table db name in
+    Done (Tablestats.summary name (Tablestats.collect state.nfr))
   | Ast.Trace inner ->
     (* Run the statement under a trace scope (reusing an ambient one if
        the server already opened it) and return its spans as rows. *)

@@ -258,9 +258,11 @@ let rec statement st =
     | Ast.Select_count _ -> fail st "EXPLAIN COUNT is not supported"
     | Ast.Create _ | Ast.Drop _ | Ast.Insert _ | Ast.Delete_values _
     | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _
-    | Ast.Explain_analyze _ | Ast.Trace _ | Ast.Show _ ->
+    | Ast.Explain_analyze _ | Ast.Analyze _ | Ast.Trace _ | Ast.Show _ ->
       assert false
   end
+  else if keyword st "analyze" then
+    Ast.Analyze (ident st "expected a table name after ANALYZE")
   else if keyword st "create" then parse_create st
   else if keyword st "drop" then begin
     expect_keyword st "table";

@@ -12,31 +12,192 @@ module Ntuple_tbl = Hashtbl.Make (struct
   let hash = Ntuple.hash
 end)
 
-type db = {
-  mutable tables : Storage.Table.t String_map.t;
-  (* Pre-order (label, rows_out) of the last executed operator tree —
-     the slow-query log snapshots it without re-running anything. *)
-  mutable last_ops : (string * int) list;
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type bound = { b_value : Value.t; b_incl : bool }
+
+type join_path = {
+  jp_left : string;
+  jp_right : string;
+  jp_probe : Attribute.t option;  (* None: no shared attribute — product *)
+  jp_outer : [ `Left | `Right ];
 }
 
 type access_path =
   | Via_scan
   | Via_index of Attribute.t * Value.t
-  | Via_range of Attribute.t * Value.t option * Value.t option
+  | Via_range of Attribute.t * bound option * bound option
+  | Via_join of join_path
 
-let create () = { tables = String_map.empty; last_ops = [] }
+type candidate = {
+  cand_path : access_path;
+  cand_cost : float;
+  cand_rows : float;
+}
+
+type plan = {
+  plan_path : access_path;
+  plan_rows : float;
+  plan_candidates : candidate list;  (* empty on the legacy (no-stats) path *)
+  plan_from_stats : bool;
+}
+
+type entry = {
+  tbl : Storage.Table.t;
+  mutable stats : Tablestats.t option;
+  mutable writes : int;  (* since stats were last collected *)
+}
+
+type cache_slot = {
+  slot_plan : plan;
+  mutable slot_tick : int;  (* recency, for LRU eviction *)
+}
+
+type db = {
+  mutable tables : entry String_map.t;
+  (* Pre-order (label, rows_out) of the last executed operator tree —
+     the slow-query log snapshots it without re-running anything. *)
+  mutable last_ops : (string * int) list;
+  mutable last_est : (float * int) option;
+  (* Statistics generation: bumped by ANALYZE, DDL and auto-refresh.
+     Part of every plan-cache key, so stale plans miss naturally. *)
+  mutable generation : int;
+  mutable auto_threshold : int;
+  cache : (Ast.select * int, cache_slot) Hashtbl.t;
+  mutable cache_tick : int;
+}
+
+let cache_capacity = 128
+let registry () = Obs.Registry.global
+
+let create () =
+  {
+    tables = String_map.empty;
+    last_ops = [];
+    last_est = None;
+    generation = 0;
+    auto_threshold = 128;
+    cache = Hashtbl.create 64;
+    cache_tick = 0;
+  }
+
 let last_profile db = db.last_ops
+let last_estimate db = db.last_est
+let generation db = db.generation
+let set_auto_analyze_threshold db n = db.auto_threshold <- max 1 n
+let bump_generation db = db.generation <- db.generation + 1
 
 let add_table db name table =
   if String_map.mem name db.tables then error "table %s already exists" name;
-  db.tables <- String_map.add name table db.tables
+  db.tables <-
+    String_map.add name { tbl = table; stats = None; writes = 0 } db.tables;
+  bump_generation db
 
-let table db name = String_map.find_opt name db.tables
+let table db name =
+  Option.map (fun e -> e.tbl) (String_map.find_opt name db.tables)
 
-let find_table db name =
-  match table db name with
-  | Some t -> t
+let table_stats db name =
+  Option.bind (String_map.find_opt name db.tables) (fun e -> e.stats)
+
+let find_entry db name =
+  match String_map.find_opt name db.tables with
+  | Some e -> e
   | None -> error "unknown table %s" name
+
+let find_table db name = (find_entry db name).tbl
+
+let collect_stats entry =
+  let stats = Tablestats.collect (Storage.Table.snapshot entry.tbl) in
+  entry.stats <- Some stats;
+  entry.writes <- 0;
+  stats
+
+(* Auto-refresh: once a table has been ANALYZEd, enough writes since
+   the last collection trigger a re-collect and a generation bump.
+   Tables never analyzed stay on the legacy planner until asked. *)
+let note_writes db entry n =
+  if n > 0 then begin
+    entry.writes <- entry.writes + n;
+    if entry.stats <> None && entry.writes >= db.auto_threshold then begin
+      ignore (collect_stats entry);
+      bump_generation db;
+      Obs.Registry.incr (registry ()) "planner.auto_analyze"
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Abstract cost units: one heap page fetch = 1.0. Decoding a record
+   is an order of magnitude cheaper; an index descent costs about two
+   pages; fetching one indexed group about one. *)
+let c_page = 1.0
+let c_rec = 0.1
+let c_probe = 2.0
+let c_fetch = 1.0
+
+let scan_candidate t =
+  let live = Storage.Table.live_records t in
+  let dead = Storage.Table.dead_records t in
+  {
+    cand_path = Via_scan;
+    cand_cost =
+      (float_of_int (Storage.Table.pages t) *. c_page)
+      +. (float_of_int (live + dead) *. c_rec);
+    cand_rows = float_of_int (Storage.Table.cardinality t);
+  }
+
+(* A probe pays for every posting entry, tombstoned ones included —
+   the inverted index never prunes, so a delete-churned posting list
+   really is more expensive than the live groups it yields. The row
+   estimate uses the Def. 6 class as a selectivity prior: a fixed
+   (1:1 / n:1) attribute's value sits in at most one group. For a
+   recurring attribute the raw posting size is an upper bound that
+   over-counts on churned tables (every merge of a group leaves a
+   stale rid behind); that bias is deliberate — it only ever pushes
+   hot values toward the scan, and the tombstone fetches are paid
+   regardless. *)
+let probe_candidate t stats attribute value =
+  let posting = Storage.Table.posting_size t attribute value in
+  let rows = float_of_int (Storage.Table.cardinality t) in
+  let est =
+    match Option.bind stats (fun s -> Tablestats.find s attribute) with
+    | Some a when a.Tablestats.a_fixed -> Float.min 1. rows
+    | Some _ | None -> Float.min (float_of_int posting) rows
+  in
+  {
+    cand_path = Via_index (attribute, value);
+    cand_cost = c_probe +. (float_of_int posting *. c_fetch);
+    cand_rows = est;
+  }
+
+(* A range is priced from live statistics (the B+-tree prunes on
+   delete, so tombstones never inflate it — which is exactly why an
+   equality can beat the inverted index on a churned table): a point
+   range estimates from the posting distribution, open/closed
+   intervals fall back to textbook fractions. *)
+let range_candidate t stats attribute lo hi =
+  let rows = float_of_int (Storage.Table.cardinality t) in
+  let attr_stats = Option.bind stats (fun s -> Tablestats.find s attribute) in
+  let est =
+    match lo, hi with
+    | Some l, Some h when Value.compare l.b_value h.b_value = 0 -> (
+      match attr_stats with
+      | Some a when a.Tablestats.a_fixed -> Float.min 1. rows
+      | Some a -> Float.min (Float.max 1. a.Tablestats.a_mean_posting) rows
+      | None -> Float.min 1. rows)
+    | Some _, Some _ -> 0.25 *. rows
+    | Some _, None | None, Some _ -> 0.33 *. rows
+    | None, None -> rows
+  in
+  {
+    cand_path = Via_range (attribute, lo, hi);
+    cand_cost = c_probe +. (est *. c_fetch);
+    cand_rows = est;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Access-path choice                                                  *)
@@ -52,68 +213,263 @@ let equality_probe = function
   | Predicate.Or _ | Predicate.Not _ ->
     None
 
-(* Bounds a conjunct imposes on [attribute]: inclusive over-
-   approximations are fine — the exact predicate runs afterwards. *)
+(* Bounds a conjunct imposes on [attribute], with inclusivity: a
+   strict comparison produces a strict bound, which the B+-tree range
+   honors (the boundary group is never fetched). Over-approximation is
+   still fine — the exact predicate runs afterwards. *)
 let bounds_on attribute = function
   | Predicate.Compare (op, Predicate.Field a, Predicate.Const v)
     when Attribute.equal a attribute -> (
     match op with
-    | Predicate.Le | Predicate.Lt -> (None, Some v)
-    | Predicate.Ge | Predicate.Gt -> (Some v, None)
-    | Predicate.Eq -> (Some v, Some v)
+    | Predicate.Le -> (None, Some { b_value = v; b_incl = true })
+    | Predicate.Lt -> (None, Some { b_value = v; b_incl = false })
+    | Predicate.Ge -> (Some { b_value = v; b_incl = true }, None)
+    | Predicate.Gt -> (Some { b_value = v; b_incl = false }, None)
+    | Predicate.Eq ->
+      (Some { b_value = v; b_incl = true }, Some { b_value = v; b_incl = true })
     | Predicate.Neq -> (None, None))
   | Predicate.Compare (op, Predicate.Const v, Predicate.Field a)
     when Attribute.equal a attribute -> (
     match op with
-    | Predicate.Le | Predicate.Lt -> (Some v, None)
-    | Predicate.Ge | Predicate.Gt -> (None, Some v)
-    | Predicate.Eq -> (Some v, Some v)
+    | Predicate.Le -> (Some { b_value = v; b_incl = true }, None)
+    | Predicate.Lt -> (Some { b_value = v; b_incl = false }, None)
+    | Predicate.Ge -> (None, Some { b_value = v; b_incl = true })
+    | Predicate.Gt -> (None, Some { b_value = v; b_incl = false })
+    | Predicate.Eq ->
+      (Some { b_value = v; b_incl = true }, Some { b_value = v; b_incl = true })
     | Predicate.Neq -> (None, None))
   | Predicate.Compare _ | Predicate.True | Predicate.False | Predicate.And _
   | Predicate.Or _ | Predicate.Not _ ->
     (None, None)
 
+(* Intersect bounds; at equal endpoints the strict bound wins. *)
 let tighter keep a b =
   match a, b with
   | None, other | other, None -> other
-  | Some x, Some y -> Some (if keep (Value.compare x y) then x else y)
+  | Some x, Some y ->
+    let c = Value.compare x.b_value y.b_value in
+    if c = 0 then Some { x with b_incl = x.b_incl && y.b_incl }
+    else Some (if keep c then x else y)
 
-let chosen_path db (s : Ast.select) =
-  match s.Ast.source with
-  | Ast.From_join _ -> Via_scan
-  | Ast.From_table name -> (
-    let t = find_table db name in
-    let schema = Storage.Table.schema t in
-    match s.Ast.where with
-    | None -> Via_scan
-    | Some condition -> (
-      let predicates, contains = Compile.split_condition schema condition in
-      (* Rank every probe candidate (CONTAINS constraints and equality
-         conjuncts) by posting-list length — cheapest first. *)
-      let candidates = contains @ List.filter_map equality_probe predicates in
-      match
-        List.sort
-          (fun (attr_a, val_a) (attr_b, val_b) ->
-            Int.compare
-              (Storage.Table.posting_size t attr_a val_a)
-              (Storage.Table.posting_size t attr_b val_b))
-          candidates
-      with
-      | (attribute, value) :: _ -> Via_index (attribute, value)
+let fold_bounds ordered predicates =
+  List.fold_left
+    (fun (lo, hi) predicate ->
+      let plo, phi = bounds_on ordered predicate in
+      (tighter (fun c -> c > 0) lo plo, tighter (fun c -> c < 0) hi phi))
+    (None, None) predicates
+
+let singleton_plan ~from_stats c =
+  {
+    plan_path = c.cand_path;
+    plan_rows = c.cand_rows;
+    plan_candidates = [];
+    plan_from_stats = from_stats;
+  }
+
+let cheapest candidates =
+  List.fold_left
+    (fun best c -> if c.cand_cost < best.cand_cost then c else best)
+    (List.hd candidates) (List.tl candidates)
+
+let plan_table db name (s : Ast.select) =
+  let entry = find_entry db name in
+  let t = entry.tbl in
+  let schema = Storage.Table.schema t in
+  match s.Ast.where with
+  | None -> singleton_plan ~from_stats:(entry.stats <> None) (scan_candidate t)
+  | Some condition -> (
+    let predicates, contains = Compile.split_condition schema condition in
+    let probes =
+      List.sort
+        (fun (attr_a, val_a) (attr_b, val_b) ->
+          Int.compare
+            (Storage.Table.posting_size t attr_a val_a)
+            (Storage.Table.posting_size t attr_b val_b))
+        (contains @ List.filter_map equality_probe predicates)
+    in
+    let range =
+      match Storage.Table.ordered_attribute t with
+      | None -> None
+      | Some ordered -> (
+        match fold_bounds ordered predicates with
+        | None, None -> None
+        | lo, hi -> Some (ordered, lo, hi))
+    in
+    match entry.stats with
+    | None -> (
+      (* Never analyzed: the legacy first-fit ranking — cheapest
+         posting probe, else a range on the ordered attribute, else a
+         scan. ANALYZE is what turns costing on. *)
+      match probes with
+      | (attribute, value) :: _ ->
+        singleton_plan ~from_stats:false (probe_candidate t None attribute value)
       | [] -> (
-        match Storage.Table.ordered_attribute t with
-        | None -> Via_scan
-        | Some ordered -> (
-          let lo, hi =
-            List.fold_left
-              (fun (lo, hi) predicate ->
-                let plo, phi = bounds_on ordered predicate in
-                (tighter (fun c -> c > 0) lo plo, tighter (fun c -> c < 0) hi phi))
-              (None, None) predicates
-          in
-          match lo, hi with
-          | None, None -> Via_scan
-          | lo, hi -> Via_range (ordered, lo, hi)))))
+        match range with
+        | Some (ordered, lo, hi) ->
+          singleton_plan ~from_stats:false (range_candidate t None ordered lo hi)
+        | None -> singleton_plan ~from_stats:false (scan_candidate t)))
+    | Some stats ->
+      (* Cost-based: every probe, the (possibly point) range on the
+         ordered attribute — so an equality competes as
+         [Via_range (Some v, Some v)] too — and the scan. Ties keep
+         list order: probes, range, scan. *)
+      let candidates =
+        List.map (fun (a, v) -> probe_candidate t (Some stats) a v) probes
+        @ (match range with
+          | Some (ordered, lo, hi) ->
+            [ range_candidate t (Some stats) ordered lo hi ]
+          | None -> [])
+        @ [ scan_candidate t ]
+      in
+      let best = cheapest candidates in
+      {
+        plan_path = best.cand_path;
+        plan_rows = best.cand_rows;
+        plan_candidates = candidates;
+        plan_from_stats = true;
+      })
+
+(* Mean number of distinct values one group carries on [attribute]:
+   total (value, group) occurrences over groups. *)
+let values_per_group stats attribute =
+  match Tablestats.find stats attribute with
+  | Some a when stats.Tablestats.s_rows > 0 ->
+    float_of_int a.Tablestats.a_distinct
+    *. a.Tablestats.a_mean_posting
+    /. float_of_int stats.Tablestats.s_rows
+  | Some _ | None -> 1.
+
+let mean_posting stats attribute =
+  match Tablestats.find stats attribute with
+  | Some a -> Float.max 1. a.Tablestats.a_mean_posting
+  | None -> 1.
+
+(* One orientation of the index nested-loop join: scan [outer], probe
+   the inner index once per outer value on [attribute]. *)
+let join_candidate db left_name right_name attribute side =
+  let outer_name, inner_name =
+    match side with
+    | `Left -> (left_name, right_name)
+    | `Right -> (right_name, left_name)
+  in
+  let outer = find_entry db outer_name and inner = find_entry db inner_name in
+  match outer.stats, inner.stats with
+  | Some os, Some is ->
+    let outer_rows = float_of_int (Storage.Table.cardinality outer.tbl) in
+    let inner_rows = float_of_int (Storage.Table.cardinality inner.tbl) in
+    let probes = outer_rows *. values_per_group os attribute in
+    let fanout = mean_posting is attribute in
+    Some
+      {
+        cand_path =
+          Via_join
+            {
+              jp_left = left_name;
+              jp_right = right_name;
+              jp_probe = Some attribute;
+              jp_outer = side;
+            };
+        cand_cost =
+          (scan_candidate outer.tbl).cand_cost
+          +. (probes *. (c_probe +. (fanout *. c_fetch)));
+        cand_rows = Float.min (probes *. fanout) (outer_rows *. inner_rows);
+      }
+  | _ -> None
+
+let plan_join db left_name right_name =
+  let le = find_entry db left_name and re = find_entry db right_name in
+  let lrows = float_of_int (Storage.Table.cardinality le.tbl) in
+  let rrows = float_of_int (Storage.Table.cardinality re.tbl) in
+  match
+    Schema.common (Storage.Table.schema le.tbl) (Storage.Table.schema re.tbl)
+  with
+  | [] ->
+    {
+      plan_path =
+        Via_join
+          {
+            jp_left = left_name;
+            jp_right = right_name;
+            jp_probe = None;
+            jp_outer = `Left;
+          };
+      plan_rows = lrows *. rrows;
+      plan_candidates = [];
+      plan_from_stats = false;
+    }
+  | common -> (
+    let costed =
+      List.concat_map
+        (fun attribute ->
+          List.filter_map
+            (fun side -> join_candidate db left_name right_name attribute side)
+            [ `Left; `Right ])
+        common
+    in
+    match costed with
+    | [] ->
+      (* Legacy (a side lacks stats): smaller table outer, first
+         common attribute as the probe. *)
+      {
+        plan_path =
+          Via_join
+            {
+              jp_left = left_name;
+              jp_right = right_name;
+              jp_probe = Some (List.hd common);
+              jp_outer = (if lrows <= rrows then `Left else `Right);
+            };
+        plan_rows = Float.max lrows rrows;
+        plan_candidates = [];
+        plan_from_stats = false;
+      }
+    | _ ->
+      let best = cheapest costed in
+      {
+        plan_path = best.cand_path;
+        plan_rows = best.cand_rows;
+        plan_candidates = costed;
+        plan_from_stats = true;
+      })
+
+let plan_uncached db (s : Ast.select) =
+  match s.Ast.source with
+  | Ast.From_table name -> plan_table db name s
+  | Ast.From_join (left_name, right_name) -> plan_join db left_name right_name
+
+(* LRU plan cache. The key is the select's structural value (pure
+   data, so generic hashing is sound) plus the statistics generation:
+   ANALYZE, DDL and auto-refresh bump the generation, so every cached
+   plan built against older statistics simply stops matching and ages
+   out of the fixed-capacity table. *)
+let plan db (s : Ast.select) =
+  let key = (s, db.generation) in
+  db.cache_tick <- db.cache_tick + 1;
+  match Hashtbl.find_opt db.cache key with
+  | Some slot ->
+    slot.slot_tick <- db.cache_tick;
+    Obs.Registry.incr (registry ()) "planner.cache_hit";
+    slot.slot_plan
+  | None ->
+    Obs.Registry.incr (registry ()) "planner.cache_miss";
+    let built = plan_uncached db s in
+    if Hashtbl.length db.cache >= cache_capacity then begin
+      let victim =
+        Hashtbl.fold
+          (fun k slot acc ->
+            match acc with
+            | Some (_, best) when best <= slot.slot_tick -> acc
+            | _ -> Some (k, slot.slot_tick))
+          db.cache None
+      in
+      match victim with
+      | Some (k, _) -> Hashtbl.remove db.cache k
+      | None -> ()
+    end;
+    Hashtbl.add db.cache key { slot_plan = built; slot_tick = db.cache_tick };
+    built
+
+let chosen_path db (s : Ast.select) = (plan db s).plan_path
 
 (* ------------------------------------------------------------------ *)
 (* Pull-based operator tree                                            *)
@@ -150,6 +506,7 @@ type op = {
   stats : Storage.Stats.t;
   span : Obs.Span.t;
   mutable rows_out : int;
+  mutable est : float option;  (* planner's row estimate, leaves only *)
   children : op list;
   mutable pull : unit -> Ntuple.t option;
 }
@@ -160,6 +517,7 @@ let make_op ?(children = []) label =
     stats = Storage.Stats.create ();
     span = Obs.Span.enter (Obs.Span.Operator label) label;
     rows_out = 0;
+    est = None;
     children;
     pull = (fun () -> None);
   }
@@ -202,17 +560,34 @@ let probe_op t name attribute value =
   op.pull <- (fun () -> (Lazy.force cursor) ());
   op
 
-let bound_text prefix = function
-  | Some value -> Value.to_string value
-  | None -> prefix
+let bound_text infinity = function
+  | Some b -> Value.to_string b.b_value
+  | None -> infinity
+
+let lo_bracket = function
+  | Some { b_incl = false; _ } -> "("
+  | Some _ | None -> "["
+
+let hi_bracket = function
+  | Some { b_incl = false; _ } -> ")"
+  | Some _ | None -> "]"
 
 let range_op t name attribute lo hi =
   let op =
     make_op
-      (Printf.sprintf "btree-range %s (%s in [%s, %s])" name
-         (Attribute.name attribute) (bound_text "-∞" lo) (bound_text "+∞" hi))
+      (Printf.sprintf "btree-range %s (%s in %s%s, %s%s)" name
+         (Attribute.name attribute) (lo_bracket lo) (bound_text "-∞" lo)
+         (bound_text "+∞" hi) (hi_bracket hi))
   in
-  let cursor = lazy (Storage.Table.range_cursor t ~stats:op.stats ?lo ?hi ()) in
+  let cursor =
+    lazy
+      (Storage.Table.range_cursor t ~stats:op.stats
+         ?lo:(Option.map (fun b -> b.b_value) lo)
+         ?hi:(Option.map (fun b -> b.b_value) hi)
+         ?lo_incl:(Option.map (fun b -> b.b_incl) lo)
+         ?hi_incl:(Option.map (fun b -> b.b_incl) hi)
+         ())
+  in
   op.pull <- (fun () -> (Lazy.force cursor) ());
   op
 
@@ -307,28 +682,28 @@ let canonicalize_op schema order meter child =
 
 let one_tuple schema nt = Nfr.add (Nfr.empty schema) nt
 
-(* Index nested-loop join: scan the smaller table (outer); for each
-   outer tuple probe the inner table's inverted index with every value
-   of one shared attribute, then join the fetched candidates directly
-   (pairwise component intersection), always in (left, right)
-   orientation so the result schema matches the logical evaluator's.
-   Falls back to a block nested loop (inner side buffered once) when
-   the schemas share no attribute — a Cartesian product. Distinct
+(* Index nested-loop join along a planned {!join_path}: scan the
+   planner's outer side; for each outer tuple probe the inner table's
+   inverted index with every value of the probe attribute, then join
+   the fetched candidates directly (pairwise component intersection),
+   always in (left, right) orientation so the result schema matches
+   the logical evaluator's. A [jp_probe = None] path is a block nested
+   loop (inner side buffered once) — a Cartesian product. Distinct
    probe values of one outer tuple can fetch the same inner tuple
    twice; a per-outer-tuple set keyed on structural {!Ntuple} equality
    dedups them (the heap decodes a fresh tuple per probe, so physical
    equality never fires). *)
-let join_op db meter left_name right_name =
-  let left = find_table db left_name and right = find_table db right_name in
+let join_op db meter jp =
+  let left = find_table db jp.jp_left and right = find_table db jp.jp_right in
   let schema_l = Storage.Table.schema left in
   let schema_r = Storage.Table.schema right in
   let joined_schema = Schema.union schema_l schema_r in
-  match Schema.common schema_l schema_r with
-  | [] ->
-    let outer_op = scan_op left left_name in
+  match jp.jp_probe with
+  | None ->
+    let outer_op = scan_op left jp.jp_left in
     let op =
       make_op ~children:[ outer_op ]
-        (Printf.sprintf "product %s × %s" left_name right_name)
+        (Printf.sprintf "product %s × %s" jp.jp_left jp.jp_right)
     in
     let inner = lazy (
       let collected = ref [] in
@@ -359,18 +734,20 @@ let join_op db meter left_name right_name =
     in
     op.pull <- next;
     (op, joined_schema)
-  | probe_attribute :: _ ->
+  | Some probe_attribute ->
     let outer, outer_name, inner, flipped =
-      if Storage.Table.cardinality left <= Storage.Table.cardinality right then
-        (left, left_name, right, false)
-      else (right, right_name, left, true)
+      match jp.jp_outer with
+      | `Left -> (left, jp.jp_left, right, false)
+      | `Right -> (right, jp.jp_right, left, true)
     in
     let position = Schema.position (Storage.Table.schema outer) probe_attribute in
     let outer_op = scan_op outer outer_name in
     let op =
       make_op ~children:[ outer_op ]
-        (Printf.sprintf "inlj %s ⋈ %s (probe %s)" left_name right_name
-           (Attribute.name probe_attribute))
+        (Printf.sprintf "inlj %s ⋈ %s (probe %s, outer %s)" jp.jp_left
+           jp.jp_right
+           (Attribute.name probe_attribute)
+           outer_name)
     in
     let queue = Queue.create () in
     let rec next () =
@@ -418,6 +795,8 @@ let join_op db meter left_name right_name =
 
 type pipeline = {
   root : op;
+  leaf : op;  (* the access-path operator the plan's estimate is for *)
+  the_plan : plan;
   schema : Schema.t;
   order : Attribute.t list;
   predicates : Predicate.t list;  (* non-empty => collector re-canonicalizes *)
@@ -426,6 +805,7 @@ type pipeline = {
 
 let build_pipeline db (s : Ast.select) =
   let meter = meter_create () in
+  let the_plan = plan db s in
   let with_filter schema source_op =
     match s.Ast.where with
     | None -> ([], source_op)
@@ -444,19 +824,35 @@ let build_pipeline db (s : Ast.select) =
     let schema = Storage.Table.schema t in
     let order = Storage.Table.nest_order t in
     let source_op =
-      match chosen_path db s with
+      match the_plan.plan_path with
       | Via_scan -> scan_op t name
       | Via_index (attribute, value) -> probe_op t name attribute value
       | Via_range (attribute, lo, hi) -> range_op t name attribute lo hi
+      | Via_join _ -> assert false
     in
+    source_op.est <- Some the_plan.plan_rows;
     let predicates, root = with_filter schema source_op in
-    { root; schema; order; predicates; meter }
-  | Ast.From_join (left_name, right_name) ->
-    let join, joined_schema = join_op db meter left_name right_name in
+    { root; leaf = source_op; the_plan; schema; order; predicates; meter }
+  | Ast.From_join _ ->
+    let jp =
+      match the_plan.plan_path with
+      | Via_join jp -> jp
+      | Via_scan | Via_index _ | Via_range _ -> assert false
+    in
+    let join, joined_schema = join_op db meter jp in
+    join.est <- Some the_plan.plan_rows;
     let order = Schema.attributes joined_schema in
     let canonical = canonicalize_op joined_schema order meter join in
     let predicates, root = with_filter joined_schema canonical in
-    { root; schema = joined_schema; order; predicates; meter }
+    {
+      root;
+      leaf = join;
+      the_plan;
+      schema = joined_schema;
+      order;
+      predicates;
+      meter;
+    }
 
 type executed = {
   shaped : Nfr.t;  (* after projection / NEST / UNNEST *)
@@ -512,6 +908,14 @@ let run_select db (s : Ast.select) =
   in
   finish_ops root;
   db.last_ops <- profile_ops root;
+  (* Estimation quality: the plan's row estimate against what the
+     access-path operator actually emitted, as a relative-error
+     histogram (and the slow-query log's est-vs-actual column). *)
+  let actual = pipeline.leaf.rows_out in
+  db.last_est <- Some (pipeline.the_plan.plan_rows, actual);
+  Obs.Registry.observe (registry ()) "planner.est_error"
+    (Float.abs (pipeline.the_plan.plan_rows -. float_of_int actual)
+    /. float_of_int (max 1 actual));
   { shaped; filtered; root; peak = pipeline.meter.peak }
 
 let select_for_condition table_name condition =
@@ -542,6 +946,7 @@ type op_metrics = {
   op_label : string;
   op_depth : int;
   op_rows : int;
+  op_est : float option;
   op_pages : int;
   op_records : int;
   op_bytes : int;
@@ -560,6 +965,7 @@ let rec flatten_ops depth op =
     op_label = op.label;
     op_depth = depth;
     op_rows = op.rows_out;
+    op_est = op.est;
     op_pages = op.stats.Storage.Stats.pages_read;
     op_records = op.stats.Storage.Stats.records_read;
     op_bytes = op.stats.Storage.Stats.bytes_read;
@@ -590,19 +996,24 @@ let stats_of_report report =
     report.operators;
   total
 
+let est_text = function
+  | None -> "-"
+  | Some est -> Printf.sprintf "%.0f" est
+
 let render_analyze report =
   let buffer = Buffer.create 256 in
   let line fmt =
     Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
   in
   line "physical plan (executed):";
-  line "  %-44s %8s %7s %9s %8s %9s" "operator" "rows" "pages" "records"
-    "probes" "ms";
+  line "  %-44s %8s %8s %7s %9s %8s %9s" "operator" "rows" "est" "pages"
+    "records" "probes" "ms";
   List.iter
     (fun m ->
-      line "  %-44s %8d %7d %9d %8d %9.3f"
+      line "  %-44s %8d %8s %7d %9d %8d %9.3f"
         (String.make (2 * m.op_depth) ' ' ^ m.op_label)
-        m.op_rows m.op_pages m.op_records m.op_probes (m.op_seconds *. 1000.))
+        m.op_rows (est_text m.op_est) m.op_pages m.op_records m.op_probes
+        (m.op_seconds *. 1000.))
     report.operators;
   line "  peak live tuples: %d" report.peak_live;
   (match report.analyzed with
@@ -612,23 +1023,52 @@ let render_analyze report =
   | Eval.Done _ -> ());
   String.trim (Buffer.contents buffer)
 
+let path_text = function
+  | Via_scan -> "heap scan"
+  | Via_index (attribute, value) ->
+    Printf.sprintf "inverted-index probe %s ∋ %s" (Attribute.name attribute)
+      (Value.to_string value)
+  | Via_range (attribute, lo, hi) ->
+    Printf.sprintf "B+-tree range %s in %s%s, %s%s" (Attribute.name attribute)
+      (lo_bracket lo) (bound_text "-∞" lo) (bound_text "+∞" hi) (hi_bracket hi)
+  | Via_join jp -> (
+    match jp.jp_probe with
+    | None -> Printf.sprintf "nested-loop product %s × %s" jp.jp_left jp.jp_right
+    | Some attribute ->
+      let outer, inner =
+        match jp.jp_outer with
+        | `Left -> (jp.jp_left, jp.jp_right)
+        | `Right -> (jp.jp_right, jp.jp_left)
+      in
+      Printf.sprintf
+        "index nested-loop join %s ⋈ %s (outer %s, probe %s into %s)"
+        jp.jp_left jp.jp_right outer
+        (Attribute.name attribute)
+        inner)
+
 let explain_text db (s : Ast.select) =
+  let p = plan db s in
   let buffer = Buffer.create 128 in
   let line fmt =
     Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
   in
   line "physical plan:";
-  (match chosen_path db s with
-  | Via_scan -> line "  access: heap scan"
-  | Via_index (attribute, value) ->
-    line "  access: inverted-index probe %s ∋ %s" (Attribute.name attribute)
-      (Value.to_string value)
-  | Via_range (attribute, lo, hi) ->
-    line "  access: B+-tree range %s in [%s, %s]" (Attribute.name attribute)
-      (bound_text "-∞" lo) (bound_text "+∞" hi));
+  line "  access: %s" (path_text p.plan_path);
+  line "  est rows: %.1f%s" p.plan_rows
+    (if p.plan_from_stats then "" else " (no statistics; run ANALYZE)");
+  if p.plan_candidates <> [] then begin
+    line "  candidates:";
+    List.iter
+      (fun c ->
+        line "    %-52s cost %10.1f  est rows %10.1f%s" (path_text c.cand_path)
+          c.cand_cost c.cand_rows
+          (if c.cand_path = p.plan_path then "  (chosen)" else ""))
+      p.plan_candidates
+  end;
   (match s.Ast.where with
   | None -> ()
-  | Some condition -> line "  residual filter: %s" (Format.asprintf "%a" Ast.pp_condition condition));
+  | Some condition ->
+    line "  residual filter: %s" (Format.asprintf "%a" Ast.pp_condition condition));
   (match s.Ast.columns with
   | None -> ()
   | Some names -> line "  project %s" (String.concat "," names));
@@ -675,34 +1115,40 @@ let rec exec db statement =
       if not (String_map.mem name db.tables) then error "unknown table %s" name;
       Storage.Table.close (find_table db name);
       db.tables <- String_map.remove name db.tables;
+      bump_generation db;
       Eval.Done (Printf.sprintf "table %s dropped" name)
     | Ast.Insert (name, rows) ->
-      let t = find_table db name in
-      let schema = Storage.Table.schema t in
+      let entry = find_entry db name in
+      let schema = Storage.Table.schema entry.tbl in
       let inserted =
         List.fold_left
           (fun count row ->
-            if Storage.Table.insert t (tuple_of_row schema row) then count + 1
+            if Storage.Table.insert entry.tbl (tuple_of_row schema row) then
+              count + 1
             else count)
           0 rows
       in
+      note_writes db entry inserted;
       Eval.Done (Printf.sprintf "%d row(s) inserted" inserted)
     | Ast.Delete_values (name, row) ->
-      let t = find_table db name in
-      let tuple = tuple_of_row (Storage.Table.schema t) row in
-      (match Storage.Table.delete t tuple with
-      | () -> Eval.Done "1 row deleted"
+      let entry = find_entry db name in
+      let tuple = tuple_of_row (Storage.Table.schema entry.tbl) row in
+      (match Storage.Table.delete entry.tbl tuple with
+      | () ->
+        note_writes db entry 1;
+        Eval.Done "1 row deleted"
       | exception Update.Not_in_relation ->
         error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
     | Ast.Delete_where (name, condition) ->
-      let t = find_table db name in
+      let entry = find_entry db name in
       let victims, search = matching_tuples db name condition in
       add_op_stats stats search;
-      List.iter (fun tuple -> Storage.Table.delete t tuple) victims;
+      List.iter (fun tuple -> Storage.Table.delete entry.tbl tuple) victims;
+      note_writes db entry (List.length victims);
       Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
     | Ast.Update_set (name, assignments, condition) ->
-      let t = find_table db name in
-      let schema = Storage.Table.schema t in
+      let entry = find_entry db name in
+      let schema = Storage.Table.schema entry.tbl in
       let resolved =
         List.map
           (fun (column, literal) ->
@@ -729,10 +1175,11 @@ let rec exec db statement =
         (fun victim ->
           let image = image_of victim in
           if not (Tuple.equal image victim) then begin
-            ignore (Storage.Table.insert t image);
-            Storage.Table.delete t victim
+            ignore (Storage.Table.insert entry.tbl image);
+            Storage.Table.delete entry.tbl victim
           end)
         victims;
+      note_writes db entry (List.length victims);
       Eval.Done (Printf.sprintf "%d row(s) updated" (List.length victims))
     | Ast.Select s ->
       let executed = run_select db s in
@@ -753,6 +1200,12 @@ let rec exec db statement =
       let report = analyze_select db s in
       Storage.Stats.add stats (stats_of_report report);
       Eval.Done (render_analyze report)
+    | Ast.Analyze name ->
+      let entry = find_entry db name in
+      let collected = collect_stats entry in
+      bump_generation db;
+      Obs.Registry.incr (registry ()) "planner.analyze";
+      Eval.Done (Tablestats.summary name collected)
     | Ast.Trace inner ->
       (* Run the statement under a trace scope — reusing the server's
          ambient one when present — and return its spans as rows. *)

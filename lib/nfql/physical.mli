@@ -10,10 +10,32 @@
       probes the inverted index and decodes only matching groups;
     - {b range}: comparison conjuncts on the table's ordered attribute
       become one B+-tree range scan, open-ended when only one bound
-      exists ([WHERE x > 5]);
+      exists ([WHERE x > 5]) and strict at a bound produced by [<]/[>]
+      (the boundary group is never fetched);
     - {b scan}: everything else streams the heap one record per pull,
       so a filtered scan holds O(matches) decoded tuples, not
       O(table).
+
+    {2 Planning}
+
+    Which path runs is decided by a cost model fed by {!Tablestats}
+    (collected by [ANALYZE <table>], refreshed automatically after
+    enough writes). With statistics, every candidate — each posting
+    probe, the B+-range on the ordered attribute (an equality conjunct
+    on it competes as the point range [[v, v]]), the heap scan, and
+    for a join both orientations over every shared attribute — is
+    priced and the cheapest wins; row estimates use the paper's Def. 6
+    cardinality class as a selectivity prior (a fixed attribute's
+    value selects at most one group; otherwise the posting
+    distribution). Without statistics the legacy first-fit ranking
+    applies (cheapest posting probe, else range, else scan).
+
+    Plans are cached in a fixed-capacity LRU keyed on the select's
+    structure plus the statistics {!generation}; ANALYZE, DDL and
+    auto-refresh bump the generation so stale plans miss. The cache
+    charges [planner.cache_hit] / [planner.cache_miss] counters and
+    each executed select observes its relative estimation error in the
+    [planner.est_error] histogram on {!Obs.Registry.global}.
 
     Whatever the path, tuples are filtered with the same semantics as
     {!Eval} — access paths are sound pre-filters (they never lose a
@@ -36,12 +58,44 @@ open Relational
 
 type db
 
-(** Which access path a SELECT used (surfaced by {!explain}). Range
+(** One end of a range, with inclusivity: [{b_value = v; b_incl =
+    false}] excludes the boundary group itself. *)
+type bound = { b_value : Value.t; b_incl : bool }
+
+(** A planned join: which sides, which shared attribute the inner
+    index is probed on ([None] — no shared attribute — is a Cartesian
+    product), and which side is scanned as the outer. *)
+type join_path = {
+  jp_left : string;
+  jp_right : string;
+  jp_probe : Attribute.t option;
+  jp_outer : [ `Left | `Right ];
+}
+
+(** Which access path a SELECT uses (surfaced by {!explain}). Range
     bounds are optional: [None] means that side is open. *)
 type access_path =
   | Via_scan
   | Via_index of Attribute.t * Value.t
-  | Via_range of Attribute.t * Value.t option * Value.t option
+  | Via_range of Attribute.t * bound option * bound option
+  | Via_join of join_path
+
+(** One priced alternative the planner considered. *)
+type candidate = {
+  cand_path : access_path;
+  cand_cost : float;  (** abstract cost units (1.0 = one page fetch) *)
+  cand_rows : float;  (** estimated NFR tuples out of the access path *)
+}
+
+(** The planner's decision for one select. [plan_candidates] is the
+    full priced table when statistics informed the choice, empty on
+    the legacy (never-ANALYZEd) path. *)
+type plan = {
+  plan_path : access_path;
+  plan_rows : float;
+  plan_candidates : candidate list;
+  plan_from_stats : bool;
+}
 
 val create : unit -> db
 
@@ -49,6 +103,18 @@ val add_table : db -> string -> Storage.Table.t -> unit
 (** Register an existing table. @raise Compile.Error on duplicates. *)
 
 val table : db -> string -> Storage.Table.t option
+
+val table_stats : db -> string -> Tablestats.t option
+(** Planner statistics for the table, if it has been ANALYZEd. *)
+
+val generation : db -> int
+(** Statistics generation — bumped by ANALYZE, DDL and auto-refresh;
+    part of every plan-cache key. *)
+
+val set_auto_analyze_threshold : db -> int -> unit
+(** Writes (inserted/deleted/updated tuples) after which an analyzed
+    table's statistics are re-collected automatically. Default 128;
+    clamped to at least 1. *)
 
 val exec : db -> Ast.statement -> Eval.result * Storage.Stats.t
 (** Run one statement, returning the result and the access-path
@@ -58,17 +124,31 @@ val exec : db -> Ast.statement -> Eval.result * Storage.Stats.t
 
 val exec_string : db -> string -> (Eval.result * Storage.Stats.t) list
 
+val plan : db -> Ast.select -> plan
+(** The plan {!exec} would run for this SELECT, through the LRU plan
+    cache (charging [planner.cache_hit] / [planner.cache_miss]). *)
+
+val plan_uncached : db -> Ast.select -> plan
+(** {!plan} bypassing the cache — the bench's baseline. *)
+
 val chosen_path : db -> Ast.select -> access_path
-(** The access path {!exec} would choose for this SELECT. *)
+(** [(plan db s).plan_path]. *)
 
 val explain : db -> Ast.select -> string
-(** Plan text including the chosen access path (does not run the
-    query; use [EXPLAIN ANALYZE] / {!analyze_select} for that). *)
+(** Plan text: the chosen access path, its row estimate, the priced
+    candidate table when statistics exist, and the residual filter
+    (does not run the query; use [EXPLAIN ANALYZE] /
+    {!analyze_select} for that). *)
 
 val last_profile : db -> (string * int) list
 (** Pre-order [(label, rows_out)] of the most recently executed
     operator tree — what the server's slow-query log snapshots. Empty
     until a SELECT/COUNT/DML-search has run. *)
+
+val last_estimate : db -> (float * int) option
+(** [(estimated, actual)] access-path rows of the most recently
+    executed select — the slow-query log's est-vs-actual column.
+    [None] until a select has run. *)
 
 (** {2 Per-operator execution metrics}
 
@@ -82,6 +162,8 @@ type op_metrics = {
   op_label : string;
   op_depth : int;
   op_rows : int;  (** tuples this operator emitted *)
+  op_est : float option;
+      (** the planner's row estimate — access-path leaves only *)
   op_pages : int;
   op_records : int;
   op_bytes : int;

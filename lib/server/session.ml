@@ -30,6 +30,9 @@ type slow_entry = {
   slow_hash : string;
   slow_ops : (string * int) list;
   slow_plan : string option;
+  slow_est : (float * int) option;
+      (* planner est vs actual access-path rows — a slow query whose
+         estimate was badly off points at stale statistics *)
 }
 
 type context = {
@@ -51,8 +54,11 @@ let declare_series m =
       "queries.total"; "queries.slow"; "connections.accepted";
       "connections.rejected"; "connections.closed"; "connections.reaped";
       "frames.in"; "frames.out"; "wal.append_total"; "wal.fsync_total";
+      "planner.cache_hit"; "planner.cache_miss"; "planner.analyze";
+      "planner.auto_analyze";
     ];
   Metrics.declare_histogram m "query.seconds";
+  Metrics.declare_histogram m "planner.est_error";
   Metrics.declare_histogram m "wal.fsync.seconds";
   Metrics.set_gauge m "connections.open" 0.
 
@@ -90,6 +96,11 @@ let render_slow_entry buffer entry =
        entry.slow_trace
        (String.sub entry.slow_hash 0 (min 12 (String.length entry.slow_hash)))
        entry.slow_text);
+  (match entry.slow_est with
+  | None -> ()
+  | Some (est, actual) ->
+    Buffer.add_string buffer
+      (Printf.sprintf "            est rows: %.1f, actual: %d\n" est actual));
   (match entry.slow_ops with
   | [] -> ()
   | ops ->
@@ -200,7 +211,8 @@ let plan_snapshot db = function
   | Nfql.Ast.Trace (Nfql.Ast.Select s) -> Some (Nfql.Physical.explain db s)
   | Nfql.Ast.Create _ | Nfql.Ast.Drop _ | Nfql.Ast.Insert _
   | Nfql.Ast.Delete_values _ | Nfql.Ast.Delete_where _ | Nfql.Ast.Update_set _
-  | Nfql.Ast.Select_count _ | Nfql.Ast.Trace _ | Nfql.Ast.Show _ ->
+  | Nfql.Ast.Select_count _ | Nfql.Ast.Analyze _ | Nfql.Ast.Trace _
+  | Nfql.Ast.Show _ ->
     None
 
 let run_query t source =
@@ -259,6 +271,7 @@ let run_query t source =
                   slow_hash = Digest.to_hex (Digest.string text);
                   slow_ops = Nfql.Physical.last_profile ctx.db;
                   slow_plan = plan_snapshot ctx.db statement;
+                  slow_est = Nfql.Physical.last_estimate ctx.db;
                 }
             end;
             send t (Protocol.Stats stats);

@@ -40,7 +40,10 @@ val default_config : config
     (0 when tracing was off — nothing to correlate), [slow_hash] an
     MD5 of the statement text for grouping repeats, [slow_ops] the
     executed operator tree's pre-order [(label, rows_out)] profile,
-    [slow_plan] an EXPLAIN snapshot for select-carrying statements. *)
+    [slow_plan] an EXPLAIN snapshot for select-carrying statements,
+    [slow_est] the planner's estimated vs actual access-path rows for
+    the last select the statement ran — a slow query whose estimate
+    was badly off points at stale statistics. *)
 type slow_entry = {
   slow_text : string;
   slow_seconds : float;
@@ -48,6 +51,7 @@ type slow_entry = {
   slow_hash : string;
   slow_ops : (string * int) list;
   slow_plan : string option;
+  slow_est : (float * int) option;
 }
 
 (** State shared by every session of one server. *)

@@ -154,17 +154,28 @@ let leftmost t =
   in
   descend t.root
 
-let range_open t ~stats ?lo ?hi () =
+let range_open t ~stats ?lo ?hi ?(lo_incl = true) ?(hi_incl = true) () =
   let start =
     match lo with
     | Some lo -> find_leaf t.root lo
     | None -> leftmost t
   in
+  (* Exclusive bounds cut the boundary key itself, so its posting list
+     is never returned — the caller pays no heap fetches for a group a
+     strict comparison would discard anyway. *)
   let below_lo key =
-    match lo with Some lo -> Value.compare key lo < 0 | None -> false
+    match lo with
+    | Some lo ->
+      let c = Value.compare key lo in
+      if lo_incl then c < 0 else c <= 0
+    | None -> false
   in
   let above_hi key =
-    match hi with Some hi -> Value.compare key hi > 0 | None -> false
+    match hi with
+    | Some hi ->
+      let c = Value.compare key hi in
+      if hi_incl then c > 0 else c >= 0
+    | None -> false
   in
   let rec walk leaf acc =
     stats.Stats.index_probes <- stats.Stats.index_probes + 1;

@@ -37,11 +37,16 @@ val range_open :
   stats:Stats.t ->
   ?lo:Value.t ->
   ?hi:Value.t ->
+  ?lo_incl:bool ->
+  ?hi_incl:bool ->
   unit ->
   (Value.t * Heap.rid list) list
 (** {!range} with either bound optional: a missing [lo] starts at the
     leftmost leaf, a missing [hi] walks the leaf chain to its end —
-    the open-ended ranges one-sided comparisons compile to. *)
+    the open-ended ranges one-sided comparisons compile to.
+    [lo_incl]/[hi_incl] (default [true]) make a present bound strict
+    when [false]: the boundary key's postings are excluded, so strict
+    comparisons ([x > 5]) never charge the boundary group's pages. *)
 
 val keys : t -> Value.t list
 (** All keys in ascending order. *)

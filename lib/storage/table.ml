@@ -291,13 +291,13 @@ let lookup_cursor t ~stats attribute value =
   in
   pull
 
-let range_cursor t ~stats ?lo ?hi () =
+let range_cursor t ~stats ?lo ?hi ?lo_incl ?hi_incl () =
   match t.btree, t.ordered_on with
   | Some tree, Some _position ->
     (* The leaf walk (keys and rid lists) happens up front; records are
        fetched and decoded lazily, one tuple per pull. A rid posted
        under several in-range keys is returned once. *)
-    let postings = ref (Btree.range_open tree ~stats ?lo ?hi ()) in
+    let postings = ref (Btree.range_open tree ~stats ?lo ?hi ?lo_incl ?hi_incl ()) in
     let current = ref [] in
     let seen = ref Rid_set.empty in
     let rec pull () =

@@ -170,12 +170,16 @@ val range_cursor :
   stats:Stats.t ->
   ?lo:Value.t ->
   ?hi:Value.t ->
+  ?lo_incl:bool ->
+  ?hi_incl:bool ->
   unit ->
   unit ->
   Ntuple.t option
 (** Streaming {!range}, with either bound optional (open-ended
     one-sided ranges walk the leaf chain from the leftmost leaf or to
-    its end). Each matching tuple is returned once.
+    its end) and either bound strict when its [_incl] flag is [false]
+    (the boundary group is skipped in the B+-tree, never fetched).
+    Each matching tuple is returned once.
     @raise Invalid_argument when the table has no ordered index. *)
 
 val live_records : t -> int
