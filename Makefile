@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench txntest txnbench bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -56,6 +56,22 @@ plannertest:
 # Zipf-skewed table (writes BENCH_planner.json).
 plannerbench:
 	dune exec bench/main.exe -- planner
+
+# Transactions: torn-transaction crash matrix + byte-identical
+# rollback, concurrent-session isolation/conflict tests, differential
+# BEGIN/COMMIT/ROLLBACK coverage, CLI --txn exit codes, and the
+# committed-writes-only planner regressions.
+txntest:
+	CRASH_SEED=$(CRASH_SEED) dune exec test/test_crash.exe -- test txn
+	dune exec test/test_server.exe -- test txn
+	dune exec test/test_physical.exe -- test differential
+	dune exec test/test_cli.exe -- test txn
+	dune exec test/test_planner.exe -- test cache
+
+# Transaction micro-bench: autocommit vs batched-transaction write
+# throughput and abort overhead (writes BENCH_txn.json).
+txnbench:
+	dune exec bench/main.exe -- txn
 
 bench:
 	dune exec bench/main.exe

@@ -317,5 +317,6 @@ let () =
   if mode = "netsmoke" then Netbench.run ~conns:4 ~ops:300 ();
   if mode = "obs" then Obsbench.run ();
   if mode = "planner" then Plannerbench.run ();
+  if mode = "txn" then Txnbench.run ();
   if mode = "timings" || mode = "all" then run_timings ();
   Format.printf "@.done.@."

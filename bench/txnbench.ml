@@ -1,0 +1,95 @@
+(* Transaction micro-bench: autocommit vs batched-transaction write
+   throughput and the cost of aborting, written to BENCH_txn.json.
+
+   Three runs over identical WAL-backed tables: [rows] single-statement
+   autocommit inserts (one durable commit record each), the same
+   inserts inside one BEGIN/COMMIT (buffered in the session overlay,
+   one Txn_begin + per-op + Txn_commit group at the end), and the same
+   inserts followed by ROLLBACK (the overlay is discarded; nothing
+   reaches the WAL or the shared table). The batched run prices the
+   overlay's buffer-then-reapply cost against per-statement commits;
+   the abort run prices the work a doomed transaction wastes and how
+   cheap the discard itself is. *)
+
+open Relational
+
+let schema2 = Schema.strings [ "K"; "V" ]
+
+let fresh_db ~wal_path () =
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t"
+    (Storage.Table.create ~wal_path ~order:(Schema.attributes schema2) schema2);
+  db
+
+let insert_stmt i = Printf.sprintf "insert into t values ('k%04d', 'v%04d')" i i
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let exec db source = ignore (Nfql.Physical.exec_string db source)
+
+let with_wal f =
+  let wal_path = Filename.temp_file "txnbench" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove wal_path with Sys_error _ -> ())
+    (fun () -> f wal_path)
+
+let run () =
+  let rows = 400 in
+  (* Autocommit: every insert is its own durable commit. *)
+  let (), autocommit_s =
+    with_wal (fun wal_path ->
+        let db = fresh_db ~wal_path () in
+        timed (fun () ->
+            for i = 1 to rows do
+              exec db (insert_stmt i)
+            done))
+  in
+  (* One transaction: buffer everything, commit once. *)
+  let commit_s, txn_total_s =
+    with_wal (fun wal_path ->
+        let db = fresh_db ~wal_path () in
+        timed (fun () ->
+            exec db "begin";
+            for i = 1 to rows do
+              exec db (insert_stmt i)
+            done;
+            let (), commit_s = timed (fun () -> exec db "commit") in
+            commit_s))
+  in
+  (* Same work, then throw it away. *)
+  let rollback_s, abort_total_s =
+    with_wal (fun wal_path ->
+        let db = fresh_db ~wal_path () in
+        timed (fun () ->
+            exec db "begin";
+            for i = 1 to rows do
+              exec db (insert_stmt i)
+            done;
+            let (), rollback_s = timed (fun () -> exec db "rollback") in
+            rollback_s))
+  in
+  let ops_per_s elapsed = float_of_int rows /. elapsed in
+  let batch_speedup = autocommit_s /. txn_total_s in
+  (* Share of a doomed transaction's wall time spent on the discard
+     itself (the rest is the buffered work it wasted). *)
+  let abort_overhead = rollback_s /. abort_total_s in
+  Format.printf "autocommit: %d inserts in %.3f s (%.0f ops/s)@." rows
+    autocommit_s (ops_per_s autocommit_s);
+  Format.printf
+    "batched txn: %d inserts in %.3f s (%.0f ops/s, %.1fx), commit %.3f s@."
+    rows txn_total_s (ops_per_s txn_total_s) batch_speedup commit_s;
+  Format.printf
+    "abort: %d buffered inserts + rollback in %.3f s, rollback itself %.6f s@."
+    rows abort_total_s rollback_s;
+  Bench_out.write "txn"
+    (Printf.sprintf
+       "{\"rows\":%d,\"autocommit_s\":%.6f,\"autocommit_ops\":%.0f,\
+        \"txn_total_s\":%.6f,\"txn_commit_s\":%.6f,\"txn_ops\":%.0f,\
+        \"batch_speedup\":%.2f,\"abort_total_s\":%.6f,\"rollback_s\":%.6f,\
+        \"abort_overhead_ratio\":%.4f}"
+       rows autocommit_s (ops_per_s autocommit_s) txn_total_s commit_s
+       (ops_per_s txn_total_s) batch_speedup abort_total_s rollback_s
+       abort_overhead)

@@ -404,12 +404,14 @@ let split_load_spec spec =
 type sql_backend = {
   load_table : string -> Relation.t -> unit;
   run : string -> (unit, string) result;
+  in_txn : unit -> bool;
 }
 
 let guard_nfql run source =
   match run source with
   | () -> Ok ()
   | exception Nfql.Eval.Eval_error msg -> Error msg
+  | exception Nfql.Physical.Conflict msg -> Error ("conflict: " ^ msg)
   | exception Nfql.Parser.Parse_error (msg, offset) ->
     Error (Printf.sprintf "parse error at offset %d: %s" offset msg)
   | exception Nfql.Lexer.Lex_error (msg, offset) ->
@@ -427,6 +429,7 @@ let logical_backend () =
           List.iter
             (fun result -> Format.printf "%a@." Nfql.Eval.pp_result result)
             (Nfql.Eval.exec_string db source));
+    in_txn = (fun () -> Nfql.Eval.in_txn db);
   }
 
 let physical_backend () =
@@ -443,6 +446,8 @@ let physical_backend () =
               Format.printf "%a@.-- cost: %a@." Nfql.Eval.pp_result result
                 Storage.Stats.pp stats)
             (Nfql.Physical.exec_string db source));
+    in_txn =
+      (fun () -> Nfql.Physical.in_txn (Nfql.Physical.default_session db));
   }
 
 let physical_arg =
@@ -462,6 +467,32 @@ let make_backend physical loads =
     loads;
   backend
 
+let txn_arg =
+  Arg.(
+    value & flag
+    & info [ "txn" ]
+        ~doc:
+          "Wrap the whole run in one transaction: BEGIN first, COMMIT only \
+           if every statement succeeded, ROLLBACK (and exit non-zero) on \
+           the first failure — all-or-nothing scripts")
+
+(* --txn plumbing shared by sql and piped repl: open the transaction
+   up front, and settle it according to how the body went. A script
+   that COMMITs or ROLLBACKs explicitly has already settled — the
+   in_txn probe keeps us from double-closing. *)
+let txn_begin backend =
+  match backend.run "begin" with
+  | Ok () -> ()
+  | Error msg -> or_die (Error msg)
+
+let txn_settle backend ~failed =
+  if backend.in_txn () then
+    if failed then ignore (backend.run "rollback")
+    else
+      match backend.run "commit" with
+      | Ok () -> ()
+      | Error msg -> or_die (Error msg)
+
 let sql_cmd =
   let exec_arg =
     Arg.(
@@ -476,7 +507,7 @@ let sql_cmd =
       & opt (some file) None
       & info [ "script" ] ~docv:"FILE" ~doc:"Run the NFQL script in FILE")
   in
-  let run loads script script_file physical =
+  let run loads script script_file physical txn =
     let backend = make_backend physical loads in
     let source =
       match (script, script_file) with
@@ -486,21 +517,30 @@ let sql_cmd =
         with Sys_error msg -> or_die (Error msg))
       | None, None -> In_channel.input_all In_channel.stdin
     in
+    if txn then txn_begin backend;
     (* Batch mode: any failed statement must make the run exit
        non-zero — scripts drive CI and cron jobs, where a printed
-       error with exit 0 is a silent failure. *)
-    match backend.run source with Ok () -> () | Error msg -> or_die (Error msg)
+       error with exit 0 is a silent failure. Under --txn the failure
+       also rolls the whole script back first. *)
+    match backend.run source with
+    | Ok () -> if txn then txn_settle backend ~failed:false
+    | Error msg ->
+      if txn then txn_settle backend ~failed:true;
+      or_die (Error msg)
   in
   Cmd.v
     (Cmd.info "sql" ~doc:"Run an NFQL script against loaded CSV tables")
-    Term.(const run $ load_spec_arg $ exec_arg $ script_arg $ physical_arg)
+    Term.(
+      const run $ load_spec_arg $ exec_arg $ script_arg $ physical_arg
+      $ txn_arg)
 
 let repl_cmd =
-  let run loads physical =
+  let run loads physical txn =
     let backend = make_backend physical loads in
     let interactive = Unix.isatty Unix.stdin in
     if interactive then
       Format.printf "nfr_cli repl — NFQL statements; ctrl-d to quit@.";
+    if txn then txn_begin backend;
     let failures = ref 0 in
     let rec loop () =
       if interactive then Format.printf "nfql> @?";
@@ -512,10 +552,17 @@ let repl_cmd =
         | Ok () -> ()
         | Error msg ->
           incr failures;
-          Format.printf "error: %s@." msg);
+          Format.printf "error: %s@." msg;
+          (* Piped --txn is an all-or-nothing script: the first
+             failure rolls everything back and stops reading. *)
+          if txn && not interactive then begin
+            txn_settle backend ~failed:true;
+            or_die (Error msg)
+          end);
         loop ()
     in
     loop ();
+    if txn then txn_settle backend ~failed:(!failures > 0);
     (* Piped-script (file) mode must not swallow failures into exit 0;
        interactively, errors were already shown and handled. *)
     if (not interactive) && !failures > 0 then
@@ -524,7 +571,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive NFQL shell")
-    Term.(const run $ load_spec_arg $ physical_arg)
+    Term.(const run $ load_spec_arg $ physical_arg $ txn_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / connect                                                     *)
@@ -552,6 +599,16 @@ let serve_cmd =
       value & opt float Server.Session.default_config.Server.Session.idle_timeout
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Reap connections silent for this long")
+  in
+  let idle_in_txn_arg =
+    Arg.(
+      value
+      & opt float
+          Server.Session.default_config.Server.Session.idle_in_txn_timeout
+      & info [ "idle-in-txn-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reap connections idling inside an open transaction for this \
+             long (the transaction is rolled back)")
   in
   let request_timeout_arg =
     Arg.(
@@ -587,8 +644,8 @@ let serve_cmd =
           ~doc:"Record a span tree for every request (inspect with TRACE \
                 statements or the slow-query log's trace ids)")
   in
-  let run loads port max_connections idle_timeout request_timeout max_payload
-      slow_query_s wal_dir trace =
+  let run loads port max_connections idle_timeout idle_in_txn_timeout
+      request_timeout max_payload slow_query_s wal_dir trace =
     if trace then Obs.Span.set_enabled true;
     let db = Nfql.Physical.create () in
     let tables = ref [] in
@@ -609,6 +666,7 @@ let serve_cmd =
         Server.Session.max_connections;
         max_payload;
         idle_timeout;
+        idle_in_txn_timeout;
         request_timeout;
         slow_query_s;
         slow_log_size = Server.Session.default_config.Server.Session.slow_log_size;
@@ -644,8 +702,8 @@ let serve_cmd =
        ~doc:"Serve loaded CSV tables over the nf2d wire protocol (TCP)")
     Term.(
       const run $ load_spec_arg $ port_arg $ max_conns_arg $ idle_arg
-      $ request_timeout_arg $ max_frame_arg $ slow_query_arg $ wal_dir_arg
-      $ trace_arg)
+      $ idle_in_txn_arg $ request_timeout_arg $ max_frame_arg $ slow_query_arg
+      $ wal_dir_arg $ trace_arg)
 
 let print_client_response response =
   List.iter

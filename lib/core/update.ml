@@ -272,4 +272,25 @@ module Store = struct
       List.rev ctx.journal
 
   let delete ?stats store tuple = ignore (delete_journaled ?stats store tuple)
+
+  (* Replay journal entries against the canonical layers directly,
+     bypassing the recons machinery. Undo (transaction abort after a
+     partial application) inverts an already-derived journal; the
+     entries are trusted to restore a previously-held state, so no
+     canonical-form reasoning is needed here. *)
+  let apply_journal store entries =
+    List.iter
+      (function
+        | Added nt ->
+          store.nfr <- Nfr.add store.nfr nt;
+          Postings.add store.index nt
+        | Removed nt ->
+          store.nfr <- Nfr.remove store.nfr nt;
+          Postings.remove store.index nt)
+      entries
 end
+
+let invert_journal entries =
+  List.rev_map
+    (function Added nt -> Removed nt | Removed nt -> Added nt)
+    entries

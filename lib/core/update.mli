@@ -118,4 +118,15 @@ module Store : sig
       mirror the change. Empty on duplicates. *)
 
   val delete_journaled : ?stats:stats -> t -> Tuple.t -> journal_entry list
+
+  val apply_journal : t -> journal_entry list -> unit
+  (** Replay journal entries against the store's NFR and index
+      directly, without the Sec. 4 machinery. Only safe for entries
+      known to restore a previously-held canonical state — i.e. an
+      {!invert_journal}-ed journal during transaction undo. *)
 end
+
+val invert_journal : journal_entry list -> journal_entry list
+(** The undo journal: reversed order, [Added]/[Removed] swapped.
+    Applying it ({!Store.apply_journal}) restores the state from
+    before the journal's update. *)

@@ -49,6 +49,9 @@ type statement =
   | Analyze of string
   | Trace of statement
   | Show of string
+  | Begin
+  | Commit
+  | Rollback
 
 let pp_literal ppf = function
   | L_int i -> Format.pp_print_int ppf i
@@ -155,6 +158,9 @@ let rec pp_statement ppf = function
   | Analyze table -> Format.fprintf ppf "ANALYZE %s" table
   | Trace s -> Format.fprintf ppf "TRACE %a" pp_statement s
   | Show table -> Format.fprintf ppf "SHOW %s" table
+  | Begin -> Format.pp_print_string ppf "BEGIN"
+  | Commit -> Format.pp_print_string ppf "COMMIT"
+  | Rollback -> Format.pp_print_string ppf "ROLLBACK"
 
 (* The statement's leading verb — span labels and the slow-query log
    want a cheap constant-ish name, never the full rendered text. *)
@@ -171,3 +177,6 @@ let rec statement_verb = function
   | Analyze _ -> "analyze"
   | Trace inner -> "trace:" ^ statement_verb inner
   | Show _ -> "show"
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Rollback -> "rollback"

@@ -78,6 +78,11 @@ type statement =
       (** run the statement under a trace scope and return its span
           tree as rows *)
   | Show of string
+  | Begin  (** open a transaction (snapshot isolation) *)
+  | Commit
+      (** apply the open transaction's writes; first committer wins —
+          a conflicting earlier commit aborts this one *)
+  | Rollback  (** discard the open transaction's writes *)
 
 val pp_literal : Format.formatter -> literal -> unit
 val pp_condition : Format.formatter -> condition -> unit

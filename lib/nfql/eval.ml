@@ -12,13 +12,22 @@ type table_state = {
   order : Attribute.t list;
 }
 
-type db = { mutable tables : table_state String_map.t }
+type db = {
+  mutable tables : table_state String_map.t;
+  (* The tables map as it stood at BEGIN: the whole transaction story
+     of this back end. NFRs are persistent values, so saving the map is
+     an O(1) snapshot, rollback is a pointer swap, and commit just
+     forgets the save point. *)
+  mutable txn_saved : table_state String_map.t option;
+}
 
 type result =
   | Done of string
   | Rows of Nfr.t
 
-let create () = { tables = String_map.empty }
+let create () = { tables = String_map.empty; txn_saved = None }
+
+let in_txn db = db.txn_saved <> None
 
 let find_table db name =
   match String_map.find_opt name db.tables with
@@ -43,7 +52,11 @@ let tuple_of_row schema row =
   | tuple -> tuple
   | exception Schema.Schema_error msg -> error "%s" msg
 
+let require_no_txn db what =
+  if db.txn_saved <> None then error "%s is not allowed inside a transaction" what
+
 let exec_create db table columns order =
+  require_no_txn db "CREATE TABLE";
   if String_map.mem table db.tables then error "table %s already exists" table;
   let schema =
     match Schema.of_names (List.map (fun (name, ty) -> (name, type_of_name ty)) columns) with
@@ -264,6 +277,7 @@ let rec exec db statement =
   match statement with
   | Ast.Create (table, columns, order) -> exec_create db table columns order
   | Ast.Drop table ->
+    require_no_txn db "DROP TABLE";
     if String_map.mem table db.tables then begin
       db.tables <- String_map.remove table db.tables;
       Done (Printf.sprintf "table %s dropped" table)
@@ -314,6 +328,25 @@ let rec exec db statement =
     in
     Rows (rows_of_spans (Obs.Span.spans_of_trace trace))
   | Ast.Show table -> Rows (find_table db table).nfr
+  | Ast.Begin -> (
+    match db.txn_saved with
+    | Some _ -> error "a transaction is already open"
+    | None ->
+      db.txn_saved <- Some db.tables;
+      Done "transaction open")
+  | Ast.Commit -> (
+    match db.txn_saved with
+    | None -> error "no transaction is open"
+    | Some _ ->
+      db.txn_saved <- None;
+      Done "transaction committed")
+  | Ast.Rollback -> (
+    match db.txn_saved with
+    | None -> error "no transaction is open"
+    | Some saved ->
+      db.tables <- saved;
+      db.txn_saved <- None;
+      Done "transaction rolled back")
 
 let exec_string db input =
   List.map (exec db) (Parser.parse_script input)

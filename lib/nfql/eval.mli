@@ -9,7 +9,13 @@
     ([R*]); [CONTAINS] selects whole NFR tuples by component
     membership. The two may be mixed as top-level conjuncts; a
     [CONTAINS] under OR/NOT is rejected (its tuple-level meaning does
-    not distribute over expansion selection). *)
+    not distribute over expansion selection).
+
+    Transactions: [BEGIN] snapshots the (persistent) tables map,
+    [ROLLBACK] restores it, [COMMIT] forgets the save point. This back
+    end is single-session, so there is nothing to conflict with — the
+    snapshot-isolation story lives in {!Physical}. DDL ([CREATE]/
+    [DROP]) is rejected inside a transaction, matching {!Physical}. *)
 
 open Relational
 open Nfr_core
@@ -23,6 +29,9 @@ type result =
   | Rows of Nfr.t  (** SELECT/SHOW result *)
 
 val create : unit -> db
+
+val in_txn : db -> bool
+(** Is a transaction open? *)
 
 val exec : db -> Ast.statement -> result
 (** @raise Eval_error on unknown tables/columns, type mismatches,

@@ -39,7 +39,8 @@ let reserved =
     "select"; "from"; "where"; "nest"; "unnest"; "insert"; "into"; "values";
     "delete"; "create"; "table"; "drop"; "order"; "and"; "or"; "not";
     "contains"; "show"; "true"; "false"; "update"; "set"; "count"; "join";
-    "explain"; "analyze"; "trace";
+    "explain"; "analyze"; "trace"; "begin"; "commit"; "rollback";
+    "transaction"; "work";
   ]
 
 let ident st message =
@@ -258,7 +259,8 @@ let rec statement st =
     | Ast.Select_count _ -> fail st "EXPLAIN COUNT is not supported"
     | Ast.Create _ | Ast.Drop _ | Ast.Insert _ | Ast.Delete_values _
     | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _
-    | Ast.Explain_analyze _ | Ast.Analyze _ | Ast.Trace _ | Ast.Show _ ->
+    | Ast.Explain_analyze _ | Ast.Analyze _ | Ast.Trace _ | Ast.Show _
+    | Ast.Begin | Ast.Commit | Ast.Rollback ->
       assert false
   end
   else if keyword st "analyze" then
@@ -272,6 +274,19 @@ let rec statement st =
   else if keyword st "delete" then parse_delete st
   else if keyword st "update" then parse_update st
   else if keyword st "show" then Ast.Show (ident st "expected a table name")
+  else if keyword st "begin" then begin
+    (* BEGIN [TRANSACTION | WORK] *)
+    ignore (keyword st "transaction" || keyword st "work");
+    Ast.Begin
+  end
+  else if keyword st "commit" then begin
+    ignore (keyword st "transaction" || keyword st "work");
+    Ast.Commit
+  end
+  else if keyword st "rollback" then begin
+    ignore (keyword st "transaction" || keyword st "work");
+    Ast.Rollback
+  end
   else fail st "expected a statement"
 
 let finish_statement st =

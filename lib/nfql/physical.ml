@@ -55,6 +55,29 @@ type cache_slot = {
   mutable slot_tick : int;  (* recency, for LRU eviction *)
 }
 
+(* One buffered write of an open transaction (flat-tuple level, the
+   Sec. 4 unit). UPDATE decomposes into delete/insert pairs. *)
+type txn_op =
+  | Op_insert of Tuple.t
+  | Op_delete of Tuple.t
+
+(* A table as one transaction sees it: the committed NFR snapshotted at
+   first touch (NFRs are persistent values, so this is O(1)) plus the
+   transaction's own writes folded in, and the base commit sequence the
+   first-committer-wins check validates against. *)
+type txn_table = {
+  tx_base_seq : int;
+  tx_schema : Schema.t;
+  tx_order : Attribute.t list;
+  mutable tx_nfr : Nfr.t;
+  mutable tx_ops : txn_op list;  (* newest first *)
+}
+
+type txn = {
+  txn_id : int;
+  mutable touched : txn_table String_map.t;
+}
+
 type db = {
   mutable tables : entry String_map.t;
   (* Pre-order (label, rows_out) of the last executed operator tree —
@@ -67,7 +90,21 @@ type db = {
   mutable auto_threshold : int;
   cache : (Ast.select * int, cache_slot) Hashtbl.t;
   mutable cache_tick : int;
+  mutable next_txid : int;
+  mutable active : txn list;  (* open transactions across all sessions *)
+  mutable default_session : session option;
 }
+
+(* One client's execution context: the shared database plus that
+   client's open transaction, if any. The server gives each connection
+   its own session; the CLI and tests that call {!exec} directly share
+   the database's default session. *)
+and session = {
+  sdb : db;
+  mutable txn : txn option;
+}
+
+exception Conflict of string
 
 let cache_capacity = 128
 let registry () = Obs.Registry.global
@@ -81,7 +118,24 @@ let create () =
     auto_threshold = 128;
     cache = Hashtbl.create 64;
     cache_tick = 0;
+    next_txid = 1;
+    active = [];
+    default_session = None;
   }
+
+let session db = { sdb = db; txn = None }
+
+let default_session db =
+  match db.default_session with
+  | Some s -> s
+  | None ->
+    let s = session db in
+    db.default_session <- Some s;
+    s
+
+let in_txn session = session.txn <> None
+let session_db session = session.sdb
+let active_txns db = List.length db.active
 
 let last_profile db = db.last_ops
 let last_estimate db = db.last_est
@@ -1090,12 +1144,317 @@ let type_of_name name =
   | Some ty -> ty
   | None -> error "unknown type %s" name
 
-let rec exec db statement =
+(* ------------------------------------------------------------------ *)
+(* Transactions: buffered optimistic snapshot isolation                *)
+(* ------------------------------------------------------------------ *)
+
+(* In-txn execution never touches the shared tables: every read and
+   write goes through the transaction's per-table overlays (a
+   persistent NFR snapshotted at first touch plus the txn's own
+   writes), so concurrent sessions keep reading the committed state —
+   writers never block readers, and ROLLBACK is a pure discard that
+   leaves the table, its WAL, its statistics and the plan cache
+   byte-identical to never having run. COMMIT validates first-
+   committer-wins against the storage ledger and only then applies the
+   buffered ops through the storage transaction API (WAL txn framing,
+   so recovery replays the group all-or-nothing). *)
+
+let txn_touch db txn name =
+  match String_map.find_opt name txn.touched with
+  | Some tt -> tt
+  | None ->
+    let entry = find_entry db name in
+    let tt =
+      {
+        tx_base_seq = Storage.Table.commit_seq entry.tbl;
+        tx_schema = Storage.Table.schema entry.tbl;
+        tx_order = Storage.Table.nest_order entry.tbl;
+        tx_nfr = Storage.Table.snapshot entry.tbl;
+        tx_ops = [];
+      }
+    in
+    txn.touched <- String_map.add name tt txn.touched;
+    tt
+
+let txn_write_count txn =
+  String_map.fold
+    (fun _ tt acc -> acc + List.length tt.tx_ops)
+    txn.touched 0
+
+(* Victim search against the overlay rides the logical path — the
+   physical operators read heap records, which an uncommitted txn does
+   not have. *)
+let txn_matching tt condition =
+  let predicates, contains = Compile.split_condition tt.tx_schema condition in
+  let restricted =
+    List.fold_left
+      (fun nfr (attribute, value) -> Nalgebra.select_contains attribute value nfr)
+      tt.tx_nfr contains
+  in
+  let flat = Nfr.flatten restricted in
+  List.fold_left
+    (fun flat predicate ->
+      match Algebra.select predicate flat with
+      | selected -> selected
+      | exception Algebra.Algebra_error msg -> error "%s" msg)
+    flat predicates
+
+let txn_do_insert tt tuple =
+  if Nfr.member_tuple tt.tx_nfr tuple then false
+  else begin
+    tt.tx_nfr <- Update.insert ~order:tt.tx_order tt.tx_nfr tuple;
+    tt.tx_ops <- Op_insert tuple :: tt.tx_ops;
+    true
+  end
+
+let txn_do_delete tt tuple =
+  let nfr = Update.delete ~order:tt.tx_order tt.tx_nfr tuple in
+  tt.tx_nfr <- nfr;
+  tt.tx_ops <- Op_delete tuple :: tt.tx_ops
+
+let txn_resolve_source db txn = function
+  | Ast.From_table name ->
+    let tt = txn_touch db txn name in
+    (tt.tx_nfr, tt.tx_order)
+  | Ast.From_join (left, right) ->
+    let lt = txn_touch db txn left and rt = txn_touch db txn right in
+    let joined =
+      match Nalgebra.natural_join lt.tx_nfr rt.tx_nfr with
+      | joined -> joined
+      | exception Schema.Schema_error msg -> error "%s" msg
+    in
+    let order = Schema.attributes (Nfr.schema joined) in
+    (Nest.canonicalize joined order, order)
+
+let begin_txn session =
+  let db = session.sdb in
+  let txn = { txn_id = db.next_txid; touched = String_map.empty } in
+  db.next_txid <- db.next_txid + 1;
+  db.active <- txn :: db.active;
+  session.txn <- Some txn;
+  Obs.Registry.incr (registry ()) "txn.begin";
+  Obs.Registry.add_gauge (registry ()) "txn.active" 1.;
+  Eval.Done "transaction open"
+
+(* Close out [txn]: unregister it and prune each touched table's
+   ledger below the oldest snapshot any still-open transaction holds
+   (or the current commit seq when none does). *)
+let end_txn session txn =
+  let db = session.sdb in
+  session.txn <- None;
+  db.active <- List.filter (fun t -> t.txn_id <> txn.txn_id) db.active;
+  Obs.Registry.add_gauge (registry ()) "txn.active" (-1.);
+  String_map.iter
+    (fun name _ ->
+      match String_map.find_opt name db.tables with
+      | None -> ()
+      | Some entry ->
+        let floor =
+          List.fold_left
+            (fun acc t ->
+              match String_map.find_opt name t.touched with
+              | Some tt -> min acc tt.tx_base_seq
+              | None -> acc)
+            (Storage.Table.commit_seq entry.tbl)
+            db.active
+        in
+        Storage.Table.prune_ledger entry.tbl ~below:floor)
+    txn.touched
+
+let rollback_txn session txn =
+  Obs.Registry.incr (registry ()) "txn.abort";
+  end_txn session txn
+
+let conflict session txn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Obs.Registry.incr (registry ()) "txn.conflict";
+      rollback_txn session txn;
+      raise (Conflict msg))
+    fmt
+
+let commit_txn session txn =
+  let db = session.sdb in
+  Obs.Span.with_span (Obs.Span.Txn "commit") "txn-commit" @@ fun _ ->
+  (* String_map.bindings is sorted, so multi-table transactions always
+     apply in table-name order — any two commits conflict-checked and
+     applied by this single-threaded executor serialize identically. *)
+  let writers =
+    List.filter
+      (fun (_, tt) -> tt.tx_ops <> [])
+      (String_map.bindings txn.touched)
+  in
+  (* First committer wins: if any commit since this txn's snapshot
+     wrote a flat tuple this txn also wrote, abort — applying would
+     overwrite that committer's effect (lost update). *)
+  List.iter
+    (fun (name, tt) ->
+      match String_map.find_opt name db.tables with
+      | None -> conflict session txn "table %s was dropped concurrently" name
+      | Some entry ->
+        List.iter
+          (fun op ->
+            let tuple = match op with Op_insert t | Op_delete t -> t in
+            if Storage.Table.modified_since entry.tbl ~seq:tt.tx_base_seq tuple
+            then
+              conflict session txn
+                "concurrent commit wrote tuple %s in table %s"
+                (Format.asprintf "%a" Tuple.pp tuple)
+                name)
+          tt.tx_ops)
+    writers;
+  (* Apply through the storage transaction API so the WAL carries the
+     whole group under txn framing and recovery replays it
+     all-or-nothing. Per-table WALs bound cross-table crash atomicity
+     to a committed prefix in table-name order (docs/STORAGE.md);
+     single-table transactions are fully atomic. *)
+  List.iter
+    (fun (name, tt) ->
+      let entry = find_entry db name in
+      let ops = List.rev tt.tx_ops in
+      Storage.Table.begin_txn entry.tbl ~txid:txn.txn_id;
+      (match
+         List.iter
+           (function
+             | Op_insert tuple ->
+               ignore (Storage.Table.txn_insert entry.tbl ~txid:txn.txn_id tuple)
+             | Op_delete tuple ->
+               Storage.Table.txn_delete entry.tbl ~txid:txn.txn_id tuple)
+           ops
+       with
+      | () -> ignore (Storage.Table.commit_txn entry.tbl ~txid:txn.txn_id)
+      | exception Update.Not_in_relation ->
+        (* FCW should have caught this; belt and braces for a commit
+           that raced something the ledger missed. *)
+        Storage.Table.abort_txn entry.tbl ~txid:txn.txn_id;
+        conflict session txn "tuple vanished from %s during commit" name
+      | exception Storage.Storage_error.Error e ->
+        (try Storage.Table.abort_txn entry.tbl ~txid:txn.txn_id
+         with Storage.Storage_error.Error _ -> ());
+        rollback_txn session txn;
+        raise (Storage.Storage_error.Error e));
+      (* Satellite: only committed writes feed the auto-analyze
+         threshold — rolled-back transactions never count. *)
+      note_writes db entry (List.length ops))
+    writers;
+  Obs.Registry.incr (registry ()) "txn.commit";
+  end_txn session txn;
+  Eval.Done "transaction committed"
+
+let rec exec_txn session txn stats statement =
+  let db = session.sdb in
+  match statement with
+  | Ast.Begin -> error "a transaction is already open"
+  | Ast.Commit -> commit_txn session txn
+  | Ast.Rollback ->
+    Obs.Span.with_span (Obs.Span.Txn "rollback") "txn-rollback" @@ fun _ ->
+    rollback_txn session txn;
+    Eval.Done "transaction rolled back"
+  | Ast.Create _ -> error "CREATE TABLE is not allowed inside a transaction"
+  | Ast.Drop _ -> error "DROP TABLE is not allowed inside a transaction"
+  | Ast.Insert (name, rows) ->
+    let tt = txn_touch db txn name in
+    let inserted =
+      List.fold_left
+        (fun count row ->
+          if txn_do_insert tt (tuple_of_row tt.tx_schema row) then count + 1
+          else count)
+        0 rows
+    in
+    Eval.Done (Printf.sprintf "%d row(s) inserted" inserted)
+  | Ast.Delete_values (name, row) ->
+    let tt = txn_touch db txn name in
+    let tuple = tuple_of_row tt.tx_schema row in
+    (match txn_do_delete tt tuple with
+    | () -> Eval.Done "1 row deleted"
+    | exception Update.Not_in_relation ->
+      error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
+  | Ast.Delete_where (name, condition) ->
+    let tt = txn_touch db txn name in
+    let victims = Relation.tuples (txn_matching tt condition) in
+    List.iter (fun tuple -> txn_do_delete tt tuple) victims;
+    Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
+  | Ast.Update_set (name, assignments, condition) ->
+    let tt = txn_touch db txn name in
+    let resolved =
+      List.map
+        (fun (column, literal) ->
+          ( Compile.attribute_of tt.tx_schema column,
+            Compile.value_of_literal literal ))
+        assignments
+    in
+    let victims = Relation.tuples (txn_matching tt condition) in
+    List.iter
+      (fun victim ->
+        let image =
+          List.fold_left
+            (fun tuple (attribute, value) ->
+              Tuple.set_field tt.tx_schema tuple attribute value)
+            victim resolved
+        in
+        if not (Tuple.equal image victim) then begin
+          ignore (txn_do_insert tt image);
+          txn_do_delete tt victim
+        end)
+      victims;
+    Eval.Done (Printf.sprintf "%d row(s) updated" (List.length victims))
+  | Ast.Select s ->
+    let source, order = txn_resolve_source db txn s.Ast.source in
+    let filtered =
+      Compile.apply_where (Nfr.schema source) order source s.Ast.where
+    in
+    Eval.Rows (Compile.shape_select filtered ~order s)
+  | Ast.Select_count (source, condition) ->
+    let nfr, order = txn_resolve_source db txn source in
+    let filtered = Compile.apply_where (Nfr.schema nfr) order nfr condition in
+    Eval.Done
+      (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+         (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
+  | Ast.Explain s -> Eval.Done (explain_text db s)
+  | Ast.Explain_analyze _ ->
+    error
+      "EXPLAIN ANALYZE is not allowed inside a transaction (physical \
+       operators read committed state, not the snapshot)"
+  | Ast.Analyze name ->
+    (* Statistics describe the committed table; collecting them inside
+       a transaction is allowed and reads right through the snapshot. *)
+    let entry = find_entry db name in
+    let collected = collect_stats entry in
+    bump_generation db;
+    Obs.Registry.incr (registry ()) "planner.analyze";
+    Eval.Done (Tablestats.summary name collected)
+  | Ast.Trace inner ->
+    let run () = ignore (exec_txn session txn stats inner) in
+    let trace =
+      match Obs.Span.current_trace () with
+      | Some trace ->
+        run ();
+        trace
+      | None ->
+        Obs.Span.in_trace (fun trace ->
+            run ();
+            trace)
+    in
+    Eval.Rows (Eval.rows_of_spans (Obs.Span.spans_of_trace trace))
+  | Ast.Show name ->
+    let tt = txn_touch db txn name in
+    Eval.Rows tt.tx_nfr
+
+and exec_session session statement =
   let verb = Ast.statement_verb statement in
   Obs.Span.with_span (Obs.Span.Statement verb) verb @@ fun statement_span ->
   let stats = Storage.Stats.create () in
   let result =
-    match statement with
+    match session.txn with
+    | Some txn -> exec_txn session txn stats statement
+    | None -> exec_auto session stats statement
+  in
+  Obs.Span.set_bytes statement_span stats.Storage.Stats.bytes_read;
+  (result, stats)
+
+and exec_auto session stats statement =
+  let db = session.sdb in
+  match statement with
     | Ast.Create (name, columns, order) ->
       let schema =
         match
@@ -1210,7 +1569,7 @@ let rec exec db statement =
       (* Run the statement under a trace scope — reusing the server's
          ambient one when present — and return its spans as rows. *)
       let run () =
-        let _, inner_stats = exec db inner in
+        let _, inner_stats = exec_session session inner in
         Storage.Stats.add stats inner_stats
       in
       let trace =
@@ -1225,9 +1584,27 @@ let rec exec db statement =
       in
       Eval.Rows (Eval.rows_of_spans (Obs.Span.spans_of_trace trace))
     | Ast.Show name -> Eval.Rows (Storage.Table.snapshot (find_table db name))
-  in
-  Obs.Span.set_bytes statement_span stats.Storage.Stats.bytes_read;
-  (result, stats)
+    | Ast.Begin ->
+      Obs.Span.with_span (Obs.Span.Txn "begin") "txn-begin" @@ fun _ ->
+      begin_txn session
+    | Ast.Commit | Ast.Rollback -> error "no transaction is open"
+
+let exec db statement = exec_session (default_session db) statement
+
+(* Discard the session's open transaction, if any — the server calls
+   this when a connection dies mid-transaction. [true] when a
+   transaction was actually rolled back. *)
+let rollback_if_open session =
+  match session.txn with
+  | None -> false
+  | Some txn ->
+    rollback_txn session txn;
+    true
+
+let session_write_count session =
+  match session.txn with
+  | None -> 0
+  | Some txn -> txn_write_count txn
 
 let explain = explain_text
 

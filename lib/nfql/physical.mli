@@ -52,11 +52,39 @@
     programmatic face of the same report) and [TRACE <statement>]
     (which returns the whole span tree as rows) read. Statements run
     under a [Statement] span; planning under a [Plan] span whose
-    children are the operators it built. *)
+    children are the operators it built.
+
+    {2 Transactions}
+
+    [BEGIN]/[COMMIT]/[ROLLBACK] give buffered optimistic snapshot
+    isolation per {!session}. Inside a transaction every touched table
+    is an overlay — the committed NFR snapshotted at first touch (O(1):
+    NFRs are persistent) plus the transaction's own writes — so reads
+    are repeatable, other sessions keep seeing committed state
+    (writers never block readers), and ROLLBACK is a pure discard:
+    table, WAL, statistics, generation and plan cache are all
+    byte-identical to the transaction never having run. COMMIT
+    validates first-committer-wins (any commit since the snapshot that
+    wrote a flat tuple this transaction also wrote raises {!Conflict}
+    and rolls back) and then applies the buffered ops through
+    {!Storage.Table}'s transaction API, so the WAL carries the group
+    under txn framing and crash recovery replays it all-or-nothing.
+    DDL and [EXPLAIN ANALYZE] are rejected inside a transaction; only
+    committed writes feed the auto-analyze threshold. Per-table WALs
+    bound {e cross-table} crash atomicity to a committed prefix in
+    table-name order. *)
 
 open Relational
 
 type db
+
+type session
+(** One client's execution context: the shared {!db} plus that
+    client's open transaction, if any. *)
+
+exception Conflict of string
+(** Raised by [COMMIT] when first-committer-wins validation fails; the
+    transaction has already been rolled back. *)
 
 (** One end of a range, with inclusivity: [{b_value = v; b_incl =
     false}] excludes the boundary group itself. *)
@@ -116,11 +144,42 @@ val set_auto_analyze_threshold : db -> int -> unit
     table's statistics are re-collected automatically. Default 128;
     clamped to at least 1. *)
 
+val session : db -> session
+(** A fresh session (no open transaction). The server creates one per
+    connection. *)
+
+val default_session : db -> session
+(** The database's shared session — what {!exec} runs under. Created
+    lazily, stable thereafter. *)
+
+val in_txn : session -> bool
+val session_db : session -> db
+
+val active_txns : db -> int
+(** Open transactions across all sessions (the [txn.active] gauge's
+    source of truth). *)
+
 val exec : db -> Ast.statement -> Eval.result * Storage.Stats.t
 (** Run one statement, returning the result and the access-path
     charges it incurred (summed over all operators). CREATE builds an
-    in-memory table without a WAL.
-    @raise Eval.Eval_error as {!Eval} does. *)
+    in-memory table without a WAL. Runs under {!default_session}, so
+    scripts with [BEGIN]/[COMMIT]/[ROLLBACK] work single-session.
+    @raise Eval.Eval_error as {!Eval} does.
+    @raise Conflict as {!exec_session} does. *)
+
+val exec_session : session -> Ast.statement -> Eval.result * Storage.Stats.t
+(** {!exec} under an explicit session — concurrent sessions get
+    independent transactions over the same tables.
+    @raise Conflict on a failed [COMMIT] (already rolled back). *)
+
+val rollback_if_open : session -> bool
+(** Discard the session's open transaction, if any (the server's
+    cleanup when a connection dies mid-transaction). [true] when a
+    transaction was rolled back. *)
+
+val session_write_count : session -> int
+(** Buffered (uncommitted) write ops in the session's open
+    transaction; 0 outside one. *)
 
 val exec_string : db -> string -> (Eval.result * Storage.Stats.t) list
 

@@ -22,6 +22,7 @@ type event =
   | Plan
   | Statement of string  (* the statement verb *)
   | Operator of string  (* the physical operator label *)
+  | Txn of string  (* begin/commit/rollback/conflict *)
   | Wal_append
   | Wal_fsync
   | Wal_replay
@@ -42,6 +43,7 @@ let event_name = function
   | Plan -> "plan"
   | Statement _ -> "statement"
   | Operator _ -> "operator"
+  | Txn _ -> "txn"
   | Wal_append -> "wal-append"
   | Wal_fsync -> "wal-fsync"
   | Wal_replay -> "wal-replay"

@@ -24,6 +24,7 @@ type event =
   | Plan
   | Statement of string
   | Operator of string
+  | Txn of string  (* begin/commit/rollback/conflict *)
   | Wal_append
   | Wal_fsync
   | Wal_replay

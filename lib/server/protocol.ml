@@ -8,6 +8,7 @@ type err_code =
   | Timeout
   | Query_failed
   | Shutting_down
+  | Conflict
 
 let err_code_name = function
   | Overloaded -> "overloaded"
@@ -16,6 +17,7 @@ let err_code_name = function
   | Timeout -> "timeout"
   | Query_failed -> "query-failed"
   | Shutting_down -> "shutting-down"
+  | Conflict -> "conflict"
 
 type message =
   | Ping
@@ -66,6 +68,7 @@ let err_code_byte = function
   | Timeout -> 4
   | Query_failed -> 5
   | Shutting_down -> 6
+  | Conflict -> 7
 
 let err_code_of_byte = function
   | 1 -> Some Overloaded
@@ -74,6 +77,7 @@ let err_code_of_byte = function
   | 4 -> Some Timeout
   | 5 -> Some Query_failed
   | 6 -> Some Shutting_down
+  | 7 -> Some Conflict
   | _ -> None
 
 (* Value type tags for the schema encoding. *)

@@ -29,6 +29,9 @@ type err_code =
   | Timeout  (** the request ran past the wall-clock limit *)
   | Query_failed  (** NFQL parse or evaluation error *)
   | Shutting_down  (** server is draining; no new requests *)
+  | Conflict
+      (** COMMIT lost first-committer-wins validation; the transaction
+          was rolled back — re-run it *)
 
 val err_code_name : err_code -> string
 

@@ -4,6 +4,7 @@ type config = {
   max_connections : int;
   max_payload : int;
   idle_timeout : float;
+  idle_in_txn_timeout : float;
   request_timeout : float;
   slow_query_s : float;
   slow_log_size : int;
@@ -14,6 +15,10 @@ let default_config =
     max_connections = 64;
     max_payload = Frame.max_payload_default;
     idle_timeout = 30.;
+    (* A connection sitting inside an open transaction pins that
+       transaction's snapshots (and every touched table's write
+       ledger), so it gets a much shorter leash than plain idleness. *)
+    idle_in_txn_timeout = 10.;
     request_timeout = 10.;
     slow_query_s = 0.1;
     slow_log_size = 64;
@@ -53,14 +58,17 @@ let declare_series m =
     [
       "queries.total"; "queries.slow"; "connections.accepted";
       "connections.rejected"; "connections.closed"; "connections.reaped";
-      "frames.in"; "frames.out"; "wal.append_total"; "wal.fsync_total";
-      "planner.cache_hit"; "planner.cache_miss"; "planner.analyze";
-      "planner.auto_analyze";
+      "connections.reaped_in_txn"; "frames.in"; "frames.out";
+      "wal.append_total"; "wal.fsync_total"; "planner.cache_hit";
+      "planner.cache_miss"; "planner.analyze"; "planner.auto_analyze";
+      "txn.begin"; "txn.commit"; "txn.abort"; "txn.conflict";
+      "txn.auto_rollback";
     ];
   Metrics.declare_histogram m "query.seconds";
   Metrics.declare_histogram m "planner.est_error";
   Metrics.declare_histogram m "wal.fsync.seconds";
-  Metrics.set_gauge m "connections.open" 0.
+  Metrics.set_gauge m "connections.open" 0.;
+  if Metrics.gauge m "txn.active" = 0. then Metrics.set_gauge m "txn.active" 0.
 
 let make_context ?(config = default_config) ?metrics ?now db =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
@@ -132,6 +140,9 @@ type state =
 type t = {
   ctx : context;
   session_id : int;
+  psession : Nfql.Physical.session;
+      (** this connection's executor session — carries its open
+          transaction across requests *)
   mutable rbuf : Bytes.t;
   mutable rlen : int;
   staged : Buffer.t;  (** frames not yet handed to the writer *)
@@ -147,6 +158,7 @@ let create ctx ~id =
   {
     ctx;
     session_id = id;
+    psession = Nfql.Physical.session ctx.db;
     rbuf = Bytes.create 4096;
     rlen = 0;
     staged = Buffer.create 256;
@@ -160,7 +172,21 @@ let create ctx ~id =
 let id t = t.session_id
 let closing t = t.state = Closing
 let closed t = t.state = Closed
-let close t = t.state <- Closed
+let in_txn t = Nfql.Physical.in_txn t.psession
+
+(* Closing a session mid-transaction discards the transaction — the
+   disconnect is the implicit ROLLBACK (buffered writes never touched
+   the shared tables, so there is nothing else to undo). *)
+let close t =
+  if t.state <> Closed then begin
+    t.state <- Closed;
+    if Nfql.Physical.rollback_if_open t.psession then begin
+      Metrics.incr t.ctx.metrics "txn.auto_rollback";
+      Metrics.incr t.ctx.metrics "txn.abort";
+      Metrics.add_gauge t.ctx.metrics "txn.active" (-1.)
+    end
+  end
+
 let last_activity t = t.last_activity_at
 
 (* ------------------------------------------------------------------ *)
@@ -212,7 +238,7 @@ let plan_snapshot db = function
   | Nfql.Ast.Create _ | Nfql.Ast.Drop _ | Nfql.Ast.Insert _
   | Nfql.Ast.Delete_values _ | Nfql.Ast.Delete_where _ | Nfql.Ast.Update_set _
   | Nfql.Ast.Select_count _ | Nfql.Ast.Analyze _ | Nfql.Ast.Trace _
-  | Nfql.Ast.Show _ ->
+  | Nfql.Ast.Show _ | Nfql.Ast.Begin | Nfql.Ast.Commit | Nfql.Ast.Rollback ->
     None
 
 let run_query t source =
@@ -256,8 +282,26 @@ let run_query t source =
           Metrics.incr ctx.metrics
             ("queries." ^ Nfql.Ast.statement_verb statement);
           let started = ctx.now () in
-          match Nfql.Physical.exec ctx.db statement with
+          (* Mirror transaction transitions into this server's own
+             registry, so the METRICS ledger balances even when the
+             context was built over a private registry (the executor's
+             counters live in the process-global one). *)
+          let was_in_txn = Nfql.Physical.in_txn t.psession in
+          let note_txn_transition () =
+            match (was_in_txn, Nfql.Physical.in_txn t.psession) with
+            | false, true ->
+              Metrics.incr ctx.metrics "txn.begin";
+              Metrics.add_gauge ctx.metrics "txn.active" 1.
+            | true, false ->
+              (match statement with
+              | Nfql.Ast.Commit -> Metrics.incr ctx.metrics "txn.commit"
+              | _ -> Metrics.incr ctx.metrics "txn.abort");
+              Metrics.add_gauge ctx.metrics "txn.active" (-1.)
+            | _ -> ()
+          in
+          match Nfql.Physical.exec_session t.psession statement with
           | result, stats ->
+            note_txn_transition ();
             let elapsed = ctx.now () -. started in
             Metrics.observe ctx.metrics "query.seconds" elapsed;
             if elapsed > ctx.config.slow_query_s then begin
@@ -280,6 +324,14 @@ let run_query t source =
           | exception Nfql.Eval.Eval_error message ->
             Metrics.incr ctx.metrics "errors.query";
             send t (Protocol.Err (Protocol.Query_failed, message))
+          | exception Nfql.Physical.Conflict message ->
+            (* The transaction is already rolled back; the typed code
+               tells the client a plain retry may succeed. *)
+            Metrics.incr ctx.metrics "txn.conflict";
+            Metrics.incr ctx.metrics "txn.abort";
+            Metrics.add_gauge ctx.metrics "txn.active" (-1.);
+            Metrics.incr ctx.metrics "errors.conflict";
+            send t (Protocol.Err (Protocol.Conflict, message))
           | exception Storage.Storage_error.Error err ->
             Metrics.incr ctx.metrics "errors.query";
             send t
@@ -303,7 +355,8 @@ let refuse t code reason =
     | Protocol.Too_large -> "errors.too_large"
     | Protocol.Malformed_frame -> "errors.malformed"
     | Protocol.Overloaded -> "errors.overloaded"
-    | Protocol.Query_failed -> "errors.query");
+    | Protocol.Query_failed -> "errors.query"
+    | Protocol.Conflict -> "errors.conflict");
   send t (Protocol.Err (code, reason));
   t.state <- Closing
 
@@ -402,6 +455,21 @@ let check_deadlines t ~now =
       `Reap
     | _ ->
       if
+        in_txn t
+        && now -. t.last_activity_at > t.ctx.config.idle_in_txn_timeout
+        && not (want_write t)
+      then begin
+        (* Idle in transaction: the polite rejection tells the client
+           its transaction is gone; the close that follows rolls it
+           back. *)
+        Metrics.incr t.ctx.metrics "connections.reaped_in_txn";
+        refuse t Protocol.Timeout
+          (Printf.sprintf
+             "idle in transaction longer than %.3fs; transaction rolled back"
+             t.ctx.config.idle_in_txn_timeout);
+        `Reap
+      end
+      else if
         now -. t.last_activity_at > t.ctx.config.idle_timeout
         && not (want_write t)
       then begin

@@ -24,6 +24,10 @@ type config = {
   max_connections : int;  (** accept cap; above it: [Err Overloaded] *)
   max_payload : int;  (** per-frame payload cap in bytes *)
   idle_timeout : float;  (** seconds of silence before reaping *)
+  idle_in_txn_timeout : float;
+      (** shorter leash for a connection idling {e inside an open
+          transaction} — it pins snapshots and write ledgers; reaping
+          it rolls the transaction back *)
   request_timeout : float;
       (** wall-clock budget for one request: a partial frame must
           complete, and a script's statements must all start, within
@@ -33,8 +37,8 @@ type config = {
 }
 
 val default_config : config
-(** 64 connections, 1 MiB frames, 30 s idle, 10 s requests, 100 ms
-    slow-query threshold, 64 slow-log entries. *)
+(** 64 connections, 1 MiB frames, 30 s idle (10 s idle-in-transaction),
+    10 s requests, 100 ms slow-query threshold, 64 slow-log entries. *)
 
 (** One slow-query log entry. [slow_trace] is the request's trace id
     (0 when tracing was off — nothing to correlate), [slow_hash] an
@@ -122,8 +126,13 @@ val check_deadlines : t -> now:float -> [ `Keep | `Reap ]
 val closing : t -> bool
 (** The session must be dropped once its output drains. *)
 
+val in_txn : t -> bool
+(** Is this connection inside an open transaction? *)
+
 val close : t -> unit
-(** Mark closed (socket gone). Idempotent. *)
+(** Mark closed (socket gone). Idempotent. Rolls back the
+    connection's open transaction, if any — a disconnect is an
+    implicit ROLLBACK (counted in [txn.auto_rollback]). *)
 
 val closed : t -> bool
 val last_activity : t -> float

@@ -18,6 +18,16 @@ type health =
   | Healthy
   | Degraded of string
 
+(* An open storage-level transaction: the WAL has seen Txn_begin (and
+   zero or more Txn_insert/Txn_delete), the in-memory layers hold the
+   applied ops, and [undo] can put everything back if the commit
+   record never lands. *)
+type txn_state = {
+  txid : int;
+  mutable undo : Update.journal_entry list;  (* application order *)
+  mutable written : Tuple.t list;  (* flat tuples touched, newest first *)
+}
+
 type t = {
   schema : Schema.t;
   order : Attribute.t list;
@@ -26,12 +36,16 @@ type t = {
   mutable heap : Heap.t;
   mutable index : Index.t;
   mutable rids : Heap.rid Ntuple_table.t;  (* live ntuple -> rid *)
+  mutable versions : int Ntuple_table.t;  (* live ntuple -> commit seq *)
   mutable dead : Rid_set.t;
   ordered_on : int option;  (* schema position of the B+-tree key *)
   mutable btree : Btree.t option;
   wal : Wal.t option;
   wal_path : string option;
   mutable health : health;
+  mutable commit_seq : int;  (* commits applied to this instance *)
+  mutable ledger : (int * Tuple.t) list;  (* committed writes, newest first *)
+  mutable txn : txn_state option;
 }
 
 let encode_record nt =
@@ -48,6 +62,9 @@ let physical_add t nt =
   Obs.Registry.add_gauge Obs.Registry.global "storage.live_tuples" 1.;
   let rid = Heap.append t.heap (encode_record nt) in
   Ntuple_table.replace t.rids nt rid;
+  (* Stamp the image with the sequence its op will commit at; the
+     bump happens when the commit (or autocommit op) completes. *)
+  Ntuple_table.replace t.versions nt (t.commit_seq + 1);
   List.iteri
     (fun position component ->
       Vset.fold (fun value () -> Index.add t.index ~position value rid) component ())
@@ -62,6 +79,7 @@ let physical_remove t nt =
   | Some rid ->
     Obs.Registry.add_gauge Obs.Registry.global "storage.live_tuples" (-1.);
     Ntuple_table.remove t.rids nt;
+    Ntuple_table.remove t.versions nt;
     t.dead <- Rid_set.add rid t.dead;
     (match t.btree with
     | Some tree ->
@@ -89,12 +107,16 @@ let create ?(page_size = Page.default_size) ?wal_path ?ordered_on ~order schema 
     heap = Heap.create ~page_size ();
     index = Index.create ();
     rids = Ntuple_table.create 256;
+    versions = Ntuple_table.create 256;
     dead = Rid_set.empty;
     ordered_on = ordered_position;
     btree = Option.map (fun _ -> Btree.create ()) ordered_position;
     wal = Option.map Wal.open_log wal_path;
     wal_path;
     health = Healthy;
+    commit_seq = 0;
+    ledger = [];
+    txn = None;
   }
 
 let apply_unlogged t entry =
@@ -107,25 +129,108 @@ let apply_unlogged t entry =
     let journal = Update.Store.delete_journaled t.store tuple in
     apply_journal t journal;
     true
+  | Wal.Txn_begin _ | Wal.Txn_insert _ | Wal.Txn_delete _ | Wal.Txn_commit _
+  | Wal.Txn_abort _ ->
+    invalid_arg "Table.apply_unlogged: transaction records must be folded first"
+
+(* The commit point of one autocommit op or one whole transaction:
+   advance the sequence and remember which flat tuples it wrote, so a
+   later committer can be checked against this one (first committer
+   wins). *)
+let note_commit t tuples =
+  t.commit_seq <- t.commit_seq + 1;
+  List.iter (fun tuple -> t.ledger <- (t.commit_seq, tuple) :: t.ledger) tuples
 
 let load ?page_size ?wal_path ?ordered_on ~order flat =
   let t = create ?page_size ?wal_path ?ordered_on ~order (Relation.schema flat) in
   Relation.iter (fun tuple -> ignore (apply_unlogged t (Wal.Insert tuple))) flat;
+  (* The bulk load is commit #1: its images carry stamp 1, and the
+     ledger stays empty (a load is its own checkpoint). *)
+  if Relation.cardinality flat > 0 then t.commit_seq <- 1;
   t
+
+(* Fold a replayed entry stream into its committed effects:
+   autocommit entries pass through one by one, transactional ops
+   buffer per txid and surface as one group at their Txn_commit, and
+   anything whose commit never landed — an explicit Txn_abort, or a
+   buffer still open at end of log (a torn transaction) — is
+   discarded. Discarded ops are correct rollback, not data loss. *)
+let fold_committed entries =
+  let buffers : (int, Wal.entry list ref) Hashtbl.t = Hashtbl.create 8 in
+  let started : int list ref = ref [] in  (* txids in begin order *)
+  let discarded = ref 0 in
+  let buffer_of txid =
+    match Hashtbl.find_opt buffers txid with
+    | Some ops -> ops
+    | None ->
+      let ops = ref [] in
+      Hashtbl.replace buffers txid ops;
+      started := txid :: !started;
+      ops
+  in
+  let drop txid =
+    match Hashtbl.find_opt buffers txid with
+    | Some ops ->
+      discarded := !discarded + List.length !ops;
+      Hashtbl.remove buffers txid;
+      started := List.filter (fun id -> id <> txid) !started
+    | None -> ()
+  in
+  let groups =
+    List.filter_map
+      (fun entry ->
+        match entry with
+        | Wal.Insert _ | Wal.Delete _ -> Some (`Auto entry)
+        | Wal.Txn_begin txid ->
+          (* A re-begun txid implicitly aborts the earlier attempt. *)
+          drop txid;
+          ignore (buffer_of txid);
+          None
+        | Wal.Txn_insert (txid, tuple) ->
+          let ops = buffer_of txid in
+          ops := Wal.Insert tuple :: !ops;
+          None
+        | Wal.Txn_delete (txid, tuple) ->
+          let ops = buffer_of txid in
+          ops := Wal.Delete tuple :: !ops;
+          None
+        | Wal.Txn_commit txid -> (
+          match Hashtbl.find_opt buffers txid with
+          | Some ops ->
+            Hashtbl.remove buffers txid;
+            started := List.filter (fun id -> id <> txid) !started;
+            Some (`Group (List.rev !ops))
+          | None -> Some (`Group []))
+        | Wal.Txn_abort txid ->
+          drop txid;
+          None)
+      entries
+  in
+  List.iter drop (List.rev !started);
+  (groups, !discarded)
 
 let recover ?page_size ?ordered_on ~wal_path ~order schema =
   let entries = Wal.replay wal_path in
   let t = create ?page_size ~wal_path ?ordered_on ~order schema in
+  let groups, _discarded = fold_committed entries in
+  let apply entry =
+    match apply_unlogged t entry with
+    | _ -> ()
+    | exception Update.Not_in_relation ->
+      (* A delete whose insert was lost cannot be replayed; the log
+         is the source of truth, so this is corruption. *)
+      Storage_error.corrupt ~context:"Table.recover" ~offset:0
+        "WAL deletes a tuple that is not present"
+  in
   List.iter
-    (fun entry ->
-      match apply_unlogged t entry with
-      | _ -> ()
-      | exception Update.Not_in_relation ->
-        (* A delete whose insert was lost cannot be replayed; the log
-           is the source of truth, so this is corruption. *)
-        Storage_error.corrupt ~context:"Table.recover" ~offset:0
-          "WAL deletes a tuple that is not present")
-    entries;
+    (function
+      | `Auto entry ->
+        apply entry;
+        note_commit t []
+      | `Group entries ->
+        List.iter apply entries;
+        note_commit t [])
+    groups;
   t
 
 type recovery_report = {
@@ -134,24 +239,36 @@ type recovery_report = {
   stale_wal : bool;
   applied : int;
   skipped_ops : int;
+  discarded_txn_ops : int;
 }
 
 (* Replay entries, skipping (and counting) any that cannot be applied —
    a delete whose insert was salvaged away, or a decoded-but-bogus
    tuple from debris that slipped past a legacy checksum. Nothing in
-   here may take the table down mid-recovery. *)
+   here may take the table down mid-recovery. Uncommitted transactional
+   tails are folded away first and counted separately: discarding them
+   is the contract, not damage. *)
 let apply_salvaged t entries =
+  let groups, discarded = fold_committed entries in
   let applied = ref 0 and skipped = ref 0 in
+  let apply entry =
+    match apply_unlogged t entry with
+    | _ -> incr applied
+    | exception
+        ( Update.Not_in_relation | Update.Update_diverged _
+        | Storage_error.Error _ | Invalid_argument _ | Failure _ ) ->
+      incr skipped
+  in
   List.iter
-    (fun entry ->
-      match apply_unlogged t entry with
-      | _ -> incr applied
-      | exception
-          ( Update.Not_in_relation | Update.Update_diverged _
-          | Storage_error.Error _ | Invalid_argument _ | Failure _ ) ->
-        incr skipped)
-    entries;
-  (!applied, !skipped)
+    (function
+      | `Auto entry ->
+        apply entry;
+        note_commit t []
+      | `Group entries ->
+        List.iter apply entries;
+        note_commit t [])
+    groups;
+  (!applied, !skipped, discarded)
 
 let degrade_if_lossy t report =
   let wal_damage =
@@ -180,7 +297,7 @@ let recover_salvage ?page_size ?ordered_on ~wal_path ~order schema =
   Obs.Registry.incr Obs.Registry.global "wal.recover_salvage_total";
   let salvage = Wal.replay_salvage wal_path in
   let t = create ?page_size ~wal_path ?ordered_on ~order schema in
-  let applied, skipped_ops = apply_salvaged t salvage.Wal.entries in
+  let applied, skipped_ops, discarded_txn_ops = apply_salvaged t salvage.Wal.entries in
   let report =
     {
       wal_salvage = Some salvage;
@@ -188,6 +305,7 @@ let recover_salvage ?page_size ?ordered_on ~wal_path ~order schema =
       stale_wal = false;
       applied;
       skipped_ops;
+      discarded_txn_ops;
     }
   in
   degrade_if_lossy t report;
@@ -230,19 +348,108 @@ let log_durably t entry =
       t.health <- Degraded reason;
       raise (Storage_error.Error (Storage_error.Degraded reason)))
 
+let require_no_txn t context =
+  if t.txn <> None then
+    invalid_arg (context ^ ": a storage transaction is already open")
+
 let insert t tuple =
   require_writable t;
+  require_no_txn t "Table.insert";
   if Update.Store.member t.store tuple then false
   else begin
     log_durably t (Wal.Insert tuple);
-    apply_unlogged t (Wal.Insert tuple)
+    let applied = apply_unlogged t (Wal.Insert tuple) in
+    note_commit t [ tuple ];
+    applied
   end
 
 let delete t tuple =
   require_writable t;
+  require_no_txn t "Table.delete";
   if not (Update.Store.member t.store tuple) then raise Update.Not_in_relation;
   log_durably t (Wal.Delete tuple);
-  ignore (apply_unlogged t (Wal.Delete tuple))
+  ignore (apply_unlogged t (Wal.Delete tuple));
+  note_commit t [ tuple ]
+
+(* ------------------------------------------------------------------ *)
+(* Storage-level transactions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let commit_seq t = t.commit_seq
+let in_txn t = t.txn <> None
+let version_of t nt = Ntuple_table.find_opt t.versions nt
+
+let modified_since t ~seq tuple =
+  List.exists (fun (s, written) -> s > seq && Tuple.equal written tuple) t.ledger
+
+let prune_ledger t ~below =
+  t.ledger <- List.filter (fun (s, _) -> s > below) t.ledger
+
+let ledger_size t = List.length t.ledger
+
+let require_txn t context txid =
+  match t.txn with
+  | Some txn when txn.txid = txid -> txn
+  | Some txn ->
+    invalid_arg
+      (Printf.sprintf "%s: transaction %d is open, not %d" context txn.txid txid)
+  | None -> invalid_arg (context ^ ": no storage transaction is open")
+
+let begin_txn t ~txid =
+  require_writable t;
+  require_no_txn t "Table.begin_txn";
+  log_durably t (Wal.Txn_begin txid);
+  t.txn <- Some { txid; undo = []; written = [] }
+
+let txn_insert t ~txid tuple =
+  require_writable t;
+  let txn = require_txn t "Table.txn_insert" txid in
+  if Update.Store.member t.store tuple then false
+  else begin
+    log_durably t (Wal.Txn_insert (txid, tuple));
+    let journal = Update.Store.insert_journaled t.store tuple in
+    apply_journal t journal;
+    txn.undo <- List.rev_append journal txn.undo;
+    txn.written <- tuple :: txn.written;
+    journal <> []
+  end
+
+let txn_delete t ~txid tuple =
+  require_writable t;
+  let txn = require_txn t "Table.txn_delete" txid in
+  if not (Update.Store.member t.store tuple) then raise Update.Not_in_relation;
+  log_durably t (Wal.Txn_delete (txid, tuple));
+  let journal = Update.Store.delete_journaled t.store tuple in
+  apply_journal t journal;
+  txn.undo <- List.rev_append journal txn.undo;
+  txn.written <- tuple :: txn.written
+
+let commit_txn t ~txid =
+  require_writable t;
+  let txn = require_txn t "Table.commit_txn" txid in
+  log_durably t (Wal.Txn_commit txid);
+  note_commit t (List.rev txn.written);
+  t.txn <- None;
+  t.commit_seq
+
+(* Put the in-memory layers back exactly as they were before the
+   transaction's ops, then record the abort. The undo application
+   cannot fail (it replays already-derived journal entries); if the
+   abort record itself cannot be logged the table is degraded but the
+   memory image is already consistent — and recovery discards the
+   commit-less tail anyway, so disk agrees. *)
+let abort_txn t ~txid =
+  let txn = require_txn t "Table.abort_txn" txid in
+  (* [undo] is accumulated newest-first, so re-reverse before inverting. *)
+  let inverse = Update.invert_journal (List.rev txn.undo) in
+  Update.Store.apply_journal t.store inverse;
+  apply_journal t inverse;
+  t.txn <- None;
+  match t.wal with
+  | None -> ()
+  | Some _ -> (
+    try log_durably t (Wal.Txn_abort txid)
+    with Storage_error.Error _ -> ())
 
 let member t tuple = Update.Store.member t.store tuple
 let snapshot t = Update.Store.snapshot t.store
@@ -339,12 +546,22 @@ let pages t = Heap.page_count t.heap
 
 let compact t =
   let live = snapshot t in
+  (* Rebuilding re-appends every live record through [physical_add],
+     which would restamp the images at the current sequence; a compact
+     changes the physical layout, not the commit history, so carry the
+     stamps over. *)
+  let stamps = t.versions in
   t.heap <- Heap.create ~page_size:t.page_size ();
   t.index <- Index.create ();
   t.rids <- Ntuple_table.create 256;
+  t.versions <- Ntuple_table.create 256;
   t.dead <- Rid_set.empty;
   t.btree <- Option.map (fun _ -> Btree.create ()) t.ordered_on;
-  Nfr.iter (physical_add t) live
+  Nfr.iter (physical_add t) live;
+  Ntuple_table.iter
+    (fun nt seq ->
+      if Ntuple_table.mem t.rids nt then Ntuple_table.replace t.versions nt seq)
+    stamps
 
 let checkpoint t =
   require_writable t;
@@ -488,6 +705,7 @@ let parse_snapshot ?page_size ?wal_path ?ordered_on contents =
       (fun tuple -> ignore (apply_unlogged t (Wal.Insert tuple)))
       (Ntuple.expand nt)
   done;
+  if count > 0 then t.commit_seq <- 1;
   (generation, t)
 
 let load_snapshot ?page_size ?wal_path ?ordered_on path =
@@ -503,15 +721,25 @@ let load_snapshot ?page_size ?wal_path ?ordered_on path =
        between save_snapshot and the checkpoint's truncation), so
        replaying them would double-apply. *)
     let stale = snapshot_generation > 0 && salvage.Wal.generation <= snapshot_generation in
-    if not stale then
+    if not stale then begin
+      let groups, _discarded = fold_committed (Wal.replay wal_path) in
+      let apply entry =
+        match apply_unlogged t entry with
+        | _ -> ()
+        | exception Update.Not_in_relation ->
+          Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:0
+            "WAL deletes an absent tuple"
+      in
       List.iter
-        (fun entry ->
-          match apply_unlogged t entry with
-          | _ -> ()
-          | exception Update.Not_in_relation ->
-            Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:0
-              "WAL deletes an absent tuple")
-        (Wal.replay wal_path)
+        (function
+          | `Auto entry ->
+            apply entry;
+            note_commit t []
+          | `Group entries ->
+            List.iter apply entries;
+            note_commit t [])
+        groups
+    end
   | None -> ());
   t
 
@@ -547,6 +775,7 @@ let load_snapshot_salvage ?page_size ?wal_path ?ordered_on path =
         stale_wal = false;
         applied = 0;
         skipped_ops = 0;
+        discarded_txn_ops = 0;
       }
     in
     degrade_if_lossy t report;
@@ -557,8 +786,8 @@ let load_snapshot_salvage ?page_size ?wal_path ?ordered_on path =
       snapshot_status = `Loaded && snapshot_generation > 0
       && salvage.Wal.generation <= snapshot_generation
     in
-    let applied, skipped_ops =
-      if stale || snapshot_status <> `Loaded then (0, 0)
+    let applied, skipped_ops, discarded_txn_ops =
+      if stale || snapshot_status <> `Loaded then (0, 0, 0)
       else apply_salvaged t salvage.Wal.entries
     in
     let report =
@@ -568,6 +797,7 @@ let load_snapshot_salvage ?page_size ?wal_path ?ordered_on path =
         stale_wal = stale;
         applied;
         skipped_ops;
+        discarded_txn_ops;
       }
     in
     degrade_if_lossy t report;
@@ -584,6 +814,17 @@ let check_invariants t =
   let rid_count_matches = List.length ntuples = Ntuple_table.length t.rids in
   let store_mirrored =
     List.for_all (fun nt -> Ntuple_table.mem t.rids nt) ntuples
+  in
+  let versions_stamped =
+    Ntuple_table.length t.versions = Ntuple_table.length t.rids
+    && Ntuple_table.fold
+         (fun nt _rid acc ->
+           acc
+           &&
+           match Ntuple_table.find_opt t.versions nt with
+           | Some seq -> seq >= 1 && seq <= t.commit_seq + 1
+           | None -> false)
+         t.rids true
   in
   let heap_roundtrips =
     Ntuple_table.fold
@@ -623,5 +864,5 @@ let check_invariants t =
            t.rids true
     | None, _ | _, None -> true
   in
-  rid_count_matches && store_mirrored && heap_roundtrips && postings_complete
-  && btree_consistent
+  rid_count_matches && store_mirrored && versions_stamped && heap_roundtrips
+  && postings_complete && btree_consistent

@@ -82,6 +82,10 @@ type recovery_report = {
           skipped *)
   applied : int;  (** WAL entries applied *)
   skipped_ops : int;  (** WAL entries that could not be applied *)
+  discarded_txn_ops : int;
+      (** transactional ops whose commit record never landed (torn
+          transaction or explicit abort) — rolled back by design, not
+          loss, so they never degrade the table *)
 }
 
 val recover_salvage :
@@ -120,14 +124,81 @@ val posting_size : t -> Attribute.t -> Value.t -> int
 
 val insert : t -> Tuple.t -> bool
 (** Logs, updates the canonical store, mirrors the journal onto the
-    heap/index. [false] (and no log entry) on duplicates.
+    heap/index, and commits (advancing {!commit_seq}). [false] (and no
+    log entry) on duplicates.
     @raise Storage_error.Error [(Degraded _)] when the table is (or
     this call's durability failure leaves it) degraded; the logical
-    and physical layers are untouched in that case. *)
+    and physical layers are untouched in that case.
+    @raise Invalid_argument while a storage transaction is open. *)
 
 val delete : t -> Tuple.t -> unit
 (** @raise Update.Not_in_relation when absent (nothing is logged).
+    @raise Storage_error.Error [(Degraded _)] as for {!insert}.
+    @raise Invalid_argument while a storage transaction is open. *)
+
+(** {2 Storage-level transactions}
+
+    The atomic unit under the executor's MVCC layer: ops between
+    {!begin_txn} and {!commit_txn} are logged as txn records
+    ([Txn_begin] .. [Txn_insert]/[Txn_delete] .. [Txn_commit]) and
+    replayed all-or-nothing by recovery — a log that ends before the
+    commit record (crash mid-transaction) has the whole group
+    discarded, and an explicit {!abort_txn} both undoes the in-memory
+    effects (journal inversion) and logs [Txn_abort]. One storage
+    transaction may be open per table at a time; autocommit
+    {!insert}/{!delete} are rejected while it is. Each committed op —
+    autocommit or transactional — stamps the NFR images it creates
+    with the commit sequence, and the flat tuples it wrote are
+    remembered in a ledger so {!modified_since} can answer
+    first-committer-wins visibility checks. The ledger grows with
+    every commit; an MVCC layer on top should {!prune_ledger} below
+    the oldest live snapshot it still tracks. *)
+
+val commit_seq : t -> int
+(** Number of commits applied to this table instance (bulk loads count
+    as commit 1). *)
+
+val in_txn : t -> bool
+
+val version_of : t -> Ntuple.t -> int option
+(** The commit sequence stamped on a live NFR image, [None] when the
+    tuple is not live. *)
+
+val modified_since : t -> seq:int -> Tuple.t -> bool
+(** Has any commit after [seq] written (inserted or deleted) this flat
+    tuple? The first-committer-wins check: a transaction whose
+    snapshot was taken at [seq] must abort if a tuple it wrote
+    satisfies this. *)
+
+val prune_ledger : t -> below:int -> unit
+(** Drop ledger entries at or below [below] — safe once no live
+    snapshot is older than that sequence. *)
+
+val ledger_size : t -> int
+
+val begin_txn : t -> txid:int -> unit
+(** Log [Txn_begin] and open the storage transaction.
+    @raise Invalid_argument when one is already open.
     @raise Storage_error.Error [(Degraded _)] as for {!insert}. *)
+
+val txn_insert : t -> txid:int -> Tuple.t -> bool
+(** {!insert} within the open transaction: logged as [Txn_insert],
+    applied immediately, undone by {!abort_txn} or a commit-less log.
+    @raise Invalid_argument when transaction [txid] is not open. *)
+
+val txn_delete : t -> txid:int -> Tuple.t -> unit
+(** @raise Update.Not_in_relation when absent (nothing is logged). *)
+
+val commit_txn : t -> txid:int -> int
+(** Log [Txn_commit], advance and return {!commit_seq}, and enter the
+    transaction's writes into the ledger. After this the group is
+    durable: recovery replays it atomically. *)
+
+val abort_txn : t -> txid:int -> unit
+(** Undo every applied op (inverted journals, applied newest-first),
+    close the transaction and log [Txn_abort]. The in-memory layers
+    are restored even when logging the abort record fails (the table
+    degrades; recovery discards the commit-less tail regardless). *)
 
 val member : t -> Tuple.t -> bool
 val snapshot : t -> Nfr.t

@@ -3,6 +3,11 @@ open Relational
 type entry =
   | Insert of Tuple.t
   | Delete of Tuple.t
+  | Txn_begin of int
+  | Txn_insert of int * Tuple.t
+  | Txn_delete of int * Tuple.t
+  | Txn_commit of int
+  | Txn_abort of int
 
 type format = V0 | V1
 
@@ -59,6 +64,10 @@ let read_file path =
 
 let generation t = t.generation
 
+(* Autocommit entries keep their original tags ('I'/'D') so every
+   pre-transaction log replays unchanged. Transactional entries carry
+   a varint txid after the tag; lowercase 'i'/'d' mirror their
+   autocommit counterparts. *)
 let encode_entry entry =
   let buffer = Buffer.create 32 in
   (match entry with
@@ -67,7 +76,24 @@ let encode_entry entry =
     Codec.encode_tuple buffer tuple
   | Delete tuple ->
     Buffer.add_char buffer 'D';
-    Codec.encode_tuple buffer tuple);
+    Codec.encode_tuple buffer tuple
+  | Txn_begin txid ->
+    Buffer.add_char buffer 'B';
+    Codec.encode_varint buffer txid
+  | Txn_insert (txid, tuple) ->
+    Buffer.add_char buffer 'i';
+    Codec.encode_varint buffer txid;
+    Codec.encode_tuple buffer tuple
+  | Txn_delete (txid, tuple) ->
+    Buffer.add_char buffer 'd';
+    Codec.encode_varint buffer txid;
+    Codec.encode_tuple buffer tuple
+  | Txn_commit txid ->
+    Buffer.add_char buffer 'C';
+    Codec.encode_varint buffer txid
+  | Txn_abort txid ->
+    Buffer.add_char buffer 'A';
+    Codec.encode_varint buffer txid);
   Buffer.contents buffer
 
 let add_le32 buffer n =
@@ -132,13 +158,33 @@ let decode_entry payload =
   let bytes = Bytes.of_string payload in
   if Bytes.length bytes < 1 then
     Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:0 "empty entry";
-  let tuple, consumed = Codec.decode_tuple bytes 1 in
-  if consumed <> Bytes.length bytes then
-    Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:consumed
-      "trailing bytes in entry";
+  let exhausted consumed =
+    if consumed <> Bytes.length bytes then
+      Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:consumed
+        "trailing bytes in entry"
+  in
+  let tuple_entry make offset =
+    let tuple, consumed = Codec.decode_tuple bytes offset in
+    exhausted consumed;
+    make tuple
+  in
+  let txid_entry make =
+    let txid, consumed = Codec.decode_varint bytes 1 in
+    exhausted consumed;
+    make txid
+  in
+  let txid_tuple_entry make =
+    let txid, offset = Codec.decode_varint bytes 1 in
+    tuple_entry (make txid) offset
+  in
   match Bytes.get bytes 0 with
-  | 'I' -> Insert tuple
-  | 'D' -> Delete tuple
+  | 'I' -> tuple_entry (fun t -> Insert t) 1
+  | 'D' -> tuple_entry (fun t -> Delete t) 1
+  | 'B' -> txid_entry (fun id -> Txn_begin id)
+  | 'C' -> txid_entry (fun id -> Txn_commit id)
+  | 'A' -> txid_entry (fun id -> Txn_abort id)
+  | 'i' -> txid_tuple_entry (fun id t -> Txn_insert (id, t))
+  | 'd' -> txid_tuple_entry (fun id t -> Txn_delete (id, t))
   | c ->
     Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:0
       (Printf.sprintf "unknown entry tag %C" c)

@@ -27,8 +27,13 @@
 open Relational
 
 type entry =
-  | Insert of Tuple.t
-  | Delete of Tuple.t
+  | Insert of Tuple.t  (** autocommit insert (legacy tag; replays as its own txn) *)
+  | Delete of Tuple.t  (** autocommit delete *)
+  | Txn_begin of int  (** open transaction [txid] *)
+  | Txn_insert of int * Tuple.t  (** insert within transaction [txid] *)
+  | Txn_delete of int * Tuple.t  (** delete within transaction [txid] *)
+  | Txn_commit of int  (** transaction [txid] committed — its ops are durable *)
+  | Txn_abort of int  (** transaction [txid] rolled back — discard its ops *)
 
 type format = V0  (** legacy: unframed, 1-byte additive checksum *)
             | V1  (** current: header + marker/CRC-32 frames *)

@@ -353,6 +353,179 @@ let test_scheduled_crashes () =
       Table.close !table)
 
 (* ------------------------------------------------------------------ *)
+(* Torn transactions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A transaction's durable footprint is one WAL record group —
+   Txn_begin, the buffered ops, Txn_commit. Killing the process at
+   every storage site inside that window must leave recovery
+   all-or-nothing: exactly the pre-transaction state or exactly the
+   post-transaction state, never a committed prefix. Silent media
+   faults (a flipped or dropped frame) may instead shave ops, but only
+   visibly: the salvage report or the discarded-ops counter says so. *)
+
+let order2 = Schema.attributes schema2
+let pair_tuple (a, b) = Tuple.make schema2 [ v a; v b ]
+
+let rel_of pairs =
+  List.fold_left
+    (fun r p -> Relation.add r (pair_tuple p))
+    (Relation.empty schema2) pairs
+
+let txn_base_rows = [ ("a1", "b1"); ("a2", "b2"); ("a3", "b3"); ("a4", "b4") ]
+let txn_inserts = [ ("n1", "x1"); ("n2", "x2"); ("n3", "x3"); ("n4", "x4") ]
+let txn_deletes = [ ("a1", "b1"); ("a2", "b2") ]
+let txn_base = rel_of txn_base_rows
+
+let txn_post =
+  List.fold_left
+    (fun r p -> Relation.remove r (pair_tuple p))
+    (rel_of (txn_base_rows @ txn_inserts))
+    txn_deletes
+
+(* Post-state minus exactly one of the transaction's ops: what a
+   silently dropped or flipped frame inside a committed group leaves
+   behind. *)
+let txn_minus_one =
+  List.map (fun p -> Relation.remove txn_post (pair_tuple p)) txn_inserts
+  @ List.map (fun p -> Relation.add txn_post (pair_tuple p)) txn_deletes
+
+(* Commit base rows, then leave a transaction open holding four
+   buffered inserts and two buffered deletes. *)
+let open_txn_db table =
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" table;
+  ignore
+    (Nfql.Physical.exec_string db
+       "insert into t values ('a1','b1'),('a2','b2'),('a3','b3'),('a4','b4')");
+  ignore
+    (Nfql.Physical.exec_string db
+       "begin;\n\
+        insert into t values ('n1','x1'),('n2','x2'),('n3','x3'),('n4','x4');\n\
+        delete from t where A = 'a1';\n\
+        delete from t where A = 'a2'");
+  db
+
+let recover2_from_disk ~wal_path ~snap_path =
+  if Sys.file_exists snap_path then
+    Table.load_snapshot_salvage ~wal_path snap_path
+  else Table.recover_salvage ~wal_path ~order:order2 schema2
+
+let check_torn ~name ~fault recovered report =
+  Alcotest.(check bool) (name ^ ": cross-layer audit") true
+    (Table.check_invariants recovered);
+  (* Judge canonicality against the table's own nest order: a flipped
+     snapshot may decode under a mangled schema, which the state check
+     below rejects (no silent match) — but the recovered structure
+     must still be a canonical form. *)
+  Alcotest.(check bool)
+    (name ^ ": recovered snapshot is canonical")
+    true
+    (Nfr_core.Nest.is_canonical (Table.snapshot recovered)
+       (Table.nest_order recovered));
+  let state = flat recovered in
+  let strict =
+    Relation.equal state txn_base || Relation.equal state txn_post
+  in
+  let ok =
+    match fault with
+    | Failpoint.Crash | Failpoint.Short_write _ ->
+      (* Process death mid-commit: strictly all-or-nothing. *)
+      strict
+    | Failpoint.Bit_flip _ | Failpoint.Drop_write ->
+      strict || lossy report
+      || report.Table.discarded_txn_ops > 0
+      || List.exists (Relation.equal state) txn_minus_one
+  in
+  Alcotest.(check bool) (name ^ ": all-or-nothing recovery") true ok
+
+let test_torn_txn_matrix () =
+  List.iter
+    (fun (site, kind) ->
+      if site <> "engine.load.record" then
+        List.iter
+          (fun fault ->
+            let is_append =
+              String.length site >= 10 && String.sub site 0 10 = "wal.append"
+            in
+            (* Committing appends Txn_begin, six ops, Txn_commit: hit
+               the begin record, a mid-group op, and the commit record
+               itself. *)
+            let afters = if is_append then [ 0; 3; 7 ] else [ 0 ] in
+            List.iter
+              (fun after ->
+                let name =
+                  Printf.sprintf "txn %s/%s@%d" site (pp_fault fault) after
+                in
+                with_scratch (fun ~wal_path ~snap_path ->
+                    Failpoint.reset ();
+                    let table =
+                      Table.create ~wal_path ~order:order2 schema2
+                    in
+                    let db = open_txn_db table in
+                    Failpoint.arm ~after site fault;
+                    let crashed =
+                      try
+                        if not is_append then begin
+                          (* A background snapshot + checkpoint while
+                             the transaction is open: buffered writes
+                             must not leak through either path. *)
+                          Table.save_snapshot table snap_path;
+                          Table.checkpoint table
+                        end;
+                        ignore (Nfql.Physical.exec_string db "commit");
+                        false
+                      with Failpoint.Crashed _ -> true
+                    in
+                    Alcotest.(check bool)
+                      (name ^ ": fault fired")
+                      true
+                      (List.mem (site, fault) (Failpoint.fired ()));
+                    (match fault with
+                    | Failpoint.Crash | Failpoint.Short_write _ ->
+                      Alcotest.(check bool)
+                        (name ^ ": simulated process death")
+                        true crashed
+                    | _ -> ());
+                    Failpoint.reset ();
+                    (try Table.close table with _ -> ());
+                    let recovered, report =
+                      recover2_from_disk ~wal_path ~snap_path
+                    in
+                    check_torn ~name ~fault recovered report;
+                    Table.close recovered))
+              afters)
+          (Failpoint.faults_for kind))
+    Failpoint.sites
+
+(* BEGIN; DML; ROLLBACK must be byte-identical to never having run:
+   same in-memory state, same WAL bytes, same commit sequence. *)
+let test_rollback_byte_identical () =
+  with_scratch (fun ~wal_path ~snap_path:_ ->
+      let table = Table.create ~wal_path ~order:order2 schema2 in
+      let db = Nfql.Physical.create () in
+      Nfql.Physical.add_table db "t" table;
+      ignore
+        (Nfql.Physical.exec_string db
+           "insert into t values ('a1','b1'),('a2','b2')");
+      let wal_before = In_channel.with_open_bin wal_path In_channel.input_all in
+      let seq_before = Table.commit_seq table in
+      let state_before = flat table in
+      ignore
+        (Nfql.Physical.exec_string db
+           "begin;\n\
+            insert into t values ('n1','x1');\n\
+            delete from t where A = 'a1';\n\
+            rollback");
+      Alcotest.(check string) "WAL bytes unchanged" wal_before
+        (In_channel.with_open_bin wal_path In_channel.input_all);
+      Alcotest.(check int) "commit sequence unchanged" seq_before
+        (Table.commit_seq table);
+      Alcotest.check relation_testable "state unchanged" state_before
+        (flat table);
+      Table.close table)
+
+(* ------------------------------------------------------------------ *)
 (* NFQL UPDATE crash window                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -433,6 +606,13 @@ let () =
         [
           Alcotest.test_case "crash, recover, resume" `Quick
             test_scheduled_crashes;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "torn transaction at every site" `Quick
+            test_torn_txn_matrix;
+          Alcotest.test_case "rollback is byte-identical" `Quick
+            test_rollback_byte_identical;
         ] );
       ( "nfql",
         [

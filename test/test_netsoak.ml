@@ -100,12 +100,23 @@ let test_soak () =
     let whole = Server.Protocol.encode_string (Server.Protocol.Query "show t") in
     String.sub whole 0 (String.length whole - 3)
   in
+  (* A second victim dies holding an open transaction with buffered
+     writes: the server must roll it back (its rows never reach the
+     shared table, so the final-state check below still holds) and the
+     workers must not notice. *)
+  let txn_victim = Server.Client.connect ~port () in
+  ignore (Server.Client.query_exn txn_victim "begin");
+  ignore
+    (Server.Client.query_exn txn_victim
+       "insert into t values ('zz1','zz2','zz3')");
+  statements_sent := !statements_sent + 2;
   List.iteri
     (fun i op ->
       if i = ops / 2 then begin
         Server.Client.send_raw victim victim_fragment;
         Server.Client.close victim
       end;
+      if i = ops / 3 then Server.Client.close txn_victim;
       let client = clients.(i mod conns) in
       (match
          Server.Client.query client (Workload.Trace.nfql_statement ~table:"t" op)
@@ -134,10 +145,19 @@ let test_soak () =
     "METRICS queries.total = client-side statement count" !statements_sent
     (counter_of_dump dump "queries.total");
   Alcotest.(check int)
-    "all 33 connections accepted" (conns + 1)
+    "all 34 connections accepted" (conns + 2)
     (counter_of_dump dump "connections.accepted");
   Alcotest.(check (list string)) "no error counters" []
     (error_counters_of_dump dump);
+  (* The mid-transaction death shows up as exactly one implicit
+     rollback, and nothing stays open. *)
+  Alcotest.(check int) "txn.begin" 1 (counter_of_dump dump "txn.begin");
+  Alcotest.(check int) "txn.auto_rollback" 1
+    (counter_of_dump dump "txn.auto_rollback");
+  Alcotest.(check int) "txn.abort" 1 (counter_of_dump dump "txn.abort");
+  Alcotest.(check int) "txn.commit" 0 (counter_of_dump dump "txn.commit");
+  Alcotest.(check int) "txn.active drained" 0
+    (counter_of_dump dump "txn.active");
   Server.Client.shutdown admin;
   Array.iter Server.Client.close clients;
   let _, status = Unix.waitpid [] server_pid in

@@ -192,6 +192,68 @@ let test_physical_dml () =
     Alcotest.(check int) "updated" 1 (Relation.cardinality (Nfr.flatten rows))
   | _ -> Alcotest.fail "expected rows"
 
+(* Both back ends run the same transactional script and must agree on
+   every visible state: inside the transaction (snapshot plus buffered
+   writes), after ROLLBACK (the original state), and after COMMIT. *)
+let test_txn_differential () =
+  let dbs = setup ~rows:30 () in
+  let check q = check_same_rows q (both_run dbs q) in
+  let run q = ignore (both_run dbs q) in
+  check "select * from sc";
+  run "begin";
+  run "insert into sc values ('sX','cX','t1')";
+  run "delete from sc where Student = 'student1'";
+  run "update sc set Semester = 'tZ' where Student = 'student2'";
+  check "select * from sc";
+  check "select * from sc where Semester = 'tZ'";
+  check "select Course from sc where Student = 'sX'";
+  (match both_run dbs "select count from sc" with
+  | Eval.Done a, Eval.Done b, _ ->
+    Alcotest.(check string) "same count inside the transaction" a b
+  | _ -> Alcotest.fail "expected count summaries");
+  run "rollback";
+  check "select * from sc";
+  run "begin";
+  run "insert into sc values ('sX','cX','t1')";
+  run "delete from sc where Student = 'student1'";
+  run "commit";
+  check "select * from sc";
+  check "select * from sc where Student = 'sX'"
+
+(* Transaction statement errors agree across back ends: COMMIT and
+   ROLLBACK outside a transaction, BEGIN twice, DDL inside one. *)
+let test_txn_errors_differential () =
+  let logical, physical = setup ~rows:10 () in
+  let errors_on_both q =
+    let logical_raises =
+      match Eval.exec_string logical q with
+      | _ -> false
+      | exception Eval.Eval_error _ -> true
+    in
+    let physical_raises =
+      match Physical.exec_string physical q with
+      | _ -> false
+      | exception Eval.Eval_error _ -> true
+    in
+    Alcotest.(check (pair bool bool))
+      (Printf.sprintf "both back ends reject %s" q)
+      (true, true)
+      (logical_raises, physical_raises)
+  in
+  errors_on_both "commit";
+  errors_on_both "rollback";
+  ignore (Eval.exec_string logical "begin");
+  ignore (Physical.exec_string physical "begin");
+  errors_on_both "begin";
+  errors_on_both "create table u (X string)";
+  errors_on_both "drop table sc";
+  (* The failed statements left the transactions open and intact. *)
+  ignore (Eval.exec_string logical "rollback");
+  ignore (Physical.exec_string physical "rollback");
+  List.iter
+    (fun q -> check_same_rows q (both_run (logical, physical) q))
+    [ "select * from sc" ]
+
 let test_physical_table_stays_canonical () =
   let physical = Physical.create () in
   ignore
@@ -407,6 +469,9 @@ let () =
             prop_differential;
           Alcotest.test_case "joins agree (index nested-loop)" `Quick
             test_physical_join_differential;
+          Alcotest.test_case "transactions agree" `Quick test_txn_differential;
+          Alcotest.test_case "transaction errors agree" `Quick
+            test_txn_errors_differential;
         ] );
       ( "dml",
         [

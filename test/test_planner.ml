@@ -411,6 +411,76 @@ let test_auto_refresh () =
   Alcotest.(check int) "planner.auto_analyze charged" (auto0 + 1)
     (counter "planner.auto_analyze")
 
+(* Auto-ANALYZE counts only committed writes: a rolled-back
+   transaction restores the pre-transaction write ledger, so its
+   buffered inserts never push a table over the refresh threshold. *)
+let test_auto_analyze_ignores_rollback () =
+  let physical = cache_setup () in
+  Physical.set_auto_analyze_threshold physical 3;
+  let auto0 = counter "planner.auto_analyze" in
+  let generation = Physical.generation physical in
+  ignore
+    (Physical.exec_string physical
+       "begin;\n\
+        insert into t values ('x1','x1'),('x2','x2'),('x3','x3');\n\
+        rollback");
+  Alcotest.(check int) "rollback triggers no refresh" auto0
+    (counter "planner.auto_analyze");
+  Alcotest.(check bool) "generation unchanged by rollback" true
+    (Physical.generation physical = generation);
+  let stats = Option.get (Physical.table_stats physical "t") in
+  Alcotest.(check int) "statistics still describe committed state" 3
+    stats.Tablestats.s_facts;
+  (* Two committed writes stay under the threshold — proof the three
+     rolled-back ones did not leak into the ledger. *)
+  ignore
+    (Physical.exec_string physical "insert into t values ('y1','y1'),('y2','y2')");
+  Alcotest.(check int) "committed writes below threshold" auto0
+    (counter "planner.auto_analyze");
+  (* The third committed write crosses it. *)
+  ignore (Physical.exec_string physical "insert into t values ('y3','y3')");
+  Alcotest.(check int) "third committed write fires the refresh" (auto0 + 1)
+    (counter "planner.auto_analyze");
+  (* A committed transaction's writes count exactly once, at COMMIT. *)
+  ignore
+    (Physical.exec_string physical
+       "begin;\n\
+        insert into t values ('z1','z1'),('z2','z2'),('z3','z3');\n\
+        commit");
+  Alcotest.(check int) "committed transaction fires the refresh" (auto0 + 2)
+    (counter "planner.auto_analyze")
+
+(* The generation-keyed cache never serves plans costed against
+   aborted statistics: a rolled-back bulk insert leaves the generation
+   alone (the cached plan is still valid and hits), while the same
+   insert committed refreshes statistics and forces a re-cost. *)
+let test_cache_around_aborted_bulk_insert () =
+  let physical = cache_setup () in
+  Physical.set_auto_analyze_threshold physical 3;
+  let s = parse_select "select * from t where A = 'a1'" in
+  ignore (Physical.plan physical s);
+  let generation = Physical.generation physical in
+  let hit0 = counter "planner.cache_hit" in
+  let miss0 = counter "planner.cache_miss" in
+  (* Bulk enough to trip auto-ANALYZE if its writes leaked. *)
+  let bulk =
+    "insert into t values ('z1','z1'),('z2','z2'),('z3','z3'),('z4','z4')"
+  in
+  ignore (Physical.exec_string physical ("begin;\n" ^ bulk ^ ";\nrollback"));
+  Alcotest.(check bool) "aborted bulk insert keeps the generation" true
+    (Physical.generation physical = generation);
+  ignore (Physical.plan physical s);
+  Alcotest.(check int) "cached plan still hits after rollback" (hit0 + 1)
+    (counter "planner.cache_hit");
+  Alcotest.(check int) "no spurious miss after rollback" miss0
+    (counter "planner.cache_miss");
+  ignore (Physical.exec_string physical ("begin;\n" ^ bulk ^ ";\ncommit"));
+  Alcotest.(check bool) "committed bulk insert bumps the generation" true
+    (Physical.generation physical > generation);
+  ignore (Physical.plan physical s);
+  Alcotest.(check int) "stale plan recosted after commit" (miss0 + 1)
+    (counter "planner.cache_miss")
+
 (* ------------------------------------------------------------------ *)
 (* Costing on skew, and what EXPLAIN shows.                            *)
 (* ------------------------------------------------------------------ *)
@@ -535,6 +605,10 @@ let () =
             test_cache_counters_and_invalidation;
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "auto refresh" `Quick test_auto_refresh;
+          Alcotest.test_case "auto refresh ignores rollback" `Quick
+            test_auto_analyze_ignores_rollback;
+          Alcotest.test_case "cache around aborted bulk insert" `Quick
+            test_cache_around_aborted_bulk_insert;
         ] );
       ( "costing",
         [

@@ -661,6 +661,276 @@ let test_loop_drain_refuses_new_requests () =
             Alcotest.failf "wanted shutting-down err, got %s"
               (P.message_name other)))
 
+(* ------------------------------------------------------------------ *)
+(* Transactions across concurrent sessions                             *)
+(* ------------------------------------------------------------------ *)
+
+let expect_done loop rc source =
+  match rc_query loop rc source with
+  | Ok _ -> ()
+  | Error (code, reason) ->
+    Alcotest.failf "%s refused (%s): %s" source (P.err_code_name code) reason
+
+let query_rows loop rc source = expect_rows (rc_query loop rc source)
+
+let test_txn_snapshot_isolation () =
+  with_loop (fun loop ->
+      let rc1 = rc_connect loop in
+      let rc2 = rc_connect loop in
+      Fun.protect
+        ~finally:(fun () ->
+          rc_close rc1;
+          rc_close rc2)
+        (fun () ->
+          expect_done loop rc1 "begin";
+          Alcotest.check relation_testable "snapshot at BEGIN" start_relation
+            (Nfr.flatten (query_rows loop rc1 "select * from t"));
+          (* A concurrent autocommit write lands immediately for rc2... *)
+          expect_done loop rc2 "insert into t values ('a9','b9')";
+          Alcotest.(check int) "rc2 sees its own write"
+            (Relation.cardinality start_relation + 1)
+            (Relation.cardinality
+               (Nfr.flatten (query_rows loop rc2 "select * from t")));
+          (* ...while rc1's snapshot stays pinned. *)
+          Alcotest.check relation_testable "rc1's snapshot is stable"
+            start_relation
+            (Nfr.flatten (query_rows loop rc1 "select * from t"));
+          (* rc1's own buffered write is visible to rc1 alone. *)
+          expect_done loop rc1 "insert into t values ('a8','b8')";
+          Alcotest.(check int) "rc1 sees its buffered write"
+            (Relation.cardinality start_relation + 1)
+            (Relation.cardinality
+               (Nfr.flatten (query_rows loop rc1 "select * from t")));
+          Alcotest.(check int) "rc2 does not see rc1's buffer"
+            (Relation.cardinality start_relation + 1)
+            (Relation.cardinality
+               (Nfr.flatten (query_rows loop rc2 "select * from t")));
+          (* Disjoint write sets: the commit goes through, and both
+             writes are now visible everywhere. *)
+          expect_done loop rc1 "commit";
+          List.iter
+            (fun rc ->
+              Alcotest.(check int) "merged state"
+                (Relation.cardinality start_relation + 2)
+                (Relation.cardinality
+                   (Nfr.flatten (query_rows loop rc "select * from t"))))
+            [ rc1; rc2 ]))
+
+let metrics_lines loop rc =
+  rc_send rc (P.encode_string P.Metrics_req);
+  match expect_msg loop rc "metrics" with
+  | P.Metrics dump -> String.split_on_char '\n' dump
+  | other -> Alcotest.failf "wanted metrics, got %s" (P.message_name other)
+
+let metric_value lines name =
+  List.fold_left
+    (fun acc line ->
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = name -> (
+        try int_of_float (float_of_string (String.sub line (i + 1) (String.length line - i - 1)))
+        with Failure _ -> acc)
+      | _ -> acc)
+    0 lines
+
+let test_txn_first_committer_wins () =
+  with_loop (fun loop ->
+      let rc1 = rc_connect loop in
+      let rc2 = rc_connect loop in
+      Fun.protect
+        ~finally:(fun () ->
+          rc_close rc1;
+          rc_close rc2)
+        (fun () ->
+          expect_done loop rc1 "begin";
+          expect_done loop rc2 "begin";
+          (* Both transactions delete the same committed tuple. *)
+          expect_done loop rc1 "delete from t where A = 'a2'";
+          expect_done loop rc2 "delete from t where A = 'a2'";
+          expect_done loop rc1 "commit";
+          (* The loser gets the typed conflict code, not a generic
+             query failure, and its transaction is already gone. *)
+          (match rc_query loop rc2 "commit" with
+          | Error (P.Conflict, reason) ->
+            Alcotest.(check bool) "reason names the conflict" true
+              (contains_substring reason "concurrent"
+              || contains_substring reason "conflict")
+          | Error (code, reason) ->
+            Alcotest.failf "wanted conflict, got %s: %s"
+              (P.err_code_name code) reason
+          | Ok _ -> Alcotest.fail "second committer must lose");
+          (* The connection survives; autocommit reads see the winner's
+             state exactly once. *)
+          Alcotest.check relation_testable "winner's delete applied"
+            (rel schema2 [ [ "a1"; "b1" ]; [ "a1"; "b2" ] ])
+            (Nfr.flatten (query_rows loop rc2 "select * from t"));
+          (* The METRICS ledger balances: 2 begun = 1 committed +
+             1 aborted; the abort was a conflict; nothing left open. *)
+          let lines = metrics_lines loop rc1 in
+          Alcotest.(check int) "txn.begin" 2 (metric_value lines "txn.begin");
+          Alcotest.(check int) "txn.commit" 1 (metric_value lines "txn.commit");
+          Alcotest.(check int) "txn.abort" 1 (metric_value lines "txn.abort");
+          Alcotest.(check int) "txn.conflict" 1
+            (metric_value lines "txn.conflict");
+          Alcotest.(check int) "errors.conflict" 1
+            (metric_value lines "errors.conflict");
+          Alcotest.(check int) "txn.active drained" 0
+            (metric_value lines "txn.active");
+          (* And the conflict is visible through the Prometheus
+             exposition an alerting pipeline scrapes. *)
+          rc_send rc1 (P.encode_string P.Metrics_prom_req);
+          match expect_msg loop rc1 "prom" with
+          | P.Metrics_prom body ->
+            Alcotest.(check bool) "prometheus txn.conflict series" true
+              (contains_substring body "txn_conflict 1")
+          | other -> Alcotest.failf "wanted prom, got %s" (P.message_name other)))
+
+(* A seeded random interleaving of conflicting DML across three
+   sessions: every commit either succeeds or fails with the typed
+   conflict; at the end the ledger balances and no transaction is
+   left open. *)
+let test_txn_interleaving_property () =
+  let seed =
+    match Sys.getenv_opt "CRASH_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 42)
+    | None -> 42
+  in
+  with_loop (fun loop ->
+      let rng = Workload.Prng.create seed in
+      let clients = Array.init 3 (fun _ -> rc_connect loop) in
+      let in_txn = Array.make 3 false in
+      let begun = ref 0 and committed = ref 0 and aborted = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> Array.iter rc_close clients)
+        (fun () ->
+          for _ = 1 to 60 do
+            let i = Workload.Prng.int rng 3 in
+            let rc = clients.(i) in
+            if not in_txn.(i) then begin
+              expect_done loop rc "begin";
+              in_txn.(i) <- true;
+              incr begun
+            end
+            else
+              match Workload.Prng.int rng 4 with
+              | 0 ->
+                (* Conflicting write: everyone fights over 'a1'. *)
+                (match
+                   rc_query loop rc
+                     "update t set B = 'bX' where A = 'a1'"
+                 with
+                | Ok _ -> ()
+                | Error (code, reason) ->
+                  Alcotest.failf "in-txn update refused (%s): %s"
+                    (P.err_code_name code) reason)
+              | 1 -> (
+                match rc_query loop rc "commit" with
+                | Ok _ ->
+                  in_txn.(i) <- false;
+                  incr committed
+                | Error (P.Conflict, _) ->
+                  in_txn.(i) <- false;
+                  incr aborted
+                | Error (code, reason) ->
+                  Alcotest.failf "commit failed oddly (%s): %s"
+                    (P.err_code_name code) reason)
+              | 2 ->
+                expect_done loop rc "rollback";
+                in_txn.(i) <- false;
+                incr aborted
+              | _ ->
+                (* A read inside the transaction never fails. *)
+                ignore (query_rows loop rc "select * from t")
+          done;
+          (* Settle every open transaction. *)
+          Array.iteri
+            (fun i rc ->
+              if in_txn.(i) then begin
+                (match rc_query loop rc "commit" with
+                | Ok _ -> incr committed
+                | Error (P.Conflict, _) -> incr aborted
+                | Error (code, reason) ->
+                  Alcotest.failf "final commit failed oddly (%s): %s"
+                    (P.err_code_name code) reason);
+                in_txn.(i) <- false
+              end)
+            clients;
+          Alcotest.(check bool) "some transactions ran" true (!begun > 0);
+          Alcotest.(check int) "ledger balances" !begun
+            (!committed + !aborted);
+          let lines = metrics_lines loop clients.(0) in
+          Alcotest.(check int) "txn.begin matches" !begun
+            (metric_value lines "txn.begin");
+          Alcotest.(check int) "txn.commit matches" !committed
+            (metric_value lines "txn.commit");
+          Alcotest.(check int) "txn.abort matches" !aborted
+            (metric_value lines "txn.abort");
+          Alcotest.(check int) "nothing left open" 0
+            (metric_value lines "txn.active")))
+
+(* A client that vanishes mid-transaction: the server rolls the
+   transaction back (counted), and its buffered writes never land. *)
+let test_txn_disconnect_rolls_back () =
+  with_loop (fun loop ->
+      let rc1 = rc_connect loop in
+      expect_done loop rc1 "begin";
+      expect_done loop rc1 "insert into t values ('zz','zz')";
+      rc_close rc1;
+      for _ = 1 to 5 do
+        ignore (Server.Loop.step loop 0.002)
+      done;
+      Alcotest.(check int) "session reclaimed" 0 (Server.Loop.live_sessions loop);
+      let rc2 = rc_connect loop in
+      Fun.protect ~finally:(fun () -> rc_close rc2) (fun () ->
+          Alcotest.check relation_testable "buffered write discarded"
+            start_relation
+            (Nfr.flatten (query_rows loop rc2 "select * from t"));
+          let lines = metrics_lines loop rc2 in
+          Alcotest.(check int) "auto-rollback counted" 1
+            (metric_value lines "txn.auto_rollback");
+          Alcotest.(check int) "txn.active drained" 0
+            (metric_value lines "txn.active")))
+
+(* Idle-in-transaction gets a shorter leash than plain idle: the
+   reaper rolls the transaction back and says so. *)
+let test_txn_idle_in_txn_reaped () =
+  let clock = ref 3000. in
+  let config =
+    {
+      (config_with ~idle_timeout:60. ()) with
+      Server.Session.idle_in_txn_timeout = 5.;
+    }
+  in
+  with_loop ~config ~now:(fun () -> !clock) (fun loop ->
+      let rc = rc_connect loop in
+      Fun.protect ~finally:(fun () -> rc_close rc) (fun () ->
+          expect_done loop rc "begin";
+          expect_done loop rc "insert into t values ('zz','zz')";
+          (* Well under the 60 s idle timeout, past the 5 s in-txn one. *)
+          clock := !clock +. 6.;
+          for _ = 1 to 3 do
+            ignore (Server.Loop.step loop 0.002)
+          done;
+          (match rc_try_recv loop rc with
+          | Some (P.Err (P.Timeout, reason)) ->
+            Alcotest.(check bool) "reason mentions the transaction" true
+              (contains_substring reason "transaction")
+          | Some other ->
+            Alcotest.failf "wanted timeout err, got %s" (P.message_name other)
+          | None -> Alcotest.fail "no reap notice before the idle timeout");
+          for _ = 1 to 3 do
+            ignore (Server.Loop.step loop 0.002)
+          done;
+          Alcotest.(check int) "session reaped" 0
+            (Server.Loop.live_sessions loop);
+          Alcotest.(check int) "counted as in-txn reap" 1
+            (Server.Metrics.get (Server.Loop.metrics loop)
+               "connections.reaped_in_txn"));
+      (* The rolled-back write is gone for the next client. *)
+      let rc2 = rc_connect loop in
+      Fun.protect ~finally:(fun () -> rc_close rc2) (fun () ->
+          Alcotest.check relation_testable "write rolled back" start_relation
+            (Nfr.flatten (query_rows loop rc2 "select * from t"))))
+
 (* Crash-test the serve path with the storage failpoint registry:
    an armed Crash at the per-frame site simulates the process dying
    mid-request; a WAL-backed table must recover to exactly the
@@ -759,5 +1029,18 @@ let () =
             test_loop_drain_refuses_new_requests;
           Alcotest.test_case "failpoint crash mid-serve, WAL recovers" `Quick
             test_loop_failpoint_crash_and_recover;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "snapshot isolation across sessions" `Quick
+            test_txn_snapshot_isolation;
+          Alcotest.test_case "first committer wins" `Quick
+            test_txn_first_committer_wins;
+          Alcotest.test_case "seeded interleaving balances the ledger" `Quick
+            test_txn_interleaving_property;
+          Alcotest.test_case "disconnect rolls back" `Quick
+            test_txn_disconnect_rolls_back;
+          Alcotest.test_case "idle-in-transaction reaped" `Quick
+            test_txn_idle_in_txn_reaped;
         ] );
     ]

@@ -325,7 +325,7 @@ let test_wal_crash_truncation () =
                (fun entry expected ->
                  match entry with
                  | Wal.Insert t -> Tuple.equal t expected
-                 | Wal.Delete _ -> false)
+                 | _ -> false)
                recovered
                (List.filteri (fun i _ -> i < List.length recovered) tuples))
       done)
@@ -564,7 +564,7 @@ let test_wal_midlog_salvage () =
           | Wal.Insert t ->
             Alcotest.(check bool) "salvaged entry is genuine" true
               (List.exists (Tuple.equal t) tuples)
-          | Wal.Delete _ -> Alcotest.fail "unexpected delete salvaged")
+          | _ -> Alcotest.fail "unexpected non-insert salvaged")
         salvage.Wal.entries)
 
 let test_wal_tail_debris_rejected () =
