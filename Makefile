@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench txntest txnbench bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench txntest txnbench pooltest poolbench bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -72,6 +72,16 @@ txntest:
 # throughput and abort overhead (writes BENCH_txn.json).
 txnbench:
 	dune exec bench/main.exe -- txn
+
+# Buffer pool: LRU/ledger property tests, the heap integration
+# invariants, and the planner's cold-scan -> cached-probe flip.
+pooltest:
+	dune exec test/test_pool.exe
+
+# Buffer-pool micro-bench: Zipf hit rate, scan throughput, and the
+# repeated-probe plan flip (writes BENCH_pool.json).
+poolbench:
+	dune exec bench/main.exe -- pool
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,106 @@
+(* Buffer-pool micro-bench, written to BENCH_pool.json.
+
+   Three measurements against the pooled heap and the planner:
+
+   - A Zipf-skewed point-fetch workload over a heap whose pool holds a
+     small fraction of the pages: throughput plus the pool's own
+     hit/miss/eviction ledger. Skew means the hot pages stay resident,
+     so the hit rate prices what the LRU actually buys.
+   - Full-heap scan throughput. The scan path walks the growable slot
+     directory and the doubling page table, so this number regresses
+     if either reverts to its old quadratic shape.
+   - The repeated-probe planner flip: the same SELECT planned against
+     a cold pool (heap scan wins) and again after the workload warms
+     the pool (the repriced index probe wins), with the warm hit rate
+     that drove the flip. *)
+
+open Relational
+
+let path_name = function
+  | Nfql.Physical.Via_scan -> "heap-scan"
+  | Nfql.Physical.Via_index _ -> "index-probe"
+  | Nfql.Physical.Via_range _ -> "btree-range"
+  | Nfql.Physical.Via_join _ -> "join"
+
+let run () =
+  (* Zipf fetches against a pool holding ~16 of the heap's pages. *)
+  let heap = Storage.Heap.create ~page_size:256 ~pool_capacity:16 () in
+  let records = 5000 in
+  let rids =
+    Array.init records (fun i ->
+        Storage.Heap.append heap (Printf.sprintf "record-%06d" i))
+  in
+  let stats = Storage.Stats.create () in
+  let prng = Workload.Prng.create 42 in
+  let zipf = Workload.Zipf.create ~n:records ~s:1.1 in
+  let fetches = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to fetches do
+    ignore (Storage.Heap.fetch heap ~stats rids.(Workload.Zipf.sample zipf prng))
+  done;
+  let fetch_s = Unix.gettimeofday () -. t0 in
+  let pool = Storage.Heap.pool heap in
+  let hit_rate = Storage.Bufpool.hit_rate pool in
+  Format.printf "zipf fetch: %d ops in %.3f s (%.0f ops/s), hit rate %.3f@."
+    fetches fetch_s
+    (float_of_int fetches /. fetch_s)
+    hit_rate;
+  (* Scan throughput: every record through the slot directory. *)
+  let scan_stats = Storage.Stats.create () in
+  let scans = 50 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to scans do
+    Storage.Heap.scan heap ~stats:scan_stats (fun _ _ -> ())
+  done;
+  let scan_s = Unix.gettimeofday () -. t0 in
+  let scanned = scans * records in
+  Format.printf "scan: %d records in %.3f s (%.0f records/s)@." scanned scan_s
+    (float_of_int scanned /. scan_s);
+  (* The planner flip on a repeated-probe workload. *)
+  let schema = Schema.strings [ "K"; "V" ] in
+  let order = Schema.attributes schema in
+  let table = Storage.Table.create ~page_size:256 ~order schema in
+  for i = 1 to 45 do
+    ignore
+      (Storage.Table.insert table
+         (Tuple.make schema
+            [ Value.of_string "hot"; Value.of_string (Printf.sprintf "v%02d" i) ]))
+  done;
+  for i = 1 to 5 do
+    ignore
+      (Storage.Table.insert table
+         (Tuple.make schema
+            [ Value.of_string "cold"; Value.of_string (Printf.sprintf "w%02d" i) ]))
+  done;
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" table;
+  ignore (Nfql.Physical.exec_string db "analyze t");
+  let select =
+    match Nfql.Parser.parse_statement "select * from t where K = 'hot'" with
+    | Nfql.Ast.Select s -> s
+    | _ -> failwith "poolbench: expected a select"
+  in
+  let cold_path = path_name (Nfql.Physical.chosen_path db select) in
+  for _ = 1 to 12 do
+    ignore (Nfql.Physical.exec db (Nfql.Ast.Select select))
+  done;
+  let warm_rate = Storage.Table.pool_hit_rate table in
+  let warm_path = path_name (Nfql.Physical.chosen_path db select) in
+  Format.printf "probe plan: cold %s -> warm %s (pool hit rate %.3f)@."
+    cold_path warm_path warm_rate;
+  Bench_out.write "pool"
+    (Printf.sprintf
+       "{\"fetches\":%d,\"fetch_s\":%.6f,\"fetch_ops\":%.0f,\
+        \"hit_rate\":%.4f,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\
+        \"scan_records\":%d,\"scan_s\":%.6f,\"scan_records_per_s\":%.0f,\
+        \"probe\":{\"cold_path\":\"%s\",\"warm_path\":\"%s\",\
+        \"warm_hit_rate\":%.4f}}"
+       fetches fetch_s
+       (float_of_int fetches /. fetch_s)
+       hit_rate
+       (Storage.Bufpool.hits pool)
+       (Storage.Bufpool.misses pool)
+       (Storage.Bufpool.evictions pool)
+       scanned scan_s
+       (float_of_int scanned /. scan_s)
+       cold_path warm_path warm_rate)

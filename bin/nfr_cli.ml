@@ -637,6 +637,25 @@ let serve_cmd =
             "Give every loaded table a write-ahead log DIR/NAME.wal; on \
              graceful shutdown the tables are checkpointed and closed")
   in
+  let wal_sync_interval_arg =
+    Arg.(
+      value
+      & opt float Server.Session.default_config.Server.Session.wal_sync_interval
+      & info [ "wal-sync-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Minimum seconds between group-commit fsyncs (0 syncs on every \
+             loop tick that left WAL bytes unsynced); commit \
+             acknowledgements are withheld until the covering fsync")
+  in
+  let wal_sync_max_batch_arg =
+    Arg.(
+      value
+      & opt int Server.Session.default_config.Server.Session.wal_sync_max_batch
+      & info [ "wal-sync-max-batch" ] ~docv:"N"
+          ~doc:
+            "Force a group-commit fsync once this many connections are \
+             waiting on acknowledgements, regardless of the interval")
+  in
   let trace_arg =
     Arg.(
       value & flag
@@ -645,7 +664,8 @@ let serve_cmd =
                 statements or the slow-query log's trace ids)")
   in
   let run loads port max_connections idle_timeout idle_in_txn_timeout
-      request_timeout max_payload slow_query_s wal_dir trace =
+      request_timeout max_payload slow_query_s wal_dir wal_sync_interval
+      wal_sync_max_batch trace =
     if trace then Obs.Span.set_enabled true;
     let db = Nfql.Physical.create () in
     let tables = ref [] in
@@ -657,7 +677,10 @@ let serve_cmd =
         let wal_path =
           Option.map (fun dir -> Filename.concat dir (name ^ ".wal")) wal_dir
         in
-        let table = Storage.Table.load ?wal_path ~order flat in
+        (* The serve loop group-commits: WAL appends stay buffered per
+           statement and the loop fsyncs once per tick, withholding
+           acknowledgements until their bytes are covered. *)
+        let table = Storage.Table.load ?wal_path ~synchronous:false ~order flat in
         tables := table :: !tables;
         Nfql.Physical.add_table db name table)
       loads;
@@ -670,6 +693,8 @@ let serve_cmd =
         request_timeout;
         slow_query_s;
         slow_log_size = Server.Session.default_config.Server.Session.slow_log_size;
+        wal_sync_interval;
+        wal_sync_max_batch;
       }
     in
     (* Drain-time hook: checkpoint (compact + truncate the WAL at the
@@ -703,7 +728,8 @@ let serve_cmd =
     Term.(
       const run $ load_spec_arg $ port_arg $ max_conns_arg $ idle_arg
       $ idle_in_txn_arg $ request_timeout_arg $ max_frame_arg $ slow_query_arg
-      $ wal_dir_arg $ trace_arg)
+      $ wal_dir_arg $ wal_sync_interval_arg $ wal_sync_max_batch_arg
+      $ trace_arg)
 
 let print_client_response response =
   List.iter

@@ -88,7 +88,7 @@ type db = {
      Part of every plan-cache key, so stale plans miss naturally. *)
   mutable generation : int;
   mutable auto_threshold : int;
-  cache : (Ast.select * int, cache_slot) Hashtbl.t;
+  cache : (Ast.select * int * int, cache_slot) Hashtbl.t;
   mutable cache_tick : int;
   mutable next_txid : int;
   mutable active : txn list;  (* open transactions across all sessions *)
@@ -162,6 +162,15 @@ let find_entry db name =
 
 let find_table db name = (find_entry db name).tbl
 
+let iter_tables db f = String_map.iter (fun name e -> f name e.tbl) db.tables
+
+let wal_unsynced db =
+  String_map.fold
+    (fun _ e acc -> acc + Storage.Table.wal_unsynced e.tbl)
+    db.tables 0
+
+let sync_wal db = String_map.iter (fun _ e -> Storage.Table.sync_wal e.tbl) db.tables
+
 let collect_stats entry =
   let stats = Tablestats.collect (Storage.Table.snapshot entry.tbl) in
   entry.stats <- Some stats;
@@ -192,6 +201,18 @@ let c_page = 1.0
 let c_rec = 0.1
 let c_probe = 2.0
 let c_fetch = 1.0
+
+(* A page resident in the table's buffer pool costs a tenth of a cold
+   fetch; the observed hit rate interpolates between the two. Scans
+   stay at full price: they touch every page and churn the pool, so
+   their caching benefit is transient, while probes re-touch the same
+   hot pages — this is what flips a repeated-probe workload from a
+   cold scan to a cached probe. *)
+let c_pooled_fetch = 0.1 *. c_fetch
+
+let effective_fetch tbl =
+  let rate = Storage.Table.pool_hit_rate tbl in
+  (c_fetch *. (1. -. rate)) +. (c_pooled_fetch *. rate)
 
 let scan_candidate t =
   let live = Storage.Table.live_records t in
@@ -224,7 +245,7 @@ let probe_candidate t stats attribute value =
   in
   {
     cand_path = Via_index (attribute, value);
-    cand_cost = c_probe +. (float_of_int posting *. c_fetch);
+    cand_cost = c_probe +. (float_of_int posting *. effective_fetch t);
     cand_rows = est;
   }
 
@@ -249,7 +270,7 @@ let range_candidate t stats attribute lo hi =
   in
   {
     cand_path = Via_range (attribute, lo, hi);
-    cand_cost = c_probe +. (est *. c_fetch);
+    cand_cost = c_probe +. (est *. effective_fetch t);
     cand_rows = est;
   }
 
@@ -425,7 +446,7 @@ let join_candidate db left_name right_name attribute side =
             };
         cand_cost =
           (scan_candidate outer.tbl).cand_cost
-          +. (probes *. (c_probe +. (fanout *. c_fetch)));
+          +. (probes *. (c_probe +. (fanout *. effective_fetch inner.tbl)));
         cand_rows = Float.min (probes *. fanout) (outer_rows *. inner_rows);
       }
   | _ -> None
@@ -491,13 +512,30 @@ let plan_uncached db (s : Ast.select) =
   | Ast.From_table name -> plan_table db name s
   | Ast.From_join (left_name, right_name) -> plan_join db left_name right_name
 
+(* Buffer-pool hit rates quantized into five 20% buckets: enough for
+   a warming pool to reprice cached plans, coarse enough that the
+   cache still hits between consecutive identical queries. *)
+let pool_bucket tbl =
+  min 4 (int_of_float (Storage.Table.pool_hit_rate tbl *. 5.))
+
+let select_pool_bucket db (s : Ast.select) =
+  let bucket name =
+    match table db name with Some tbl -> pool_bucket tbl | None -> 0
+  in
+  match s.Ast.source with
+  | Ast.From_table name -> bucket name
+  | Ast.From_join (left_name, right_name) ->
+    bucket left_name + (5 * bucket right_name)
+
 (* LRU plan cache. The key is the select's structural value (pure
-   data, so generic hashing is sound) plus the statistics generation:
-   ANALYZE, DDL and auto-refresh bump the generation, so every cached
-   plan built against older statistics simply stops matching and ages
-   out of the fixed-capacity table. *)
+   data, so generic hashing is sound) plus the statistics generation
+   and the source tables' pool-hit-rate bucket: ANALYZE, DDL and
+   auto-refresh bump the generation, and a pool warming past a bucket
+   boundary changes the key, so plans priced against older statistics
+   or a colder cache simply stop matching and age out of the
+   fixed-capacity table. *)
 let plan db (s : Ast.select) =
-  let key = (s, db.generation) in
+  let key = (s, db.generation, select_pool_bucket db s) in
   db.cache_tick <- db.cache_tick + 1;
   match Hashtbl.find_opt db.cache key with
   | Some slot ->
@@ -1005,6 +1043,8 @@ type op_metrics = {
   op_records : int;
   op_bytes : int;
   op_probes : int;
+  op_pool_hits : int;
+  op_pool_misses : int;
   op_seconds : float;
 }
 
@@ -1024,6 +1064,8 @@ let rec flatten_ops depth op =
     op_records = op.stats.Storage.Stats.records_read;
     op_bytes = op.stats.Storage.Stats.bytes_read;
     op_probes = op.stats.Storage.Stats.index_probes;
+    op_pool_hits = op.stats.Storage.Stats.pool_hits;
+    op_pool_misses = op.stats.Storage.Stats.pool_misses;
     op_seconds = Obs.Span.busy op.span;
   }
   :: List.concat_map (flatten_ops (depth + 1)) op.children
@@ -1046,7 +1088,10 @@ let stats_of_report report =
         total.Storage.Stats.records_read + m.op_records;
       total.Storage.Stats.bytes_read <- total.Storage.Stats.bytes_read + m.op_bytes;
       total.Storage.Stats.index_probes <-
-        total.Storage.Stats.index_probes + m.op_probes)
+        total.Storage.Stats.index_probes + m.op_probes;
+      total.Storage.Stats.pool_hits <- total.Storage.Stats.pool_hits + m.op_pool_hits;
+      total.Storage.Stats.pool_misses <-
+        total.Storage.Stats.pool_misses + m.op_pool_misses)
     report.operators;
   total
 
@@ -1060,13 +1105,14 @@ let render_analyze report =
     Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
   in
   line "physical plan (executed):";
-  line "  %-44s %8s %8s %7s %9s %8s %9s" "operator" "rows" "est" "pages"
-    "records" "probes" "ms";
+  line "  %-44s %8s %8s %7s %9s %8s %9s %9s" "operator" "rows" "est" "pages"
+    "records" "probes" "pool" "ms";
   List.iter
     (fun m ->
-      line "  %-44s %8d %8s %7d %9d %8d %9.3f"
+      line "  %-44s %8d %8s %7d %9d %8d %9s %9.3f"
         (String.make (2 * m.op_depth) ' ' ^ m.op_label)
         m.op_rows (est_text m.op_est) m.op_pages m.op_records m.op_probes
+        (Printf.sprintf "%d/%d" m.op_pool_hits m.op_pool_misses)
         (m.op_seconds *. 1000.))
     report.operators;
   line "  peak live tuples: %d" report.peak_live;

@@ -135,6 +135,17 @@ val table : db -> string -> Storage.Table.t option
 val table_stats : db -> string -> Tablestats.t option
 (** Planner statistics for the table, if it has been ANALYZEd. *)
 
+val iter_tables : db -> (string -> Storage.Table.t -> unit) -> unit
+(** Apply [f name table] to every registered table. *)
+
+val wal_unsynced : db -> int
+(** Bytes written to any table's WAL but not yet fsynced — the group
+    commit window across the whole database. *)
+
+val sync_wal : db -> unit
+(** Fsync every table's WAL ({!Storage.Table.sync_wal}); the group
+    commit point the server calls once per loop tick. *)
+
 val generation : db -> int
 (** Statistics generation — bumped by ANALYZE, DDL and auto-refresh;
     part of every plan-cache key. *)
@@ -227,6 +238,10 @@ type op_metrics = {
   op_records : int;
   op_bytes : int;
   op_probes : int;
+  op_pool_hits : int;
+      (** of [op_pages], how many were buffer-pool hits — the [pool]
+          column ([hits/misses]) of the rendered table *)
+  op_pool_misses : int;
   op_seconds : float;
 }
 

@@ -25,6 +25,7 @@ type event =
   | Txn of string  (* begin/commit/rollback/conflict *)
   | Wal_append
   | Wal_fsync
+  | Wal_sync
   | Wal_replay
   | Snapshot_write
   | Snapshot_load
@@ -46,6 +47,7 @@ let event_name = function
   | Txn _ -> "txn"
   | Wal_append -> "wal-append"
   | Wal_fsync -> "wal-fsync"
+  | Wal_sync -> "wal-sync"
   | Wal_replay -> "wal-replay"
   | Snapshot_write -> "snapshot-write"
   | Snapshot_load -> "snapshot-load"

@@ -94,8 +94,9 @@ let ping t =
   | Protocol.Pong -> ()
   | other -> fail "expected pong, got %s" (Protocol.message_name other)
 
-let query t source =
-  send t (Protocol.Query source);
+let query_send t source = send t (Protocol.Query source)
+
+let query_recv t =
   let rec collect results =
     match recv t with
     | Protocol.Stats stats -> (
@@ -112,6 +113,10 @@ let query t source =
     | other -> fail "unexpected %s frame in response" (Protocol.message_name other)
   in
   collect []
+
+let query t source =
+  query_send t source;
+  query_recv t
 
 let query_exn t source =
   match query t source with

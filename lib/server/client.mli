@@ -43,6 +43,17 @@ val query : t -> string -> (response, Protocol.err_code * string) result
 val query_exn : t -> string -> response
 (** {!query}, raising {!Error} on a server refusal too. *)
 
+val query_send : t -> string -> unit
+(** Send the [Query] frame without waiting for the response. Pair with
+    {!query_recv} to pipeline requests across many connections — the
+    group-commit soak uses this to put several sessions' writes into
+    the same event-loop tick. *)
+
+val query_recv : t -> (response, Protocol.err_code * string) result
+(** Read one full query response. Exactly one {!query_recv} per
+    {!query_send}, in order; interleaving other requests between the
+    two is a protocol violation. *)
+
 val metrics : t -> string
 (** The server's metrics dump ([Metrics_req] round trip). *)
 

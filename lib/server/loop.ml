@@ -8,9 +8,11 @@ type t = {
   ctx : Session.context;
   on_shutdown : unit -> unit;
   mutable conns : conn list;
+  mutable conn_count : int;  (* = List.length conns, kept for O(1) cap checks *)
   mutable next_id : int;
   mutable listening : bool;
   mutable is_stopped : bool;
+  mutable last_sync_at : float;  (* group-commit pacing *)
   read_chunk : Bytes.t;
 }
 
@@ -41,9 +43,11 @@ let create ?config ?metrics ?now ?(on_shutdown = fun () -> ()) ~db ~listen () =
     ctx = Session.make_context ?config ?metrics ?now db;
     on_shutdown;
     conns = [];
+    conn_count = 0;
     next_id = 0;
     listening = true;
     is_stopped = false;
+    last_sync_at = neg_infinity;
     read_chunk = Bytes.create 8192;
   }
 
@@ -54,7 +58,7 @@ let port t =
 
 let metrics t = Session.context_metrics t.ctx
 let context t = t.ctx
-let live_sessions t = List.length t.conns
+let live_sessions t = t.conn_count
 let stopped t = t.is_stopped
 
 let close_conn t conn =
@@ -63,8 +67,8 @@ let close_conn t conn =
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Metrics.incr (metrics t) "connections.closed";
     t.conns <- List.filter (fun c -> c != conn) t.conns;
-    Metrics.set_gauge (metrics t) "connections.open"
-      (float_of_int (List.length t.conns))
+    t.conn_count <- t.conn_count - 1;
+    Metrics.set_gauge (metrics t) "connections.open" (float_of_int t.conn_count)
   end
 
 let stop_listening t =
@@ -107,7 +111,7 @@ let accept_new t =
     | fd, _addr ->
       Unix.set_nonblock fd;
       let config = Session.context_config t.ctx in
-      if List.length t.conns >= config.Session.max_connections then begin
+      if t.conn_count >= config.Session.max_connections then begin
         Metrics.incr (metrics t) "connections.rejected";
         Metrics.incr (metrics t) "errors.overloaded";
         write_once fd
@@ -123,8 +127,8 @@ let accept_new t =
         t.next_id <- t.next_id + 1;
         t.conns <-
           { fd; session = Session.create t.ctx ~id:t.next_id } :: t.conns;
-        Metrics.set_gauge (metrics t) "connections.open"
-          (float_of_int (List.length t.conns))
+        t.conn_count <- t.conn_count + 1;
+        Metrics.set_gauge (metrics t) "connections.open" (float_of_int t.conn_count)
       end
   done
 
@@ -197,19 +201,50 @@ let step t timeout =
         | result -> result
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
-      if t.listening && List.mem t.listen_fd readable then accept_new t;
+      (* Index the ready sets so the per-connection checks below are
+         O(1); List.mem made each tick O(connections^2). *)
+      let ready_read : (Unix.file_descr, unit) Hashtbl.t =
+        Hashtbl.create (List.length readable)
+      in
+      List.iter (fun fd -> Hashtbl.replace ready_read fd ()) readable;
+      let ready_write : (Unix.file_descr, unit) Hashtbl.t =
+        Hashtbl.create (List.length writable)
+      in
+      List.iter (fun fd -> Hashtbl.replace ready_write fd ()) writable;
+      if t.listening && Hashtbl.mem ready_read t.listen_fd then accept_new t;
       List.iter
         (fun conn ->
-          if List.mem conn.fd readable && not (Session.closed conn.session) then
-            read_conn t conn)
+          if Hashtbl.mem ready_read conn.fd && not (Session.closed conn.session)
+          then read_conn t conn)
         t.conns;
+      (* Group commit: one fsync covers every statement handled this
+         tick. It must run between the read phase (which stages and
+         withholds acknowledgements) and the write phase (which pushes
+         them), so an ack never reaches the wire before the WAL bytes
+         behind it are durable. *)
+      let config = Session.context_config t.ctx in
+      let waiting =
+        List.fold_left
+          (fun acc conn ->
+            if Session.awaiting_sync conn.session then acc + 1 else acc)
+          0 t.conns
+      in
+      let now = Session.context_now t.ctx in
+      if
+        waiting >= config.Session.wal_sync_max_batch
+        || now -. t.last_sync_at >= config.Session.wal_sync_interval
+      then begin
+        Session.group_sync t.ctx (List.map (fun conn -> conn.session) t.conns);
+        t.last_sync_at <- now
+      end;
       (* A frame handled this round may have staged replies; try to
          push them immediately rather than waiting a select cycle. *)
       List.iter
         (fun conn ->
           if
             (not (Session.closed conn.session))
-            && (List.mem conn.fd writable || Session.want_write conn.session)
+            && (Hashtbl.mem ready_write conn.fd
+               || Session.want_write conn.session)
           then write_conn t conn)
         t.conns;
       let now = Session.context_now t.ctx in

@@ -146,7 +146,9 @@ let payload_of_message message =
     Storage.Codec.encode_varint buffer stats.Storage.Stats.pages_read;
     Storage.Codec.encode_varint buffer stats.Storage.Stats.records_read;
     Storage.Codec.encode_varint buffer stats.Storage.Stats.bytes_read;
-    Storage.Codec.encode_varint buffer stats.Storage.Stats.index_probes
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.index_probes;
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.pool_hits;
+    Storage.Codec.encode_varint buffer stats.Storage.Stats.pool_misses
   | Rows (schema, ntuples) ->
     encode_schema buffer schema;
     Storage.Codec.encode_varint buffer (List.length ntuples);
@@ -206,12 +208,16 @@ let message_of_payload typ payload =
     let records, offset = Storage.Codec.decode_varint bytes offset in
     let bytes_read, offset = Storage.Codec.decode_varint bytes offset in
     let probes, offset = Storage.Codec.decode_varint bytes offset in
+    let pool_hits, offset = Storage.Codec.decode_varint bytes offset in
+    let pool_misses, offset = Storage.Codec.decode_varint bytes offset in
     strict_end "stats" offset;
     let stats = Storage.Stats.create () in
     stats.Storage.Stats.pages_read <- pages;
     stats.Storage.Stats.records_read <- records;
     stats.Storage.Stats.bytes_read <- bytes_read;
     stats.Storage.Stats.index_probes <- probes;
+    stats.Storage.Stats.pool_hits <- pool_hits;
+    stats.Storage.Stats.pool_misses <- pool_misses;
     Stats stats
   end
   else if typ = t_rows then begin

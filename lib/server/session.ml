@@ -8,6 +8,8 @@ type config = {
   request_timeout : float;
   slow_query_s : float;
   slow_log_size : int;
+  wal_sync_interval : float;
+  wal_sync_max_batch : int;
 }
 
 let default_config =
@@ -22,6 +24,12 @@ let default_config =
     request_timeout = 10.;
     slow_query_s = 0.1;
     slow_log_size = 64;
+    (* Group commit: 0 = fsync on every loop tick that left WAL bytes
+       unsynced; raising it trades commit latency for bigger batches.
+       The batch cap forces a sync early once that many sessions are
+       waiting on their acknowledgements. *)
+    wal_sync_interval = 0.;
+    wal_sync_max_batch = 64;
   }
 
 (* One slow-query log entry: enough to reproduce and to correlate —
@@ -59,15 +67,22 @@ let declare_series m =
       "queries.total"; "queries.slow"; "connections.accepted";
       "connections.rejected"; "connections.closed"; "connections.reaped";
       "connections.reaped_in_txn"; "frames.in"; "frames.out";
-      "wal.append_total"; "wal.fsync_total"; "planner.cache_hit";
+      "wal.append_total"; "wal.flush_total"; "wal.sync_total";
+      "wal.fsync_total" (* deprecated alias of wal.flush_total *);
+      "planner.cache_hit";
       "planner.cache_miss"; "planner.analyze"; "planner.auto_analyze";
       "txn.begin"; "txn.commit"; "txn.abort"; "txn.conflict";
-      "txn.auto_rollback";
+      "txn.auto_rollback"; "pool.hit"; "pool.miss"; "pool.evict";
     ];
   Metrics.declare_histogram m "query.seconds";
   Metrics.declare_histogram m "planner.est_error";
   Metrics.declare_histogram m "wal.fsync.seconds";
+  Metrics.declare_histogram m "wal.flush.seconds";
+  Metrics.declare_histogram m "wal.sync.seconds";
+  Metrics.declare_histogram m "wal.group_commit.batch_size";
   Metrics.set_gauge m "connections.open" 0.;
+  if Metrics.gauge m "wal.bytes_unsynced" = 0. then
+    Metrics.set_gauge m "wal.bytes_unsynced" 0.;
   if Metrics.gauge m "txn.active" = 0. then Metrics.set_gauge m "txn.active" 0.
 
 let make_context ?(config = default_config) ?metrics ?now db =
@@ -146,6 +161,10 @@ type t = {
   mutable rbuf : Bytes.t;
   mutable rlen : int;
   staged : Buffer.t;  (** frames not yet handed to the writer *)
+  held : Buffer.t;
+      (** replies covering WAL bytes not yet fsynced — withheld from
+          the writer until the loop's next group {!group_sync} *)
+  mutable awaiting_sync : bool;
   mutable pending : string;  (** frame bytes currently being written *)
   mutable pending_pos : int;
   mutable state : state;
@@ -162,6 +181,8 @@ let create ctx ~id =
     rbuf = Bytes.create 4096;
     rlen = 0;
     staged = Buffer.create 256;
+    held = Buffer.create 64;
+    awaiting_sync = false;
     pending = "";
     pending_pos = 0;
     state = Open;
@@ -219,7 +240,45 @@ let advance_output t n =
   t.last_activity_at <- t.ctx.now ()
 
 let want_write t =
-  t.pending_pos < String.length t.pending || Buffer.length t.staged > 0
+  t.pending_pos < String.length t.pending
+  || Buffer.length t.staged > 0
+  (* Held acknowledgements count: the session still has bytes to
+     deliver (after the next group sync releases them), so neither the
+     idle reaper nor a draining shutdown may drop it yet. *)
+  || Buffer.length t.held > 0
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let awaiting_sync t = t.awaiting_sync
+
+let release_held t =
+  if t.awaiting_sync then begin
+    Buffer.add_buffer t.staged t.held;
+    Buffer.clear t.held;
+    t.awaiting_sync <- false
+  end
+
+(* One fsync covering every statement any session handled since the
+   last call. Acknowledgements withheld by those sessions are released
+   only after the fsync returns, so a commit acked on the wire is
+   durable. A degraded WAL (disk error mid-sync) still releases the
+   acks — the writes are applied in memory and the table has already
+   been marked non-durable — but the error is counted so operators can
+   alert on it. *)
+let group_sync ctx sessions =
+  let waiting = List.filter (fun s -> s.awaiting_sync) sessions in
+  if waiting <> [] || Nfql.Physical.wal_unsynced ctx.db > 0 then begin
+    (try Nfql.Physical.sync_wal ctx.db
+     with
+    | Storage.Failpoint.Crashed _ as crash -> raise crash
+    | Storage.Storage_error.Error _ -> Metrics.incr ctx.metrics "wal.sync_errors");
+    if waiting <> [] then
+      Metrics.observe ctx.metrics "wal.group_commit.batch_size"
+        (float_of_int (List.length waiting));
+    List.iter release_held waiting
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Request execution                                                   *)
@@ -410,6 +469,7 @@ let rec parse_frames t =
     | Protocol.Msg (message, consumed_bytes) ->
       Metrics.incr t.ctx.metrics "frames.in";
       consume t consumed_bytes;
+      let stage_mark = Buffer.length t.staged in
       (* When tracing is on, every request gets its own trace rooted at
          a Frame_rx span: decode time is pre-seeded into the span's
          busy clock ({!Obs.Span.with_span} adds its own elapsed on
@@ -423,6 +483,21 @@ let rec parse_frames t =
                  Obs.Span.add_busy span (Obs.Span.now () -. decode_started);
                  handle t message))
        else handle t message);
+      (* Durability gate: if handling this frame left WAL bytes
+         unsynced (a write on a [synchronous:false] table), its reply
+         must not reach the wire before those bytes are fsynced. Move
+         the reply to [held]; the loop's next {!group_sync} releases
+         it. Once a session is awaiting, later replies are held too so
+         frame order is preserved. *)
+      if t.awaiting_sync || Nfql.Physical.wal_unsynced t.ctx.db > 0 then begin
+        let staged_len = Buffer.length t.staged in
+        if staged_len > stage_mark then begin
+          Buffer.add_string t.held
+            (Buffer.sub t.staged stage_mark (staged_len - stage_mark));
+          Buffer.truncate t.staged stage_mark
+        end;
+        t.awaiting_sync <- true
+      end;
       parse_frames t
     | Protocol.Oversized n ->
       refuse t Protocol.Too_large

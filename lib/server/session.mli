@@ -34,11 +34,18 @@ type config = {
           this many seconds *)
   slow_query_s : float;  (** statements slower than this are logged *)
   slow_log_size : int;  (** slow-query ring-buffer capacity *)
+  wal_sync_interval : float;
+      (** minimum seconds between group-commit fsyncs; 0 syncs on
+          every loop tick that left WAL bytes unsynced *)
+  wal_sync_max_batch : int;
+      (** force a group sync once this many sessions are waiting on
+          withheld acknowledgements, regardless of the interval *)
 }
 
 val default_config : config
 (** 64 connections, 1 MiB frames, 30 s idle (10 s idle-in-transaction),
-    10 s requests, 100 ms slow-query threshold, 64 slow-log entries. *)
+    10 s requests, 100 ms slow-query threshold, 64 slow-log entries,
+    group sync every tick (interval 0) capped at 64 waiters. *)
 
 (** One slow-query log entry. [slow_trace] is the request's trace id
     (0 when tracing was off — nothing to correlate), [slow_hash] an
@@ -117,6 +124,22 @@ val advance_output : t -> int -> unit
 (** Record that [n] more bytes of {!next_output} reached the socket. *)
 
 val want_write : t -> bool
+(** True when the session has bytes for the writer — including
+    replies currently withheld pending a group sync, so the loop
+    neither reaps nor drops a session whose acks are in flight. *)
+
+val awaiting_sync : t -> bool
+(** Does this session hold replies whose WAL bytes are not yet
+    fsynced? Set when a frame's handling left the database's WAL
+    dirty (only possible on [synchronous:false] tables); cleared by
+    {!group_sync}. *)
+
+val group_sync : context -> t list -> unit
+(** Fsync every table's WAL once and release the withheld replies of
+    all waiting sessions — the group-commit point, called by the loop
+    at most once per tick. Observes the batch size (sessions covered
+    by the one fsync) in [wal.group_commit.batch_size]. No-op when
+    nothing is unsynced and nobody is waiting. *)
 
 val check_deadlines : t -> now:float -> [ `Keep | `Reap ]
 (** Idle and partial-frame timers. [`Reap]: the loop should close the

@@ -1,0 +1,116 @@
+(* A fixed-capacity buffer pool fronting heap page access.
+
+   The heap's pages live in memory either way; what the pool models is
+   which of them would be resident in a bounded cache, so the planner
+   can price a re-probe of a hot page below a cold read. Admission is
+   on first touch, replacement is strict LRU (doubly-linked recency
+   list + hashtable, O(1) per operation), and sequential scans
+   prefetch the next page so a scan's successor touches hit.
+
+   Counters are kept per pool and mirrored into the global registry
+   ([pool.hit] / [pool.miss] / [pool.evict]) for scraping. *)
+
+type node = {
+  page_no : int;
+  mutable prev : node option;  (* toward the MRU end *)
+  mutable next : node option;  (* toward the LRU end *)
+}
+
+type t = {
+  cap : int;
+  table : (int, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  {
+    cap;
+    table = Hashtbl.create (2 * cap);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let contains t page_no = Hashtbl.mem t.table page_no
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_mru t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> ());
+  t.mru <- Some node;
+  if t.lru = None then t.lru <- Some node
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some victim ->
+    unlink t victim;
+    Hashtbl.remove t.table victim.page_no;
+    t.evictions <- t.evictions + 1;
+    Obs.Registry.incr Obs.Registry.global "pool.evict"
+
+(* Admit [page_no] without touching the hit/miss ledger. *)
+let admit t page_no =
+  if not (Hashtbl.mem t.table page_no) then begin
+    if Hashtbl.length t.table >= t.cap then evict_lru t;
+    let node = { page_no; prev = None; next = None } in
+    Hashtbl.replace t.table page_no node;
+    push_mru t node
+  end
+
+let touch t page_no =
+  match Hashtbl.find_opt t.table page_no with
+  | Some node ->
+    unlink t node;
+    push_mru t node;
+    t.hits <- t.hits + 1;
+    Obs.Registry.incr Obs.Registry.global "pool.hit";
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Registry.incr Obs.Registry.global "pool.miss";
+    admit t page_no;
+    false
+
+let prefetch t page_no = admit t page_no
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+(* LRU -> MRU order, for the byte-equality property test. *)
+let cached_pages t =
+  let rec walk acc = function
+    | None -> acc
+    | Some node -> walk (node.page_no :: acc) node.next
+  in
+  walk [] t.mru

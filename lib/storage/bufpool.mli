@@ -1,0 +1,48 @@
+(** Fixed-capacity LRU buffer pool fronting heap page access.
+
+    Tracks which pages of a heap would be resident in a bounded cache:
+    every page charge {!touch}es the pool (hit if resident, miss
+    admits and may evict the least-recently-used page), and sequential
+    scans {!prefetch} their successor page. The observed {!hit_rate}
+    feeds the planner's pricing of repeated index probes.
+
+    Counters are mirrored into {!Obs.Registry.global} as [pool.hit],
+    [pool.miss] and [pool.evict]. *)
+
+type t
+
+val default_capacity : int
+(** 64 pages. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Pages currently resident; never exceeds {!capacity}. *)
+
+val touch : t -> int -> bool
+(** [touch t page_no] records an access: [true] on hit (the page is
+    moved to the MRU end), [false] on miss (the page is admitted,
+    evicting the LRU page if the pool is full). *)
+
+val prefetch : t -> int -> unit
+(** Admit a page ahead of its access without charging the hit/miss
+    ledger — what a sequential scan does for its successor page. May
+    evict. *)
+
+val contains : t -> int -> bool
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val hit_rate : t -> float
+(** hits / (hits + misses); 0 before any access. *)
+
+val clear : t -> unit
+(** Drop every resident page; counters are kept. *)
+
+val cached_pages : t -> int list
+(** Resident page numbers, LRU first. *)

@@ -3,16 +3,19 @@ type fault =
   | Short_write of int
   | Bit_flip of int
   | Drop_write
+  | Lose_unsynced
 
 exception Crashed of string
 
-type site_kind = [ `Control | `Write ]
+type site_kind = [ `Control | `Write | `Sync ]
 
 let sites =
   [
     ("wal.append.before", `Control);
     ("wal.append.frame", `Write);
     ("wal.append.after", `Control);
+    ("wal.sync.before", `Sync);
+    ("wal.sync.after", `Control);
     ("wal.reset", `Control);
     ("snapshot.body", `Write);
     ("snapshot.rename", `Control);
@@ -22,6 +25,7 @@ let sites =
 let faults_for = function
   | `Control -> [ Crash ]
   | `Write -> [ Crash; Short_write 3; Bit_flip 13; Drop_write ]
+  | `Sync -> [ Crash; Lose_unsynced ]
 
 type armed = {
   fault : fault;
@@ -71,7 +75,18 @@ let hit site =
   note_hit site;
   match trigger site with
   | Some Crash -> raise (Crashed site)
-  | Some (Short_write _ | Bit_flip _ | Drop_write) | None -> ()
+  | Some (Short_write _ | Bit_flip _ | Drop_write | Lose_unsynced) | None -> ()
+
+type sync_effect =
+  | Proceed
+  | Power_cut
+
+let on_sync site =
+  note_hit site;
+  match trigger site with
+  | Some Crash -> raise (Crashed site)
+  | Some Lose_unsynced -> Power_cut
+  | Some (Short_write _ | Bit_flip _ | Drop_write) | None -> Proceed
 
 type write_effect =
   | Full of string
@@ -83,6 +98,9 @@ let on_write site data =
   match trigger site with
   | None -> Full data
   | Some Crash -> Partial ""
+  (* A power cut at a plain write site behaves like a crash with the
+     write lost: nothing of this frame reaches the file. *)
+  | Some Lose_unsynced -> Partial ""
   | Some (Short_write n) -> Partial (String.sub data 0 (min (max n 0) (String.length data)))
   | Some Drop_write -> Dropped
   | Some (Bit_flip n) ->

@@ -32,19 +32,26 @@ type fault =
   | Short_write of int  (** keep only the first [n] bytes, then crash *)
   | Bit_flip of int  (** flip bit [n mod (8 * length)] of the data *)
   | Drop_write
+  | Lose_unsynced
+      (** power loss at a sync site: every byte that reached only the
+          OS page cache (appended but not yet fsynced) vanishes, then
+          the process dies. Only meaningful at [`Sync] sites. *)
 
 exception Crashed of string  (** The site whose {!constructor-Crash} fired. *)
 
 type site_kind =
   [ `Control  (** a pure control-flow point: only {!constructor-Crash} applies *)
-  | `Write  (** a data write: every fault applies *) ]
+  | `Write  (** a data write: every fault applies *)
+  | `Sync  (** a durability barrier: {!constructor-Crash} and
+               {!constructor-Lose_unsynced} apply *) ]
 
 val sites : (string * site_kind) list
 (** Every site the storage stack declares, in instrumentation order:
     ["wal.append.before"], ["wal.append.frame"], ["wal.append.after"],
-    ["wal.reset"], ["snapshot.body"], ["snapshot.rename"],
-    ["engine.load.record"]. The crash-matrix soak enumerates this
-    list; adding an instrumentation point means adding it here. *)
+    ["wal.sync.before"], ["wal.sync.after"], ["wal.reset"],
+    ["snapshot.body"], ["snapshot.rename"], ["engine.load.record"].
+    The crash-matrix soak enumerates this list; adding an
+    instrumentation point means adding it here. *)
 
 val faults_for : site_kind -> fault list
 (** The canonical fault set to exercise at a site of this kind (small
@@ -74,6 +81,21 @@ type write_effect =
 val on_write : string -> string -> write_effect
 (** [on_write site data] — the armed fault's transformation of [data],
     or [Full data] when nothing fires. *)
+
+(** What a durability barrier should do. *)
+type sync_effect =
+  | Proceed  (** fsync normally *)
+  | Power_cut
+      (** the machine lost power before the fsync landed: the caller
+          must discard everything past its durable watermark, then
+          raise {!exception-Crashed} *)
+
+val on_sync : string -> sync_effect
+(** [on_sync site] — the armed fault's verdict at a sync barrier.
+    Raises {!exception-Crashed} directly for an armed
+    {!constructor-Crash}; returns {!constructor-Power_cut} for
+    {!constructor-Lose_unsynced}; other faults are recorded but
+    proceed. *)
 
 val hits : string -> int
 (** How many times the site has been reached since {!reset}. *)

@@ -3,26 +3,54 @@ type rid = {
   slot : int;
 }
 
+(* The page table grows by amortized doubling: [pages] is the backing
+   array and [live] the watermark of pages actually in use (the last
+   live page is the open one). The previous Array.append-per-page
+   scheme copied the whole table on every new page, O(p^2) total. *)
 type t = {
-  mutable pages : Page.t array;  (* grows; last page is the open one *)
+  mutable pages : Page.t array;
+  mutable live : int;
   mutable records : int;
   page_size : int;
+  pool : Bufpool.t;
 }
 
-let create ?(page_size = Page.default_size) () =
-  { pages = [| Page.create ~size:page_size () |]; records = 0; page_size }
+let create ?(page_size = Page.default_size) ?pool_capacity () =
+  {
+    pages = [| Page.create ~size:page_size () |];
+    live = 1;
+    records = 0;
+    page_size;
+    pool = Bufpool.create ?capacity:pool_capacity ();
+  }
 
-let current_page t = t.pages.(Array.length t.pages - 1)
+let pool t = t.pool
+
+(* Every page charge is exactly one pool touch, so over any workload
+   pool hits + pool misses = pages_read. *)
+let charge_page t ~stats page_no =
+  stats.Stats.pages_read <- stats.Stats.pages_read + 1;
+  if Bufpool.touch t.pool page_no then
+    stats.Stats.pool_hits <- stats.Stats.pool_hits + 1
+  else stats.Stats.pool_misses <- stats.Stats.pool_misses + 1
+
+let current_page t = t.pages.(t.live - 1)
 
 let open_new_page t =
   let page = Page.create ~size:t.page_size () in
-  t.pages <- Array.append t.pages [| page |];
+  if t.live >= Array.length t.pages then begin
+    let bigger = Array.make (2 * Array.length t.pages) page in
+    Array.blit t.pages 0 bigger 0 t.live;
+    t.pages <- bigger
+  end;
+  t.pages.(t.live) <- page;
+  t.live <- t.live + 1;
   page
 
 let append t record =
   let page, page_no =
     match Page.append (current_page t) record with
-    | Some slot -> (Some slot, Array.length t.pages - 1)
+    | Some slot -> (Some slot, t.live - 1)
     | None -> (None, 0)
   in
   match page with
@@ -34,43 +62,53 @@ let append t record =
     (match Page.append fresh record with
     | Some slot ->
       t.records <- t.records + 1;
-      { page_no = Array.length t.pages - 1; slot }
+      { page_no = t.live - 1; slot }
     | None ->
       invalid_arg
         (Printf.sprintf "Heap.append: record of %d bytes exceeds page size %d"
            (String.length record) t.page_size))
 
 let get t rid =
-  if rid.page_no < 0 || rid.page_no >= Array.length t.pages then
+  if rid.page_no < 0 || rid.page_no >= t.live then
     invalid_arg "Heap.get: bad page number";
   Page.get t.pages.(rid.page_no) rid.slot
 
-let page_count t = Array.length t.pages
+let page_count t = t.live
 let record_count t = t.records
-let total_bytes t = Array.fold_left (fun acc page -> acc + Page.size page) 0 t.pages
+
+let total_bytes t =
+  let sum = ref 0 in
+  for i = 0 to t.live - 1 do
+    sum := !sum + Page.size t.pages.(i)
+  done;
+  !sum
 
 let scan t ~stats f =
-  Array.iteri
-    (fun page_no page ->
-      stats.Stats.pages_read <- stats.Stats.pages_read + 1;
-      Page.iter
-        (fun slot record ->
-          stats.Stats.records_read <- stats.Stats.records_read + 1;
-          stats.Stats.bytes_read <- stats.Stats.bytes_read + String.length record;
-          f { page_no; slot } record)
-        page)
-    t.pages
+  for page_no = 0 to t.live - 1 do
+    let page = t.pages.(page_no) in
+    charge_page t ~stats page_no;
+    (* Sequential prefetch: the successor page is admitted before the
+       scan reaches it, so steady-state scanning hits the pool. *)
+    if page_no + 1 < t.live then Bufpool.prefetch t.pool (page_no + 1);
+    Page.iter
+      (fun slot record ->
+        stats.Stats.records_read <- stats.Stats.records_read + 1;
+        stats.Stats.bytes_read <- stats.Stats.bytes_read + String.length record;
+        f { page_no; slot } record)
+      page
+  done
 
 let cursor t ~stats =
   let page_no = ref 0 in
   let slot = ref 0 in
   let page_charged = ref false in
   let rec next () =
-    if !page_no >= Array.length t.pages then None
+    if !page_no >= t.live then None
     else begin
       let page = t.pages.(!page_no) in
       if not !page_charged then begin
-        stats.Stats.pages_read <- stats.Stats.pages_read + 1;
+        charge_page t ~stats !page_no;
+        if !page_no + 1 < t.live then Bufpool.prefetch t.pool (!page_no + 1);
         page_charged := true
       end;
       if !slot >= Page.record_count page then begin
@@ -93,7 +131,7 @@ let cursor t ~stats =
 
 let fetch t ~stats rid =
   let record = get t rid in
-  stats.Stats.pages_read <- stats.Stats.pages_read + 1;
+  charge_page t ~stats rid.page_no;
   stats.Stats.records_read <- stats.Stats.records_read + 1;
   stats.Stats.bytes_read <- stats.Stats.bytes_read + String.length record;
   record

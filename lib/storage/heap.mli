@@ -11,7 +11,13 @@ type rid = {
 }
 (** Record identifier. *)
 
-val create : ?page_size:int -> unit -> t
+val create : ?page_size:int -> ?pool_capacity:int -> unit -> t
+(** Every heap fronts its page access with a {!Bufpool} of
+    [pool_capacity] pages (default {!Bufpool.default_capacity}). *)
+
+val pool : t -> Bufpool.t
+(** The heap's buffer pool. Each page charged to {!Stats} is exactly
+    one pool touch, so hits + misses always equals [pages_read]. *)
 
 val append : t -> string -> rid
 (** Store a record, opening a new page when the current one is full.

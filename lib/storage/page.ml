@@ -1,53 +1,74 @@
 (* A page is a byte buffer plus a slot directory. Records are
    appended front-to-back; the directory (offset, length per slot) is
    tracked out-of-band but its size is charged against the page budget
-   (4 bytes per slot), mimicking an on-disk slotted layout. *)
+   (4 bytes per slot), mimicking an on-disk slotted layout.
+
+   The directory is a growable array indexed by slot number, so
+   [get] is O(1); the previous newest-first list made every lookup
+   O(slots) and full-page scans O(slots^2). *)
 
 type t = {
   buffer : Buffer.t;
-  mutable slots : (int * int) list;  (* newest first: (offset, length) *)
+  mutable offsets : int array;  (* offsets.(slot), lengths.(slot) *)
+  mutable lengths : int array;
+  mutable count : int;  (* live slots; arrays may be longer *)
   page_size : int;
 }
 
 let default_size = 4096
 let slot_overhead = 4
 let header_overhead = 8
+let initial_slots = 8
 
 let create ?(size = default_size) () =
-  { buffer = Buffer.create size; slots = []; page_size = size }
+  {
+    buffer = Buffer.create size;
+    offsets = Array.make initial_slots 0;
+    lengths = Array.make initial_slots 0;
+    count = 0;
+    page_size = size;
+  }
 
-let record_count page = List.length page.slots
+let record_count page = page.count
 
 let used_bytes page =
   Buffer.length page.buffer
-  + (record_count page * slot_overhead)
+  + (page.count * slot_overhead)
   + header_overhead
 
 let capacity_left page = page.page_size - used_bytes page - slot_overhead
 let size page = page.page_size
+
+let grow_directory page =
+  let capacity = Array.length page.offsets in
+  if page.count >= capacity then begin
+    let bigger = max initial_slots (2 * capacity) in
+    let offsets = Array.make bigger 0 in
+    let lengths = Array.make bigger 0 in
+    Array.blit page.offsets 0 offsets 0 page.count;
+    Array.blit page.lengths 0 lengths 0 page.count;
+    page.offsets <- offsets;
+    page.lengths <- lengths
+  end
 
 let append page record =
   if String.length record > capacity_left page then None
   else begin
     let offset = Buffer.length page.buffer in
     Buffer.add_string page.buffer record;
-    page.slots <- (offset, String.length record) :: page.slots;
-    Some (record_count page - 1)
+    grow_directory page;
+    page.offsets.(page.count) <- offset;
+    page.lengths.(page.count) <- String.length record;
+    page.count <- page.count + 1;
+    Some (page.count - 1)
   end
 
-let nth_slot page slot =
-  let count = record_count page in
-  if slot < 0 || slot >= count then
-    invalid_arg (Printf.sprintf "Page.get: slot %d of %d" slot count);
-  (* Slots are stored newest-first. *)
-  List.nth page.slots (count - 1 - slot)
-
 let get page slot =
-  let offset, length = nth_slot page slot in
-  Buffer.sub page.buffer offset length
+  if slot < 0 || slot >= page.count then
+    invalid_arg (Printf.sprintf "Page.get: slot %d of %d" slot page.count);
+  Buffer.sub page.buffer page.offsets.(slot) page.lengths.(slot)
 
 let iter f page =
-  let count = record_count page in
-  for slot = 0 to count - 1 do
+  for slot = 0 to page.count - 1 do
     f slot (get page slot)
   done

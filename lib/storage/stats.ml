@@ -3,28 +3,43 @@ type t = {
   mutable records_read : int;
   mutable bytes_read : int;
   mutable index_probes : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
 }
 
 let create () =
-  { pages_read = 0; records_read = 0; bytes_read = 0; index_probes = 0 }
+  {
+    pages_read = 0;
+    records_read = 0;
+    bytes_read = 0;
+    index_probes = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+  }
 
 let reset t =
   t.pages_read <- 0;
   t.records_read <- 0;
   t.bytes_read <- 0;
-  t.index_probes <- 0
+  t.index_probes <- 0;
+  t.pool_hits <- 0;
+  t.pool_misses <- 0
 
 let add acc s =
   acc.pages_read <- acc.pages_read + s.pages_read;
   acc.records_read <- acc.records_read + s.records_read;
   acc.bytes_read <- acc.bytes_read + s.bytes_read;
-  acc.index_probes <- acc.index_probes + s.index_probes
+  acc.index_probes <- acc.index_probes + s.index_probes;
+  acc.pool_hits <- acc.pool_hits + s.pool_hits;
+  acc.pool_misses <- acc.pool_misses + s.pool_misses
 
 let pp ppf t =
-  Format.fprintf ppf "pages=%d records=%d bytes=%d probes=%d" t.pages_read
-    t.records_read t.bytes_read t.index_probes
+  Format.fprintf ppf "pages=%d records=%d bytes=%d probes=%d pool=%d/%d"
+    t.pages_read t.records_read t.bytes_read t.index_probes t.pool_hits
+    t.pool_misses
 
 let to_json t =
   Printf.sprintf
-    "{\"pages_read\":%d,\"records_read\":%d,\"bytes_read\":%d,\"index_probes\":%d}"
-    t.pages_read t.records_read t.bytes_read t.index_probes
+    "{\"pages_read\":%d,\"records_read\":%d,\"bytes_read\":%d,\"index_probes\":%d,\"pool_hits\":%d,\"pool_misses\":%d}"
+    t.pages_read t.records_read t.bytes_read t.index_probes t.pool_hits
+    t.pool_misses

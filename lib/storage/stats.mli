@@ -9,6 +9,10 @@ type t = {
   mutable records_read : int;
   mutable bytes_read : int;
   mutable index_probes : int;
+  mutable pool_hits : int;
+      (** pages found resident in the heap's buffer pool; every
+          [pages_read] charge is exactly one pool hit or miss *)
+  mutable pool_misses : int;
 }
 
 val create : unit -> t

@@ -42,6 +42,7 @@ type t = {
   mutable btree : Btree.t option;
   wal : Wal.t option;
   wal_path : string option;
+  sync_on_commit : bool;
   mutable health : health;
   mutable commit_seq : int;  (* commits applied to this instance *)
   mutable ledger : (int * Tuple.t) list;  (* committed writes, newest first *)
@@ -95,7 +96,14 @@ let apply_journal t journal =
       | Update.Removed nt -> physical_remove t nt)
     journal
 
-let create ?(page_size = Page.default_size) ?wal_path ?ordered_on ~order schema =
+(* [synchronous] (default true) makes every commit point — autocommit
+   op or Txn_commit — fsync before returning, so an embedded caller's
+   acknowledgement is durable. The server opens tables with
+   [~synchronous:false] and runs group commit instead: the event loop
+   batches one [sync_wal] per tick over every dirty log and only then
+   releases the acknowledgements it deferred. *)
+let create ?(page_size = Page.default_size) ?wal_path ?(synchronous = true)
+    ?ordered_on ~order schema =
   let ordered_position =
     Option.map (fun attribute -> Schema.position schema attribute) ordered_on
   in
@@ -113,6 +121,7 @@ let create ?(page_size = Page.default_size) ?wal_path ?ordered_on ~order schema 
     btree = Option.map (fun _ -> Btree.create ()) ordered_position;
     wal = Option.map Wal.open_log wal_path;
     wal_path;
+    sync_on_commit = synchronous;
     health = Healthy;
     commit_seq = 0;
     ledger = [];
@@ -141,8 +150,11 @@ let note_commit t tuples =
   t.commit_seq <- t.commit_seq + 1;
   List.iter (fun tuple -> t.ledger <- (t.commit_seq, tuple) :: t.ledger) tuples
 
-let load ?page_size ?wal_path ?ordered_on ~order flat =
-  let t = create ?page_size ?wal_path ?ordered_on ~order (Relation.schema flat) in
+let load ?page_size ?wal_path ?synchronous ?ordered_on ~order flat =
+  let t =
+    create ?page_size ?wal_path ?synchronous ?ordered_on ~order
+      (Relation.schema flat)
+  in
   Relation.iter (fun tuple -> ignore (apply_unlogged t (Wal.Insert tuple))) flat;
   (* The bulk load is commit #1: its images carry stamp 1, and the
      ledger stays empty (a load is its own checkpoint). *)
@@ -209,9 +221,9 @@ let fold_committed entries =
   List.iter drop (List.rev !started);
   (groups, !discarded)
 
-let recover ?page_size ?ordered_on ~wal_path ~order schema =
+let recover ?page_size ?synchronous ?ordered_on ~wal_path ~order schema =
   let entries = Wal.replay wal_path in
-  let t = create ?page_size ~wal_path ?ordered_on ~order schema in
+  let t = create ?page_size ~wal_path ?synchronous ?ordered_on ~order schema in
   let groups, _discarded = fold_committed entries in
   let apply entry =
     match apply_unlogged t entry with
@@ -292,11 +304,11 @@ let degrade_if_lossy t report =
            | None -> 0)
            report.skipped_ops)
 
-let recover_salvage ?page_size ?ordered_on ~wal_path ~order schema =
+let recover_salvage ?page_size ?synchronous ?ordered_on ~wal_path ~order schema =
   Obs.Span.with_span Obs.Span.Salvage wal_path @@ fun _ ->
   Obs.Registry.incr Obs.Registry.global "wal.recover_salvage_total";
   let salvage = Wal.replay_salvage wal_path in
-  let t = create ?page_size ~wal_path ?ordered_on ~order schema in
+  let t = create ?page_size ~wal_path ?synchronous ?ordered_on ~order schema in
   let applied, skipped_ops, discarded_txn_ops = apply_salvaged t salvage.Wal.entries in
   let report =
     {
@@ -328,17 +340,17 @@ let require_writable t =
   | Healthy -> ()
   | Degraded reason -> raise (Storage_error.Error (Storage_error.Degraded reason))
 
-(* Log the entry before touching any in-memory state. A durability
-   failure here (closed channel, I/O error) therefore leaves the
-   logical and physical layers untouched and consistent: the table
-   transitions to read-only [Degraded] and the typed error propagates.
-   A [Failpoint.Crashed] is different — it simulates process death and
+(* Run a WAL operation under the durability error envelope. A failure
+   (closed channel, I/O error, fsync error) leaves the logical and
+   physical layers untouched and consistent: the table transitions to
+   read-only [Degraded] and the typed error propagates. A
+   [Failpoint.Crashed] is different — it simulates process death and
    must reach the harness untranslated. *)
-let log_durably t entry =
+let guard_wal t f =
   match t.wal with
   | None -> ()
   | Some wal -> (
-    try Wal.append wal entry with
+    try f wal with
     | Failpoint.Crashed _ as e -> raise e
     | Storage_error.Error ((Storage_error.Closed _ | Storage_error.Corrupt _) as err) ->
       let reason = Storage_error.to_string err in
@@ -346,7 +358,26 @@ let log_durably t entry =
       raise (Storage_error.Error (Storage_error.Degraded reason))
     | Sys_error reason ->
       t.health <- Degraded reason;
+      raise (Storage_error.Error (Storage_error.Degraded reason))
+    | Unix.Unix_error (err, _, _) ->
+      let reason = Unix.error_message err in
+      t.health <- Degraded reason;
       raise (Storage_error.Error (Storage_error.Degraded reason)))
+
+(* Log the entry before touching any in-memory state. [~sync:true]
+   marks a commit point: on a synchronous table the append is fsynced
+   before this returns, so the caller's acknowledgement is durable.
+   Asynchronous tables leave the bytes in the OS page cache for the
+   group-commit scheduler ([sync_wal]) to cover. *)
+let log_durably ?(sync = false) t entry =
+  guard_wal t (fun wal ->
+      Wal.append wal entry;
+      if sync && t.sync_on_commit then Wal.sync wal)
+
+let sync_wal t = guard_wal t Wal.sync
+
+let wal_unsynced t =
+  match t.wal with Some wal -> Wal.unsynced_bytes wal | None -> 0
 
 let require_no_txn t context =
   if t.txn <> None then
@@ -357,7 +388,7 @@ let insert t tuple =
   require_no_txn t "Table.insert";
   if Update.Store.member t.store tuple then false
   else begin
-    log_durably t (Wal.Insert tuple);
+    log_durably ~sync:true t (Wal.Insert tuple);
     let applied = apply_unlogged t (Wal.Insert tuple) in
     note_commit t [ tuple ];
     applied
@@ -367,7 +398,7 @@ let delete t tuple =
   require_writable t;
   require_no_txn t "Table.delete";
   if not (Update.Store.member t.store tuple) then raise Update.Not_in_relation;
-  log_durably t (Wal.Delete tuple);
+  log_durably ~sync:true t (Wal.Delete tuple);
   ignore (apply_unlogged t (Wal.Delete tuple));
   note_commit t [ tuple ]
 
@@ -427,7 +458,9 @@ let txn_delete t ~txid tuple =
 let commit_txn t ~txid =
   require_writable t;
   let txn = require_txn t "Table.commit_txn" txid in
-  log_durably t (Wal.Txn_commit txid);
+  (* The commit record is the transaction's durability point; the
+     Txn_begin/op entries before it ride along under the same fsync. *)
+  log_durably ~sync:true t (Wal.Txn_commit txid);
   note_commit t (List.rev txn.written);
   t.txn <- None;
   t.commit_seq
@@ -543,6 +576,8 @@ let range t ~stats ~lo ~hi =
 let live_records t = Ntuple_table.length t.rids
 let dead_records t = Rid_set.cardinal t.dead
 let pages t = Heap.page_count t.heap
+let pool t = Heap.pool t.heap
+let pool_hit_rate t = Bufpool.hit_rate (Heap.pool t.heap)
 
 let compact t =
   let live = snapshot t in
@@ -648,7 +683,7 @@ let save_snapshot t path =
 (* Parse a snapshot file into (wal generation, table) — raising typed
    errors on any damage; integrity is checked before anything is
    built. *)
-let parse_snapshot ?page_size ?wal_path ?ordered_on contents =
+let parse_snapshot ?page_size ?wal_path ?synchronous ?ordered_on contents =
   let generation, bytes =
     if
       String.length contents >= String.length snapshot_magic + 4
@@ -694,7 +729,10 @@ let parse_snapshot ?page_size ?wal_path ?ordered_on contents =
     Storage_error.corrupt ~context:"Table.load_snapshot" ~offset:!offset
       "tuple count exceeds snapshot size";
   offset := next;
-  let t = create ?page_size ?wal_path ?ordered_on ~order:(List.rev !order) schema in
+  let t =
+    create ?page_size ?wal_path ?synchronous ?ordered_on
+      ~order:(List.rev !order) schema
+  in
   for _ = 1 to count do
     let nt, next = Codec.decode_ntuple bytes !offset in
     offset := next;
@@ -708,11 +746,13 @@ let parse_snapshot ?page_size ?wal_path ?ordered_on contents =
   if count > 0 then t.commit_seq <- 1;
   (generation, t)
 
-let load_snapshot ?page_size ?wal_path ?ordered_on path =
+let load_snapshot ?page_size ?wal_path ?synchronous ?ordered_on path =
   Obs.Span.with_span Obs.Span.Snapshot_load path @@ fun _ ->
   Obs.Registry.incr Obs.Registry.global "snapshot.load_total";
   let contents = In_channel.with_open_bin path In_channel.input_all in
-  let snapshot_generation, t = parse_snapshot ?page_size ?wal_path ?ordered_on contents in
+  let snapshot_generation, t =
+    parse_snapshot ?page_size ?wal_path ?synchronous ?ordered_on contents
+  in
   (match wal_path with
   | Some wal_path ->
     let salvage = Wal.replay_salvage wal_path in
@@ -743,13 +783,13 @@ let load_snapshot ?page_size ?wal_path ?ordered_on path =
   | None -> ());
   t
 
-let load_snapshot_salvage ?page_size ?wal_path ?ordered_on path =
+let load_snapshot_salvage ?page_size ?wal_path ?synchronous ?ordered_on path =
   Obs.Span.with_span Obs.Span.Salvage path @@ fun _ ->
   Obs.Registry.incr Obs.Registry.global "snapshot.salvage_total";
   let snapshot_result =
     match In_channel.with_open_bin path In_channel.input_all with
     | contents -> (
-      match parse_snapshot ?page_size ?wal_path ?ordered_on contents with
+      match parse_snapshot ?page_size ?wal_path ?synchronous ?ordered_on contents with
       | result -> Ok result
       | exception Storage_error.Error err -> Error (Storage_error.to_string err)
       | exception Schema.Schema_error reason -> Error reason)

@@ -43,17 +43,26 @@ type health =
 val create :
   ?page_size:int ->
   ?wal_path:string ->
+  ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
   order:Attribute.t list ->
   Schema.t ->
   t
 (** An empty table. With [wal_path], every update is logged before it
     is applied; with [ordered_on], a {!Btree} over that attribute's
-    component values is maintained and {!range} becomes available. *)
+    component values is maintained and {!range} becomes available.
+
+    [synchronous] (default [true]) makes every commit point fsync
+    ({!Wal.sync}) before returning — an embedded caller's
+    acknowledgement is durable against power loss. Pass
+    [~synchronous:false] to run group commit instead: appends stop at
+    the OS page cache and a scheduler (the server's event loop) must
+    call {!sync_wal} before acknowledging; see {!wal_unsynced}. *)
 
 val load :
   ?page_size:int ->
   ?wal_path:string ->
+  ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
   order:Attribute.t list ->
   Relation.t ->
@@ -63,6 +72,7 @@ val load :
 
 val recover :
   ?page_size:int ->
+  ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
   wal_path:string ->
   order:Attribute.t list ->
@@ -90,6 +100,7 @@ type recovery_report = {
 
 val recover_salvage :
   ?page_size:int ->
+  ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
   wal_path:string ->
   order:Attribute.t list ->
@@ -257,6 +268,27 @@ val live_records : t -> int
 val dead_records : t -> int
 val pages : t -> int
 
+val pool : t -> Bufpool.t
+(** The heap's buffer pool (reset when {!compact} rebuilds the heap). *)
+
+val pool_hit_rate : t -> float
+(** Observed buffer-pool hit rate of this table's heap — the planner
+    prices repeated index probes below a cold scan with it. *)
+
+(** {2 Group commit} *)
+
+val sync_wal : t -> unit
+(** Fsync the table's WAL ({!Wal.sync}); a no-op without a WAL or when
+    nothing is pending. The group-commit barrier: once this returns,
+    every previously appended entry is durable and the deferred
+    acknowledgements it covers may be released.
+    @raise Storage_error.Error [(Degraded _)] on an fsync failure (the
+    table degrades, exactly as for a failed append). *)
+
+val wal_unsynced : t -> int
+(** Bytes appended to the WAL but not yet covered by a sync; 0 without
+    a WAL. What the group-commit scheduler polls to find dirty logs. *)
+
 val compact : t -> unit
 (** Rebuild heap and index from the live snapshot, dropping
     tombstones. *)
@@ -275,7 +307,12 @@ val save_snapshot : t -> string -> unit
     place, so a crash mid-save leaves any previous snapshot intact. *)
 
 val load_snapshot :
-  ?page_size:int -> ?wal_path:string -> ?ordered_on:Attribute.t -> string -> t
+  ?page_size:int ->
+  ?wal_path:string ->
+  ?synchronous:bool ->
+  ?ordered_on:Attribute.t ->
+  string ->
+  t
 (** Rebuild a table from {!save_snapshot} output, then replay
     [wal_path] (if given) on top — the full recovery story: snapshot
     at the last checkpoint + the log since. A WAL whose generation is
@@ -287,6 +324,7 @@ val load_snapshot :
 val load_snapshot_salvage :
   ?page_size:int ->
   ?wal_path:string ->
+  ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
   string ->
   t * recovery_report

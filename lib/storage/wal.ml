@@ -16,6 +16,11 @@ type t = {
   mutable open_ : bool;
   mutable format : format;
   mutable generation : int;
+  mutable written_bytes : int;
+      (* bytes handed to the channel since open (header included) *)
+  mutable synced_bytes : int;
+      (* durable watermark: bytes covered by the last real fsync (or
+         present at open, which only follows a flushed close/reset) *)
   path : string;
 }
 
@@ -120,6 +125,10 @@ let frame_v0 payload =
   Buffer.add_char framed (Char.chr (legacy_checksum payload));
   Buffer.contents framed
 
+(* Buffered append: the frame reaches the OS page cache (stdlib
+   [flush]), NOT the platter. Durability requires a later [sync] —
+   the flush-vs-fsync split is the whole point: acknowledgements must
+   wait for [sync], while many appends can share one. *)
 let append t entry =
   if not t.open_ then raise (Storage_error.Error (Storage_error.Closed "Wal.append"));
   Obs.Span.with_span Obs.Span.Wal_append "wal.append" (fun span ->
@@ -135,22 +144,75 @@ let append t entry =
         (float_of_int (String.length framed));
       Obs.Span.add_bytes span (String.length framed);
       (match Failpoint.on_write "wal.append.frame" framed with
-      | Failpoint.Full data -> output_string t.channel data
+      | Failpoint.Full data ->
+        output_string t.channel data;
+        t.written_bytes <- t.written_bytes + String.length data
       | Failpoint.Dropped -> ()
       | Failpoint.Partial prefix ->
         output_string t.channel prefix;
+        t.written_bytes <- t.written_bytes + String.length prefix;
         flush t.channel;
         raise (Failpoint.Crashed "wal.append.frame"));
-      Obs.Span.with_span Obs.Span.Wal_fsync "wal.fsync" (fun fsync_span ->
+      Obs.Span.with_span Obs.Span.Wal_fsync "wal.flush" (fun flush_span ->
           flush t.channel;
+          Obs.Registry.incr registry "wal.flush_total";
+          (* Deprecated alias of wal.flush_total (this counter always
+             measured the user-buffer flush); dashboards migrate to
+             wal.flush_total / wal.sync_total. *)
           Obs.Registry.incr registry "wal.fsync_total";
           Obs.Registry.add_gauge registry "wal.bytes_unflushed"
             (-.float_of_int (String.length framed));
-          Obs.Registry.observe registry "wal.fsync.seconds"
-            (Obs.Span.now () -. fsync_span.Obs.Span.start_s));
+          Obs.Registry.add_gauge registry "wal.bytes_unsynced"
+            (float_of_int (String.length framed));
+          let elapsed = Obs.Span.now () -. flush_span.Obs.Span.start_s in
+          Obs.Registry.observe registry "wal.flush.seconds" elapsed;
+          Obs.Registry.observe registry "wal.fsync.seconds" elapsed);
       Failpoint.hit "wal.append.after")
 
+let unsynced_bytes t = t.written_bytes - t.synced_bytes
+
+(* The durability barrier: a real [Unix.fsync]. No-op when the
+   watermark already covers every written byte, so idle group-commit
+   ticks cost one integer compare. *)
+let sync t =
+  if not t.open_ then raise (Storage_error.Error (Storage_error.Closed "Wal.sync"));
+  if t.written_bytes > t.synced_bytes then begin
+    (match Failpoint.on_sync "wal.sync.before" with
+    | Failpoint.Proceed -> ()
+    | Failpoint.Power_cut ->
+      (* Simulated power loss before the fsync lands: every byte that
+         only reached the OS page cache vanishes. Push the user buffer
+         out first so the truncation below is the only editor of the
+         file, then cut back to the durable watermark and "die". *)
+      flush t.channel;
+      Unix.ftruncate (Unix.descr_of_out_channel t.channel) t.synced_bytes;
+      raise (Failpoint.Crashed "wal.sync.before"));
+    Obs.Span.with_span Obs.Span.Wal_sync "wal.sync" (fun span ->
+        flush t.channel;
+        Unix.fsync (Unix.descr_of_out_channel t.channel);
+        let registry = Obs.Registry.global in
+        let covered = unsynced_bytes t in
+        t.synced_bytes <- t.written_bytes;
+        Obs.Registry.incr registry "wal.sync_total";
+        Obs.Registry.add_gauge registry "wal.bytes_unsynced"
+          (-.float_of_int covered);
+        Obs.Span.add_bytes span covered;
+        Obs.Registry.observe registry "wal.sync.seconds"
+          (Obs.Span.now () -. span.Obs.Span.start_s));
+    Failpoint.hit "wal.sync.after"
+  end
+
 let close t =
+  if t.open_ then begin
+    (* A graceful close is a durability point: flush and fsync so the
+       log survives power loss, not just process exit. Ignore errors —
+       close must stay usable on crashed/degraded handles. *)
+    (try
+       flush t.channel;
+       Unix.fsync (Unix.descr_of_out_channel t.channel);
+       t.synced_bytes <- t.written_bytes
+     with _ -> ())
+  end;
   t.open_ <- false;
   close_out_noerr t.channel
 
@@ -347,13 +409,22 @@ let open_log path =
     (* A torn header means nothing after it can be valid either. *)
     parse_header (Bytes.of_string existing) = `Torn
   in
+  (* Whatever the file holds once opening completes is the durable
+     baseline: fsync it so the watermark claim ("synced bytes survive
+     power loss") is true from the first append. *)
+  let settle channel =
+    flush channel;
+    (try Unix.fsync (Unix.descr_of_out_channel channel) with Unix.Unix_error _ -> ())
+  in
   if fresh then begin
     let channel =
       open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
     in
     output_string channel (encode_header 1);
-    flush channel;
-    { channel; open_ = true; format = V1; generation = 1; path }
+    settle channel;
+    let size = String.length (encode_header 1) in
+    { channel; open_ = true; format = V1; generation = 1;
+      written_bytes = size; synced_bytes = size; path }
   end
   else begin
     let salvage = replay_salvage path in
@@ -367,14 +438,20 @@ let open_log path =
         open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
       in
       output_string channel keep;
-      flush channel;
-      { channel; open_ = true; format; generation; path }
+      settle channel;
+      { channel; open_ = true; format; generation;
+        written_bytes = String.length keep; synced_bytes = String.length keep;
+        path }
     end
-    else
+    else begin
       let channel =
         open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
       in
-      { channel; open_ = true; format; generation; path }
+      settle channel;
+      let size = String.length existing in
+      { channel; open_ = true; format; generation;
+        written_bytes = size; synced_bytes = size; path }
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -387,6 +464,10 @@ let write_truncated path generation =
     open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path
   in
   output_string channel (encode_header generation);
+  (* A truncation discards history; the replacement header must be
+     durable before anyone trusts the new generation. *)
+  flush channel;
+  (try Unix.fsync (Unix.descr_of_out_channel channel) with Unix.Unix_error _ -> ());
   close_out_noerr channel
 
 let reset path =
@@ -402,4 +483,7 @@ let truncate t =
   write_truncated t.path generation;
   t.channel <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path;
   t.format <- V1;
-  t.generation <- generation
+  t.generation <- generation;
+  let size = String.length (encode_header generation) in
+  t.written_bytes <- size;
+  t.synced_bytes <- size

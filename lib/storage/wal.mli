@@ -18,11 +18,20 @@
     {!open_log} keeps appending v0 frames to a v0 file so a single
     log never mixes formats.
 
-    Appends are threaded through {!Failpoint} sites
+    {2 Durability contract}
+
+    {!append} is {e buffered}: the frame reaches the OS page cache
+    (a stdlib flush), which survives process death but not power
+    loss. {!sync} is the durability barrier — a real [Unix.fsync] —
+    and is what an acknowledgement must wait for. The split is what
+    makes group commit possible: many appends, one [fsync].
+
+    Appends and syncs are threaded through {!Failpoint} sites
     (["wal.append.before"], ["wal.append.frame"],
-    ["wal.append.after"], ["wal.reset"]), so the crash matrix can
-    inject torn writes, bit flips, lost flushes and crashes at every
-    step and verify recovery. *)
+    ["wal.append.after"], ["wal.sync.before"], ["wal.sync.after"],
+    ["wal.reset"]), so the crash matrix can inject torn writes, bit
+    flips, lost flushes, power cuts that drop unsynced bytes, and
+    crashes at every step and verify recovery. *)
 
 open Relational
 
@@ -51,12 +60,28 @@ val generation : t -> int
 (** The log's current generation (0 for legacy v0 files). *)
 
 val append : t -> entry -> unit
-(** Encode, frame, write, flush.
+(** Encode, frame, write, flush to the OS page cache. {b Not} durable
+    against power loss until a following {!sync} covers it.
     @raise Storage_error.Error [(Closed _)] after {!close}.
     @raise Failpoint.Crashed when an armed fault fires at one of the
     append sites (simulated process death — the handle is unusable). *)
 
+val sync : t -> unit
+(** The durability barrier: flush then [Unix.fsync]. Every byte
+    appended before the call is on the platter when it returns; a
+    no-op when nothing new was appended since the last sync.
+    @raise Storage_error.Error [(Closed _)] after {!close}.
+    @raise Failpoint.Crashed when an armed fault fires at a
+    ["wal.sync.*"] site ({!Failpoint.Lose_unsynced} additionally
+    truncates the file back to the durable watermark first —
+    simulated power loss). *)
+
+val unsynced_bytes : t -> int
+(** Bytes appended since the last {!sync} (0 when fully durable) —
+    what a group-commit scheduler polls to find dirty logs. *)
+
 val close : t -> unit
+(** Flush, fsync (best effort), and close the handle. *)
 
 val replay : string -> entry list
 (** All complete entries in write order; the empty list when the file

@@ -52,9 +52,13 @@ echo "obs_smoke: serving on port $port"
     > /dev/null
 
 # The scrape: byte-validates the exposition through the registry's
-# own parser and insists on the required series by prefix.
+# own parser and insists on the required series by prefix. The list
+# covers the honest flush/sync split (nf2_wal_flush_total and
+# nf2_wal_sync_total are distinct series; nf2_wal_fsync_total is the
+# kept deprecated alias of the flush series) and the buffer-pool
+# ledger.
 "$CLI" metrics --port "$port" \
-    --require nf2_query_seconds,nf2_wal_fsync_total,nf2_connections_rejected \
+    --require nf2_query_seconds,nf2_wal_flush_total,nf2_wal_sync_total,nf2_wal_fsync_total,nf2_pool_hit,nf2_pool_miss,nf2_connections_rejected \
     > "$workdir/scrape.txt" || {
     echo "obs_smoke: metrics scrape failed:" >&2
     cat "$workdir/scrape.txt" >&2

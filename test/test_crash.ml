@@ -26,6 +26,7 @@ let pp_fault = function
   | Failpoint.Short_write n -> Printf.sprintf "short:%d" n
   | Failpoint.Bit_flip n -> Printf.sprintf "flip:%d" n
   | Failpoint.Drop_write -> "drop"
+  | Failpoint.Lose_unsynced -> "powercut"
 
 let flat table = Nfr_core.Nfr.flatten (Table.snapshot table)
 
@@ -429,8 +430,11 @@ let check_torn ~name ~fault recovered report =
   in
   let ok =
     match fault with
-    | Failpoint.Crash | Failpoint.Short_write _ ->
-      (* Process death mid-commit: strictly all-or-nothing. *)
+    | Failpoint.Crash | Failpoint.Short_write _ | Failpoint.Lose_unsynced ->
+      (* Process death (or power loss) mid-commit: strictly
+         all-or-nothing. A power cut drops the whole unsynced group —
+         begin, ops and commit record together — so recovery must land
+         exactly on the pre-transaction state. *)
       strict
     | Failpoint.Bit_flip _ | Failpoint.Drop_write ->
       strict || lossy report
@@ -482,7 +486,8 @@ let test_torn_txn_matrix () =
                       true
                       (List.mem (site, fault) (Failpoint.fired ()));
                     (match fault with
-                    | Failpoint.Crash | Failpoint.Short_write _ ->
+                    | Failpoint.Crash | Failpoint.Short_write _
+                    | Failpoint.Lose_unsynced ->
                       Alcotest.(check bool)
                         (name ^ ": simulated process death")
                         true crashed
@@ -587,6 +592,79 @@ let test_update_crash_window () =
         (List.exists (fun victim -> Relation.mem state (image_of victim)) victims);
       Table.close recovered)
 
+(* ------------------------------------------------------------------ *)
+(* Durability contract: flush is not fsync                             *)
+(* ------------------------------------------------------------------ *)
+
+let sync_rows = List.init 6 (fun i -> row schema3 [ "a"; "b"; string_of_int i ])
+
+(* A synchronous table fsyncs at every commit point, so a power cut
+   (everything OS-buffered-but-unsynced dropped) may only lose the one
+   operation whose acknowledgement never made it out — never an
+   acknowledged one. *)
+let test_acked_commits_survive_power_cut () =
+  with_scratch @@ fun ~wal_path ~snap_path:_ ->
+  let table = Table.create ~wal_path ~order:order3 schema3 in
+  List.iter (fun r -> ignore (Table.insert table r)) sync_rows;
+  Failpoint.arm "wal.sync.before" Failpoint.Lose_unsynced;
+  let crashed =
+    try
+      ignore (Table.insert table (row schema3 [ "a"; "b"; "unacked" ]));
+      false
+    with Failpoint.Crashed _ -> true
+  in
+  Alcotest.(check bool) "power cut fired" true crashed;
+  Failpoint.reset ();
+  (try Table.close table with _ -> ());
+  let recovered = Table.recover ~wal_path ~order:order3 schema3 in
+  let expected = List.fold_left Relation.add start sync_rows in
+  Alcotest.(check bool) "exactly the acknowledged rows" true
+    (Relation.equal expected (flat recovered));
+  Table.close recovered
+
+(* The pre-fix behaviour, reproduced: "fsync" was only a user-space
+   flush, so a power cut after N acknowledged commits could drop every
+   one of them. An asynchronous table whose WAL is never synced is
+   exactly that code path; the same power-cut fault that loses nothing
+   acknowledged above loses everything here. This is the cell that
+   would have failed before the fix. *)
+let test_flush_only_wal_loses_acked_commits () =
+  with_scratch @@ fun ~wal_path ~snap_path:_ ->
+  let table = Table.create ~wal_path ~synchronous:false ~order:order3 schema3 in
+  List.iter (fun r -> ignore (Table.insert table r)) sync_rows;
+  Alcotest.(check bool) "appends were flushed but not fsynced" true
+    (Table.wal_unsynced table > 0);
+  Failpoint.arm "wal.sync.before" Failpoint.Lose_unsynced;
+  let crashed = try Table.sync_wal table; false with Failpoint.Crashed _ -> true in
+  Alcotest.(check bool) "power cut fired" true crashed;
+  Failpoint.reset ();
+  (try Table.close table with _ -> ());
+  let recovered = Table.recover ~wal_path ~order:order3 schema3 in
+  Alcotest.(check bool) "every flush-only commit is gone" true
+    (Relation.equal start (flat recovered));
+  Table.close recovered
+
+(* And the group-commit contract: once [sync_wal] has returned, a
+   later power cut cannot touch the batch it covered. *)
+let test_group_sync_makes_batch_durable () =
+  with_scratch @@ fun ~wal_path ~snap_path:_ ->
+  let table = Table.create ~wal_path ~synchronous:false ~order:order3 schema3 in
+  List.iter (fun r -> ignore (Table.insert table r)) sync_rows;
+  Table.sync_wal table;
+  Alcotest.(check int) "nothing left unsynced" 0 (Table.wal_unsynced table);
+  (* Append one more, unsynced, and cut the power: only it may die. *)
+  ignore (Table.insert table (row schema3 [ "a"; "b"; "unsynced" ]));
+  Failpoint.arm "wal.sync.before" Failpoint.Lose_unsynced;
+  let crashed = try Table.sync_wal table; false with Failpoint.Crashed _ -> true in
+  Alcotest.(check bool) "power cut fired" true crashed;
+  Failpoint.reset ();
+  (try Table.close table with _ -> ());
+  let recovered = Table.recover ~wal_path ~order:order3 schema3 in
+  let expected = List.fold_left Relation.add start sync_rows in
+  Alcotest.(check bool) "the synced batch survived intact" true
+    (Relation.equal expected (flat recovered));
+  Table.close recovered
+
 let () =
   Alcotest.run "crash"
     [
@@ -618,5 +696,14 @@ let () =
         [
           Alcotest.test_case "UPDATE crash window" `Quick
             test_update_crash_window;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "acked commits survive power cut" `Quick
+            test_acked_commits_survive_power_cut;
+          Alcotest.test_case "flush-only WAL loses acked commits" `Quick
+            test_flush_only_wal_loses_acked_commits;
+          Alcotest.test_case "group sync makes the batch durable" `Quick
+            test_group_sync_makes_batch_durable;
         ] );
     ]

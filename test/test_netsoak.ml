@@ -32,14 +32,17 @@ let listen_socket () =
   in
   (fd, port)
 
-let fork_server ~listen_fd =
+let fork_server ~listen_fd ~wal_path =
   match Unix.fork () with
   | 0 ->
     let exit_code =
       try
         let db = Nfql.Physical.create () in
+        (* WAL-backed but not per-statement durable: commit acks are
+           held until the loop's group sync covers them, which is the
+           configuration the batch-size assertion below exercises. *)
         Nfql.Physical.add_table db "t"
-          (Storage.Table.load
+          (Storage.Table.load ~wal_path ~synchronous:false
              ~order:(Schema.attributes schema3)
              (Relation.empty schema3));
         let loop = Server.Loop.create ~db ~listen:(`Fd listen_fd) () in
@@ -65,6 +68,28 @@ let counter_of_dump dump name =
          else None)
   |> Option.value ~default:(-1)
 
+(* Pull one "key=value" field out of a histogram summary line
+   ("name count=3 sum=... max=... p50=...") in the METRICS dump. *)
+let histogram_field_of_dump dump name field =
+  let prefix = name ^ " " in
+  let key = field ^ "=" in
+  String.split_on_char '\n' dump
+  |> List.find_map (fun line ->
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           String.split_on_char ' ' line
+           |> List.find_map (fun token ->
+                  if String.length token > String.length key
+                     && String.sub token 0 (String.length key) = key
+                  then
+                    float_of_string_opt
+                      (String.sub token (String.length key)
+                         (String.length token - String.length key))
+                  else None)
+         else None)
+  |> Option.value ~default:(-1.)
+
 let error_counters_of_dump dump =
   String.split_on_char '\n' dump
   |> List.filter (fun line ->
@@ -80,7 +105,8 @@ let test_soak () =
   in
   let trace = Workload.Trace.mixed ~seed:8 start ~ops in
   let listen_fd, port = listen_socket () in
-  let server_pid = fork_server ~listen_fd in
+  let wal_path = Filename.temp_file "netsoak" ".wal" in
+  let server_pid = fork_server ~listen_fd ~wal_path in
   let clients = Array.init conns (fun _ -> Server.Client.connect ~port ()) in
   Array.iter Server.Client.ping clients;
   let admin = clients.(0) in
@@ -127,6 +153,33 @@ let test_soak () =
     trace;
   (* Every worker connection is still alive after the victim's death. *)
   Array.iter Server.Client.ping clients;
+  (* Group-commit burst: pipeline one insert on every connection
+     before reading any reply, so many sessions have held acks when
+     the loop's sync point fires and the batch-size histogram records
+     a real group. *)
+  let burst_rounds = 3 in
+  let burst_ops = ref [] in
+  for round = 1 to burst_rounds do
+    let round_ops =
+      List.init conns (fun i ->
+          Workload.Trace.Insert
+            (row schema3
+               [ "gc"; Printf.sprintf "r%d" round; Printf.sprintf "c%02d" i ]))
+    in
+    List.iteri
+      (fun i op ->
+        Server.Client.query_send clients.(i)
+          (Workload.Trace.nfql_statement ~table:"t" op))
+      round_ops;
+    List.iteri
+      (fun i _ ->
+        match Server.Client.query_recv clients.(i) with
+        | Ok _ -> incr statements_sent
+        | Error (_, reason) ->
+          Alcotest.failf "burst insert on conn %d refused: %s" i reason)
+      round_ops;
+    burst_ops := !burst_ops @ round_ops
+  done;
   (* Final state over the wire. *)
   let final_rows =
     match (Server.Client.query_exn admin "select * from t").results with
@@ -136,7 +189,7 @@ let test_soak () =
   in
   incr statements_sent;
   Alcotest.check relation_testable "final table = Trace.final_relation"
-    (Workload.Trace.final_relation start trace)
+    (Workload.Trace.final_relation start (trace @ !burst_ops))
     final_rows;
   (* The server's ledger must agree with ours, statement for
      statement. *)
@@ -149,6 +202,12 @@ let test_soak () =
     (counter_of_dump dump "connections.accepted");
   Alcotest.(check (list string)) "no error counters" []
     (error_counters_of_dump dump);
+  (* The pipelined burst must have produced at least one real group:
+     several commit acks released by a single fsync. *)
+  Alcotest.(check bool) "group commit batched more than one commit" true
+    (histogram_field_of_dump dump "wal.group_commit.batch_size" "max" > 1.);
+  Alcotest.(check bool) "group commit histogram populated" true
+    (histogram_field_of_dump dump "wal.group_commit.batch_size" "count" > 0.);
   (* The mid-transaction death shows up as exactly one implicit
      rollback, and nothing stays open. *)
   Alcotest.(check int) "txn.begin" 1 (counter_of_dump dump "txn.begin");
@@ -161,6 +220,7 @@ let test_soak () =
   Server.Client.shutdown admin;
   Array.iter Server.Client.close clients;
   let _, status = Unix.waitpid [] server_pid in
+  (try Sys.remove wal_path with Sys_error _ -> ());
   match status with
   | Unix.WEXITED 0 -> ()
   | Unix.WEXITED n -> Alcotest.failf "server exited %d" n

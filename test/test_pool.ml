@@ -1,0 +1,182 @@
+(* The buffer pool: LRU mechanics, the hit+miss = pages_read
+   invariant, byte equality of pool-served reads against the backing
+   pages, bounded residency under a seeded Zipf workload, and the
+   planner flipping a repeated-probe workload from a cold heap scan to
+   a cached index probe. *)
+
+open Relational
+open Storage
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* LRU mechanics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let pool = Bufpool.create ~capacity:3 () in
+  Alcotest.(check bool) "first touch misses" false (Bufpool.touch pool 0);
+  Alcotest.(check bool) "second touch hits" true (Bufpool.touch pool 0);
+  ignore (Bufpool.touch pool 1);
+  ignore (Bufpool.touch pool 2);
+  Alcotest.(check int) "resident" 3 (Bufpool.length pool);
+  (* Page 0 was least recently used after 1 and 2 were admitted... but
+     the hit above refreshed it; touch 1 and 2 again so 0 is LRU. *)
+  ignore (Bufpool.touch pool 1);
+  ignore (Bufpool.touch pool 2);
+  ignore (Bufpool.touch pool 3);
+  Alcotest.(check bool) "LRU page evicted" false (Bufpool.contains pool 0);
+  Alcotest.(check bool) "recent pages stay" true
+    (Bufpool.contains pool 1 && Bufpool.contains pool 2 && Bufpool.contains pool 3);
+  Alcotest.(check int) "one eviction" 1 (Bufpool.evictions pool);
+  Alcotest.(check int) "capacity never exceeded" 3 (Bufpool.length pool)
+
+let test_prefetch_not_charged () =
+  let pool = Bufpool.create ~capacity:4 () in
+  Bufpool.prefetch pool 7;
+  Alcotest.(check int) "prefetch is neither hit nor miss" 0
+    (Bufpool.hits pool + Bufpool.misses pool);
+  Alcotest.(check bool) "prefetched page resident" true (Bufpool.contains pool 7);
+  Alcotest.(check bool) "prefetched page then hits" true (Bufpool.touch pool 7)
+
+(* ------------------------------------------------------------------ *)
+(* Heap integration invariants                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build_heap ~pool_capacity ~records =
+  let heap = Heap.create ~page_size:128 ~pool_capacity () in
+  let rids =
+    Array.init records (fun i -> Heap.append heap (Printf.sprintf "record-%04d" i))
+  in
+  (heap, rids)
+
+let test_hit_plus_miss_equals_pages_read () =
+  let heap, rids = build_heap ~pool_capacity:4 ~records:200 in
+  let stats = Stats.create () in
+  let prng = Workload.Prng.create 42 in
+  (* A mixed workload: point fetches, full scans, and a cursor. *)
+  for _ = 1 to 300 do
+    ignore (Heap.fetch heap ~stats rids.(Workload.Prng.int prng (Array.length rids)))
+  done;
+  Heap.scan heap ~stats (fun _ _ -> ());
+  let next = Heap.cursor heap ~stats in
+  let rec drain () = match next () with Some _ -> drain () | None -> () in
+  drain ();
+  Alcotest.(check int) "hits + misses = pages_read"
+    stats.Stats.pages_read
+    (stats.Stats.pool_hits + stats.Stats.pool_misses);
+  Alcotest.(check bool) "workload saw hits" true (stats.Stats.pool_hits > 0)
+
+let test_pool_reads_byte_equal () =
+  let heap, rids = build_heap ~pool_capacity:4 ~records:120 in
+  let stats = Stats.create () in
+  let prng = Workload.Prng.create 7 in
+  for _ = 1 to 400 do
+    let rid = rids.(Workload.Prng.int prng (Array.length rids)) in
+    (* The pool-fronted read must return exactly the backing page's
+       bytes, hit or miss. *)
+    Alcotest.(check string) "pool read = backing page"
+      (Heap.get heap rid)
+      (Heap.fetch heap ~stats rid)
+  done;
+  (* Every resident page refers to a real backing page. *)
+  List.iter
+    (fun page_no ->
+      Alcotest.(check bool) "cached page is a backing page" true
+        (page_no >= 0 && page_no < Heap.page_count heap))
+    (Bufpool.cached_pages (Heap.pool heap))
+
+let test_zipf_capacity_and_eviction_ledger () =
+  let heap, rids = build_heap ~pool_capacity:6 ~records:400 in
+  let pool = Heap.pool heap in
+  let stats = Stats.create () in
+  let prng = Workload.Prng.create 1234 in
+  let zipf = Workload.Zipf.create ~n:(Array.length rids) ~s:1.1 in
+  for _ = 1 to 2000 do
+    let rank = Workload.Zipf.sample zipf prng in
+    ignore (Heap.fetch heap ~stats rids.(rank));
+    Alcotest.(check bool) "residency bounded" true
+      (Bufpool.length pool <= Bufpool.capacity pool)
+  done;
+  (* Fetch-only workload: every miss admits one page, so evictions
+     account exactly for the admissions that no longer fit. *)
+  Alcotest.(check int) "evictions = misses - resident"
+    (Bufpool.misses pool - Bufpool.length pool)
+    (Bufpool.evictions pool);
+  (* Zipf skew means the hot ranks dominate: the bounded pool should
+     still serve most touches from cache. *)
+  Alcotest.(check bool) "skewed workload mostly hits" true
+    (Bufpool.hit_rate pool > 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Planner: cold scan flips to cached probe as the pool warms          *)
+(* ------------------------------------------------------------------ *)
+
+let test_planner_flips_to_cached_probe () =
+  let schema = Schema.strings [ "K"; "V" ] in
+  let order = Schema.attributes schema in
+  (* Small pages so the table spans enough pages for a cold scan to
+     have real page weight. *)
+  let table = Table.create ~page_size:256 ~order schema in
+  for i = 1 to 45 do
+    ignore (Table.insert table (row schema [ "hot"; Printf.sprintf "v%02d" i ]))
+  done;
+  for i = 1 to 5 do
+    ignore (Table.insert table (row schema [ "cold"; Printf.sprintf "w%02d" i ]))
+  done;
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" table;
+  ignore (Nfql.Physical.exec_string db "analyze t");
+  let select =
+    match Nfql.Parser.parse_statement "select * from t where K = 'hot'" with
+    | Nfql.Ast.Select s -> s
+    | _ -> Alcotest.fail "expected select"
+  in
+  (* Cold pool: the probe pays a full fetch per posting entry (45 of
+     them), so the scan wins. *)
+  (match Nfql.Physical.chosen_path db select with
+  | Nfql.Physical.Via_scan -> ()
+  | _ -> Alcotest.fail "cold pool should choose the heap scan");
+  (* Execute the query repeatedly: the scans (and their prefetch) warm
+     the pool until nearly every page touch hits. *)
+  for _ = 1 to 12 do
+    ignore (Nfql.Physical.exec db (Nfql.Ast.Select select))
+  done;
+  Alcotest.(check bool) "pool is warm" true (Table.pool_hit_rate table > 0.9);
+  (* Warm pool: the same plan request reprices the probe against
+     cached fetches and flips. The plan cache cannot mask the flip —
+     the pool-hit-rate bucket is part of the cache key. *)
+  (match Nfql.Physical.chosen_path db select with
+  | Nfql.Physical.Via_index _ -> ()
+  | Nfql.Physical.Via_scan -> Alcotest.fail "warm pool should flip to the probe"
+  | _ -> Alcotest.fail "unexpected access path");
+  let explain = Nfql.Physical.explain db select in
+  Alcotest.(check bool) "EXPLAIN shows the probe" true
+    (let needle = "inverted-index probe" in
+     let rec search i =
+       i + String.length needle <= String.length explain
+       && (String.sub explain i (String.length needle) = needle || search (i + 1))
+     in
+     search 0)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "prefetch" `Quick test_prefetch_not_charged;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "hit+miss = pages_read" `Quick
+            test_hit_plus_miss_equals_pages_read;
+          Alcotest.test_case "byte equality" `Quick test_pool_reads_byte_equal;
+          Alcotest.test_case "zipf capacity" `Quick
+            test_zipf_capacity_and_eviction_ledger;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "cold scan flips to cached probe" `Quick
+            test_planner_flips_to_cached_probe;
+        ] );
+    ]
