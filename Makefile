@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench txntest txnbench pooltest poolbench bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench txntest txnbench pooltest poolbench viewtest viewbench viewsmoke bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -82,6 +82,22 @@ pooltest:
 # repeated-probe plan flip (writes BENCH_pool.json).
 poolbench:
 	dune exec bench/main.exe -- pool
+
+# Incremental views + CDC: grammar/semantics on both back ends, the
+# incremental==renest property, definition-WAL durability, the forked
+# two-subscriber CDC stream test, and the maintenance crash windows.
+viewtest:
+	ALCOTEST_SLOW=1 dune exec test/test_views.exe
+	CRASH_SEED=$(CRASH_SEED) dune exec test/test_crash.exe -- test views
+
+# View-maintenance bench: per-insert incremental cost vs full renest
+# across 10^4..10^6 base rows (writes BENCH_views.json). viewsmoke is
+# the fast CI variant at 10^3..10^4.
+viewbench:
+	dune exec bench/main.exe -- views
+
+viewsmoke:
+	dune exec bench/main.exe -- viewsmoke
 
 bench:
 	dune exec bench/main.exe

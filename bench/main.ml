@@ -388,5 +388,8 @@ let () =
   if mode = "planner" then Plannerbench.run ();
   if mode = "txn" then Txnbench.run ();
   if mode = "pool" then Poolbench.run ();
+  if mode = "views" then Viewbench.run ();
+  if mode = "viewsmoke" then
+    Viewbench.run ~sizes:[ 1_000; 10_000 ] ~probes:50 ();
   if mode = "timings" || mode = "all" then run_timings ();
   Format.printf "@.done.@."

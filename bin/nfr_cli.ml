@@ -684,6 +684,14 @@ let serve_cmd =
         tables := table :: !tables;
         Nfql.Physical.add_table db name table)
       loads;
+    (* View definitions ride their own log in the same directory, so
+       CREATE VIEW survives a restart (contents are renested from the
+       recovered bases, never logged). *)
+    Option.iter
+      (fun dir ->
+        Nfql.Physical.attach_views_wal db
+          ~path:(Filename.concat dir "_views.wal"))
+      wal_dir;
     let config =
       {
         Server.Session.max_connections;
@@ -695,6 +703,8 @@ let serve_cmd =
         slow_log_size = Server.Session.default_config.Server.Session.slow_log_size;
         wal_sync_interval;
         wal_sync_max_batch;
+        cdc_max_buffered =
+          Server.Session.default_config.Server.Session.cdc_max_buffered;
       }
     in
     (* Drain-time hook: checkpoint (compact + truncate the WAL at the
@@ -947,6 +957,58 @@ let metrics_cmd =
              exposition is parsed back and --require names are checked")
     Term.(const run $ host_arg $ port_arg $ format_arg $ require_arg)
 
+let watch_cmd =
+  let view_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VIEW" ~doc:"View to subscribe to")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Exit after printing N deltas (default: stream forever)")
+  in
+  let run host port view count =
+    let client =
+      try Server.Client.connect ~host ~port ()
+      with Server.Client.Error msg -> or_die (Error msg)
+    in
+    let finally () = Server.Client.close client in
+    Fun.protect ~finally (fun () ->
+        (match Server.Client.subscribe client view with
+        | ack -> Format.printf "%s@." ack
+        | exception Server.Client.Error msg -> or_die (Error msg));
+        let print_side label schema = function
+          | [] -> ()
+          | ntuples ->
+            Format.printf "%s@.%a@." label Nfr.pp_table
+              (Nfr.of_ntuples schema ntuples)
+        in
+        let rec stream remaining =
+          if remaining <> Some 0 then begin
+            match Server.Client.next_delta client with
+            | exception Server.Client.Error msg -> or_die (Error msg)
+            | delta ->
+              Format.printf "-- %s delta #%d@."
+                delta.Server.Protocol.d_view delta.Server.Protocol.d_seq;
+              print_side "++ added" delta.Server.Protocol.d_schema
+                delta.Server.Protocol.d_added;
+              print_side "-- removed" delta.Server.Protocol.d_schema
+                delta.Server.Protocol.d_removed;
+              stream (Option.map pred remaining)
+          end
+        in
+        stream count)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Subscribe to a view's CDC stream and print each commit's delta \
+             (added/removed canonical NFR tuples) as it arrives")
+    Term.(const run $ host_arg $ port_arg $ view_arg $ count_arg)
+
 let () =
   let info =
     Cmd.info "nfr_cli" ~version:"1.0.0"
@@ -957,4 +1019,4 @@ let () =
        (Cmd.group info
           [ nest_cmd; canonical_cmd; forms_cmd; classify_cmd; update_cmd;
             normalize_cmd; design_cmd; sql_cmd; repl_cmd; serve_cmd; connect_cmd;
-            trace_cmd; metrics_cmd ]))
+            watch_cmd; trace_cmd; metrics_cmd ]))

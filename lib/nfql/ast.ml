@@ -38,6 +38,9 @@ type select = {
 type statement =
   | Create of string * (string * string) list * string list option
   | Drop of string
+  | Create_view of string * string * string list
+      (* CREATE VIEW v AS NEST base BY a, b *)
+  | Drop_view of string
   | Insert of string * literal list list
   | Delete_values of string * literal list
   | Delete_where of string * condition
@@ -120,6 +123,9 @@ let rec pp_statement ppf = function
         | Some order -> Format.fprintf ppf " ORDER %a" pp_names order)
       order
   | Drop table -> Format.fprintf ppf "DROP TABLE %s" table
+  | Create_view (view, base, by) ->
+    Format.fprintf ppf "CREATE VIEW %s AS NEST %s BY %a" view base pp_names by
+  | Drop_view view -> Format.fprintf ppf "DROP VIEW %s" view
   | Insert (table, rows) ->
     Format.fprintf ppf "INSERT INTO %s VALUES %a" table
       (Format.pp_print_list
@@ -167,6 +173,8 @@ let rec pp_statement ppf = function
 let rec statement_verb = function
   | Create _ -> "create"
   | Drop _ -> "drop"
+  | Create_view _ -> "create-view"
+  | Drop_view _ -> "drop-view"
   | Insert _ -> "insert"
   | Delete_values _ | Delete_where _ -> "delete"
   | Update_set _ -> "update"

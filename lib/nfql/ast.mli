@@ -5,6 +5,8 @@
     {v
     CREATE TABLE t (col type, ...) [ORDER col, ...]
     DROP TABLE t
+    CREATE VIEW v AS NEST t BY col, ...
+    DROP VIEW v
     INSERT INTO t VALUES (lit, ...) [, (lit, ...) ...]
     DELETE FROM t VALUES (lit, ...)
     DELETE FROM t WHERE cond
@@ -61,6 +63,11 @@ type select = {
 type statement =
   | Create of string * (string * string) list * string list option
   | Drop of string
+  | Create_view of string * string * string list
+      (** [CREATE VIEW v AS NEST t BY cols]: materialize the canonical
+          form of [t] nested by [cols] (then the rest of the schema in
+          schema order) and keep it maintained incrementally *)
+  | Drop_view of string
   | Insert of string * literal list list
   | Delete_values of string * literal list
   | Delete_where of string * condition

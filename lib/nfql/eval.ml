@@ -19,20 +19,82 @@ type db = {
      an O(1) snapshot, rollback is a pointer swap, and commit just
      forgets the save point. *)
   mutable txn_saved : table_state String_map.t option;
+  views : Views.Catalog.t;
+  (* Committed base-table writes a transaction has buffered for view
+     maintenance: views only ever absorb deltas at commit points, so
+     autocommit DML applies immediately while in-txn DML queues here
+     (oldest first) until COMMIT — and is simply discarded on
+     ROLLBACK. *)
+  mutable txn_pending : (string * Views.Catalog.op) list;
 }
 
 type result =
   | Done of string
   | Rows of Nfr.t
 
-let create () = { tables = String_map.empty; txn_saved = None }
+let create () =
+  {
+    tables = String_map.empty;
+    txn_saved = None;
+    views = Views.Catalog.create ();
+    txn_pending = [];
+  }
 
 let in_txn db = db.txn_saved <> None
+let catalog db = db.views
+let is_view db name = Views.Catalog.mem db.views name
 
 let find_table db name =
   match String_map.find_opt name db.tables with
   | Some state -> state
   | None -> error "unknown table %s" name
+
+(* Reads treat a view as a table: resolve the name against base tables
+   first, then the materialized view catalog. *)
+let find_readable db name =
+  match String_map.find_opt name db.tables with
+  | Some state -> (state.nfr, state.order)
+  | None ->
+    if is_view db name then
+      (Views.Catalog.snapshot db.views name, Views.Catalog.order db.views name)
+    else error "unknown table %s" name
+
+(* The typed write guard: DML must name a base table, never a view. *)
+let require_writable db name =
+  if is_view db name then error "%s is a view: views are read-only" name
+
+let apply_committed db base ops =
+  ignore
+    (Views.Catalog.apply db.views ~base
+       ~base_nfr:(lazy (find_table db base).nfr)
+       ops)
+
+let note_dml db base ops =
+  if ops <> [] then begin
+    if in_txn db then db.txn_pending <- db.txn_pending @ List.map (fun op -> (base, op)) ops
+    else apply_committed db base ops
+  end
+
+(* COMMIT is the views' commit point: fold the buffered writes into
+   every dependent view, one delta group per base table. *)
+let flush_pending db =
+  let pending = db.txn_pending in
+  db.txn_pending <- [];
+  let bases =
+    List.rev
+      (List.fold_left
+         (fun acc (base, _) -> if List.mem base acc then acc else base :: acc)
+         [] pending)
+  in
+  if List.length bases > 1 then
+    Obs.Registry.incr Obs.Registry.global "txn.multi_table_commit";
+  List.iter
+    (fun base ->
+      apply_committed db base
+        (List.filter_map
+           (fun (b, op) -> if b = base then Some op else None)
+           pending))
+    bases
 
 let value_of_literal = Compile.value_of_literal
 let attribute_of = Compile.attribute_of
@@ -58,6 +120,7 @@ let require_no_txn db what =
 let exec_create db table columns order =
   require_no_txn db "CREATE TABLE";
   if String_map.mem table db.tables then error "table %s already exists" table;
+  if is_view db table then error "view %s already exists" table;
   let schema =
     match Schema.of_names (List.map (fun (name, ty) -> (name, type_of_name ty)) columns) with
     | schema -> schema
@@ -77,29 +140,36 @@ let exec_create db table columns order =
   Done (Printf.sprintf "table %s created" table)
 
 let exec_insert db table rows =
+  require_writable db table;
   let state = find_table db table in
   let schema = Nfr.schema state.nfr in
-  let inserted, skipped =
+  let inserted, skipped, ops =
     List.fold_left
-      (fun (nfr, skipped) row ->
+      (fun (nfr, skipped, ops) row ->
         let tuple = tuple_of_row schema row in
-        if Nfr.member_tuple nfr tuple then (nfr, skipped + 1)
-        else (Update.insert ~order:state.order nfr tuple, skipped))
-      (state.nfr, 0) rows
+        if Nfr.member_tuple nfr tuple then (nfr, skipped + 1, ops)
+        else
+          ( Update.insert ~order:state.order nfr tuple,
+            skipped,
+            Views.Catalog.Ins tuple :: ops ))
+      (state.nfr, 0, []) rows
   in
   db.tables <- String_map.add table { state with nfr = inserted } db.tables;
+  note_dml db table (List.rev ops);
   Done
     (Printf.sprintf "%d row(s) inserted%s" (List.length rows - skipped)
        (if skipped > 0 then Printf.sprintf ", %d duplicate(s) skipped" skipped
         else ""))
 
 let exec_delete_values db table row =
+  require_writable db table;
   let state = find_table db table in
   let schema = Nfr.schema state.nfr in
   let tuple = tuple_of_row schema row in
   match Update.delete ~order:state.order state.nfr tuple with
   | nfr ->
     db.tables <- String_map.add table { state with nfr } db.tables;
+    note_dml db table [ Views.Catalog.Del tuple ];
     Done "1 row deleted"
   | exception Update.Not_in_relation ->
     error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) table
@@ -120,6 +190,7 @@ let matching_tuples schema nfr condition =
     flat predicates
 
 let exec_delete_where db table condition =
+  require_writable db table;
   let state = find_table db table in
   let schema = Nfr.schema state.nfr in
   let victims = Relation.tuples (matching_tuples schema state.nfr condition) in
@@ -129,6 +200,7 @@ let exec_delete_where db table condition =
       state.nfr victims
   in
   db.tables <- String_map.add table { state with nfr } db.tables;
+  note_dml db table (List.map (fun t -> Views.Catalog.Del t) victims);
   Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
 
 (* Resolve a FROM clause to an NFR plus a canonical order for it. A
@@ -136,10 +208,10 @@ let exec_delete_where db table condition =
    intersection) and re-canonicalized so the WHERE machinery's
    canonicity assumption holds. *)
 let resolve_source db = function
-  | Ast.From_table name ->
-    let state = find_table db name in
-    (state.nfr, state.order)
+  | Ast.From_table name -> find_readable db name
   | Ast.From_join (left_name, right_name) ->
+    if is_view db left_name || is_view db right_name then
+      error "views cannot appear in JOIN";
     let left = find_table db left_name in
     let right = find_table db right_name in
     let joined =
@@ -166,6 +238,7 @@ let exec_select_count db source condition =
        (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
 
 let exec_update_set db table assignments condition =
+  require_writable db table;
   let state = find_table db table in
   let schema = Nfr.schema state.nfr in
   let resolved =
@@ -202,6 +275,15 @@ let exec_update_set db table assignments condition =
       without updated_tuples
   in
   db.tables <- String_map.add table { state with nfr = final } db.tables;
+  (* Views see only the net writes: identity images are no-ops. *)
+  let changed =
+    List.filter
+      (fun (victim, image) -> not (Tuple.equal victim image))
+      (List.combine victims updated_tuples)
+  in
+  note_dml db table
+    (List.map (fun (victim, _) -> Views.Catalog.Del victim) changed
+    @ List.map (fun (_, image) -> Views.Catalog.Ins image) changed);
   Done (Printf.sprintf "%d row(s) updated" (List.length victims))
 
 let exec_explain db (s : Ast.select) =
@@ -278,11 +360,31 @@ let rec exec db statement =
   | Ast.Create (table, columns, order) -> exec_create db table columns order
   | Ast.Drop table ->
     require_no_txn db "DROP TABLE";
+    if is_view db table then error "%s is a view: use DROP VIEW" table;
     if String_map.mem table db.tables then begin
+      (match Views.Catalog.dependents db.views ~base:table with
+      | [] -> ()
+      | deps ->
+        error "cannot drop table %s: view %s depends on it" table
+          (String.concat ", " deps));
       db.tables <- String_map.remove table db.tables;
       Done (Printf.sprintf "table %s dropped" table)
     end
     else error "unknown table %s" table
+  | Ast.Create_view (view, base, by) -> (
+    require_no_txn db "CREATE VIEW";
+    if String_map.mem view db.tables then error "table %s already exists" view;
+    if is_view db base then
+      error "%s is a view: views must be defined over base tables" base;
+    let state = find_table db base in
+    match Views.Catalog.define db.views ~view ~base ~by state.nfr with
+    | () -> Done (Printf.sprintf "view %s created" view)
+    | exception Views.Catalog.View_error msg -> error "%s" msg)
+  | Ast.Drop_view view -> (
+    require_no_txn db "DROP VIEW";
+    match Views.Catalog.drop db.views view with
+    | () -> Done (Printf.sprintf "view %s dropped" view)
+    | exception Views.Catalog.View_error msg -> error "%s" msg)
   | Ast.Insert (table, rows) -> exec_insert db table rows
   | Ast.Delete_values (table, row) -> exec_delete_values db table row
   | Ast.Delete_where (table, condition) -> exec_delete_where db table condition
@@ -310,6 +412,9 @@ let rec exec db statement =
     (* The logical back end has no planner to feed, but it still
        collects and reports the same statistics so the differential
        suite can compare the text verbatim with {!Physical}. *)
+    if is_view db name then
+      error "cannot ANALYZE view %s: statistics are collected on base tables"
+        name;
     let state = find_table db name in
     Done (Tablestats.summary name (Tablestats.collect state.nfr))
   | Ast.Trace inner ->
@@ -327,18 +432,20 @@ let rec exec db statement =
             trace)
     in
     Rows (rows_of_spans (Obs.Span.spans_of_trace trace))
-  | Ast.Show table -> Rows (find_table db table).nfr
+  | Ast.Show table -> Rows (fst (find_readable db table))
   | Ast.Begin -> (
     match db.txn_saved with
     | Some _ -> error "a transaction is already open"
     | None ->
       db.txn_saved <- Some db.tables;
+      db.txn_pending <- [];
       Done "transaction open")
   | Ast.Commit -> (
     match db.txn_saved with
     | None -> error "no transaction is open"
     | Some _ ->
       db.txn_saved <- None;
+      flush_pending db;
       Done "transaction committed")
   | Ast.Rollback -> (
     match db.txn_saved with
@@ -346,6 +453,7 @@ let rec exec db statement =
     | Some saved ->
       db.tables <- saved;
       db.txn_saved <- None;
+      db.txn_pending <- [];
       Done "transaction rolled back")
 
 let exec_string db input =

@@ -44,6 +44,12 @@ val exec_string : db -> string -> result list
 val table : db -> string -> Nfr.t option
 (** Direct table access for tests and the CLI. *)
 
+val catalog : db -> Views.Catalog.t
+(** The database's view catalog (incrementally maintained canonical
+    NFRs). Views absorb committed DML only: autocommit writes
+    immediately, in-transaction writes at COMMIT, never from the
+    uncommitted overlay. *)
+
 val table_order : db -> string -> Attribute.t list option
 
 val define : db -> string -> order:Attribute.t list -> Nfr.t -> unit

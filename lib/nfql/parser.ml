@@ -40,7 +40,7 @@ let reserved =
     "delete"; "create"; "table"; "drop"; "order"; "and"; "or"; "not";
     "contains"; "show"; "true"; "false"; "update"; "set"; "count"; "join";
     "explain"; "analyze"; "trace"; "begin"; "commit"; "rollback";
-    "transaction"; "work";
+    "transaction"; "work"; "view"; "as"; "by";
   ]
 
 let ident st message =
@@ -188,7 +188,20 @@ let parse_select st =
     Ast.Select { columns; source; where; nests; unnests }
   end
 
+(* CREATE VIEW v AS NEST base BY a, b — the BY list names the leading
+   nest positions; the rest of the schema follows in schema order. *)
+let parse_create_view st =
+  let view = ident st "expected a view name" in
+  expect_keyword st "as";
+  expect_keyword st "nest";
+  let base = ident st "expected a base table name" in
+  expect_keyword st "by";
+  let by = ident_list st "expected a partition column" in
+  Ast.Create_view (view, base, by)
+
 let parse_create st =
+  if keyword st "view" then parse_create_view st
+  else begin
   expect_keyword st "table";
   let table = ident st "expected a table name" in
   expect st Token.Lparen "expected (";
@@ -209,6 +222,7 @@ let parse_create st =
     else None
   in
   Ast.Create (table, cols, order)
+  end
 
 let parse_insert st =
   expect_keyword st "into";
@@ -257,7 +271,8 @@ let rec statement st =
     match parse_select st with
     | Ast.Select s -> if analyze then Ast.Explain_analyze s else Ast.Explain s
     | Ast.Select_count _ -> fail st "EXPLAIN COUNT is not supported"
-    | Ast.Create _ | Ast.Drop _ | Ast.Insert _ | Ast.Delete_values _
+    | Ast.Create _ | Ast.Drop _ | Ast.Create_view _ | Ast.Drop_view _
+    | Ast.Insert _ | Ast.Delete_values _
     | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _
     | Ast.Explain_analyze _ | Ast.Analyze _ | Ast.Trace _ | Ast.Show _
     | Ast.Begin | Ast.Commit | Ast.Rollback ->
@@ -267,8 +282,11 @@ let rec statement st =
     Ast.Analyze (ident st "expected a table name after ANALYZE")
   else if keyword st "create" then parse_create st
   else if keyword st "drop" then begin
-    expect_keyword st "table";
-    Ast.Drop (ident st "expected a table name")
+    if keyword st "view" then Ast.Drop_view (ident st "expected a view name")
+    else begin
+      expect_keyword st "table";
+      Ast.Drop (ident st "expected a table name")
+    end
   end
   else if keyword st "insert" then parse_insert st
   else if keyword st "delete" then parse_delete st

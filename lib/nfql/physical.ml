@@ -93,6 +93,13 @@ type db = {
   mutable next_txid : int;
   mutable active : txn list;  (* open transactions across all sessions *)
   mutable default_session : session option;
+  (* Materialized canonical views over the base tables, maintained
+     incrementally at commit points; replaced wholesale by
+     {!attach_views_wal} when the server recovers a durable catalog. *)
+  mutable views : Views.Catalog.t;
+  (* Where per-commit view deltas go (the server installs a queue that
+     the select loop fans out to CDC subscribers). *)
+  mutable cdc_sink : (Views.Catalog.event -> unit) option;
 }
 
 (* One client's execution context: the shared database plus that
@@ -121,6 +128,8 @@ let create () =
     next_txid = 1;
     active = [];
     default_session = None;
+    views = Views.Catalog.create ();
+    cdc_sink = None;
   }
 
 let session db = { sdb = db; txn = None }
@@ -143,8 +152,17 @@ let generation db = db.generation
 let set_auto_analyze_threshold db n = db.auto_threshold <- max 1 n
 let bump_generation db = db.generation <- db.generation + 1
 
+let is_view db name = Views.Catalog.mem db.views name
+let catalog db = db.views
+let set_cdc_sink db sink = db.cdc_sink <- Some sink
+
+(* The typed write guard: DML must name a base table, never a view. *)
+let require_writable db name =
+  if is_view db name then error "%s is a view: views are read-only" name
+
 let add_table db name table =
   if String_map.mem name db.tables then error "table %s already exists" name;
+  if is_view db name then error "view %s already exists" name;
   db.tables <-
     String_map.add name { tbl = table; stats = None; writes = 0 } db.tables;
   bump_generation db
@@ -170,6 +188,35 @@ let wal_unsynced db =
     db.tables 0
 
 let sync_wal db = String_map.iter (fun _ e -> Storage.Table.sync_wal e.tbl) db.tables
+
+(* Fold one committed group of base-table writes into the dependent
+   views (Theorem A-4: a bounded number of compositions per op, never
+   a renest) and hand the per-view deltas to the CDC sink. Called only
+   at commit points — autocommit success or transaction commit — so
+   views and subscribers never observe an uncommitted overlay. *)
+let maintain_views db ~base ops =
+  if ops <> [] && Views.Catalog.has_views_on db.views ~base then begin
+    let events =
+      Views.Catalog.apply db.views ~base
+        ~base_nfr:(lazy (Storage.Table.snapshot (find_table db base)))
+        ops
+    in
+    match db.cdc_sink with
+    | None -> ()
+    | Some sink -> List.iter sink events
+  end
+
+(* Swap in a durable catalog recovered from [path]: definitions are
+   replayed from their own CRC-framed log (torn tails trimmed), then
+   each surviving view is rematerialized by full renest of its
+   recovered base — the DDL/salvage fallback. *)
+let attach_views_wal db ~path =
+  Views.Catalog.close db.views;
+  db.views <-
+    Views.Catalog.load ~wal_path:path
+      ~resolve:(fun base ->
+        Option.map Storage.Table.snapshot (table db base))
+      ()
 
 let collect_stats entry =
   let stats = Tablestats.collect (Storage.Table.snapshot entry.tbl) in
@@ -1146,7 +1193,54 @@ let path_text = function
         (Attribute.name attribute)
         inner)
 
+(* Views in a FROM clause: a lone view name takes the view-scan path
+   below; views inside a JOIN are rejected (the join operators read
+   heap records, which a materialized view does not have). *)
+let view_in_source db = function
+  | Ast.From_table name -> if is_view db name then Some name else None
+  | Ast.From_join (left, right) ->
+    if is_view db left || is_view db right then
+      error "views cannot appear in JOIN"
+    else None
+
+(* A SELECT over a view reads the materialized canonical NFR directly:
+   the view {e is} the access path, so there is no planning step and
+   no heap I/O — just the WHERE/shape machinery over a persistent
+   value. Reads see the latest committed view state (view maintenance
+   happens only at commit points). *)
+let run_view_select db (s : Ast.select) name =
+  let label = "view-scan " ^ name in
+  Obs.Span.with_span (Obs.Span.Operator label) label @@ fun span ->
+  let nfr = Views.Catalog.snapshot db.views name in
+  let order = Views.Catalog.order db.views name in
+  let filtered = Compile.apply_where (Nfr.schema nfr) order nfr s.Ast.where in
+  Obs.Span.set_rows span (Nfr.cardinality filtered);
+  db.last_ops <- [ (label, Nfr.cardinality filtered) ];
+  db.last_est <- None;
+  (Compile.shape_select filtered ~order s, filtered)
+
+let explain_view_text db (s : Ast.select) name =
+  let nfr = Views.Catalog.snapshot db.views name in
+  let buffer = Buffer.create 128 in
+  let line fmt =
+    Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
+  in
+  line "physical plan:";
+  line "  access: view scan %s (materialized canonical NFR, %d NFR tuples)"
+    name (Nfr.cardinality nfr);
+  (match s.Ast.where with
+  | None -> ()
+  | Some condition ->
+    line "  residual filter: %s" (Format.asprintf "%a" Ast.pp_condition condition));
+  (match s.Ast.columns with
+  | None -> ()
+  | Some names -> line "  project %s" (String.concat "," names));
+  String.trim (Buffer.contents buffer)
+
 let explain_text db (s : Ast.select) =
+  match view_in_source db s.Ast.source with
+  | Some name -> explain_view_text db s name
+  | None ->
   let p = plan db s in
   let buffer = Buffer.create 128 in
   let line fmt =
@@ -1259,10 +1353,16 @@ let txn_do_delete tt tuple =
   tt.tx_ops <- Op_delete tuple :: tt.tx_ops
 
 let txn_resolve_source db txn = function
+  | Ast.From_table name when is_view db name ->
+    (* Views are maintained at commit points only: a transaction reads
+       the latest committed view state, not its own snapshot. *)
+    (Views.Catalog.snapshot db.views name, Views.Catalog.order db.views name)
   | Ast.From_table name ->
     let tt = txn_touch db txn name in
     (tt.tx_nfr, tt.tx_order)
   | Ast.From_join (left, right) ->
+    if is_view db left || is_view db right then
+      error "views cannot appear in JOIN";
     let lt = txn_touch db txn left and rt = txn_touch db txn right in
     let joined =
       match Nalgebra.natural_join lt.tx_nfr rt.tx_nfr with
@@ -1383,6 +1483,23 @@ let commit_txn session txn =
          threshold — rolled-back transactions never count. *)
       note_writes db entry (List.length ops))
     writers;
+  (* Per-table WALs bound cross-table atomicity (docs/STORAGE.md);
+     count multi-table commits so CDC consumers can detect the
+     window where a crash leaves a committed prefix. *)
+  if List.length writers > 1 then
+    Obs.Registry.incr (registry ()) "txn.multi_table_commit";
+  (* The commit point: fold the committed writes into dependent views
+     and emit CDC deltas — never earlier, so subscribers and view
+     readers cannot observe the uncommitted overlay. *)
+  List.iter
+    (fun (name, tt) ->
+      maintain_views db ~base:name
+        (List.rev_map
+           (function
+             | Op_insert t -> Views.Catalog.Ins t
+             | Op_delete t -> Views.Catalog.Del t)
+           tt.tx_ops))
+    writers;
   Obs.Registry.incr (registry ()) "txn.commit";
   end_txn session txn;
   Eval.Done "transaction committed"
@@ -1398,7 +1515,10 @@ let rec exec_txn session txn stats statement =
     Eval.Done "transaction rolled back"
   | Ast.Create _ -> error "CREATE TABLE is not allowed inside a transaction"
   | Ast.Drop _ -> error "DROP TABLE is not allowed inside a transaction"
+  | Ast.Create_view _ -> error "CREATE VIEW is not allowed inside a transaction"
+  | Ast.Drop_view _ -> error "DROP VIEW is not allowed inside a transaction"
   | Ast.Insert (name, rows) ->
+    require_writable db name;
     let tt = txn_touch db txn name in
     let inserted =
       List.fold_left
@@ -1409,6 +1529,7 @@ let rec exec_txn session txn stats statement =
     in
     Eval.Done (Printf.sprintf "%d row(s) inserted" inserted)
   | Ast.Delete_values (name, row) ->
+    require_writable db name;
     let tt = txn_touch db txn name in
     let tuple = tuple_of_row tt.tx_schema row in
     (match txn_do_delete tt tuple with
@@ -1416,11 +1537,13 @@ let rec exec_txn session txn stats statement =
     | exception Update.Not_in_relation ->
       error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
   | Ast.Delete_where (name, condition) ->
+    require_writable db name;
     let tt = txn_touch db txn name in
     let victims = Relation.tuples (txn_matching tt condition) in
     List.iter (fun tuple -> txn_do_delete tt tuple) victims;
     Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
   | Ast.Update_set (name, assignments, condition) ->
+    require_writable db name;
     let tt = txn_touch db txn name in
     let resolved =
       List.map
@@ -1464,6 +1587,9 @@ let rec exec_txn session txn stats statement =
   | Ast.Analyze name ->
     (* Statistics describe the committed table; collecting them inside
        a transaction is allowed and reads right through the snapshot. *)
+    if is_view db name then
+      error "cannot ANALYZE view %s: statistics are collected on base tables"
+        name;
     let entry = find_entry db name in
     let collected = collect_stats entry in
     bump_generation db;
@@ -1483,8 +1609,14 @@ let rec exec_txn session txn stats statement =
     in
     Eval.Rows (Eval.rows_of_spans (Obs.Span.spans_of_trace trace))
   | Ast.Show name ->
-    let tt = txn_touch db txn name in
-    Eval.Rows tt.tx_nfr
+    if is_view db name then
+      (* Views are maintained at commit points only, so a transaction
+         reads the latest committed view state — they are not part of
+         its snapshot. *)
+      Eval.Rows (Views.Catalog.snapshot db.views name)
+    else
+      let tt = txn_touch db txn name in
+      Eval.Rows tt.tx_nfr
 
 and exec_session session statement =
   let verb = Ast.statement_verb statement in
@@ -1517,41 +1649,75 @@ and exec_auto session stats statement =
       add_table db name (Storage.Table.create ~order:order_attrs schema);
       Eval.Done (Printf.sprintf "table %s created" name)
     | Ast.Drop name ->
+      if is_view db name then error "%s is a view: use DROP VIEW" name;
       if not (String_map.mem name db.tables) then error "unknown table %s" name;
+      (match Views.Catalog.dependents db.views ~base:name with
+      | [] -> ()
+      | deps ->
+        error "cannot drop table %s: view %s depends on it" name
+          (String.concat ", " deps));
       Storage.Table.close (find_table db name);
       db.tables <- String_map.remove name db.tables;
       bump_generation db;
       Eval.Done (Printf.sprintf "table %s dropped" name)
+    | Ast.Create_view (view, base, by) -> (
+      if String_map.mem view db.tables then error "table %s already exists" view;
+      if is_view db base then
+        error "%s is a view: views must be defined over base tables" base;
+      let entry = find_entry db base in
+      match
+        Views.Catalog.define db.views ~view ~base ~by
+          (Storage.Table.snapshot entry.tbl)
+      with
+      | () ->
+        bump_generation db;
+        Eval.Done (Printf.sprintf "view %s created" view)
+      | exception Views.Catalog.View_error msg -> error "%s" msg)
+    | Ast.Drop_view view -> (
+      match Views.Catalog.drop db.views view with
+      | () ->
+        bump_generation db;
+        Eval.Done (Printf.sprintf "view %s dropped" view)
+      | exception Views.Catalog.View_error msg -> error "%s" msg)
     | Ast.Insert (name, rows) ->
+      require_writable db name;
       let entry = find_entry db name in
       let schema = Storage.Table.schema entry.tbl in
-      let inserted =
+      let inserted, ops =
         List.fold_left
-          (fun count row ->
-            if Storage.Table.insert entry.tbl (tuple_of_row schema row) then
-              count + 1
-            else count)
-          0 rows
+          (fun (count, ops) row ->
+            let tuple = tuple_of_row schema row in
+            if Storage.Table.insert entry.tbl tuple then
+              (count + 1, Views.Catalog.Ins tuple :: ops)
+            else (count, ops))
+          (0, []) rows
       in
       note_writes db entry inserted;
+      maintain_views db ~base:name (List.rev ops);
       Eval.Done (Printf.sprintf "%d row(s) inserted" inserted)
     | Ast.Delete_values (name, row) ->
+      require_writable db name;
       let entry = find_entry db name in
       let tuple = tuple_of_row (Storage.Table.schema entry.tbl) row in
       (match Storage.Table.delete entry.tbl tuple with
       | () ->
         note_writes db entry 1;
+        maintain_views db ~base:name [ Views.Catalog.Del tuple ];
         Eval.Done "1 row deleted"
       | exception Update.Not_in_relation ->
         error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
     | Ast.Delete_where (name, condition) ->
+      require_writable db name;
       let entry = find_entry db name in
       let victims, search = matching_tuples db name condition in
       add_op_stats stats search;
       List.iter (fun tuple -> Storage.Table.delete entry.tbl tuple) victims;
       note_writes db entry (List.length victims);
+      maintain_views db ~base:name
+        (List.map (fun t -> Views.Catalog.Del t) victims);
       Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
     | Ast.Update_set (name, assignments, condition) ->
+      require_writable db name;
       let entry = find_entry db name in
       let schema = Storage.Table.schema entry.tbl in
       let resolved =
@@ -1576,36 +1742,65 @@ and exec_auto session stats statement =
          victim equals that victim's own (identity) image; identity
          pairs are skipped outright, which keeps the pairwise order
          equivalent to the batch semantics. *)
-      List.iter
-        (fun victim ->
-          let image = image_of victim in
-          if not (Tuple.equal image victim) then begin
-            ignore (Storage.Table.insert entry.tbl image);
-            Storage.Table.delete entry.tbl victim
-          end)
-        victims;
+      let ops =
+        List.fold_left
+          (fun ops victim ->
+            let image = image_of victim in
+            if not (Tuple.equal image victim) then begin
+              ignore (Storage.Table.insert entry.tbl image);
+              Storage.Table.delete entry.tbl victim;
+              Views.Catalog.Del victim :: Views.Catalog.Ins image :: ops
+            end
+            else ops)
+          [] victims
+      in
       note_writes db entry (List.length victims);
+      maintain_views db ~base:name (List.rev ops);
       Eval.Done (Printf.sprintf "%d row(s) updated" (List.length victims))
-    | Ast.Select s ->
-      let executed = run_select db s in
-      add_op_stats stats executed.root;
-      Eval.Rows executed.shaped
-    | Ast.Select_count (source, condition) ->
+    | Ast.Select s -> (
+      match view_in_source db s.Ast.source with
+      | Some name ->
+        let shaped, _ = run_view_select db s name in
+        Eval.Rows shaped
+      | None ->
+        let executed = run_select db s in
+        add_op_stats stats executed.root;
+        Eval.Rows executed.shaped)
+    | Ast.Select_count (source, condition) -> (
       let select =
         { Ast.columns = None; source; where = condition; nests = []; unnests = [] }
       in
-      let executed = run_select db select in
-      add_op_stats stats executed.root;
-      Eval.Done
-        (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
-           (Nfr.expansion_size executed.filtered)
-           (Nfr.cardinality executed.filtered))
+      match view_in_source db source with
+      | Some name ->
+        let _, filtered = run_view_select db select name in
+        Eval.Done
+          (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+             (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
+      | None ->
+        let executed = run_select db select in
+        add_op_stats stats executed.root;
+        Eval.Done
+          (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+             (Nfr.expansion_size executed.filtered)
+             (Nfr.cardinality executed.filtered)))
     | Ast.Explain s -> Eval.Done (explain_text db s)
-    | Ast.Explain_analyze s ->
-      let report = analyze_select db s in
-      Storage.Stats.add stats (stats_of_report report);
-      Eval.Done (render_analyze report)
+    | Ast.Explain_analyze s -> (
+      match view_in_source db s.Ast.source with
+      | Some name ->
+        let shaped, filtered = run_view_select db s name in
+        Eval.Done
+          (Printf.sprintf
+             "physical plan (executed):\n\
+             \  access: view scan %s -> %d NFR tuple(s), %d returned"
+             name (Nfr.cardinality filtered) (Nfr.cardinality shaped))
+      | None ->
+        let report = analyze_select db s in
+        Storage.Stats.add stats (stats_of_report report);
+        Eval.Done (render_analyze report))
     | Ast.Analyze name ->
+      if is_view db name then
+        error "cannot ANALYZE view %s: statistics are collected on base tables"
+          name;
       let entry = find_entry db name in
       let collected = collect_stats entry in
       bump_generation db;
@@ -1629,7 +1824,9 @@ and exec_auto session stats statement =
               trace)
       in
       Eval.Rows (Eval.rows_of_spans (Obs.Span.spans_of_trace trace))
-    | Ast.Show name -> Eval.Rows (Storage.Table.snapshot (find_table db name))
+    | Ast.Show name ->
+      if is_view db name then Eval.Rows (Views.Catalog.snapshot db.views name)
+      else Eval.Rows (Storage.Table.snapshot (find_table db name))
     | Ast.Begin ->
       Obs.Span.with_span (Obs.Span.Txn "begin") "txn-begin" @@ fun _ ->
       begin_txn session

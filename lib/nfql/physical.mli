@@ -135,6 +135,29 @@ val table : db -> string -> Storage.Table.t option
 val table_stats : db -> string -> Tablestats.t option
 (** Planner statistics for the table, if it has been ANALYZEd. *)
 
+val catalog : db -> Views.Catalog.t
+(** The database's view catalog: incrementally maintained canonical
+    NFRs over base tables. Views absorb {e committed} DML only —
+    autocommit statements immediately, transactional writes at COMMIT
+    (after validation and the storage apply), never from an
+    uncommitted overlay. *)
+
+val is_view : db -> string -> bool
+
+val set_cdc_sink : db -> (Views.Catalog.event -> unit) -> unit
+(** Install the change-data-capture sink: called once per view per
+    commit point with that commit's delta (in commit order, on the
+    executing thread). The server queues these and fans them out to
+    subscribers after the covering group-commit fsync. *)
+
+val attach_views_wal : db -> path:string -> unit
+(** Re-open the view catalog backed by a write-ahead log at [path]:
+    existing definitions in the log are replayed (salvage rules — a
+    torn tail is trimmed, never fatal) and rematerialized against the
+    currently registered tables; definitions whose base is missing are
+    dropped and counted on [view.orphaned_total]. Call after table
+    loading, before serving. *)
+
 val iter_tables : db -> (string -> Storage.Table.t -> unit) -> unit
 (** Apply [f name table] to every registered table. *)
 

@@ -147,3 +147,18 @@ let shutdown t =
   | Protocol.Err (code, reason) ->
     fail "%s: %s" (Protocol.err_code_name code) reason
   | other -> fail "expected done, got %s" (Protocol.message_name other)
+
+let subscribe t view =
+  send t (Protocol.Subscribe view);
+  match recv t with
+  | Protocol.Done text -> text
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected done, got %s" (Protocol.message_name other)
+
+let next_delta t =
+  match recv t with
+  | Protocol.Delta delta -> delta
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected delta, got %s" (Protocol.message_name other)

@@ -64,6 +64,19 @@ val metrics_prom : t -> string
 val shutdown : t -> unit
 (** Ask the server to drain and stop; returns once acknowledged. *)
 
+val subscribe : t -> string -> string
+(** Subscribe this connection to a view's CDC stream and return the
+    acknowledgement text. After this, the server pushes one [Delta]
+    frame per commit that changed the view — read them with
+    {!next_delta}. @raise Error if the view is unknown. *)
+
+val next_delta : t -> Protocol.delta
+(** Block until the next pushed delta arrives. Only meaningful after
+    {!subscribe}; interleaving queries on a subscribed connection is
+    possible but their responses must be drained before calling this.
+    @raise Error on an [Err] frame (e.g. [Overloaded] eviction of a
+    slow subscriber) or transport failure. *)
+
 (** {2 Test hooks} *)
 
 val fd : t -> Unix.file_descr

@@ -237,6 +237,10 @@ let step t timeout =
         Session.group_sync t.ctx (List.map (fun conn -> conn.session) t.conns);
         t.last_sync_at <- now
       end;
+      (* CDC fan-out rides the same tick, after the sync: every Delta
+         frame staged here describes already-durable commits, and the
+         FIFO drain gives all subscribers the same commit order. *)
+      Session.dispatch_cdc t.ctx (List.map (fun conn -> conn.session) t.conns);
       (* A frame handled this round may have staged replies; try to
          push them immediately rather than waiting a select cycle. *)
       List.iter

@@ -19,6 +19,17 @@ let err_code_name = function
   | Shutting_down -> "shutting-down"
   | Conflict -> "conflict"
 
+(* One view's per-commit change set, pushed to subscribers. [d_seq] is
+   the view's own delta sequence number (dense, from 1), so a client
+   can detect a gap after reconnecting. *)
+type delta = {
+  d_view : string;
+  d_seq : int;
+  d_schema : Schema.t;
+  d_added : Ntuple.t list;
+  d_removed : Ntuple.t list;
+}
+
 type message =
   | Ping
   | Pong
@@ -32,6 +43,8 @@ type message =
   | Metrics_prom_req
   | Metrics_prom of string
   | Shutdown
+  | Subscribe of string  (** view name; server streams its deltas *)
+  | Delta of delta
 
 let message_name = function
   | Ping -> "ping"
@@ -46,6 +59,8 @@ let message_name = function
   | Metrics_prom_req -> "metrics-prom-req"
   | Metrics_prom _ -> "metrics-prom"
   | Shutdown -> "shutdown"
+  | Subscribe _ -> "subscribe"
+  | Delta _ -> "delta"
 
 (* Frame type bytes. *)
 let t_ping = 0x01
@@ -60,6 +75,8 @@ let t_metrics = 0x09
 let t_shutdown = 0x0A
 let t_metrics_prom_req = 0x0B
 let t_metrics_prom = 0x0C
+let t_subscribe = 0x0D
+let t_delta = 0x0E
 
 let err_code_byte = function
   | Overloaded -> 1
@@ -152,7 +169,17 @@ let payload_of_message message =
   | Rows (schema, ntuples) ->
     encode_schema buffer schema;
     Storage.Codec.encode_varint buffer (List.length ntuples);
-    List.iter (Storage.Codec.encode_ntuple buffer) ntuples);
+    List.iter (Storage.Codec.encode_ntuple buffer) ntuples
+  | Subscribe view -> Buffer.add_string buffer view
+  | Delta d ->
+    Storage.Codec.encode_varint buffer d.d_seq;
+    Storage.Codec.encode_varint buffer (String.length d.d_view);
+    Buffer.add_string buffer d.d_view;
+    encode_schema buffer d.d_schema;
+    Storage.Codec.encode_varint buffer (List.length d.d_added);
+    List.iter (Storage.Codec.encode_ntuple buffer) d.d_added;
+    Storage.Codec.encode_varint buffer (List.length d.d_removed);
+    List.iter (Storage.Codec.encode_ntuple buffer) d.d_removed);
   Buffer.contents buffer
 
 let type_of_message = function
@@ -168,6 +195,8 @@ let type_of_message = function
   | Metrics_prom_req -> t_metrics_prom_req
   | Metrics_prom _ -> t_metrics_prom
   | Shutdown -> t_shutdown
+  | Subscribe _ -> t_subscribe
+  | Delta _ -> t_delta
 
 let encode buffer message =
   Frame.encode buffer ~typ:(type_of_message message)
@@ -239,6 +268,36 @@ let message_of_payload typ payload =
     done;
     strict_end "rows" !offset;
     Rows (schema, List.rev !ntuples)
+  end
+  else if typ = t_subscribe then Subscribe payload
+  else if typ = t_delta then begin
+    let seq, offset = Storage.Codec.decode_varint bytes 0 in
+    if seq < 0 then bad "negative delta seq";
+    let name_len, offset = Storage.Codec.decode_varint bytes offset in
+    need bytes offset name_len "delta view name";
+    let view = Bytes.sub_string bytes offset name_len in
+    let offset = offset + name_len in
+    let schema, offset = decode_schema bytes offset in
+    let ntuple_list offset what =
+      let count, offset = Storage.Codec.decode_varint bytes offset in
+      if count < 0 || count > Bytes.length bytes - offset then
+        bad "%s count %d out of range" what count;
+      let ntuples = ref [] in
+      let offset = ref offset in
+      for _ = 1 to count do
+        let nt, next = Storage.Codec.decode_ntuple bytes !offset in
+        if Ntuple.arity nt <> Schema.degree schema then
+          bad "%s arity %d does not match schema" what (Ntuple.arity nt);
+        ntuples := nt :: !ntuples;
+        offset := next
+      done;
+      (List.rev !ntuples, !offset)
+    in
+    let added, offset = ntuple_list offset "delta added" in
+    let removed, offset = ntuple_list offset "delta removed" in
+    strict_end "delta" offset;
+    Delta { d_view = view; d_seq = seq; d_schema = schema;
+            d_added = added; d_removed = removed }
   end
   else bad "unknown frame type 0x%02X" typ
 

@@ -35,6 +35,18 @@ type err_code =
 
 val err_code_name : err_code -> string
 
+(** One view's per-commit change set (CDC). [d_seq] is the view's own
+    dense delta sequence number (from 1), so a subscriber can detect a
+    missed delta after reconnecting; [d_added]/[d_removed] are whole
+    canonical NFR tuples of the view's schema. *)
+type delta = {
+  d_view : string;
+  d_seq : int;
+  d_schema : Schema.t;
+  d_added : Ntuple.t list;
+  d_removed : Ntuple.t list;
+}
+
 type message =
   | Ping
   | Pong
@@ -48,6 +60,12 @@ type message =
   | Metrics_prom_req  (** admin: ask for Prometheus text exposition *)
   | Metrics_prom of string  (** the Prometheus exposition body *)
   | Shutdown  (** admin: drain sessions and stop *)
+  | Subscribe of string
+      (** client: stream this view's deltas on my connection. Acked
+          with [Done]; thereafter one {!Delta} frame per commit that
+          changed the view, in commit order, each sent only after the
+          covering group-commit fsync. *)
+  | Delta of delta  (** server-push: one commit's change to one view *)
 
 val message_name : message -> string
 (** Lowercase tag for logs and error messages. *)

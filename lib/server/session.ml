@@ -10,6 +10,11 @@ type config = {
   slow_log_size : int;
   wal_sync_interval : float;
   wal_sync_max_batch : int;
+  cdc_max_buffered : int;
+      (** admission budget per subscriber: a session whose queued
+          output exceeds this many bytes when a delta arrives is too
+          slow to keep — it is unsubscribed and refused [Overloaded]
+          rather than buffering without bound *)
 }
 
 let default_config =
@@ -30,6 +35,7 @@ let default_config =
        waiting on their acknowledgements. *)
     wal_sync_interval = 0.;
     wal_sync_max_batch = 64;
+    cdc_max_buffered = 1 lsl 20;
   }
 
 (* One slow-query log entry: enough to reproduce and to correlate —
@@ -54,6 +60,11 @@ type context = {
   config : config;
   now : unit -> float;
   slow : slow_entry Queue.t;
+  cdc : Views.Catalog.event Queue.t;
+      (** committed view deltas awaiting fan-out — filled by the
+          executor's CDC sink in commit order, drained by the loop
+          after each group sync (so a delta on the wire is always
+          covered by its fsync) *)
   mutable is_draining : bool;
   mutable wants_shutdown : bool;
 }
@@ -72,7 +83,10 @@ let declare_series m =
       "planner.cache_hit";
       "planner.cache_miss"; "planner.analyze"; "planner.auto_analyze";
       "txn.begin"; "txn.commit"; "txn.abort"; "txn.conflict";
-      "txn.auto_rollback"; "pool.hit"; "pool.miss"; "pool.evict";
+      "txn.auto_rollback"; "txn.multi_table_commit"; "pool.hit"; "pool.miss";
+      "pool.evict"; "view.deltas_total"; "view.renest_total";
+      "view.salvage_total"; "view.orphaned_total"; "view.compositions_total";
+      "cdc.subscribe_total"; "cdc.deltas_out"; "cdc.dropped_slow";
     ];
   Metrics.declare_histogram m "query.seconds";
   Metrics.declare_histogram m "planner.est_error";
@@ -83,20 +97,27 @@ let declare_series m =
   Metrics.set_gauge m "connections.open" 0.;
   if Metrics.gauge m "wal.bytes_unsynced" = 0. then
     Metrics.set_gauge m "wal.bytes_unsynced" 0.;
-  if Metrics.gauge m "txn.active" = 0. then Metrics.set_gauge m "txn.active" 0.
+  if Metrics.gauge m "txn.active" = 0. then Metrics.set_gauge m "txn.active" 0.;
+  if Metrics.gauge m "cdc.subscribers" = 0. then
+    Metrics.set_gauge m "cdc.subscribers" 0.
 
 let make_context ?(config = default_config) ?metrics ?now db =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   declare_series metrics;
-  {
-    db;
-    metrics;
-    config;
-    now = (match now with Some f -> f | None -> Unix.gettimeofday);
-    slow = Queue.create ();
-    is_draining = false;
-    wants_shutdown = false;
-  }
+  let ctx =
+    {
+      db;
+      metrics;
+      config;
+      now = (match now with Some f -> f | None -> Unix.gettimeofday);
+      slow = Queue.create ();
+      cdc = Queue.create ();
+      is_draining = false;
+      wants_shutdown = false;
+    }
+  in
+  Nfql.Physical.set_cdc_sink db (fun event -> Queue.push event ctx.cdc);
+  ctx
 
 let context_metrics ctx = ctx.metrics
 let context_config ctx = ctx.config
@@ -171,6 +192,8 @@ type t = {
   mutable last_activity_at : float;
   mutable frame_started_at : float option;
       (** when the current partial frame began arriving *)
+  mutable subs : string list;
+      (** views this connection subscribed to (CDC) — newest first *)
 }
 
 let create ctx ~id =
@@ -188,6 +211,7 @@ let create ctx ~id =
     state = Open;
     last_activity_at = ctx.now ();
     frame_started_at = None;
+    subs = [];
   }
 
 let id t = t.session_id
@@ -198,9 +222,19 @@ let in_txn t = Nfql.Physical.in_txn t.psession
 (* Closing a session mid-transaction discards the transaction — the
    disconnect is the implicit ROLLBACK (buffered writes never touched
    the shared tables, so there is nothing else to undo). *)
+(* Dropping the connection is also the implicit unsubscribe: the
+   subscriber gauge must not count dead sessions. *)
+let unsubscribe_all t =
+  if t.subs <> [] then begin
+    Metrics.add_gauge t.ctx.metrics "cdc.subscribers"
+      (-.float_of_int (List.length t.subs));
+    t.subs <- []
+  end
+
 let close t =
   if t.state <> Closed then begin
     t.state <- Closed;
+    unsubscribe_all t;
     if Nfql.Physical.rollback_if_open t.psession then begin
       Metrics.incr t.ctx.metrics "txn.auto_rollback";
       Metrics.incr t.ctx.metrics "txn.abort";
@@ -294,10 +328,11 @@ let plan_snapshot db = function
   | Nfql.Ast.Select s | Nfql.Ast.Explain s | Nfql.Ast.Explain_analyze s ->
     Some (Nfql.Physical.explain db s)
   | Nfql.Ast.Trace (Nfql.Ast.Select s) -> Some (Nfql.Physical.explain db s)
-  | Nfql.Ast.Create _ | Nfql.Ast.Drop _ | Nfql.Ast.Insert _
-  | Nfql.Ast.Delete_values _ | Nfql.Ast.Delete_where _ | Nfql.Ast.Update_set _
-  | Nfql.Ast.Select_count _ | Nfql.Ast.Analyze _ | Nfql.Ast.Trace _
-  | Nfql.Ast.Show _ | Nfql.Ast.Begin | Nfql.Ast.Commit | Nfql.Ast.Rollback ->
+  | Nfql.Ast.Create _ | Nfql.Ast.Drop _ | Nfql.Ast.Create_view _
+  | Nfql.Ast.Drop_view _ | Nfql.Ast.Insert _ | Nfql.Ast.Delete_values _
+  | Nfql.Ast.Delete_where _ | Nfql.Ast.Update_set _ | Nfql.Ast.Select_count _
+  | Nfql.Ast.Analyze _ | Nfql.Ast.Trace _ | Nfql.Ast.Show _ | Nfql.Ast.Begin
+  | Nfql.Ast.Commit | Nfql.Ast.Rollback ->
     None
 
 let run_query t source =
@@ -434,11 +469,80 @@ let handle t message =
     | Protocol.Shutdown ->
       ctx.wants_shutdown <- true;
       send t (Protocol.Done "shutting down")
+    | Protocol.Subscribe view ->
+      if not (Nfql.Physical.is_view ctx.db view) then begin
+        Metrics.incr ctx.metrics "errors.query";
+        send t
+          (Protocol.Err
+             (Protocol.Query_failed, Printf.sprintf "unknown view %s" view))
+      end
+      else if List.mem view t.subs then
+        send t (Protocol.Done (Printf.sprintf "already subscribed to %s" view))
+      else begin
+        t.subs <- view :: t.subs;
+        Metrics.incr ctx.metrics "cdc.subscribe_total";
+        Metrics.add_gauge ctx.metrics "cdc.subscribers" 1.;
+        send t (Protocol.Done (Printf.sprintf "subscribed to view %s" view))
+      end
     | Protocol.Pong | Protocol.Rows _ | Protocol.Done _ | Protocol.Err _
-    | Protocol.Stats _ | Protocol.Metrics _ | Protocol.Metrics_prom _ ->
+    | Protocol.Stats _ | Protocol.Metrics _ | Protocol.Metrics_prom _
+    | Protocol.Delta _ ->
       refuse t Protocol.Malformed_frame
         (Printf.sprintf "unexpected %s frame from client"
            (Protocol.message_name message))
+
+(* ------------------------------------------------------------------ *)
+(* CDC fan-out                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let queued_output_bytes t =
+  String.length t.pending - t.pending_pos
+  + Buffer.length t.staged
+  + Buffer.length t.held
+
+let deliver_cdc t (event : Views.Catalog.event) =
+  if t.state = Open && List.mem event.Views.Catalog.view t.subs then begin
+    if queued_output_bytes t > t.ctx.config.cdc_max_buffered then begin
+      (* Admission control: the subscriber is not draining its socket
+         as fast as commits produce deltas. Buffering without bound
+         would let one slow reader exhaust the server, and silently
+         skipping a delta would corrupt its stream (the seq gap is only
+         detectable, not recoverable, client-side) — so evict it. *)
+      Metrics.incr t.ctx.metrics "cdc.dropped_slow";
+      unsubscribe_all t;
+      refuse t Protocol.Overloaded
+        (Printf.sprintf
+           "subscriber too slow: %d bytes queued exceeds the %d-byte budget"
+           (queued_output_bytes t) t.ctx.config.cdc_max_buffered)
+    end
+    else begin
+      Metrics.incr t.ctx.metrics "cdc.deltas_out";
+      send t
+        (Protocol.Delta
+           {
+             Protocol.d_view = event.Views.Catalog.view;
+             d_seq = event.Views.Catalog.seq;
+             d_schema = event.Views.Catalog.schema;
+             d_added = event.Views.Catalog.added;
+             d_removed = event.Views.Catalog.removed;
+           })
+    end
+  end
+
+(* Drain the commit-ordered event queue to every subscribed session.
+   The loop calls this right after {!group_sync}, so every delta frame
+   a client sees describes WAL bytes already fsynced; all subscribers
+   of a view observe the same deltas in the same order because the
+   queue is FIFO and delivery is synchronous. *)
+let dispatch_cdc ctx sessions =
+  (* Durability gate: never announce a delta whose covering WAL bytes
+     are still unsynced — if the interval-paced group sync skipped this
+     tick, the events simply wait in the queue for the next one. *)
+  if Nfql.Physical.wal_unsynced ctx.db = 0 then
+    while not (Queue.is_empty ctx.cdc) do
+      let event = Queue.pop ctx.cdc in
+      List.iter (fun t -> deliver_cdc t event) sessions
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Input buffering and frame parsing                                   *)

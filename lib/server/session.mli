@@ -40,12 +40,17 @@ type config = {
   wal_sync_max_batch : int;
       (** force a group sync once this many sessions are waiting on
           withheld acknowledgements, regardless of the interval *)
+  cdc_max_buffered : int;
+      (** CDC admission budget per subscriber: a session whose queued
+          output exceeds this many bytes when a delta arrives is
+          evicted ([Err Overloaded]) instead of buffering unboundedly *)
 }
 
 val default_config : config
 (** 64 connections, 1 MiB frames, 30 s idle (10 s idle-in-transaction),
     10 s requests, 100 ms slow-query threshold, 64 slow-log entries,
-    group sync every tick (interval 0) capped at 64 waiters. *)
+    group sync every tick (interval 0) capped at 64 waiters, 1 MiB CDC
+    buffering budget. *)
 
 (** One slow-query log entry. [slow_trace] is the request's trace id
     (0 when tracing was off — nothing to correlate), [slow_hash] an
@@ -140,6 +145,15 @@ val group_sync : context -> t list -> unit
     at most once per tick. Observes the batch size (sessions covered
     by the one fsync) in [wal.group_commit.batch_size]. No-op when
     nothing is unsynced and nobody is waiting. *)
+
+val dispatch_cdc : context -> t list -> unit
+(** Drain the commit-ordered CDC event queue (filled by the executor's
+    sink at every commit point that changed a view) and stage one
+    [Delta] frame per event on every session subscribed to that view.
+    The loop calls this immediately after {!group_sync}, so a delta on
+    the wire is always covered by its fsync. A subscriber whose queued
+    output exceeds [cdc_max_buffered] is unsubscribed and refused
+    [Overloaded] (counted in [cdc.dropped_slow]). *)
 
 val check_deadlines : t -> now:float -> [ `Keep | `Reap ]
 (** Idle and partial-frame timers. [`Reap]: the loop should close the

@@ -141,6 +141,8 @@ let apply_unlogged t entry =
   | Wal.Txn_begin _ | Wal.Txn_insert _ | Wal.Txn_delete _ | Wal.Txn_commit _
   | Wal.Txn_abort _ ->
     invalid_arg "Table.apply_unlogged: transaction records must be folded first"
+  | Wal.View_def _ | Wal.View_drop _ ->
+    invalid_arg "Table.apply_unlogged: view catalog records do not belong to a table log"
 
 (* The commit point of one autocommit op or one whole transaction:
    advance the sequence and remember which flat tuples it wrote, so a
@@ -215,6 +217,10 @@ let fold_committed entries =
           | None -> Some (`Group []))
         | Wal.Txn_abort txid ->
           drop txid;
+          None
+        | Wal.View_def _ | Wal.View_drop _ ->
+          (* Catalog records; a table log should never hold one, but a
+             foreign entry is not worth failing recovery over. *)
           None)
       entries
   in

@@ -8,6 +8,8 @@ type entry =
   | Txn_delete of int * Tuple.t
   | Txn_commit of int
   | Txn_abort of int
+  | View_def of { view : string; base : string; by : string list }
+  | View_drop of string
 
 type format = V0 | V1
 
@@ -69,10 +71,25 @@ let read_file path =
 
 let generation t = t.generation
 
+(* Catalog records carry names, which Codec has no codec for; a
+   varint length prefix keeps them self-delimiting inside a frame. *)
+let encode_string buffer s =
+  Codec.encode_varint buffer (String.length s);
+  Buffer.add_string buffer s
+
+let decode_string bytes offset =
+  let length, offset = Codec.decode_varint bytes offset in
+  if length < 0 || offset + length > Bytes.length bytes then
+    Storage_error.corrupt ~context:"Wal.decode_entry" ~offset
+      "truncated string"
+  else (Bytes.sub_string bytes offset length, offset + length)
+
 (* Autocommit entries keep their original tags ('I'/'D') so every
    pre-transaction log replays unchanged. Transactional entries carry
    a varint txid after the tag; lowercase 'i'/'d' mirror their
-   autocommit counterparts. *)
+   autocommit counterparts. 'V'/'W' are view-catalog records (define/
+   drop); they carry no tuples and belong in a catalog log, not a
+   table log. *)
 let encode_entry entry =
   let buffer = Buffer.create 32 in
   (match entry with
@@ -98,7 +115,16 @@ let encode_entry entry =
     Codec.encode_varint buffer txid
   | Txn_abort txid ->
     Buffer.add_char buffer 'A';
-    Codec.encode_varint buffer txid);
+    Codec.encode_varint buffer txid
+  | View_def { view; base; by } ->
+    Buffer.add_char buffer 'V';
+    encode_string buffer view;
+    encode_string buffer base;
+    Codec.encode_varint buffer (List.length by);
+    List.iter (encode_string buffer) by
+  | View_drop view ->
+    Buffer.add_char buffer 'W';
+    encode_string buffer view);
   Buffer.contents buffer
 
 let add_le32 buffer n =
@@ -247,6 +273,26 @@ let decode_entry payload =
   | 'A' -> txid_entry (fun id -> Txn_abort id)
   | 'i' -> txid_tuple_entry (fun id t -> Txn_insert (id, t))
   | 'd' -> txid_tuple_entry (fun id t -> Txn_delete (id, t))
+  | 'V' ->
+    let view, offset = decode_string bytes 1 in
+    let base, offset = decode_string bytes offset in
+    let count, offset = Codec.decode_varint bytes offset in
+    if count < 0 || count > Bytes.length bytes - offset then
+      Storage_error.corrupt ~context:"Wal.decode_entry" ~offset
+        (Printf.sprintf "view partition count %d out of range" count);
+    let rec strings acc offset remaining =
+      if remaining = 0 then (List.rev acc, offset)
+      else
+        let s, offset = decode_string bytes offset in
+        strings (s :: acc) offset (remaining - 1)
+    in
+    let by, consumed = strings [] offset count in
+    exhausted consumed;
+    View_def { view; base; by }
+  | 'W' ->
+    let view, consumed = decode_string bytes 1 in
+    exhausted consumed;
+    View_drop view
   | c ->
     Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:0
       (Printf.sprintf "unknown entry tag %C" c)

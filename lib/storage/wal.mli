@@ -43,6 +43,12 @@ type entry =
   | Txn_delete of int * Tuple.t  (** delete within transaction [txid] *)
   | Txn_commit of int  (** transaction [txid] committed — its ops are durable *)
   | Txn_abort of int  (** transaction [txid] rolled back — discard its ops *)
+  | View_def of { view : string; base : string; by : string list }
+      (** view-catalog record: [view] materializes [base] nested by
+          the named partition attributes. Lives in the views catalog
+          log, never in a table log; view {e contents} are not logged —
+          recovery rematerializes by renesting the recovered base. *)
+  | View_drop of string  (** view-catalog record: the view was dropped *)
 
 type format = V0  (** legacy: unframed, 1-byte additive checksum *)
             | V1  (** current: header + marker/CRC-32 frames *)

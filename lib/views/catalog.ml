@@ -1,0 +1,243 @@
+open Relational
+open Nfr_core
+module String_map = Map.Make (String)
+
+exception View_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (View_error msg)) fmt
+
+type def = { view : string; base : string; by : string list }
+type op = Ins of Tuple.t | Del of Tuple.t
+
+type event = {
+  view : string;
+  seq : int;
+  schema : Schema.t;
+  added : Ntuple.t list;
+  removed : Ntuple.t list;
+}
+
+type state = {
+  sdef : def;
+  sorder : Attribute.t list;
+  sschema : Schema.t;
+  mutable store : Update.Store.t;
+  mutable seq : int;
+}
+
+type t = {
+  mutable views : state String_map.t;
+  wal : Storage.Wal.t option;
+}
+
+let registry () = Obs.Registry.global
+
+let note_count t =
+  Obs.Registry.set_gauge (registry ()) "view.count"
+    (float_of_int (String_map.cardinal t.views))
+
+(* BY names the leading nest positions; Update needs a full
+   permutation, so the rest of the schema follows in schema order. *)
+let nest_order schema by =
+  if by = [] then error "empty BY clause";
+  let attrs = Schema.attributes schema in
+  let find name =
+    match List.find_opt (fun a -> Attribute.name a = name) attrs with
+    | Some a -> a
+    | None -> error "unknown attribute %s in BY clause" name
+  in
+  let named = List.map find by in
+  let rec dup = function
+    | [] -> ()
+    | a :: rest ->
+      if List.exists (Attribute.equal a) rest then
+        error "duplicate attribute %s in BY clause" (Attribute.name a)
+      else dup rest
+  in
+  dup named;
+  named @ List.filter (fun a -> not (List.exists (Attribute.equal a) named)) attrs
+
+(* The DDL / salvage path: a full renest of the base expansion. *)
+let materialize ~order base_nfr =
+  Obs.Span.with_span Obs.Span.Nest_fixpoint "view.renest" (fun span ->
+      let flat = Nfr.flatten base_nfr in
+      let nfr = Nest.canonical flat order in
+      Obs.Span.set_rows span (Nfr.cardinality nfr);
+      Obs.Registry.incr (registry ()) "view.renest_total";
+      Update.Store.of_nfr ~order nfr)
+
+let make_state def base_nfr =
+  let order = nest_order (Nfr.schema base_nfr) def.by in
+  let store = materialize ~order base_nfr in
+  {
+    sdef = def;
+    sorder = order;
+    sschema = Nfr.schema (Update.Store.snapshot store);
+    store;
+    seq = 0;
+  }
+
+let create ?wal_path () =
+  let wal = Option.map Storage.Wal.open_log wal_path in
+  { views = String_map.empty; wal }
+
+let load ?wal_path ~resolve () =
+  match wal_path with
+  | None -> { views = String_map.empty; wal = None }
+  | Some path ->
+    let defs =
+      if not (Sys.file_exists path) then String_map.empty
+      else
+        List.fold_left
+          (fun acc entry ->
+            match entry with
+            | Storage.Wal.View_def { view; base; by } ->
+              String_map.add view { view; base; by } acc
+            | Storage.Wal.View_drop view -> String_map.remove view acc
+            | _ -> acc)
+          String_map.empty
+          (Storage.Wal.replay_salvage path).Storage.Wal.entries
+    in
+    (* open_log trims any torn tail so appends never land mid-log. *)
+    let wal = Storage.Wal.open_log path in
+    let views =
+      String_map.fold
+        (fun _ def acc ->
+          let orphan () =
+            Obs.Registry.incr (registry ()) "view.orphaned_total";
+            acc
+          in
+          match resolve def.base with
+          | None -> orphan ()
+          | Some base_nfr -> (
+            match make_state def base_nfr with
+            | st -> String_map.add def.view st acc
+            | exception View_error _ -> orphan ()))
+        defs String_map.empty
+    in
+    let t = { views; wal = Some wal } in
+    note_count t;
+    t
+
+let close t = Option.iter Storage.Wal.close t.wal
+
+let log_and_sync t entry =
+  Option.iter
+    (fun wal ->
+      Storage.Wal.append wal entry;
+      Storage.Wal.sync wal)
+    t.wal
+
+let mem t view = String_map.mem view t.views
+let defs t = List.map (fun (_, st) -> st.sdef) (String_map.bindings t.views)
+let definition t view = Option.map (fun st -> st.sdef) (String_map.find_opt view t.views)
+
+let dependents t ~base =
+  String_map.fold
+    (fun view st acc -> if st.sdef.base = base then view :: acc else acc)
+    t.views []
+  |> List.rev
+
+let has_views_on t ~base = dependents t ~base <> []
+
+let state t view =
+  match String_map.find_opt view t.views with
+  | Some st -> st
+  | None -> error "unknown view %s" view
+
+let snapshot t view = Update.Store.snapshot (state t view).store
+let order t view = (state t view).sorder
+
+let define t ~view ~base ~by base_nfr =
+  if String_map.mem view t.views then error "view %s already exists" view;
+  let st = make_state { view; base; by } base_nfr in
+  (* The definition is durable before it is visible: if the append
+     tears, recovery simply never sees the view. *)
+  log_and_sync t (Storage.Wal.View_def { view; base; by });
+  t.views <- String_map.add view st t.views;
+  note_count t
+
+let drop t view =
+  ignore (state t view);
+  log_and_sync t (Storage.Wal.View_drop view);
+  t.views <- String_map.remove view t.views;
+  note_count t
+
+let refresh_state st base_nfr =
+  st.store <- materialize ~order:st.sorder base_nfr
+
+let refresh t view base_nfr = refresh_state (state t view) base_nfr
+
+let apply t ~base ~base_nfr ops =
+  let targets =
+    String_map.filter (fun _ st -> st.sdef.base = base) t.views
+  in
+  if ops = [] || String_map.is_empty targets then []
+  else begin
+    (* The crash-matrix site: the base table has committed, the view
+       has not yet absorbed the delta. *)
+    Storage.Failpoint.hit "view.maintain";
+    let registry = registry () in
+    let events =
+      String_map.fold
+        (fun _ st acc ->
+          Obs.Span.with_span Obs.Span.Nest_apply
+            ("view.maintain " ^ st.sdef.view)
+            (fun span ->
+              let start = Obs.Span.now () in
+              let stats = Update.fresh_stats () in
+              let journal =
+                try
+                  List.concat_map
+                    (fun op ->
+                      match op with
+                      | Ins tuple ->
+                        Update.Store.insert_journaled ~stats st.store tuple
+                      | Del tuple ->
+                        Update.Store.delete_journaled ~stats st.store tuple)
+                    ops
+                with Update.Not_in_relation ->
+                  (* The store diverged from the base (e.g. recovery
+                     replayed the base past the view): salvage by full
+                     renest and report the resync as one whole-view
+                     delta. *)
+                  let before = Nfr.ntuples (Update.Store.snapshot st.store) in
+                  refresh_state st (Lazy.force base_nfr);
+                  Obs.Registry.incr registry "view.salvage_total";
+                  let after = Nfr.ntuples (Update.Store.snapshot st.store) in
+                  List.map (fun nt -> Update.Removed nt) before
+                  @ List.map (fun nt -> Update.Added nt) after
+              in
+              Obs.Span.set_rows span (List.length journal);
+              Obs.Registry.add registry "view.deltas_total"
+                (List.length journal);
+              Obs.Registry.add registry "view.compositions_total"
+                stats.Update.compositions;
+              Obs.Registry.observe registry "view.maintain.seconds"
+                (Obs.Span.now () -. start);
+              if journal = [] then acc
+              else begin
+                st.seq <- st.seq + 1;
+                let added =
+                  List.filter_map
+                    (function Update.Added nt -> Some nt | _ -> None)
+                    journal
+                in
+                let removed =
+                  List.filter_map
+                    (function Update.Removed nt -> Some nt | _ -> None)
+                    journal
+                in
+                {
+                  view = st.sdef.view;
+                  seq = st.seq;
+                  schema = st.sschema;
+                  added;
+                  removed;
+                }
+                :: acc
+              end))
+        targets []
+    in
+    List.rev events
+  end

@@ -1,0 +1,123 @@
+(** The view catalog: materialized canonical NFRs maintained
+    incrementally.
+
+    A view [CREATE VIEW v AS NEST R BY P] is the canonical form of the
+    base table's flat expansion under the nest application order
+    [P ++ rest-of-schema]. Theorem A-4 is the point: once canonical,
+    an insert or delete on the base costs a number of [recons]
+    compositions independent of |R|, so each view is kept in an
+    {!Update.Store} and committed base DML is folded in as deltas —
+    never renested from scratch. The full renest survives only as the
+    fallback for DDL (define, {!refresh}) and salvage (a delta that no
+    longer applies, e.g. after a crash between base commit and view
+    maintenance).
+
+    {2 Durability}
+
+    View {e definitions} are durable when the catalog is opened with a
+    log path: every {!define}/{!drop} appends a CRC-framed
+    {!Wal.View_def}/{!Wal.View_drop} record and syncs. View
+    {e contents} are never logged — recovery rematerializes each
+    surviving definition by renesting the recovered base (the DDL
+    fallback), which is exactly the convergence target the crash
+    matrix checks.
+
+    {2 Commit points}
+
+    {!apply} is the maintenance entry point and must be called only
+    with {e committed} base ops — at autocommit success or at a
+    transaction's commit, never from an uncommitted overlay. It hits
+    the ["view.maintain"] failpoint first, so the crash matrix can
+    kill the process between base-table commit and view delta apply.
+
+    Obs series: [view.count] gauge, [view.deltas_total],
+    [view.renest_total], [view.salvage_total], [view.orphaned_total],
+    [view.compositions_total] counters, [view.maintain.seconds]
+    histogram — all on {!Obs.Registry.global}. *)
+
+open Relational
+open Nfr_core
+
+exception View_error of string
+(** User-level catalog errors (unknown view, duplicate name, bad BY
+    attribute). Both evaluators translate these into typed query
+    errors. *)
+
+type def = { view : string; base : string; by : string list }
+
+(** One committed base-table write, in execution order. *)
+type op = Ins of Tuple.t | Del of Tuple.t
+
+(** One per-commit view delta: what {!apply} changed in the
+    materialized NFR, in application order — the payload of a CDC
+    [Delta] frame. [seq] is per-view and increments only on commits
+    that actually changed the view. *)
+type event = {
+  view : string;
+  seq : int;
+  schema : Schema.t;
+  added : Ntuple.t list;
+  removed : Ntuple.t list;
+}
+
+type t
+
+val create : ?wal_path:string -> unit -> t
+(** An empty catalog. With [wal_path], definitions are logged (the
+    file is created or appended; any existing definitions in it are
+    ignored — use {!load} to recover them). *)
+
+val load : ?wal_path:string -> resolve:(string -> Nfr.t option) -> unit -> t
+(** Recover the catalog from its log: replay (salvage semantics — a
+    torn tail is trimmed, mid-log debris skipped), then rematerialize
+    every surviving definition by full renest of [resolve base].
+    Definitions whose base has vanished or no longer has the BY
+    attributes are dropped and counted as [view.orphaned_total]. *)
+
+val close : t -> unit
+
+val nest_order : Schema.t -> string list -> Attribute.t list
+(** The application order a BY clause denotes: the named attributes
+    first (in clause order), then the rest of the schema in schema
+    order — a full permutation, as {!Update} requires.
+    @raise View_error on an unknown, duplicate, or empty BY list. *)
+
+val mem : t -> string -> bool
+val defs : t -> def list
+(** All definitions, sorted by view name. *)
+
+val definition : t -> string -> def option
+val dependents : t -> base:string -> string list
+(** Views defined over [base], sorted — what blocks [DROP TABLE]. *)
+
+val has_views_on : t -> base:string -> bool
+
+val snapshot : t -> string -> Nfr.t
+(** The view's current materialized canonical NFR (persistent value).
+    @raise View_error on an unknown view. *)
+
+val order : t -> string -> Attribute.t list
+(** The view's nest application order.
+    @raise View_error on an unknown view. *)
+
+val define : t -> view:string -> base:string -> by:string list -> Nfr.t -> unit
+(** Register and materialize (full renest — the DDL path) a view over
+    the given base snapshot; logs and syncs a {!Wal.View_def} when the
+    catalog is durable.
+    @raise View_error on a duplicate name or a bad BY clause. *)
+
+val drop : t -> string -> unit
+(** @raise View_error on an unknown view. *)
+
+val refresh : t -> string -> Nfr.t -> unit
+(** Rematerialize one view from a fresh base snapshot (full renest).
+    @raise View_error on an unknown view. *)
+
+val apply : t -> base:string -> base_nfr:Nfr.t Lazy.t -> op list -> event list
+(** Fold one committed group of base-table ops into every view over
+    [base], incrementally; returns the per-view deltas in view-name
+    order (empty for views the commit did not change). A delta that no
+    longer applies (the store has diverged, e.g. crash recovery
+    replayed the base past the view) forces the salvage fallback: a
+    full renest from [base_nfr], reported as one whole-view delta.
+    Hits the ["view.maintain"] failpoint before touching any store. *)

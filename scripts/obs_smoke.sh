@@ -46,9 +46,13 @@ done
 echo "obs_smoke: serving on port $port"
 
 # A workload that exercises the series we require: queries (latency
-# histogram) and DML (WAL appends + fsyncs).
+# histogram), DML (WAL appends + fsyncs), and a materialized view so
+# incremental maintenance ticks the view.* series.
 "$CLI" connect --port "$port" -e \
     "insert into sc values ('s3', 'c3'); select * from sc; select Course from sc where Student contains 's1'" \
+    > /dev/null
+"$CLI" connect --port "$port" -e \
+    "create view by_course as nest sc by Course; insert into sc values ('s4', 'c1'); show by_course" \
     > /dev/null
 
 # The scrape: byte-validates the exposition through the registry's
@@ -58,7 +62,7 @@ echo "obs_smoke: serving on port $port"
 # kept deprecated alias of the flush series) and the buffer-pool
 # ledger.
 "$CLI" metrics --port "$port" \
-    --require nf2_query_seconds,nf2_wal_flush_total,nf2_wal_sync_total,nf2_wal_fsync_total,nf2_pool_hit,nf2_pool_miss,nf2_connections_rejected \
+    --require nf2_query_seconds,nf2_wal_flush_total,nf2_wal_sync_total,nf2_wal_fsync_total,nf2_pool_hit,nf2_pool_miss,nf2_connections_rejected,nf2_view_deltas_total \
     > "$workdir/scrape.txt" || {
     echo "obs_smoke: metrics scrape failed:" >&2
     cat "$workdir/scrape.txt" >&2

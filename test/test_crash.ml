@@ -665,6 +665,90 @@ let test_group_sync_makes_batch_durable () =
     (Relation.equal expected (flat recovered));
   Table.close recovered
 
+(* ------------------------------------------------------------------ *)
+(* View maintenance crash window                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The ["view.maintain"] failpoint sits between base-table commit and
+   view delta apply. A crash there loses the delta but not the base;
+   recovery rematerializes every surviving definition by full renest
+   of the recovered base ([attach_views_wal]), so the reopened view
+   must equal the renest of whatever the base WAL salvaged. *)
+
+let view_renest db name =
+  Nfr_core.Nest.canonical
+    (Nfr_core.Nfr.flatten
+       (Storage.Table.snapshot (Option.get (Nfql.Physical.table db "t"))))
+    (Views.Catalog.order (Nfql.Physical.catalog db) name)
+
+let check_view_converged db name =
+  Alcotest.check nfr_testable
+    (name ^ " equals the renest of the recovered base")
+    (view_renest db name)
+    (Views.Catalog.snapshot (Nfql.Physical.catalog db) name)
+
+let recover_with_views ~wal_path ~views_wal =
+  let table = Table.recover ~wal_path ~order:order3 schema3 in
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" table;
+  Nfql.Physical.attach_views_wal db ~path:views_wal;
+  db
+
+let test_view_maintain_crash_autocommit () =
+  with_scratch @@ fun ~wal_path ~snap_path ->
+  let views_wal = snap_path in
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" (Table.create ~wal_path ~order:order3 schema3);
+  Nfql.Physical.attach_views_wal db ~path:views_wal;
+  ignore (Nfql.Physical.exec_string db "insert into t values ('a1','b1','c1')");
+  ignore (Nfql.Physical.exec_string db "create view v as nest t by C");
+  Failpoint.arm "view.maintain" Failpoint.Crash;
+  let crashed =
+    try
+      ignore
+        (Nfql.Physical.exec_string db "insert into t values ('a2','b2','c1')");
+      false
+    with Failpoint.Crashed _ -> true
+  in
+  Failpoint.reset ();
+  Alcotest.(check bool) "died between base commit and view apply" true crashed;
+  (* The base committed the row the view never saw. *)
+  let db' = recover_with_views ~wal_path ~views_wal in
+  Alcotest.(check int) "base kept both rows" 2
+    (Relation.cardinality
+       (Nfr_core.Nfr.flatten
+          (Storage.Table.snapshot (Option.get (Nfql.Physical.table db' "t")))));
+  check_view_converged db' "v";
+  (* Incremental maintenance resumes cleanly on the rebuilt store. *)
+  ignore (Nfql.Physical.exec_string db' "insert into t values ('a3','b3','c1')");
+  check_view_converged db' "v"
+
+let test_view_maintain_crash_txn () =
+  with_scratch @@ fun ~wal_path ~snap_path ->
+  let views_wal = snap_path in
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" (Table.create ~wal_path ~order:order3 schema3);
+  Nfql.Physical.attach_views_wal db ~path:views_wal;
+  ignore (Nfql.Physical.exec_string db "create view v as nest t by B");
+  Failpoint.arm "view.maintain" Failpoint.Crash;
+  let crashed =
+    try
+      ignore
+        (Nfql.Physical.exec_string db
+           "begin; insert into t values ('a1','b1','c1'); insert into t \
+            values ('a2','b1','c2'); commit");
+      false
+    with Failpoint.Crashed _ -> true
+  in
+  Failpoint.reset ();
+  Alcotest.(check bool) "died after txn commit, before view apply" true crashed;
+  let db' = recover_with_views ~wal_path ~views_wal in
+  Alcotest.(check int) "the whole transaction survived" 2
+    (Relation.cardinality
+       (Nfr_core.Nfr.flatten
+          (Storage.Table.snapshot (Option.get (Nfql.Physical.table db' "t")))));
+  check_view_converged db' "v"
+
 let () =
   Alcotest.run "crash"
     [
@@ -696,6 +780,13 @@ let () =
         [
           Alcotest.test_case "UPDATE crash window" `Quick
             test_update_crash_window;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "autocommit maintenance crash window" `Quick
+            test_view_maintain_crash_autocommit;
+          Alcotest.test_case "transaction maintenance crash window" `Quick
+            test_view_maintain_crash_txn;
         ] );
       ( "sync",
         [
