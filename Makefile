@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench netbench netsmoke plannertest plannerbench txntest txnbench pooltest poolbench viewtest viewbench viewsmoke bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench obsgate histtest histbench netbench netsmoke plannertest plannerbench txntest txnbench pooltest poolbench viewtest viewbench viewsmoke bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -40,6 +40,20 @@ obssmoke: build
 
 obsbench:
 	dune exec bench/main.exe -- obs
+
+# Overhead gate: exits non-zero when tracing overhead exceeds
+# max(5%, the measured run-to-run noise floor).
+obsgate:
+	dune exec bench/main.exe -- obsgate
+
+# Metrics history: downsampling cascade + system tables + stall
+# watchdog tests, and the self-monitoring cost bench
+# (writes BENCH_hist.json).
+histtest:
+	dune exec test/test_history.exe
+
+histbench:
+	dune exec bench/main.exe -- hist
 
 netbench:
 	dune exec bench/main.exe -- net

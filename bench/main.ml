@@ -385,6 +385,8 @@ let () =
   if mode = "net" then Netbench.run ();
   if mode = "netsmoke" then Netbench.run ~conns:4 ~ops:300 ();
   if mode = "obs" then Obsbench.run ();
+  if mode = "obsgate" then Obsbench.run ~gate:true ();
+  if mode = "hist" then Histbench.run ();
   if mode = "planner" then Plannerbench.run ();
   if mode = "txn" then Txnbench.run ();
   if mode = "pool" then Poolbench.run ();

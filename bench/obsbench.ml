@@ -1,12 +1,21 @@
-(* Obs overhead bench: the E9-style physical lookups, three ways.
+(* Obs overhead bench: the E9-style physical lookups, two ways, each
+   measured credibly.
 
-   Round 1 runs with tracing disabled (spans detached: two clock reads
-   per operator, nothing retained), round 2 repeats it to estimate the
-   run-to-run noise floor, round 3 runs with tracing enabled and every
-   query under its own trace scope (spans recorded into the ring).
-   BENCH_obs.json records ops/s for each plus the two deltas, so the
-   "tracing off must be ~free" claim is a number CI can trend, not
-   folklore. *)
+   Each configuration (tracing disabled / tracing enabled with every
+   query under its own trace scope) runs [reruns] times after a warmup
+   pass — interleaved, one disabled round then one enabled round per
+   rerun, so box-wide drift hits both configurations alike — and its
+   headline number is the median ops/s: a single run's ops/s on a
+   shared CI box swings with scheduler luck, and a delta computed from
+   two single runs is mostly that luck. The noise floor is the worst
+   per-rerun deviation from the median across both configurations; the
+   overhead claim is only meaningful when it clears that floor, so
+   BENCH_obs.json records both and [within_budget] says which side the
+   measurement landed on.
+
+   Gate mode (`bench/main.exe obsgate`, `make obsgate`) turns the
+   claim into an exit status: fail when the enabled-tracing overhead
+   exceeds max(5%, noise floor), with one remeasure before failing. *)
 
 open Relational
 
@@ -50,36 +59,102 @@ let round ?(trace_each = false) db iters =
   (float_of_int ops /. elapsed, !latencies, total_stats)
 
 let pct_delta base v = if base = 0. then 0. else (base -. v) /. base *. 100.
+let median samples = Obs.Registry.quantile samples 0.5
 
-let run ?(iters = 2000) () =
-  Format.printf "@.== OBS: tracing overhead on E9-style lookups — %d iters ==@."
-    iters;
+(* Worst per-rerun deviation from the median, in percent — how much a
+   single run of this configuration can be off by pure luck. *)
+let spread_pct samples =
+  let m = median samples in
+  List.fold_left
+    (fun worst v -> Float.max worst (Float.abs (pct_delta m v)))
+    0. samples
+
+(* [reruns] measured rounds of one configuration; the first (warmup)
+   round is discarded. Latencies and costs come from the last round. *)
+let rounds ?trace_each db iters reruns =
+  ignore (round ?trace_each db (max 1 (iters / 10)));
+  let last = ref ([], Storage.Stats.create ()) in
+  let ops =
+    List.init reruns (fun _ ->
+        let ops, latencies, stats = round ?trace_each db iters in
+        last := (latencies, stats);
+        ops)
+  in
+  let latencies, stats = !last in
+  (ops, latencies, stats)
+
+let rec run ?(iters = 2000) ?(reruns = 5) ?(gate = false) ?(retries = 1) () =
+  Format.printf
+    "@.== OBS: tracing overhead on E9-style lookups — %d iters x %d reruns ==@."
+    iters reruns;
   let db = build_db () in
+  (* Interleave the two configurations rerun by rerun: box-wide drift
+     (a noisy neighbour, thermal throttling) then lands on both sides
+     of the delta instead of inflating whichever configuration
+     happened to run second. *)
   Obs.Span.set_enabled false;
-  (* Warm the table caches so round 1 doesn't pay one-time costs. *)
   ignore (round db (max 1 (iters / 10)));
-  let disabled_ops, latencies, total_stats = round db iters in
-  let rerun_ops, _, _ = round db iters in
   Obs.Span.set_enabled true;
-  let enabled_ops, _, _ = round ~trace_each:true db iters in
+  ignore (round ~trace_each:true db (max 1 (iters / 10)));
+  let last = ref ([], Storage.Stats.create ()) in
+  let pairs =
+    List.init reruns (fun _ ->
+        Obs.Span.set_enabled false;
+        let d, lat, stats = round db iters in
+        last := (lat, stats);
+        Obs.Span.set_enabled true;
+        let e, _, _ = round ~trace_each:true db iters in
+        (d, e))
+  in
+  let disabled_runs = List.map fst pairs in
+  let enabled_runs = List.map snd pairs in
+  let latencies, total_stats = !last in
   Obs.Span.set_enabled false;
   Obs.Span.reset ();
   let q p = Obs.Registry.quantile latencies p in
-  let noise_pct = Float.abs (pct_delta disabled_ops rerun_ops) in
+  let disabled_ops = median disabled_runs in
+  let enabled_ops = median enabled_runs in
+  let noise_pct =
+    Float.max (spread_pct disabled_runs) (spread_pct enabled_runs)
+  in
   let enabled_overhead_pct = pct_delta disabled_ops enabled_ops in
-  Format.printf "tracing off:        %10.0f op/s@." disabled_ops;
-  Format.printf "tracing off again:  %10.0f op/s (noise %.2f%%)@." rerun_ops
-    noise_pct;
-  Format.printf "tracing on:         %10.0f op/s (overhead %.2f%%)@."
-    enabled_ops enabled_overhead_pct;
+  let budget_pct = Float.max 5. noise_pct in
+  let within_budget = enabled_overhead_pct <= budget_pct in
+  Format.printf "tracing off (median of %d): %10.0f op/s (spread %.2f%%)@."
+    reruns disabled_ops (spread_pct disabled_runs);
+  Format.printf "tracing on  (median of %d): %10.0f op/s (spread %.2f%%)@."
+    reruns enabled_ops (spread_pct enabled_runs);
+  Format.printf "overhead %.2f%% vs budget max(5%%, noise %.2f%%) -> %s@."
+    enabled_overhead_pct noise_pct
+    (if within_budget then "ok" else "OVER BUDGET");
   Format.printf "latency (off) p50=%.6fs p95=%.6fs p99=%.6fs@." (q 0.5)
     (q 0.95) (q 0.99);
+  let runs_json ops =
+    String.concat "," (List.map (Printf.sprintf "%.0f") ops)
+  in
   Bench_out.write "obs"
     (Printf.sprintf
-       "{\"iters\":%d,\"statements\":%d,\"disabled_ops\":%.0f,\
-        \"disabled_rerun_ops\":%.0f,\"noise_pct\":%.2f,\"enabled_ops\":%.0f,\
-        \"enabled_overhead_pct\":%.2f,\"p50_s\":%.6f,\"p95_s\":%.6f,\
-        \"p99_s\":%.6f,\"cost\":%s}"
-       iters (List.length statements) disabled_ops rerun_ops noise_pct
-       enabled_ops enabled_overhead_pct (q 0.5) (q 0.95) (q 0.99)
-       (Storage.Stats.to_json total_stats))
+       "{\"iters\":%d,\"statements\":%d,\"reruns\":%d,\
+        \"disabled_ops\":%.0f,\"disabled_runs\":[%s],\"enabled_ops\":%.0f,\
+        \"enabled_runs\":[%s],\"noise_pct\":%.2f,\
+        \"enabled_overhead_pct\":%.2f,\"budget_pct\":%.2f,\
+        \"within_budget\":%b,\"p50_s\":%.6f,\"p95_s\":%.6f,\"p99_s\":%.6f,\
+        \"cost\":%s}"
+       iters (List.length statements) reruns disabled_ops
+       (runs_json disabled_runs) enabled_ops (runs_json enabled_runs)
+       noise_pct enabled_overhead_pct budget_pct within_budget (q 0.5) (q 0.95)
+       (q 0.99)
+       (Storage.Stats.to_json total_stats));
+  if gate && not within_budget then
+    if retries > 0 then begin
+      Format.printf
+        "obs gate: overhead %.2f%% over max(5%%, noise %.2f%%) — remeasuring@."
+        enabled_overhead_pct noise_pct;
+      run ~iters ~reruns ~gate ~retries:(retries - 1) ()
+    end
+    else begin
+      Format.printf
+        "obs gate: tracing overhead %.2f%% exceeds max(5%%, noise %.2f%%)@."
+        enabled_overhead_pct noise_pct;
+      exit 1
+    end

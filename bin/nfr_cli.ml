@@ -663,10 +663,50 @@ let serve_cmd =
           ~doc:"Record a span tree for every request (inspect with TRACE \
                 statements or the slow-query log's trace ids)")
   in
+  let scrape_interval_arg =
+    Arg.(
+      value
+      & opt float Server.Session.default_config.Server.Session.scrape_interval
+      & info [ "scrape-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds between self-scrapes of the metrics registry into the \
+             history behind the _metrics system table (and HISTORY)")
+  in
+  let trace_capacity_arg =
+    Arg.(
+      value
+      & opt int Server.Session.default_config.Server.Session.trace_capacity
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:"Span ring size: how many spans of recent traces are kept")
+  in
+  let trace_retain_arg =
+    Arg.(
+      value & opt int Server.Session.default_config.Server.Session.trace_retain
+      & info [ "trace-retain" ] ~docv:"N"
+          ~doc:
+            "Tail sampling depth: the N slowest complete traces are retained \
+             in the _traces system table")
+  in
+  let slow_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-query-log" ] ~docv:"FILE"
+          ~doc:
+            "Append every slow-query entry to FILE as a JSON line (trace id, \
+             statement hash, per-operator rows, est-vs-actual), flushed per \
+             entry")
+  in
   let run loads port max_connections idle_timeout idle_in_txn_timeout
       request_timeout max_payload slow_query_s wal_dir wal_sync_interval
-      wal_sync_max_batch trace =
+      wal_sync_max_batch trace scrape_interval trace_capacity trace_retain
+      slow_query_log =
     if trace then Obs.Span.set_enabled true;
+    if scrape_interval <= 0. then
+      or_die (Error "--scrape-interval must be positive");
+    if trace_capacity < 1 then
+      or_die (Error "--trace-capacity must be at least 1");
+    if trace_retain < 1 then or_die (Error "--trace-retain must be at least 1");
     let db = Nfql.Physical.create () in
     let tables = ref [] in
     List.iter
@@ -705,6 +745,12 @@ let serve_cmd =
         wal_sync_max_batch;
         cdc_max_buffered =
           Server.Session.default_config.Server.Session.cdc_max_buffered;
+        scrape_interval;
+        tick_interval =
+          Server.Session.default_config.Server.Session.tick_interval;
+        trace_capacity;
+        trace_retain;
+        slow_log_file = slow_query_log;
       }
     in
     (* Drain-time hook: checkpoint (compact + truncate the WAL at the
@@ -739,7 +785,8 @@ let serve_cmd =
       const run $ load_spec_arg $ port_arg $ max_conns_arg $ idle_arg
       $ idle_in_txn_arg $ request_timeout_arg $ max_frame_arg $ slow_query_arg
       $ wal_dir_arg $ wal_sync_interval_arg $ wal_sync_max_batch_arg
-      $ trace_arg)
+      $ trace_arg $ scrape_interval_arg $ trace_capacity_arg $ trace_retain_arg
+      $ slow_log_arg)
 
 let print_client_response response =
   List.iter
@@ -833,6 +880,123 @@ let connect_cmd =
     (Cmd.info "connect" ~doc:"Remote NFQL REPL against a running nf2d server")
     Term.(
       const run $ host_arg $ port_arg $ exec_arg $ metrics_arg $ shutdown_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Read one series' newest samples off the server's metrics history
+   (the HISTORY statement), as (ts, value) ascending. Missing series
+   (nothing scraped yet, or a counter never touched) read as []. *)
+let fetch_history client series ~last =
+  let source = Printf.sprintf "history '%s' last %d" series last in
+  match Server.Client.query client source with
+  | Error _ -> []
+  | exception Server.Client.Error _ -> []
+  | Ok response ->
+    List.concat_map
+      (fun { Server.Client.reply; _ } ->
+        match reply with
+        | `Msg _ -> []
+        | `Rows (schema, ntuples) ->
+          let nfr = Nfr.of_ntuples schema ntuples in
+          let a_ts = attr "Ts" and a_value = attr "Value" in
+          (match
+             ( Schema.position_opt schema a_ts,
+               Schema.position_opt schema a_value )
+           with
+          | Some _, Some _ ->
+            Relation.tuples (Nfr.flatten nfr)
+            |> List.filter_map (fun t ->
+                   match
+                     ( Tuple.field schema t a_ts,
+                       Tuple.field schema t a_value )
+                   with
+                   | Value.Vfloat ts, Value.Vfloat v -> Some (ts, v)
+                   | _ -> None)
+            |> List.sort compare
+          | _ -> []))
+      response.Server.Client.results
+
+let latest samples =
+  match List.rev samples with [] -> None | (_, v) :: _ -> Some v
+
+(* Per-second rate of a counter from its two newest scrape points. *)
+let rate samples =
+  match List.rev samples with
+  | (t1, v1) :: (t0, v0) :: _ when t1 > t0 -> Some ((v1 -. v0) /. (t1 -. t0))
+  | _ -> None
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval"; "n" ] ~docv:"SECONDS"
+          ~doc:"Seconds between refreshes")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after N refreshes (0 keeps going until ctrl-c)")
+  in
+  let run host port interval count =
+    if interval <= 0. then or_die (Error "--interval must be positive");
+    let client =
+      try Server.Client.connect ~host ~port ()
+      with Server.Client.Error msg -> or_die (Error msg)
+    in
+    let finally () = Server.Client.close client in
+    Fun.protect ~finally (fun () ->
+        let fmt_opt = function
+          | None -> "-"
+          | Some v ->
+            if Float.abs v >= 100. then Printf.sprintf "%.0f" v
+            else Printf.sprintf "%.2f" v
+        in
+        Format.printf
+          "%-10s %10s %10s %10s %10s %10s@." "time" "ops/s" "p99(ms)"
+          "pool-hit%" "confl/s" "lag(ms)";
+        let tick i =
+          let qps = rate (fetch_history client "queries.total" ~last:2) in
+          let p99 =
+            Option.map
+              (fun s -> s *. 1000.)
+              (latest (fetch_history client "query.seconds.p99" ~last:1))
+          in
+          let hit = rate (fetch_history client "pool.hit" ~last:2) in
+          let miss = rate (fetch_history client "pool.miss" ~last:2) in
+          let pool =
+            match (hit, miss) with
+            | Some h, Some m when h +. m > 0. -> Some (100. *. h /. (h +. m))
+            | _ -> None
+          in
+          let conflicts = rate (fetch_history client "txn.conflict" ~last:2) in
+          let lag =
+            Option.map
+              (fun s -> s *. 1000.)
+              (latest (fetch_history client "loop.lag" ~last:1))
+          in
+          let now = Unix.localtime (Unix.gettimeofday ()) in
+          Format.printf "%02d:%02d:%02d   %10s %10s %10s %10s %10s@."
+            now.Unix.tm_hour now.Unix.tm_min now.Unix.tm_sec (fmt_opt qps)
+            (fmt_opt p99) (fmt_opt pool) (fmt_opt conflicts) (fmt_opt lag);
+          if count = 0 || i < count then begin
+            Unix.sleepf interval;
+            true
+          end
+          else false
+        in
+        let i = ref 1 in
+        while tick !i do incr i done)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live server vitals from its own metrics history (the _metrics \
+          system table): throughput, p99 latency, buffer-pool hit rate, \
+          conflicts, loop lag")
+    Term.(const run $ host_arg $ port_arg $ interval_arg $ count_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace / metrics                                                     *)
@@ -1019,4 +1183,4 @@ let () =
        (Cmd.group info
           [ nest_cmd; canonical_cmd; forms_cmd; classify_cmd; update_cmd;
             normalize_cmd; design_cmd; sql_cmd; repl_cmd; serve_cmd; connect_cmd;
-            watch_cmd; trace_cmd; metrics_cmd ]))
+            top_cmd; watch_cmd; trace_cmd; metrics_cmd ]))

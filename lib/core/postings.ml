@@ -12,10 +12,14 @@ module Table = Hashtbl.Make (Key)
 
 type t = {
   table : Ntuple_set.t Table.t;
+  skip : int list;  (* positions never indexed; see [create] *)
   mutable members : Ntuple_set.t;
 }
 
-let create () = { table = Table.create 256; members = Ntuple_set.empty }
+let create ?(skip = []) () =
+  { table = Table.create 256; skip; members = Ntuple_set.empty }
+
+let skipped t position = List.mem position t.skip
 
 let update_key t key f =
   let current = Option.value ~default:Ntuple_set.empty (Table.find_opt t.table key) in
@@ -23,37 +27,57 @@ let update_key t key f =
   if Ntuple_set.is_empty next then Table.remove t.table key
   else Table.replace t.table key next
 
-let iter_keys nt f =
+let iter_keys t nt f =
   List.iteri
     (fun position component ->
-      Vset.fold (fun value () -> f (position, value)) component ())
+      if not (skipped t position) then
+        Vset.fold (fun value () -> f (position, value)) component ())
     (Ntuple.components nt)
 
 let add t nt =
   t.members <- Ntuple_set.add nt t.members;
-  iter_keys nt (fun key -> update_key t key (Ntuple_set.add nt))
+  iter_keys t nt (fun key -> update_key t key (Ntuple_set.add nt))
 
 let remove t nt =
   t.members <- Ntuple_set.remove nt t.members;
-  iter_keys nt (fun key -> update_key t key (Ntuple_set.remove nt))
+  iter_keys t nt (fun key -> update_key t key (Ntuple_set.remove nt))
 
 let posting t ~position value =
   Option.value ~default:Ntuple_set.empty (Table.find_opt t.table (position, value))
+
+let contains_value nt (position, value) =
+  Vset.mem value (Ntuple.component nt position)
 
 let containing_all t constraints =
   match constraints with
   | [] -> invalid_arg "Postings.containing_all: no constraints"
   | _ ->
-    let postings =
-      List.map (fun (position, value) -> posting t ~position value) constraints
+    (* Constraints on skipped positions have no posting list; narrow
+       with the indexed ones and verify the rest per survivor. When
+       every constraint is skipped, filter the member set directly. *)
+    let indexed, unindexed =
+      List.partition (fun (position, _) -> not (skipped t position)) constraints
     in
-    let sorted =
-      List.sort
-        (fun a b -> Int.compare (Ntuple_set.cardinal a) (Ntuple_set.cardinal b))
-        postings
+    let narrowed =
+      match indexed with
+      | [] -> t.members
+      | indexed ->
+        let postings =
+          List.map (fun (position, value) -> posting t ~position value) indexed
+        in
+        let sorted =
+          List.sort
+            (fun a b -> Int.compare (Ntuple_set.cardinal a) (Ntuple_set.cardinal b))
+            postings
+        in
+        (match sorted with
+        | [] -> Ntuple_set.empty
+        | smallest :: rest -> List.fold_left Ntuple_set.inter smallest rest)
     in
-    (match sorted with
-    | [] -> Ntuple_set.empty
-    | smallest :: rest -> List.fold_left Ntuple_set.inter smallest rest)
+    if unindexed = [] then narrowed
+    else
+      Ntuple_set.filter
+        (fun nt -> List.for_all (contains_value nt) unindexed)
+        narrowed
 
 let cardinality t = Ntuple_set.cardinal t.members

@@ -15,10 +15,17 @@ module Ntuple_set : Set.S with type elt = Ntuple.t
 
 type t
 
-val create : unit -> t
+val create : ?skip:int list -> unit -> t
+(** [skip] lists schema positions that are never indexed — for
+    components that grow large (a metrics history's timestamp sets),
+    where maintaining one posting per element on every add/remove
+    dominates update cost. Queries stay exact: {!containing_all}
+    verifies constraints on skipped positions against each candidate
+    instead of intersecting postings. Default: index everything. *)
 
 val add : t -> Ntuple.t -> unit
-(** Index every (position, value) of the tuple. *)
+(** Index every (position, value) of the tuple (skipped positions
+    excepted). *)
 
 val remove : t -> Ntuple.t -> unit
 
@@ -27,9 +34,10 @@ val posting : t -> position:int -> Value.t -> Ntuple_set.t
     when none). *)
 
 val containing_all : t -> (int * Value.t) list -> Ntuple_set.t
-(** Intersection of postings for every constraint; the empty
-    constraint list is rejected. Intersects smallest-first.
-    @raise Invalid_argument on []. *)
+(** Tuples containing every constrained value: the smallest-first
+    intersection of the indexed constraints' postings, then a direct
+    membership check per survivor for constraints on skipped
+    positions. @raise Invalid_argument on []. *)
 
 val cardinality : t -> int
 (** Number of indexed tuples. *)

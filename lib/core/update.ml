@@ -225,13 +225,16 @@ module Store = struct
     mutable nfr : Nfr.t;
   }
 
-  let of_nfr ~order nfr =
+  let of_nfr ?(unindexed = []) ~order nfr =
     Nest.check_permutation (Nfr.schema nfr) order;
-    let index = Postings.create () in
+    let schema = Nfr.schema nfr in
+    let skip = List.map (Schema.position schema) unindexed in
+    let index = Postings.create ~skip () in
     Nfr.iter (Postings.add index) nfr;
     { order; index; nfr }
 
-  let create ~order schema = of_nfr ~order (Nfr.empty schema)
+  let create ?unindexed ~order schema =
+    of_nfr ?unindexed ~order (Nfr.empty schema)
   let snapshot store = store.nfr
   let cardinality store = Nfr.cardinality store.nfr
   let order store = store.order

@@ -89,10 +89,14 @@ val lemma_a1_candidates :
 module Store : sig
   type t
 
-  val create : order:Attribute.t list -> Schema.t -> t
-  val of_nfr : order:Attribute.t list -> Nfr.t -> t
+  val create : ?unindexed:Attribute.t list -> order:Attribute.t list -> Schema.t -> t
+  val of_nfr : ?unindexed:Attribute.t list -> order:Attribute.t list -> Nfr.t -> t
   (** @raise Invalid_argument unless [order] permutes the schema. The
-      NFR is assumed canonical for [order]. *)
+      NFR is assumed canonical for [order]. [unindexed] names
+      attributes the postings index skips (see {!Postings.create}) —
+      right for a component that accumulates large sets, where
+      per-value index maintenance would dominate every update; lookups
+      on such attributes verify candidates directly instead. *)
 
   val snapshot : t -> Nfr.t
   (** The current canonical NFR (persistent value; cheap). *)

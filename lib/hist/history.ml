@@ -1,0 +1,189 @@
+open Relational
+open Nfr_core
+
+type config = {
+  raw_cap : int;
+  mid_period : float;
+  mid_cap : int;
+  old_period : float;
+  old_cap : int;
+}
+
+let default_config =
+  { raw_cap = 120; mid_period = 10.; mid_cap = 90; old_period = 60.; old_cap = 240 }
+
+let schema =
+  Schema.of_names
+    [
+      ("Series", Value.Tstring);
+      ("Tier", Value.Tstring);
+      ("Value", Value.Tfloat);
+      ("Ts", Value.Tfloat);
+    ]
+
+(* Application order: Ts nests first, so timestamps collect into sets
+   per (series, tier, value) — constant-value runs are one tuple. *)
+let order =
+  List.map Attribute.make [ "Ts"; "Value"; "Tier"; "Series" ]
+
+let tier_names = [| "raw"; "10s"; "1m" |]
+let tiers = Array.to_list tier_names
+
+(* One tier of one series: samples sorted by ts descending (newest
+   first), so eviction takes the list's tail element. *)
+type entry = { mutable samples : (float * float) list; mutable count : int }
+
+type t = {
+  cfg : config;
+  store : Update.Store.t;
+  entries : (string * int, entry) Hashtbl.t;
+  mutable scrapes : int;
+}
+
+let create ?(config = default_config) () =
+  if
+    config.raw_cap < 1 || config.mid_cap < 1 || config.old_cap < 1
+    || config.mid_period <= 0. || config.old_period <= 0.
+  then invalid_arg "History.create: caps must be >= 1 and periods > 0";
+  {
+    cfg = config;
+    (* Ts components grow to hundreds of stamps per tuple; indexing
+       each stamp would make every insert O(run length), so the
+       postings index skips Ts and verifies it per candidate. *)
+    store = Update.Store.create ~unindexed:[ Attribute.make "Ts" ] ~order schema;
+    entries = Hashtbl.create 64;
+    scrapes = 0;
+  }
+
+let config t = t.cfg
+let nfr t = Update.Store.snapshot t.store
+let scrape_count t = t.scrapes
+
+let entry t series ti =
+  let key = (series, ti) in
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+    let e = { samples = []; count = 0 } in
+    Hashtbl.add t.entries key e;
+    e
+
+let tuple series ti ts v =
+  Tuple.make schema
+    [
+      Value.of_string series;
+      Value.of_string tier_names.(ti);
+      Value.of_float v;
+      Value.of_float ts;
+    ]
+
+let tier_cap cfg = function
+  | 0 -> cfg.raw_cap
+  | 1 -> cfg.mid_cap
+  | _ -> cfg.old_cap
+
+(* Insert one sample into tier [ti], keeping the list ts-descending
+   and replacing on timestamp collision (last writer wins), then
+   cascade the eviction — the oldest sample rolls into the next tier
+   bucketed by that tier's period, the last tier drops it. *)
+let rec add_sample t series ti ts v =
+  let e = entry t series ti in
+  let rec place = function
+    | [] -> ([ (ts, v) ], None, true)
+    | ((ts0, v0) as head) :: rest ->
+      if ts = ts0 then
+        if v = v0 then (head :: rest, None, false)
+        else ((ts, v) :: rest, Some (ts0, v0), true)
+      else if ts > ts0 then ((ts, v) :: head :: rest, None, true)
+      else
+        let placed, removed, added = place rest in
+        (head :: placed, removed, added)
+  in
+  let placed, removed, added = place e.samples in
+  if added then begin
+    (match removed with
+    | Some (ts0, v0) -> Update.Store.delete t.store (tuple series ti ts0 v0)
+    | None -> e.count <- e.count + 1);
+    e.samples <- placed;
+    ignore (Update.Store.insert t.store (tuple series ti ts v));
+    if e.count > tier_cap t.cfg ti then begin
+      match List.rev e.samples with
+      | [] -> ()
+      | (ts_old, v_old) :: rest_rev ->
+        e.samples <- List.rev rest_rev;
+        e.count <- e.count - 1;
+        Update.Store.delete t.store (tuple series ti ts_old v_old);
+        if ti < Array.length tier_names - 1 then begin
+          let period = if ti = 0 then t.cfg.mid_period else t.cfg.old_period in
+          let bucket = Float.of_int (int_of_float (Float.floor (ts_old /. period))) *. period in
+          add_sample t series (ti + 1) bucket v_old
+        end
+    end
+  end
+
+let observe t ~series ~ts v =
+  if not (Float.is_nan v) then add_sample t series 0 ts v
+
+let labeled_series name labels =
+  Printf.sprintf "%s{%s}" name
+    (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let scrape t reg ~now =
+  let n = ref 0 in
+  let sample series v =
+    if not (Float.is_nan v) then begin
+      observe t ~series ~ts:now v;
+      incr n
+    end
+  in
+  List.iter
+    (fun (name, v) -> sample name (float_of_int v))
+    (Obs.Registry.counters reg);
+  List.iter
+    (fun ((name, labels), v) -> sample (labeled_series name labels) (float_of_int v))
+    (Obs.Registry.labeled_counters reg);
+  List.iter (fun (name, v) -> sample name v) (Obs.Registry.gauges reg);
+  List.iter
+    (fun (name, s) ->
+      sample (name ^ ".count") (float_of_int s.Obs.Registry.count);
+      sample (name ^ ".p50") s.Obs.Registry.p50;
+      sample (name ^ ".p99") s.Obs.Registry.p99)
+    (Obs.Registry.summaries reg);
+  t.scrapes <- t.scrapes + 1;
+  !n
+
+let series_names t =
+  Hashtbl.fold (fun (series, _) _ acc -> series :: acc) t.entries []
+  |> List.sort_uniq compare
+
+let series_count t = List.length (series_names t)
+
+let tier_counts t =
+  Hashtbl.fold
+    (fun (series, ti) e acc -> ((series, tier_names.(ti)), e.count) :: acc)
+    t.entries []
+  |> List.sort compare
+
+let samples t ~series ~tier =
+  match Array.to_list tier_names |> List.mapi (fun i n -> (i, n))
+        |> List.find_opt (fun (_, n) -> n = tier)
+  with
+  | None -> []
+  | Some (ti, _) -> (
+    match Hashtbl.find_opt t.entries (series, ti) with
+    | None -> []
+    | Some e -> e.samples)
+
+let history t ~series ?last () =
+  let all =
+    Array.to_list tier_names
+    |> List.concat_map (fun tier ->
+           List.map (fun (ts, v) -> (tier, ts, v)) (samples t ~series ~tier))
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  in
+  match last with
+  | None -> all
+  | Some n when n >= List.length all -> all
+  | Some n ->
+    let drop = List.length all - n in
+    List.filteri (fun i _ -> i >= drop) all

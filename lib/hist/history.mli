@@ -1,0 +1,88 @@
+(** Metrics history: the server's own telemetry stored as a canonical
+    NFR.
+
+    A metric series is a textbook non-first-normal-form relation —
+    [(series, tier, value, {timestamps})] — so the scraped history
+    lives in an {!Nfr_core.Update.Store} under the application order
+    [[Ts; Value; Tier; Series]]: timestamps nest innermost, so a run
+    of scrapes where a series holds one value collapses into a single
+    NFR tuple whose [Ts] component is the whole run, and flat-lined
+    series cost one tuple per tier no matter how long the history.
+    Every sample lands through {!Nfr_core.Update} ([recons]-style
+    incremental maintenance, Theorem A-4), never by renesting.
+
+    {2 Age tiers}
+
+    Retention is fixed-memory per series via three tiers:
+
+    - [raw] — every scrape, capped at [raw_cap] samples;
+    - [10s] — samples evicted from [raw], last-sample-per-[mid_period]
+      bucket, capped at [mid_cap];
+    - [1m] — samples evicted from [10s], last-sample-per-[old_period]
+      bucket, capped at [old_cap]; evictions here are dropped.
+
+    So a series never holds more than [raw_cap + mid_cap + old_cap]
+    samples, and recent history is dense while old history is
+    coarse. *)
+
+open Relational
+open Nfr_core
+
+type config = {
+  raw_cap : int;  (** raw samples kept per series *)
+  mid_period : float;  (** seconds per [10s]-tier bucket *)
+  mid_cap : int;
+  old_period : float;  (** seconds per [1m]-tier bucket *)
+  old_cap : int;
+}
+
+val default_config : config
+(** 120 raw samples (10 min of 5 s scrapes), 90 x 10 s buckets,
+    240 x 60 s buckets — ≤ 450 samples per series, ~4.4 h of span. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument on a non-positive cap or period. *)
+
+val config : t -> config
+
+val schema : Schema.t
+(** [(Series:string, Tier:string, Value:float, Ts:float)]. *)
+
+val order : Attribute.t list
+(** The nest application order, [[Ts; Value; Tier; Series]] — what
+    {!nfr} is canonical for. *)
+
+val tiers : string list
+(** [["raw"; "10s"; "1m"]], newest to oldest. *)
+
+val observe : t -> series:string -> ts:float -> float -> unit
+(** Record one sample into the raw tier (cascading evictions through
+    the downsample tiers). A sample at a timestamp the tier already
+    holds replaces the old value (last wins); NaN values are
+    dropped. *)
+
+val scrape : t -> Obs.Registry.t -> now:float -> int
+(** Sample every current registry series at time [now]: counters and
+    gauges by name, labeled counters as [name{k=v,...}], and each
+    non-empty histogram as [name.count] / [name.p50] / [name.p99].
+    Returns the number of series sampled. *)
+
+val nfr : t -> Nfr.t
+(** The history as a canonical NFR (persistent snapshot; cheap). *)
+
+val series_count : t -> int
+val series_names : t -> string list
+
+val tier_counts : t -> ((string * string) * int) list
+(** Live sample count per (series, tier), sorted. *)
+
+val samples : t -> series:string -> tier:string -> (float * float) list
+(** [(ts, value)] samples of one tier, newest first. *)
+
+val history : t -> series:string -> ?last:int -> unit -> (string * float * float) list
+(** All tiers of one series merged as [(tier, ts, value)], ascending
+    by timestamp; [?last] keeps only the newest [n]. *)
+
+val scrape_count : t -> int

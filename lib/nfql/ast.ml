@@ -52,6 +52,9 @@ type statement =
   | Analyze of string
   | Trace of statement
   | Show of string
+  | History of string * int option
+      (* HISTORY 'series' [LAST n]: the scraped-metrics convenience
+         read over the _metrics system table *)
   | Begin
   | Commit
   | Rollback
@@ -164,6 +167,12 @@ let rec pp_statement ppf = function
   | Analyze table -> Format.fprintf ppf "ANALYZE %s" table
   | Trace s -> Format.fprintf ppf "TRACE %a" pp_statement s
   | Show table -> Format.fprintf ppf "SHOW %s" table
+  | History (series, last) ->
+    Format.fprintf ppf "HISTORY '%s'%a" series
+      (fun ppf -> function
+        | None -> ()
+        | Some n -> Format.fprintf ppf " LAST %d" n)
+      last
   | Begin -> Format.pp_print_string ppf "BEGIN"
   | Commit -> Format.pp_print_string ppf "COMMIT"
   | Rollback -> Format.pp_print_string ppf "ROLLBACK"
@@ -185,6 +194,7 @@ let rec statement_verb = function
   | Analyze _ -> "analyze"
   | Trace inner -> "trace:" ^ statement_verb inner
   | Show _ -> "show"
+  | History _ -> "history"
   | Begin -> "begin"
   | Commit -> "commit"
   | Rollback -> "rollback"

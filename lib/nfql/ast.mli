@@ -18,6 +18,7 @@
     ANALYZE t
     TRACE <statement>
     SHOW t
+    HISTORY 'series' [LAST n]
     v}
 
     Conditions: comparisons over columns and literals, [CONTAINS]
@@ -85,6 +86,10 @@ type statement =
       (** run the statement under a trace scope and return its span
           tree as rows *)
   | Show of string
+  | History of string * int option
+      (** [HISTORY 'series' [LAST n]]: the newest [n] (default: all)
+          scraped samples of one metrics series, all downsample tiers
+          merged, read from the [_metrics] system table *)
   | Begin  (** open a transaction (snapshot isolation) *)
   | Commit
       (** apply the open transaction's writes; first committer wins —

@@ -26,6 +26,9 @@ type db = {
      (oldest first) until COMMIT — and is simply discarded on
      ROLLBACK. *)
   mutable txn_pending : (string * Views.Catalog.op) list;
+  (* Read-only system tables (_metrics, _slow_queries, ...) resolved
+     through per-db providers; see {!Systab}. *)
+  sys : Systab.registry;
 }
 
 type result =
@@ -38,7 +41,12 @@ let create () =
     txn_saved = None;
     views = Views.Catalog.create ();
     txn_pending = [];
+    sys = Systab.create ();
   }
+
+let register_system_table db name provider = Systab.register db.sys name provider
+let system_table_names db = Systab.names db.sys
+let is_system db name = Systab.find db.sys name <> None
 
 let in_txn db = db.txn_saved <> None
 let catalog db = db.views
@@ -49,19 +57,27 @@ let find_table db name =
   | Some state -> state
   | None -> error "unknown table %s" name
 
-(* Reads treat a view as a table: resolve the name against base tables
-   first, then the materialized view catalog. *)
+(* Reads treat a view or a system table as a table: resolve the name
+   against base tables first, then the materialized view catalog, then
+   the system-table providers. *)
 let find_readable db name =
   match String_map.find_opt name db.tables with
   | Some state -> (state.nfr, state.order)
   | None ->
     if is_view db name then
       (Views.Catalog.snapshot db.views name, Views.Catalog.order db.views name)
-    else error "unknown table %s" name
+    else (
+      match Systab.find db.sys name with
+      | Some provider ->
+        let order, nfr = provider () in
+        (nfr, order)
+      | None -> error "unknown table %s" name)
 
-(* The typed write guard: DML must name a base table, never a view. *)
+(* The typed write guard: DML must name a base table, never a view or
+   a system table. *)
 let require_writable db name =
-  if is_view db name then error "%s is a view: views are read-only" name
+  if is_view db name then error "%s is a view: views are read-only" name;
+  if is_system db name then error "%s" (Systab.read_only_error name)
 
 let apply_committed db base ops =
   ignore
@@ -119,6 +135,7 @@ let require_no_txn db what =
 
 let exec_create db table columns order =
   require_no_txn db "CREATE TABLE";
+  if Systab.is_system_name table then error "%s" (Systab.reserved_error table);
   if String_map.mem table db.tables then error "table %s already exists" table;
   if is_view db table then error "view %s already exists" table;
   let schema =
@@ -212,6 +229,8 @@ let resolve_source db = function
   | Ast.From_join (left_name, right_name) ->
     if is_view db left_name || is_view db right_name then
       error "views cannot appear in JOIN";
+    if is_system db left_name || is_system db right_name then
+      error "system tables cannot appear in JOIN";
     let left = find_table db left_name in
     let right = find_table db right_name in
     let joined =
@@ -360,6 +379,7 @@ let rec exec db statement =
   | Ast.Create (table, columns, order) -> exec_create db table columns order
   | Ast.Drop table ->
     require_no_txn db "DROP TABLE";
+    if is_system db table then error "%s" (Systab.read_only_error table);
     if is_view db table then error "%s is a view: use DROP VIEW" table;
     if String_map.mem table db.tables then begin
       (match Views.Catalog.dependents db.views ~base:table with
@@ -373,9 +393,12 @@ let rec exec db statement =
     else error "unknown table %s" table
   | Ast.Create_view (view, base, by) -> (
     require_no_txn db "CREATE VIEW";
+    if Systab.is_system_name view then error "%s" (Systab.reserved_error view);
     if String_map.mem view db.tables then error "table %s already exists" view;
     if is_view db base then
       error "%s is a view: views must be defined over base tables" base;
+    if is_system db base then
+      error "%s is a system table: views must be defined over base tables" base;
     let state = find_table db base in
     match Views.Catalog.define db.views ~view ~base ~by state.nfr with
     | () -> Done (Printf.sprintf "view %s created" view)
@@ -415,6 +438,9 @@ let rec exec db statement =
     if is_view db name then
       error "cannot ANALYZE view %s: statistics are collected on base tables"
         name;
+    if is_system db name then
+      error "cannot ANALYZE system table %s: statistics are collected on base tables"
+        name;
     let state = find_table db name in
     Done (Tablestats.summary name (Tablestats.collect state.nfr))
   | Ast.Trace inner ->
@@ -433,6 +459,10 @@ let rec exec db statement =
     in
     Rows (rows_of_spans (Obs.Span.spans_of_trace trace))
   | Ast.Show table -> Rows (fst (find_readable db table))
+  | Ast.History (series, last) -> (
+    match Systab.history_result db.sys ~series ~last with
+    | Ok rows -> Rows rows
+    | Error msg -> error "%s" msg)
   | Ast.Begin -> (
     match db.txn_saved with
     | Some _ -> error "a transaction is already open"

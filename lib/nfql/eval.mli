@@ -52,6 +52,13 @@ val catalog : db -> Views.Catalog.t
 
 val table_order : db -> string -> Attribute.t list option
 
+val register_system_table : db -> string -> Systab.provider -> unit
+(** Install (or replace) a read-only system-table provider; see
+    {!Systab}. @raise Invalid_argument unless the name starts with
+    ['_']. *)
+
+val system_table_names : db -> string list
+
 val define : db -> string -> order:Attribute.t list -> Nfr.t -> unit
 (** Install an externally built NFR as a table (CLI loading path).
     @raise Eval_error if the NFR is not canonical for [order]. *)

@@ -275,7 +275,7 @@ let rec statement st =
     | Ast.Insert _ | Ast.Delete_values _
     | Ast.Delete_where _ | Ast.Update_set _ | Ast.Explain _
     | Ast.Explain_analyze _ | Ast.Analyze _ | Ast.Trace _ | Ast.Show _
-    | Ast.Begin | Ast.Commit | Ast.Rollback ->
+    | Ast.History _ | Ast.Begin | Ast.Commit | Ast.Rollback ->
       assert false
   end
   else if keyword st "analyze" then
@@ -292,6 +292,31 @@ let rec statement st =
   else if keyword st "delete" then parse_delete st
   else if keyword st "update" then parse_update st
   else if keyword st "show" then Ast.Show (ident st "expected a table name")
+  else if keyword st "history" then begin
+    (* Series names carry dots and braces (query.seconds.p99), so the
+       usual spelling is a string literal; a plain identifier also
+       works for the simple ones. *)
+    let series =
+      match peek st with
+      | Token.String_lit s, _ ->
+        advance st;
+        s
+      | _ -> ident st "expected a series name (string literal)"
+    in
+    let last =
+      if keyword st "last" then begin
+        match peek st with
+        | Token.Int_lit n, offset ->
+          if n <= 0 then
+            raise (Parse_error (Printf.sprintf "LAST %d must be positive" n, offset));
+          advance st;
+          Some n
+        | _ -> fail st "expected a sample count after LAST"
+      end
+      else None
+    in
+    Ast.History (series, last)
+  end
   else if keyword st "begin" then begin
     (* BEGIN [TRANSACTION | WORK] *)
     ignore (keyword st "transaction" || keyword st "work");

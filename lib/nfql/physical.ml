@@ -100,6 +100,10 @@ type db = {
   (* Where per-commit view deltas go (the server installs a queue that
      the select loop fans out to CDC subscribers). *)
   mutable cdc_sink : (Views.Catalog.event -> unit) option;
+  (* Read-only system tables (_metrics, _slow_queries, _traces):
+     provider closures installed by the server, resolved like views but
+     re-materialized on every statement. *)
+  sys : Systab.registry;
 }
 
 (* One client's execution context: the shared database plus that
@@ -130,6 +134,7 @@ let create () =
     default_session = None;
     views = Views.Catalog.create ();
     cdc_sink = None;
+    sys = Systab.create ();
   }
 
 let session db = { sdb = db; txn = None }
@@ -155,12 +160,18 @@ let bump_generation db = db.generation <- db.generation + 1
 let is_view db name = Views.Catalog.mem db.views name
 let catalog db = db.views
 let set_cdc_sink db sink = db.cdc_sink <- Some sink
+let is_system db name = Systab.find db.sys name <> None
+let register_system_table db name provider = Systab.register db.sys name provider
+let system_table_names db = Systab.names db.sys
 
-(* The typed write guard: DML must name a base table, never a view. *)
+(* The typed write guard: DML must name a base table, never a view or a
+   system table. *)
 let require_writable db name =
-  if is_view db name then error "%s is a view: views are read-only" name
+  if is_view db name then error "%s is a view: views are read-only" name;
+  if is_system db name then error "%s" (Systab.read_only_error name)
 
 let add_table db name table =
+  if Systab.is_system_name name then error "%s" (Systab.reserved_error name);
   if String_map.mem name db.tables then error "table %s already exists" name;
   if is_view db name then error "view %s already exists" name;
   db.tables <-
@@ -1203,6 +1214,16 @@ let view_in_source db = function
       error "views cannot appear in JOIN"
     else None
 
+(* System tables in a FROM clause, same shape as views: a lone name is
+   scanned through its provider; JOINs are rejected because providers
+   materialize afresh per statement and have no heap records. *)
+let sys_in_source db = function
+  | Ast.From_table name -> if is_system db name then Some name else None
+  | Ast.From_join (left, right) ->
+    if is_system db left || is_system db right then
+      error "system tables cannot appear in JOIN"
+    else None
+
 (* A SELECT over a view reads the materialized canonical NFR directly:
    the view {e is} the access path, so there is no planning step and
    no heap I/O — just the WHERE/shape machinery over a persistent
@@ -1218,6 +1239,47 @@ let run_view_select db (s : Ast.select) name =
   db.last_ops <- [ (label, Nfr.cardinality filtered) ];
   db.last_est <- None;
   (Compile.shape_select filtered ~order s, filtered)
+
+(* A SELECT over a system table asks its provider for the current
+   contents — the read-only view-scan path generalized to
+   provider-backed relations. *)
+let run_sys_select db (s : Ast.select) name =
+  let label = "system-scan " ^ name in
+  Obs.Span.with_span (Obs.Span.Operator label) label @@ fun span ->
+  let provider =
+    match Systab.find db.sys name with
+    | Some p -> p
+    | None -> error "unknown table %s" name
+  in
+  let order, nfr = provider () in
+  let filtered = Compile.apply_where (Nfr.schema nfr) order nfr s.Ast.where in
+  Obs.Span.set_rows span (Nfr.cardinality filtered);
+  db.last_ops <- [ (label, Nfr.cardinality filtered) ];
+  db.last_est <- None;
+  (Compile.shape_select filtered ~order s, filtered)
+
+let sys_snapshot db name =
+  match Systab.find db.sys name with
+  | Some provider -> snd (provider ())
+  | None -> error "unknown table %s" name
+
+let explain_sys_text db (s : Ast.select) name =
+  let nfr = sys_snapshot db name in
+  let buffer = Buffer.create 128 in
+  let line fmt =
+    Printf.ksprintf (fun msg -> Buffer.add_string buffer (msg ^ "\n")) fmt
+  in
+  line "physical plan:";
+  line "  access: system scan %s (provider-backed NFR, %d NFR tuples)" name
+    (Nfr.cardinality nfr);
+  (match s.Ast.where with
+  | None -> ()
+  | Some condition ->
+    line "  residual filter: %s" (Format.asprintf "%a" Ast.pp_condition condition));
+  (match s.Ast.columns with
+  | None -> ()
+  | Some names -> line "  project %s" (String.concat "," names));
+  String.trim (Buffer.contents buffer)
 
 let explain_view_text db (s : Ast.select) name =
   let nfr = Views.Catalog.snapshot db.views name in
@@ -1240,6 +1302,9 @@ let explain_view_text db (s : Ast.select) name =
 let explain_text db (s : Ast.select) =
   match view_in_source db s.Ast.source with
   | Some name -> explain_view_text db s name
+  | None ->
+  match sys_in_source db s.Ast.source with
+  | Some name -> explain_sys_text db s name
   | None ->
   let p = plan db s in
   let buffer = Buffer.create 128 in
@@ -1357,12 +1422,20 @@ let txn_resolve_source db txn = function
     (* Views are maintained at commit points only: a transaction reads
        the latest committed view state, not its own snapshot. *)
     (Views.Catalog.snapshot db.views name, Views.Catalog.order db.views name)
+  | Ast.From_table name when is_system db name ->
+    (* System tables are live monitoring state — never part of any
+       snapshot; a transaction reads the provider's current contents. *)
+    let provider = Option.get (Systab.find db.sys name) in
+    let order, nfr = provider () in
+    (nfr, order)
   | Ast.From_table name ->
     let tt = txn_touch db txn name in
     (tt.tx_nfr, tt.tx_order)
   | Ast.From_join (left, right) ->
     if is_view db left || is_view db right then
       error "views cannot appear in JOIN";
+    if is_system db left || is_system db right then
+      error "system tables cannot appear in JOIN";
     let lt = txn_touch db txn left and rt = txn_touch db txn right in
     let joined =
       match Nalgebra.natural_join lt.tx_nfr rt.tx_nfr with
@@ -1584,11 +1657,19 @@ let rec exec_txn session txn stats statement =
     error
       "EXPLAIN ANALYZE is not allowed inside a transaction (physical \
        operators read committed state, not the snapshot)"
+  | Ast.History (series, last) -> (
+    match Systab.history_result db.sys ~series ~last with
+    | Ok rows -> Eval.Rows rows
+    | Error msg -> error "%s" msg)
   | Ast.Analyze name ->
     (* Statistics describe the committed table; collecting them inside
        a transaction is allowed and reads right through the snapshot. *)
     if is_view db name then
       error "cannot ANALYZE view %s: statistics are collected on base tables"
+        name;
+    if is_system db name then
+      error "cannot ANALYZE system table %s: statistics are collected on base \
+             tables"
         name;
     let entry = find_entry db name in
     let collected = collect_stats entry in
@@ -1614,6 +1695,7 @@ let rec exec_txn session txn stats statement =
          reads the latest committed view state — they are not part of
          its snapshot. *)
       Eval.Rows (Views.Catalog.snapshot db.views name)
+    else if is_system db name then Eval.Rows (sys_snapshot db name)
     else
       let tt = txn_touch db txn name in
       Eval.Rows tt.tx_nfr
@@ -1650,6 +1732,7 @@ and exec_auto session stats statement =
       Eval.Done (Printf.sprintf "table %s created" name)
     | Ast.Drop name ->
       if is_view db name then error "%s is a view: use DROP VIEW" name;
+      if is_system db name then error "%s" (Systab.read_only_error name);
       if not (String_map.mem name db.tables) then error "unknown table %s" name;
       (match Views.Catalog.dependents db.views ~base:name with
       | [] -> ()
@@ -1661,9 +1744,13 @@ and exec_auto session stats statement =
       bump_generation db;
       Eval.Done (Printf.sprintf "table %s dropped" name)
     | Ast.Create_view (view, base, by) -> (
+      if Systab.is_system_name view then error "%s" (Systab.reserved_error view);
       if String_map.mem view db.tables then error "table %s already exists" view;
       if is_view db base then
         error "%s is a view: views must be defined over base tables" base;
+      if is_system db base then
+        error "%s is a system table: views must be defined over base tables"
+          base;
       let entry = find_entry db base in
       match
         Views.Catalog.define db.views ~view ~base ~by
@@ -1762,10 +1849,15 @@ and exec_auto session stats statement =
       | Some name ->
         let shaped, _ = run_view_select db s name in
         Eval.Rows shaped
-      | None ->
-        let executed = run_select db s in
-        add_op_stats stats executed.root;
-        Eval.Rows executed.shaped)
+      | None -> (
+        match sys_in_source db s.Ast.source with
+        | Some name ->
+          let shaped, _ = run_sys_select db s name in
+          Eval.Rows shaped
+        | None ->
+          let executed = run_select db s in
+          add_op_stats stats executed.root;
+          Eval.Rows executed.shaped))
     | Ast.Select_count (source, condition) -> (
       let select =
         { Ast.columns = None; source; where = condition; nests = []; unnests = [] }
@@ -1776,13 +1868,20 @@ and exec_auto session stats statement =
         Eval.Done
           (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
              (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
-      | None ->
-        let executed = run_select db select in
-        add_op_stats stats executed.root;
-        Eval.Done
-          (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
-             (Nfr.expansion_size executed.filtered)
-             (Nfr.cardinality executed.filtered)))
+      | None -> (
+        match sys_in_source db source with
+        | Some name ->
+          let _, filtered = run_sys_select db select name in
+          Eval.Done
+            (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+               (Nfr.expansion_size filtered) (Nfr.cardinality filtered))
+        | None ->
+          let executed = run_select db select in
+          add_op_stats stats executed.root;
+          Eval.Done
+            (Printf.sprintf "%d fact(s) in %d NFR tuple(s)"
+               (Nfr.expansion_size executed.filtered)
+               (Nfr.cardinality executed.filtered))))
     | Ast.Explain s -> Eval.Done (explain_text db s)
     | Ast.Explain_analyze s -> (
       match view_in_source db s.Ast.source with
@@ -1793,13 +1892,31 @@ and exec_auto session stats statement =
              "physical plan (executed):\n\
              \  access: view scan %s -> %d NFR tuple(s), %d returned"
              name (Nfr.cardinality filtered) (Nfr.cardinality shaped))
-      | None ->
-        let report = analyze_select db s in
-        Storage.Stats.add stats (stats_of_report report);
-        Eval.Done (render_analyze report))
+      | None -> (
+        match sys_in_source db s.Ast.source with
+        | Some name ->
+          let shaped, filtered = run_sys_select db s name in
+          Eval.Done
+            (Printf.sprintf
+               "physical plan (executed):\n\
+               \  access: system scan %s -> %d NFR tuple(s), %d returned"
+               name (Nfr.cardinality filtered) (Nfr.cardinality shaped))
+        | None ->
+          let report = analyze_select db s in
+          Storage.Stats.add stats (stats_of_report report);
+          Eval.Done (render_analyze report)))
+    | Ast.History (series, last) -> (
+      match Systab.history_result db.sys ~series ~last with
+      | Ok rows -> Eval.Rows rows
+      | Error msg -> error "%s" msg)
     | Ast.Analyze name ->
       if is_view db name then
         error "cannot ANALYZE view %s: statistics are collected on base tables"
+          name;
+      if is_system db name then
+        error
+          "cannot ANALYZE system table %s: statistics are collected on base \
+           tables"
           name;
       let entry = find_entry db name in
       let collected = collect_stats entry in
@@ -1826,6 +1943,7 @@ and exec_auto session stats statement =
       Eval.Rows (Eval.rows_of_spans (Obs.Span.spans_of_trace trace))
     | Ast.Show name ->
       if is_view db name then Eval.Rows (Views.Catalog.snapshot db.views name)
+      else if is_system db name then Eval.Rows (sys_snapshot db name)
       else Eval.Rows (Storage.Table.snapshot (find_table db name))
     | Ast.Begin ->
       Obs.Span.with_span (Obs.Span.Txn "begin") "txn-begin" @@ fun _ ->

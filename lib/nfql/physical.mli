@@ -144,6 +144,13 @@ val catalog : db -> Views.Catalog.t
 
 val is_view : db -> string -> bool
 
+val register_system_table : db -> string -> Systab.provider -> unit
+(** Install (or replace) a read-only system-table provider; see
+    {!Systab}. @raise Invalid_argument unless the name starts with
+    ['_']. *)
+
+val system_table_names : db -> string list
+
 val set_cdc_sink : db -> (Views.Catalog.event -> unit) -> unit
 (** Install the change-data-capture sink: called once per view per
     commit point with that commit's delta (in commit order, on the

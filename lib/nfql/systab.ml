@@ -1,0 +1,54 @@
+open Relational
+open Nfr_core
+
+type provider = unit -> Attribute.t list * Nfr.t
+type registry = (string, provider) Hashtbl.t
+
+let create () : registry = Hashtbl.create 4
+
+let is_system_name name = String.length name > 0 && name.[0] = '_'
+
+let register registry name provider =
+  if not (is_system_name name) then
+    invalid_arg
+      (Printf.sprintf "Systab.register: %S does not start with '_'" name);
+  Hashtbl.replace registry name provider
+
+let find registry name = Hashtbl.find_opt registry name
+
+let names registry =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort compare
+
+let read_only_error name =
+  Printf.sprintf "system table %s is read-only" name
+
+let reserved_error name =
+  Printf.sprintf "name %s is reserved for system tables (leading '_')" name
+
+let history_result registry ~series ~last =
+  match find registry "_metrics" with
+  | None -> Error "no metrics history: the _metrics system table is not installed"
+  | Some provider ->
+    let _, nfr = provider () in
+    let schema = Nfr.schema nfr in
+    let a_series = Attribute.make "Series" and a_ts = Attribute.make "Ts" in
+    if Schema.position_opt schema a_series = None
+       || Schema.position_opt schema a_ts = None
+    then Error "the _metrics provider lacks Series/Ts columns"
+    else begin
+      let want = Value.of_string series in
+      let rows =
+        Relation.tuples (Nfr.flatten nfr)
+        |> List.filter (fun t -> Value.equal (Tuple.field schema t a_series) want)
+        |> List.sort (fun a b ->
+               Value.compare (Tuple.field schema a a_ts) (Tuple.field schema b a_ts))
+      in
+      let rows =
+        match last with
+        | None -> rows
+        | Some n ->
+          let drop = List.length rows - n in
+          if drop <= 0 then rows else List.filteri (fun i _ -> i >= drop) rows
+      in
+      Ok (Nfr.of_ntuples schema (List.map Ntuple.of_tuple rows))
+    end

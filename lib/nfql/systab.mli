@@ -1,0 +1,52 @@
+(** Read-only system tables, shared by both evaluators.
+
+    A system table is a name starting with ['_'] resolved through a
+    per-database provider registry instead of the table catalog. A
+    provider returns the table's current contents on demand — a nest
+    application order plus a canonical NFR — so the server can expose
+    live self-monitoring state ([_metrics], [_slow_queries],
+    [_traces]) as ordinary queryable relations without the evaluators
+    knowing what stands behind them.
+
+    System tables accept SELECT / SELECT COUNT / SHOW / EXPLAIN and
+    reject all DML and DDL with a typed error, like views but provider
+    backed. *)
+
+open Relational
+open Nfr_core
+
+type provider = unit -> Attribute.t list * Nfr.t
+(** Current contents: the nest application order and the NFR (which
+    must be canonical for that order). Called once per statement. *)
+
+type registry
+
+val create : unit -> registry
+
+val is_system_name : string -> bool
+(** Does the name start with ['_']? Only such names may be
+    registered, and ordinary CREATE TABLE/VIEW may not use them. *)
+
+val register : registry -> string -> provider -> unit
+(** @raise Invalid_argument unless {!is_system_name} holds. Replaces
+    any previous provider under the same name. *)
+
+val find : registry -> string -> provider option
+val names : registry -> string list
+
+val read_only_error : string -> string
+(** The typed-error message every write path uses. *)
+
+val reserved_error : string -> string
+(** The message for CREATE TABLE/CREATE VIEW on a ['_'] name. *)
+
+val history_result :
+  registry ->
+  series:string ->
+  last:int option ->
+  (Nfr.t, string) result
+(** Execute [HISTORY 'series' [LAST n]] against the [_metrics]
+    provider: the series' flat samples (Series, Tier, Value, Ts)
+    ascending by timestamp, newest [n] when [last] is given. [Error]
+    when no [_metrics] provider is installed or its schema lacks
+    Series/Ts columns. *)

@@ -192,13 +192,31 @@ let summaries t =
     t.histograms []
   |> List.sort compare
 
+(* Exposition-format label escaping: exactly backslash, double quote
+   and newline are escaped. OCaml's %S is close but not it — it
+   writes tab/CR/non-printables as OCaml escapes, which a Prometheus
+   parser (including ours) reads back as different bytes. *)
+let escape_label_value v =
+  let buffer = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    v;
+  Buffer.contents buffer
+
 let render_labels labels =
   match labels with
   | [] -> ""
   | _ ->
     Printf.sprintf "{%s}"
       (String.concat ","
-         (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels))
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+            labels))
 
 let to_text t =
   let buffer = Buffer.create 256 in

@@ -88,6 +88,10 @@ val counters : t -> (string * int) list
 val labeled_counters : t -> ((string * (string * string) list) * int) list
 val gauges : t -> (string * float) list
 
+val summaries : t -> (string * summary) list
+(** One {!summary} per histogram with at least one observation, sorted
+    by name. *)
+
 val to_text : t -> string
 (** Human-readable dump: one [name value] line per counter and gauge,
     one summary line per histogram. *)

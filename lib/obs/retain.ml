@@ -1,0 +1,66 @@
+(* Slowest-N trace retention. The ring is a sorted list (slowest
+   first): capacities are small (default 16) and offers happen at most
+   once per traced request, so O(N) insertion is cheaper than any
+   heap would be at this size. *)
+
+type trace = {
+  trace_id : int;
+  root_label : string;
+  root_s : float;
+  spans : Span.t list;
+}
+
+type t = {
+  mutable cap : int;
+  mutable entries : trace list;  (* sorted by root_s descending *)
+  mutable n : int;
+}
+
+let default_capacity = 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Retain.create: capacity %d < 1" capacity);
+  { cap = capacity; entries = []; n = 0 }
+
+let capacity t = t.cap
+let count t = t.n
+let snapshot t = t.entries
+
+let min_root_s t =
+  if t.n < t.cap then 0.
+  else
+    match List.rev t.entries with [] -> 0. | last :: _ -> last.root_s
+
+let rec insert_sorted entry = function
+  | [] -> [ entry ]
+  | head :: rest ->
+    if entry.root_s > head.root_s then entry :: head :: rest
+    else head :: insert_sorted entry rest
+
+let drop_last entries =
+  match List.rev entries with
+  | [] -> []
+  | _ :: rest -> List.rev rest
+
+let offer t spans =
+  match List.find_opt (fun s -> s.Span.parent = 0 && s.Span.id <> 0) spans with
+  | None -> ()
+  | Some root ->
+    let root_s = Span.busy root in
+    if t.n < t.cap then begin
+      t.entries <-
+        insert_sorted
+          { trace_id = root.Span.trace; root_label = root.Span.label; root_s; spans }
+          t.entries;
+      t.n <- t.n + 1
+    end
+    else if root_s > min_root_s t then
+      t.entries <-
+        insert_sorted
+          { trace_id = root.Span.trace; root_label = root.Span.label; root_s; spans }
+          (drop_last t.entries)
+
+let clear t =
+  t.entries <- [];
+  t.n <- 0

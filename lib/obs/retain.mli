@@ -1,0 +1,51 @@
+(** Tail-sampled slow-trace retention.
+
+    The global {!Span} ring keeps the newest spans regardless of how
+    interesting they were — a slow request's tree is overwritten by
+    the next dozen fast ones. A retention ring instead keeps the [N]
+    {e slowest complete traces} seen so far, ranked by the root span's
+    busy time: after a traced request finishes, the server offers its
+    span tree here, and the tree survives as long as it stays among
+    the slowest. This is tail sampling — admission is decided after
+    the outcome is known.
+
+    Unlike {!Span}'s process-global ring, a retention ring is a plain
+    value owned by whoever samples (the server context), so tests can
+    drive one with synthetic spans. *)
+
+(** One retained trace: the root's identity and duration plus the
+    complete span list in ring order (parents before children). *)
+type trace = {
+  trace_id : int;
+  root_label : string;
+  root_s : float;  (** the root span's busy seconds — the rank key *)
+  spans : Span.t list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity {!default_capacity}.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val default_capacity : int
+(** 16 traces. *)
+
+val capacity : t -> int
+val count : t -> int
+
+val offer : t -> Span.t list -> unit
+(** [offer t spans] submits one complete trace (the spans of a single
+    finished request, ring order). The trace root is the unique span
+    with [parent = 0]; an empty or rootless list is ignored. The trace
+    is retained iff the ring has room or its root busy time beats the
+    current slowest-ranked minimum, evicting that minimum. *)
+
+val snapshot : t -> trace list
+(** Retained traces, slowest first. *)
+
+val min_root_s : t -> float
+(** The admission bar: the smallest retained root duration, 0. while
+    the ring has room. *)
+
+val clear : t -> unit

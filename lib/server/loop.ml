@@ -13,6 +13,8 @@ type t = {
   mutable listening : bool;
   mutable is_stopped : bool;
   mutable last_sync_at : float;  (* group-commit pacing *)
+  mutable last_tick_at : float;  (* stall watchdog *)
+  mutable last_scrape_at : float;  (* self-scrape pacing *)
   read_chunk : Bytes.t;
 }
 
@@ -48,6 +50,8 @@ let create ?config ?metrics ?now ?(on_shutdown = fun () -> ()) ~db ~listen () =
     listening = true;
     is_stopped = false;
     last_sync_at = neg_infinity;
+    last_tick_at = neg_infinity;
+    last_scrape_at = neg_infinity;
     read_chunk = Bytes.create 8192;
   }
 
@@ -86,11 +90,13 @@ let begin_shutdown t =
 let finish_shutdown t =
   Storage.Failpoint.hit "server.shutdown.flush";
   t.on_shutdown ();
+  Session.close_slow_log t.ctx;
   t.is_stopped <- true
 
 let close t =
   stop_listening t;
   List.iter (fun conn -> close_conn t conn) t.conns;
+  Session.close_slow_log t.ctx;
   t.is_stopped <- true
 
 (* Best-effort single write used for the Overloaded rejection: the
@@ -168,9 +174,31 @@ let write_conn t conn =
       | n -> Session.advance_output conn.session n)
   done
 
+(* Self-monitoring, once per tick: the stall watchdog (a tick that
+   took more than twice the nominal interval means something blocked
+   the single-threaded loop — a long statement, a slow fsync) and the
+   paced self-scrape into the metrics history. Both run on the context
+   clock, so a fake clock drives them deterministically in tests. *)
+let observe_tick t ~now =
+  let m = metrics t in
+  let config = Session.context_config t.ctx in
+  if t.last_tick_at > neg_infinity then begin
+    let tick = now -. t.last_tick_at in
+    Metrics.observe m "loop.tick.seconds" tick;
+    Metrics.set_gauge m "loop.lag" (max 0. (tick -. config.Session.tick_interval));
+    if tick > 2. *. config.Session.tick_interval then
+      Metrics.incr m "loop.stalls_total"
+  end;
+  t.last_tick_at <- now;
+  if now -. t.last_scrape_at >= config.Session.scrape_interval then begin
+    ignore (Session.scrape t.ctx ~now);
+    t.last_scrape_at <- now
+  end
+
 let step t timeout =
   if t.is_stopped then false
   else begin
+    observe_tick t ~now:(Session.context_now t.ctx);
     let draining = Session.draining t.ctx in
     if draining then begin
       (* Drop sessions with nothing left to flush. *)
@@ -267,4 +295,6 @@ let step t timeout =
     end
   end
 
-let run t = while step t 0.25 do () done
+let run t =
+  let tick = (Session.context_config t.ctx).Session.tick_interval in
+  while step t tick do () done

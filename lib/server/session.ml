@@ -1,3 +1,4 @@
+open Relational
 open Nfr_core
 
 type config = {
@@ -15,6 +16,19 @@ type config = {
           output exceeds this many bytes when a delta arrives is too
           slow to keep — it is unsubscribed and refused [Overloaded]
           rather than buffering without bound *)
+  scrape_interval : float;
+      (** seconds between self-scrapes of the registry into the
+          metrics history (the [_metrics] system table) *)
+  tick_interval : float;
+      (** the loop's nominal select timeout; the stall watchdog flags
+          any tick that took more than twice this *)
+  trace_capacity : int;  (** span ring size ([--trace-capacity]) *)
+  trace_retain : int;
+      (** slowest complete traces kept by tail sampling — the
+          [_traces] system table's depth *)
+  slow_log_file : string option;
+      (** JSON-lines sink for slow-query entries, appended and flushed
+          per entry; [None] keeps the in-memory ring only *)
 }
 
 let default_config =
@@ -36,6 +50,11 @@ let default_config =
     wal_sync_interval = 0.;
     wal_sync_max_batch = 64;
     cdc_max_buffered = 1 lsl 20;
+    scrape_interval = 5.;
+    tick_interval = 0.25;
+    trace_capacity = 4096;
+    trace_retain = Obs.Retain.default_capacity;
+    slow_log_file = None;
   }
 
 (* One slow-query log entry: enough to reproduce and to correlate —
@@ -43,6 +62,7 @@ let default_config =
    same statement text, the operator profile and plan snapshot say
    where the time plausibly went without re-running anything. *)
 type slow_entry = {
+  slow_at : float;  (* when the statement started (context clock) *)
   slow_text : string;
   slow_seconds : float;
   slow_trace : int;  (* 0 when no trace scope was open *)
@@ -60,6 +80,13 @@ type context = {
   config : config;
   now : unit -> float;
   slow : slow_entry Queue.t;
+  hist : Hist.History.t;
+      (** the metrics history — what the loop scrapes into and the
+          [_metrics] system table / HISTORY statement read *)
+  retain : Obs.Retain.t;
+      (** tail-sampled slowest complete traces ([_traces]) *)
+  mutable slow_out : out_channel option;
+      (** the [--slow-query-log] JSON-lines sink, if any *)
   cdc : Views.Catalog.event Queue.t;
       (** committed view deltas awaiting fan-out — filled by the
           executor's CDC sink in commit order, drained by the loop
@@ -88,8 +115,11 @@ let declare_series m =
       "view.salvage_total"; "view.orphaned_total"; "view.compositions_total";
       "cdc.subscribe_total"; "cdc.deltas_out"; "cdc.dropped_slow";
     ];
+  Metrics.declare m "loop.stalls_total";
   Metrics.declare_histogram m "query.seconds";
   Metrics.declare_histogram m "planner.est_error";
+  Metrics.declare_histogram m "loop.tick.seconds";
+  Metrics.declare_histogram m "obs.scrape.seconds";
   Metrics.declare_histogram m "wal.fsync.seconds";
   Metrics.declare_histogram m "wal.flush.seconds";
   Metrics.declare_histogram m "wal.sync.seconds";
@@ -99,11 +129,92 @@ let declare_series m =
     Metrics.set_gauge m "wal.bytes_unsynced" 0.;
   if Metrics.gauge m "txn.active" = 0. then Metrics.set_gauge m "txn.active" 0.;
   if Metrics.gauge m "cdc.subscribers" = 0. then
-    Metrics.set_gauge m "cdc.subscribers" 0.
+    Metrics.set_gauge m "cdc.subscribers" 0.;
+  if Metrics.gauge m "loop.lag" = 0. then Metrics.set_gauge m "loop.lag" 0.;
+  if Metrics.gauge m "obs.history_series" = 0. then
+    Metrics.set_gauge m "obs.history_series" 0.
+
+(* The [_slow_queries] system table: the in-memory ring as a canonical
+   NFR, rebuilt per statement (the ring is small — [slow_log_size]). *)
+let slow_schema =
+  Schema.of_names
+    [
+      ("At", Value.Tfloat); ("Seconds", Value.Tfloat); ("Trace", Value.Tint);
+      ("Hash", Value.Tstring); ("Statement", Value.Tstring);
+    ]
+
+let slow_order = Schema.attributes slow_schema
+
+let slow_queries_nfr slow =
+  let flat =
+    Queue.fold
+      (fun acc e ->
+        Nfr.add acc
+          (Ntuple.of_tuple
+             (Tuple.make slow_schema
+                [
+                  Value.of_float e.slow_at; Value.of_float e.slow_seconds;
+                  Value.of_int e.slow_trace; Value.of_string e.slow_hash;
+                  Value.of_string e.slow_text;
+                ])))
+      (Nfr.empty slow_schema) slow
+  in
+  (slow_order, Nest.canonicalize flat slow_order)
+
+(* The [_traces] system table: one row per span of every retained
+   trace, the root's identity and duration repeated so a WHERE over
+   [Root]/[RootS] selects whole trees. *)
+let traces_schema =
+  Schema.of_names
+    [
+      ("Trace", Value.Tint); ("Root", Value.Tstring); ("RootS", Value.Tfloat);
+      ("Span", Value.Tint); ("Parent", Value.Tint); ("Event", Value.Tstring);
+      ("Label", Value.Tstring); ("Seconds", Value.Tfloat); ("Rows", Value.Tint);
+    ]
+
+let traces_order = Schema.attributes traces_schema
+
+let traces_nfr retain =
+  let flat =
+    List.fold_left
+      (fun acc (trace : Obs.Retain.trace) ->
+        List.fold_left
+          (fun acc (sp : Obs.Span.t) ->
+            Nfr.add acc
+              (Ntuple.of_tuple
+                 (Tuple.make traces_schema
+                    [
+                      Value.of_int trace.Obs.Retain.trace_id;
+                      Value.of_string trace.Obs.Retain.root_label;
+                      Value.of_float trace.Obs.Retain.root_s;
+                      Value.of_int sp.Obs.Span.id;
+                      Value.of_int sp.Obs.Span.parent;
+                      Value.of_string (Obs.Span.event_name sp.Obs.Span.event);
+                      Value.of_string sp.Obs.Span.label;
+                      Value.of_float (Obs.Span.busy sp);
+                      Value.of_int sp.Obs.Span.rows;
+                    ])))
+          acc trace.Obs.Retain.spans)
+      (Nfr.empty traces_schema)
+      (Obs.Retain.snapshot retain)
+  in
+  (traces_order, Nest.canonicalize flat traces_order)
 
 let make_context ?(config = default_config) ?metrics ?now db =
+  if config.trace_capacity < 1 then
+    invalid_arg "Session.make_context: trace_capacity must be at least 1";
+  if config.trace_retain < 1 then
+    invalid_arg "Session.make_context: trace_retain must be at least 1";
+  if config.scrape_interval <= 0. then
+    invalid_arg "Session.make_context: scrape_interval must be positive";
+  if config.tick_interval <= 0. then
+    invalid_arg "Session.make_context: tick_interval must be positive";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   declare_series metrics;
+  (* Resizing clears the span ring, so only touch it when the config
+     actually asks for a different capacity. *)
+  if Obs.Span.capacity () <> config.trace_capacity then
+    Obs.Span.set_capacity config.trace_capacity;
   let ctx =
     {
       db;
@@ -111,28 +222,112 @@ let make_context ?(config = default_config) ?metrics ?now db =
       config;
       now = (match now with Some f -> f | None -> Unix.gettimeofday);
       slow = Queue.create ();
+      hist = Hist.History.create ();
+      retain = Obs.Retain.create ~capacity:config.trace_retain ();
+      slow_out =
+        Option.map
+          (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          config.slow_log_file;
       cdc = Queue.create ();
       is_draining = false;
       wants_shutdown = false;
     }
   in
   Nfql.Physical.set_cdc_sink db (fun event -> Queue.push event ctx.cdc);
+  Nfql.Physical.register_system_table db "_metrics" (fun () ->
+      (Hist.History.order, Hist.History.nfr ctx.hist));
+  Nfql.Physical.register_system_table db "_slow_queries" (fun () ->
+      slow_queries_nfr ctx.slow);
+  Nfql.Physical.register_system_table db "_traces" (fun () ->
+      traces_nfr ctx.retain);
   ctx
 
 let context_metrics ctx = ctx.metrics
 let context_config ctx = ctx.config
 let context_now ctx = ctx.now ()
+let context_db ctx = ctx.db
+let context_hist ctx = ctx.hist
+let context_retain ctx = ctx.retain
+
+(* One self-scrape: sample every registry series into the history at
+   the context clock's [now], charging the real wall-clock cost to
+   [obs.scrape.seconds] and refreshing the series-count gauge. *)
+let scrape ctx ~now =
+  let started = Unix.gettimeofday () in
+  let sampled = Hist.History.scrape ctx.hist ctx.metrics ~now in
+  Metrics.observe ctx.metrics "obs.scrape.seconds"
+    (Unix.gettimeofday () -. started);
+  Metrics.set_gauge ctx.metrics "obs.history_series"
+    (float_of_int (Hist.History.series_count ctx.hist));
+  sampled
+
+let close_slow_log ctx =
+  match ctx.slow_out with
+  | None -> ()
+  | Some out ->
+    ctx.slow_out <- None;
+    (try close_out out with Sys_error _ -> ())
+
 let slow_log ctx = List.of_seq (Queue.to_seq ctx.slow)
 let drain ctx = ctx.is_draining <- true
 let draining ctx = ctx.is_draining
 let shutdown_requested ctx = ctx.wants_shutdown
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+(* One slow entry as a JSON line — the [--slow-query-log] sink's
+   format. Kept flat and self-describing so `jq` needs no schema. *)
+let slow_entry_json entry =
+  let ops =
+    String.concat ","
+      (List.map
+         (fun (label, rows) ->
+           Printf.sprintf "{\"op\":\"%s\",\"rows\":%d}" (json_escape label) rows)
+         entry.slow_ops)
+  in
+  let est =
+    match entry.slow_est with
+    | None -> ""
+    | Some (est, actual) ->
+      Printf.sprintf ",\"est_rows\":%.1f,\"actual_rows\":%d" est actual
+  in
+  Printf.sprintf
+    "{\"at\":%.6f,\"seconds\":%.6f,\"trace\":%d,\"hash\":\"%s\",\"statement\":\"%s\",\"ops\":[%s]%s}"
+    entry.slow_at entry.slow_seconds entry.slow_trace
+    (json_escape entry.slow_hash)
+    (json_escape entry.slow_text)
+    ops est
 
 let note_slow ctx entry =
   Metrics.incr ctx.metrics "queries.slow";
   Queue.push entry ctx.slow;
   while Queue.length ctx.slow > ctx.config.slow_log_size do
     ignore (Queue.pop ctx.slow)
-  done
+  done;
+  match ctx.slow_out with
+  | None -> ()
+  | Some out ->
+    (* Flush per entry: the sink exists to be tailed while the server
+       is stuck, so buffering until exit would defeat it. *)
+    (try
+       output_string out (slow_entry_json entry);
+       output_char out '\n';
+       flush out
+     with Sys_error _ -> ())
 
 let render_slow_entry buffer entry =
   Buffer.add_string buffer
@@ -331,8 +526,8 @@ let plan_snapshot db = function
   | Nfql.Ast.Create _ | Nfql.Ast.Drop _ | Nfql.Ast.Create_view _
   | Nfql.Ast.Drop_view _ | Nfql.Ast.Insert _ | Nfql.Ast.Delete_values _
   | Nfql.Ast.Delete_where _ | Nfql.Ast.Update_set _ | Nfql.Ast.Select_count _
-  | Nfql.Ast.Analyze _ | Nfql.Ast.Trace _ | Nfql.Ast.Show _ | Nfql.Ast.Begin
-  | Nfql.Ast.Commit | Nfql.Ast.Rollback ->
+  | Nfql.Ast.Analyze _ | Nfql.Ast.Trace _ | Nfql.Ast.Show _ | Nfql.Ast.History _
+  | Nfql.Ast.Begin | Nfql.Ast.Commit | Nfql.Ast.Rollback ->
     None
 
 let run_query t source =
@@ -402,6 +597,7 @@ let run_query t source =
               let text = Format.asprintf "%a" Nfql.Ast.pp_statement statement in
               note_slow ctx
                 {
+                  slow_at = started;
                   slow_text = text;
                   slow_seconds = elapsed;
                   slow_trace =
@@ -580,12 +776,15 @@ let rec parse_frames t =
          top), and everything the handler does — parse, statement,
          operators, WAL — nests beneath it. *)
       (if Obs.Span.enabled () then
-         Obs.Span.in_trace (fun _ ->
+         Obs.Span.in_trace (fun trace ->
              Obs.Span.with_span Obs.Span.Frame_rx
                (Protocol.message_name message) (fun span ->
                  Obs.Span.add_bytes span consumed_bytes;
                  Obs.Span.add_busy span (Obs.Span.now () -. decode_started);
-                 handle t message))
+                 handle t message);
+             (* Tail sampling: the request is complete, so its rank is
+                known — offer the whole tree to the slow-trace ring. *)
+             Obs.Retain.offer t.ctx.retain (Obs.Span.spans_of_trace trace))
        else handle t message);
       (* Durability gate: if handling this frame left WAL bytes
          unsynced (a write on a [synchronous:false] table), its reply

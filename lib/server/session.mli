@@ -44,13 +44,29 @@ type config = {
       (** CDC admission budget per subscriber: a session whose queued
           output exceeds this many bytes when a delta arrives is
           evicted ([Err Overloaded]) instead of buffering unboundedly *)
+  scrape_interval : float;
+      (** seconds between self-scrapes of the metrics registry into
+          the history behind the [_metrics] system table *)
+  tick_interval : float;
+      (** the loop's nominal select timeout; a tick exceeding twice
+          this counts as a stall ([loop.stalls_total]) *)
+  trace_capacity : int;
+      (** span ring size — how many spans recent traces may hold *)
+  trace_retain : int;
+      (** how many slowest complete traces tail sampling retains (the
+          [_traces] system table's depth) *)
+  slow_log_file : string option;
+      (** append slow-query entries as JSON lines to this file (one
+          object per entry, flushed immediately); [None] disables *)
 }
 
 val default_config : config
 (** 64 connections, 1 MiB frames, 30 s idle (10 s idle-in-transaction),
     10 s requests, 100 ms slow-query threshold, 64 slow-log entries,
     group sync every tick (interval 0) capped at 64 waiters, 1 MiB CDC
-    buffering budget. *)
+    buffering budget, 5 s scrapes, 250 ms ticks, 4096-span ring,
+    {!Obs.Retain.default_capacity} retained traces, no slow-log
+    file. *)
 
 (** One slow-query log entry. [slow_trace] is the request's trace id
     (0 when tracing was off — nothing to correlate), [slow_hash] an
@@ -61,6 +77,7 @@ val default_config : config
     the last select the statement ran — a slow query whose estimate
     was badly off points at stale statistics. *)
 type slow_entry = {
+  slow_at : float;  (** when the statement started (context clock) *)
   slow_text : string;
   slow_seconds : float;
   slow_trace : int;
@@ -84,13 +101,42 @@ val make_context :
     [metrics] defaults to a fresh registry; either way the series a
     monitoring pipeline alerts on (queries, admission, frames, WAL,
     the query-latency histogram, the open-connections gauge) are
-    pre-declared so an idle server scrapes complete. *)
+    pre-declared so an idle server scrapes complete.
+
+    Also installs the self-monitoring surfaces on [db]: the [_metrics]
+    (scraped history), [_slow_queries] (the in-memory ring) and
+    [_traces] (tail-sampled slowest traces) system tables, sizes the
+    span ring to [trace_capacity] (only when it differs — resizing
+    clears it), and opens the [slow_log_file] sink when configured.
+
+    @raise Invalid_argument when [trace_capacity] or [trace_retain] is
+    below 1, or [scrape_interval] / [tick_interval] is not positive. *)
 
 val context_metrics : context -> Metrics.t
 val context_config : context -> config
 
 val context_now : context -> float
 (** The context's clock reading (injected or wall). *)
+
+val context_db : context -> Nfql.Physical.db
+
+val context_hist : context -> Hist.History.t
+(** The metrics history the loop scrapes into ([_metrics]). *)
+
+val context_retain : context -> Obs.Retain.t
+(** The tail-sampled slow-trace ring ([_traces]). *)
+
+val scrape : context -> now:float -> int
+(** Sample every registry series into the history at [now] (the
+    context clock's reading, so fake clocks downsample
+    deterministically), charging the real wall-clock cost to
+    [obs.scrape.seconds] and refreshing the [obs.history_series]
+    gauge. Returns the number of series sampled. The loop calls this
+    every [scrape_interval]. *)
+
+val close_slow_log : context -> unit
+(** Close the [slow_log_file] sink, if open. Idempotent; the loop
+    calls it on shutdown. *)
 
 val slow_log : context -> slow_entry list
 (** Most recent slow statements, newest last; a ring capped at

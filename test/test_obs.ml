@@ -143,6 +143,58 @@ let test_prometheus_roundtrip () =
     Alcotest.(check (float 0.)) "+Inf bucket = count" 2.
       (List.nth values (List.length values - 1))
 
+(* Label values drawn from the characters the exposition format has
+   to escape (backslash, double quote, newline) plus structural noise
+   ({, }, =, comma) that must pass through untouched. *)
+let label_value =
+  QCheck.make
+    ~print:(Printf.sprintf "%S")
+    QCheck.Gen.(
+      string_size ~gen:
+        (oneofl [ '\\'; '"'; '\n'; '\t'; 'a'; 'z'; ' '; '='; ','; '{'; '}' ])
+        (int_range 0 12))
+
+let prop_label_escape_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"label values survive the exposition round-trip"
+    QCheck.(pair label_value label_value)
+    (fun (v1, v2) ->
+      let r = R.create () in
+      R.incr_labeled r "req.total" [ ("path", v1); ("zone", v2) ];
+      match R.parse_prometheus (R.to_prometheus r) with
+      | Error _ -> false
+      | Ok samples ->
+        List.exists
+          (fun s ->
+            s.R.s_name = "nf2_req_total"
+            && List.sort compare s.R.s_labels
+               = List.sort compare [ ("path", v1); ("zone", v2) ]
+            && s.R.s_value = 1.)
+          samples)
+
+(* The same label set in any order is one series, and it renders as
+   exactly one exposition line with labels in a stable (sorted)
+   order. *)
+let test_label_order_stable () =
+  let r = R.create () in
+  R.incr_labeled r "frames.in" [ ("type", "query"); ("proto", "v1") ];
+  R.incr_labeled r "frames.in" [ ("proto", "v1"); ("type", "query") ];
+  Alcotest.(check int) "one counter" 2
+    (R.get_labeled r "frames.in" [ ("type", "query"); ("proto", "v1") ]);
+  match R.parse_prometheus (R.to_prometheus r) with
+  | Error e -> Alcotest.fail ("exposition unparseable: " ^ e)
+  | Ok samples -> (
+    match List.filter (fun s -> s.R.s_name = "nf2_frames_in") samples with
+    | [ s ] ->
+      Alcotest.(check (float 0.)) "both increments landed" 2. s.R.s_value;
+      Alcotest.(check (list (pair string string)))
+        "labels in stable sorted order"
+        [ ("proto", "v1"); ("type", "query") ]
+        s.R.s_labels
+    | hits ->
+      Alcotest.failf "expected one nf2_frames_in series, found %d"
+        (List.length hits))
+
 let prop_prometheus_arbitrary_names =
   QCheck.Test.make ~count:200 ~name:"exposition parses for arbitrary names"
     QCheck.(list_of_size (Gen.int_range 1 10) (pair printable_string small_nat))
@@ -227,8 +279,13 @@ let () =
         @ [ Alcotest.test_case "empty histogram" `Quick test_empty_histogram ]
       );
       ( "prometheus",
-        Alcotest.test_case "round-trip" `Quick test_prometheus_roundtrip
-        :: props [ prop_prometheus_arbitrary_names ] );
+        [
+          Alcotest.test_case "round-trip" `Quick test_prometheus_roundtrip;
+          Alcotest.test_case "label order stable" `Quick
+            test_label_order_stable;
+        ]
+        @ props
+            [ prop_prometheus_arbitrary_names; prop_label_escape_roundtrip ] );
       ( "spans",
         props [ prop_ring_invariants ]
         @ [

@@ -931,6 +931,99 @@ let test_txn_idle_in_txn_reaped () =
           Alcotest.check relation_testable "write rolled back" start_relation
             (Nfr.flatten (query_rows loop rc2 "select * from t"))))
 
+(* ------------------------------------------------------------------ *)
+(* Self-monitoring: config validation, stall watchdog, slow-log sink   *)
+(* ------------------------------------------------------------------ *)
+
+let test_observability_config_validation () =
+  List.iter
+    (fun config ->
+      match Server.Session.make_context ~config (make_db ()) with
+      | _ -> Alcotest.fail "invalid observability config accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      { Server.Session.default_config with trace_capacity = 0 };
+      { Server.Session.default_config with trace_capacity = -4 };
+      { Server.Session.default_config with trace_retain = 0 };
+      { Server.Session.default_config with trace_retain = -1 };
+      { Server.Session.default_config with scrape_interval = 0. };
+      { Server.Session.default_config with tick_interval = -0.5 };
+    ]
+
+(* The stall watchdog runs on the context clock: a fake-clock jump
+   longer than twice the tick interval is a stall, a normal tick is
+   not. *)
+let test_loop_stall_watchdog () =
+  let clock = ref 500. in
+  with_loop ~now:(fun () -> !clock) (fun loop ->
+      let m = Server.Loop.metrics loop in
+      let tick = Server.Session.default_config.Server.Session.tick_interval in
+      ignore (Server.Loop.step loop 0.002);
+      clock := !clock +. (tick /. 2.);
+      ignore (Server.Loop.step loop 0.002);
+      Alcotest.(check int) "half-interval tick is not a stall" 0
+        (Server.Metrics.get m "loop.stalls_total");
+      Alcotest.(check (float 1e-9)) "no lag" 0.
+        (Server.Metrics.gauge m "loop.lag");
+      clock := !clock +. (3. *. tick);
+      ignore (Server.Loop.step loop 0.002);
+      Alcotest.(check int) "3x-interval tick is a stall" 1
+        (Server.Metrics.get m "loop.stalls_total");
+      Alcotest.(check bool) "lag gauge shows the overshoot" true
+        (Server.Metrics.gauge m "loop.lag" > tick);
+      clock := !clock +. tick;
+      ignore (Server.Loop.step loop 0.002);
+      Alcotest.(check int) "recovery tick adds no stall" 1
+        (Server.Metrics.get m "loop.stalls_total"))
+
+(* With the threshold at zero every statement is slow: the JSON-lines
+   sink must receive one parseable-looking object per statement, and
+   the in-memory ring must agree. *)
+let test_slow_query_log_sink () =
+  let path = Filename.temp_file "nf2d_slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let config =
+        {
+          Server.Session.default_config with
+          slow_query_s = 0.;
+          slow_log_file = Some path;
+        }
+      in
+      with_loop ~config (fun loop ->
+          let rc = rc_connect loop in
+          Fun.protect ~finally:(fun () -> rc_close rc) (fun () ->
+              ignore (rc_query loop rc "select * from t");
+              ignore (rc_query loop rc "select * from t where A = 'a1'"));
+          let ctx = Server.Loop.context loop in
+          Alcotest.(check int) "ring has both statements" 2
+            (List.length (Server.Session.slow_log ctx));
+          Server.Session.close_slow_log ctx);
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one JSON line per slow statement" 2
+        (List.length lines);
+      List.iter
+        (fun line ->
+          Alcotest.(check bool) "line is a JSON object" true
+            (String.length line > 2
+            && line.[0] = '{'
+            && line.[String.length line - 1] = '}');
+          List.iter
+            (fun field ->
+              Alcotest.(check bool) ("field " ^ field) true
+                (contains_substring line field))
+            [ "\"at\""; "\"seconds\""; "\"trace\""; "\"hash\"";
+              "\"statement\""; "\"ops\"" ])
+        lines)
+
 (* Crash-test the serve path with the storage failpoint registry:
    an armed Crash at the per-frame site simulates the process dying
    mid-request; a WAL-backed table must recover to exactly the
@@ -1029,6 +1122,12 @@ let () =
             test_loop_drain_refuses_new_requests;
           Alcotest.test_case "failpoint crash mid-serve, WAL recovers" `Quick
             test_loop_failpoint_crash_and_recover;
+          Alcotest.test_case "observability config validated" `Quick
+            test_observability_config_validation;
+          Alcotest.test_case "fake-clock stall watchdog" `Quick
+            test_loop_stall_watchdog;
+          Alcotest.test_case "slow-query JSON-lines sink" `Quick
+            test_slow_query_log_sink;
         ] );
       ( "txn",
         [
