@@ -1,4 +1,4 @@
-.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench obsgate histtest histbench netbench netsmoke plannertest plannerbench txntest txnbench pooltest poolbench viewtest viewbench viewsmoke bench benchsmoke reports timings examples doc clean loc
+.PHONY: all build test crashtest servetest servesmoke obstest obssmoke obsbench obsgate histtest histbench netbench netsmoke repltest replbench replsmoke plannertest plannerbench txntest txnbench pooltest poolbench viewtest viewbench viewsmoke bench benchsmoke reports timings examples doc clean loc
 
 # Fixed seed so a failing matrix cell reproduces byte-for-byte;
 # override with CRASH_SEED=n make crashtest.
@@ -60,6 +60,23 @@ netbench:
 
 netsmoke:
 	dune exec bench/main.exe -- netsmoke
+
+# Replication: the in-process bootstrap/catch-up/victim-kill/promotion
+# suite, the global-commit-manifest crash matrix, and the 3-node soak
+# that asserts byte-identical replicas after the drain.
+repltest:
+	dune exec test/test_repl.exe
+	CRASH_SEED=$(CRASH_SEED) dune exec test/test_crash.exe -- test manifest
+	ALCOTEST_SLOW=1 dune exec test/test_netsoak.exe
+
+# Replication bench: primary throughput alone vs with a live replica,
+# drain time and steady-state lag (writes BENCH_repl.json). replsmoke
+# is the fast CI variant.
+replbench:
+	dune exec bench/main.exe -- repl
+
+replsmoke:
+	dune exec bench/main.exe -- replsmoke
 
 # Cost-based planner: ANALYZE statistics, plan-cache behaviour and the
 # access-path regressions.

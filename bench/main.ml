@@ -384,6 +384,8 @@ let () =
   if mode = "reports" || mode = "all" then Bench_reports.Reports.run_all ();
   if mode = "net" then Netbench.run ();
   if mode = "netsmoke" then Netbench.run ~conns:4 ~ops:300 ();
+  if mode = "repl" then Replbench.run ();
+  if mode = "replsmoke" then Replbench.run ~conns:4 ~ops:300 ();
   if mode = "obs" then Obsbench.run ();
   if mode = "obsgate" then Obsbench.run ~gate:true ();
   if mode = "hist" then Histbench.run ();

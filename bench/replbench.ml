@@ -1,0 +1,164 @@
+(* R1: WAL-shipping replication bench.
+
+   Two closed-loop passes over the same insert-heavy trace: a lone
+   primary, then a primary with one live read replica tailing it over
+   loopback. Reports the primary's throughput in both regimes (the
+   shipping overhead the primary pays per commit), the replica's drain
+   time once the writers stop, and the steady-state value of the
+   nf2_replica_lag_seconds gauge scraped from the replica itself. The
+   replica's final row count is checked against the primary's — a fast
+   replica that lost entries fails loudly. *)
+
+open Relational
+
+let schema = Schema.strings [ "A"; "B"; "C" ]
+
+let listen_socket () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 128;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, port)
+
+let fork_primary ~listen_fd =
+  match Unix.fork () with
+  | 0 ->
+    let exit_code =
+      try
+        let db = Nfql.Physical.create () in
+        Nfql.Physical.add_table db "t"
+          (Storage.Table.load
+             ~order:(Schema.attributes schema)
+             (Relation.empty schema));
+        let loop = Server.Loop.create ~db ~listen:(`Fd listen_fd) () in
+        Server.Loop.run loop;
+        0
+      with _ -> 1
+    in
+    Unix._exit exit_code
+  | pid ->
+    Unix.close listen_fd;
+    pid
+
+let fork_replica ~listen_fd ~primary_port =
+  match Unix.fork () with
+  | 0 ->
+    let exit_code =
+      try
+        let db = Nfql.Physical.create () in
+        let loop = Server.Loop.create ~db ~listen:(`Fd listen_fd) () in
+        Server.Loop.attach_upstream loop ~host:"127.0.0.1" ~port:primary_port;
+        Server.Loop.run loop;
+        0
+      with _ -> 1
+    in
+    Unix._exit exit_code
+  | pid ->
+    Unix.close listen_fd;
+    pid
+
+let row_count client =
+  match (Server.Client.query_exn client "select * from t").results with
+  | [ { Server.Client.reply = `Rows (row_schema, ntuples); _ } ] ->
+    Relation.cardinality
+      (Nfr_core.Nfr.flatten (Nfr_core.Nfr.of_ntuples row_schema ntuples))
+  | _ -> failwith "replbench: unexpected SELECT response shape"
+
+(* The last sample line for [name] in a Prometheus scrape, as a float
+   (skipping # HELP/# TYPE headers). *)
+let prom_gauge scrape name =
+  let value = ref nan in
+  String.split_on_char '\n' scrape
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ metric; v ] when metric = name -> (
+           match float_of_string_opt v with
+           | Some f -> value := f
+           | None -> ())
+         | _ -> ());
+  !value
+
+let drive ~port ~conns trace =
+  let clients = Array.init conns (fun _ -> Server.Client.connect ~port ()) in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i op ->
+      ignore
+        (Server.Client.query_exn
+           clients.(i mod conns)
+           (Workload.Trace.nfql_statement ~table:"t" op)))
+    trace;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (clients, elapsed)
+
+let shutdown_and_reap clients pid what =
+  Server.Client.shutdown clients.(0);
+  Array.iter Server.Client.close clients;
+  let _, status = Unix.waitpid [] pid in
+  if status <> Unix.WEXITED 0 then failwith ("replbench: " ^ what ^ " died")
+
+let run ?(conns = 8) ?(ops = 2000) ?(seed = 1983) () =
+  Format.printf
+    "@.== R1: WAL-shipping replication — %d connections, %d ops ==@." conns ops;
+  let trace =
+    Workload.Trace.mixed ~seed ~insert_ratio:0.9 (Relation.empty schema) ~ops
+  in
+  (* Pass 1: lone primary. *)
+  let fd, port = listen_socket () in
+  let primary_pid = fork_primary ~listen_fd:fd in
+  let clients, single_s = drive ~port ~conns trace in
+  shutdown_and_reap clients primary_pid "single-node primary";
+  (* Pass 2: primary with a live replica tailing every commit. *)
+  let fd, port = listen_socket () in
+  let replica_fd, replica_port = listen_socket () in
+  let primary_pid = fork_primary ~listen_fd:fd in
+  let replica_pid = fork_replica ~listen_fd:replica_fd ~primary_port:port in
+  let clients, repl_s = drive ~port ~conns trace in
+  let expected_rows = row_count clients.(0) in
+  (* Drain: the replica has converged when it holds the primary's rows. *)
+  let replica = Server.Client.connect ~port:replica_port () in
+  let drain_t0 = Unix.gettimeofday () in
+  let rec drain tries =
+    if row_count replica = expected_rows then ()
+    else if tries > 600 then failwith "replbench: replica never converged"
+    else begin
+      Unix.sleepf 0.01;
+      drain (tries + 1)
+    end
+  in
+  drain 0;
+  let drain_s = Unix.gettimeofday () -. drain_t0 in
+  let lag =
+    prom_gauge (Server.Client.metrics_prom replica) "nf2_replica_lag_seconds"
+  in
+  let rows_ok = row_count replica = expected_rows in
+  Server.Client.shutdown replica;
+  Server.Client.close replica;
+  (* The replica's loop exits once its upstream disappears or it is
+     shut down; shut it down before the primary so the primary never
+     sees the replica vanish mid-ship. *)
+  let _, replica_status = Unix.waitpid [] replica_pid in
+  if replica_status <> Unix.WEXITED 0 then failwith "replbench: replica died";
+  shutdown_and_reap clients primary_pid "replicated primary";
+  let throughput elapsed = float_of_int ops /. elapsed in
+  Format.printf "single-node: %.0f op/s; with replica: %.0f op/s (%.2fx)@."
+    (throughput single_s) (throughput repl_s) (repl_s /. single_s);
+  Format.printf "drain %.4fs, steady-state lag %.6fs, replica rows ok: %b@."
+    drain_s lag rows_ok;
+  let report =
+    Printf.sprintf
+      "{\"ops\":%d,\"conns\":%d,\"single_node_s\":%.3f,\
+       \"single_node_ops\":%.0f,\"replicated_s\":%.3f,\
+       \"replicated_ops\":%.0f,\"overhead_ratio\":%.3f,\"drain_s\":%.4f,\
+       \"lag_seconds\":%.6f,\"replica_rows_ok\":%b}"
+      ops conns single_s (throughput single_s) repl_s (throughput repl_s)
+      (repl_s /. single_s) drain_s lag rows_ok
+  in
+  Format.printf "report: %s@." report;
+  Bench_out.write "repl" report;
+  if not rows_ok then failwith "replbench: replica state mismatch"

@@ -697,10 +697,21 @@ let serve_cmd =
              statement hash, per-operator rows, est-vs-actual), flushed per \
              entry")
   in
+  let replica_of_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replica-of" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Start as a read replica of the primary at HOST:PORT: bootstrap \
+             its full state over the wire, apply its commit stream, refuse \
+             local writes with a typed read-only error ('nfr_cli promote' \
+             detaches into a writable primary)")
+  in
   let run loads port max_connections idle_timeout idle_in_txn_timeout
       request_timeout max_payload slow_query_s wal_dir wal_sync_interval
       wal_sync_max_batch trace scrape_interval trace_capacity trace_retain
-      slow_query_log =
+      slow_query_log replica_of =
     if trace then Obs.Span.set_enabled true;
     if scrape_interval <= 0. then
       or_die (Error "--scrape-interval must be positive");
@@ -732,6 +743,18 @@ let serve_cmd =
         Nfql.Physical.attach_views_wal db
           ~path:(Filename.concat dir "_views.wal"))
       wal_dir;
+    (* The global commit manifest: the single commit point for
+       multi-table transactions. Appended at COMMIT, fsynced by the
+       same group-commit tick as the table WALs it covers (tables
+       first, manifest last), so an acked commit is durable in every
+       participating table or rolled back from all of them. *)
+    Option.iter
+      (fun dir ->
+        let manifest =
+          Storage.Manifest.open_log (Filename.concat dir "_commit.wal")
+        in
+        Nfql.Physical.attach_manifest ~synchronous:false db manifest)
+      wal_dir;
     let config =
       {
         Server.Session.max_connections;
@@ -762,7 +785,16 @@ let serve_cmd =
           (try Storage.Table.checkpoint table
            with Storage.Storage_error.Error _ -> ());
           Storage.Table.close table)
-        !tables
+        !tables;
+      (* Every table just checkpointed (its WAL truncated past all
+         recorded transactions), so resetting the manifest is safe —
+         nothing provisional remains for it to arbitrate. *)
+      Option.iter
+        (fun manifest ->
+          (try Storage.Manifest.truncate manifest
+           with Storage.Storage_error.Error _ -> ());
+          Storage.Manifest.close manifest)
+        (Nfql.Physical.manifest db)
     in
     let loop =
       try
@@ -773,8 +805,37 @@ let serve_cmd =
           (Error (Printf.sprintf "cannot listen on port %d: %s" port
                     (Unix.error_message err)))
     in
-    Format.printf "nf2d listening on 127.0.0.1:%d (%d table(s) loaded)@."
-      (Server.Loop.port loop) (List.length loads);
+    Option.iter
+      (fun spec ->
+        let host, upstream_port =
+          match String.rindex_opt spec ':' with
+          | Some i -> (
+            let host = String.sub spec 0 i in
+            let tail = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt tail with
+            | Some p when p > 0 && host <> "" -> (host, p)
+            | _ ->
+              or_die
+                (Error (Printf.sprintf "--replica-of: bad HOST:PORT %S" spec)))
+          | None ->
+            or_die
+              (Error (Printf.sprintf "--replica-of: bad HOST:PORT %S" spec))
+        in
+        try Server.Loop.attach_upstream loop ~host ~port:upstream_port
+        with Unix.Unix_error (err, _, _) ->
+          or_die
+            (Error
+               (Printf.sprintf "cannot reach primary %s: %s" spec
+                  (Unix.error_message err))))
+      replica_of;
+    (match Server.Loop.replica_of loop with
+    | Some primary ->
+      Format.printf
+        "nf2d listening on 127.0.0.1:%d (read replica of %s)@."
+        (Server.Loop.port loop) primary
+    | None ->
+      Format.printf "nf2d listening on 127.0.0.1:%d (%d table(s) loaded)@."
+        (Server.Loop.port loop) (List.length loads));
     Server.Loop.run loop;
     Format.printf "nf2d drained; bye@."
   in
@@ -786,7 +847,7 @@ let serve_cmd =
       $ idle_in_txn_arg $ request_timeout_arg $ max_frame_arg $ slow_query_arg
       $ wal_dir_arg $ wal_sync_interval_arg $ wal_sync_max_batch_arg
       $ trace_arg $ scrape_interval_arg $ trace_capacity_arg $ trace_retain_arg
-      $ slow_log_arg)
+      $ slow_log_arg $ replica_of_arg)
 
 let print_client_response response =
   List.iter
@@ -880,6 +941,25 @@ let connect_cmd =
     (Cmd.info "connect" ~doc:"Remote NFQL REPL against a running nf2d server")
     Term.(
       const run $ host_arg $ port_arg $ exec_arg $ metrics_arg $ shutdown_arg)
+
+let promote_cmd =
+  let run host port =
+    let client =
+      try Server.Client.connect ~host ~port ()
+      with Server.Client.Error msg -> or_die (Error msg)
+    in
+    let finally () = Server.Client.close client in
+    Fun.protect ~finally (fun () ->
+        match Server.Client.promote client with
+        | text -> Format.printf "%s@." text
+        | exception Server.Client.Error msg -> or_die (Error msg))
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Detach a read replica from its primary and open it for writes \
+          (failover: point it at the nf2d replica's port)")
+    Term.(const run $ host_arg $ port_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top                                                                 *)
@@ -1183,4 +1263,4 @@ let () =
        (Cmd.group info
           [ nest_cmd; canonical_cmd; forms_cmd; classify_cmd; update_cmd;
             normalize_cmd; design_cmd; sql_cmd; repl_cmd; serve_cmd; connect_cmd;
-            top_cmd; watch_cmd; trace_cmd; metrics_cmd ]))
+            promote_cmd; top_cmd; watch_cmd; trace_cmd; metrics_cmd ]))

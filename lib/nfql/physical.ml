@@ -78,6 +78,25 @@ type txn = {
   mutable touched : txn_table String_map.t;
 }
 
+(* One replicated change, in commit order. [R_writes] is a committed
+   group of base-table DML (the WAL-shipping payload: the same
+   Insert/Delete entries the tables logged, already folded to their
+   committed form); the others are DDL, shipped structurally so a
+   replica replays them without reparsing statement text. *)
+type repl_change =
+  | R_writes of (string * Storage.Wal.entry list) list
+  | R_create of { name : string; schema : Schema.t; order : Attribute.t list }
+  | R_drop of string
+  | R_create_view of { view : string; base : string; by : string list }
+  | R_drop_view of string
+
+type repl_event = {
+  r_seq : int;  (* position in the primary's total commit order *)
+  r_txid : int option;  (* Some for transactional groups *)
+  r_time : float;  (* primary commit wall clock, for the lag gauge *)
+  r_change : repl_change;
+}
+
 type db = {
   mutable tables : entry String_map.t;
   (* Pre-order (label, rows_out) of the last executed operator tree —
@@ -100,6 +119,24 @@ type db = {
   (* Where per-commit view deltas go (the server installs a queue that
      the select loop fans out to CDC subscribers). *)
   mutable cdc_sink : (Views.Catalog.event -> unit) option;
+  (* The global commit manifest (_commit.wal): the single commit point
+     for multi-table transactions. Per-table Txn_commit records are
+     provisional once this is attached; a transaction is durable iff
+     its manifest record is synced. *)
+  mutable manifest : Storage.Manifest.t option;
+  (* Whether the commit path fsyncs the manifest itself (embedded
+     callers) or leaves it to the server's group-commit [sync_wal]. *)
+  mutable manifest_synchronous : bool;
+  (* Commit-ordered replication stream: every committed change is
+     handed to the sink (the server queues them and ships to replica
+     subscribers after the covering fsync). *)
+  mutable repl_sink : (repl_event -> unit) option;
+  mutable repl_seq : int;
+  (* [Some reason] on a read replica: DML, DDL and BEGIN are refused
+     with {!Read_only} until promotion clears it. The replication
+     apply path writes through {!Storage.Table} directly and is not
+     subject to it. *)
+  mutable read_only : string option;
   (* Read-only system tables (_metrics, _slow_queries, _traces):
      provider closures installed by the server, resolved like views but
      re-materialized on every statement. *)
@@ -116,6 +153,7 @@ and session = {
 }
 
 exception Conflict of string
+exception Read_only of string
 
 let cache_capacity = 128
 let registry () = Obs.Registry.global
@@ -134,6 +172,11 @@ let create () =
     default_session = None;
     views = Views.Catalog.create ();
     cdc_sink = None;
+    manifest = None;
+    manifest_synchronous = true;
+    repl_sink = None;
+    repl_seq = 0;
+    read_only = None;
     sys = Systab.create ();
   }
 
@@ -160,6 +203,44 @@ let bump_generation db = db.generation <- db.generation + 1
 let is_view db name = Views.Catalog.mem db.views name
 let catalog db = db.views
 let set_cdc_sink db sink = db.cdc_sink <- Some sink
+let set_repl_sink db sink = db.repl_sink <- Some sink
+let repl_seq db = db.repl_seq
+let read_only db = db.read_only
+
+let set_read_only db reason = db.read_only <- reason
+
+let require_primary db =
+  match db.read_only with
+  | Some reason -> raise (Read_only reason)
+  | None -> ()
+
+(* Install the global commit manifest. From here on every transaction
+   commit appends (and, when [synchronous], fsyncs) a manifest record
+   after its per-table commits; [sync_wal] orders the manifest sync
+   after the table syncs. Txid allocation restarts above the largest
+   manifest txid so a recycled txid can never match a stale record. *)
+let attach_manifest ?(synchronous = true) db manifest =
+  db.manifest <- Some manifest;
+  db.manifest_synchronous <- synchronous;
+  db.next_txid <- max db.next_txid (Storage.Manifest.max_txid manifest + 1)
+
+let manifest db = db.manifest
+
+let now_s () = Unix.gettimeofday ()
+
+let emit_repl db ?txid change =
+  match db.repl_sink with
+  | None -> ()
+  | Some sink ->
+    db.repl_seq <- db.repl_seq + 1;
+    sink { r_seq = db.repl_seq; r_txid = txid; r_time = now_s (); r_change = change }
+
+let entries_of_view_ops ops =
+  List.map
+    (function
+      | Views.Catalog.Ins t -> Storage.Wal.Insert t
+      | Views.Catalog.Del t -> Storage.Wal.Delete t)
+    ops
 let is_system db name = Systab.find db.sys name <> None
 let register_system_table db name provider = Systab.register db.sys name provider
 let system_table_names db = Systab.names db.sys
@@ -196,9 +277,19 @@ let iter_tables db f = String_map.iter (fun name e -> f name e.tbl) db.tables
 let wal_unsynced db =
   String_map.fold
     (fun _ e acc -> acc + Storage.Table.wal_unsynced e.tbl)
-    db.tables 0
+    db.tables
+    (match db.manifest with
+    | Some manifest -> Storage.Manifest.unsynced_bytes manifest
+    | None -> 0)
 
-let sync_wal db = String_map.iter (fun _ e -> Storage.Table.sync_wal e.tbl) db.tables
+(* Durability order: table WALs first, manifest last. A power cut
+   anywhere inside this sequence can only lose the manifest record —
+   and a transaction without its manifest record rolls back in every
+   table, so acknowledgements released after the full sync never cover
+   a half-durable commit. *)
+let sync_wal db =
+  String_map.iter (fun _ e -> Storage.Table.sync_wal e.tbl) db.tables;
+  Option.iter Storage.Manifest.sync db.manifest
 
 (* Fold one committed group of base-table writes into the dependent
    views (Theorem A-4: a bounded number of compositions per op, never
@@ -1447,6 +1538,9 @@ let txn_resolve_source db txn = function
 
 let begin_txn session =
   let db = session.sdb in
+  (* A replica refuses BEGIN outright: every transaction is a write
+     intent, and refusing early beats aborting at COMMIT. *)
+  require_primary db;
   let txn = { txn_id = db.next_txid; touched = String_map.empty } in
   db.next_txid <- db.next_txid + 1;
   db.active <- txn :: db.active;
@@ -1522,15 +1616,23 @@ let commit_txn session txn =
                 name)
           tt.tx_ops)
     writers;
-  (* Apply through the storage transaction API so the WAL carries the
-     whole group under txn framing and recovery replays it
-     all-or-nothing. Per-table WALs bound cross-table crash atomicity
-     to a committed prefix in table-name order (docs/STORAGE.md);
-     single-table transactions are fully atomic. *)
+  (* Apply through the storage transaction API so each WAL carries the
+     whole group under txn framing. The per-table Txn_commit records
+     appended here are provisional when a commit manifest is attached:
+     the transaction's real commit point is the manifest record below,
+     and recovery discards any per-table group whose manifest record
+     never synced — all-or-nothing across tables. Without a manifest
+     (standalone/embedded tables), the per-table record remains the
+     commit point and cross-table atomicity is bounded to a committed
+     prefix in table-name order (docs/STORAGE.md). *)
+  let commits = ref [] in
   List.iter
     (fun (name, tt) ->
       let entry = find_entry db name in
       let ops = List.rev tt.tx_ops in
+      (* The cross-table crash window: one hit per participating
+         table, immediately before its provisional group is logged. *)
+      Storage.Failpoint.hit "txn.commit.table";
       Storage.Table.begin_txn entry.tbl ~txid:txn.txn_id;
       (match
          List.iter
@@ -1541,7 +1643,9 @@ let commit_txn session txn =
                Storage.Table.txn_delete entry.tbl ~txid:txn.txn_id tuple)
            ops
        with
-      | () -> ignore (Storage.Table.commit_txn entry.tbl ~txid:txn.txn_id)
+      | () ->
+        let seq = Storage.Table.commit_txn entry.tbl ~txid:txn.txn_id in
+        commits := (name, seq) :: !commits
       | exception Update.Not_in_relation ->
         (* FCW should have caught this; belt and braces for a commit
            that raced something the ledger missed. *)
@@ -1556,11 +1660,35 @@ let commit_txn session txn =
          threshold — rolled-back transactions never count. *)
       note_writes db entry (List.length ops))
     writers;
-  (* Per-table WALs bound cross-table atomicity (docs/STORAGE.md);
-     count multi-table commits so CDC consumers can detect the
-     window where a crash leaves a committed prefix. *)
+  (* The transaction's commit point: the manifest record naming every
+     participating table. Appended after all per-table groups, synced
+     after all per-table syncs (here when synchronous, by the server's
+     group commit otherwise) — so a crash before this record's sync
+     rolls the whole transaction back everywhere. *)
+  (match db.manifest with
+  | Some manifest when writers <> [] ->
+    Storage.Manifest.append manifest ~txid:txn.txn_id ~tables:(List.rev !commits);
+    if db.manifest_synchronous then Storage.Manifest.sync manifest
+  | _ -> ());
   if List.length writers > 1 then
     Obs.Registry.incr (registry ()) "txn.multi_table_commit";
+  (* Ship the committed group downstream in commit order. *)
+  (match
+     List.filter_map
+       (fun (name, tt) ->
+         match
+           List.rev_map
+             (function
+               | Op_insert t -> Storage.Wal.Insert t
+               | Op_delete t -> Storage.Wal.Delete t)
+             tt.tx_ops
+         with
+         | [] -> None
+         | entries -> Some (name, entries))
+       writers
+   with
+  | [] -> ()
+  | writes -> emit_repl db ~txid:txn.txn_id (R_writes writes));
   (* The commit point: fold the committed writes into dependent views
      and emit CDC deltas — never earlier, so subscribers and view
      readers cannot observe the uncommitted overlay. *)
@@ -1716,6 +1844,7 @@ and exec_auto session stats statement =
   let db = session.sdb in
   match statement with
     | Ast.Create (name, columns, order) ->
+      require_primary db;
       let schema =
         match
           Schema.of_names (List.map (fun (n, ty) -> (n, type_of_name ty)) columns)
@@ -1729,8 +1858,10 @@ and exec_auto session stats statement =
         | Some names -> List.map (Compile.attribute_of schema) names
       in
       add_table db name (Storage.Table.create ~order:order_attrs schema);
+      emit_repl db (R_create { name; schema; order = order_attrs });
       Eval.Done (Printf.sprintf "table %s created" name)
     | Ast.Drop name ->
+      require_primary db;
       if is_view db name then error "%s is a view: use DROP VIEW" name;
       if is_system db name then error "%s" (Systab.read_only_error name);
       if not (String_map.mem name db.tables) then error "unknown table %s" name;
@@ -1742,8 +1873,10 @@ and exec_auto session stats statement =
       Storage.Table.close (find_table db name);
       db.tables <- String_map.remove name db.tables;
       bump_generation db;
+      emit_repl db (R_drop name);
       Eval.Done (Printf.sprintf "table %s dropped" name)
     | Ast.Create_view (view, base, by) -> (
+      require_primary db;
       if Systab.is_system_name view then error "%s" (Systab.reserved_error view);
       if String_map.mem view db.tables then error "table %s already exists" view;
       if is_view db base then
@@ -1758,15 +1891,19 @@ and exec_auto session stats statement =
       with
       | () ->
         bump_generation db;
+        emit_repl db (R_create_view { view; base; by });
         Eval.Done (Printf.sprintf "view %s created" view)
       | exception Views.Catalog.View_error msg -> error "%s" msg)
     | Ast.Drop_view view -> (
+      require_primary db;
       match Views.Catalog.drop db.views view with
       | () ->
         bump_generation db;
+        emit_repl db (R_drop_view view);
         Eval.Done (Printf.sprintf "view %s dropped" view)
       | exception Views.Catalog.View_error msg -> error "%s" msg)
     | Ast.Insert (name, rows) ->
+      require_primary db;
       require_writable db name;
       let entry = find_entry db name in
       let schema = Storage.Table.schema entry.tbl in
@@ -1780,9 +1917,13 @@ and exec_auto session stats statement =
           (0, []) rows
       in
       note_writes db entry inserted;
-      maintain_views db ~base:name (List.rev ops);
+      let ops = List.rev ops in
+      maintain_views db ~base:name ops;
+      if ops <> [] then
+        emit_repl db (R_writes [ (name, entries_of_view_ops ops) ]);
       Eval.Done (Printf.sprintf "%d row(s) inserted" inserted)
     | Ast.Delete_values (name, row) ->
+      require_primary db;
       require_writable db name;
       let entry = find_entry db name in
       let tuple = tuple_of_row (Storage.Table.schema entry.tbl) row in
@@ -1790,10 +1931,12 @@ and exec_auto session stats statement =
       | () ->
         note_writes db entry 1;
         maintain_views db ~base:name [ Views.Catalog.Del tuple ];
+        emit_repl db (R_writes [ (name, [ Storage.Wal.Delete tuple ]) ]);
         Eval.Done "1 row deleted"
       | exception Update.Not_in_relation ->
         error "tuple %s is not in %s" (Format.asprintf "%a" Tuple.pp tuple) name)
     | Ast.Delete_where (name, condition) ->
+      require_primary db;
       require_writable db name;
       let entry = find_entry db name in
       let victims, search = matching_tuples db name condition in
@@ -1802,8 +1945,13 @@ and exec_auto session stats statement =
       note_writes db entry (List.length victims);
       maintain_views db ~base:name
         (List.map (fun t -> Views.Catalog.Del t) victims);
+      if victims <> [] then
+        emit_repl db
+          (R_writes
+             [ (name, List.map (fun t -> Storage.Wal.Delete t) victims) ]);
       Eval.Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
     | Ast.Update_set (name, assignments, condition) ->
+      require_primary db;
       require_writable db name;
       let entry = find_entry db name in
       let schema = Storage.Table.schema entry.tbl in
@@ -1842,7 +1990,10 @@ and exec_auto session stats statement =
           [] victims
       in
       note_writes db entry (List.length victims);
-      maintain_views db ~base:name (List.rev ops);
+      let ops = List.rev ops in
+      maintain_views db ~base:name ops;
+      if ops <> [] then
+        emit_repl db (R_writes [ (name, entries_of_view_ops ops) ]);
       Eval.Done (Printf.sprintf "%d row(s) updated" (List.length victims))
     | Ast.Select s -> (
       match view_in_source db s.Ast.source with
@@ -1971,3 +2122,160 @@ let explain = explain_text
 
 let exec_string db input =
   List.map (exec db) (Parser.parse_script input)
+
+(* ------------------------------------------------------------------ *)
+(* Replication apply (replica side)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The replica's apply path. Shipped events bypass the read-only guard
+   — replication is the one writer a replica has — and run through the
+   same storage and view-maintenance machinery as the primary, so a
+   drained replica's canonical state is byte-identical. Transaction
+   groups replay through the storage transaction API and record a
+   local manifest entry, so the replica's own crash recovery enforces
+   the same all-or-nothing rule. *)
+let apply_repl_event db event =
+  let ops_of_entries entries =
+    List.filter_map
+      (function
+        | Storage.Wal.Insert t -> Some (Views.Catalog.Ins t)
+        | Storage.Wal.Delete t -> Some (Views.Catalog.Del t)
+        | _ -> None)
+      entries
+  in
+  (match event.r_change with
+  | R_writes writes ->
+    (match event.r_txid with
+    | Some txid ->
+      (* Keep local txid allocation above every applied txid so a
+         post-promotion transaction can never collide with a stale
+         manifest record. *)
+      db.next_txid <- max db.next_txid (txid + 1);
+      let commits =
+        List.map
+          (fun (name, entries) ->
+            let entry = find_entry db name in
+            Storage.Table.begin_txn entry.tbl ~txid;
+            List.iter
+              (function
+                | Storage.Wal.Insert t ->
+                  ignore (Storage.Table.txn_insert entry.tbl ~txid t)
+                | Storage.Wal.Delete t -> (
+                  try Storage.Table.txn_delete entry.tbl ~txid t
+                  with Update.Not_in_relation -> ())
+                | _ -> ())
+              entries;
+            (name, Storage.Table.commit_txn entry.tbl ~txid))
+          writes
+      in
+      (match db.manifest with
+      | Some manifest when commits <> [] ->
+        Storage.Manifest.append manifest ~txid ~tables:commits;
+        if db.manifest_synchronous then Storage.Manifest.sync manifest
+      | _ -> ())
+    | None ->
+      List.iter
+        (fun (name, entries) ->
+          let entry = find_entry db name in
+          List.iter
+            (function
+              | Storage.Wal.Insert t ->
+                ignore (Storage.Table.insert entry.tbl t)
+              | Storage.Wal.Delete t -> (
+                try Storage.Table.delete entry.tbl t
+                with Update.Not_in_relation -> ())
+              | _ -> ())
+            entries)
+        writes);
+    List.iter
+      (fun (name, entries) ->
+        let entry = find_entry db name in
+        note_writes db entry (List.length entries);
+        maintain_views db ~base:name (ops_of_entries entries))
+      writes
+  | R_create { name; schema; order } ->
+    (* A (re)bootstrap replaces local state with the primary's. *)
+    (match String_map.find_opt name db.tables with
+    | Some entry ->
+      Storage.Table.close entry.tbl;
+      db.tables <- String_map.remove name db.tables
+    | None -> ());
+    add_table db name (Storage.Table.create ~order schema)
+  | R_drop name -> (
+    match String_map.find_opt name db.tables with
+    | Some entry ->
+      Storage.Table.close entry.tbl;
+      db.tables <- String_map.remove name db.tables;
+      bump_generation db
+    | None -> ())
+  | R_create_view { view; base; by } ->
+    if Views.Catalog.mem db.views view then Views.Catalog.drop db.views view;
+    Views.Catalog.define db.views ~view ~base ~by
+      (Storage.Table.snapshot (find_table db base));
+    bump_generation db
+  | R_drop_view view ->
+    if Views.Catalog.mem db.views view then begin
+      Views.Catalog.drop db.views view;
+      bump_generation db
+    end);
+  db.repl_seq <- max db.repl_seq event.r_seq
+
+(* Synthesized full-state events for a fresh subscriber: the primary
+   retains no historical log, so a subscription starts from a snapshot
+   — CREATE plus a full insert load per table (name order), then the
+   view definitions — all stamped at the current stream position; the
+   live tail continues from the next sequence number. System tables
+   are provider-backed and re-derive locally, so they never ship. *)
+let repl_bootstrap db =
+  let time = now_s () in
+  let stamp change =
+    { r_seq = db.repl_seq; r_txid = None; r_time = time; r_change = change }
+  in
+  let table_events =
+    List.concat_map
+      (fun (name, entry) ->
+        let tbl = entry.tbl in
+        let create =
+          stamp
+            (R_create
+               {
+                 name;
+                 schema = Storage.Table.schema tbl;
+                 order = Storage.Table.nest_order tbl;
+               })
+        in
+        let inserts =
+          Nfr.fold
+            (fun nt acc ->
+              List.rev_append
+                (List.rev_map
+                   (fun t -> Storage.Wal.Insert t)
+                   (Ntuple.expand nt))
+                acc)
+            (Storage.Table.snapshot tbl) []
+        in
+        (* Chunked so no single bootstrap frame outgrows the wire's
+           payload cap on a large table. *)
+        let rec chunks acc = function
+          | [] -> List.rev acc
+          | entries ->
+            let rec take n taken rest =
+              match rest with
+              | [] -> (List.rev taken, [])
+              | _ when n = 0 -> (List.rev taken, rest)
+              | e :: rest -> take (n - 1) (e :: taken) rest
+            in
+            let chunk, rest = take 1024 [] entries in
+            chunks (stamp (R_writes [ (name, chunk) ]) :: acc) rest
+        in
+        create :: chunks [] inserts)
+      (String_map.bindings db.tables)
+  in
+  let view_events =
+    List.map
+      (fun (def : Views.Catalog.def) ->
+        stamp
+          (R_create_view { view = def.view; base = def.base; by = def.by }))
+      (Views.Catalog.defs db.views)
+  in
+  table_events @ view_events

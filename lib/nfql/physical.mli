@@ -70,9 +70,29 @@
     {!Storage.Table}'s transaction API, so the WAL carries the group
     under txn framing and crash recovery replays it all-or-nothing.
     DDL and [EXPLAIN ANALYZE] are rejected inside a transaction; only
-    committed writes feed the auto-analyze threshold. Per-table WALs
-    bound {e cross-table} crash atomicity to a committed prefix in
-    table-name order. *)
+    committed writes feed the auto-analyze threshold.
+
+    {e Cross-table} crash atomicity depends on the commit manifest.
+    Standalone (no manifest attached), each per-table [Txn_commit] is
+    that table's commit point, so a crash between two tables' appends
+    recovers a committed prefix in table-name order. With
+    {!attach_manifest}, per-table commits are provisional: the
+    transaction's single commit point is its {!Storage.Manifest}
+    record, appended after every table's group and synced after every
+    table's WAL, and recovery discards per-table groups whose manifest
+    record never made it — all-or-nothing across tables
+    (docs/STORAGE.md).
+
+    {2 Replication}
+
+    A {!set_repl_sink} subscriber receives every committed change —
+    DML as WAL-entry groups in commit order, DDL as structural events
+    — which is the WAL-shipping stream the server forwards to read
+    replicas. A replica applies the stream with {!apply_repl_event}
+    (bypassing its read-only guard) and refuses local writes while
+    {!read_only} is set; {!repl_bootstrap} synthesizes the full-state
+    prefix a fresh subscriber needs, since no historical log is
+    retained. *)
 
 open Relational
 
@@ -85,6 +105,39 @@ type session
 exception Conflict of string
 (** Raised by [COMMIT] when first-committer-wins validation fails; the
     transaction has already been rolled back. *)
+
+exception Read_only of string
+(** Raised by every write statement (DML, DDL, [BEGIN]) on a database
+    with {!set_read_only} in force — a read replica. The payload names
+    the primary to write to instead. *)
+
+(** One committed change on the primary, as shipped to replicas. DML
+    travels as the per-table WAL entries of one commit group (commit
+    order preserved); DDL travels structurally, so a replica re-runs
+    the same catalog operation rather than re-parsing text. *)
+type repl_change =
+  | R_writes of (string * Storage.Wal.entry list) list
+      (** one commit group: per participating table, its
+          [Insert]/[Delete] entries in execution order *)
+  | R_create of {
+      name : string;
+      schema : Schema.t;
+      order : Attribute.t list;
+    }
+  | R_drop of string
+  | R_create_view of { view : string; base : string; by : string list }
+  | R_drop_view of string
+
+(** One event on the replication stream. [r_seq] increments per event
+    on the primary; [r_txid] is set for transactional groups (and
+    recorded in the replica's local manifest); [r_time] is the
+    primary's emission clock, the replica's lag reference. *)
+type repl_event = {
+  r_seq : int;
+  r_txid : int option;
+  r_time : float;
+  r_change : repl_change;
+}
 
 (** One end of a range, with inclusivity: [{b_value = v; b_incl =
     false}] excludes the boundary group itself. *)
@@ -157,6 +210,49 @@ val set_cdc_sink : db -> (Views.Catalog.event -> unit) -> unit
     executing thread). The server queues these and fans them out to
     subscribers after the covering group-commit fsync. *)
 
+val attach_manifest : ?synchronous:bool -> db -> Storage.Manifest.t -> unit
+(** Install the global commit manifest — from here on it is the single
+    commit point for multi-table transactions (see the header). With
+    [~synchronous:false] the manifest record is appended at COMMIT but
+    fsynced by {!sync_wal} (the server's group commit); the default
+    syncs at COMMIT. Txid allocation restarts above the manifest's
+    largest recorded txid. *)
+
+val manifest : db -> Storage.Manifest.t option
+
+val set_repl_sink : db -> (repl_event -> unit) -> unit
+(** Install the replication sink: called once per committed change in
+    commit order, on the executing thread. The server queues events
+    and ships them to subscribed replicas only after the covering
+    group-commit fsync — nothing leaves the primary before it is
+    durable there. *)
+
+val repl_seq : db -> int
+(** On a primary, the last emitted stream sequence; on a replica, the
+    last applied one. *)
+
+val set_read_only : db -> string option -> unit
+(** [set_read_only db (Some primary)] puts the database in replica
+    mode: every write statement raises {!Read_only} naming [primary].
+    [set_read_only db None] — promotion — makes it writable again. *)
+
+val read_only : db -> string option
+
+val apply_repl_event : db -> repl_event -> unit
+(** Apply one shipped event on a replica, bypassing the read-only
+    guard. Runs through the same storage/view machinery as the
+    primary's own commit path: transactional groups replay under txn
+    framing and record a local manifest entry (when one is attached),
+    so the replica's crash recovery enforces the same all-or-nothing
+    rule; views are maintained incrementally from the same deltas.
+    Advances {!repl_seq} to the event's sequence. *)
+
+val repl_bootstrap : db -> repl_event list
+(** The full-state prefix for a fresh subscriber: per table (name
+    order) an [R_create] and one [R_writes] loading its flat facts,
+    then each view definition — all stamped at the current stream
+    position. System tables are provider-backed and never ship. *)
+
 val attach_views_wal : db -> path:string -> unit
 (** Re-open the view catalog backed by a write-ahead log at [path]:
     existing definitions in the log are replayed (salvage rules — a
@@ -169,12 +265,16 @@ val iter_tables : db -> (string -> Storage.Table.t -> unit) -> unit
 (** Apply [f name table] to every registered table. *)
 
 val wal_unsynced : db -> int
-(** Bytes written to any table's WAL but not yet fsynced — the group
-    commit window across the whole database. *)
+(** Bytes written to any table's WAL — or the commit manifest — but
+    not yet fsynced: the group commit window across the whole
+    database. *)
 
 val sync_wal : db -> unit
-(** Fsync every table's WAL ({!Storage.Table.sync_wal}); the group
-    commit point the server calls once per loop tick. *)
+(** Fsync every table's WAL ({!Storage.Table.sync_wal}), then the
+    commit manifest; the group commit point the server calls once per
+    loop tick. Table WALs first, manifest last: a power cut inside the
+    sequence can only lose manifest records, and a transaction without
+    its manifest record rolls back in every table on recovery. *)
 
 val generation : db -> int
 (** Statistics generation — bumped by ANALYZE, DDL and auto-refresh;

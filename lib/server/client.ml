@@ -162,3 +162,28 @@ let next_delta t =
   | Protocol.Err (code, reason) ->
     fail "%s: %s" (Protocol.err_code_name code) reason
   | other -> fail "expected delta, got %s" (Protocol.message_name other)
+
+let repl_subscribe t =
+  send t Protocol.Repl_subscribe;
+  match recv t with
+  | Protocol.Done text -> text
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected done, got %s" (Protocol.message_name other)
+
+let next_repl_entry t =
+  match recv t with
+  | Protocol.Repl_entry event -> event
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected repl-entry, got %s" (Protocol.message_name other)
+
+let repl_ack t seq = send t (Protocol.Repl_ack seq)
+
+let promote t =
+  send t Protocol.Promote;
+  match recv t with
+  | Protocol.Done text -> text
+  | Protocol.Err (code, reason) ->
+    fail "%s: %s" (Protocol.err_code_name code) reason
+  | other -> fail "expected done, got %s" (Protocol.message_name other)

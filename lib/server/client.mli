@@ -77,6 +77,27 @@ val next_delta : t -> Protocol.delta
     @raise Error on an [Err] frame (e.g. [Overloaded] eviction of a
     slow subscriber) or transport failure. *)
 
+val repl_subscribe : t -> string
+(** Subscribe this connection to the primary's replication stream and
+    return the acknowledgement text. The server then pushes the
+    full-state bootstrap followed by one [Repl_entry] per commit —
+    read them with {!next_repl_entry}. @raise Error on a replica
+    (cascading replication is refused). *)
+
+val next_repl_entry : t -> Nfql.Physical.repl_event
+(** Block until the next shipped entry arrives. Only meaningful after
+    {!repl_subscribe}. @raise Error on an [Err] frame or transport
+    failure. *)
+
+val repl_ack : t -> int -> unit
+(** Tell the primary the stream has been applied through [seq]. Fire
+    and forget — acks get no reply. *)
+
+val promote : t -> string
+(** Ask a replica to detach from its primary and accept writes;
+    returns the acknowledgement text. @raise Error when the node is
+    not a replica. *)
+
 (** {2 Test hooks} *)
 
 val fd : t -> Unix.file_descr

@@ -3,6 +3,18 @@ type conn = {
   session : Session.t;
 }
 
+(* Replica mode: the connection to the primary this loop ships its
+   state from. Inbound bytes accumulate in [ubuf] until whole frames
+   decode; outbound acks accumulate in [upending]. *)
+type upstream = {
+  ufd : Unix.file_descr;
+  uaddr : string;  (* "host:port", for errors and the Read_only payload *)
+  mutable ubuf : Bytes.t;
+  mutable ulen : int;
+  mutable upending : string;
+  mutable upending_pos : int;
+}
+
 type t = {
   listen_fd : Unix.file_descr;
   ctx : Session.context;
@@ -15,6 +27,7 @@ type t = {
   mutable last_sync_at : float;  (* group-commit pacing *)
   mutable last_tick_at : float;  (* stall watchdog *)
   mutable last_scrape_at : float;  (* self-scrape pacing *)
+  mutable upstream : upstream option;
   read_chunk : Bytes.t;
 }
 
@@ -52,6 +65,7 @@ let create ?config ?metrics ?now ?(on_shutdown = fun () -> ()) ~db ~listen () =
     last_sync_at = neg_infinity;
     last_tick_at = neg_infinity;
     last_scrape_at = neg_infinity;
+    upstream = None;
     read_chunk = Bytes.create 8192;
   }
 
@@ -75,6 +89,154 @@ let close_conn t conn =
     Metrics.set_gauge (metrics t) "connections.open" (float_of_int t.conn_count)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Replica mode: the upstream connection                               *)
+(* ------------------------------------------------------------------ *)
+
+let detach_upstream t =
+  match t.upstream with
+  | None -> ()
+  | Some up ->
+    t.upstream <- None;
+    (try Unix.close up.ufd with Unix.Unix_error _ -> ())
+
+(* Connect to the primary, subscribe, and enter replica mode: the
+   database refuses writes (naming the primary), and the loop folds
+   the upstream socket into its select rounds, applying each shipped
+   entry and acking it. Promotion (a [Promote] frame on any session)
+   detaches the upstream and re-opens writes. *)
+let attach_upstream t ~host ~port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let subscribe = Protocol.encode_string Protocol.Repl_subscribe in
+  (try ignore (Unix.write_substring fd subscribe 0 (String.length subscribe))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.set_nonblock fd;
+  let uaddr = Printf.sprintf "%s:%d" host port in
+  t.upstream <-
+    Some
+      {
+        ufd = fd;
+        uaddr;
+        ubuf = Bytes.create 8192;
+        ulen = 0;
+        upending = "";
+        upending_pos = 0;
+      };
+  Nfql.Physical.set_read_only (Session.context_db t.ctx) (Some uaddr);
+  Session.set_on_promote t.ctx (fun () -> detach_upstream t)
+
+let replica_of t = Option.map (fun up -> up.uaddr) t.upstream
+
+(* [up] is still the attached upstream (a detach mid-drain must stop
+   the drain loops). Compare the records physically — [t.upstream ==
+   Some up] would compare a freshly allocated [Some] cell and never
+   hold. *)
+let upstream_is t up =
+  match t.upstream with Some current -> current == up | None -> false
+
+let stage_upstream_out up data =
+  if up.upending_pos >= String.length up.upending then begin
+    up.upending <- data;
+    up.upending_pos <- 0
+  end
+  else up.upending <- up.upending ^ data
+
+let handle_upstream t up message =
+  let m = metrics t in
+  match message with
+  | Protocol.Repl_entry event -> (
+    match Nfql.Physical.apply_repl_event (Session.context_db t.ctx) event with
+    | () ->
+      Metrics.incr m "repl.entries_applied";
+      (* Lag against the primary's emission clock (wall time on both
+         ends — the stamp is Unix.gettimeofday there too). *)
+      Metrics.set_gauge m "replica.lag_seconds"
+        (max 0. (Unix.gettimeofday () -. event.Nfql.Physical.r_time));
+      stage_upstream_out up
+        (Protocol.encode_string
+           (Protocol.Repl_ack event.Nfql.Physical.r_seq))
+    | exception (Storage.Failpoint.Crashed _ as crash) -> raise crash
+    | exception _ ->
+      (* The stream no longer matches our state — applying further
+         entries would diverge silently. Detach; a resubscribe
+         re-bootstraps from scratch. *)
+      Metrics.incr m "repl.apply_errors";
+      detach_upstream t)
+  | Protocol.Done _ -> ()  (* subscription ack *)
+  | Protocol.Err (_, _) ->
+    Metrics.incr m "repl.upstream_errors";
+    detach_upstream t
+  | _ -> ()
+
+let rec parse_upstream t up =
+  if upstream_is t up && up.ulen > 0 then
+    match
+      Protocol.decode
+        ~max_payload:(Session.context_config t.ctx).Session.max_payload up.ubuf
+        ~pos:0 ~len:up.ulen
+    with
+    | Protocol.Need_more -> ()
+    | Protocol.Oversized _ | Protocol.Malformed _ ->
+      Metrics.incr (metrics t) "repl.upstream_errors";
+      detach_upstream t
+    | Protocol.Msg (message, consumed) ->
+      Bytes.blit up.ubuf consumed up.ubuf 0 (up.ulen - consumed);
+      up.ulen <- up.ulen - consumed;
+      handle_upstream t up message;
+      parse_upstream t up
+
+let read_upstream t up =
+  let continue = ref true in
+  while !continue && upstream_is t up do
+    match Unix.read up.ufd t.read_chunk 0 (Bytes.length t.read_chunk) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      continue := false
+    | exception Unix.Unix_error (_, _, _) | 0 ->
+      (* Primary gone. Stay up (and read-only): reads keep serving
+         from the last applied state; a Promote detaches for good. *)
+      Metrics.incr (metrics t) "repl.upstream_lost";
+      detach_upstream t;
+      continue := false
+    | n ->
+      let needed = up.ulen + n in
+      if needed > Bytes.length up.ubuf then begin
+        let grown = Bytes.create (max needed (2 * Bytes.length up.ubuf)) in
+        Bytes.blit up.ubuf 0 grown 0 up.ulen;
+        up.ubuf <- grown
+      end;
+      Bytes.blit t.read_chunk 0 up.ubuf up.ulen n;
+      up.ulen <- needed;
+      parse_upstream t up
+  done
+
+let write_upstream t up =
+  let continue = ref true in
+  while !continue && upstream_is t up do
+    let remaining = String.length up.upending - up.upending_pos in
+    if remaining <= 0 then continue := false
+    else
+      match Unix.write_substring up.ufd up.upending up.upending_pos remaining with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (_, _, _) ->
+        Metrics.incr (metrics t) "repl.upstream_lost";
+        detach_upstream t;
+        continue := false
+      | n -> up.upending_pos <- up.upending_pos + n
+  done
+
 let stop_listening t =
   if t.listening then begin
     t.listening <- false;
@@ -89,12 +251,14 @@ let begin_shutdown t =
 
 let finish_shutdown t =
   Storage.Failpoint.hit "server.shutdown.flush";
+  detach_upstream t;
   t.on_shutdown ();
   Session.close_slow_log t.ctx;
   t.is_stopped <- true
 
 let close t =
   stop_listening t;
+  detach_upstream t;
   List.iter (fun conn -> close_conn t conn) t.conns;
   Session.close_slow_log t.ctx;
   t.is_stopped <- true
@@ -213,16 +377,21 @@ let step t timeout =
     else begin
       let read_fds =
         (if t.listening then [ t.listen_fd ] else [])
+        @ (match t.upstream with Some up -> [ up.ufd ] | None -> [])
         @ List.filter_map
             (fun conn ->
               if Session.closing conn.session then None else Some conn.fd)
             t.conns
       in
       let write_fds =
-        List.filter_map
-          (fun conn ->
-            if Session.want_write conn.session then Some conn.fd else None)
-          t.conns
+        (match t.upstream with
+        | Some up when up.upending_pos < String.length up.upending ->
+          [ up.ufd ]
+        | _ -> [])
+        @ List.filter_map
+            (fun conn ->
+              if Session.want_write conn.session then Some conn.fd else None)
+            t.conns
       in
       let readable, writable, _ =
         match Unix.select read_fds write_fds [] timeout with
@@ -240,6 +409,12 @@ let step t timeout =
       in
       List.iter (fun fd -> Hashtbl.replace ready_write fd ()) writable;
       if t.listening && Hashtbl.mem ready_read t.listen_fd then accept_new t;
+      (* Replica mode: apply whatever the primary shipped this round
+         before serving reads, so clients see the freshest applied
+         state this tick allows. *)
+      (match t.upstream with
+      | Some up when Hashtbl.mem ready_read up.ufd -> read_upstream t up
+      | _ -> ());
       List.iter
         (fun conn ->
           if Hashtbl.mem ready_read conn.fd && not (Session.closed conn.session)
@@ -269,6 +444,16 @@ let step t timeout =
          frame staged here describes already-durable commits, and the
          FIFO drain gives all subscribers the same commit order. *)
       Session.dispatch_cdc t.ctx (List.map (fun conn -> conn.session) t.conns);
+      (* WAL shipping rides the same post-sync slot: every Repl_entry
+         staged here is covered by the table-WAL and manifest fsyncs
+         above, so a replica never applies what the primary could
+         still lose. *)
+      Session.dispatch_repl t.ctx (List.map (fun conn -> conn.session) t.conns);
+      (* Push the replica's pending acks to its primary. *)
+      (match t.upstream with
+      | Some up when up.upending_pos < String.length up.upending ->
+        write_upstream t up
+      | _ -> ());
       (* A frame handled this round may have staged replies; try to
          push them immediately rather than waiting a select cycle. *)
       List.iter

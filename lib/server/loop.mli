@@ -45,6 +45,22 @@ val metrics : t -> Metrics.t
 val context : t -> Session.context
 val live_sessions : t -> int
 
+val attach_upstream : t -> host:string -> port:int -> unit
+(** Enter replica mode: connect to the primary, send [Repl_subscribe]
+    (the primary answers with a full-state bootstrap, then the live
+    tail), mark the database read-only (writes get [Err Read_only]
+    naming ["host:port"]), and fold the upstream socket into every
+    select round — each shipped entry is applied via
+    {!Nfql.Physical.apply_repl_event}, acked with [Repl_ack], and
+    refreshes the [replica.lag_seconds] gauge. A [Promote] frame on
+    any session detaches the upstream and re-opens writes; losing the
+    upstream (counted in [repl.upstream_lost]) keeps serving reads
+    from the last applied state, still read-only.
+    @raise Unix.Unix_error when the primary cannot be reached. *)
+
+val replica_of : t -> string option
+(** ["host:port"] of the attached primary, when in replica mode. *)
+
 val step : t -> float -> bool
 (** [step t timeout] — one select round, waiting at most [timeout]
     seconds for readiness. Returns [false] once the loop is fully

@@ -9,6 +9,7 @@ type err_code =
   | Query_failed
   | Shutting_down
   | Conflict
+  | Read_only
 
 let err_code_name = function
   | Overloaded -> "overloaded"
@@ -18,6 +19,7 @@ let err_code_name = function
   | Query_failed -> "query-failed"
   | Shutting_down -> "shutting-down"
   | Conflict -> "conflict"
+  | Read_only -> "read-only"
 
 (* One view's per-commit change set, pushed to subscribers. [d_seq] is
    the view's own delta sequence number (dense, from 1), so a client
@@ -45,6 +47,11 @@ type message =
   | Shutdown
   | Subscribe of string  (** view name; server streams its deltas *)
   | Delta of delta
+  | Repl_subscribe  (** replica: stream every committed change to me *)
+  | Repl_entry of Nfql.Physical.repl_event
+      (** primary-push: one committed change, in commit order *)
+  | Repl_ack of int  (** replica: applied through this stream seq *)
+  | Promote  (** admin: detach a replica into a writable primary *)
 
 let message_name = function
   | Ping -> "ping"
@@ -61,6 +68,10 @@ let message_name = function
   | Shutdown -> "shutdown"
   | Subscribe _ -> "subscribe"
   | Delta _ -> "delta"
+  | Repl_subscribe -> "repl-subscribe"
+  | Repl_entry _ -> "repl-entry"
+  | Repl_ack _ -> "repl-ack"
+  | Promote -> "promote"
 
 (* Frame type bytes. *)
 let t_ping = 0x01
@@ -77,6 +88,10 @@ let t_metrics_prom_req = 0x0B
 let t_metrics_prom = 0x0C
 let t_subscribe = 0x0D
 let t_delta = 0x0E
+let t_repl_subscribe = 0x0F
+let t_repl_entry = 0x10
+let t_repl_ack = 0x11
+let t_promote = 0x12
 
 let err_code_byte = function
   | Overloaded -> 1
@@ -86,6 +101,7 @@ let err_code_byte = function
   | Query_failed -> 5
   | Shutting_down -> 6
   | Conflict -> 7
+  | Read_only -> 8
 
 let err_code_of_byte = function
   | 1 -> Some Overloaded
@@ -95,6 +111,7 @@ let err_code_of_byte = function
   | 5 -> Some Query_failed
   | 6 -> Some Shutting_down
   | 7 -> Some Conflict
+  | 8 -> Some Read_only
   | _ -> None
 
 (* Value type tags for the schema encoding. *)
@@ -148,10 +165,64 @@ let decode_schema bytes offset =
   done;
   (Schema.make (List.rev !columns), !offset)
 
+let add_lstring buffer s =
+  Storage.Codec.encode_varint buffer (String.length s);
+  Buffer.add_string buffer s
+
+(* Replication change tag bytes. *)
+let c_writes = 0
+let c_create = 1
+let c_drop = 2
+let c_create_view = 3
+let c_drop_view = 4
+
 let payload_of_message message =
   let buffer = Buffer.create 64 in
   (match message with
-  | Ping | Pong | Metrics_req | Metrics_prom_req | Shutdown -> ()
+  | Ping | Pong | Metrics_req | Metrics_prom_req | Shutdown | Repl_subscribe
+  | Promote ->
+    ()
+  | Repl_ack seq -> Storage.Codec.encode_varint buffer seq
+  | Repl_entry e ->
+    Storage.Codec.encode_varint buffer e.Nfql.Physical.r_seq;
+    (match e.Nfql.Physical.r_txid with
+    | None -> Buffer.add_char buffer '\000'
+    | Some txid ->
+      Buffer.add_char buffer '\001';
+      Storage.Codec.encode_varint buffer txid);
+    Buffer.add_int64_le buffer (Int64.bits_of_float e.Nfql.Physical.r_time);
+    (match e.Nfql.Physical.r_change with
+    | Nfql.Physical.R_writes writes ->
+      Buffer.add_char buffer (Char.chr c_writes);
+      Storage.Codec.encode_varint buffer (List.length writes);
+      List.iter
+        (fun (name, entries) ->
+          add_lstring buffer name;
+          Storage.Codec.encode_varint buffer (List.length entries);
+          List.iter
+            (fun entry -> add_lstring buffer (Storage.Wal.encode_entry entry))
+            entries)
+        writes
+    | Nfql.Physical.R_create { name; schema; order } ->
+      Buffer.add_char buffer (Char.chr c_create);
+      add_lstring buffer name;
+      encode_schema buffer schema;
+      Storage.Codec.encode_varint buffer (List.length order);
+      List.iter
+        (fun attribute -> add_lstring buffer (Attribute.name attribute))
+        order
+    | Nfql.Physical.R_drop name ->
+      Buffer.add_char buffer (Char.chr c_drop);
+      add_lstring buffer name
+    | Nfql.Physical.R_create_view { view; base; by } ->
+      Buffer.add_char buffer (Char.chr c_create_view);
+      add_lstring buffer view;
+      add_lstring buffer base;
+      Storage.Codec.encode_varint buffer (List.length by);
+      List.iter (add_lstring buffer) by
+    | Nfql.Physical.R_drop_view view ->
+      Buffer.add_char buffer (Char.chr c_drop_view);
+      add_lstring buffer view)
   | Query source -> Buffer.add_string buffer source
   | Done text -> Buffer.add_string buffer text
   | Metrics dump -> Buffer.add_string buffer dump
@@ -197,6 +268,10 @@ let type_of_message = function
   | Shutdown -> t_shutdown
   | Subscribe _ -> t_subscribe
   | Delta _ -> t_delta
+  | Repl_subscribe -> t_repl_subscribe
+  | Repl_entry _ -> t_repl_entry
+  | Repl_ack _ -> t_repl_ack
+  | Promote -> t_promote
 
 let encode buffer message =
   Frame.encode buffer ~typ:(type_of_message message)
@@ -298,6 +373,102 @@ let message_of_payload typ payload =
     strict_end "delta" offset;
     Delta { d_view = view; d_seq = seq; d_schema = schema;
             d_added = added; d_removed = removed }
+  end
+  else if typ = t_repl_subscribe then (strict_end "repl-subscribe" 0; Repl_subscribe)
+  else if typ = t_promote then (strict_end "promote" 0; Promote)
+  else if typ = t_repl_ack then begin
+    let seq, offset = Storage.Codec.decode_varint bytes 0 in
+    if seq < 0 then bad "negative repl ack seq";
+    strict_end "repl-ack" offset;
+    Repl_ack seq
+  end
+  else if typ = t_repl_entry then begin
+    let lstring offset what =
+      let len, offset = Storage.Codec.decode_varint bytes offset in
+      if len < 0 then bad "negative %s length" what;
+      need bytes offset len what;
+      (Bytes.sub_string bytes offset len, offset + len)
+    in
+    let counted offset what decode_one =
+      let count, offset = Storage.Codec.decode_varint bytes offset in
+      if count < 0 || count > Bytes.length bytes - offset then
+        bad "%s count %d out of range" what count;
+      let items = ref [] in
+      let offset = ref offset in
+      for _ = 1 to count do
+        let item, next = decode_one !offset in
+        items := item :: !items;
+        offset := next
+      done;
+      (List.rev !items, !offset)
+    in
+    let seq, offset = Storage.Codec.decode_varint bytes 0 in
+    if seq < 0 then bad "negative repl seq";
+    need bytes offset 1 "repl txid flag";
+    let txid, offset =
+      match Char.code (Bytes.get bytes offset) with
+      | 0 -> (None, offset + 1)
+      | 1 ->
+        let txid, offset = Storage.Codec.decode_varint bytes (offset + 1) in
+        if txid < 0 then bad "negative repl txid";
+        (Some txid, offset)
+      | flag -> bad "bad repl txid flag %d" flag
+    in
+    need bytes offset 8 "repl timestamp";
+    let time = Int64.float_of_bits (Bytes.get_int64_le bytes offset) in
+    let offset = offset + 8 in
+    need bytes offset 1 "repl change tag";
+    let tag = Char.code (Bytes.get bytes offset) in
+    let offset = offset + 1 in
+    let change, offset =
+      if tag = c_writes then begin
+        let writes, offset =
+          counted offset "repl table" (fun offset ->
+              let name, offset = lstring offset "repl table name" in
+              let entries, offset =
+                counted offset "repl entry" (fun offset ->
+                    let data, offset = lstring offset "repl wal entry" in
+                    match Storage.Wal.decode_entry data with
+                    | (Storage.Wal.Insert _ | Storage.Wal.Delete _) as entry ->
+                      (entry, offset)
+                    | _ -> bad "repl wal entry is not a write")
+              in
+              ((name, entries), offset))
+        in
+        (Nfql.Physical.R_writes writes, offset)
+      end
+      else if tag = c_create then begin
+        let name, offset = lstring offset "repl create name" in
+        let schema, offset = decode_schema bytes offset in
+        let order, offset =
+          counted offset "repl order attribute" (fun offset ->
+              let attr, offset = lstring offset "repl order attribute" in
+              (Attribute.make attr, offset))
+        in
+        (Nfql.Physical.R_create { name; schema; order }, offset)
+      end
+      else if tag = c_drop then begin
+        let name, offset = lstring offset "repl drop name" in
+        (Nfql.Physical.R_drop name, offset)
+      end
+      else if tag = c_create_view then begin
+        let view, offset = lstring offset "repl view name" in
+        let base, offset = lstring offset "repl view base" in
+        let by, offset = counted offset "repl view by" (fun offset ->
+            lstring offset "repl view by attribute")
+        in
+        (Nfql.Physical.R_create_view { view; base; by }, offset)
+      end
+      else if tag = c_drop_view then begin
+        let view, offset = lstring offset "repl view name" in
+        (Nfql.Physical.R_drop_view view, offset)
+      end
+      else bad "unknown repl change tag %d" tag
+    in
+    strict_end "repl-entry" offset;
+    Repl_entry
+      { Nfql.Physical.r_seq = seq; r_txid = txid; r_time = time;
+        r_change = change }
   end
   else bad "unknown frame type 0x%02X" typ
 

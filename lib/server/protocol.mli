@@ -32,6 +32,9 @@ type err_code =
   | Conflict
       (** COMMIT lost first-committer-wins validation; the transaction
           was rolled back — re-run it *)
+  | Read_only
+      (** the node is a read replica; the message names the primary to
+          write to instead *)
 
 val err_code_name : err_code -> string
 
@@ -66,6 +69,22 @@ type message =
           changed the view, in commit order, each sent only after the
           covering group-commit fsync. *)
   | Delta of delta  (** server-push: one commit's change to one view *)
+  | Repl_subscribe
+      (** replica: ship every committed change to this connection.
+          Acked with [Done]; the primary first pushes a full-state
+          bootstrap (CREATEs and insert loads — no historical log is
+          retained), then one {!Repl_entry} per commit in commit
+          order, each sent only after the covering group-commit
+          fsync. *)
+  | Repl_entry of Nfql.Physical.repl_event
+      (** primary-push: one committed change. DML ships as per-table
+          WAL entries of one commit group; DDL ships structurally. *)
+  | Repl_ack of int
+      (** replica: applied through this stream sequence — feeds the
+          primary's per-replica lag gauge *)
+  | Promote
+      (** admin (to a replica): detach from the primary and accept
+          writes. Acked with [Done]; a no-op error on a primary. *)
 
 val message_name : message -> string
 (** Lowercase tag for logs and error messages. *)

@@ -92,6 +92,15 @@ type context = {
           executor's CDC sink in commit order, drained by the loop
           after each group sync (so a delta on the wire is always
           covered by its fsync) *)
+  repl : Nfql.Physical.repl_event Queue.t;
+      (** committed changes awaiting shipment to subscribed replicas —
+          same discipline as [cdc]: filled in commit order by the
+          executor's replication sink, drained only once the covering
+          WAL (and manifest) bytes are fsynced *)
+  mutable on_promote : (unit -> unit) option;
+      (** replica mode: detach from the primary (installed by the
+          loop); the [Promote] handler calls it before clearing the
+          read-only guard *)
   mutable is_draining : bool;
   mutable wants_shutdown : bool;
 }
@@ -114,6 +123,9 @@ let declare_series m =
       "pool.evict"; "view.deltas_total"; "view.renest_total";
       "view.salvage_total"; "view.orphaned_total"; "view.compositions_total";
       "cdc.subscribe_total"; "cdc.deltas_out"; "cdc.dropped_slow";
+      "repl.subscribe_total"; "repl.entries_out"; "repl.entries_applied";
+      "repl.dropped_slow"; "repl.apply_errors"; "repl.upstream_errors";
+      "repl.upstream_lost";
     ];
   Metrics.declare m "loop.stalls_total";
   Metrics.declare_histogram m "query.seconds";
@@ -130,6 +142,12 @@ let declare_series m =
   if Metrics.gauge m "txn.active" = 0. then Metrics.set_gauge m "txn.active" 0.;
   if Metrics.gauge m "cdc.subscribers" = 0. then
     Metrics.set_gauge m "cdc.subscribers" 0.;
+  if Metrics.gauge m "repl.replicas" = 0. then
+    Metrics.set_gauge m "repl.replicas" 0.;
+  (* Exposed as nf2_replica_lag_seconds — the replica's distance behind
+     its primary's emission clock, refreshed per applied entry. *)
+  if Metrics.gauge m "replica.lag_seconds" = 0. then
+    Metrics.set_gauge m "replica.lag_seconds" 0.;
   if Metrics.gauge m "loop.lag" = 0. then Metrics.set_gauge m "loop.lag" 0.;
   if Metrics.gauge m "obs.history_series" = 0. then
     Metrics.set_gauge m "obs.history_series" 0.
@@ -229,11 +247,14 @@ let make_context ?(config = default_config) ?metrics ?now db =
           (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
           config.slow_log_file;
       cdc = Queue.create ();
+      repl = Queue.create ();
+      on_promote = None;
       is_draining = false;
       wants_shutdown = false;
     }
   in
   Nfql.Physical.set_cdc_sink db (fun event -> Queue.push event ctx.cdc);
+  Nfql.Physical.set_repl_sink db (fun event -> Queue.push event ctx.repl);
   Nfql.Physical.register_system_table db "_metrics" (fun () ->
       (Hist.History.order, Hist.History.nfr ctx.hist));
   Nfql.Physical.register_system_table db "_slow_queries" (fun () ->
@@ -242,6 +263,7 @@ let make_context ?(config = default_config) ?metrics ?now db =
       traces_nfr ctx.retain);
   ctx
 
+let set_on_promote ctx f = ctx.on_promote <- Some f
 let context_metrics ctx = ctx.metrics
 let context_config ctx = ctx.config
 let context_now ctx = ctx.now ()
@@ -389,6 +411,11 @@ type t = {
       (** when the current partial frame began arriving *)
   mutable subs : string list;
       (** views this connection subscribed to (CDC) — newest first *)
+  mutable repl_sub : bool;
+      (** this connection is a subscribed replica: it receives every
+          committed change as [Repl_entry] frames *)
+  mutable repl_acked : int;
+      (** highest stream sequence the replica has acknowledged *)
 }
 
 let create ctx ~id =
@@ -407,6 +434,8 @@ let create ctx ~id =
     last_activity_at = ctx.now ();
     frame_started_at = None;
     subs = [];
+    repl_sub = false;
+    repl_acked = 0;
   }
 
 let id t = t.session_id
@@ -424,6 +453,10 @@ let unsubscribe_all t =
     Metrics.add_gauge t.ctx.metrics "cdc.subscribers"
       (-.float_of_int (List.length t.subs));
     t.subs <- []
+  end;
+  if t.repl_sub then begin
+    Metrics.add_gauge t.ctx.metrics "repl.replicas" (-1.);
+    t.repl_sub <- false
   end
 
 let close t =
@@ -614,6 +647,15 @@ let run_query t source =
           | exception Nfql.Eval.Eval_error message ->
             Metrics.incr ctx.metrics "errors.query";
             send t (Protocol.Err (Protocol.Query_failed, message))
+          | exception Nfql.Physical.Read_only primary ->
+            (* Typed refusal: the client should redirect its writes to
+               the primary this payload names. The session stays open —
+               reads are still welcome here. *)
+            Metrics.incr ctx.metrics "errors.read_only";
+            send t
+              (Protocol.Err
+                 ( Protocol.Read_only,
+                   Printf.sprintf "read-only replica of %s" primary ))
           | exception Nfql.Physical.Conflict message ->
             (* The transaction is already rolled back; the typed code
                tells the client a plain retry may succeed. *)
@@ -646,7 +688,8 @@ let refuse t code reason =
     | Protocol.Malformed_frame -> "errors.malformed"
     | Protocol.Overloaded -> "errors.overloaded"
     | Protocol.Query_failed -> "errors.query"
-    | Protocol.Conflict -> "errors.conflict");
+    | Protocol.Conflict -> "errors.conflict"
+    | Protocol.Read_only -> "errors.read_only");
   send t (Protocol.Err (code, reason));
   t.state <- Closing
 
@@ -680,9 +723,53 @@ let handle t message =
         Metrics.add_gauge ctx.metrics "cdc.subscribers" 1.;
         send t (Protocol.Done (Printf.sprintf "subscribed to view %s" view))
       end
+    | Protocol.Repl_subscribe ->
+      if Nfql.Physical.read_only ctx.db <> None then begin
+        Metrics.incr ctx.metrics "errors.query";
+        send t
+          (Protocol.Err
+             ( Protocol.Query_failed,
+               "cascading replication is not supported: subscribe to the \
+                primary" ))
+      end
+      else if t.repl_sub then
+        send t (Protocol.Done "already subscribed to the replication stream")
+      else begin
+        t.repl_sub <- true;
+        Metrics.incr ctx.metrics "repl.subscribe_total";
+        Metrics.add_gauge ctx.metrics "repl.replicas" 1.;
+        send t (Protocol.Done "subscribed to the replication stream");
+        (* Full-state bootstrap: no historical log is retained, so the
+           stream starts from a synthesized snapshot. Staged here, it
+           still rides the durability gate — if another session's
+           write is awaiting its fsync, these frames are held with the
+           rest of this tick's output. *)
+        List.iter
+          (fun event ->
+            Metrics.incr ctx.metrics "repl.entries_out";
+            send t (Protocol.Repl_entry event))
+          (Nfql.Physical.repl_bootstrap ctx.db)
+      end
+    | Protocol.Repl_ack seq ->
+      (* Pure bookkeeping; acks get no reply. *)
+      if t.repl_sub then t.repl_acked <- max t.repl_acked seq
+    | Protocol.Promote -> (
+      match Nfql.Physical.read_only ctx.db with
+      | None ->
+        Metrics.incr ctx.metrics "errors.query";
+        send t
+          (Protocol.Err
+             (Protocol.Query_failed, "not a replica: writes are already open"))
+      | Some primary ->
+        (match ctx.on_promote with Some detach -> detach () | None -> ());
+        Nfql.Physical.set_read_only ctx.db None;
+        send t
+          (Protocol.Done
+             (Printf.sprintf "promoted: detached from %s, accepting writes"
+                primary)))
     | Protocol.Pong | Protocol.Rows _ | Protocol.Done _ | Protocol.Err _
     | Protocol.Stats _ | Protocol.Metrics _ | Protocol.Metrics_prom _
-    | Protocol.Delta _ ->
+    | Protocol.Delta _ | Protocol.Repl_entry _ ->
       refuse t Protocol.Malformed_frame
         (Printf.sprintf "unexpected %s frame from client"
            (Protocol.message_name message))
@@ -738,6 +825,41 @@ let dispatch_cdc ctx sessions =
     while not (Queue.is_empty ctx.cdc) do
       let event = Queue.pop ctx.cdc in
       List.iter (fun t -> deliver_cdc t event) sessions
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Replication fan-out                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_repl t event =
+  if t.state = Open && t.repl_sub then begin
+    if queued_output_bytes t > t.ctx.config.cdc_max_buffered then begin
+      (* Same admission control as CDC: a replica that cannot drain its
+         socket would otherwise buffer the primary into the ground, and
+         a silently skipped entry would corrupt its state — evict it;
+         it can resubscribe and re-bootstrap. *)
+      Metrics.incr t.ctx.metrics "repl.dropped_slow";
+      unsubscribe_all t;
+      refuse t Protocol.Overloaded
+        (Printf.sprintf
+           "replica too slow: %d bytes queued exceeds the %d-byte budget"
+           (queued_output_bytes t) t.ctx.config.cdc_max_buffered)
+    end
+    else begin
+      Metrics.incr t.ctx.metrics "repl.entries_out";
+      send t (Protocol.Repl_entry event)
+    end
+  end
+
+(* Drain the commit-ordered replication queue to every subscribed
+   replica, under the same durability gate as CDC: an entry reaches
+   the wire only after the covering table-WAL and manifest fsyncs, so
+   a replica can never apply a commit its primary might still lose. *)
+let dispatch_repl ctx sessions =
+  if Nfql.Physical.wal_unsynced ctx.db = 0 then
+    while not (Queue.is_empty ctx.repl) do
+      let event = Queue.pop ctx.repl in
+      List.iter (fun t -> deliver_repl t event) sessions
     done
 
 (* ------------------------------------------------------------------ *)

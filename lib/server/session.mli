@@ -201,6 +201,22 @@ val dispatch_cdc : context -> t list -> unit
     output exceeds [cdc_max_buffered] is unsubscribed and refused
     [Overloaded] (counted in [cdc.dropped_slow]). *)
 
+val dispatch_repl : context -> t list -> unit
+(** Drain the commit-ordered replication queue and stage one
+    [Repl_entry] frame per event on every subscribed replica, under
+    the same durability gate and slow-subscriber eviction as
+    {!dispatch_cdc} ([repl.dropped_slow]) — an entry reaches the wire
+    only after the covering table-WAL and manifest fsyncs, so a
+    replica can never apply a commit its primary might still lose.
+    Called right after {!dispatch_cdc}; drains the queue even with no
+    replica subscribed, so a primary without replicas does not
+    accumulate events. *)
+
+val set_on_promote : context -> (unit -> unit) -> unit
+(** Install the replica-mode detach hook: the [Promote] handler calls
+    it (dropping the upstream connection) before clearing the
+    database's read-only guard. *)
+
 val check_deadlines : t -> now:float -> [ `Keep | `Reap ]
 (** Idle and partial-frame timers. [`Reap]: the loop should close the
     socket after flushing ({!want_write} may newly be true — a

@@ -20,6 +20,11 @@ let sites =
     ("snapshot.body", `Write);
     ("snapshot.rename", `Control);
     ("engine.load.record", `Write);
+    (* Cross-table commit windows: between one table's provisional
+       commit append and the next's, and between the last table's
+       append and the manifest record. *)
+    ("txn.commit.table", `Control);
+    ("manifest.append.before", `Control);
   ]
 
 let faults_for = function

@@ -1,0 +1,67 @@
+(* The global commit manifest: one [Wal.Manifest_commit] record per
+   durable transaction, in commit order, in its own v1-framed log
+   (conventionally [_commit.wal]). The per-table WALs hold the ops and
+   a provisional Txn_commit; this log is the single commit point for
+   multi-table transactions. Durability order at a commit is always
+   table WALs first, manifest last: a crash before the manifest sync
+   loses the manifest record and recovery rolls the transaction back
+   in every participating table (all-or-nothing); a crash after it
+   loses nothing. *)
+
+type t = {
+  wal : Wal.t;
+  records : (int, (string * int) list) Hashtbl.t;  (* txid -> tables *)
+  mutable order : (int * (string * int) list) list;  (* newest first *)
+  mutable max_txid : int;
+}
+
+let remember t ~txid ~tables =
+  Hashtbl.replace t.records txid tables;
+  t.order <- (txid, tables) :: t.order;
+  if txid > t.max_txid then t.max_txid <- txid
+
+let open_log path =
+  (* Torn-tail salvage first: record what survives, then let
+     [Wal.open_log] trim the debris so appends land on a frame
+     boundary. Mid-log damage in a manifest is damage to the commit
+     history itself — surviving frames are still honoured (each one
+     names a transaction whose tables all committed), and the skipped
+     bytes surface through the per-table recovery reports when the
+     affected transactions get rolled back. *)
+  let salvage = Wal.replay_salvage path in
+  let t =
+    {
+      wal = Wal.open_log path;
+      records = Hashtbl.create 64;
+      order = [];
+      max_txid = 0;
+    }
+  in
+  List.iter
+    (function
+      | Wal.Manifest_commit { txid; tables } -> remember t ~txid ~tables
+      | _ ->
+        (* A foreign record (debris decoding as a table entry) carries
+           no commit authority; ignore it. *)
+        ())
+    salvage.Wal.entries;
+  t
+
+let append t ~txid ~tables =
+  Failpoint.hit "manifest.append.before";
+  Wal.append t.wal (Wal.Manifest_commit { txid; tables });
+  remember t ~txid ~tables
+
+let sync t = Wal.sync t.wal
+let unsynced_bytes t = Wal.unsynced_bytes t.wal
+let close t = Wal.close t.wal
+
+let truncate t =
+  Wal.truncate t.wal;
+  Hashtbl.reset t.records;
+  t.order <- []
+
+let durable t txid = Hashtbl.mem t.records txid
+let tables_of t txid = Hashtbl.find_opt t.records txid
+let max_txid t = t.max_txid
+let records t = List.rev t.order

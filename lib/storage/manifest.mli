@@ -1,0 +1,67 @@
+(** The global commit manifest — the single commit point for
+    multi-table transactions.
+
+    Per-table WALs hold each transaction's ops and a {e provisional}
+    [Txn_commit]; this log (conventionally [_commit.wal], reusing the
+    {!Wal} v1 framing, CRC and torn-tail salvage) holds one
+    {!Wal.Manifest_commit} record per transaction that actually
+    committed, in commit order. A transaction is durable iff its
+    manifest record is synced.
+
+    The durability order at every commit is: participating table WALs
+    first, manifest last, acknowledgement after the manifest sync. A
+    crash anywhere before the manifest sync therefore loses (at most)
+    the manifest record, and recovery — {!Table.recover} and friends
+    with a [durable] check built from {!durable} — rolls the
+    transaction back in {e every} table it touched. All-or-nothing
+    across tables, with the rollbacks reported per table in
+    {!Table.recovery_report}[.discarded_txns].
+
+    The manifest is also the totally-ordered commit stream that WAL
+    shipping replays to read replicas. *)
+
+type t
+
+val open_log : string -> t
+(** Open (creating if absent), salvaging existing records — a torn
+    tail is trimmed exactly as {!Wal.open_log} does. Every surviving
+    record is loaded into the in-memory durable set. *)
+
+val append : t -> txid:int -> tables:(string * int) list -> unit
+(** Append the manifest record for [txid], naming each participating
+    table and the commit sequence its group claimed there. Buffered
+    ({!Wal.append} semantics): not durable until {!sync}. Must be
+    called {e after} every participating table's provisional
+    [Txn_commit] append. Hits the ["manifest.append.before"]
+    failpoint. *)
+
+val sync : t -> unit
+(** The transaction durability barrier ({!Wal.sync}): fsync the
+    manifest. In a group-commit server this runs once per tick, after
+    the table WAL syncs it covers. *)
+
+val unsynced_bytes : t -> int
+
+val close : t -> unit
+
+val truncate : t -> unit
+(** Reset after a full-database checkpoint. Only safe once {e every}
+    table's WAL has been truncated past the recorded transactions —
+    a manifest truncated while some table still replays provisional
+    commits would roll those commits back. *)
+
+val durable : t -> int -> bool
+(** Is there a manifest record for this txid? The [?durable] check to
+    pass to {!Table.recover}/{!Table.recover_salvage}/
+    {!Table.load_snapshot}/{!Table.load_snapshot_salvage}. *)
+
+val tables_of : t -> int -> (string * int) list option
+(** The participating (table, commit seq) pairs recorded for a txid. *)
+
+val max_txid : t -> int
+(** Largest txid with a manifest record (0 when empty). Restart
+    txid allocation above this so a recycled txid can never match a
+    stale manifest record. *)
+
+val records : t -> (int * (string * int) list) list
+(** Every record in manifest (commit) order. *)

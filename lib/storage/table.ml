@@ -14,6 +14,23 @@ module Rid_set = Set.Make (struct
   let compare = Stdlib.compare
 end)
 
+module Tuple_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* The first-committer-wins ledger: committed flat tuples indexed by
+   tuple, each bucket holding the commit sequences that wrote it
+   (newest first). Indexing by tuple makes [modified_since] one probe
+   instead of a scan over every committed write since the last prune;
+   [entries] counts (tuple, seq) pairs so [ledger_size] is O(1). *)
+type ledger = {
+  writes : int list ref Tuple_table.t;
+  mutable entries : int;
+}
+
 type health =
   | Healthy
   | Degraded of string
@@ -45,7 +62,7 @@ type t = {
   sync_on_commit : bool;
   mutable health : health;
   mutable commit_seq : int;  (* commits applied to this instance *)
-  mutable ledger : (int * Tuple.t) list;  (* committed writes, newest first *)
+  ledger : ledger;  (* committed writes since the last prune *)
   mutable txn : txn_state option;
 }
 
@@ -124,7 +141,7 @@ let create ?(page_size = Page.default_size) ?wal_path ?(synchronous = true)
     sync_on_commit = synchronous;
     health = Healthy;
     commit_seq = 0;
-    ledger = [];
+    ledger = { writes = Tuple_table.create 256; entries = 0 };
     txn = None;
   }
 
@@ -143,6 +160,8 @@ let apply_unlogged t entry =
     invalid_arg "Table.apply_unlogged: transaction records must be folded first"
   | Wal.View_def _ | Wal.View_drop _ ->
     invalid_arg "Table.apply_unlogged: view catalog records do not belong to a table log"
+  | Wal.Manifest_commit _ ->
+    invalid_arg "Table.apply_unlogged: manifest records belong to the commit manifest log"
 
 (* The commit point of one autocommit op or one whole transaction:
    advance the sequence and remember which flat tuples it wrote, so a
@@ -150,7 +169,19 @@ let apply_unlogged t entry =
    wins). *)
 let note_commit t tuples =
   t.commit_seq <- t.commit_seq + 1;
-  List.iter (fun tuple -> t.ledger <- (t.commit_seq, tuple) :: t.ledger) tuples
+  List.iter
+    (fun tuple ->
+      let bucket =
+        match Tuple_table.find_opt t.ledger.writes tuple with
+        | Some bucket -> bucket
+        | None ->
+          let bucket = ref [] in
+          Tuple_table.replace t.ledger.writes tuple bucket;
+          bucket
+      in
+      bucket := t.commit_seq :: !bucket;
+      t.ledger.entries <- t.ledger.entries + 1)
+    tuples
 
 let load ?page_size ?wal_path ?synchronous ?ordered_on ~order flat =
   let t =
@@ -168,11 +199,29 @@ let load ?page_size ?wal_path ?synchronous ?ordered_on ~order flat =
    buffer per txid and surface as one group at their Txn_commit, and
    anything whose commit never landed — an explicit Txn_abort, or a
    buffer still open at end of log (a torn transaction) — is
-   discarded. Discarded ops are correct rollback, not data loss. *)
-let fold_committed entries =
+   discarded. Discarded ops are correct rollback, not data loss.
+
+   [durable] is the global-commit-manifest check: when given, a
+   per-table Txn_commit is merely {e provisional}, and the group it
+   closes only survives if the manifest holds a synced record for its
+   txid. A commit whose manifest record is missing — a crash between
+   the per-table appends and the manifest sync — is discarded exactly
+   like a torn transaction, which is what makes multi-table commits
+   all-or-nothing: either every table's group passes the same check,
+   or none does. Such crash discards (torn tails and manifest-missing
+   commits, not explicit aborts) are additionally reported per txid so
+   the recovery report can break down what the crash cost. *)
+type fold_report = {
+  groups : [ `Auto of Wal.entry | `Group of Wal.entry list ] list;
+  discarded_ops : int;  (* every discarded op: aborts, torn, manifest *)
+  crash_discards : (int * int) list;  (* (txid, ops) torn or non-durable *)
+}
+
+let fold_committed ?durable entries =
   let buffers : (int, Wal.entry list ref) Hashtbl.t = Hashtbl.create 8 in
   let started : int list ref = ref [] in  (* txids in begin order *)
   let discarded = ref 0 in
+  let crash_discards = ref [] in
   let buffer_of txid =
     match Hashtbl.find_opt buffers txid with
     | Some ops -> ops
@@ -182,13 +231,14 @@ let fold_committed entries =
       started := txid :: !started;
       ops
   in
-  let drop txid =
+  let drop ?(crash = false) txid =
     match Hashtbl.find_opt buffers txid with
     | Some ops ->
       discarded := !discarded + List.length !ops;
+      if crash then crash_discards := (txid, List.length !ops) :: !crash_discards;
       Hashtbl.remove buffers txid;
       started := List.filter (fun id -> id <> txid) !started
-    | None -> ()
+    | None -> if crash then crash_discards := (txid, 0) :: !crash_discards
   in
   let groups =
     List.filter_map
@@ -209,28 +259,37 @@ let fold_committed entries =
           ops := Wal.Delete tuple :: !ops;
           None
         | Wal.Txn_commit txid -> (
-          match Hashtbl.find_opt buffers txid with
-          | Some ops ->
-            Hashtbl.remove buffers txid;
-            started := List.filter (fun id -> id <> txid) !started;
-            Some (`Group (List.rev !ops))
-          | None -> Some (`Group []))
+          match durable with
+          | Some durable when not (durable txid) ->
+            (* Provisional commit with no manifest record: the crash
+               landed between this table's append and the manifest
+               sync. Roll the group back. *)
+            drop ~crash:true txid;
+            None
+          | _ -> (
+            match Hashtbl.find_opt buffers txid with
+            | Some ops ->
+              Hashtbl.remove buffers txid;
+              started := List.filter (fun id -> id <> txid) !started;
+              Some (`Group (List.rev !ops))
+            | None -> Some (`Group [])))
         | Wal.Txn_abort txid ->
           drop txid;
           None
-        | Wal.View_def _ | Wal.View_drop _ ->
-          (* Catalog records; a table log should never hold one, but a
-             foreign entry is not worth failing recovery over. *)
+        | Wal.View_def _ | Wal.View_drop _ | Wal.Manifest_commit _ ->
+          (* Catalog/manifest records; a table log should never hold
+             one, but a foreign entry is not worth failing recovery
+             over. *)
           None)
       entries
   in
-  List.iter drop (List.rev !started);
-  (groups, !discarded)
+  List.iter (drop ~crash:true) (List.rev !started);
+  { groups; discarded_ops = !discarded; crash_discards = List.rev !crash_discards }
 
-let recover ?page_size ?synchronous ?ordered_on ~wal_path ~order schema =
+let recover ?page_size ?synchronous ?ordered_on ?durable ~wal_path ~order schema =
   let entries = Wal.replay wal_path in
   let t = create ?page_size ~wal_path ?synchronous ?ordered_on ~order schema in
-  let groups, _discarded = fold_committed entries in
+  let { groups; _ } = fold_committed ?durable entries in
   let apply entry =
     match apply_unlogged t entry with
     | _ -> ()
@@ -258,6 +317,12 @@ type recovery_report = {
   applied : int;
   skipped_ops : int;
   discarded_txn_ops : int;
+  discarded_txns : (int * int) list;
+      (* (txid, ops rolled back) for each transaction this table
+         discarded as a crash cost: a torn tail, or a provisional
+         commit whose manifest record never synced. Cross-table
+         recovery aggregates these per table so an operator can audit
+         exactly what a crash rolled back where. *)
 }
 
 (* Replay entries, skipping (and counting) any that cannot be applied —
@@ -266,8 +331,8 @@ type recovery_report = {
    here may take the table down mid-recovery. Uncommitted transactional
    tails are folded away first and counted separately: discarding them
    is the contract, not damage. *)
-let apply_salvaged t entries =
-  let groups, discarded = fold_committed entries in
+let apply_salvaged ?durable t entries =
+  let { groups; discarded_ops; crash_discards } = fold_committed ?durable entries in
   let applied = ref 0 and skipped = ref 0 in
   let apply entry =
     match apply_unlogged t entry with
@@ -286,7 +351,7 @@ let apply_salvaged t entries =
         List.iter apply entries;
         note_commit t [])
     groups;
-  (!applied, !skipped, discarded)
+  (!applied, !skipped, discarded_ops, crash_discards)
 
 let degrade_if_lossy t report =
   let wal_damage =
@@ -310,12 +375,15 @@ let degrade_if_lossy t report =
            | None -> 0)
            report.skipped_ops)
 
-let recover_salvage ?page_size ?synchronous ?ordered_on ~wal_path ~order schema =
+let recover_salvage ?page_size ?synchronous ?ordered_on ?durable ~wal_path ~order
+    schema =
   Obs.Span.with_span Obs.Span.Salvage wal_path @@ fun _ ->
   Obs.Registry.incr Obs.Registry.global "wal.recover_salvage_total";
   let salvage = Wal.replay_salvage wal_path in
   let t = create ?page_size ~wal_path ?synchronous ?ordered_on ~order schema in
-  let applied, skipped_ops, discarded_txn_ops = apply_salvaged t salvage.Wal.entries in
+  let applied, skipped_ops, discarded_txn_ops, discarded_txns =
+    apply_salvaged ?durable t salvage.Wal.entries
+  in
   let report =
     {
       wal_salvage = Some salvage;
@@ -324,6 +392,7 @@ let recover_salvage ?page_size ?synchronous ?ordered_on ~wal_path ~order schema 
       applied;
       skipped_ops;
       discarded_txn_ops;
+      discarded_txns;
     }
   in
   degrade_if_lossy t report;
@@ -416,13 +485,26 @@ let commit_seq t = t.commit_seq
 let in_txn t = t.txn <> None
 let version_of t nt = Ntuple_table.find_opt t.versions nt
 
+(* One bucket probe; sequences are newest-first, so the head decides. *)
 let modified_since t ~seq tuple =
-  List.exists (fun (s, written) -> s > seq && Tuple.equal written tuple) t.ledger
+  match Tuple_table.find_opt t.ledger.writes tuple with
+  | Some bucket -> ( match !bucket with s :: _ -> s > seq | [] -> false)
+  | None -> false
 
 let prune_ledger t ~below =
-  t.ledger <- List.filter (fun (s, _) -> s > below) t.ledger
+  let stale =
+    Tuple_table.fold
+      (fun tuple bucket acc ->
+        let kept = List.filter (fun s -> s > below) !bucket in
+        let dropped = List.length !bucket - List.length kept in
+        t.ledger.entries <- t.ledger.entries - dropped;
+        bucket := kept;
+        if kept = [] then tuple :: acc else acc)
+      t.ledger.writes []
+  in
+  List.iter (Tuple_table.remove t.ledger.writes) stale
 
-let ledger_size t = List.length t.ledger
+let ledger_size t = t.ledger.entries
 
 let require_txn t context txid =
   match t.txn with
@@ -752,7 +834,7 @@ let parse_snapshot ?page_size ?wal_path ?synchronous ?ordered_on contents =
   if count > 0 then t.commit_seq <- 1;
   (generation, t)
 
-let load_snapshot ?page_size ?wal_path ?synchronous ?ordered_on path =
+let load_snapshot ?page_size ?wal_path ?synchronous ?ordered_on ?durable path =
   Obs.Span.with_span Obs.Span.Snapshot_load path @@ fun _ ->
   Obs.Registry.incr Obs.Registry.global "snapshot.load_total";
   let contents = In_channel.with_open_bin path In_channel.input_all in
@@ -768,7 +850,7 @@ let load_snapshot ?page_size ?wal_path ?synchronous ?ordered_on path =
        replaying them would double-apply. *)
     let stale = snapshot_generation > 0 && salvage.Wal.generation <= snapshot_generation in
     if not stale then begin
-      let groups, _discarded = fold_committed (Wal.replay wal_path) in
+      let { groups; _ } = fold_committed ?durable (Wal.replay wal_path) in
       let apply entry =
         match apply_unlogged t entry with
         | _ -> ()
@@ -789,7 +871,8 @@ let load_snapshot ?page_size ?wal_path ?synchronous ?ordered_on path =
   | None -> ());
   t
 
-let load_snapshot_salvage ?page_size ?wal_path ?synchronous ?ordered_on path =
+let load_snapshot_salvage ?page_size ?wal_path ?synchronous ?ordered_on ?durable
+    path =
   Obs.Span.with_span Obs.Span.Salvage path @@ fun _ ->
   Obs.Registry.incr Obs.Registry.global "snapshot.salvage_total";
   let snapshot_result =
@@ -822,6 +905,7 @@ let load_snapshot_salvage ?page_size ?wal_path ?synchronous ?ordered_on path =
         applied = 0;
         skipped_ops = 0;
         discarded_txn_ops = 0;
+        discarded_txns = [];
       }
     in
     degrade_if_lossy t report;
@@ -832,9 +916,9 @@ let load_snapshot_salvage ?page_size ?wal_path ?synchronous ?ordered_on path =
       snapshot_status = `Loaded && snapshot_generation > 0
       && salvage.Wal.generation <= snapshot_generation
     in
-    let applied, skipped_ops, discarded_txn_ops =
-      if stale || snapshot_status <> `Loaded then (0, 0, 0)
-      else apply_salvaged t salvage.Wal.entries
+    let applied, skipped_ops, discarded_txn_ops, discarded_txns =
+      if stale || snapshot_status <> `Loaded then (0, 0, 0, [])
+      else apply_salvaged ?durable t salvage.Wal.entries
     in
     let report =
       {
@@ -844,6 +928,7 @@ let load_snapshot_salvage ?page_size ?wal_path ?synchronous ?ordered_on path =
         applied;
         skipped_ops;
         discarded_txn_ops;
+        discarded_txns;
       }
     in
     degrade_if_lossy t report;

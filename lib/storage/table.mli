@@ -74,11 +74,22 @@ val recover :
   ?page_size:int ->
   ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
+  ?durable:(int -> bool) ->
   wal_path:string ->
   order:Attribute.t list ->
   Schema.t ->
   t
 (** Rebuild by replaying the WAL from an empty table.
+
+    [durable] is the global-commit-manifest check: when given, every
+    per-table [Txn_commit] is treated as {e provisional} and its group
+    only survives when [durable txid] holds — i.e. when the commit
+    manifest carries a synced record for the transaction. Build it
+    from {!Manifest.durable} so a crash between one table's commit
+    append and the manifest sync rolls the transaction back in {e
+    every} participating table, not just the ones whose commit record
+    was lost. Without [durable] the per-table commit record remains
+    the commit point (pre-manifest behaviour).
     @raise Storage_error.Error on mid-log corruption or a delete of an
     absent tuple — use {!recover_salvage} to recover around damage. *)
 
@@ -93,15 +104,25 @@ type recovery_report = {
   applied : int;  (** WAL entries applied *)
   skipped_ops : int;  (** WAL entries that could not be applied *)
   discarded_txn_ops : int;
-      (** transactional ops whose commit record never landed (torn
-          transaction or explicit abort) — rolled back by design, not
-          loss, so they never degrade the table *)
+      (** transactional ops whose commit never became durable (torn
+          transaction, explicit abort, or a provisional commit with no
+          manifest record) — rolled back by design, not loss, so they
+          never degrade the table *)
+  discarded_txns : (int * int) list;
+      (** per-transaction breakdown of the {e crash} discards:
+          [(txid, ops)] for every group rolled back because the log
+          tore before its commit record or because its manifest record
+          never synced. Explicit aborts are not listed — they are user
+          rollback, not crash cost. Aggregating this field across a
+          database's tables is the cross-table audit of what a crash
+          rolled back where. *)
 }
 
 val recover_salvage :
   ?page_size:int ->
   ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
+  ?durable:(int -> bool) ->
   wal_path:string ->
   order:Attribute.t list ->
   Schema.t ->
@@ -179,13 +200,16 @@ val modified_since : t -> seq:int -> Tuple.t -> bool
 (** Has any commit after [seq] written (inserted or deleted) this flat
     tuple? The first-committer-wins check: a transaction whose
     snapshot was taken at [seq] must abort if a tuple it wrote
-    satisfies this. *)
+    satisfies this. One hash probe — the ledger is indexed by tuple,
+    so a COMMIT validates in O(writes), independent of how many other
+    commits the ledger still retains. *)
 
 val prune_ledger : t -> below:int -> unit
 (** Drop ledger entries at or below [below] — safe once no live
     snapshot is older than that sequence. *)
 
 val ledger_size : t -> int
+(** Number of retained [(tuple, commit seq)] ledger entries. O(1). *)
 
 val begin_txn : t -> txid:int -> unit
 (** Log [Txn_begin] and open the storage transaction.
@@ -202,8 +226,12 @@ val txn_delete : t -> txid:int -> Tuple.t -> unit
 
 val commit_txn : t -> txid:int -> int
 (** Log [Txn_commit], advance and return {!commit_seq}, and enter the
-    transaction's writes into the ledger. After this the group is
-    durable: recovery replays it atomically. *)
+    transaction's writes into the ledger. On a standalone table this
+    makes the group durable: recovery replays it atomically. Under a
+    global commit manifest the record is only {e provisional} — the
+    transaction is durable once its {!Manifest.append} record syncs,
+    and recovery with a [durable] check discards provisional commits
+    the manifest never acknowledged. *)
 
 val abort_txn : t -> txid:int -> unit
 (** Undo every applied op (inverted journals, applied newest-first),
@@ -311,6 +339,7 @@ val load_snapshot :
   ?wal_path:string ->
   ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
+  ?durable:(int -> bool) ->
   string ->
   t
 (** Rebuild a table from {!save_snapshot} output, then replay
@@ -326,6 +355,7 @@ val load_snapshot_salvage :
   ?wal_path:string ->
   ?synchronous:bool ->
   ?ordered_on:Attribute.t ->
+  ?durable:(int -> bool) ->
   string ->
   t * recovery_report
 (** Best-effort {!load_snapshot}: a corrupt or missing snapshot is

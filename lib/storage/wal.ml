@@ -10,6 +10,7 @@ type entry =
   | Txn_abort of int
   | View_def of { view : string; base : string; by : string list }
   | View_drop of string
+  | Manifest_commit of { txid : int; tables : (string * int) list }
 
 type format = V0 | V1
 
@@ -124,7 +125,20 @@ let encode_entry entry =
     List.iter (encode_string buffer) by
   | View_drop view ->
     Buffer.add_char buffer 'W';
-    encode_string buffer view);
+    encode_string buffer view
+  | Manifest_commit { txid; tables } ->
+    (* 'M' lives only in the global commit manifest (_commit.wal): one
+       record per transaction naming every participating table and the
+       commit sequence its group claimed there. A per-table Txn_commit
+       without a matching manifest record is provisional, not durable. *)
+    Buffer.add_char buffer 'M';
+    Codec.encode_varint buffer txid;
+    Codec.encode_varint buffer (List.length tables);
+    List.iter
+      (fun (table, seq) ->
+        encode_string buffer table;
+        Codec.encode_varint buffer seq)
+      tables);
   Buffer.contents buffer
 
 let add_le32 buffer n =
@@ -293,6 +307,22 @@ let decode_entry payload =
     let view, consumed = decode_string bytes 1 in
     exhausted consumed;
     View_drop view
+  | 'M' ->
+    let txid, offset = Codec.decode_varint bytes 1 in
+    let count, offset = Codec.decode_varint bytes offset in
+    if count < 0 || count > Bytes.length bytes - offset then
+      Storage_error.corrupt ~context:"Wal.decode_entry" ~offset
+        (Printf.sprintf "manifest table count %d out of range" count);
+    let rec tables acc offset remaining =
+      if remaining = 0 then (List.rev acc, offset)
+      else
+        let table, offset = decode_string bytes offset in
+        let seq, offset = Codec.decode_varint bytes offset in
+        tables ((table, seq) :: acc) offset (remaining - 1)
+    in
+    let tables, consumed = tables [] offset count in
+    exhausted consumed;
+    Manifest_commit { txid; tables }
   | c ->
     Storage_error.corrupt ~context:"Wal.decode_entry" ~offset:0
       (Printf.sprintf "unknown entry tag %C" c)

@@ -49,6 +49,12 @@ type entry =
           log, never in a table log; view {e contents} are not logged —
           recovery rematerializes by renesting the recovered base. *)
   | View_drop of string  (** view-catalog record: the view was dropped *)
+  | Manifest_commit of { txid : int; tables : (string * int) list }
+      (** global-commit-manifest record: transaction [txid] committed
+          across [tables], claiming the paired commit sequence in each.
+          Lives only in the [_commit.wal] manifest log; a per-table
+          [Txn_commit] is {e provisional} until the manifest record
+          that names it is synced. *)
 
 type format = V0  (** legacy: unframed, 1-byte additive checksum *)
             | V1  (** current: header + marker/CRC-32 frames *)
@@ -88,6 +94,15 @@ val unsynced_bytes : t -> int
 
 val close : t -> unit
 (** Flush, fsync (best effort), and close the handle. *)
+
+val encode_entry : entry -> string
+(** The frame payload for one entry — the same bytes {!append} frames.
+    Exposed so replication can ship entries over the wire protocol in
+    the exact on-disk encoding. *)
+
+val decode_entry : string -> entry
+(** Inverse of {!encode_entry}.
+    @raise Storage_error.Error on a truncated or unknown payload. *)
 
 val replay : string -> entry list
 (** All complete entries in write order; the empty list when the file

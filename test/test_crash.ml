@@ -132,6 +132,16 @@ let check_cell ~name ~ops ~applied ~crashed ~fault ~after recovered report =
   in
   Alcotest.(check bool) (name ^ ": golden state or reported loss") true ok
 
+(* The sites a single-table workload can reach. The cross-table
+   commit windows ([txn.commit.table], [manifest.append.before]) only
+   fire on multi-table transactions — the "manifest" suite below
+   drives those. *)
+let single_table_sites =
+  List.filter
+    (fun (site, _) ->
+      site <> "txn.commit.table" && site <> "manifest.append.before")
+    Failpoint.sites
+
 let test_site_fault_matrix () =
   let ops = Workload.Trace.mixed ~seed start ~ops:60 in
   let total = List.length ops in
@@ -164,7 +174,7 @@ let test_site_fault_matrix () =
                     Table.close recovered))
               afters)
           (Failpoint.faults_for kind))
-    Failpoint.sites
+    single_table_sites
 
 (* The engine loader's site, separately: it has no WAL behind it, so
    the contract is simply typed failure or visible shrinkage. *)
@@ -501,7 +511,7 @@ let test_torn_txn_matrix () =
                     Table.close recovered))
               afters)
           (Failpoint.faults_for kind))
-    Failpoint.sites
+    single_table_sites
 
 (* BEGIN; DML; ROLLBACK must be byte-identical to never having run:
    same in-memory state, same WAL bytes, same commit sequence. *)
@@ -749,6 +759,256 @@ let test_view_maintain_crash_txn () =
           (Storage.Table.snapshot (Option.get (Nfql.Physical.table db' "t")))));
   check_view_converged db' "v"
 
+(* ------------------------------------------------------------------ *)
+(* Cross-table atomicity: the global commit manifest                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A multi-table COMMIT's durable footprint is one provisional record
+   group per participating table plus ONE manifest record; the
+   manifest record (synced last) is the commit point. Killing the
+   process at every window in that sequence must leave recovery
+   all-or-nothing ACROSS tables: every table has the transaction, or
+   none does, with the rollbacks reported per table. *)
+
+let xt_base_t = [ ("t1", "b1"); ("t2", "b2") ]
+let xt_base_u = [ ("u1", "b1"); ("u2", "b2") ]
+let xt_txn_t = [ ("tn1", "x1"); ("tn2", "x2") ]
+let xt_txn_u = [ ("un1", "x1"); ("un2", "x2") ]
+
+let with_xt_scratch f =
+  let wal_t = Filename.temp_file "nf2-xt-t" ".wal" in
+  let wal_u = Filename.temp_file "nf2-xt-u" ".wal" in
+  let mpath = Filename.temp_file "nf2-xt-m" ".wal" in
+  List.iter Sys.remove [ wal_t; wal_u; mpath ];
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.reset ();
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ wal_t; wal_u; mpath ])
+    (fun () -> f ~wal_t ~wal_u ~mpath)
+
+let xt_insert_stmt table pairs =
+  Printf.sprintf "insert into %s values %s" table
+    (String.concat ","
+       (List.map (fun (a, b) -> Printf.sprintf "('%s','%s')" a b) pairs))
+
+(* A two-table database with committed base rows and (optionally) the
+   global commit manifest attached. *)
+let xt_setup ?(sync = true) ?(with_manifest = true) ~wal_t ~wal_u ~mpath () =
+  let tt =
+    Table.create ~wal_path:wal_t ~synchronous:sync ~order:order2 schema2
+  in
+  let tu =
+    Table.create ~wal_path:wal_u ~synchronous:sync ~order:order2 schema2
+  in
+  let db = Nfql.Physical.create () in
+  Nfql.Physical.add_table db "t" tt;
+  Nfql.Physical.add_table db "u" tu;
+  if with_manifest then
+    Nfql.Physical.attach_manifest ~synchronous:sync db
+      (Manifest.open_log mpath);
+  ignore (Nfql.Physical.exec_string db (xt_insert_stmt "t" xt_base_t));
+  ignore (Nfql.Physical.exec_string db (xt_insert_stmt "u" xt_base_u));
+  (db, tt, tu)
+
+let xt_commit db =
+  ignore
+    (Nfql.Physical.exec_string db
+       (Printf.sprintf "begin; %s; %s; commit"
+          (xt_insert_stmt "t" xt_txn_t)
+          (xt_insert_stmt "u" xt_txn_u)))
+
+let xt_recover ?durable ~wal_path () =
+  Table.recover_salvage ?durable ~wal_path ~order:order2 schema2
+
+let xt_state ~name recovered =
+  Alcotest.(check bool) (name ^ ": cross-layer audit") true
+    (Table.check_invariants recovered);
+  flat recovered
+
+let has_all state pairs =
+  List.for_all (fun p -> Relation.mem state (pair_tuple p)) pairs
+
+let has_none state pairs =
+  List.for_all (fun p -> not (Relation.mem state (pair_tuple p))) pairs
+
+let xt_discarded report =
+  List.fold_left (fun acc (_, ops) -> acc + ops) 0 report.Table.discarded_txns
+
+(* The seed bug, reproduced: WITHOUT a manifest the per-table commit
+   record is the commit point, so dying between the two tables'
+   commit appends recovers half the transaction — t has its rows, u
+   does not. The same crash artifacts judged through an (empty)
+   manifest roll the half back everywhere. This is the cell that
+   would have failed before the fix. *)
+let test_cross_table_seed_bug () =
+  with_xt_scratch @@ fun ~wal_t ~wal_u ~mpath ->
+  let db, tt, tu = xt_setup ~with_manifest:false ~wal_t ~wal_u ~mpath () in
+  Failpoint.arm ~after:1 "txn.commit.table" Failpoint.Crash;
+  let crashed = try xt_commit db; false with Failpoint.Crashed _ -> true in
+  Alcotest.(check bool) "died between the two tables' commits" true crashed;
+  Failpoint.reset ();
+  (try Table.close tt with _ -> ());
+  (try Table.close tu with _ -> ());
+  (* Pre-fix recovery: t committed alone — the torn write set. *)
+  let rt, _ = xt_recover ~wal_path:wal_t () in
+  let ru, _ = xt_recover ~wal_path:wal_u () in
+  let st = xt_state ~name:"seed-bug t" rt in
+  let su = xt_state ~name:"seed-bug u" ru in
+  Alcotest.(check bool) "t recovered its half of the transaction" true
+    (has_all st xt_txn_t);
+  Alcotest.(check bool) "u lost its half of the transaction" true
+    (has_none su xt_txn_u);
+  Table.close rt;
+  Table.close ru;
+  (* Post-fix recovery of the same bytes: no manifest record, so the
+     stray half rolls back and both tables agree again. *)
+  let manifest = Manifest.open_log mpath in
+  let durable = Manifest.durable manifest in
+  let rt, report_t = xt_recover ~durable ~wal_path:wal_t () in
+  let ru, _ = xt_recover ~durable ~wal_path:wal_u () in
+  let st = xt_state ~name:"manifest t" rt in
+  let su = xt_state ~name:"manifest u" ru in
+  Alcotest.(check bool) "manifest recovery rolls the half back" true
+    (has_none st xt_txn_t && has_none su xt_txn_u);
+  Alcotest.(check bool) "base rows intact" true
+    (has_all st xt_base_t && has_all su xt_base_u);
+  Alcotest.(check bool) "the rollback is reported, not silent" true
+    (xt_discarded report_t > 0);
+  Manifest.close manifest;
+  Table.close rt;
+  Table.close ru
+
+(* With the manifest attached, kill the process in every commit
+   window: before either table's provisional append, between the two,
+   mid-frame inside the second group, and at the manifest record
+   itself. Recovery through the manifest must be all-or-nothing across
+   both tables in every cell. *)
+let test_cross_table_all_or_nothing () =
+  List.iter
+    (fun (site, after) ->
+      let name = Printf.sprintf "xt %s@%d" site after in
+      with_xt_scratch @@ fun ~wal_t ~wal_u ~mpath ->
+      let db, tt, tu = xt_setup ~wal_t ~wal_u ~mpath () in
+      Failpoint.arm ~after site Failpoint.Crash;
+      let crashed = try xt_commit db; false with Failpoint.Crashed _ -> true in
+      Alcotest.(check bool) (name ^ ": simulated process death") true crashed;
+      Alcotest.(check bool)
+        (name ^ ": fault fired")
+        true
+        (List.mem (site, Failpoint.Crash) (Failpoint.fired ()));
+      Failpoint.reset ();
+      (try Table.close tt with _ -> ());
+      (try Table.close tu with _ -> ());
+      let manifest = Manifest.open_log mpath in
+      let durable = Manifest.durable manifest in
+      let rt, report_t = xt_recover ~durable ~wal_path:wal_t () in
+      let ru, report_u = xt_recover ~durable ~wal_path:wal_u () in
+      let st = xt_state ~name:(name ^ " t") rt in
+      let su = xt_state ~name:(name ^ " u") ru in
+      Alcotest.(check bool) (name ^ ": base rows intact") true
+        (has_all st xt_base_t && has_all su xt_base_u);
+      (* Every one of these cells dies before the manifest record is
+         durable, so the transaction must be gone from BOTH tables —
+         a committed half in either one is the seed bug. *)
+      Alcotest.(check bool) (name ^ ": rolled back everywhere") true
+        (has_none st xt_txn_t && has_none su xt_txn_u);
+      (* A table whose commit record made it to disk must say what it
+         rolled back. *)
+      if site = "manifest.append.before" then begin
+        Alcotest.(check int) (name ^ ": t reports its rollback") 2
+          (xt_discarded report_t);
+        Alcotest.(check int) (name ^ ": u reports its rollback") 2
+          (xt_discarded report_u)
+      end;
+      Manifest.close manifest;
+      Table.close rt;
+      Table.close ru)
+    [
+      ("txn.commit.table", 0);
+      ("txn.commit.table", 1);
+      ("manifest.append.before", 0);
+      (* 9 commit-path frames: t's group (hits 1-4), u's group (5-8),
+         the manifest record (9). Tear u's group mid-frame, then the
+         manifest record itself. *)
+      ("wal.append.frame", 5);
+      ("wal.append.frame", 8);
+    ]
+
+(* Group commit: tables synced first, manifest last. A power cut at
+   the MANIFEST's own sync loses only the manifest record — and with
+   it, by design, the whole transaction in every table. *)
+let test_cross_table_manifest_power_cut () =
+  with_xt_scratch @@ fun ~wal_t ~wal_u ~mpath ->
+  let db, tt, tu = xt_setup ~sync:false ~wal_t ~wal_u ~mpath () in
+  Nfql.Physical.sync_wal db;
+  xt_commit db;
+  Alcotest.(check bool) "manifest record awaits the group sync" true
+    (Storage.Manifest.unsynced_bytes
+       (Option.get (Nfql.Physical.manifest db))
+    > 0);
+  (* Table syncs are hits 1 and 2; the manifest's sync is hit 3. *)
+  Failpoint.arm ~after:2 "wal.sync.before" Failpoint.Lose_unsynced;
+  let crashed =
+    try Nfql.Physical.sync_wal db; false with Failpoint.Crashed _ -> true
+  in
+  Alcotest.(check bool) "power cut at the manifest sync" true crashed;
+  Failpoint.reset ();
+  (try Table.close tt with _ -> ());
+  (try Table.close tu with _ -> ());
+  let manifest = Manifest.open_log mpath in
+  let durable = Manifest.durable manifest in
+  let rt, report_t = xt_recover ~durable ~wal_path:wal_t () in
+  let ru, report_u = xt_recover ~durable ~wal_path:wal_u () in
+  let st = xt_state ~name:"powercut t" rt in
+  let su = xt_state ~name:"powercut u" ru in
+  Alcotest.(check bool) "base rows intact" true
+    (has_all st xt_base_t && has_all su xt_base_u);
+  Alcotest.(check bool) "unacknowledged transaction gone from BOTH" true
+    (has_none st xt_txn_t && has_none su xt_txn_u);
+  Alcotest.(check int) "t reports the rollback" 2 (xt_discarded report_t);
+  Alcotest.(check int) "u reports the rollback" 2 (xt_discarded report_u);
+  Manifest.close manifest;
+  Table.close rt;
+  Table.close ru
+
+(* And the flip side: once the covering sync has returned — the
+   acknowledgement barrier — a later power cut cannot touch the
+   transaction in any table. *)
+let test_cross_table_acked_commit_survives () =
+  with_xt_scratch @@ fun ~wal_t ~wal_u ~mpath ->
+  let db, tt, tu = xt_setup ~sync:false ~wal_t ~wal_u ~mpath () in
+  xt_commit db;
+  Nfql.Physical.sync_wal db;
+  Alcotest.(check int) "nothing left unsynced" 0
+    (Nfql.Physical.wal_unsynced db);
+  (* One more (unacknowledged) write, then the power cut. *)
+  ignore
+    (Nfql.Physical.exec_string db "insert into t values ('late','unsynced')");
+  Failpoint.arm "wal.sync.before" Failpoint.Lose_unsynced;
+  let crashed =
+    try Nfql.Physical.sync_wal db; false with Failpoint.Crashed _ -> true
+  in
+  Alcotest.(check bool) "power cut fired" true crashed;
+  Failpoint.reset ();
+  (try Table.close tt with _ -> ());
+  (try Table.close tu with _ -> ());
+  let manifest = Manifest.open_log mpath in
+  let durable = Manifest.durable manifest in
+  let rt, _ = xt_recover ~durable ~wal_path:wal_t () in
+  let ru, _ = xt_recover ~durable ~wal_path:wal_u () in
+  let st = xt_state ~name:"acked t" rt in
+  let su = xt_state ~name:"acked u" ru in
+  Alcotest.(check bool) "the acknowledged transaction survived in BOTH" true
+    (has_all st xt_txn_t && has_all su xt_txn_u
+    && has_all st xt_base_t && has_all su xt_base_u);
+  Alcotest.(check bool) "only the unacknowledged write may die" true
+    (not (Relation.mem st (pair_tuple ("late", "unsynced"))));
+  Manifest.close manifest;
+  Table.close rt;
+  Table.close ru
+
 let () =
   Alcotest.run "crash"
     [
@@ -775,6 +1035,17 @@ let () =
             test_torn_txn_matrix;
           Alcotest.test_case "rollback is byte-identical" `Quick
             test_rollback_byte_identical;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "seed bug: half a transaction recovers" `Quick
+            test_cross_table_seed_bug;
+          Alcotest.test_case "all-or-nothing at every commit window" `Quick
+            test_cross_table_all_or_nothing;
+          Alcotest.test_case "power cut at the manifest sync" `Quick
+            test_cross_table_manifest_power_cut;
+          Alcotest.test_case "acked cross-table commit survives" `Quick
+            test_cross_table_acked_commit_survives;
         ] );
       ( "nfql",
         [

@@ -227,11 +227,173 @@ let test_soak () =
   | Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
   | Unix.WSTOPPED n -> Alcotest.failf "server stopped by signal %d" n
 
+(* ------------------------------------------------------------------ *)
+(* Three-node replication soak                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One primary, two WAL-shipping read replicas, all separate
+   processes. A mixed single-table trace plus periodic multi-table
+   transactions runs against the primary; after the drain both
+   replicas must hold BYTE-IDENTICAL canonical state (the rendered
+   canonical NFR tables compare as strings), the lag gauge must be
+   scrapeable under its Prometheus name, and every process must exit
+   cleanly. *)
+
+let repl_ops = 400
+
+let fork_repl_primary ~listen_fd =
+  match Unix.fork () with
+  | 0 ->
+    let exit_code =
+      try
+        let db = Nfql.Physical.create () in
+        Nfql.Physical.add_table db "t"
+          (Storage.Table.create ~order:(Schema.attributes schema3) schema3);
+        Nfql.Physical.add_table db "u"
+          (Storage.Table.create ~order:(Schema.attributes schema3) schema3);
+        let loop = Server.Loop.create ~db ~listen:(`Fd listen_fd) () in
+        Server.Loop.run loop;
+        0
+      with _ -> 1
+    in
+    Unix._exit exit_code
+  | pid ->
+    Unix.close listen_fd;
+    pid
+
+let fork_replica ~listen_fd ~primary_port =
+  match Unix.fork () with
+  | 0 ->
+    let exit_code =
+      try
+        let db = Nfql.Physical.create () in
+        let loop = Server.Loop.create ~db ~listen:(`Fd listen_fd) () in
+        Server.Loop.attach_upstream loop ~host:"127.0.0.1" ~port:primary_port;
+        Server.Loop.run loop;
+        0
+      with _ -> 1
+    in
+    Unix._exit exit_code
+  | pid ->
+    Unix.close listen_fd;
+    pid
+
+(* The node's canonical state, as the bytes a client would render. *)
+let canonical_state client =
+  String.concat "\n"
+    (List.map
+       (fun table ->
+         match
+           (Server.Client.query_exn client ("select * from " ^ table)).results
+         with
+         | [ { Server.Client.reply = `Rows (row_schema, ntuples); _ } ] ->
+           Format.asprintf "%s:@.%a" table Nfr_core.Nfr.pp_table
+             (Nfr_core.Nfr.of_ntuples row_schema ntuples)
+         | _ -> Alcotest.failf "unexpected SELECT shape from %s" table)
+       [ "t"; "u" ])
+
+let wait_reaped pid name =
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "%s exited %d" name n
+  | Unix.WSIGNALED n -> Alcotest.failf "%s killed by signal %d" name n
+  | Unix.WSTOPPED n -> Alcotest.failf "%s stopped by signal %d" name n
+
+let test_repl_soak () =
+  let primary_fd, primary_port = listen_socket () in
+  let replica_fds = Array.init 2 (fun _ -> listen_socket ()) in
+  let primary_pid = fork_repl_primary ~listen_fd:primary_fd in
+  let admin = Server.Client.connect ~port:primary_port () in
+  Server.Client.ping admin;
+  (* Both replicas bootstrap over the wire while traffic is already
+     flowing: catch-up and live tail in the same run. *)
+  let replica_pids =
+    Array.map
+      (fun (fd, _) -> fork_replica ~listen_fd:fd ~primary_port)
+      replica_fds
+  in
+  let trace = Workload.Trace.mixed ~seed:11 (Relation.empty schema3) ~ops:repl_ops in
+  List.iteri
+    (fun i op ->
+      (match
+         Server.Client.query admin (Workload.Trace.nfql_statement ~table:"t" op)
+       with
+      | Ok _ -> ()
+      | Error (_, reason) -> Alcotest.failf "op %d refused: %s" i reason);
+      (* Every 50th op, a multi-table transaction: its two writes must
+         land on the replicas atomically, in commit order. *)
+      if i mod 50 = 0 then
+        ignore
+          (Server.Client.query_exn admin
+             (Printf.sprintf
+                "begin; insert into t values ('xt%d','a','b'); insert into u \
+                 values ('xu%d','a','b'); commit"
+                i i)))
+    trace;
+  let golden = canonical_state admin in
+  (* Drain: poll each replica until it converges on the primary's
+     canonical bytes (bounded; the stream is pushed every tick). *)
+  let replicas =
+    Array.map (fun (_, port) -> Server.Client.connect ~port ()) replica_fds
+  in
+  Array.iteri
+    (fun i replica ->
+      let rec converge tries =
+        let state = canonical_state replica in
+        if state = golden then ()
+        else if tries > 200 then
+          Alcotest.failf "replica %d never converged" i
+        else begin
+          Unix.sleepf 0.05;
+          converge (tries + 1)
+        end
+      in
+      converge 0)
+    replicas;
+  (* Byte-identical across ALL nodes, not just primary-vs-each. *)
+  Alcotest.(check string) "replicas agree with each other"
+    (canonical_state replicas.(0))
+    (canonical_state replicas.(1));
+  (* The lag gauge is scrapeable under its Prometheus name. *)
+  let prom = Server.Client.metrics_prom replicas.(0) in
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i =
+      i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "nf2_replica_lag_seconds scrapeable" true
+    (contains prom "nf2_replica_lag_seconds");
+  (* A replica stays read-only to clients: the typed refusal, not a
+     hang or a disconnect. *)
+  (match Server.Client.query replicas.(1) "insert into t values ('w','w','w')"
+   with
+  | Error (Server.Protocol.Read_only, _) -> ()
+  | Ok _ -> Alcotest.fail "replica accepted a write"
+  | Error (code, reason) ->
+    Alcotest.failf "wrong refusal %s: %s"
+      (Server.Protocol.err_code_name code)
+      reason);
+  (* Graceful teardown: replicas first (the primary must not flinch),
+     then the primary. *)
+  Array.iter Server.Client.shutdown replicas;
+  Array.iter Server.Client.close replicas;
+  Server.Client.ping admin;
+  Server.Client.shutdown admin;
+  Server.Client.close admin;
+  Array.iteri
+    (fun i pid -> wait_reaped pid (Printf.sprintf "replica %d" i))
+    replica_pids;
+  wait_reaped primary_pid "primary"
+
 let () =
   Alcotest.run "netsoak"
     [
       ( "server",
         [
           Alcotest.test_case "32-connection mixed-trace soak" `Slow test_soak;
+          Alcotest.test_case "3-node replication soak" `Slow test_repl_soak;
         ] );
     ]
